@@ -1,0 +1,58 @@
+// Ablation: batch sizing (paper §II-C: "We run each test 130 times, which
+// gives us a 7% error margin with 90% confidence interval", following the
+// statistical fault injection method of Leveugle et al., DATE 2009).
+//
+// Part 1 reproduces the sizing table analytically.  Part 2 measures the
+// empirical spread of INA226 power readings versus the number of averaged
+// samples, showing the same error-vs-repetitions trade-off on the
+// measurement path.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Ablation: statistical sizing of test batches");
+
+  std::printf("Required runs for target error margin (worst-case p=0.5):\n");
+  std::printf("  %-14s %-12s %-12s\n", "error margin", "90% conf.",
+              "95% conf.");
+  for (const double e : {0.20, 0.10, 0.07, 0.05, 0.02, 0.01}) {
+    std::printf("  %-14.2f %-12zu %-12zu\n", e, required_runs(e, 0.90),
+                required_runs(e, 0.95));
+  }
+  std::printf("\nPaper's operating point: 130 runs -> %.1f%% error at 90%% "
+              "confidence\n",
+              achieved_error_margin(130, 0.90) * 100.0);
+
+  std::printf("\nEmpirical power-measurement spread vs batch size\n");
+  std::printf("(INA226 readings at 0.98V, full utilization):\n");
+  board::BoardConfig config = bench::default_board_config();
+  config.monitor_config.noise_sigma_amps = 0.05;  // exaggerated for clarity
+  board::Vcu128Board board(config);
+  board.set_active_ports(board.total_ports());
+  (void)board.set_hbm_voltage(Millivolts{980});
+
+  std::printf("  %-12s %-14s %-14s %-12s\n", "batch", "mean (W)",
+              "std dev (W)", "90% CI half-width");
+  for (const unsigned batch : {1u, 4u, 16u, 64u, 130u}) {
+    RunningStats stats;
+    for (unsigned trial = 0; trial < 40; ++trial) {
+      auto power = board.measure_power_averaged(batch);
+      if (power.is_ok()) stats.add(power.value().value);
+    }
+    const auto ci = mean_confidence_interval(stats, 0.90);
+    std::printf("  %-12u %-14.4f %-14.4f %.4f\n", batch, stats.mean(),
+                stats.stddev(), ci.half_width);
+  }
+
+  std::printf(
+      "\nReading: spread shrinks ~1/sqrt(batch); 130 repetitions put the\n"
+      "measurement error comfortably inside the paper's 7%% margin.  The\n"
+      "simulation's fault counts are deterministic at fixed voltage, so\n"
+      "the fig benches use small batches without losing fidelity.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: spatial clustering of weak cells (DESIGN.md design choice).
+//
+// The paper observes that "most faults are clustered together in small
+// regions of HBM layers".  This ablation runs the same fault population
+// with clustering enabled (default) and disabled, showing that
+//  * aggregate fault rates -- and therefore Figs 2/3/4/6 -- are unchanged
+//    (clustering only moves faults, it does not add them), while
+//  * the spatial metrics (density concentration, median gap) separate the
+//    two configurations sharply.  Systems that remap or retire faulty
+//    rows depend on this distinction.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "faults/fault_map.hpp"
+#include "faults/fault_overlay.hpp"
+
+using namespace hbmvolt;
+
+namespace {
+
+void report(const char* label, faults::WeakCellConfig weak_config) {
+  const auto geometry = hbm::HbmGeometry::simulation_default();
+  faults::FaultInjector injector(
+      faults::FaultModel(geometry, faults::FaultModelConfig{}), weak_config);
+
+  std::printf("%s\n", label);
+  std::printf("  %-8s %-10s %-12s %-14s %-12s\n", "voltage", "faults",
+              "top-5% rows", "median gap", "rows hit");
+  for (const int mv : {940, 920, 900, 880}) {
+    injector.set_voltage(Millivolts{mv});
+    // Aggregate over the weak PCs, where clustering is most visible.
+    std::uint64_t faults = 0;
+    double top5 = 0.0;
+    double median = 0.0;
+    std::uint64_t rows = 0;
+    int samples = 0;
+    for (const unsigned pc : faults::paper_weak_pcs()) {
+      const auto stats =
+          analyze_clustering(geometry, injector.overlay(pc));
+      if (stats.faults == 0) continue;
+      faults += stats.faults;
+      top5 += stats.fraction_in_densest_5pct_rows;
+      median += stats.median_gap;
+      rows += stats.rows_with_faults;
+      ++samples;
+    }
+    if (samples == 0) continue;
+    std::printf("  %.2fV   %-10llu %-12.2f %-14.0f %llu\n", mv / 1000.0,
+                static_cast<unsigned long long>(faults), top5 / samples,
+                median / samples, static_cast<unsigned long long>(rows));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation: weak-cell clustering on/off");
+
+  faults::WeakCellConfig clustered;  // defaults: 6 windows x 2 rows
+  report("Clustered (default, matches the paper's observation):",
+         clustered);
+
+  faults::WeakCellConfig uniform;
+  uniform.cluster_count = 0;
+  report("\nUniform placement (ablated):", uniform);
+
+  std::printf(
+      "\nReading: per-voltage fault *counts* match between the two\n"
+      "configurations (the rate model is independent of placement), but\n"
+      "the clustered model concentrates faults in few rows with small\n"
+      "median gaps -- the signature the paper reports, and the property a\n"
+      "row-retirement mitigation would exploit.\n");
+  return 0;
+}

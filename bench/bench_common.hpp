@@ -1,0 +1,38 @@
+// Shared setup for the experiment-regeneration benches: a default board
+// and the sweep configurations the paper uses.  Batch sizes are reduced
+// from the paper's 130 (the simulated fault sets are deterministic at a
+// fixed voltage; on silicon the repetitions fight measurement noise --
+// see bench/ablation_batch_size.cpp for the sizing analysis).
+
+#pragma once
+
+#include <cstdio>
+
+#include "board/vcu128.hpp"
+#include "core/reliability_tester.hpp"
+
+namespace hbmvolt::bench {
+
+inline board::BoardConfig default_board_config() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::simulation_default();
+  config.monitor_config.noise_sigma_amps = 0.002;
+  return config;
+}
+
+inline core::ReliabilityConfig full_sweep_config(unsigned batch = 2) {
+  core::ReliabilityConfig config;
+  config.sweep = {Millivolts{1200}, Millivolts{810}, 10};
+  config.batch_size = batch;
+  config.crash_policy = core::CrashPolicy::kStop;
+  return config;
+}
+
+inline void print_banner(const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  (simulated VCU128; geometry scaled -- see DESIGN.md)\n");
+  std::printf("==========================================================\n");
+}
+
+}  // namespace hbmvolt::bench

@@ -1,0 +1,85 @@
+// Extension experiment: lot-to-lot process variation.
+//
+// The paper characterizes ONE board and reports its per-PC variation.
+// Deployments care about the population: how much do the guardband and
+// the Fig 6 capacity curves move from device to device?  This bench
+// draws many process lots (seeds) from the calibrated model and reports
+// the distribution of the key landmarks -- the numbers a fleet operator
+// would need before rolling out a fixed undervolt setpoint, and the
+// reason adaptive schemes (ext_adaptive_governor) exist.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "faults/fault_model.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Extension: process variation across device lots");
+
+  constexpr int kLots = 40;
+  RunningStats first_fault_mv;
+  RunningStats fault_free_950;
+  RunningStats stuck_at_900;
+  RunningStats alpha_at_850;
+  Histogram onset_histogram(930.0, 975.0, 9);
+
+  for (int lot = 0; lot < kLots; ++lot) {
+    faults::FaultModelConfig config;
+    config.seed = 0x107000 + static_cast<std::uint64_t>(lot);
+    const faults::FaultModel model(hbm::HbmGeometry::simulation_default(),
+                                   config);
+
+    int device_first_fault = 0;
+    unsigned fault_free = 0;
+    for (unsigned pc = 0; pc < 32; ++pc) {
+      const int onset = model.onset_voltage(pc).value;
+      device_first_fault = std::max(device_first_fault, onset);
+      onset_histogram.add(onset);
+      if (model.stuck_fraction(pc, Millivolts{950}) == 0.0) ++fault_free;
+    }
+    first_fault_mv.add(device_first_fault);
+    fault_free_950.add(fault_free);
+    stuck_at_900.add(model.device_stuck_fraction(Millivolts{900}));
+    alpha_at_850.add(model.alpha_multiplier(Millivolts{850}));
+  }
+
+  std::printf("%d simulated lots (paper hardware = one sample):\n\n", kLots);
+  std::printf("  %-34s mean %8.4g   min %8.4g   max %8.4g\n",
+              "device first-fault voltage (mV)", first_fault_mv.mean(),
+              first_fault_mv.min(), first_fault_mv.max());
+  std::printf("  %-34s mean %8.4g   min %8.4g   max %8.4g\n",
+              "fault-free PCs at 0.95V", fault_free_950.mean(),
+              fault_free_950.min(), fault_free_950.max());
+  std::printf("  %-34s mean %8.3e   min %8.3e   max %8.3e\n",
+              "device stuck fraction at 0.90V", stuck_at_900.mean(),
+              stuck_at_900.min(), stuck_at_900.max());
+  std::printf("  %-34s mean %8.4f   min %8.4f   max %8.4f\n",
+              "alpha multiplier at 0.85V", alpha_at_850.mean(),
+              alpha_at_850.min(), alpha_at_850.max());
+
+  std::printf("\nPer-PC onset-voltage distribution across all lots "
+              "(%llu PCs):\n", static_cast<unsigned long long>(
+                                   onset_histogram.total()));
+  for (std::size_t bin = 0; bin < onset_histogram.bins(); ++bin) {
+    const auto count = onset_histogram.count(bin);
+    std::printf("  %4.0f-%4.0f mV  %5llu  ",
+                onset_histogram.bin_lower(bin),
+                onset_histogram.bin_upper(bin),
+                static_cast<unsigned long long>(count));
+    for (std::uint64_t i = 0; i < count / 8; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nReading: the calibration anchors are class-level properties and\n"
+      "hold in every lot (first fault at 0.97V, seven strong PCs clean at\n"
+      "0.95V) -- but *which* PCs are weak, their exact onsets, and the\n"
+      "mid-region fault mass (~+/-10%% at 0.90V here) move lot to lot.\n"
+      "A fleet cannot blindly reuse one board's Fig 5 fault map: either\n"
+      "re-characterize per device (Campaign) or govern adaptively\n"
+      "(UndervoltGovernor).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension experiment: row retirement as a finer-grained alternative to
+// Fig 6's PC-granularity trade-off.
+//
+// For each voltage below the guardband, retire exactly the DRAM rows
+// containing stuck cells and report the surviving capacity -- per device
+// and for the weak PCs -- and compare against (a) PC-granularity
+// disabling (Fig 6's zero-tolerance series) and (b) a uniform-placement
+// ablation, quantifying how much the paper's observed clustering reduces
+// the retirement bill.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/reliability_tester.hpp"
+#include "core/tradeoff.hpp"
+#include "mitigate/row_retirement.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Extension: row retirement vs PC disabling");
+
+  board::Vcu128Board board(bench::default_board_config());
+
+  // Fig 6 baseline: PC-granularity zero-tolerance capacity.
+  auto rel_config = bench::full_sweep_config(/*batch=*/1);
+  core::ReliabilityTester tester(board, rel_config);
+  const auto map = std::move(tester.run()).value();
+  core::TradeoffAnalyzer analyzer(map, Millivolts{1200});
+
+  // Uniform-placement ablation injector.
+  faults::WeakCellConfig uniform;
+  uniform.cluster_count = 0;
+  faults::FaultModelConfig fault_config;
+  fault_config.seed = mix_seed(board.config().seed, 0xFA017);
+  faults::FaultInjector uniform_injector(
+      faults::FaultModel(board.geometry(), fault_config), uniform);
+
+  std::printf("%-8s  %-22s  %-24s  %-22s\n", "voltage",
+              "PC-disable capacity", "row-retire capacity",
+              "row-retire (uniform)");
+  for (const int mv : {970, 950, 930, 910, 890, 870}) {
+    const Millivolts v{mv};
+    const unsigned usable = map.usable_pcs(v, 0.0);
+    const double pc_capacity =
+        static_cast<double>(usable) / board.geometry().total_pcs();
+    const auto retired = mitigate::RetirementMap::build(board.injector(), v);
+    const auto retired_uniform =
+        mitigate::RetirementMap::build(uniform_injector, v);
+    std::printf("%.2fV    %5.1f%% (%2u/32 PCs)      %6.2f%% (%llu rows)"
+                "         %6.2f%% (%llu rows)\n",
+                mv / 1000.0, pc_capacity * 100.0, usable,
+                retired.capacity_fraction() * 100.0,
+                static_cast<unsigned long long>(retired.rows_retired_total()),
+                retired_uniform.capacity_fraction() * 100.0,
+                static_cast<unsigned long long>(
+                    retired_uniform.rows_retired_total()));
+  }
+
+  std::printf(
+      "\nReading: at 0.93V, PC-granularity disabling (Fig 6) is already\n"
+      "down to zero fault-free PCs, while row retirement keeps most of\n"
+      "the device: the paper's clustering observation means few rows\n"
+      "absorb most stuck cells.  The uniform ablation needs several times\n"
+      "more retired rows for the same guarantee.  Deep in the bulk\n"
+      "collapse, every row is dirty and retirement degenerates -- there\n"
+      "the Fig 6 trade-off is the right tool.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Extension experiment: sensitivity of the headline conclusions to the
+// calibration constants.
+//
+// Every model constant came from one paper's measurements of one board.
+// This bench perturbs the most influential constants one at a time and
+// recomputes the headline quantities analytically, showing which
+// conclusions are robust (the 1.5x guardband savings depends on nothing
+// but V^2) and which are calibration-sensitive (the 2.3x at 0.85V moves
+// with the bulk-collapse midpoint).  This is the due diligence a reader
+// should demand of any calibrated simulation.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "faults/fault_model.hpp"
+#include "power/power_model.hpp"
+
+using namespace hbmvolt;
+
+namespace {
+
+struct Headlines {
+  double savings_at_vmin;
+  double savings_at_850;
+  double alpha_drop_850;
+  double stuck_at_900;
+  int first_fault_mv;
+};
+
+Headlines evaluate(const faults::FaultModelConfig& fault_config) {
+  const faults::FaultModel model(hbm::HbmGeometry::simulation_default(),
+                                 fault_config);
+  const power::PowerModel power(
+      power::PowerModelConfig{},
+      [&model](Millivolts v) { return model.alpha_multiplier(v); });
+
+  Headlines h;
+  h.savings_at_vmin = power.power(Millivolts{1200}, 1.0).value /
+                      power.power(Millivolts{980}, 1.0).value;
+  h.savings_at_850 = power.power(Millivolts{1200}, 1.0).value /
+                     power.power(Millivolts{850}, 1.0).value;
+  h.alpha_drop_850 = 1.0 - model.alpha_multiplier(Millivolts{850});
+  h.stuck_at_900 = model.device_stuck_fraction(Millivolts{900});
+  h.first_fault_mv = 0;
+  for (unsigned pc = 0; pc < 32; ++pc) {
+    h.first_fault_mv =
+        std::max(h.first_fault_mv, model.onset_voltage(pc).value);
+  }
+  return h;
+}
+
+void report(const char* label, const Headlines& h) {
+  std::printf("  %-34s %6.2fx    %6.2fx    %5.1f%%    %9.2e    %d mV\n",
+              label, h.savings_at_vmin, h.savings_at_850,
+              h.alpha_drop_850 * 100.0, h.stuck_at_900, h.first_fault_mv);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Extension: sensitivity of conclusions to calibration constants");
+
+  std::printf("  %-34s %-10s %-10s %-9s %-13s %s\n", "configuration",
+              "@0.98V", "@0.85V", "a-drop", "stuck@0.90V", "first fault");
+
+  report("baseline (paper calibration)", evaluate({}));
+
+  {
+    faults::FaultModelConfig config;
+    config.bulk_mid_volts += 0.005;  // bulk collapse 5 mV later
+    report("bulk midpoint +5 mV", evaluate(config));
+  }
+  {
+    faults::FaultModelConfig config;
+    config.bulk_mid_volts -= 0.005;
+    report("bulk midpoint -5 mV", evaluate(config));
+  }
+  {
+    faults::FaultModelConfig config;
+    config.tail_k_weak *= 1.5;
+    config.tail_k_medium *= 1.5;
+    config.tail_k_strong *= 1.5;
+    report("tail growth rates x1.5", evaluate(config));
+  }
+  {
+    faults::FaultModelConfig config;
+    config.tail_k_weak *= 0.67;
+    config.tail_k_medium *= 0.67;
+    config.tail_k_strong *= 0.67;
+    report("tail growth rates x0.67", evaluate(config));
+  }
+  {
+    faults::FaultModelConfig config;
+    config.alpha_stuck_weight = 0.30;  // stronger power/fault coupling
+    report("alpha coupling w=0.30", evaluate(config));
+  }
+  {
+    faults::FaultModelConfig config;
+    config.alpha_stuck_weight = 0.10;
+    report("alpha coupling w=0.10", evaluate(config));
+  }
+  {
+    faults::FaultModelConfig config;
+    config.stuck_at_one_share = 0.5;  // no polarity asymmetry
+    report("no polarity asymmetry", evaluate(config));
+  }
+
+  std::printf(
+      "\nReading: the 1.5x guardband savings is invariant -- it is pure\n"
+      "V^2 physics plus the measured guardband width.  The 2.3x at 0.85V\n"
+      "moves by ~±0.1x per 5 mV of bulk-midpoint error and with the alpha\n"
+      "coupling weight; the mid-region fault mass swings by orders of\n"
+      "magnitude with the tail growth rate, which is why the paper sweeps\n"
+      "at 10 mV resolution instead of extrapolating.  First-fault voltage\n"
+      "and polarity share affect reliability conclusions, not power.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension experiment: load-line (VRM quality) vs effective guardband.
+//
+// The characterization sweeps regulator *setpoints*; the cells see the
+// setpoint minus I*R_loadline.  With the VCU128's stiff rail (~0.2 mOhm)
+// the difference is a few millivolts, but a soft load line erodes the
+// usable guardband at full bandwidth -- and worse, makes the fault
+// behavior load-dependent: a setpoint that is fault-free at idle can
+// flip bits under full load.  This bench quantifies the erosion and the
+// compensated setpoint a deployment should program instead.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/droop.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Extension: VRM load-line quality vs guardband");
+
+  const faults::FaultModel model(hbm::HbmGeometry::simulation_default(),
+                                 faults::FaultModelConfig{});
+  const power::PowerModel power_model(
+      power::PowerModelConfig{},
+      [&model](Millivolts v) { return model.alpha_multiplier(v); });
+
+  // The device's true fault-free floor (highest onset across PCs).
+  Millivolts onset{0};
+  for (unsigned pc = 0; pc < model.geometry().total_pcs(); ++pc) {
+    onset = std::max(onset, model.onset_voltage(pc));
+  }
+  std::printf("Cell-level fault-free floor: > %.3fV (weakest PC onset)\n\n",
+              onset.volts());
+
+  std::printf("%-12s %-22s %-22s %-24s\n", "load line",
+              "eff. V @0.98V idle", "eff. V @0.98V full",
+              "safe setpoint @ full load");
+  for (const double milliohm : {0.2, 1.0, 2.0, 5.0, 10.0}) {
+    const Ohms load_line{milliohm / 1000.0};
+    const Millivolts idle = power::effective_rail_voltage(
+        Millivolts{980}, power_model, 0.0, load_line);
+    const Millivolts full = power::effective_rail_voltage(
+        Millivolts{980}, power_model, 1.0, load_line);
+    // Lowest setpoint whose effective full-load voltage stays above the
+    // weakest onset (one grid step of margin).
+    const Millivolts safe = power::compensated_setpoint(
+        Millivolts{onset.value + 10}, power_model, 1.0, load_line);
+    std::printf("%5.1f mOhm   %.3fV                %.3fV                "
+                "%.3fV (+%d mV)\n",
+                milliohm, idle.volts(), full.volts(), safe.volts(),
+                safe.value - (onset.value + 10));
+  }
+
+  std::printf(
+      "\nReading: with the lab-grade ~0.2 mOhm rail the paper used, droop\n"
+      "is a few millivolts and setpoint == cell voltage for all practical\n"
+      "purposes.  A soft 5-10 mOhm embedded rail sags 80-120 mV at full\n"
+      "load -- more than a third of the entire guardband -- so a setpoint\n"
+      "that is fault-free at idle flips bits under load.  Deployments must\n"
+      "either compensate the setpoint (last column) or re-characterize at\n"
+      "their own worst-case load; a fault map taken at idle is optimistic.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension experiment: application-level fault exposure per workload.
+//
+// The paper's fault map (Fig 5) is a property of the memory; what an
+// application experiences also depends on its access pattern.  This
+// bench replays four synthetic workloads against the weakest PC across
+// the unsafe region and reports the corrupted-read fraction and how many
+// of the PC's stuck cells the workload ever touches -- showing that
+// small-footprint / skewed workloads ride much deeper than the raw fault
+// map suggests, which is the mechanism behind the paper's claim that
+// fault-tolerant applications "can save more power than others".
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "faults/fault_overlay.hpp"
+#include "workload/trace.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Extension: workload-dependent fault exposure");
+
+  board::Vcu128Board board(bench::default_board_config());
+  const unsigned pc = 18;
+  const unsigned per_stack = board.geometry().pcs_per_stack();
+  auto& stack = board.stack(pc / per_stack);
+  const unsigned local = pc % per_stack;
+  const std::uint64_t beats = board.geometry().beats_per_pc();
+
+  struct Workload {
+    const char* name;
+    workload::AccessTrace trace;
+  };
+  const Workload workloads[] = {
+      {"streaming scan (full footprint)", workload::make_streaming(beats, 2)},
+      {"uniform random (70% reads)",
+       workload::make_uniform_random(beats, beats * 2, 0.3, 42)},
+      {"hot set (90% traffic on 5%)",
+       workload::make_hot_set(beats, beats * 2, 0.05, 0.9, 42)},
+      {"strided column walk",
+       workload::make_strided(beats, beats * 2, 17)},
+  };
+
+  for (const int mv : {950, 920, 900, 880, 860}) {
+    (void)board.set_hbm_voltage(Millivolts{mv});
+    const std::uint64_t stuck = board.injector().overlay(pc).total_count();
+    std::printf("\nPC%u at %.2fV -- %llu stuck cells in the PC:\n", pc,
+                mv / 1000.0, static_cast<unsigned long long>(stuck));
+    std::printf("  %-34s %-18s %-20s %s\n", "workload", "corrupted reads",
+                "stuck cells touched", "footprint");
+    for (const auto& w : workloads) {
+      auto result = workload::replay_exposure(stack, local, w.trace);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "replay failed: %s\n",
+                     result.status().to_string().c_str());
+        return 1;
+      }
+      const auto& r = result.value();
+      std::printf("  %-34s %7.4f%%           %5llu / %-5llu        %llu beats\n",
+                  w.name, r.corrupted_read_fraction() * 100.0,
+                  static_cast<unsigned long long>(
+                      r.distinct_stuck_cells_touched),
+                  static_cast<unsigned long long>(stuck),
+                  static_cast<unsigned long long>(r.footprint_beats));
+    }
+  }
+
+  std::printf(
+      "\nReading: at any voltage, the streaming scan meets (about half of)\n"
+      "the stuck cells -- random data disagrees with a stuck value with\n"
+      "probability 1/2 -- while the skewed workload's exposure depends on\n"
+      "whether its hot set overlaps a fault cluster at all.  Fig 6's\n"
+      "tolerable-rate axis is therefore a *worst case* over workloads;\n"
+      "footprint-aware placement (see mitigate::RemappedChannel) converts\n"
+      "unused capacity directly into undervolting headroom.\n");
+  (void)board.set_hbm_voltage(Millivolts{1200});
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Regenerates Fig 2: HBM power consumption vs supply voltage at 0/25/50/
+// 75/100% bandwidth utilization, normalized to 1.2 V at maximum
+// utilization.  Paper shape: all series scale with V^2; 1.5x savings at
+// 0.98 V and 2.3x total at 0.85 V, independent of utilization; the idle
+// series sits at ~1/3 of full load.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/power_characterizer.hpp"
+#include "core/report.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Fig 2: normalized HBM power vs voltage per "
+                      "bandwidth utilization");
+
+  board::Vcu128Board board(bench::default_board_config());
+
+  core::PowerSweepConfig config;
+  config.sweep = {Millivolts{1200}, Millivolts{810}, 10};
+  config.port_counts = {0, 8, 16, 24, 32};  // 0/25/50/75/100%
+  config.samples = 8;
+  config.traffic_beats = 32;
+
+  core::PowerCharacterizer characterizer(board, config);
+  auto result = characterizer.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "power sweep failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const auto data = std::move(result).value();
+
+  std::fputs(core::render_fig2(data, 50).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(core::render_fig2_chart(data).c_str(), stdout);
+
+  std::printf("\nSavings factors (paper: 1.5x at 0.98V, 2.3x at 0.85V):\n");
+  for (const auto& series : data.series) {
+    const auto at_vmin = data.savings_factor(series, Millivolts{980});
+    const auto at_850 = data.savings_factor(series, Millivolts{850});
+    std::printf("  %2u ports (%3.0f%% util): %.2fx @0.98V   %.2fx @0.85V\n",
+                series.ports, series.utilization * 100.0,
+                at_vmin.value_or(0.0), at_850.value_or(0.0));
+  }
+
+  const auto idle_at_nominal =
+      data.series.front().power_at(Millivolts{1200});
+  if (idle_at_nominal.has_value() && data.reference.value > 0) {
+    std::printf("\nIdle/full-load power at 1.20V: %.2f (paper: ~0.33)\n",
+                idle_at_nominal->value / data.reference.value);
+  }
+
+  std::printf("\nCSV (fig2.csv-compatible):\n%s",
+              core::to_csv_fig2(data).c_str());
+  return 0;
+}

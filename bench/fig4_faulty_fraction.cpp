@@ -1,0 +1,60 @@
+// Regenerates Fig 4: fraction of faulty bits in each HBM stack vs supply
+// voltage (Algorithm 1 over the full device, both data patterns).
+// Paper shape: zero faults down to 0.98 V; exponential growth from
+// 0.97 V; everything faulty by ~0.84 V; HBM crashes below 0.81 V.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/fault_characterizer.hpp"
+#include "core/guardband.hpp"
+#include "core/report.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Fig 4: faulty fraction per HBM stack vs voltage");
+
+  board::Vcu128Board board(bench::default_board_config());
+
+  // Sweep one step past V_critical so the crash row appears, with the
+  // power-cycle-and-continue policy the real experiments needed.
+  auto config = bench::full_sweep_config(/*batch=*/2);
+  config.sweep.stop = Millivolts{800};
+  config.crash_policy = core::CrashPolicy::kPowerCycleAndContinue;
+
+  core::ReliabilityTester tester(board, config);
+  auto result = tester.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "reliability sweep failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const auto map = std::move(result).value();
+
+  std::fputs(core::render_fig4(map).c_str(), stdout);
+  std::printf("\n");
+  std::fputs(core::render_fig4_chart(map).c_str(), stdout);
+
+  const auto guardband = core::analyze_guardband(map, Millivolts{1200});
+  std::printf("\nGuardband landmarks:\n");
+  std::printf("  V_min        = %.2fV (paper: 0.98V)\n",
+              guardband.v_min.volts());
+  std::printf("  first faults = %.2fV (paper: 0.97V)\n",
+              guardband.v_first_fault.volts());
+  std::printf("  V_critical   = %.2fV (paper: 0.81V)\n",
+              guardband.v_critical.volts());
+  std::printf("  guardband    = %.1f%% of nominal (paper: ~19%%)\n",
+              guardband.guardband_fraction * 100.0);
+  std::printf("  crash below V_critical observed: %s (paper: yes)\n",
+              guardband.crash_observed ? "yes" : "no");
+
+  const auto variation = core::analyze_stack_variation(map);
+  std::printf("\nStack variation: HBM%u averages %.0f%% lower fault rate "
+              "than HBM%u (paper: HBM0 13%% lower)\n",
+              variation.better_stack, variation.average_gap * 100.0,
+              variation.worse_stack);
+
+  std::printf("\nCSV:\n%s", core::to_csv_fig4(map).c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Regenerates Fig 5: per-AXI-port (pseudo-channel) fault percentages at
+// each unsafe voltage, split by data pattern (1->0 vs 0->1 flips).
+// Paper shape: "NF" everywhere above 0.97 V; weak PCs (PC4, PC5 on HBM0;
+// PC18-20 on HBM1) fault first; 0->1 flips start one step below 1->0;
+// everything saturates by 0.84 V.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/fault_characterizer.hpp"
+#include "core/report.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner("Fig 5: per-PC fault rates vs voltage and pattern");
+
+  board::Vcu128Board board(bench::default_board_config());
+
+  // The paper's per-PC table spans V_min down to saturation.
+  auto config = bench::full_sweep_config(/*batch=*/2);
+  config.sweep = {Millivolts{980}, Millivolts{840}, 10};
+
+  core::FaultCharacterizer characterizer(board);
+  auto result = characterizer.characterize(config);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "characterization failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const auto map = std::move(result).value();
+
+  std::fputs(core::render_fig5(map, 20).c_str(), stdout);
+
+  const auto onsets = core::per_pc_onsets(map);
+  std::printf("\nPer-PC observed onset voltages (first fault):\n");
+  for (unsigned pc = 0; pc < onsets.size(); ++pc) {
+    if (onsets[pc].has_value()) {
+      std::printf("  PC%-2u %.2fV\n", pc, onsets[pc]->volts());
+    } else {
+      std::printf("  PC%-2u no fault in range\n", pc);
+    }
+  }
+
+  const auto variation = core::analyze_pattern_variation(map);
+  std::printf("\nPattern variation:\n");
+  if (variation.first_1to0.has_value()) {
+    std::printf("  first 1->0 flip at %.2fV (paper: 0.97V)\n",
+                variation.first_1to0->volts());
+  }
+  if (variation.first_0to1.has_value()) {
+    std::printf("  first 0->1 flip at %.2fV (paper: 0.96V)\n",
+                variation.first_0to1->volts());
+  }
+  std::printf("  average 0->1 rate excess over 1->0: +%.0f%% (paper: +21%%)\n",
+              variation.average_0to1_excess * 100.0);
+
+  // The fault map as a picture: weak PC18 at 0.90V, banks across, rows
+  // down.  Clustering is visible as dense columns/blocks.
+  {
+    auto& injector = board.injector();
+    injector.set_voltage(Millivolts{900});
+    std::printf("\nSpatial fault map of PC18 at 0.90V:\n");
+    std::fputs(core::render_pc_heatmap(board.geometry(),
+                                       injector.overlay(18))
+                   .c_str(),
+               stdout);
+    injector.set_voltage(Millivolts{1200});
+  }
+
+  // Clustering evidence for the weak PCs (paper: "most faults are
+  // clustered together in small regions").
+  std::printf("\nSpatial clustering at 0.91V (weak PCs):\n");
+  for (const unsigned pc : faults::paper_weak_pcs()) {
+    const auto stats = characterizer.clustering(pc, Millivolts{910});
+    std::printf("  PC%-2u: %5llu faults, %4.0f%% in densest 5%% of rows, "
+                "median gap %.0f bits (uniform would be ~%.0f)\n",
+                pc, static_cast<unsigned long long>(stats.faults),
+                stats.fraction_in_densest_5pct_rows * 100.0,
+                stats.median_gap, 0.69 * stats.uniform_expected_gap);
+  }
+
+  std::printf("\nCSV:\n%s", core::to_csv_fig5(map).c_str());
+  return 0;
+}

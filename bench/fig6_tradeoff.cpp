@@ -1,0 +1,72 @@
+// Regenerates Fig 6: how many of the 32 pseudo-channels remain usable at
+// each voltage for a range of tolerable fault rates -- the paper's
+// three-factor trade-off among power, fault rate, and memory capacity.
+// Paper landmarks: 32 PCs fault-free through the guardband (1.5x); 7
+// fault-free PCs at 0.95 V (1.6x); ~half capacity at 0.90 V under a tiny
+// tolerable rate (~1.8x); tolerant applications ride to 2.3x at 0.85 V.
+//
+// Note: tolerable rates are fractions of the *simulated* capacity.  Near
+// the fault onset the model reproduces absolute fault counts, so a small
+// threshold means "a handful of faulty cells", exactly as on silicon
+// (DESIGN.md, "Scaled capacity").
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "core/tradeoff.hpp"
+
+using namespace hbmvolt;
+
+int main() {
+  bench::print_banner(
+      "Fig 6: usable PCs vs voltage per tolerable fault rate");
+
+  board::Vcu128Board board(bench::default_board_config());
+
+  auto config = bench::full_sweep_config(/*batch=*/2);
+  config.sweep.stop = Millivolts{800};
+  config.crash_policy = core::CrashPolicy::kPowerCycleAndContinue;
+
+  core::ReliabilityTester tester(board, config);
+  auto result = tester.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "reliability sweep failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const auto map = std::move(result).value();
+
+  core::TradeoffAnalyzer analyzer(map, Millivolts{1200},
+                                  &board.power_model());
+  core::TradeoffConfig tradeoff_config;
+  const auto points = analyzer.analyze(tradeoff_config);
+
+  std::fputs(core::render_fig6(points, tradeoff_config).c_str(), stdout);
+
+  std::printf("\nPaper's worked examples:\n");
+  if (const auto plan = analyzer.plan(32, 0.0)) {
+    std::printf("  whole 8GB, zero faults:    %.2fV, %.2fx savings "
+                "(paper: 0.98V, 1.5x)\n",
+                plan->voltage.volts(), plan->savings_factor);
+  }
+  if (const auto plan = analyzer.plan(7, 0.0)) {
+    std::printf("  7 fault-free PCs:          %.2fV, %.2fx savings "
+                "(paper: 0.95V, up to 1.6x)\n",
+                plan->voltage.volts(), plan->savings_factor);
+  }
+  if (const auto plan = analyzer.plan(16, 1e-4)) {
+    std::printf("  half capacity, tiny rate:  %.2fV, %.2fx savings "
+                "(paper: 0.90V, ~1.8x)\n",
+                plan->voltage.volts(), plan->savings_factor);
+  }
+  if (const auto plan = analyzer.plan(16, 0.5)) {
+    std::printf("  half capacity, any rate:   %.2fV, %.2fx savings "
+                "(paper: up to 2.3x at 0.85V)\n",
+                plan->voltage.volts(), plan->savings_factor);
+  }
+
+  std::printf("\nCSV:\n%s",
+              core::to_csv_fig6(points, tradeoff_config).c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Performance microbenchmarks (google-benchmark): the hot paths of the
+// simulator itself -- beat reads with sparse/dense overlays, overlay
+// construction, weak-cell order construction, and the Feistel PRP.
+// These guard the "full sweep in seconds" property the fig benches rely
+// on.
+
+#include <benchmark/benchmark.h>
+
+#include "axi/traffic_gen.hpp"
+#include "common/prp.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/stack.hpp"
+
+namespace {
+
+using namespace hbmvolt;
+
+hbm::HbmGeometry bench_geometry() {
+  return hbm::HbmGeometry::simulation_default();
+}
+
+void BM_FeistelForward(benchmark::State& state) {
+  FeistelPermutation prp(1ull << 20, 42);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prp.forward(i++ & ((1ull << 20) - 1)));
+  }
+}
+BENCHMARK(BM_FeistelForward);
+
+void BM_WeakCellOrderBuild(benchmark::State& state) {
+  auto geometry = bench_geometry();
+  geometry.bits_per_pc = 1ull << static_cast<unsigned>(state.range(0));
+  geometry.banks_per_pc = 2;
+  geometry.beats_per_row = 8;
+  for (auto _ : state) {
+    faults::WeakCellOrder order(geometry, 42, faults::WeakCellConfig{});
+    benchmark::DoNotOptimize(order.order(faults::StuckPolarity::kStuckAt0)
+                                 .size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(geometry.bits_per_pc));
+}
+BENCHMARK(BM_WeakCellOrderBuild)->Arg(14)->Arg(17)->Arg(19);
+
+void BM_OverlayBuildSparse(benchmark::State& state) {
+  const auto geometry = bench_geometry();
+  faults::WeakCellOrder order(geometry, 42, faults::WeakCellConfig{});
+  for (auto _ : state) {
+    auto overlay = faults::FaultOverlay::build(order, 500, 500);
+    benchmark::DoNotOptimize(overlay.total_count());
+  }
+}
+BENCHMARK(BM_OverlayBuildSparse);
+
+void BM_OverlayBuildDense(benchmark::State& state) {
+  const auto geometry = bench_geometry();
+  faults::WeakCellOrder order(geometry, 42, faults::WeakCellConfig{});
+  const std::uint64_t k = geometry.bits_per_pc / 4;
+  for (auto _ : state) {
+    auto overlay = faults::FaultOverlay::build(order, k, k);
+    benchmark::DoNotOptimize(overlay.total_count());
+  }
+}
+BENCHMARK(BM_OverlayBuildDense);
+
+void BM_ReadBeat(benchmark::State& state) {
+  const auto geometry = bench_geometry();
+  faults::FaultInjector injector(
+      faults::FaultModel(geometry, faults::FaultModelConfig{}));
+  hbm::HbmStack stack(geometry, 0, injector, 1);
+  const int mv = static_cast<int>(state.range(0));
+  injector.set_voltage(Millivolts{mv});
+  stack.on_voltage_change(Millivolts{mv});
+  std::uint64_t beat = 0;
+  const std::uint64_t mask = geometry.beats_per_pc() - 1;
+  for (auto _ : state) {
+    auto data = stack.read_beat(4, beat++ & mask);
+    benchmark::DoNotOptimize(data.is_ok());
+  }
+  state.SetBytesProcessed(state.iterations() * 32);
+}
+// Nominal (no overlay), tail faults (sparse), bulk faults (dense).
+BENCHMARK(BM_ReadBeat)->Arg(1200)->Arg(920)->Arg(855);
+
+void BM_FullPcPatternTest(benchmark::State& state) {
+  const auto geometry = bench_geometry();
+  faults::FaultInjector injector(
+      faults::FaultModel(geometry, faults::FaultModelConfig{}));
+  hbm::HbmStack stack(geometry, 0, injector, 1);
+  injector.set_voltage(Millivolts{900});
+  stack.on_voltage_change(Millivolts{900});
+  axi::TrafficGenerator tg(stack, 4);
+  axi::TgCommand command{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                         true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg.run(command).is_ok());
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(geometry.bits_per_pc / 8) * 2);
+}
+BENCHMARK(BM_FullPcPatternTest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Approximate inference on undervolted HBM -- the application class the
+// paper's trade-off targets (cf. EDEN [Koppula+ MICRO'19], cited as [23]).
+//
+// A nearest-centroid classifier's int8 weight matrix lives in HBM.  As
+// the supply voltage drops below the guardband, stuck-at faults corrupt
+// stored weights; classification accuracy degrades gracefully while power
+// savings grow.  The example prints the accuracy/power frontier and the
+// effect of placing weights on strong vs weak pseudo-channels.
+//
+// Run: ./build/examples/approximate_inference
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "common/rng.hpp"
+
+using namespace hbmvolt;
+
+namespace {
+
+constexpr unsigned kClasses = 16;
+constexpr unsigned kDims = 32;       // one int8 vector = one beat
+constexpr unsigned kSamples = 2000;
+
+struct Dataset {
+  std::vector<std::int8_t> centroids;  // kClasses x kDims (the "weights")
+  std::vector<std::int8_t> samples;    // kSamples x kDims
+  std::vector<unsigned> labels;
+};
+
+Dataset make_dataset(std::uint64_t seed) {
+  Dataset data;
+  Xoshiro256 rng(seed);
+  data.centroids.resize(kClasses * kDims);
+  for (auto& w : data.centroids) {
+    w = static_cast<std::int8_t>(rng.bounded(201) - 100);
+  }
+  data.samples.resize(kSamples * kDims);
+  data.labels.resize(kSamples);
+  for (unsigned i = 0; i < kSamples; ++i) {
+    const unsigned label = static_cast<unsigned>(rng.bounded(kClasses));
+    data.labels[i] = label;
+    for (unsigned d = 0; d < kDims; ++d) {
+      const int noise = static_cast<int>(rng.bounded(121)) - 60;
+      const int value = data.centroids[label * kDims + d] + noise;
+      data.samples[i * kDims + d] =
+          static_cast<std::int8_t>(std::clamp(value, -128, 127));
+    }
+  }
+  return data;
+}
+
+/// Writes the weight matrix into one PC of the board, beat by beat.
+void store_weights(board::Vcu128Board& board, unsigned pc_global,
+                   const std::vector<std::int8_t>& weights) {
+  const unsigned per_stack = board.geometry().pcs_per_stack();
+  auto& stack = board.stack(pc_global / per_stack);
+  const unsigned pc_local = pc_global % per_stack;
+  for (std::size_t offset = 0; offset < weights.size(); offset += 32) {
+    hbm::Beat beat{};
+    std::memcpy(beat.data(), weights.data() + offset, 32);
+    (void)stack.write_beat(pc_local, offset / 32, beat);
+  }
+}
+
+/// Reads the weight matrix back (with whatever faults the voltage causes).
+std::vector<std::int8_t> load_weights(board::Vcu128Board& board,
+                                      unsigned pc_global, std::size_t size) {
+  const unsigned per_stack = board.geometry().pcs_per_stack();
+  auto& stack = board.stack(pc_global / per_stack);
+  const unsigned pc_local = pc_global % per_stack;
+  std::vector<std::int8_t> weights(size);
+  for (std::size_t offset = 0; offset < size; offset += 32) {
+    auto beat = stack.read_beat(pc_local, offset / 32);
+    if (beat.is_ok()) {
+      std::memcpy(weights.data() + offset, beat.value().data(), 32);
+    }
+  }
+  return weights;
+}
+
+double accuracy(const Dataset& data, const std::vector<std::int8_t>& weights) {
+  unsigned correct = 0;
+  for (unsigned i = 0; i < kSamples; ++i) {
+    long best = LONG_MAX;
+    unsigned best_class = 0;
+    for (unsigned c = 0; c < kClasses; ++c) {
+      long dist = 0;
+      for (unsigned d = 0; d < kDims; ++d) {
+        const long diff = static_cast<long>(data.samples[i * kDims + d]) -
+                          weights[c * kDims + d];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = c;
+      }
+    }
+    correct += best_class == data.labels[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / kSamples;
+}
+
+double weight_bit_error_rate(const std::vector<std::int8_t>& a,
+                             const std::vector<std::int8_t>& b) {
+  std::uint64_t flipped = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    flipped += static_cast<unsigned>(
+        __builtin_popcount(static_cast<std::uint8_t>(a[i] ^ b[i])));
+  }
+  return static_cast<double>(flipped) / (8.0 * static_cast<double>(a.size()));
+}
+
+void run_frontier(board::Vcu128Board& board, const Dataset& data,
+                  unsigned pc_global, const char* label) {
+  std::printf("\nWeights on PC%u (%s):\n", pc_global, label);
+  std::printf("  %-8s %-10s %-14s %-10s\n", "voltage", "savings",
+              "weight BER", "accuracy");
+  const double p_nominal =
+      board.power_model().power(Millivolts{1200}, 1.0).value;
+  for (const int mv : {1200, 980, 950, 920, 900, 880, 870, 860, 850}) {
+    (void)board.set_hbm_voltage(Millivolts{mv});
+    store_weights(board, pc_global, data.centroids);
+    const auto corrupted =
+        load_weights(board, pc_global, data.centroids.size());
+    const double p = board.power_model().power(Millivolts{mv}, 1.0).value;
+    std::printf("  %.2fV   %5.2fx     %.2e       %5.1f%%\n", mv / 1000.0,
+                p_nominal / p, weight_bit_error_rate(data.centroids, corrupted),
+                accuracy(data, corrupted) * 100.0);
+  }
+  (void)board.set_hbm_voltage(Millivolts{1200});
+}
+
+}  // namespace
+
+int main() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::simulation_default();
+  board::Vcu128Board board(config);
+  const Dataset data = make_dataset(0xDA7A);
+
+  std::printf("Approximate nearest-centroid inference with weights in "
+              "undervolted HBM\n");
+  std::printf("(%u classes, %u dims, %u samples; clean accuracy below)\n",
+              kClasses, kDims, kSamples);
+
+  // Strong PC (fault-free deep into the unsafe region) vs the weakest PC.
+  run_frontier(board, data, 0, "strong PC: faults arrive late");
+  run_frontier(board, data, 18, "weak PC: faults arrive early");
+
+  std::printf(
+      "\nReading: accuracy rides free through the guardband (1.5x) and\n"
+      "most of the unsafe region; the cliff sits at the bulk collapse\n"
+      "(~0.85V, 2.3x savings), and it hits the weak PC harder and earlier\n"
+      "than the strong one.  Pair this with fault_aware_allocation to\n"
+      "pick PCs automatically.\n");
+  return 0;
+}

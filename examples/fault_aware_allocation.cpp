@@ -1,0 +1,127 @@
+// Fault-aware memory allocation: the paper's §III-C trade-off in action.
+//
+// An application declares how much HBM capacity it needs and what fault
+// rate it can tolerate.  The allocator characterizes the device once
+// (Algorithm 1 sweep), then uses the TradeoffAnalyzer to pick the deepest
+// safe voltage and the concrete set of pseudo-channels to enable --
+// trading capacity it does not need for power it wants back.  The chosen
+// plan is then *validated* by running pattern tests on exactly those PCs
+// at the chosen voltage.
+//
+// Run: ./build/examples/fault_aware_allocation
+
+#include <cstdio>
+
+#include "board/vcu128.hpp"
+#include "core/reliability_tester.hpp"
+#include "core/tradeoff.hpp"
+
+using namespace hbmvolt;
+
+namespace {
+
+struct AppRequirement {
+  const char* name;
+  unsigned required_pcs;      // capacity, in 256 MB pseudo-channels
+  double tolerable_rate;      // acceptable fraction of faulty bits
+};
+
+void execute_plan(board::Vcu128Board& board, const core::UndervoltPlan& plan,
+                  const faults::FaultMap& map) {
+  // Apply the plan: undervolt and enable only the chosen PCs.
+  (void)board.set_hbm_voltage(plan.voltage);
+  const unsigned per_stack = board.geometry().pcs_per_stack();
+  std::uint32_t mask[2] = {0, 0};
+  for (const unsigned pc : plan.pcs) {
+    mask[pc / per_stack] |= 1u << (pc % per_stack);
+  }
+  for (unsigned s = 0; s < 2; ++s) {
+    board.controller(s).set_enabled_mask(mask[s]);
+    board.controller(s).reset_ports();
+  }
+
+  // Validate: measured fault rate on the enabled PCs.
+  axi::TgCommand ones{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                      true};
+  axi::TgCommand zeros{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllZeros,
+                       true};
+  std::uint64_t flips = 0;
+  std::uint64_t bits = 0;
+  for (const auto& command : {ones, zeros}) {
+    for (const auto& result : board.run_traffic(command)) {
+      flips += result.totals().total_flips();
+      bits += result.totals().bits_checked;
+    }
+  }
+  const double measured = bits ? static_cast<double>(flips) / bits : 0.0;
+
+  const auto power = board.measure_power_averaged(8);
+  std::printf("    validated: %llu flips / %llu bits = %.2e rate "
+              "(tolerance %.2e)\n",
+              static_cast<unsigned long long>(flips),
+              static_cast<unsigned long long>(bits), measured,
+              plan.tolerable_rate);
+  std::printf("    measured power: %.2f W\n",
+              power.is_ok() ? power.value().value : -1.0);
+  (void)map;
+}
+
+}  // namespace
+
+int main() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::simulation_default();
+  board::Vcu128Board board(config);
+
+  std::printf("Characterizing the device (Algorithm 1 sweep)...\n");
+  core::ReliabilityConfig rel_config;
+  rel_config.sweep = {Millivolts{1200}, Millivolts{810}, 10};
+  rel_config.batch_size = 1;
+  core::ReliabilityTester tester(board, rel_config);
+  auto map_result = tester.run();
+  if (!map_result.is_ok()) {
+    std::fprintf(stderr, "characterization failed: %s\n",
+                 map_result.status().to_string().c_str());
+    return 1;
+  }
+  const auto map = std::move(map_result).value();
+  core::TradeoffAnalyzer analyzer(map, Millivolts{1200},
+                                  &board.power_model());
+
+  const double nominal_power =
+      board.power_model().power(Millivolts{1200}, 1.0).value;
+  std::printf("done. Nominal full-load power: %.1f W\n\n", nominal_power);
+
+  const AppRequirement apps[] = {
+      // Fault-intolerant, needs everything: guardband only (paper: HATCH,
+      // AxleDB-style exact query processing).
+      {"exact-query-engine (all 32 PCs, zero faults)", 32, 0.0},
+      // Fault-intolerant but small: ride the per-PC variation (paper's
+      // "7 fault-free PCs at 0.95V" example).
+      {"checkpoint-buffer (7 PCs, zero faults)", 7, 0.0},
+      // Tolerant, half capacity (paper's 0.90V example).
+      {"video-analytics cache (16 PCs, 1e-4 tolerable)", 16, 1e-4},
+      // Very tolerant (EDEN-style approximate DNN buffers).
+      {"approximate-DNN weights (8 PCs, 1e-2 tolerable)", 8, 1e-2},
+  };
+
+  for (const auto& app : apps) {
+    std::printf("%s\n", app.name);
+    const auto plan = analyzer.plan(app.required_pcs, app.tolerable_rate);
+    if (!plan.has_value()) {
+      std::printf("    no feasible operating point\n\n");
+      continue;
+    }
+    std::printf("    plan: %.2fV, %.2fx power savings, PCs:",
+                plan->voltage.volts(), plan->savings_factor);
+    for (const unsigned pc : plan->pcs) std::printf(" %u", pc);
+    std::printf("\n");
+    execute_plan(board, *plan, map);
+
+    // Reset for the next application.
+    (void)board.power_cycle();
+    board.set_active_ports(0);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Full characterization campaign: reproduce the paper's entire evaluation
+// in one run and archive every artifact.
+//
+//   ./build/examples/full_characterization [output_dir]
+//
+// Writes fig2.csv/fig4.csv/fig5.csv/fig6.csv and summary.txt (headline
+// table + ASCII renderings of Figs 2-6) into `output_dir` (default:
+// ./artifacts), then prints the headline table and the trade-off plans.
+
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "common/log.hpp"
+
+using namespace hbmvolt;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kInfo);
+
+  board::BoardConfig board_config;
+  board_config.geometry = hbm::HbmGeometry::simulation_default();
+  board_config.monitor_config.noise_sigma_amps = 0.002;
+  board::Vcu128Board board(board_config);
+
+  core::CampaignConfig config;
+  if (argc > 1) config.output_dir = argv[1];
+
+  core::Campaign campaign(board, config);
+  auto result = campaign.run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const auto& campaign_result = result.value();
+
+  std::fputs(core::render_headline(campaign_result.headline).c_str(),
+             stdout);
+
+  std::printf("\nOperating-point recommendations:\n");
+  core::TradeoffAnalyzer analyzer(campaign_result.fault_map,
+                                  Millivolts{1200}, &board.power_model());
+  struct Ask {
+    const char* what;
+    unsigned pcs;
+    double rate;
+  };
+  for (const Ask& ask : {Ask{"full capacity, zero faults", 32, 0.0},
+                         Ask{"7 PCs, zero faults", 7, 0.0},
+                         Ask{"half capacity, 1e-4 tolerable", 16, 1e-4}}) {
+    if (const auto plan = analyzer.plan(ask.pcs, ask.rate)) {
+      std::printf("  %-32s -> %.2fV, %.2fx savings\n", ask.what,
+                  plan->voltage.volts(), plan->savings_factor);
+    }
+  }
+
+  std::printf("\nArtifacts written:\n");
+  for (const auto& file : campaign_result.files_written) {
+    std::printf("  %s\n", file.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: the library in ~80 lines.
+//
+// Creates a simulated VCU128 board, measures power at nominal voltage,
+// undervolts within the guardband (free 1.5x savings), pushes below the
+// guardband (more savings, but bit flips appear), and finally crashes the
+// stacks below V_critical and recovers with a power cycle.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "board/vcu128.hpp"
+
+using namespace hbmvolt;
+
+namespace {
+
+double measure_watts(board::Vcu128Board& board) {
+  auto power = board.measure_power_averaged(16);
+  return power.is_ok() ? power.value().value : -1.0;
+}
+
+void run_pattern_test(board::Vcu128Board& board, const char* label) {
+  axi::TgCommand command;
+  command.op = axi::MacroOp::kWriteRead;
+  command.pattern = hbm::kBeatAllOnes;
+  std::uint64_t flips = 0;
+  std::uint64_t bits = 0;
+  for (const auto& result : board.run_traffic(command)) {
+    const auto totals = result.totals();
+    flips += totals.total_flips();
+    bits += totals.bits_checked;
+  }
+  std::printf("  %-28s %llu bit flips in %llu bits tested\n", label,
+              static_cast<unsigned long long>(flips),
+              static_cast<unsigned long long>(bits));
+}
+
+}  // namespace
+
+int main() {
+  // A board with default (scaled) geometry: 2 stacks x 16 PCs, 64 KiB/PC.
+  board::Vcu128Board board;
+  board.set_active_ports(board.total_ports());
+
+  std::printf("VCU128 HBM undervolting quickstart\n");
+  std::printf("geometry: %u stacks, %u PCs, %llu bits per PC\n\n",
+              board.geometry().stacks, board.geometry().total_pcs(),
+              static_cast<unsigned long long>(board.geometry().bits_per_pc));
+
+  // 1. Nominal operation: 1.20 V.
+  const double p_nominal = measure_watts(board);
+  std::printf("1.20V (nominal):   %.2f W\n", p_nominal);
+  run_pattern_test(board, "pattern test @ 1.20V:");
+
+  // 2. Guardband floor: 0.98 V -- full bandwidth, no faults, 1.5x power.
+  (void)board.set_hbm_voltage(Millivolts{980});
+  const double p_vmin = measure_watts(board);
+  std::printf("\n0.98V (V_min):     %.2f W  -> %.2fx savings\n", p_vmin,
+              p_nominal / p_vmin);
+  run_pattern_test(board, "pattern test @ 0.98V:");
+
+  // 3. Below the guardband: 0.90 V -- deeper savings, some flips.
+  (void)board.set_hbm_voltage(Millivolts{900});
+  const double p_090 = measure_watts(board);
+  std::printf("\n0.90V (unsafe):    %.2f W  -> %.2fx savings\n", p_090,
+              p_nominal / p_090);
+  run_pattern_test(board, "pattern test @ 0.90V:");
+
+  // 4. Deep undervolt: 0.85 V -- the paper's 2.3x point.
+  (void)board.set_hbm_voltage(Millivolts{850});
+  const double p_085 = measure_watts(board);
+  std::printf("\n0.85V (deep):      %.2f W  -> %.2fx savings\n", p_085,
+              p_nominal / p_085);
+  run_pattern_test(board, "pattern test @ 0.85V:");
+
+  // 5. Below V_critical the stacks crash; raising the voltage back does
+  //    not help -- only a power cycle recovers them.
+  (void)board.set_hbm_voltage(Millivolts{800});
+  std::printf("\n0.80V: stacks responding? %s\n",
+              board.responding() ? "yes" : "NO (crashed)");
+  (void)board.set_hbm_voltage(Millivolts{1200});
+  std::printf("back at 1.20V: responding? %s (crash latches)\n",
+              board.responding() ? "yes" : "NO (crashed)");
+  (void)board.power_cycle();
+  std::printf("after power cycle: responding? %s\n",
+              board.responding() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "axi/switch.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace hbmvolt::axi {
+
+SwitchNetwork::SwitchNetwork(unsigned ports) : ports_(ports), routes_(ports) {
+  HBMVOLT_REQUIRE(ports > 0, "switch needs at least one port");
+  reset_routes();
+}
+
+void SwitchNetwork::reset_routes() {
+  std::iota(routes_.begin(), routes_.end(), 0u);
+}
+
+Status SwitchNetwork::route(unsigned port, unsigned pc) {
+  if (port >= ports_ || pc >= ports_) {
+    return out_of_range("switch port/PC index out of range");
+  }
+  if (!enabled_ && pc != port) {
+    return failed_precondition(
+        "non-identity routing requires the switching network enabled");
+  }
+  routes_[port] = pc;
+  return Status::ok();
+}
+
+unsigned SwitchNetwork::target_pc(unsigned port) const {
+  HBMVOLT_REQUIRE(port < ports_, "switch port out of range");
+  return enabled_ ? routes_[port] : port;
+}
+
+double SwitchNetwork::throughput_derate(unsigned port) const {
+  HBMVOLT_REQUIRE(port < ports_, "switch port out of range");
+  if (!enabled_) return 1.0;
+  // Hop distance between 4-port switch groups.
+  const int group_a = static_cast<int>(port / 4);
+  const int group_b = static_cast<int>(routes_[port] / 4);
+  const int hops = std::abs(group_a - group_b);
+  double derate = kEnabledDerate - kPerHopDerate * hops;
+  return derate < 0.5 ? 0.5 : derate;
+}
+
+}  // namespace hbmvolt::axi

@@ -1,0 +1,51 @@
+// Model of the AXI switching network inside the Xilinx HBM IP.
+//
+// When enabled, the crossbar lets any AXI port reach any pseudo-channel of
+// its stack at the cost of extra latency and reduced sustained bandwidth;
+// when disabled (the paper's configuration, §II-C: "we disable the
+// switching network [to remove] any impact ... on the results"), each port
+// is hardwired to its own PC at full throughput.  The ablation bench
+// quantifies the cost the paper avoided.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::axi {
+
+class SwitchNetwork {
+ public:
+  /// Sustained-bandwidth multiplier when the crossbar is in the path.
+  static constexpr double kEnabledDerate = 0.85;
+  /// Additional derate per routing hop away from the home PC (the
+  /// crossbar is a 4x4 mesh of switches; distant PCs cross more stages).
+  static constexpr double kPerHopDerate = 0.03;
+
+  explicit SwitchNetwork(unsigned ports);
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Routes `port` to `pc`.  Non-identity routes require the switch to be
+  /// enabled.
+  Status route(unsigned port, unsigned pc);
+
+  /// Restores the identity routing.
+  void reset_routes();
+
+  /// PC a port currently targets (identity when disabled).
+  [[nodiscard]] unsigned target_pc(unsigned port) const;
+
+  /// Throughput multiplier for a port under the current configuration.
+  [[nodiscard]] double throughput_derate(unsigned port) const;
+
+ private:
+  unsigned ports_;
+  bool enabled_ = false;
+  std::vector<unsigned> routes_;
+};
+
+}  // namespace hbmvolt::axi

@@ -1,0 +1,172 @@
+#include "axi/traffic_gen.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "common/prp.hpp"
+#include "common/rng.hpp"
+#include "dram/scheduler.hpp"
+
+namespace hbmvolt::axi {
+
+hbm::Beat command_data(const TgCommand& command,
+                       std::uint64_t beat) noexcept {
+  switch (command.kind) {
+    case PatternKind::kSolid:
+      return command.pattern;
+    case PatternKind::kCheckerboard:
+      return (beat & 1) ? hbm::beat_of_all(0xAAAAAAAAAAAAAAAAull)
+                        : hbm::beat_of_all(0x5555555555555555ull);
+    case PatternKind::kAddressAsData: {
+      hbm::Beat data;
+      for (unsigned w = 0; w < 4; ++w) data[w] = beat * 4 + w;
+      return data;
+    }
+    case PatternKind::kRandom: {
+      hbm::Beat data;
+      for (unsigned w = 0; w < 4; ++w) {
+        data[w] = splitmix64(command.pattern_seed ^ (beat * 4 + w));
+      }
+      return data;
+    }
+  }
+  return command.pattern;
+}
+
+TgStats& TgStats::operator+=(const TgStats& other) noexcept {
+  beats_written += other.beats_written;
+  beats_read += other.beats_read;
+  flips_1to0 += other.flips_1to0;
+  flips_0to1 += other.flips_0to1;
+  bits_checked += other.bits_checked;
+  slverr += other.slverr;
+  busy_time += other.busy_time;
+  return *this;
+}
+
+void count_flips(const hbm::Beat& observed, const hbm::Beat& expected,
+                 std::uint64_t& flips_1to0,
+                 std::uint64_t& flips_0to1) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t diff = observed[i] ^ expected[i];
+    // A differing bit that is 1 in `expected` was a 1->0 flip.
+    flips_1to0 += static_cast<unsigned>(std::popcount(diff & expected[i]));
+    flips_0to1 += static_cast<unsigned>(std::popcount(diff & ~expected[i]));
+  }
+}
+
+TrafficGenerator::TrafficGenerator(hbm::HbmStack& stack, unsigned pc_local,
+                                   Hertz clock, double efficiency)
+    : stack_(stack),
+      pc_local_(pc_local),
+      clock_(clock),
+      efficiency_(efficiency) {
+  HBMVOLT_REQUIRE(clock.value > 0.0, "port clock must be positive");
+  HBMVOLT_REQUIRE(efficiency > 0.0 && efficiency <= 1.0,
+                  "efficiency must be in (0,1]");
+}
+
+SimTime TrafficGenerator::flat_time(std::uint64_t beats) const noexcept {
+  // Sustained beats/second = clock * efficiency * derate.
+  const double rate = clock_.value * efficiency_ * derate_;
+  const double seconds = static_cast<double>(beats) / rate;
+  return static_cast<SimTime>(seconds * static_cast<double>(kPicosPerSecond));
+}
+
+Status TrafficGenerator::run(const TgCommand& command) {
+  if (!enabled_) return Status::ok();
+
+  const std::uint64_t total = stack_.geometry().beats_per_pc();
+  if (command.start_beat >= total) {
+    return out_of_range("TG start beat beyond PC capacity");
+  }
+  std::uint64_t beats = command.beats == 0 ? total - command.start_beat
+                                           : command.beats;
+  if (command.start_beat + beats > total) {
+    return out_of_range("TG range beyond PC capacity");
+  }
+
+  // Visit order: identity, or a seeded permutation of the range.
+  std::optional<FeistelPermutation> order;
+  if (command.random_order && beats > 1) {
+    order.emplace(beats, command.order_seed);
+  }
+  const auto nth_beat = [&](std::uint64_t i) {
+    return command.start_beat + (order ? order->forward(i) : i);
+  };
+
+  // Optional command-level DRAM timing alongside the flat port model.
+  std::optional<dram::PcScheduler> scheduler;
+  if (timing_mode_ == TimingMode::kCommandLevel) {
+    scheduler.emplace(stack_.geometry(), dram_timings_);
+  }
+  std::uint64_t beats_transferred = 0;
+
+  if (command.op == MacroOp::kWrite || command.op == MacroOp::kWriteRead) {
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      const std::uint64_t beat = nth_beat(i);
+      const Status status =
+          stack_.write_beat(pc_local_, beat, command_data(command, beat));
+      if (!status.is_ok()) {
+        ++stats_.slverr;
+        return status;  // a crashed stack NAKs everything: abort the macro
+      }
+      if (scheduler) scheduler->access(true, beat);
+      ++stats_.beats_written;
+      ++beats_transferred;
+    }
+  }
+
+  if (command.op == MacroOp::kRead || command.op == MacroOp::kWriteRead) {
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      const std::uint64_t beat = nth_beat(i);
+      auto data = stack_.read_beat(pc_local_, beat);
+      if (!data.is_ok()) {
+        ++stats_.slverr;
+        return data.status();
+      }
+      if (scheduler) scheduler->access(false, beat);
+      ++stats_.beats_read;
+      ++beats_transferred;
+      if (command.check) {
+        count_flips(data.value(), command_data(command, beat),
+                    stats_.flips_1to0, stats_.flips_0to1);
+        stats_.bits_checked += stack_.geometry().bits_per_beat;
+      }
+    }
+  }
+
+  // Elapsed time: the slower of the AXI port domain and (when modelled)
+  // the DRAM command domain -- two pipelined resources, so the
+  // bottleneck sets the rate.
+  SimTime elapsed = flat_time(beats_transferred);
+  if (scheduler) {
+    const dram::AccessStats dram_stats = scheduler->finish();
+    const double seconds = static_cast<double>(dram_stats.cycles) /
+                           dram_timings_.clock_hz;
+    elapsed = std::max(elapsed,
+                       static_cast<SimTime>(
+                           seconds * static_cast<double>(kPicosPerSecond)));
+  }
+  stats_.busy_time += elapsed;
+
+  return Status::ok();
+}
+
+GigabytesPerSecond TrafficGenerator::sustained_bandwidth() const noexcept {
+  if (stats_.busy_time == 0) return GigabytesPerSecond{0.0};
+  const double bytes = static_cast<double>(
+      (stats_.beats_written + stats_.beats_read) *
+      (stack_.geometry().bits_per_beat / 8));
+  const double seconds = to_seconds(stats_.busy_time).value;
+  return GigabytesPerSecond{bytes / seconds / 1e9};
+}
+
+GigabytesPerSecond TrafficGenerator::peak_bandwidth() const noexcept {
+  const double bytes_per_beat = stack_.geometry().bits_per_beat / 8;
+  return GigabytesPerSecond{clock_.value * efficiency_ * derate_ *
+                            bytes_per_beat / 1e9};
+}
+
+}  // namespace hbmvolt::axi

@@ -1,0 +1,26 @@
+// BoardConfig <-> INI file mapping, so the CLI tools can run
+// parameterized studies ("what if the guardband were narrower?", "what
+// does a hotter part look like?") without recompiling.
+//
+// Every key is optional; absent keys keep the paper-calibrated defaults.
+// `board_config_to_ini` writes the complete key set, so generating a
+// template is: save defaults, edit, load.
+
+#pragma once
+
+#include "board/vcu128.hpp"
+#include "common/ini.hpp"
+#include "common/status.hpp"
+
+namespace hbmvolt::board {
+
+/// Applies the INI file's keys on top of default BoardConfig values.
+[[nodiscard]] Result<BoardConfig> board_config_from_ini(const IniFile& ini);
+
+/// Loads and applies a config file.
+[[nodiscard]] Result<BoardConfig> load_board_config(const std::string& path);
+
+/// Serializes a config as INI (full key set).
+[[nodiscard]] IniFile board_config_to_ini(const BoardConfig& config);
+
+}  // namespace hbmvolt::board

@@ -1,0 +1,190 @@
+#include "board/vcu128.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "faults/fault_model.hpp"
+#include "power/power_model.hpp"
+
+namespace hbmvolt::board {
+
+Vcu128Board::Vcu128Board(BoardConfig config) : config_(std::move(config)) {
+  HBMVOLT_REQUIRE(config_.geometry.validate().is_ok(), "invalid geometry");
+
+  // Fault machinery: one injector spanning every PC of both stacks.
+  faults::FaultModelConfig fault_config = config_.fault_config;
+  fault_config.seed = mix_seed(config_.seed, 0xFA017);
+  injector_ = std::make_unique<faults::FaultInjector>(
+      faults::FaultModel(config_.geometry, fault_config),
+      config_.weak_config);
+
+  // Power rail: the alpha(v) hook couples stuck cells to power draw.
+  const faults::FaultModel* model = &injector_->model();
+  rail_ = std::make_unique<power::PowerRail>(power::PowerModel(
+      config_.power_config,
+      [model](Millivolts v) { return model->alpha_multiplier(v); }));
+
+  // Regulator with its load model and output listeners.
+  regulator_ = std::make_unique<power::Isl68301>(config_.regulator_config);
+  regulator_->set_load_model(
+      [this](Millivolts v) { return rail_->load_current(v); });
+
+  // HBM stacks react to the regulated voltage.
+  for (unsigned s = 0; s < config_.geometry.stacks; ++s) {
+    stacks_.push_back(std::make_unique<hbm::HbmStack>(
+        config_.geometry, s, *injector_, mix_seed(config_.seed, 0x57AC + s)));
+  }
+  regulator_->add_vout_listener([this](Millivolts v) {
+    rail_->on_voltage(v);
+    injector_->set_voltage(v);
+    for (auto& stack : stacks_) stack->on_voltage_change(v);
+  });
+
+  // Power monitor senses the rail.
+  monitor_ = std::make_unique<sensors::Ina226>(config_.monitor_config);
+  monitor_->set_rail_probe([this]() { return rail_->sample(); });
+
+  // Attach peripherals to the host PMBus.
+  HBMVOLT_REQUIRE(bus_.attach(regulator_.get()).is_ok(),
+                  "regulator bus attach failed");
+  HBMVOLT_REQUIRE(bus_.attach(monitor_.get()).is_ok(),
+                  "monitor bus attach failed");
+
+  // Controllers (16 TGs per stack) and their IP-core register interfaces.
+  for (unsigned s = 0; s < config_.geometry.stacks; ++s) {
+    controllers_.push_back(std::make_unique<axi::StackController>(
+        *stacks_[s], config_.axi_clock, config_.port_efficiency));
+    ip_cores_.push_back(std::make_unique<hbm::HbmIpCore>(
+        *controllers_.back(),
+        Celsius{config_.fault_config.temperature_c}));
+  }
+
+  // Host drivers + board bring-up: calibrate the INA226 and drop the
+  // regulator's UV fault limit so undervolting experiments are possible.
+  regulator_driver_ = std::make_unique<power::Isl68301Driver>(
+      bus_, config_.regulator_config.address);
+  monitor_driver_ = std::make_unique<sensors::Ina226Driver>(
+      bus_, config_.monitor_config.address);
+  HBMVOLT_REQUIRE(regulator_driver_->probe().is_ok(), "regulator probe failed");
+  HBMVOLT_REQUIRE(
+      regulator_driver_->set_uv_fault_limit(Millivolts{0}).is_ok(),
+      "UV limit setup failed");
+  HBMVOLT_REQUIRE(monitor_driver_
+                      ->configure(config_.monitor_max_amps,
+                                  config_.monitor_config.shunt,
+                                  /*averages=*/16)
+                      .is_ok(),
+                  "INA226 calibration failed");
+
+  // Propagate the initial (nominal) voltage to all listeners.
+  HBMVOLT_REQUIRE(
+      regulator_driver_->set_vout(config_.regulator_config.vout_default)
+          .is_ok(),
+      "initial voltage set failed");
+
+  // The board comes up idle; workloads enable ports explicitly.
+  set_active_ports(0);
+}
+
+hbm::HbmStack& Vcu128Board::stack(unsigned index) {
+  HBMVOLT_REQUIRE(index < stacks_.size(), "stack index out of range");
+  return *stacks_[index];
+}
+
+axi::StackController& Vcu128Board::controller(unsigned index) {
+  HBMVOLT_REQUIRE(index < controllers_.size(), "controller index out of range");
+  return *controllers_[index];
+}
+
+hbm::HbmIpCore& Vcu128Board::ip_core(unsigned index) {
+  HBMVOLT_REQUIRE(index < ip_cores_.size(), "IP core index out of range");
+  return *ip_cores_[index];
+}
+
+Status Vcu128Board::set_hbm_voltage(Millivolts v) {
+  return regulator_driver_->set_vout(v);
+}
+
+Millivolts Vcu128Board::hbm_voltage() const {
+  return regulator_->vout_nominal();
+}
+
+Result<Watts> Vcu128Board::measure_power() {
+  return monitor_driver_->read_power();
+}
+
+Result<Watts> Vcu128Board::measure_power_averaged(unsigned samples) {
+  if (samples == 0) return invalid_argument("need at least one sample");
+  double sum = 0.0;
+  for (unsigned i = 0; i < samples; ++i) {
+    auto p = monitor_driver_->read_power();
+    if (!p.is_ok()) return p.status();
+    sum += p.value().value;
+  }
+  return Watts{sum / samples};
+}
+
+void Vcu128Board::set_active_ports(unsigned count) {
+  HBMVOLT_REQUIRE(count <= total_ports(), "more ports than exist");
+  // Spread enabled ports evenly: fill stacks round-robin so 16 active
+  // ports engage 8 PCs on each stack.
+  const unsigned stacks = config_.geometry.stacks;
+  std::vector<unsigned> per_stack(stacks, 0);
+  for (unsigned i = 0; i < count; ++i) ++per_stack[i % stacks];
+  for (unsigned s = 0; s < stacks; ++s) {
+    controllers_[s]->set_enabled_count(per_stack[s]);
+  }
+  rail_->set_utilization(utilization());
+}
+
+unsigned Vcu128Board::active_ports() const {
+  unsigned count = 0;
+  for (const auto& controller : controllers_) {
+    count += controller->enabled_ports();
+  }
+  return count;
+}
+
+double Vcu128Board::utilization() const {
+  return static_cast<double>(active_ports()) /
+         static_cast<double>(total_ports());
+}
+
+std::vector<axi::RunResult> Vcu128Board::run_traffic(
+    const axi::TgCommand& command) {
+  std::vector<axi::RunResult> results;
+  results.reserve(controllers_.size());
+  SimTime elapsed = 0;
+  for (auto& controller : controllers_) {
+    axi::RunResult result = controller->run(command);
+    // The stacks run concurrently: wall-clock is the slower one, not the
+    // sum, and rail energy integrates over that shared interval.
+    elapsed = std::max(elapsed, result.elapsed);
+    results.push_back(std::move(result));
+  }
+  rail_->advance(to_seconds(elapsed));
+  return results;
+}
+
+bool Vcu128Board::responding() const {
+  for (const auto& stack : stacks_) {
+    if (!stack->responding()) return false;
+  }
+  return true;
+}
+
+Status Vcu128Board::power_cycle() {
+  HBMVOLT_LOG_INFO("power-cycling VCC_HBM");
+  HBMVOLT_RETURN_IF_ERROR(bus_.write_byte(
+      config_.regulator_config.address,
+      static_cast<std::uint8_t>(pmbus::Command::kOperation), 0x00));
+  HBMVOLT_RETURN_IF_ERROR(regulator_driver_->clear_faults());
+  // Re-command nominal voltage while the output is still off: coming back
+  // up at a stale undervolted setpoint would crash the stacks again.
+  HBMVOLT_RETURN_IF_ERROR(
+      regulator_driver_->set_vout(config_.regulator_config.vout_default));
+  return bus_.write_byte(config_.regulator_config.address,
+                         static_cast<std::uint8_t>(pmbus::Command::kOperation),
+                         pmbus::kOperationOn);
+}
+
+}  // namespace hbmvolt::board

@@ -1,0 +1,131 @@
+// The full test platform: a behavioral model of the Xilinx VCU128 board
+// as the paper's experiments see it.
+//
+//   host (this API / the core:: experiment drivers)
+//     | PMBus
+//     +-- ISL68301 regulator  ----> VCC_HBM rail ----> 2x HbmStack
+//     +-- INA226 power monitor <--- senses the rail
+//     |
+//     +-- 2x StackController, each with 16 AXI traffic generators
+//
+// The board wires the regulator's output to the fault injector and both
+// stacks, the rail's load model back to the regulator, and the INA226's
+// probe to the rail -- so setting a voltage over PMBus changes fault
+// behavior, and reading power goes through real register math.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "axi/controller.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/ip_registers.hpp"
+#include "hbm/stack.hpp"
+#include "pmbus/bus.hpp"
+#include "pmbus/isl68301.hpp"
+#include "power/rail.hpp"
+#include "sensors/ina226.hpp"
+
+namespace hbmvolt::board {
+
+struct BoardConfig {
+  hbm::HbmGeometry geometry = hbm::HbmGeometry::simulation_default();
+  faults::FaultModelConfig fault_config;
+  faults::WeakCellConfig weak_config;
+  power::PowerModelConfig power_config;
+  power::Isl68301::Config regulator_config;
+  sensors::Ina226::Config monitor_config;
+  Hertz axi_clock{axi::TrafficGenerator::kDefaultClockHz};
+  double port_efficiency = axi::TrafficGenerator::kDefaultEfficiency;
+  /// Full-scale current for INA226 calibration.
+  double monitor_max_amps = 40.0;
+  std::uint64_t seed = 0xB0A2D;
+};
+
+class Vcu128Board {
+ public:
+  explicit Vcu128Board(BoardConfig config = {});
+
+  // Non-copyable, non-movable: peripherals hold references into the board.
+  Vcu128Board(const Vcu128Board&) = delete;
+  Vcu128Board& operator=(const Vcu128Board&) = delete;
+
+  [[nodiscard]] const BoardConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const hbm::HbmGeometry& geometry() const noexcept {
+    return config_.geometry;
+  }
+
+  // Component access.
+  [[nodiscard]] pmbus::Bus& bus() noexcept { return bus_; }
+  [[nodiscard]] power::Isl68301Driver& regulator() noexcept {
+    return *regulator_driver_;
+  }
+  [[nodiscard]] sensors::Ina226Driver& power_monitor() noexcept {
+    return *monitor_driver_;
+  }
+  [[nodiscard]] hbm::HbmStack& stack(unsigned index);
+  [[nodiscard]] axi::StackController& controller(unsigned index);
+  /// APB register interface of a stack's HBM IP core.
+  [[nodiscard]] hbm::HbmIpCore& ip_core(unsigned index);
+  [[nodiscard]] faults::FaultInjector& injector() noexcept {
+    return *injector_;
+  }
+  [[nodiscard]] power::PowerRail& rail() noexcept { return *rail_; }
+  [[nodiscard]] const power::PowerModel& power_model() const noexcept {
+    return rail_->model();
+  }
+
+  // ---- Host-level operations the experiments use ----
+
+  /// Commands VCC_HBM over PMBus.  The regulator's UV fault limit is
+  /// lowered during board bring-up, so any voltage down to 0 V is allowed.
+  Status set_hbm_voltage(Millivolts v);
+  [[nodiscard]] Millivolts hbm_voltage() const;
+
+  /// Reads the rail power from the INA226 (register path: quantization
+  /// and measurement noise included).
+  Result<Watts> measure_power();
+  /// Averages `samples` INA226 readings.
+  Result<Watts> measure_power_averaged(unsigned samples);
+
+  /// Enables `count` of the 32 AXI ports (spread evenly across stacks)
+  /// and updates the rail's bandwidth utilization accordingly.
+  void set_active_ports(unsigned count);
+  [[nodiscard]] unsigned active_ports() const;
+  [[nodiscard]] unsigned total_ports() const noexcept {
+    return config_.geometry.total_pcs();
+  }
+  /// Utilization = active ports / total ports.
+  [[nodiscard]] double utilization() const;
+
+  /// Broadcasts a macro command to the enabled ports of both stacks;
+  /// returns combined per-run results (index 0 = stack 0).
+  std::vector<axi::RunResult> run_traffic(const axi::TgCommand& command);
+
+  /// True while every stack responds.
+  [[nodiscard]] bool responding() const;
+
+  /// Power-down / restart: OPERATION off then on via PMBus, which clears
+  /// a crash (contents are lost).  Restores the previous voltage? No --
+  /// the regulator comes back at its default (nominal) voltage, matching
+  /// a real power cycle.
+  Status power_cycle();
+
+ private:
+  BoardConfig config_;
+  pmbus::Bus bus_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<power::PowerRail> rail_;
+  std::unique_ptr<power::Isl68301> regulator_;
+  std::unique_ptr<sensors::Ina226> monitor_;
+  std::unique_ptr<power::Isl68301Driver> regulator_driver_;
+  std::unique_ptr<sensors::Ina226Driver> monitor_driver_;
+  std::vector<std::unique_ptr<hbm::HbmStack>> stacks_;
+  std::vector<std::unique_ptr<axi::StackController>> controllers_;
+  std::vector<std::unique_ptr<hbm::HbmIpCore>> ip_cores_;
+};
+
+}  // namespace hbmvolt::board

@@ -1,0 +1,29 @@
+// Minimal leveled logging to stderr.  The experiment drivers use INFO for
+// sweep progress; the library itself stays quiet below WARN by default.
+
+#pragma once
+
+#include <string_view>
+
+namespace hbmvolt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style logging.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define HBMVOLT_LOG_DEBUG(...) \
+  ::hbmvolt::log_message(::hbmvolt::LogLevel::kDebug, __VA_ARGS__)
+#define HBMVOLT_LOG_INFO(...) \
+  ::hbmvolt::log_message(::hbmvolt::LogLevel::kInfo, __VA_ARGS__)
+#define HBMVOLT_LOG_WARN(...) \
+  ::hbmvolt::log_message(::hbmvolt::LogLevel::kWarn, __VA_ARGS__)
+#define HBMVOLT_LOG_ERROR(...) \
+  ::hbmvolt::log_message(::hbmvolt::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace hbmvolt

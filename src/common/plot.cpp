@@ -1,0 +1,91 @@
+#include "common/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace hbmvolt {
+
+void AsciiChart::add_series(char marker, std::vector<Point> points) {
+  series_.push_back({marker, std::move(points)});
+}
+
+double AsciiChart::transform_y(double y) const {
+  if (!options_.y_log) return y;
+  return std::log10(std::max(y, options_.log_floor));
+}
+
+std::string AsciiChart::render() const {
+  HBMVOLT_REQUIRE(options_.width >= 8 && options_.height >= 4,
+                  "chart area too small");
+  // Establish ranges over all drawable points.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  std::size_t drawable = 0;
+  for (const auto& series : series_) {
+    for (const auto& point : series.points) {
+      if (options_.y_log && point.y <= 0.0) continue;
+      x_min = std::min(x_min, point.x);
+      x_max = std::max(x_max, point.x);
+      const double ty = transform_y(point.y);
+      y_min = std::min(y_min, ty);
+      y_max = std::max(y_max, ty);
+      ++drawable;
+    }
+  }
+  if (drawable == 0) return "(no data)\n";
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  // Grid, row 0 = top.
+  std::vector<std::string> grid(options_.height,
+                                std::string(options_.width, ' '));
+  for (const auto& series : series_) {
+    for (const auto& point : series.points) {
+      if (options_.y_log && point.y <= 0.0) continue;
+      const double fx = (point.x - x_min) / (x_max - x_min);
+      const double fy = (transform_y(point.y) - y_min) / (y_max - y_min);
+      const auto column = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(options_.width - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::lround(fy * static_cast<double>(options_.height - 1)));
+      grid[options_.height - 1 - row_from_bottom][column] = series.marker;
+    }
+  }
+
+  // Y tick labels: top, middle, bottom (undo the log transform).
+  const auto y_label_at = [&](double fraction) {
+    const double ty = y_min + fraction * (y_max - y_min);
+    const double y = options_.y_log ? std::pow(10.0, ty) : ty;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%9.3g", y);
+    return std::string(buf);
+  };
+
+  std::ostringstream os;
+  if (!options_.y_label.empty()) os << options_.y_label << '\n';
+  for (std::size_t row = 0; row < options_.height; ++row) {
+    std::string label(9, ' ');
+    if (row == 0) label = y_label_at(1.0);
+    if (row == options_.height / 2) label = y_label_at(0.5);
+    if (row == options_.height - 1) label = y_label_at(0.0);
+    os << label << " |" << grid[row] << '\n';
+  }
+  os << std::string(9, ' ') << " +" << std::string(options_.width, '-')
+     << '\n';
+  char x_line[96];
+  std::snprintf(x_line, sizeof(x_line), "%-.4g%*s%.4g", x_min,
+                static_cast<int>(options_.width) - 6, "", x_max);
+  os << std::string(11, ' ') << x_line;
+  if (!options_.x_label.empty()) os << "  " << options_.x_label;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace hbmvolt

@@ -1,0 +1,57 @@
+// Terminal line-chart renderer for the figure benches: draws multiple
+// series on an ASCII grid with linear or log10 y-axes, so the bench
+// output shows the *shape* of each paper figure, not just its table.
+//
+//   AsciiChart chart({.width = 60, .height = 16, .y_log = true});
+//   chart.add_series('0', fig4_hbm0);   // vector<(x, y)>
+//   chart.add_series('1', fig4_hbm1);
+//   std::cout << chart.render();
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hbmvolt {
+
+struct ChartOptions {
+  std::size_t width = 64;    // plot-area columns
+  std::size_t height = 16;   // plot-area rows
+  bool y_log = false;        // log10 y-axis (zero/negative values dropped)
+  /// Floor for the log axis (values below clamp to it).
+  double log_floor = 1e-12;
+  std::string x_label;
+  std::string y_label;
+};
+
+class AsciiChart {
+ public:
+  explicit AsciiChart(ChartOptions options) : options_(options) {}
+
+  struct Point {
+    double x;
+    double y;
+  };
+
+  /// Adds a series drawn with `marker`.  Series are drawn in insertion
+  /// order; later series overdraw earlier ones where they collide.
+  void add_series(char marker, std::vector<Point> points);
+
+  /// Renders the grid with y-axis tick labels on the left and the x
+  /// range on the bottom line.  Empty charts render a placeholder.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    char marker;
+    std::vector<Point> points;
+  };
+
+  [[nodiscard]] double transform_y(double y) const;
+
+  ChartOptions options_;
+  std::vector<Series> series_;
+};
+
+}  // namespace hbmvolt

@@ -1,0 +1,61 @@
+#include "common/prp.hpp"
+
+#include "common/status.hpp"
+
+namespace hbmvolt {
+
+FeistelPermutation::FeistelPermutation(std::uint64_t n, std::uint64_t seed)
+    : n_(n) {
+  HBMVOLT_REQUIRE(n >= 1, "permutation domain must be non-empty");
+  // Smallest b with (2^b)^2 >= n; the Feistel block is 2b bits wide.
+  half_bits_ = 1;
+  while ((static_cast<std::uint64_t>(1) << (2 * half_bits_)) < n_ &&
+         half_bits_ < 31) {
+    ++half_bits_;
+  }
+  half_mask_ = (static_cast<std::uint64_t>(1) << half_bits_) - 1;
+  for (int r = 0; r < kRounds; ++r) {
+    round_keys_[r] = mix_seed(seed, static_cast<std::uint64_t>(r) + 1);
+  }
+}
+
+std::uint64_t FeistelPermutation::permute_once(std::uint64_t x) const noexcept {
+  std::uint64_t left = x >> half_bits_;
+  std::uint64_t right = x & half_mask_;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t f = splitmix64(right ^ round_keys_[r]) & half_mask_;
+    const std::uint64_t next_right = left ^ f;
+    left = right;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t FeistelPermutation::unpermute_once(std::uint64_t y) const noexcept {
+  std::uint64_t left = y >> half_bits_;
+  std::uint64_t right = y & half_mask_;
+  for (int r = kRounds - 1; r >= 0; --r) {
+    const std::uint64_t prev_right = left;
+    const std::uint64_t f = splitmix64(prev_right ^ round_keys_[r]) & half_mask_;
+    const std::uint64_t prev_left = right ^ f;
+    left = prev_left;
+    right = prev_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t FeistelPermutation::forward(std::uint64_t x) const noexcept {
+  // Cycle-walk until the image lands back inside [0, n).  The expected
+  // number of iterations is domain/n < 4.
+  std::uint64_t y = permute_once(x);
+  while (y >= n_) y = permute_once(y);
+  return y;
+}
+
+std::uint64_t FeistelPermutation::inverse(std::uint64_t y) const noexcept {
+  std::uint64_t x = unpermute_once(y);
+  while (x >= n_) x = unpermute_once(x);
+  return x;
+}
+
+}  // namespace hbmvolt

@@ -1,0 +1,44 @@
+// Pseudo-random permutation (PRP) over an arbitrary-size index domain.
+//
+// The fault model needs a deterministic bijection rank <-> cell so that the
+// set of faulty cells at any voltage is "the cells with rank < k": monotone
+// in k, O(1) membership, O(k) enumeration, and reproducible from a seed
+// without materializing per-cell state.  We build the PRP as a balanced
+// Feistel network over the smallest power-of-4 domain covering [0, n),
+// using cycle-walking to restrict it to [0, n).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace hbmvolt {
+
+/// Deterministic bijection on [0, n).  Copyable, O(1) storage.
+class FeistelPermutation {
+ public:
+  /// Builds a permutation of [0, n) keyed by `seed`.  n must be >= 1.
+  FeistelPermutation(std::uint64_t n, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+
+  /// Forward mapping; input must be < size().
+  [[nodiscard]] std::uint64_t forward(std::uint64_t x) const noexcept;
+
+  /// Inverse mapping; input must be < size().
+  [[nodiscard]] std::uint64_t inverse(std::uint64_t y) const noexcept;
+
+ private:
+  static constexpr int kRounds = 6;
+
+  [[nodiscard]] std::uint64_t permute_once(std::uint64_t x) const noexcept;
+  [[nodiscard]] std::uint64_t unpermute_once(std::uint64_t y) const noexcept;
+
+  std::uint64_t n_ = 1;
+  int half_bits_ = 1;          // bits per Feistel half
+  std::uint64_t half_mask_ = 1;
+  std::uint64_t round_keys_[kRounds] = {};
+};
+
+}  // namespace hbmvolt

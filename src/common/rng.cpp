@@ -1,0 +1,33 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace hbmvolt {
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::normal() noexcept {
+  // Box-Muller; discard the second variate to keep the generator stateless
+  // with respect to call parity.
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+}  // namespace hbmvolt

@@ -1,0 +1,85 @@
+// Deterministic random number generation.
+//
+// Every stochastic aspect of the model (process-variation lot, weak-cell
+// placement, measurement noise) derives from a single device seed so that
+// experiments are exactly reproducible.  We use SplitMix64 for hashing /
+// stream-splitting and xoshiro256** for bulk generation -- both are public
+// domain algorithms (Blackman & Vigna) re-implemented here.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hbmvolt {
+
+/// One step of the SplitMix64 sequence starting at `x`.  Also usable as a
+/// strong 64-bit mix/hash function.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash-combine for deriving independent sub-streams: seed -> (seed, key).
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t key) noexcept {
+  return splitmix64(seed ^ (0x9E3779B97F4A7C15ULL + key * 0xD1342543DE82EF95ULL));
+}
+
+/// xoshiro256** 1.0 -- fast, high-quality 64-bit generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    // Seed the state via SplitMix64 per the authors' recommendation.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call; simple & adequate).
+  double normal() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hbmvolt

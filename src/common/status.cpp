@@ -1,0 +1,28 @@
+#include "common/status.hpp"
+
+namespace hbmvolt {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{hbmvolt::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hbmvolt

@@ -1,0 +1,141 @@
+// Lightweight error-handling vocabulary for the hbmvolt library.
+//
+// The hardware-facing layers (PMBus transactions, AXI traffic, HBM stack
+// access) can fail at runtime for reasons that are part of the modelled
+// behavior -- a NACKed bus address, a PEC mismatch, a crashed HBM stack.
+// Those paths return `Status` / `Result<T>` instead of throwing so callers
+// can treat device failure as data (the paper's experiments *depend* on
+// observing failures).  Programming errors (bad geometry, out-of-range
+// indices) are still hard failures via HBMVOLT_REQUIRE.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hbmvolt {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed a value outside the modelled range
+  kOutOfRange,        // address/index beyond the configured geometry
+  kUnavailable,       // device not responding (e.g. crashed HBM stack)
+  kDataLoss,          // transfer completed but data integrity failed (PEC)
+  kFailedPrecondition,// operation not legal in current device state
+  kNotFound,          // no device at address / no such register
+  kInternal,          // invariant violation inside the model
+};
+
+/// Human-readable name of a status code ("OK", "UNAVAILABLE", ...).
+std::string_view to_string(StatusCode code) noexcept;
+
+/// A status code plus an optional context message.  Cheap to copy when OK.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "UNAVAILABLE: stack crashed".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status data_loss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+/// Value-or-status.  A minimal `expected`-style type (the toolchain's
+/// libstdc++ predates std::expected).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "hbmvolt: Result::value() on error: %s\n",
+                   status_.to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // kOk iff value_ present
+};
+
+// Precondition check for programming errors (not modelled failures).
+#define HBMVOLT_REQUIRE(cond, what)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "hbmvolt: precondition failed at %s:%d: %s\n",  \
+                   __FILE__, __LINE__, (what));                            \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+// Early-return helper for Status-returning functions.
+#define HBMVOLT_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::hbmvolt::Status status_ = (expr);          \
+    if (!status_.is_ok()) return status_;        \
+  } while (false)
+
+}  // namespace hbmvolt

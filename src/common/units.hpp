@@ -1,0 +1,115 @@
+// Strong unit types used throughout hbmvolt.
+//
+// Voltages that participate in sweeps are held as integer millivolts
+// (`Millivolts`) so that a 10 mV-step sweep from 1200 down to 810 hits each
+// grid point exactly (the paper's Algorithm 1 sweeps V_nom..V_critical in
+// 10 mV steps).  Analog quantities (watts, amps, farads/second) use doubles
+// wrapped in thin tagged types to prevent accidental unit mixing.
+
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace hbmvolt {
+
+/// Integer millivolts -- exact arithmetic for voltage sweep grids.
+struct Millivolts {
+  int value = 0;
+
+  constexpr Millivolts() = default;
+  constexpr explicit Millivolts(int mv) : value(mv) {}
+
+  [[nodiscard]] constexpr double volts() const { return value / 1000.0; }
+
+  friend constexpr auto operator<=>(Millivolts, Millivolts) = default;
+  friend constexpr Millivolts operator+(Millivolts a, Millivolts b) {
+    return Millivolts{a.value + b.value};
+  }
+  friend constexpr Millivolts operator-(Millivolts a, Millivolts b) {
+    return Millivolts{a.value - b.value};
+  }
+};
+
+constexpr Millivolts from_volts(double v) {
+  return Millivolts{static_cast<int>(v * 1000.0 + (v >= 0 ? 0.5 : -0.5))};
+}
+
+namespace detail {
+
+/// CRTP-free tagged double.  Each Tag instantiation is a distinct type.
+template <typename Tag>
+struct Quantity {
+  double value = 0.0;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value + b.value};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value - b.value};
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.value * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{a.value * s};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.value / s};
+  }
+  /// Ratio of two like quantities is a plain double.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value / b.value;
+  }
+};
+
+struct WattsTag {};
+struct AmpsTag {};
+struct OhmsTag {};
+struct HertzTag {};
+struct SecondsTag {};
+struct JoulesTag {};
+struct GigabytesPerSecondTag {};
+struct CelsiusTag {};
+
+}  // namespace detail
+
+using Watts = detail::Quantity<detail::WattsTag>;
+using Amps = detail::Quantity<detail::AmpsTag>;
+using Ohms = detail::Quantity<detail::OhmsTag>;
+using Hertz = detail::Quantity<detail::HertzTag>;
+using Seconds = detail::Quantity<detail::SecondsTag>;
+using Joules = detail::Quantity<detail::JoulesTag>;
+using GigabytesPerSecond = detail::Quantity<detail::GigabytesPerSecondTag>;
+using Celsius = detail::Quantity<detail::CelsiusTag>;
+
+/// P = V * I (V given in millivolts).
+constexpr Watts power_from(Millivolts v, Amps i) {
+  return Watts{v.volts() * i.value};
+}
+
+/// I = P / V.
+constexpr Amps current_from(Watts p, Millivolts v) {
+  return Amps{p.value / v.volts()};
+}
+
+/// E = P * t.
+constexpr Joules energy_from(Watts p, Seconds t) {
+  return Joules{p.value * t.value};
+}
+
+/// Simulation timestamps in picoseconds (64-bit: ~213 days of sim time).
+using SimTime = std::uint64_t;
+
+constexpr SimTime kPicosPerSecond = 1'000'000'000'000ULL;
+
+constexpr Seconds to_seconds(SimTime t) {
+  return Seconds{static_cast<double>(t) / static_cast<double>(kPicosPerSecond)};
+}
+
+}  // namespace hbmvolt

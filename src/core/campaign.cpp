@@ -1,0 +1,133 @@
+#include "core/campaign.hpp"
+
+#include <climits>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace hbmvolt::core {
+
+HeadlineNumbers collect_headline_numbers(const faults::FaultMap& map,
+                                         const PowerCharacterization& power,
+                                         Millivolts v_nom) {
+  HeadlineNumbers numbers;
+  numbers.guardband = analyze_guardband(map, v_nom);
+  numbers.stack_variation = analyze_stack_variation(map);
+  numbers.pattern_variation = analyze_pattern_variation(map);
+
+  if (!power.series.empty()) {
+    const auto& full = power.series.back();
+    // Snap landmark voltages to the nearest measured grid point so coarse
+    // power sweeps still yield headline numbers.
+    const auto nearest = [&full](Millivolts target) -> Millivolts {
+      Millivolts best{0};
+      int distance = INT_MAX;
+      for (const Millivolts v : full.voltages) {
+        const int d = std::abs(v.value - target.value);
+        if (d < distance) {
+          distance = d;
+          best = v;
+        }
+      }
+      return best;
+    };
+    numbers.savings_at_vmin =
+        power.savings_factor(full, nearest(numbers.guardband.v_min))
+            .value_or(0.0);
+    const Millivolts near_850 = nearest(Millivolts{850});
+    numbers.savings_at_850mv =
+        power.savings_factor(full, near_850).value_or(0.0);
+    const auto idle_nominal = power.series.front().power_at(v_nom);
+    if (idle_nominal.has_value() && power.reference.value > 0) {
+      numbers.idle_fraction = idle_nominal->value / power.reference.value;
+    }
+    for (std::size_t i = 0; i < full.voltages.size(); ++i) {
+      if (full.voltages[i] == near_850) {
+        numbers.alpha_drop_at_850mv =
+            1.0 - power.alpha_clf_normalized(full, i);
+      }
+    }
+  }
+  return numbers;
+}
+
+Campaign::Campaign(board::Vcu128Board& board, CampaignConfig config)
+    : board_(board), config_(std::move(config)) {}
+
+Result<CampaignResult> Campaign::run() {
+  HBMVOLT_LOG_INFO("campaign: reliability sweep (Algorithm 1)");
+  ReliabilityTester tester(board_, config_.reliability);
+  auto map = tester.run();
+  if (!map.is_ok()) return map.status();
+
+  HBMVOLT_LOG_INFO("campaign: power sweep");
+  PowerCharacterizer characterizer(board_, config_.power);
+  auto power = characterizer.run();
+  if (!power.is_ok()) return power.status();
+
+  const Millivolts v_nom = board_.config().regulator_config.vout_default;
+
+  CampaignResult result{
+      /*guardband=*/analyze_guardband(map.value(), v_nom),
+      /*headline=*/
+      collect_headline_numbers(map.value(), power.value(), v_nom),
+      /*fault_map=*/std::move(map).value(),
+      /*power=*/std::move(power).value(),
+      /*tradeoff_points=*/{},
+      /*files_written=*/{}};
+  // The analyzer must reference the map's final home (result.fault_map),
+  // not the moved-from local.
+  TradeoffAnalyzer analyzer(result.fault_map, v_nom, &board_.power_model());
+  result.tradeoff_points = analyzer.analyze(config_.tradeoff);
+
+  if (!config_.dry_run) {
+    HBMVOLT_RETURN_IF_ERROR(write_artifacts(result));
+  }
+  return result;
+}
+
+Status Campaign::write_artifacts(CampaignResult& result) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(config_.output_dir, ec);
+  if (ec) {
+    return unavailable("cannot create output directory: " + ec.message());
+  }
+
+  const auto write_file = [&](const std::string& name,
+                              const std::string& content) -> Status {
+    const fs::path path = fs::path(config_.output_dir) / name;
+    std::ofstream out(path);
+    if (!out) return unavailable("cannot open " + path.string());
+    out << content;
+    if (!out.good()) return unavailable("write failed: " + path.string());
+    result.files_written.push_back(path.string());
+    return Status::ok();
+  };
+
+  HBMVOLT_RETURN_IF_ERROR(write_file("fig2.csv", to_csv_fig2(result.power)));
+  HBMVOLT_RETURN_IF_ERROR(
+      write_file("fig4.csv", to_csv_fig4(result.fault_map)));
+  HBMVOLT_RETURN_IF_ERROR(
+      write_file("fig5.csv", to_csv_fig5(result.fault_map)));
+  HBMVOLT_RETURN_IF_ERROR(write_file(
+      "fig6.csv", to_csv_fig6(result.tradeoff_points, config_.tradeoff)));
+
+  std::string summary;
+  summary += render_headline(result.headline);
+  summary += "\n";
+  summary += render_fig2(result.power);
+  summary += "\n";
+  summary += render_fig3(result.power);
+  summary += "\n";
+  summary += render_fig4(result.fault_map);
+  summary += "\n";
+  summary += render_fig5(result.fault_map, 20);
+  summary += "\n";
+  summary += render_fig6(result.tradeoff_points, config_.tradeoff);
+  return write_file("summary.txt", summary);
+}
+
+}  // namespace hbmvolt::core

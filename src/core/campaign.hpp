@@ -1,0 +1,70 @@
+// Full characterization campaign: everything the paper measured, in one
+// call, with all artifacts written to a directory.
+//
+//   reliability sweep (Algorithm 1)  -> fig4.csv, fig5.csv
+//   power sweep (5 utilizations)     -> fig2.csv (incl. Fig 3 columns)
+//   trade-off analysis               -> fig6.csv
+//   guardband + variation analyses   -> summary.txt (headline table +
+//                                       ASCII renderings of every figure)
+//
+// This is the entry point a lab would actually run against a new board
+// revision; examples/full_characterization.cpp drives it.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "core/fault_characterizer.hpp"
+#include "core/guardband.hpp"
+#include "core/power_characterizer.hpp"
+#include "core/reliability_tester.hpp"
+#include "core/report.hpp"
+#include "core/tradeoff.hpp"
+
+namespace hbmvolt::core {
+
+struct CampaignConfig {
+  std::string output_dir = "artifacts";
+  ReliabilityConfig reliability{
+      .sweep = {Millivolts{1200}, Millivolts{800}, 10},
+      .batch_size = 2,
+      .crash_policy = CrashPolicy::kPowerCycleAndContinue};
+  PowerSweepConfig power{.sweep = {Millivolts{1200}, Millivolts{810}, 10},
+                         .samples = 8,
+                         .traffic_beats = 32};
+  TradeoffConfig tradeoff{};
+  /// Skip writing files (analyses only).
+  bool dry_run = false;
+};
+
+struct CampaignResult {
+  GuardbandResult guardband;
+  HeadlineNumbers headline;
+  faults::FaultMap fault_map;
+  PowerCharacterization power;
+  std::vector<TradeoffPoint> tradeoff_points;
+  std::vector<std::string> files_written;
+};
+
+/// Collects the headline table from a finished fault map + power sweep
+/// (shared by the campaign, the table bench, and tests).
+[[nodiscard]] HeadlineNumbers collect_headline_numbers(
+    const faults::FaultMap& map, const PowerCharacterization& power,
+    Millivolts v_nom);
+
+class Campaign {
+ public:
+  Campaign(board::Vcu128Board& board, CampaignConfig config);
+
+  Result<CampaignResult> run();
+
+ private:
+  Status write_artifacts(CampaignResult& result) const;
+
+  board::Vcu128Board& board_;
+  CampaignConfig config_;
+};
+
+}  // namespace hbmvolt::core

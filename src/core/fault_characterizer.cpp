@@ -1,0 +1,90 @@
+#include "core/fault_characterizer.hpp"
+
+namespace hbmvolt::core {
+
+StackVariation analyze_stack_variation(const faults::FaultMap& map) {
+  StackVariation out;
+  HBMVOLT_REQUIRE(map.geometry().stacks == 2,
+                  "stack variation analysis expects two stacks");
+
+  // Decide which stack is better (lower average rate), then express the
+  // gap relative to the worse stack.
+  double sum0 = 0.0;
+  double sum1 = 0.0;
+  for (const Millivolts v : map.voltages()) {
+    sum0 += map.stack_record(v, 0).rate();
+    sum1 += map.stack_record(v, 1).rate();
+  }
+  out.better_stack = sum0 <= sum1 ? 0 : 1;
+  out.worse_stack = 1 - out.better_stack;
+
+  double gap_sum = 0.0;
+  for (const Millivolts v : map.voltages()) {
+    const double better = map.stack_record(v, out.better_stack).rate();
+    const double worse = map.stack_record(v, out.worse_stack).rate();
+    // Compare only in the interesting regime: both faulty, neither
+    // saturated (at 100% both stacks are identical by definition).
+    if (worse <= 0.0 || better <= 0.0 || worse >= 0.999) continue;
+    gap_sum += (worse - better) / worse;
+    ++out.samples;
+  }
+  if (out.samples > 0) out.average_gap = gap_sum / out.samples;
+  return out;
+}
+
+PatternVariation analyze_pattern_variation(const faults::FaultMap& map) {
+  PatternVariation out;
+  // "Average rate" compares the mean of each direction's rate over the
+  // faulty voltage range (the paper's 21% figure); the high-fault-count
+  // region dominates, as it dominates any application's exposure.
+  double sum_1to0 = 0.0;
+  double sum_0to1 = 0.0;
+  for (const Millivolts v : map.voltages()) {  // descending
+    const auto record = map.device_record(v);
+    if (record.flips_1to0 > 0 && !out.first_1to0.has_value()) {
+      out.first_1to0 = v;
+    }
+    if (record.flips_0to1 > 0 && !out.first_0to1.has_value()) {
+      out.first_0to1 = v;
+    }
+    if (record.total_flips() > 0) {
+      sum_1to0 += record.rate_1to0();
+      sum_0to1 += record.rate_0to1();
+      ++out.samples;
+    }
+  }
+  if (sum_1to0 > 0.0) out.average_0to1_excess = sum_0to1 / sum_1to0 - 1.0;
+  return out;
+}
+
+std::vector<std::optional<Millivolts>> per_pc_onsets(
+    const faults::FaultMap& map) {
+  std::vector<std::optional<Millivolts>> onsets;
+  onsets.reserve(map.geometry().total_pcs());
+  for (unsigned pc = 0; pc < map.geometry().total_pcs(); ++pc) {
+    onsets.push_back(map.observed_onset(pc));
+  }
+  return onsets;
+}
+
+FaultCharacterizer::FaultCharacterizer(board::Vcu128Board& board)
+    : board_(board) {}
+
+Result<faults::FaultMap> FaultCharacterizer::characterize(
+    const ReliabilityConfig& config) {
+  ReliabilityTester tester(board_, config);
+  return tester.run();
+}
+
+faults::ClusteringStats FaultCharacterizer::clustering(unsigned pc_global,
+                                                       Millivolts v) {
+  auto& injector = board_.injector();
+  const Millivolts restore = injector.voltage();
+  injector.set_voltage(v);
+  const auto stats =
+      analyze_clustering(board_.geometry(), injector.overlay(pc_global));
+  injector.set_voltage(restore);
+  return stats;
+}
+
+}  // namespace hbmvolt::core

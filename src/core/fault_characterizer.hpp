@@ -1,0 +1,65 @@
+// Fault characterization (paper §III-B, Figs 4 and 5): run Algorithm 1,
+// then quantify the three variation categories the paper reports --
+// across HBM chips, across pseudo-channels, and across data patterns --
+// plus the spatial clustering of faults.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "common/status.hpp"
+#include "core/reliability_tester.hpp"
+#include "faults/fault_map.hpp"
+
+namespace hbmvolt::core {
+
+/// Cross-stack variation: average relative excess of the worse stack's
+/// fault rate over the better stack's, over voltages where both are in
+/// (0, 1) (the paper reports HBM0 ~13% below HBM1).
+struct StackVariation {
+  unsigned better_stack = 0;
+  unsigned worse_stack = 1;
+  /// mean over voltages of (worse - better) / worse.
+  double average_gap = 0.0;
+  /// Number of voltages contributing.
+  unsigned samples = 0;
+};
+
+/// Data-pattern variation: onset voltages per flip direction and the
+/// average rate excess of 0->1 flips over 1->0 flips (paper: +21%).
+struct PatternVariation {
+  std::optional<Millivolts> first_1to0;
+  std::optional<Millivolts> first_0to1;
+  double average_0to1_excess = 0.0;  // mean of rate01/rate10 - 1
+  unsigned samples = 0;
+};
+
+[[nodiscard]] StackVariation analyze_stack_variation(
+    const faults::FaultMap& map);
+
+[[nodiscard]] PatternVariation analyze_pattern_variation(
+    const faults::FaultMap& map);
+
+/// Per-PC onset table (Fig 5's leftmost non-NF column per PC).
+[[nodiscard]] std::vector<std::optional<Millivolts>> per_pc_onsets(
+    const faults::FaultMap& map);
+
+class FaultCharacterizer {
+ public:
+  explicit FaultCharacterizer(board::Vcu128Board& board);
+
+  /// Runs Algorithm 1 over the full device and returns the fault map.
+  Result<faults::FaultMap> characterize(const ReliabilityConfig& config);
+
+  /// Spatial clustering of the stuck-cell population of one PC at one
+  /// voltage (white-box: reads the injector's overlay, which is exactly
+  /// the cell set the black-box test would enumerate bit-by-bit).
+  faults::ClusteringStats clustering(unsigned pc_global, Millivolts v);
+
+ private:
+  board::Vcu128Board& board_;
+};
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,43 @@
+#include "core/guardband.hpp"
+
+namespace hbmvolt::core {
+
+GuardbandResult analyze_guardband(const faults::FaultMap& map,
+                                  Millivolts v_nom) {
+  GuardbandResult result;
+  result.v_nom = v_nom;
+
+  const auto voltages = map.voltages();  // descending
+  for (const Millivolts v : voltages) {
+    const auto* observation = map.at(v);
+    if (observation == nullptr) continue;
+    if (observation->crashed) {
+      result.crash_observed = true;
+      continue;
+    }
+    result.v_critical = v;  // keeps updating: ends at the lowest survivor
+    const auto record = map.device_record(v);
+    if (record.total_flips() > 0) {
+      if (result.v_first_fault.value == 0) result.v_first_fault = v;
+    } else if (result.v_first_fault.value == 0) {
+      result.v_min = v;  // lowest fault-free voltage seen so far
+    }
+  }
+  if (result.v_min.value > 0) {
+    result.guardband_fraction =
+        static_cast<double>(v_nom.value - result.v_min.value) /
+        static_cast<double>(v_nom.value);
+  }
+  return result;
+}
+
+Result<GuardbandResult> find_guardband(board::Vcu128Board& board,
+                                       ReliabilityConfig config) {
+  ReliabilityTester tester(board, config);
+  auto map = tester.run();
+  if (!map.is_ok()) return map.status();
+  return analyze_guardband(map.value(),
+                           board.config().regulator_config.vout_default);
+}
+
+}  // namespace hbmvolt::core

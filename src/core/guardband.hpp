@@ -1,0 +1,44 @@
+// Guardband extraction (paper §I / §III-B): from a measured fault map,
+// determine V_min (the floor of the fault-free guardband region),
+// V_critical (the lowest voltage at which the device still responds), and
+// the guardband as a fraction of nominal voltage.
+
+#pragma once
+
+#include <optional>
+
+#include "board/vcu128.hpp"
+#include "common/status.hpp"
+#include "core/reliability_tester.hpp"
+#include "faults/fault_map.hpp"
+
+namespace hbmvolt::core {
+
+struct GuardbandResult {
+  Millivolts v_nom{1200};
+  /// Lowest recorded voltage with zero faults anywhere: the bottom of the
+  /// guardband region.
+  Millivolts v_min{0};
+  /// Highest recorded voltage with at least one flip (one step below
+  /// v_min); 0 if no faults were observed.
+  Millivolts v_first_fault{0};
+  /// Lowest recorded voltage at which the device still responded.
+  Millivolts v_critical{0};
+  /// Whether a crash was observed below v_critical.
+  bool crash_observed = false;
+  /// (v_nom - v_min) / v_nom.
+  double guardband_fraction = 0.0;
+};
+
+/// Derives the guardband landmarks from an existing fault map (the map
+/// must cover a descending voltage range).
+[[nodiscard]] GuardbandResult analyze_guardband(const faults::FaultMap& map,
+                                                Millivolts v_nom);
+
+/// Convenience: runs Algorithm 1 with the given config and analyzes the
+/// result.  Uses a small batch (the guardband boundary is deterministic
+/// in the model; silicon users would keep 130).
+Result<GuardbandResult> find_guardband(board::Vcu128Board& board,
+                                       ReliabilityConfig config);
+
+}  // namespace hbmvolt::core

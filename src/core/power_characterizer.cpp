@@ -1,0 +1,91 @@
+#include "core/power_characterizer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace hbmvolt::core {
+
+std::optional<Watts> PowerSeries::power_at(Millivolts v) const {
+  for (std::size_t i = 0; i < voltages.size(); ++i) {
+    if (voltages[i] == v) return power[i];
+  }
+  return std::nullopt;
+}
+
+double PowerCharacterization::normalized(const PowerSeries& s,
+                                         std::size_t i) const {
+  return reference.value > 0.0 ? s.power[i].value / reference.value : 0.0;
+}
+
+double PowerCharacterization::alpha_clf_normalized(const PowerSeries& s,
+                                                   std::size_t i) const {
+  const auto at_nom = s.power_at(v_nom);
+  if (!at_nom.has_value() || at_nom->value <= 0.0) return 0.0;
+  const double clf = s.power[i].value /
+                     (s.voltages[i].volts() * s.voltages[i].volts());
+  const double clf_nom = at_nom->value / (v_nom.volts() * v_nom.volts());
+  return clf / clf_nom;
+}
+
+std::optional<double> PowerCharacterization::savings_factor(
+    const PowerSeries& s, Millivolts v) const {
+  const auto at_nom = s.power_at(v_nom);
+  const auto at_v = s.power_at(v);
+  if (!at_nom.has_value() || !at_v.has_value() || at_v->value <= 0.0) {
+    return std::nullopt;
+  }
+  return at_nom->value / at_v->value;
+}
+
+PowerCharacterizer::PowerCharacterizer(board::Vcu128Board& board,
+                                       PowerSweepConfig config)
+    : board_(board), config_(config) {
+  HBMVOLT_REQUIRE(!config_.port_counts.empty(), "need at least one series");
+  HBMVOLT_REQUIRE(config_.samples > 0, "need at least one sample");
+}
+
+Result<PowerCharacterization> PowerCharacterizer::run() {
+  PowerCharacterization out;
+  out.v_nom = board_.config().regulator_config.vout_default;
+
+  for (const unsigned ports : config_.port_counts) {
+    PowerSeries series;
+    series.ports = ports;
+    board_.set_active_ports(ports);
+    series.utilization = board_.utilization();
+
+    VoltageSweep sweep(board_, config_.sweep, CrashPolicy::kStop);
+    Status run_status = sweep.run([&](Millivolts v) {
+      if (ports > 0 && config_.traffic_beats > 0) {
+        // Keep live transactions flowing during the measurement window.
+        axi::TgCommand command{axi::MacroOp::kWriteRead, 0,
+                               config_.traffic_beats, hbm::kBeatAllOnes,
+                               /*check=*/false};
+        board_.run_traffic(command);
+      }
+      auto power = board_.measure_power_averaged(config_.samples);
+      if (!power.is_ok()) {
+        HBMVOLT_LOG_WARN("power read failed at %d mV: %s", v.value,
+                         power.status().to_string().c_str());
+        return;
+      }
+      series.voltages.push_back(v);
+      series.power.push_back(power.value());
+    });
+    if (!run_status.is_ok()) return run_status;
+    out.series.push_back(std::move(series));
+  }
+
+  // Reference: nominal-voltage power of the series with the most ports.
+  const auto* max_series = &out.series.front();
+  for (const auto& s : out.series) {
+    if (s.ports > max_series->ports) max_series = &s;
+  }
+  if (const auto p = max_series->power_at(out.v_nom)) out.reference = *p;
+
+  board_.set_active_ports(0);
+  return out;
+}
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,68 @@
+// Power measurement experiments (paper §II-C.1 and §III-A, Figs 2 and 3):
+// sweep VCC_HBM while running traffic at several bandwidth-utilization
+// rates (by enabling subsets of the 32 AXI ports) and record INA226 power
+// readings.  Derived quantities: normalized power (Fig 2), normalized
+// alpha*C_L*f = P/V^2 (Fig 3), and savings factors at the paper's
+// landmark voltages.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "common/status.hpp"
+#include "core/voltage_sweep.hpp"
+
+namespace hbmvolt::core {
+
+struct PowerSweepConfig {
+  SweepConfig sweep{};                      // 1200 -> 810, 10 mV
+  /// Port counts to measure; the paper plots 0/25/50/75/100% utilization.
+  std::vector<unsigned> port_counts = {0, 8, 16, 24, 32};
+  /// Host-side samples averaged per reading (on top of INA averaging).
+  unsigned samples = 8;
+  /// Beats of traffic run per enabled port before each reading, to put
+  /// real transactions on the wire during the measurement.
+  std::uint64_t traffic_beats = 64;
+};
+
+/// One measured series: power vs voltage at a fixed port count.
+struct PowerSeries {
+  unsigned ports = 0;
+  double utilization = 0.0;
+  std::vector<Millivolts> voltages;  // descending
+  std::vector<Watts> power;
+
+  [[nodiscard]] std::optional<Watts> power_at(Millivolts v) const;
+};
+
+struct PowerCharacterization {
+  std::vector<PowerSeries> series;
+  /// Normalization reference: power at v_nom in the highest-ports series
+  /// (the paper normalizes to 1.2 V at 310 GB/s).
+  Watts reference{0.0};
+  Millivolts v_nom{1200};
+
+  /// Fig 2 value: P(series, v) / reference.
+  [[nodiscard]] double normalized(const PowerSeries& s, std::size_t i) const;
+  /// Fig 3 value: (P/V^2) normalized to the same series' value at v_nom.
+  [[nodiscard]] double alpha_clf_normalized(const PowerSeries& s,
+                                            std::size_t i) const;
+  /// Power-savings factor P(v_nom)/P(v) within one series.
+  [[nodiscard]] std::optional<double> savings_factor(const PowerSeries& s,
+                                                     Millivolts v) const;
+};
+
+class PowerCharacterizer {
+ public:
+  PowerCharacterizer(board::Vcu128Board& board, PowerSweepConfig config);
+
+  Result<PowerCharacterization> run();
+
+ private:
+  board::Vcu128Board& board_;
+  PowerSweepConfig config_;
+};
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,89 @@
+#include "core/reliability_tester.hpp"
+
+#include "common/log.hpp"
+
+namespace hbmvolt::core {
+
+ReliabilityTester::ReliabilityTester(board::Vcu128Board& board,
+                                     ReliabilityConfig config)
+    : board_(board), config_(config) {
+  HBMVOLT_REQUIRE(config_.batch_size > 0, "batch size must be positive");
+  HBMVOLT_REQUIRE(config_.pattern_ones || config_.pattern_zeros,
+                  "at least one data pattern required");
+}
+
+Result<faults::FaultMap> ReliabilityTester::run() { return run_impl(-1); }
+
+Result<faults::FaultMap> ReliabilityTester::run_pc(unsigned pc_global) {
+  HBMVOLT_REQUIRE(pc_global < board_.geometry().total_pcs(),
+                  "PC index out of range");
+  return run_impl(static_cast<int>(pc_global));
+}
+
+Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global) {
+  faults::FaultMap map(board_.geometry());
+  const unsigned per_stack = board_.geometry().pcs_per_stack();
+
+  std::vector<axi::TgCommand> commands;
+  if (config_.pattern_ones) {
+    commands.push_back({axi::MacroOp::kWriteRead, 0, config_.mem_beats,
+                        hbm::kBeatAllOnes, true});
+  }
+  if (config_.pattern_zeros) {
+    commands.push_back({axi::MacroOp::kWriteRead, 0, config_.mem_beats,
+                        hbm::kBeatAllZeros, true});
+  }
+
+  // Whole-device runs drive every port.
+  if (only_pc_global < 0) {
+    board_.set_active_ports(board_.total_ports());
+  }
+
+  VoltageSweep sweep(board_, config_.sweep, config_.crash_policy);
+  const Status status = sweep.run(
+      [&](Millivolts v) {
+        for (unsigned b = 0; b < config_.batch_size; ++b) {
+          // Algorithm 1: reset_axi_ports() before each batch.
+          for (unsigned s = 0; s < board_.geometry().stacks; ++s) {
+            board_.controller(s).reset_ports();
+          }
+          for (const auto& command : commands) {
+            const bool ones_pattern = command.pattern == hbm::kBeatAllOnes;
+            const auto make_record = [ones_pattern](
+                                         const axi::TgStats& stats) {
+              faults::PcFaultRecord record;
+              record.bits_tested = stats.bits_checked;
+              record.flips_1to0 = stats.flips_1to0;
+              record.flips_0to1 = stats.flips_0to1;
+              (ones_pattern ? record.bits_tested_ones
+                            : record.bits_tested_zeros) = stats.bits_checked;
+              return record;
+            };
+            if (only_pc_global >= 0) {
+              const unsigned stack =
+                  static_cast<unsigned>(only_pc_global) / per_stack;
+              const unsigned local =
+                  static_cast<unsigned>(only_pc_global) % per_stack;
+              const axi::RunResult result =
+                  board_.controller(stack).run_on_port(local, command);
+              map.record(v, static_cast<unsigned>(only_pc_global),
+                         make_record(result.per_port[local]));
+            } else {
+              const auto results = board_.run_traffic(command);
+              for (unsigned s = 0; s < results.size(); ++s) {
+                for (unsigned p = 0; p < results[s].per_port.size(); ++p) {
+                  const axi::TgStats& stats = results[s].per_port[p];
+                  if (stats.bits_checked == 0) continue;
+                  map.record(v, s * per_stack + p, make_record(stats));
+                }
+              }
+            }
+          }
+        }
+      },
+      [&](Millivolts v) { map.record_crash(v); });
+  if (!status.is_ok()) return status;
+  return map;
+}
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,411 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/plot.hpp"
+#include "common/table.hpp"
+
+namespace hbmvolt::core {
+namespace {
+
+std::string format_factor(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", x);
+  return buf;
+}
+
+std::string format_volts_label(Millivolts v) {
+  return format_millivolts(v.value);
+}
+
+bool on_display_grid(Millivolts v, int step) {
+  return step <= 0 || v.value % step == 0;
+}
+
+/// Fig 5 cell: "NF" when no flip, "0%" for sub-1% rates (as in the paper),
+/// otherwise a percentage.
+std::string fig5_cell(std::uint64_t flips, double rate) {
+  if (flips == 0) return "NF";
+  const double pct = rate * 100.0;
+  if (pct < 1.0) return "0%";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", pct);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_fig2(const PowerCharacterization& data,
+                        int display_step_mv) {
+  AsciiTable table;
+  std::vector<std::string> header = {"Voltage"};
+  for (const auto& s : data.series) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%u ports (%.0f%% util)", s.ports,
+                  s.utilization * 100.0);
+    header.push_back(buf);
+  }
+  table.set_header(std::move(header));
+
+  if (!data.series.empty()) {
+    const auto& first = data.series.front();
+    for (std::size_t i = 0; i < first.voltages.size(); ++i) {
+      const Millivolts v = first.voltages[i];
+      if (!on_display_grid(v, display_step_mv)) continue;
+      std::vector<std::string> row = {format_volts_label(v)};
+      for (const auto& s : data.series) {
+        row.push_back(i < s.power.size()
+                          ? format_double(data.normalized(s, i), 3)
+                          : "-");
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::ostringstream os;
+  os << "Fig 2: HBM power vs voltage, normalized to " << "1.20V @ max "
+     << "utilization\n";
+  table.render(os);
+  return os.str();
+}
+
+std::string render_fig2_chart(const PowerCharacterization& data) {
+  ChartOptions options;
+  options.width = 60;
+  options.height = 14;
+  options.x_label = "V";
+  options.y_label = "normalized power (vs 1.20V @ max util)";
+  AsciiChart chart(options);
+  char marker = '0';
+  for (const auto& series : data.series) {
+    std::vector<AsciiChart::Point> points;
+    points.reserve(series.voltages.size());
+    for (std::size_t i = 0; i < series.voltages.size(); ++i) {
+      points.push_back(
+          {series.voltages[i].volts(), data.normalized(series, i)});
+    }
+    chart.add_series(marker, std::move(points));
+    marker = marker == '9' ? 'a' : static_cast<char>(marker + 1);
+  }
+  return chart.render();
+}
+
+std::string render_fig4_chart(const faults::FaultMap& map) {
+  ChartOptions options;
+  options.width = 60;
+  options.height = 14;
+  options.y_log = true;
+  options.log_floor = 1e-9;
+  options.x_label = "V";
+  options.y_label = "faulty fraction (log scale; zero omitted)";
+  AsciiChart chart(options);
+  for (unsigned stack = 0; stack < map.geometry().stacks; ++stack) {
+    std::vector<AsciiChart::Point> points;
+    for (const Millivolts v : map.voltages()) {
+      const auto record = map.stack_record(v, stack);
+      if (record.bits_tested == 0) continue;
+      points.push_back({v.volts(), record.rate()});
+    }
+    chart.add_series(static_cast<char>('0' + stack), std::move(points));
+  }
+  return chart.render();
+}
+
+std::string render_fig3(const PowerCharacterization& data,
+                        int display_step_mv) {
+  AsciiTable table;
+  std::vector<std::string> header = {"Voltage"};
+  for (const auto& s : data.series) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%u ports", s.ports);
+    header.push_back(buf);
+  }
+  table.set_header(std::move(header));
+
+  if (!data.series.empty()) {
+    const auto& first = data.series.front();
+    for (std::size_t i = 0; i < first.voltages.size(); ++i) {
+      const Millivolts v = first.voltages[i];
+      if (!on_display_grid(v, display_step_mv)) continue;
+      std::vector<std::string> row = {format_volts_label(v)};
+      for (const auto& s : data.series) {
+        row.push_back(i < s.power.size()
+                          ? format_double(data.alpha_clf_normalized(s, i), 3)
+                          : "-");
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::ostringstream os;
+  os << "Fig 3: normalized alpha*C_L*f (P/V^2, per-series normalization at "
+        "1.20V)\n";
+  table.render(os);
+  return os.str();
+}
+
+std::string render_fig4(const faults::FaultMap& map) {
+  AsciiTable table;
+  std::vector<std::string> header = {"Voltage"};
+  for (unsigned s = 0; s < map.geometry().stacks; ++s) {
+    header.push_back("HBM" + std::to_string(s) + " faulty fraction");
+  }
+  header.push_back("status");
+  table.set_header(std::move(header));
+
+  for (const Millivolts v : map.voltages()) {
+    std::vector<std::string> row = {format_volts_label(v)};
+    const auto* observation = map.at(v);
+    for (unsigned s = 0; s < map.geometry().stacks; ++s) {
+      const auto record = map.stack_record(v, s);
+      row.push_back(record.bits_tested == 0
+                        ? "-"
+                        : format_double(record.rate(), 3));
+    }
+    row.push_back(observation != nullptr && observation->crashed ? "CRASH"
+                                                                 : "ok");
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << "Fig 4: fraction of faulty bits per HBM stack vs voltage\n";
+  table.render(os);
+  return os.str();
+}
+
+std::string render_fig5(const faults::FaultMap& map, int display_step_mv) {
+  std::ostringstream os;
+  const unsigned total = map.geometry().total_pcs();
+
+  const auto sub_table = [&](const char* title, auto rate_of,
+                             auto flips_of) {
+    AsciiTable table;
+    std::vector<std::string> header = {"Voltage"};
+    for (unsigned pc = 0; pc < total; ++pc) {
+      header.push_back("PC" + std::to_string(pc));
+    }
+    table.set_header(std::move(header));
+    for (const Millivolts v : map.voltages()) {
+      if (!on_display_grid(v, display_step_mv)) continue;
+      const auto* observation = map.at(v);
+      if (observation == nullptr || observation->crashed) continue;
+      bool any = false;
+      std::vector<std::string> row = {format_volts_label(v)};
+      for (unsigned pc = 0; pc < total; ++pc) {
+        const auto record = map.pc_record(v, pc);
+        row.push_back(fig5_cell(flips_of(record), rate_of(record)));
+        any = any || record.bits_tested > 0;
+      }
+      if (any) table.add_row(std::move(row));
+    }
+    os << title << "\n";
+    table.render(os);
+  };
+
+  os << "Fig 5: per-PC fault rates (NF = no fault; <1% rounds to 0%)\n";
+  sub_table("  1->0 flips (all-ones pattern):",
+            [](const faults::PcFaultRecord& r) { return r.rate_1to0(); },
+            [](const faults::PcFaultRecord& r) { return r.flips_1to0; });
+  sub_table("  0->1 flips (all-zeros pattern):",
+            [](const faults::PcFaultRecord& r) { return r.rate_0to1(); },
+            [](const faults::PcFaultRecord& r) { return r.flips_0to1; });
+  return os.str();
+}
+
+std::string render_pc_heatmap(const hbm::HbmGeometry& geometry,
+                              const faults::FaultOverlay& overlay) {
+  const std::uint64_t rows = geometry.rows_per_bank();
+  const unsigned banks = geometry.banks_per_pc;
+  std::vector<std::uint32_t> counts(rows * banks, 0);
+  overlay.for_each([&](std::uint64_t bit, faults::StuckPolarity) {
+    const auto loc =
+        hbm::decompose_beat(geometry, bit / geometry.bits_per_beat);
+    ++counts[loc.row * banks + loc.bank];
+  });
+
+  const std::uint64_t bits_per_row_cell =
+      static_cast<std::uint64_t>(geometry.beats_per_row) *
+      geometry.bits_per_beat;
+  const auto glyph = [bits_per_row_cell](std::uint32_t count) -> char {
+    if (count == 0) return '.';
+    if (count >= bits_per_row_cell / 2) return '#';
+    // 1..9 on a coarse log scale.
+    int g = 1;
+    std::uint32_t threshold = 1;
+    while (g < 9 && count > threshold) {
+      threshold *= 3;
+      ++g;
+    }
+    return static_cast<char>('0' + g);
+  };
+
+  std::ostringstream os;
+  os << "rows \\ banks 0.." << banks - 1
+     << "   ('.'=clean, 1-9=log density, '#'=saturated)\n";
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    char label[24];
+    std::snprintf(label, sizeof(label), "%4llu ",
+                  static_cast<unsigned long long>(row));
+    os << label;
+    for (unsigned bank = 0; bank < banks; ++bank) {
+      os << glyph(counts[row * banks + bank]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_fig6(const std::vector<TradeoffPoint>& points,
+                        const TradeoffConfig& config) {
+  AsciiTable table;
+  std::vector<std::string> header = {"Voltage", "Savings"};
+  for (const double rate : config.tolerable_rates) {
+    header.push_back(rate <= 0.0 ? "0 (fault-free)" : format_double(rate, 2));
+  }
+  table.set_header(std::move(header));
+
+  for (const auto& point : points) {
+    std::vector<std::string> row = {format_volts_label(point.voltage),
+                                    format_factor(point.savings_factor)};
+    if (point.crashed) {
+      for (std::size_t i = 0; i < point.usable_pcs.size(); ++i) {
+        row.push_back("CRASH");
+      }
+    } else {
+      for (const unsigned count : point.usable_pcs) {
+        row.push_back(std::to_string(count));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << "Fig 6: usable PCs per tolerable fault rate vs voltage\n";
+  table.render(os);
+  return os.str();
+}
+
+std::string render_headline(const HeadlineNumbers& numbers) {
+  AsciiTable table;
+  table.set_header({"Quantity", "Paper", "This run"});
+  const auto& guardband = numbers.guardband;
+
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                guardband.guardband_fraction * 100.0);
+  table.add_row({"Voltage guardband (of nominal)", "~19%", buf});
+  table.add_row({"V_min (guardband floor)", "0.98V",
+                 format_volts_label(guardband.v_min)});
+  table.add_row({"First faulty voltage", "0.97V",
+                 format_volts_label(guardband.v_first_fault)});
+  table.add_row({"V_critical (lowest working)", "0.81V",
+                 format_volts_label(guardband.v_critical)});
+  table.add_row({"Crash below V_critical", "yes",
+                 guardband.crash_observed ? "yes" : "no"});
+  table.add_row({"Power savings at V_min", "1.5x",
+                 format_factor(numbers.savings_at_vmin)});
+  table.add_row({"Power savings at 0.85V", "2.3x",
+                 format_factor(numbers.savings_at_850mv)});
+  std::snprintf(buf, sizeof(buf), "%.2f", numbers.idle_fraction);
+  table.add_row({"Idle / full-load power", "~0.33", buf});
+  std::snprintf(buf, sizeof(buf), "%.0f%% (HBM%u better)",
+                numbers.stack_variation.average_gap * 100.0,
+                numbers.stack_variation.better_stack);
+  table.add_row({"Stack fault-rate gap", "13% (HBM0 better)", buf});
+  table.add_row(
+      {"First 1->0 flip", "0.97V",
+       numbers.pattern_variation.first_1to0.has_value()
+           ? format_volts_label(*numbers.pattern_variation.first_1to0)
+           : "none"});
+  table.add_row(
+      {"First 0->1 flip", "0.96V",
+       numbers.pattern_variation.first_0to1.has_value()
+           ? format_volts_label(*numbers.pattern_variation.first_0to1)
+           : "none"});
+  std::snprintf(buf, sizeof(buf), "+%.0f%%",
+                numbers.pattern_variation.average_0to1_excess * 100.0);
+  table.add_row({"0->1 rate excess over 1->0", "+21%", buf});
+  std::snprintf(buf, sizeof(buf), "-%.0f%%",
+                numbers.alpha_drop_at_850mv * 100.0);
+  table.add_row({"alpha*C_L*f drop at 0.85V", "-14%", buf});
+
+  std::ostringstream os;
+  os << "Headline numbers: paper vs this run\n";
+  table.render(os);
+  return os.str();
+}
+
+std::string to_csv_fig2(const PowerCharacterization& data) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"ports", "utilization", "voltage_mv", "power_w",
+                 "normalized", "alpha_clf_normalized"});
+  for (const auto& s : data.series) {
+    for (std::size_t i = 0; i < s.voltages.size(); ++i) {
+      csv.write_row({std::to_string(s.ports), format_double(s.utilization, 4),
+                     std::to_string(s.voltages[i].value),
+                     format_double(s.power[i].value, 6),
+                     format_double(data.normalized(s, i), 6),
+                     format_double(data.alpha_clf_normalized(s, i), 6)});
+    }
+  }
+  return os.str();
+}
+
+std::string to_csv_fig4(const faults::FaultMap& map) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"voltage_mv", "stack", "bits_tested", "flips_1to0",
+                 "flips_0to1", "rate", "crashed"});
+  for (const Millivolts v : map.voltages()) {
+    const auto* observation = map.at(v);
+    const bool crashed = observation != nullptr && observation->crashed;
+    for (unsigned s = 0; s < map.geometry().stacks; ++s) {
+      const auto record = map.stack_record(v, s);
+      csv.write_row({std::to_string(v.value), std::to_string(s),
+                     std::to_string(record.bits_tested),
+                     std::to_string(record.flips_1to0),
+                     std::to_string(record.flips_0to1),
+                     format_double(record.rate(), 8),
+                     crashed ? "1" : "0"});
+    }
+  }
+  return os.str();
+}
+
+std::string to_csv_fig5(const faults::FaultMap& map) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"voltage_mv", "pc", "bits_tested", "flips_1to0",
+                 "flips_0to1", "rate_1to0", "rate_0to1"});
+  for (const Millivolts v : map.voltages()) {
+    for (unsigned pc = 0; pc < map.geometry().total_pcs(); ++pc) {
+      const auto record = map.pc_record(v, pc);
+      if (record.bits_tested == 0) continue;
+      csv.write_row({std::to_string(v.value), std::to_string(pc),
+                     std::to_string(record.bits_tested),
+                     std::to_string(record.flips_1to0),
+                     std::to_string(record.flips_0to1),
+                     format_double(record.rate_1to0(), 8),
+                     format_double(record.rate_0to1(), 8)});
+    }
+  }
+  return os.str();
+}
+
+std::string to_csv_fig6(const std::vector<TradeoffPoint>& points,
+                        const TradeoffConfig& config) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"voltage_mv", "savings_factor", "tolerable_rate",
+                 "usable_pcs", "crashed"});
+  for (const auto& point : points) {
+    for (std::size_t i = 0; i < config.tolerable_rates.size(); ++i) {
+      csv.write_row({std::to_string(point.voltage.value),
+                     format_double(point.savings_factor, 4),
+                     format_double(config.tolerable_rates[i], 6),
+                     std::to_string(point.usable_pcs[i]),
+                     point.crashed ? "1" : "0"});
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hbmvolt::core

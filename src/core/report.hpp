@@ -1,0 +1,74 @@
+// Renderers that turn experiment results into the tables/series the
+// paper's figures plot (ASCII for the terminal, CSV for archiving).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fault_characterizer.hpp"
+#include "core/guardband.hpp"
+#include "core/power_characterizer.hpp"
+#include "core/tradeoff.hpp"
+#include "faults/fault_map.hpp"
+
+namespace hbmvolt::core {
+
+/// Fig 2: normalized power vs voltage, one column per utilization series.
+/// `display_step_mv` thins the rows like the paper's 50 mV display grid.
+[[nodiscard]] std::string render_fig2(const PowerCharacterization& data,
+                                      int display_step_mv = 50);
+
+/// Fig 2 as an ASCII line chart (markers 0..4 = utilization series,
+/// low to high).
+[[nodiscard]] std::string render_fig2_chart(const PowerCharacterization& data);
+
+/// Fig 4 as an ASCII chart with a log10 y-axis, the shape the paper
+/// plots: flat zero, exponential wall, saturation (markers '0'/'1' per
+/// stack).
+[[nodiscard]] std::string render_fig4_chart(const faults::FaultMap& map);
+
+/// Fig 3: normalized alpha*C_L*f vs voltage per series.
+[[nodiscard]] std::string render_fig3(const PowerCharacterization& data,
+                                      int display_step_mv = 50);
+
+/// Fig 4: fraction of faulty bits per stack vs voltage.
+[[nodiscard]] std::string render_fig4(const faults::FaultMap& map);
+
+/// Fig 5: per-PC fault percentage at each voltage, one sub-table per flip
+/// direction ("NF" = no fault, values < 1% print as 0%, like the paper).
+[[nodiscard]] std::string render_fig5(const faults::FaultMap& map,
+                                      int display_step_mv = 10);
+
+/// Spatial fault map of one PC at one voltage: banks across, rows down,
+/// one cell per (bank, row) showing stuck-cell density -- the "fault
+/// map" of the paper's title, as a picture.  Density glyphs:
+/// '.' = clean, '1'..'9' ~ log-ish counts, '#' = saturated.
+[[nodiscard]] std::string render_pc_heatmap(
+    const hbm::HbmGeometry& geometry, const faults::FaultOverlay& overlay);
+
+/// Fig 6: usable PCs vs voltage per tolerable fault rate.
+[[nodiscard]] std::string render_fig6(const std::vector<TradeoffPoint>& points,
+                                      const TradeoffConfig& config);
+
+/// Headline numbers table: paper's claim vs this run's measurement.
+struct HeadlineNumbers {
+  GuardbandResult guardband;
+  double savings_at_vmin = 0.0;    // paper: 1.5x at 0.98 V
+  double savings_at_850mv = 0.0;   // paper: 2.3x at 0.85 V
+  double idle_fraction = 0.0;      // paper: ~1/3
+  StackVariation stack_variation;  // paper: 13%
+  PatternVariation pattern_variation;  // paper: 0.97 V / 0.96 V / +21%
+  double alpha_drop_at_850mv = 0.0;    // paper: ~14%
+};
+
+[[nodiscard]] std::string render_headline(const HeadlineNumbers& numbers);
+
+/// CSV exports (one row per (series, voltage) / (voltage, pc) etc.).
+[[nodiscard]] std::string to_csv_fig2(const PowerCharacterization& data);
+[[nodiscard]] std::string to_csv_fig4(const faults::FaultMap& map);
+[[nodiscard]] std::string to_csv_fig5(const faults::FaultMap& map);
+[[nodiscard]] std::string to_csv_fig6(const std::vector<TradeoffPoint>& points,
+                                      const TradeoffConfig& config);
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,77 @@
+#include "core/tradeoff.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::core {
+
+TradeoffAnalyzer::TradeoffAnalyzer(const faults::FaultMap& map,
+                                   Millivolts v_nom,
+                                   const power::PowerModel* power_model)
+    : map_(map), v_nom_(v_nom), power_model_(power_model) {}
+
+double TradeoffAnalyzer::savings_factor(Millivolts v) const {
+  if (v.value <= 0) return 1.0;
+  if (power_model_ != nullptr) {
+    const double p_nom = power_model_->power(v_nom_, 1.0).value;
+    const double p_v = power_model_->power(v, 1.0).value;
+    return p_v > 0.0 ? p_nom / p_v : 1.0;
+  }
+  const double ratio = v_nom_.volts() / v.volts();
+  return ratio * ratio;
+}
+
+std::vector<TradeoffPoint> TradeoffAnalyzer::analyze(
+    const TradeoffConfig& config) const {
+  HBMVOLT_REQUIRE(!config.tolerable_rates.empty(), "need at least one rate");
+  std::vector<TradeoffPoint> points;
+  for (const Millivolts v : map_.voltages()) {
+    TradeoffPoint point;
+    point.voltage = v;
+    point.savings_factor = savings_factor(v);
+    const auto* observation = map_.at(v);
+    point.crashed = observation != nullptr && observation->crashed;
+    point.usable_pcs.reserve(config.tolerable_rates.size());
+    for (const double rate : config.tolerable_rates) {
+      point.usable_pcs.push_back(point.crashed ? 0 : map_.usable_pcs(v, rate));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::optional<UndervoltPlan> TradeoffAnalyzer::plan(
+    unsigned required_pcs, double tolerable_rate) const {
+  std::optional<UndervoltPlan> best;
+  for (const Millivolts v : map_.voltages()) {  // descending voltage
+    const auto* observation = map_.at(v);
+    if (observation == nullptr || observation->crashed) continue;
+
+    std::vector<unsigned> usable;
+    for (unsigned pc = 0; pc < map_.geometry().total_pcs(); ++pc) {
+      if (map_.pc_record(v, pc).rate() <= tolerable_rate) {
+        usable.push_back(pc);
+      }
+    }
+    if (usable.size() < required_pcs) continue;
+
+    // Lower voltage always saves more power, so keep overwriting: the
+    // last satisfying voltage in the descending walk wins.
+    UndervoltPlan plan;
+    plan.voltage = v;
+    plan.savings_factor = savings_factor(v);
+    plan.tolerable_rate = tolerable_rate;
+    // Keep only the required number of PCs, preferring the lowest rates.
+    std::sort(usable.begin(), usable.end(), [&](unsigned a, unsigned b) {
+      return map_.pc_record(v, a).rate() < map_.pc_record(v, b).rate();
+    });
+    usable.resize(required_pcs);
+    std::sort(usable.begin(), usable.end());
+    plan.pcs = std::move(usable);
+    best = std::move(plan);
+  }
+  return best;
+}
+
+}  // namespace hbmvolt::core

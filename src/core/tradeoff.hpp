@@ -1,0 +1,73 @@
+// The three-factor trade-off of paper §III-C / Fig 6: power savings vs
+// fault rate vs usable memory capacity.
+//
+// From a measured fault map, the analyzer reports -- for every voltage
+// and every tolerable fault rate -- how many of the 32 independently
+// controllable pseudo-channels an application can keep enabled, and the
+// power-savings factor that voltage buys.  It can also plan the deepest
+// safe operating point for an application's (capacity, tolerable-rate)
+// requirement, e.g. the paper's examples: 7 fault-free PCs at 0.95 V for
+// 1.6x savings, or half capacity at 0.90 V for ~1.8x.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "faults/fault_map.hpp"
+#include "power/power_model.hpp"
+
+namespace hbmvolt::core {
+
+struct TradeoffConfig {
+  /// Tolerable fault-rate thresholds (fractions of tested bits).  Note:
+  /// rates are relative to the *simulated* capacity; near the onset the
+  /// model reproduces absolute fault counts, so small thresholds
+  /// correspond to "a handful of faulty cells" exactly as on silicon.
+  std::vector<double> tolerable_rates = {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 0.5};
+};
+
+/// Fig 6 data for one voltage: usable-PC count per tolerable rate.
+struct TradeoffPoint {
+  Millivolts voltage{0};
+  double savings_factor = 1.0;
+  std::vector<unsigned> usable_pcs;  // parallel to tolerable_rates
+  bool crashed = false;
+};
+
+/// An operating point chosen for an application.
+struct UndervoltPlan {
+  Millivolts voltage{0};
+  double savings_factor = 1.0;
+  double tolerable_rate = 0.0;
+  std::vector<unsigned> pcs;  // global PC indices to keep enabled
+};
+
+class TradeoffAnalyzer {
+ public:
+  /// `power_model` refines the savings factor with the stuck-cell alpha
+  /// effect; pass nullptr for the pure (v_nom/v)^2 factor.
+  TradeoffAnalyzer(const faults::FaultMap& map, Millivolts v_nom,
+                   const power::PowerModel* power_model = nullptr);
+
+  /// Full Fig 6 table over every voltage in the map.
+  [[nodiscard]] std::vector<TradeoffPoint> analyze(
+      const TradeoffConfig& config) const;
+
+  /// Power-savings factor of running at v instead of v_nom (equal
+  /// utilization on both sides).
+  [[nodiscard]] double savings_factor(Millivolts v) const;
+
+  /// Deepest operating point with at least `required_pcs` PCs at or below
+  /// `tolerable_rate`; nullopt if even nominal voltage cannot satisfy it.
+  [[nodiscard]] std::optional<UndervoltPlan> plan(
+      unsigned required_pcs, double tolerable_rate) const;
+
+ private:
+  const faults::FaultMap& map_;
+  Millivolts v_nom_;
+  const power::PowerModel* power_model_;
+};
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,48 @@
+#include "core/voltage_sweep.hpp"
+
+#include "common/log.hpp"
+
+namespace hbmvolt::core {
+
+std::vector<Millivolts> sweep_grid(const SweepConfig& config) {
+  HBMVOLT_REQUIRE(config.step_mv > 0, "sweep step must be positive");
+  HBMVOLT_REQUIRE(config.start >= config.stop, "sweep must descend");
+  std::vector<Millivolts> grid;
+  for (int mv = config.start.value; mv >= config.stop.value;
+       mv -= config.step_mv) {
+    grid.push_back(Millivolts{mv});
+  }
+  return grid;
+}
+
+VoltageSweep::VoltageSweep(board::Vcu128Board& board, SweepConfig config,
+                           CrashPolicy policy)
+    : board_(board), config_(config), policy_(policy) {}
+
+Status VoltageSweep::run(const std::function<void(Millivolts)>& body,
+                         const std::function<void(Millivolts)>& on_crash) {
+  bool crashed_any = false;
+  for (const Millivolts v : sweep_grid(config_)) {
+    HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(v));
+    if (!board_.responding()) {
+      HBMVOLT_LOG_INFO("HBM crashed at %d mV", v.value);
+      crashed_any = true;
+      if (on_crash) on_crash(v);
+      if (policy_ == CrashPolicy::kStop) break;
+      HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
+      // The power cycle restored nominal voltage; continue the sweep from
+      // the next grid point (which will crash again if below critical --
+      // callers normally stop their grids at V_critical).
+      continue;
+    }
+    body(v);
+  }
+  // Restore a sane state for whatever runs next.
+  if (!board_.responding() || crashed_any) {
+    HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
+  }
+  return board_.set_hbm_voltage(
+      board_.config().regulator_config.vout_default);
+}
+
+}  // namespace hbmvolt::core

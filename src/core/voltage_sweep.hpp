@@ -1,0 +1,48 @@
+// Voltage sweep driver: walks VCC_HBM down a millivolt grid (the paper's
+// V_nom -> V_critical in 10 mV steps) and invokes a measurement body at
+// each point, handling crashes per policy.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace hbmvolt::core {
+
+struct SweepConfig {
+  Millivolts start{1200};
+  Millivolts stop{810};
+  int step_mv = 10;
+};
+
+/// Grid points from start down to stop, inclusive.
+[[nodiscard]] std::vector<Millivolts> sweep_grid(const SweepConfig& config);
+
+enum class CrashPolicy {
+  kStop,                  // abort the sweep at the first crash
+  kPowerCycleAndContinue  // record, power-cycle, keep sweeping
+};
+
+class VoltageSweep {
+ public:
+  VoltageSweep(board::Vcu128Board& board, SweepConfig config,
+               CrashPolicy policy = CrashPolicy::kStop);
+
+  /// Runs `body(v)` at every grid voltage the device survives.  When a
+  /// voltage crashes the stacks, `on_crash(v)` fires instead of body and
+  /// the policy decides whether to continue.  The board is returned to
+  /// nominal voltage afterwards (power-cycled if it crashed).
+  Status run(const std::function<void(Millivolts)>& body,
+             const std::function<void(Millivolts)>& on_crash = nullptr);
+
+ private:
+  board::Vcu128Board& board_;
+  SweepConfig config_;
+  CrashPolicy policy_;
+};
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,69 @@
+#include "dram/bank.hpp"
+
+#include <algorithm>
+
+namespace hbmvolt::dram {
+
+bool Bank::legal(Command command) const noexcept {
+  switch (command) {
+    case Command::kActivate:
+      return !active();
+    case Command::kRead:
+    case Command::kWrite:
+    case Command::kPrecharge:
+      return active();
+    case Command::kRefresh:
+      return !active();  // banks must be precharged before REF
+  }
+  return false;
+}
+
+Cycles Bank::earliest_issue(Command command) const {
+  switch (command) {
+    case Command::kActivate:
+    case Command::kRefresh:
+      return ready_act_;
+    case Command::kRead:
+    case Command::kWrite:
+      return ready_rdwr_;
+    case Command::kPrecharge:
+      return ready_pre_;
+  }
+  return 0;
+}
+
+Cycles Bank::issue(Command command, Cycles now, std::uint64_t row) {
+  HBMVOLT_REQUIRE(legal(command), "illegal DRAM command for bank state");
+  HBMVOLT_REQUIRE(now >= earliest_issue(command),
+                  "DRAM timing constraint violated");
+  const DramTimings& t = *timings_;
+  switch (command) {
+    case Command::kActivate:
+      open_row_ = row;
+      last_act_ = now;
+      ever_activated_ = true;
+      ++acts_;
+      ready_rdwr_ = now + t.t_rcd;
+      ready_pre_ = now + t.t_ras;
+      ready_act_ = now + t.t_rc;  // same-bank ACT-to-ACT
+      return now + t.t_rcd;
+    case Command::kRead:
+      ready_rdwr_ = now + t.t_ccd;
+      ready_pre_ = std::max(ready_pre_, now + t.t_rtp);
+      return now + t.burst;
+    case Command::kWrite:
+      ready_rdwr_ = now + t.t_ccd;
+      ready_pre_ = std::max(ready_pre_, now + t.burst + t.t_wr);
+      return now + t.burst;
+    case Command::kPrecharge:
+      open_row_.reset();
+      ready_act_ = std::max(ready_act_, now + t.t_rp);
+      return now + t.t_rp;
+    case Command::kRefresh:
+      ready_act_ = std::max(ready_act_, now + t.t_rfc);
+      return now + t.t_rfc;
+  }
+  return now;
+}
+
+}  // namespace hbmvolt::dram

@@ -1,0 +1,69 @@
+// One DRAM bank's state machine and timing bookkeeping.
+//
+// A bank is Idle (no open row) or Active (one open row).  Commands are
+// legal only when the bank is in the right state AND the current cycle
+// has passed every relevant timing gate; issuing a command advances the
+// gates.  This is the standard earliest-issue-time formulation used by
+// cycle-level DRAM simulators.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.hpp"
+#include "dram/timing.hpp"
+
+namespace hbmvolt::dram {
+
+enum class Command : std::uint8_t {
+  kActivate,
+  kRead,
+  kWrite,
+  kPrecharge,
+  kRefresh,  // all-bank refresh, issued at rank scope but gated per bank
+};
+
+class Bank {
+ public:
+  explicit Bank(const DramTimings& timings) : timings_(&timings) {}
+
+  [[nodiscard]] bool active() const noexcept { return open_row_.has_value(); }
+  [[nodiscard]] std::optional<std::uint64_t> open_row() const noexcept {
+    return open_row_;
+  }
+
+  /// Earliest cycle at which `command` may legally issue (for kActivate /
+  /// kRead / kWrite the caller must also respect bus/rank constraints).
+  [[nodiscard]] Cycles earliest_issue(Command command) const;
+
+  /// Whether `command` is legal *ever* in the current state (e.g. kRead
+  /// requires an open row).
+  [[nodiscard]] bool legal(Command command) const noexcept;
+
+  /// Issues the command at cycle `now` (must be >= earliest_issue and
+  /// legal); updates state and timing gates.  Returns the cycle at which
+  /// the command's data/effect completes (end of burst for RD/WR, bank
+  /// ready time for ACT/PRE/REF).
+  Cycles issue(Command command, Cycles now, std::uint64_t row = 0);
+
+  // Statistics.
+  [[nodiscard]] std::uint64_t activations() const noexcept { return acts_; }
+  [[nodiscard]] std::uint64_t row_hits() const noexcept { return row_hits_; }
+
+  void note_row_hit() noexcept { ++row_hits_; }
+
+ private:
+  const DramTimings* timings_;
+  std::optional<std::uint64_t> open_row_;
+
+  Cycles last_act_ = 0;
+  bool ever_activated_ = false;
+  Cycles ready_act_ = 0;   // earliest next ACT (tRP/tRC after PRE/ACT)
+  Cycles ready_rdwr_ = 0;  // earliest next RD/WR (tRCD after ACT, tCCD)
+  Cycles ready_pre_ = 0;   // earliest next PRE (tRAS, tWR, tRTP)
+  std::uint64_t acts_ = 0;
+  std::uint64_t row_hits_ = 0;
+};
+
+}  // namespace hbmvolt::dram

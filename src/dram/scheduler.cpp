@@ -1,0 +1,85 @@
+#include "dram/scheduler.hpp"
+
+#include <algorithm>
+
+namespace hbmvolt::dram {
+
+PcScheduler::PcScheduler(const hbm::HbmGeometry& geometry, DramTimings timings)
+    : geometry_(geometry),
+      timings_(timings),
+      next_refresh_(timings.t_refi) {
+  HBMVOLT_REQUIRE(geometry_.validate().is_ok(), "invalid geometry");
+  banks_.assign(geometry_.banks_per_pc, Bank(timings_));
+}
+
+void PcScheduler::refresh_if_due() {
+  while (now_ >= next_refresh_) {
+    // All banks must be precharged, then REF occupies the rank for tRFC.
+    Cycles ref_start = std::max(now_, next_refresh_);
+    for (auto& bank : banks_) {
+      if (bank.active()) {
+        const Cycles pre_at =
+            std::max(ref_start, bank.earliest_issue(Command::kPrecharge));
+        ref_start = std::max(ref_start, bank.issue(Command::kPrecharge, pre_at));
+      }
+    }
+    for (auto& bank : banks_) {
+      ref_start = std::max(ref_start, bank.earliest_issue(Command::kRefresh));
+    }
+    for (auto& bank : banks_) {
+      (void)bank.issue(Command::kRefresh, ref_start);
+    }
+    bus_ready_ = std::max(bus_ready_, ref_start + timings_.t_rfc);
+    now_ = std::max(now_, ref_start + timings_.t_rfc);
+    next_refresh_ += timings_.t_refi;
+    ++stats_.refreshes;
+  }
+}
+
+void PcScheduler::access(bool is_write, std::uint64_t beat) {
+  refresh_if_due();
+
+  const auto loc = hbm::decompose_beat(geometry_, beat);
+  Bank& bank = banks_[loc.bank];
+
+  // Bank preparation, scheduled eagerly against the bank's own gates
+  // (command-bus bandwidth is not the bottleneck at PC scope).
+  if (!bank.active() || *bank.open_row() != loc.row) {
+    if (bank.active()) {
+      const Cycles pre_at = bank.earliest_issue(Command::kPrecharge);
+      (void)bank.issue(Command::kPrecharge, pre_at);
+    }
+    const Cycles act_at =
+        std::max(bank.earliest_issue(Command::kActivate), rrd_gate_);
+    (void)bank.issue(Command::kActivate, act_at, loc.row);
+    rrd_gate_ = act_at + timings_.t_rrd;
+    ++stats_.row_misses;
+    ++stats_.activations;
+  } else {
+    ++stats_.row_hits;
+    bank.note_row_hit();
+  }
+
+  // Data command: bank ready, bus free, turnaround honored.
+  Cycles start =
+      std::max(bank.earliest_issue(is_write ? Command::kWrite : Command::kRead),
+               bus_ready_);
+  if (any_data_yet_ && is_write != last_was_write_) {
+    start += last_was_write_ ? timings_.t_wtr : timings_.t_rtw;
+    ++stats_.turnarounds;
+  }
+  const Cycles done = bank.issue(
+      is_write ? Command::kWrite : Command::kRead, start, loc.row);
+  bus_ready_ = done;
+  now_ = start;
+  last_was_write_ = is_write;
+  any_data_yet_ = true;
+  ++stats_.requests;
+}
+
+AccessStats PcScheduler::finish() {
+  stats_.cycles = std::max(now_, bus_ready_);
+  return stats_;
+}
+
+}  // namespace hbmvolt::dram

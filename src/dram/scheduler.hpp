@@ -1,0 +1,80 @@
+// Per-pseudo-channel DRAM command scheduler.
+//
+// Models one PC's memory controller at command granularity: open-page
+// policy, per-bank timing gates (dram/bank.hpp), a shared data bus with
+// read/write turnaround penalties, ACT-to-ACT rank constraints (tRRD),
+// and periodic all-bank refresh.  Bank preparation (PRE/ACT) is scheduled
+// eagerly -- as soon as the bank's own gates allow -- so row switches in
+// one bank hide under other banks' bursts, as in an FR-FCFS controller
+// with in-order data return.
+//
+// Used by bench/ext_timing_validation to check that the flat
+// "efficiency" factor of the AXI-level traffic generators is consistent
+// with actual DRAM timing for the paper's sequential workloads.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/bank.hpp"
+#include "dram/timing.hpp"
+#include "hbm/geometry.hpp"
+
+namespace hbmvolt::dram {
+
+struct AccessStats {
+  Cycles cycles = 0;        // makespan of the processed stream
+  std::uint64_t requests = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t turnarounds = 0;
+
+  /// Achieved bandwidth for 32 B requests.
+  [[nodiscard]] double bandwidth_gbs(const DramTimings& t) const noexcept {
+    if (cycles == 0) return 0.0;
+    const double seconds = static_cast<double>(cycles) / t.clock_hz;
+    return static_cast<double>(requests) * 32.0 / seconds / 1e9;
+  }
+  /// Fraction of cycles the data bus was transferring.
+  [[nodiscard]] double bus_utilization(const DramTimings& t) const noexcept {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(requests * t.burst) /
+           static_cast<double>(cycles);
+  }
+};
+
+class PcScheduler {
+ public:
+  PcScheduler(const hbm::HbmGeometry& geometry, DramTimings timings);
+
+  /// Processes one 32 B request (a beat read or write), in order.
+  void access(bool is_write, std::uint64_t beat);
+
+  /// Completes outstanding work and returns the final statistics.
+  [[nodiscard]] AccessStats finish();
+
+  [[nodiscard]] const AccessStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const DramTimings& timings() const noexcept {
+    return timings_;
+  }
+
+ private:
+  void refresh_if_due();
+
+  hbm::HbmGeometry geometry_;
+  DramTimings timings_;
+  std::vector<Bank> banks_;
+
+  Cycles now_ = 0;        // issue time of the most recent data command
+  Cycles bus_ready_ = 0;  // data bus free from this cycle
+  Cycles rrd_gate_ = 0;   // earliest next ACT anywhere in the rank
+  Cycles next_refresh_;
+  bool last_was_write_ = false;
+  bool any_data_yet_ = false;
+  AccessStats stats_;
+};
+
+}  // namespace hbmvolt::dram

@@ -1,0 +1,48 @@
+// HBM2 DRAM timing parameters, in memory-clock cycles.
+//
+// The paper's platform runs the HBM arrays at 900 MHz (1800 MT/s DDR,
+// §II-B).  One pseudo-channel column access moves 32 B (64-bit PC x burst
+// length 4) in 2 clock cycles.  Values below are representative HBM2
+// numbers at a 1.11 ns clock, rounded up -- close to JESD235 class
+// timings; they are configuration, not silicon truth, and the tests
+// exercise the *constraints*, not the exact figures.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace hbmvolt::dram {
+
+/// Memory-clock cycle count.
+using Cycles = std::uint64_t;
+
+struct DramTimings {
+  double clock_hz = 900e6;
+
+  Cycles burst = 2;       // BL4 on a 64-bit PC: 2 clocks per column access
+  Cycles t_rcd = 13;      // ACT -> RD/WR            (~14 ns)
+  Cycles t_rp = 13;       // PRE -> ACT              (~14 ns)
+  Cycles t_ras = 30;      // ACT -> PRE              (~33 ns)
+  Cycles t_rc = 43;       // ACT -> ACT same bank    (~47 ns)
+  Cycles t_ccd = 2;       // column-to-column (same as burst for BL4)
+  Cycles t_rrd = 4;       // ACT -> ACT different bank
+  Cycles t_wr = 14;       // end of write burst -> PRE (write recovery)
+  Cycles t_wtr = 7;       // write burst -> read command
+  Cycles t_rtw = 6;       // read burst -> write command (bus turnaround)
+  Cycles t_rtp = 4;       // read -> PRE
+  Cycles t_rfc = 234;     // refresh cycle time       (~260 ns)
+  Cycles t_refi = 3510;   // refresh interval         (~3.9 us)
+
+  [[nodiscard]] Seconds cycle_time() const noexcept {
+    return Seconds{1.0 / clock_hz};
+  }
+  /// Peak column-access bandwidth of one PC (32 B per `burst` cycles).
+  [[nodiscard]] GigabytesPerSecond peak_bandwidth() const noexcept {
+    return GigabytesPerSecond{32.0 * clock_hz /
+                              static_cast<double>(burst) / 1e9};
+  }
+};
+
+}  // namespace hbmvolt::dram

@@ -1,0 +1,80 @@
+#include "ecc/ecc_channel.hpp"
+
+#include <cstring>
+
+namespace hbmvolt::ecc {
+
+EccChannel::EccChannel(hbm::HbmStack& stack, unsigned pc_local)
+    : stack_(stack), pc_local_(pc_local) {
+  const std::uint64_t total = stack_.geometry().beats_per_pc();
+  // data + ceil(data/8) <= total, data a multiple of 8.
+  data_beats_padded_ = (total * kBeatsPerParityBeat /
+                        (kBeatsPerParityBeat + 1)) /
+                       kBeatsPerParityBeat * kBeatsPerParityBeat;
+  HBMVOLT_REQUIRE(data_beats_padded_ > 0, "PC too small for ECC layout");
+  data_beats_ = data_beats_padded_;
+  shadow_checks_.assign(data_beats_ * 4, 0);
+}
+
+Status EccChannel::write_beat(std::uint64_t beat, const hbm::Beat& data) {
+  if (beat >= data_beats_) {
+    return out_of_range("ECC data beat out of range");
+  }
+  HBMVOLT_RETURN_IF_ERROR(stack_.write_beat(pc_local_, beat, data));
+
+  // Update the shadow check bytes for this beat.
+  for (unsigned w = 0; w < 4; ++w) {
+    shadow_checks_[beat * 4 + w] = secded_encode(data[w]);
+  }
+
+  // Write the full parity beat (32 check bytes covering 8 data beats)
+  // from the shadow -- atomic with the data write, like the extra ECC
+  // devices on a DIMM.
+  const std::uint64_t group = beat / kBeatsPerParityBeat;
+  hbm::Beat parity{};
+  std::memcpy(parity.data(),
+              shadow_checks_.data() + group * kBeatsPerParityBeat * 4, 32);
+  return stack_.write_beat(pc_local_, parity_beat_of(beat), parity);
+}
+
+Result<EccChannel::ReadOutcome> EccChannel::read_beat(std::uint64_t beat) {
+  if (beat >= data_beats_) {
+    return out_of_range("ECC data beat out of range");
+  }
+  auto data = stack_.read_beat(pc_local_, beat);
+  if (!data.is_ok()) return data.status();
+  auto parity = stack_.read_beat(pc_local_, parity_beat_of(beat));
+  if (!parity.is_ok()) return parity.status();
+
+  const auto* check_bytes =
+      reinterpret_cast<const std::uint8_t*>(parity.value().data()) +
+      (beat % kBeatsPerParityBeat) * 4;
+
+  ReadOutcome outcome;
+  for (unsigned w = 0; w < 4; ++w) {
+    const DecodeResult decoded =
+        secded_decode(data.value()[w], check_bytes[w]);
+    outcome.data[w] = decoded.data;
+    ++stats_.words_read;
+    switch (decoded.status) {
+      case DecodeStatus::kClean:
+        ++stats_.words_clean;
+        break;
+      case DecodeStatus::kCorrectedData:
+        ++stats_.corrected_data;
+        ++outcome.corrected;
+        break;
+      case DecodeStatus::kCorrectedCheck:
+        ++stats_.corrected_check;
+        ++outcome.corrected;
+        break;
+      case DecodeStatus::kUncorrectable:
+        ++stats_.uncorrectable;
+        ++outcome.uncorrectable;
+        break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace hbmvolt::ecc

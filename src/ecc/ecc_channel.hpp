@@ -1,0 +1,77 @@
+// ECC-protected view of one pseudo-channel.
+//
+// Carves the PC into a data region and a parity region (8 data beats per
+// parity beat: each 256-bit data beat needs 4 SECDED check bytes).  Check
+// bytes live in the same undervolted DRAM as the data, so they suffer
+// stuck-at faults too -- matching how on-die/side-band ECC really behaves
+// under voltage underscaling.
+//
+// The channel keeps a host-side shadow of the check bytes it wrote so
+// that parity writes are atomic with data writes (no read-modify-write
+// through faulty memory); reads always fetch the *stored* (possibly
+// corrupted) check bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ecc/secded.hpp"
+#include "hbm/stack.hpp"
+
+namespace hbmvolt::ecc {
+
+struct EccStats {
+  std::uint64_t words_read = 0;
+  std::uint64_t words_clean = 0;
+  std::uint64_t corrected_data = 0;   // single-bit data errors fixed
+  std::uint64_t corrected_check = 0;  // check-bit errors (data intact)
+  std::uint64_t uncorrectable = 0;    // detected multi-bit errors
+
+  /// Residual word-error rate after correction.
+  [[nodiscard]] double uncorrectable_rate() const noexcept {
+    return words_read == 0 ? 0.0
+                           : static_cast<double>(uncorrectable) /
+                                 static_cast<double>(words_read);
+  }
+};
+
+class EccChannel {
+ public:
+  /// Beats per parity beat: 8 data beats x 4 words x 1 check byte = 32 B.
+  static constexpr std::uint64_t kBeatsPerParityBeat = 8;
+
+  EccChannel(hbm::HbmStack& stack, unsigned pc_local);
+
+  /// Usable data beats (the parity region consumes 1/9 of the PC).
+  [[nodiscard]] std::uint64_t data_beats() const noexcept {
+    return data_beats_;
+  }
+
+  Status write_beat(std::uint64_t beat, const hbm::Beat& data);
+
+  struct ReadOutcome {
+    hbm::Beat data;
+    unsigned corrected = 0;       // words corrected in this beat
+    unsigned uncorrectable = 0;   // words lost in this beat
+  };
+  Result<ReadOutcome> read_beat(std::uint64_t beat);
+
+  [[nodiscard]] const EccStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = EccStats{}; }
+
+ private:
+  [[nodiscard]] std::uint64_t parity_beat_of(std::uint64_t beat) const {
+    return data_beats_padded_ + beat / kBeatsPerParityBeat;
+  }
+
+  hbm::HbmStack& stack_;
+  unsigned pc_local_;
+  std::uint64_t data_beats_ = 0;         // exposed capacity
+  std::uint64_t data_beats_padded_ = 0;  // rounded to parity granularity
+  std::vector<std::uint8_t> shadow_checks_;  // 4 bytes per data beat
+  EccStats stats_;
+};
+
+}  // namespace hbmvolt::ecc

@@ -1,0 +1,43 @@
+// SECDED Hamming(72,64) codec: single-error-correcting, double-error-
+// detecting code over 64-bit words -- the standard DRAM-side ECC.
+//
+// The paper's related work (Salami et al., PDP'19 [57]; Chang et al. [12])
+// mitigates undervolting faults with exactly this class of code; the
+// ext_ecc_mitigation bench quantifies how much deeper SECDED lets the
+// supply voltage go on this model.
+//
+// Construction: 8 check bits; check bit i covers the data bits whose
+// 7-bit "code position" has bit i set, in the extended-Hamming layout
+// (positions 1..71 skipping powers of two for data, overall parity as
+// the 8th check bit).  Any single-bit error yields a nonzero syndrome
+// with odd overall parity (correctable); any double-bit error yields a
+// nonzero syndrome with even overall parity (detected, uncorrectable).
+
+#pragma once
+
+#include <cstdint>
+
+namespace hbmvolt::ecc {
+
+/// Result of decoding one 72-bit codeword.
+enum class DecodeStatus : std::uint8_t {
+  kClean = 0,          // syndrome zero: no error
+  kCorrectedData,      // single-bit error in the data word, corrected
+  kCorrectedCheck,     // single-bit error in the check bits, data intact
+  kUncorrectable,      // double (or worse) error detected
+};
+
+struct DecodeResult {
+  std::uint64_t data = 0;
+  DecodeStatus status = DecodeStatus::kClean;
+};
+
+/// Computes the 8 check bits for a 64-bit data word.
+[[nodiscard]] std::uint8_t secded_encode(std::uint64_t data) noexcept;
+
+/// Decodes a (data, check) pair, correcting a single-bit error anywhere
+/// in the 72-bit codeword.
+[[nodiscard]] DecodeResult secded_decode(std::uint64_t data,
+                                         std::uint8_t check) noexcept;
+
+}  // namespace hbmvolt::ecc

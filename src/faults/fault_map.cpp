@@ -1,0 +1,160 @@
+#include "faults/fault_map.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::faults {
+
+FaultMap::FaultMap(const hbm::HbmGeometry& geometry) : geometry_(geometry) {}
+
+void FaultMap::record(Millivolts v, unsigned pc_global,
+                      const PcFaultRecord& record) {
+  HBMVOLT_REQUIRE(pc_global < geometry_.total_pcs(), "PC index out of range");
+  auto& observation = observations_[v.value];
+  if (observation.pcs.empty()) {
+    observation.pcs.resize(geometry_.total_pcs());
+  }
+  observation.pcs[pc_global] += record;
+}
+
+void FaultMap::record_crash(Millivolts v) {
+  auto& observation = observations_[v.value];
+  if (observation.pcs.empty()) {
+    observation.pcs.resize(geometry_.total_pcs());
+  }
+  observation.crashed = true;
+}
+
+std::vector<Millivolts> FaultMap::voltages() const {
+  std::vector<Millivolts> out;
+  out.reserve(observations_.size());
+  for (const auto& [mv, obs] : observations_) out.push_back(Millivolts{mv});
+  return out;
+}
+
+const VoltageObservation* FaultMap::at(Millivolts v) const {
+  const auto it = observations_.find(v.value);
+  return it == observations_.end() ? nullptr : &it->second;
+}
+
+PcFaultRecord FaultMap::pc_record(Millivolts v, unsigned pc_global) const {
+  HBMVOLT_REQUIRE(pc_global < geometry_.total_pcs(), "PC index out of range");
+  const auto* observation = at(v);
+  if (observation == nullptr || observation->pcs.empty()) return {};
+  return observation->pcs[pc_global];
+}
+
+PcFaultRecord FaultMap::stack_record(Millivolts v, unsigned stack) const {
+  HBMVOLT_REQUIRE(stack < geometry_.stacks, "stack index out of range");
+  PcFaultRecord total;
+  const unsigned per_stack = geometry_.pcs_per_stack();
+  for (unsigned i = 0; i < per_stack; ++i) {
+    total += pc_record(v, stack * per_stack + i);
+  }
+  return total;
+}
+
+PcFaultRecord FaultMap::channel_record(Millivolts v, unsigned stack,
+                                       unsigned channel) const {
+  HBMVOLT_REQUIRE(stack < geometry_.stacks, "stack index out of range");
+  HBMVOLT_REQUIRE(channel < geometry_.channels_per_stack,
+                  "channel index out of range");
+  PcFaultRecord total;
+  for (unsigned pc = 0; pc < geometry_.pcs_per_channel; ++pc) {
+    const unsigned global = stack * geometry_.pcs_per_stack() +
+                            channel * geometry_.pcs_per_channel + pc;
+    total += pc_record(v, global);
+  }
+  return total;
+}
+
+PcFaultRecord FaultMap::device_record(Millivolts v) const {
+  PcFaultRecord total;
+  for (unsigned s = 0; s < geometry_.stacks; ++s) {
+    total += stack_record(v, s);
+  }
+  return total;
+}
+
+std::optional<Millivolts> FaultMap::observed_onset(unsigned pc_global) const {
+  for (const auto& [mv, observation] : observations_) {  // descending
+    if (!observation.pcs.empty() &&
+        observation.pcs[pc_global].total_flips() > 0) {
+      return Millivolts{mv};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Millivolts> FaultMap::highest_faulty_voltage() const {
+  for (const auto& [mv, observation] : observations_) {  // descending
+    for (const auto& record : observation.pcs) {
+      if (record.total_flips() > 0) return Millivolts{mv};
+    }
+  }
+  return std::nullopt;
+}
+
+unsigned FaultMap::usable_pcs(Millivolts v, double tolerable_rate) const {
+  const auto* observation = at(v);
+  if (observation == nullptr) return 0;
+  if (observation->crashed) return 0;
+  unsigned usable = 0;
+  for (const auto& record : observation->pcs) {
+    if (record.rate() <= tolerable_rate) ++usable;
+  }
+  return usable;
+}
+
+ClusteringStats analyze_clustering(const hbm::HbmGeometry& geometry,
+                                   const FaultOverlay& overlay) {
+  ClusteringStats stats;
+  stats.rows_total =
+      geometry.rows_per_bank() * geometry.banks_per_pc;
+  stats.faults = overlay.total_count();
+  if (stats.faults == 0) return stats;
+
+  // Faults per (bank, row).
+  std::vector<std::uint64_t> per_row(stats.rows_total, 0);
+  std::vector<std::uint64_t> cells;
+  cells.reserve(stats.faults);
+  overlay.for_each([&](std::uint64_t bit, StuckPolarity) {
+    const auto loc = hbm::decompose_beat(geometry, bit / geometry.bits_per_beat);
+    per_row[loc.row * geometry.banks_per_pc + loc.bank] += 1;
+    cells.push_back(bit);
+  });
+
+  for (const auto count : per_row) {
+    if (count > 0) ++stats.rows_with_faults;
+  }
+
+  // Coverage of the densest 5% of rows.
+  std::sort(per_row.begin(), per_row.end(), std::greater<>());
+  const auto top = std::max<std::uint64_t>(1, stats.rows_total / 20);
+  std::uint64_t in_top = 0;
+  for (std::uint64_t i = 0; i < top; ++i) in_top += per_row[i];
+  stats.fraction_in_densest_5pct_rows =
+      static_cast<double>(in_top) / static_cast<double>(stats.faults);
+
+  // Gap statistics over sorted cell indices.
+  std::sort(cells.begin(), cells.end());
+  if (cells.size() > 1) {
+    std::vector<std::uint64_t> gaps;
+    gaps.reserve(cells.size() - 1);
+    double sum = 0.0;
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      gaps.push_back(cells[i] - cells[i - 1]);
+      sum += static_cast<double>(gaps.back());
+    }
+    stats.mean_gap = sum / static_cast<double>(gaps.size());
+    std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2,
+                     gaps.end());
+    stats.median_gap = static_cast<double>(gaps[gaps.size() / 2]);
+  }
+  stats.uniform_expected_gap = static_cast<double>(geometry.bits_per_pc) /
+                               static_cast<double>(stats.faults);
+  return stats;
+}
+
+}  // namespace hbmvolt::faults

@@ -1,0 +1,145 @@
+// Measurement-side fault bookkeeping: what the host accumulates from the
+// reliability tests, and the spatial clustering analysis run on overlays.
+//
+// This is the "fault map" the paper's Section III-C builds: per-voltage,
+// per-PC flip counts split by direction, from which the three-factor
+// trade-off (power / fault rate / usable capacity) is derived.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/geometry.hpp"
+
+namespace hbmvolt::faults {
+
+/// Flip counts for one PC at one voltage.
+struct PcFaultRecord {
+  std::uint64_t bits_tested = 0;  // across all patterns
+  std::uint64_t flips_1to0 = 0;   // wrote 1, read 0 (stuck-at-0 cells)
+  std::uint64_t flips_0to1 = 0;   // wrote 0, read 1 (stuck-at-1 cells)
+  /// Per-pattern denominators: bits checked under all-1s (exposing 1->0
+  /// flips) and all-0s (exposing 0->1).  Zero when the caller recorded
+  /// only combined counts; the direction rates then fall back to the
+  /// combined denominator.
+  std::uint64_t bits_tested_ones = 0;
+  std::uint64_t bits_tested_zeros = 0;
+
+  [[nodiscard]] std::uint64_t total_flips() const noexcept {
+    return flips_1to0 + flips_0to1;
+  }
+  /// Fraction of tested bits that flipped (both directions, shared
+  /// denominator -- each cell counted once per pattern).
+  [[nodiscard]] double rate() const noexcept {
+    return bits_tested == 0
+               ? 0.0
+               : static_cast<double>(total_flips()) /
+                     static_cast<double>(bits_tested);
+  }
+  [[nodiscard]] double rate_1to0() const noexcept {
+    const std::uint64_t denom =
+        bits_tested_ones != 0 ? bits_tested_ones : bits_tested;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(flips_1to0) /
+                            static_cast<double>(denom);
+  }
+  [[nodiscard]] double rate_0to1() const noexcept {
+    const std::uint64_t denom =
+        bits_tested_zeros != 0 ? bits_tested_zeros : bits_tested;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(flips_0to1) /
+                            static_cast<double>(denom);
+  }
+
+  PcFaultRecord& operator+=(const PcFaultRecord& other) noexcept {
+    bits_tested += other.bits_tested;
+    flips_1to0 += other.flips_1to0;
+    flips_0to1 += other.flips_0to1;
+    bits_tested_ones += other.bits_tested_ones;
+    bits_tested_zeros += other.bits_tested_zeros;
+    return *this;
+  }
+};
+
+/// All PC records at one voltage.
+struct VoltageObservation {
+  std::vector<PcFaultRecord> pcs;
+  bool crashed = false;
+};
+
+class FaultMap {
+ public:
+  explicit FaultMap(const hbm::HbmGeometry& geometry);
+
+  [[nodiscard]] const hbm::HbmGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+
+  /// Accumulates flip counts for (voltage, pc).
+  void record(Millivolts v, unsigned pc_global, const PcFaultRecord& record);
+
+  /// Marks a voltage as having crashed the device.
+  void record_crash(Millivolts v);
+
+  /// Voltages with observations, descending (nominal first).
+  [[nodiscard]] std::vector<Millivolts> voltages() const;
+
+  [[nodiscard]] const VoltageObservation* at(Millivolts v) const;
+
+  [[nodiscard]] PcFaultRecord pc_record(Millivolts v, unsigned pc_global) const;
+
+  /// Aggregate over one stack at a voltage.
+  [[nodiscard]] PcFaultRecord stack_record(Millivolts v, unsigned stack) const;
+
+  /// Aggregate over one memory channel (the two PCs sharing clock and
+  /// command signals) at a voltage.
+  [[nodiscard]] PcFaultRecord channel_record(Millivolts v, unsigned stack,
+                                             unsigned channel) const;
+
+  /// Aggregate over the whole device at a voltage.
+  [[nodiscard]] PcFaultRecord device_record(Millivolts v) const;
+
+  /// Highest observed voltage at which the PC showed any flip; nullopt if
+  /// the PC never faulted in the recorded range.
+  [[nodiscard]] std::optional<Millivolts> observed_onset(
+      unsigned pc_global) const;
+
+  /// Highest recorded voltage at which *any* PC faulted (V_min is one step
+  /// above this).
+  [[nodiscard]] std::optional<Millivolts> highest_faulty_voltage() const;
+
+  /// Number of PCs whose fault rate at v is <= tolerable_rate (Fig 6).
+  [[nodiscard]] unsigned usable_pcs(Millivolts v, double tolerable_rate) const;
+
+ private:
+  hbm::HbmGeometry geometry_;
+  // Keyed by descending voltage so iteration goes nominal -> critical.
+  std::map<int, VoltageObservation, std::greater<>> observations_;
+};
+
+/// Spatial clustering metrics for a stuck-cell population (anchor 11).
+struct ClusteringStats {
+  std::uint64_t faults = 0;
+  std::uint64_t rows_total = 0;
+  std::uint64_t rows_with_faults = 0;
+  /// Fraction of all faults that fall in the densest 5% of rows.  ~0.05
+  /// for a uniform population, near 1 for strongly clustered faults.
+  double fraction_in_densest_5pct_rows = 0.0;
+  /// Gap statistics (in bits) between consecutive faulty cells.  The mean
+  /// gap is ~span/count for any distribution; the *median* discriminates:
+  /// clustered faults have mostly-tiny gaps (within a cluster) plus a few
+  /// huge ones (between clusters), so median << uniform expectation.
+  double mean_gap = 0.0;
+  double median_gap = 0.0;
+  double uniform_expected_gap = 0.0;
+};
+
+[[nodiscard]] ClusteringStats analyze_clustering(
+    const hbm::HbmGeometry& geometry, const FaultOverlay& overlay);
+
+}  // namespace hbmvolt::faults

@@ -1,0 +1,185 @@
+#include "faults/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace hbmvolt::faults {
+namespace {
+
+constexpr double kMaxTailExponent = 50.0;  // exp cap; counts clamp anyway
+
+double logistic(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Uniform integer in [lo, hi] from a per-PC generator.
+int uniform_int(Xoshiro256& rng, int lo, int hi) {
+  return lo + static_cast<int>(rng.bounded(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace
+
+std::vector<unsigned> paper_weak_pcs() { return {4, 5, 18, 19, 20}; }
+
+std::vector<unsigned> paper_strong_pcs() { return {0, 3, 8, 11, 14, 22, 29}; }
+
+FaultModel::FaultModel(const hbm::HbmGeometry& geometry,
+                       FaultModelConfig config)
+    : geometry_(geometry), config_(config) {
+  HBMVOLT_REQUIRE(geometry_.validate().is_ok(), "invalid geometry");
+  const unsigned total = geometry_.total_pcs();
+  pcs_.resize(total);
+
+  // Pick the weak/strong PC sets: the paper's identified ports for the
+  // standard 32-PC layout, a seeded draw otherwise.
+  std::vector<unsigned> weak;
+  std::vector<unsigned> strong;
+  if (total == 32) {
+    weak = paper_weak_pcs();
+    strong = paper_strong_pcs();
+  } else {
+    Xoshiro256 rng(mix_seed(config_.seed, 0xC1A55));
+    for (unsigned pc = 0; pc < total; ++pc) {
+      const double u = rng.uniform();
+      if (u < 0.16) {
+        weak.push_back(pc);
+      } else if (u > 0.78) {
+        strong.push_back(pc);
+      }
+    }
+    if (weak.empty()) weak.push_back(total - 1);
+  }
+
+  const auto contains = [](const std::vector<unsigned>& v, unsigned x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+
+  const double delta_t =
+      config_.temperature_c - config_.reference_temperature_c;
+  const int thermal_onset_shift_mv =
+      static_cast<int>(std::lround(config_.onset_shift_mv_per_c * delta_t));
+  const double thermal_bulk_shift =
+      config_.bulk_shift_volts_per_c * delta_t;
+
+  std::vector<unsigned> weak_rank_in_stack(geometry_.stacks, 0);
+  for (unsigned pc = 0; pc < total; ++pc) {
+    Xoshiro256 rng(pc_seed(pc));
+    PcParams& params = pcs_[pc];
+    const unsigned stack = hbm::PcId::from_global(geometry_, pc).stack;
+
+    int onset_mv;
+    if (contains(weak, pc)) {
+      params.strength = PcStrength::kWeak;
+      params.tail_k = config_.tail_k_weak;
+      const unsigned rank = std::min<unsigned>(weak_rank_in_stack[stack]++, 3);
+      onset_mv =
+          config_.v_first_flip.value - config_.weak_onset_offsets_mv[rank];
+    } else if (contains(strong, pc)) {
+      params.strength = PcStrength::kStrong;
+      params.tail_k = config_.tail_k_strong;
+      onset_mv = uniform_int(rng, config_.onset_strong_lo_mv,
+                             config_.onset_strong_hi_mv);
+    } else {
+      params.strength = PcStrength::kMedium;
+      params.tail_k = config_.tail_k_medium;
+      onset_mv = uniform_int(rng, config_.onset_medium_lo_mv,
+                             config_.onset_medium_hi_mv);
+    }
+    params.tail_k += rng.uniform(-config_.tail_k_jitter, config_.tail_k_jitter);
+
+    onset_mv += thermal_onset_shift_mv;
+    params.onset_sa0 = Millivolts{onset_mv};
+    params.onset_sa1 =
+        Millivolts{onset_mv - config_.polarity_onset_offset_mv};
+
+    const bool on_hbm1 = stack == 1;
+    params.tail_scale = on_hbm1 ? config_.hbm1_tail_multiplier : 1.0;
+    params.bulk_mid_volts =
+        config_.bulk_mid_volts + thermal_bulk_shift +
+        (on_hbm1 ? config_.hbm1_bulk_mid_shift_volts : 0.0) +
+        rng.uniform(-config_.bulk_mid_jitter_volts,
+                    config_.bulk_mid_jitter_volts);
+  }
+}
+
+const PcParams& FaultModel::pc_params(unsigned pc_global) const {
+  HBMVOLT_REQUIRE(pc_global < pcs_.size(), "PC index out of range");
+  return pcs_[pc_global];
+}
+
+std::uint64_t FaultModel::pc_seed(unsigned pc_global) const noexcept {
+  return mix_seed(config_.seed, 0x9C0000ULL + pc_global);
+}
+
+double FaultModel::tail_count(const PcParams& pc, Millivolts onset,
+                              Millivolts v) const {
+  // The first weak cell fails exactly AT the onset voltage: kappa(onset)=1.
+  if (v > onset) return 0.0;
+  const double arg =
+      std::min(pc.tail_k * (onset.volts() - v.volts()), kMaxTailExponent);
+  return pc.tail_scale * std::exp(arg);
+}
+
+double FaultModel::bulk_fraction(const PcParams& pc, Millivolts v) const {
+  if (v <= config_.v_all_faulty) return 1.0;
+  return logistic((pc.bulk_mid_volts - v.volts()) / config_.bulk_sigma_volts);
+}
+
+std::uint64_t FaultModel::stuck_count(unsigned pc_global,
+                                      StuckPolarity polarity,
+                                      Millivolts v) const {
+  const PcParams& pc = pc_params(pc_global);
+  const std::uint64_t n = geometry_.bits_per_pc;
+  if (v.value <= 0) return 0;  // powered off: nothing to observe
+  if (v <= config_.v_all_faulty) return n;  // clamped to list size downstream
+
+  const double share = polarity == StuckPolarity::kStuckAt1
+                           ? config_.stuck_at_one_share
+                           : 1.0 - config_.stuck_at_one_share;
+  const Millivolts onset =
+      polarity == StuckPolarity::kStuckAt1 ? pc.onset_sa1 : pc.onset_sa0;
+  const double expected = tail_count(pc, onset, v) +
+                          share * bulk_fraction(pc, v) *
+                              static_cast<double>(n);
+  const double clamped = std::min(expected, static_cast<double>(n));
+  return static_cast<std::uint64_t>(std::llround(clamped));
+}
+
+double FaultModel::stuck_fraction(unsigned pc_global, Millivolts v) const {
+  const std::uint64_t n = geometry_.bits_per_pc;
+  const std::uint64_t total =
+      std::min(stuck_count(pc_global, StuckPolarity::kStuckAt0, v) +
+                   stuck_count(pc_global, StuckPolarity::kStuckAt1, v),
+               n);
+  return static_cast<double>(total) / static_cast<double>(n);
+}
+
+double FaultModel::stack_stuck_fraction(unsigned stack, Millivolts v) const {
+  HBMVOLT_REQUIRE(stack < geometry_.stacks, "stack index out of range");
+  const unsigned per_stack = geometry_.pcs_per_stack();
+  double sum = 0.0;
+  for (unsigned i = 0; i < per_stack; ++i) {
+    sum += stuck_fraction(stack * per_stack + i, v);
+  }
+  return sum / per_stack;
+}
+
+double FaultModel::device_stuck_fraction(Millivolts v) const {
+  double sum = 0.0;
+  for (unsigned s = 0; s < geometry_.stacks; ++s) {
+    sum += stack_stuck_fraction(s, v);
+  }
+  return sum / geometry_.stacks;
+}
+
+double FaultModel::alpha_multiplier(Millivolts v) const {
+  return 1.0 - config_.alpha_stuck_weight * device_stuck_fraction(v);
+}
+
+Millivolts FaultModel::onset_voltage(unsigned pc_global) const {
+  // Stuck-at-0 cells fail first (their onset is higher).
+  return pc_params(pc_global).onset_sa0;
+}
+
+}  // namespace hbmvolt::faults

@@ -1,0 +1,161 @@
+#include "faults/fault_overlay.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::faults {
+namespace {
+
+/// Dense representation pays off once the stuck set is larger than ~1.5%
+/// of cells (one stuck cell per 64-bit word on average).
+bool should_use_dense(std::uint64_t stuck, std::uint64_t bits) {
+  return stuck > bits / 64;
+}
+
+}  // namespace
+
+FaultOverlay FaultOverlay::build(const WeakCellOrder& order,
+                                 std::uint64_t count_sa0,
+                                 std::uint64_t count_sa1) {
+  FaultOverlay overlay;
+  const auto& sa0 = order.order(StuckPolarity::kStuckAt0);
+  const auto& sa1 = order.order(StuckPolarity::kStuckAt1);
+  count_sa0 = std::min<std::uint64_t>(count_sa0, sa0.size());
+  count_sa1 = std::min<std::uint64_t>(count_sa1, sa1.size());
+  overlay.count_sa0_ = count_sa0;
+  overlay.count_sa1_ = count_sa1;
+  if (count_sa0 + count_sa1 == 0) return overlay;
+
+  if (should_use_dense(count_sa0 + count_sa1, order.bits())) {
+    overlay.mask_.assign(order.bits() / 64, 0);
+    overlay.value_.assign(order.bits() / 64, 0);
+    for (std::uint64_t i = 0; i < count_sa0; ++i) {
+      const std::uint32_t cell = sa0[i];
+      overlay.mask_[cell / 64] |= 1ull << (cell % 64);
+      // value bit stays 0: stuck-at-0
+    }
+    for (std::uint64_t i = 0; i < count_sa1; ++i) {
+      const std::uint32_t cell = sa1[i];
+      overlay.mask_[cell / 64] |= 1ull << (cell % 64);
+      overlay.value_[cell / 64] |= 1ull << (cell % 64);
+    }
+  } else {
+    overlay.sparse_sa0_.assign(sa0.begin(), sa0.begin() + count_sa0);
+    overlay.sparse_sa1_.assign(sa1.begin(), sa1.begin() + count_sa1);
+    std::sort(overlay.sparse_sa0_.begin(), overlay.sparse_sa0_.end());
+    std::sort(overlay.sparse_sa1_.begin(), overlay.sparse_sa1_.end());
+  }
+  return overlay;
+}
+
+void FaultOverlay::apply(std::uint64_t beat, hbm::Beat& data) const noexcept {
+  if (empty()) return;
+  const std::uint64_t lo = beat * 256;
+  if (!mask_.empty()) {
+    const std::uint64_t w = lo / 64;
+    for (int i = 0; i < 4; ++i) {
+      data[i] = (data[i] & ~mask_[w + i]) | (value_[w + i] & mask_[w + i]);
+    }
+    return;
+  }
+  const std::uint64_t hi = lo + 256;
+  auto patch = [&](const std::vector<std::uint32_t>& cells, bool stuck_one) {
+    auto it = std::lower_bound(cells.begin(), cells.end(), lo);
+    for (; it != cells.end() && *it < hi; ++it) {
+      const std::uint64_t offset = *it - lo;
+      const std::uint64_t bit = 1ull << (offset % 64);
+      if (stuck_one) {
+        data[offset / 64] |= bit;
+      } else {
+        data[offset / 64] &= ~bit;
+      }
+    }
+  };
+  patch(sparse_sa0_, false);
+  patch(sparse_sa1_, true);
+}
+
+bool FaultOverlay::is_stuck(std::uint64_t bit) const noexcept {
+  if (!mask_.empty()) {
+    return (mask_[bit / 64] >> (bit % 64)) & 1ull;
+  }
+  const auto cell = static_cast<std::uint32_t>(bit);
+  return std::binary_search(sparse_sa0_.begin(), sparse_sa0_.end(), cell) ||
+         std::binary_search(sparse_sa1_.begin(), sparse_sa1_.end(), cell);
+}
+
+bool FaultOverlay::stuck_value(std::uint64_t bit) const noexcept {
+  if (!mask_.empty()) {
+    return (value_[bit / 64] >> (bit % 64)) & 1ull;
+  }
+  return std::binary_search(sparse_sa1_.begin(), sparse_sa1_.end(),
+                            static_cast<std::uint32_t>(bit));
+}
+
+void FaultOverlay::for_each(
+    const std::function<void(std::uint64_t, StuckPolarity)>& fn) const {
+  if (!mask_.empty()) {
+    for (std::uint64_t w = 0; w < mask_.size(); ++w) {
+      std::uint64_t bits = mask_[w];
+      while (bits != 0) {
+        const int offset = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const std::uint64_t cell = w * 64 + static_cast<unsigned>(offset);
+        const bool one = (value_[w] >> offset) & 1ull;
+        fn(cell, one ? StuckPolarity::kStuckAt1 : StuckPolarity::kStuckAt0);
+      }
+    }
+    return;
+  }
+  for (const auto cell : sparse_sa0_) fn(cell, StuckPolarity::kStuckAt0);
+  for (const auto cell : sparse_sa1_) fn(cell, StuckPolarity::kStuckAt1);
+}
+
+// ------------------------------ FaultInjector ------------------------------
+
+FaultInjector::FaultInjector(FaultModel model, WeakCellConfig weak_config)
+    : model_(std::move(model)), weak_config_(weak_config) {
+  weak_config_.stuck_at_one_share = model_.config().stuck_at_one_share;
+  const unsigned total = model_.geometry().total_pcs();
+  orders_.resize(total);
+  overlays_.resize(total);
+}
+
+void FaultInjector::set_voltage(Millivolts v) {
+  if (v == voltage_) return;
+  voltage_ = v;
+  for (auto& overlay : overlays_) overlay.reset();
+}
+
+const WeakCellOrder& FaultInjector::order(unsigned pc_global) {
+  HBMVOLT_REQUIRE(pc_global < orders_.size(), "PC index out of range");
+  auto& slot = orders_[pc_global];
+  if (!slot) {
+    slot = std::make_unique<WeakCellOrder>(
+        model_.geometry(), model_.pc_seed(pc_global), weak_config_);
+  }
+  return *slot;
+}
+
+const FaultOverlay& FaultInjector::overlay(unsigned pc_global) {
+  HBMVOLT_REQUIRE(pc_global < overlays_.size(), "PC index out of range");
+  auto& slot = overlays_[pc_global];
+  if (!slot) {
+    const std::uint64_t k0 =
+        model_.stuck_count(pc_global, StuckPolarity::kStuckAt0, voltage_);
+    const std::uint64_t k1 =
+        model_.stuck_count(pc_global, StuckPolarity::kStuckAt1, voltage_);
+    if (k0 + k1 == 0) {
+      // Guardband fast path: cache an empty overlay without materializing
+      // the weak-cell order.
+      slot = std::make_unique<FaultOverlay>();
+    } else {
+      slot = std::make_unique<FaultOverlay>(
+          FaultOverlay::build(order(pc_global), k0, k1));
+    }
+  }
+  return *slot;
+}
+
+}  // namespace hbmvolt::faults

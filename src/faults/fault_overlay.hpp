@@ -1,0 +1,96 @@
+// Stuck-at fault overlay applied to reads of an undervolted PC, and the
+// FaultInjector that builds/caches one overlay per PC at the current
+// supply voltage.
+//
+// An overlay is the materialized set of stuck cells at one voltage.  Two
+// representations:
+//   * sparse -- two sorted cell-index vectors (one per polarity); beats
+//     are patched via binary search.  Used when few cells are stuck.
+//   * dense  -- stuck-mask and stuck-value bitmaps; beats are patched with
+//     four word operations.  Used deep in the unsafe region.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/weak_cells.hpp"
+#include "hbm/memory_array.hpp"
+
+namespace hbmvolt::faults {
+
+class FaultOverlay {
+ public:
+  /// An overlay with no stuck cells.
+  FaultOverlay() = default;
+
+  /// Materializes the first `count_sa0`/`count_sa1` cells of each polarity
+  /// order (counts are clamped to the order sizes).
+  static FaultOverlay build(const WeakCellOrder& order,
+                            std::uint64_t count_sa0, std::uint64_t count_sa1);
+
+  /// Patches one 256-bit beat in place.
+  void apply(std::uint64_t beat, hbm::Beat& data) const noexcept;
+
+  [[nodiscard]] bool is_stuck(std::uint64_t bit) const noexcept;
+  /// Value a stuck bit reads as; only meaningful when is_stuck(bit).
+  [[nodiscard]] bool stuck_value(std::uint64_t bit) const noexcept;
+
+  [[nodiscard]] std::uint64_t count(StuckPolarity polarity) const noexcept {
+    return polarity == StuckPolarity::kStuckAt1 ? count_sa1_ : count_sa0_;
+  }
+  [[nodiscard]] std::uint64_t total_count() const noexcept {
+    return count_sa0_ + count_sa1_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return total_count() == 0; }
+  [[nodiscard]] bool dense() const noexcept { return !mask_.empty(); }
+
+  /// Invokes fn(bit_index, polarity) for every stuck cell, in ascending
+  /// bit order within each polarity.
+  void for_each(
+      const std::function<void(std::uint64_t, StuckPolarity)>& fn) const;
+
+ private:
+  // Sparse form: sorted stuck-cell indices per polarity.
+  std::vector<std::uint32_t> sparse_sa0_;
+  std::vector<std::uint32_t> sparse_sa1_;
+  // Dense form: bit i stuck iff mask_[i]; reads as value_[i].
+  std::vector<std::uint64_t> mask_;
+  std::vector<std::uint64_t> value_;
+
+  std::uint64_t count_sa0_ = 0;
+  std::uint64_t count_sa1_ = 0;
+};
+
+/// Owns the per-PC weak-cell orders and the per-PC overlays at the current
+/// voltage.  Shared by both HBM stacks (it spans all 32 PCs).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultModel model, WeakCellConfig weak_config = {});
+
+  [[nodiscard]] const FaultModel& model() const noexcept { return model_; }
+
+  /// Current supply voltage; changing it invalidates cached overlays.
+  void set_voltage(Millivolts v);
+  [[nodiscard]] Millivolts voltage() const noexcept { return voltage_; }
+
+  /// Overlay for a PC at the current voltage (built and cached on demand).
+  const FaultOverlay& overlay(unsigned pc_global);
+
+  /// Weak-cell order for a PC (built lazily; stable across voltages).
+  const WeakCellOrder& order(unsigned pc_global);
+
+ private:
+  FaultModel model_;
+  WeakCellConfig weak_config_;
+  Millivolts voltage_{1200};
+  std::vector<std::unique_ptr<WeakCellOrder>> orders_;
+  std::vector<std::unique_ptr<FaultOverlay>> overlays_;  // null = stale
+  FaultOverlay empty_;
+};
+
+}  // namespace hbmvolt::faults

@@ -1,0 +1,79 @@
+#include "faults/weak_cells.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace hbmvolt::faults {
+
+WeakCellOrder::WeakCellOrder(const hbm::HbmGeometry& geometry,
+                             std::uint64_t pc_seed,
+                             const WeakCellConfig& config)
+    : geometry_(geometry) {
+  HBMVOLT_REQUIRE(geometry_.bits_per_pc <= (1ull << 32),
+                  "simulated PC capacity limited to 2^32 bits");
+  const auto n = geometry_.bits_per_pc;
+
+  // Place cluster windows.
+  Xoshiro256 cluster_rng(mix_seed(pc_seed, 0xC1057E2));
+  const std::uint64_t rows = geometry_.rows_per_bank();
+  for (unsigned i = 0; i < config.cluster_count; ++i) {
+    ClusterWindow window;
+    window.bank = static_cast<unsigned>(cluster_rng.bounded(geometry_.banks_per_pc));
+    window.row_count = config.cluster_rows;
+    const std::uint64_t max_lo =
+        rows > window.row_count ? rows - window.row_count : 0;
+    window.row_lo = cluster_rng.bounded(max_lo + 1);
+    clusters_.push_back(window);
+  }
+
+  // Assign every cell a strength key and a polarity, then sort each
+  // polarity's cells weakest-key-first.
+  struct Keyed {
+    std::uint64_t key;
+    std::uint32_t cell;
+  };
+  std::vector<Keyed> keyed0;
+  std::vector<Keyed> keyed1;
+  keyed0.reserve(static_cast<std::size_t>(n / 2));
+  keyed1.reserve(static_cast<std::size_t>(n / 2));
+
+  const std::uint64_t key_seed = mix_seed(pc_seed, 0x57E26);
+  const std::uint64_t polarity_seed = mix_seed(pc_seed, 0x9012A);
+  const auto share1_threshold = static_cast<std::uint64_t>(
+      config.stuck_at_one_share * 18446744073709551615.0);
+
+  for (std::uint64_t cell = 0; cell < n; ++cell) {
+    std::uint64_t key = splitmix64(key_seed ^ cell);
+    if (in_cluster(cell)) key >>= config.cluster_key_shift;
+    const bool stuck1 = splitmix64(polarity_seed ^ cell) < share1_threshold;
+    (stuck1 ? keyed1 : keyed0)
+        .push_back({key, static_cast<std::uint32_t>(cell)});
+  }
+
+  const auto by_key = [](const Keyed& a, const Keyed& b) {
+    return a.key < b.key || (a.key == b.key && a.cell < b.cell);
+  };
+  std::sort(keyed0.begin(), keyed0.end(), by_key);
+  std::sort(keyed1.begin(), keyed1.end(), by_key);
+
+  order_sa0_.reserve(keyed0.size());
+  for (const auto& k : keyed0) order_sa0_.push_back(k.cell);
+  order_sa1_.reserve(keyed1.size());
+  for (const auto& k : keyed1) order_sa1_.push_back(k.cell);
+}
+
+bool WeakCellOrder::in_cluster(std::uint64_t bit) const noexcept {
+  if (clusters_.empty()) return false;
+  const auto loc = hbm::decompose_beat(geometry_, bit / geometry_.bits_per_beat);
+  for (const auto& window : clusters_) {
+    if (loc.bank == window.bank && loc.row >= window.row_lo &&
+        loc.row < window.row_lo + window.row_count) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hbmvolt::faults

@@ -1,0 +1,71 @@
+// Deterministic weak-cell ordering for one pseudo-channel.
+//
+// Undervolting faults appear in a fixed order as voltage drops: the cell
+// with the lowest "strength" fails first.  This class materializes that
+// order once per PC: every cell gets a pseudo-random strength key derived
+// from the PC seed, cells inside a small set of *cluster windows*
+// (bank/row regions, modelling the paper's observation that "most faults
+// are clustered together in small regions") get their keys scaled down so
+// they dominate the weak end of the order, and the order is partitioned by
+// stuck-at polarity.  The set of stuck cells at any voltage is then simply
+// a prefix of each polarity's order -- monotone in voltage by construction.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_model.hpp"
+#include "hbm/geometry.hpp"
+
+namespace hbmvolt::faults {
+
+/// A rectangular weak region: `row_count` consecutive rows of one bank.
+struct ClusterWindow {
+  unsigned bank = 0;
+  std::uint64_t row_lo = 0;
+  unsigned row_count = 1;
+};
+
+struct WeakCellConfig {
+  /// Number of cluster windows per PC; 0 disables clustering (ablation).
+  unsigned cluster_count = 6;
+  /// Rows per cluster window.
+  unsigned cluster_rows = 2;
+  /// Key right-shift inside clusters: keys shrink by 2^shift, so cluster
+  /// cells crowd the weak end of the order.
+  unsigned cluster_key_shift = 5;
+  /// Fraction of cells that are stuck-at-1 when they fail.
+  double stuck_at_one_share = 0.5475;
+};
+
+class WeakCellOrder {
+ public:
+  WeakCellOrder(const hbm::HbmGeometry& geometry, std::uint64_t pc_seed,
+                const WeakCellConfig& config);
+
+  /// Cells of the given polarity, weakest first.
+  [[nodiscard]] const std::vector<std::uint32_t>& order(
+      StuckPolarity polarity) const noexcept {
+    return polarity == StuckPolarity::kStuckAt1 ? order_sa1_ : order_sa0_;
+  }
+
+  [[nodiscard]] const std::vector<ClusterWindow>& clusters() const noexcept {
+    return clusters_;
+  }
+
+  /// Whether a bit index lies inside any cluster window.
+  [[nodiscard]] bool in_cluster(std::uint64_t bit) const noexcept;
+
+  [[nodiscard]] std::uint64_t bits() const noexcept {
+    return geometry_.bits_per_pc;
+  }
+
+ private:
+  hbm::HbmGeometry geometry_;
+  std::vector<ClusterWindow> clusters_;
+  std::vector<std::uint32_t> order_sa0_;
+  std::vector<std::uint32_t> order_sa1_;
+};
+
+}  // namespace hbmvolt::faults

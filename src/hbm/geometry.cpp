@@ -1,0 +1,68 @@
+#include "hbm/geometry.hpp"
+
+namespace hbmvolt::hbm {
+
+Status HbmGeometry::validate() const {
+  if (stacks == 0 || channels_per_stack == 0 || pcs_per_channel == 0) {
+    return invalid_argument("geometry dimensions must be positive");
+  }
+  if (bits_per_beat == 0 || bits_per_beat % 64 != 0) {
+    return invalid_argument("beat width must be a positive multiple of 64");
+  }
+  if (bits_per_pc == 0 || bits_per_pc % bits_per_beat != 0) {
+    return invalid_argument("PC capacity must be a multiple of the beat width");
+  }
+  if (banks_per_pc == 0 || beats_per_row == 0) {
+    return invalid_argument("bank/row organization must be positive");
+  }
+  const std::uint64_t beats_per_bank_row =
+      static_cast<std::uint64_t>(banks_per_pc) * beats_per_row;
+  if (beats_per_pc() % beats_per_bank_row != 0) {
+    return invalid_argument("beats per PC must tile whole rows across banks");
+  }
+  return Status::ok();
+}
+
+HbmGeometry HbmGeometry::vcu128() {
+  HbmGeometry g;
+  g.stacks = 2;
+  g.channels_per_stack = 8;
+  g.pcs_per_channel = 2;
+  g.bits_per_pc = 1ull << 31;  // 256 MB per PC
+  g.bits_per_beat = 256;
+  g.banks_per_pc = 16;
+  g.beats_per_row = 64;        // 2 KB rows / 32 B columns
+  return g;
+}
+
+HbmGeometry HbmGeometry::simulation_default() {
+  HbmGeometry g;
+  g.bits_per_pc = 1ull << 19;  // 64 KiB per PC: full sweeps in seconds
+  g.banks_per_pc = 4;
+  g.beats_per_row = 16;
+  return g;
+}
+
+HbmGeometry HbmGeometry::test_tiny() {
+  HbmGeometry g;
+  g.bits_per_pc = 1ull << 14;  // 2 KiB per PC
+  g.banks_per_pc = 2;
+  g.beats_per_row = 8;
+  return g;
+}
+
+BeatLocation decompose_beat(const HbmGeometry& g, std::uint64_t beat) noexcept {
+  BeatLocation loc;
+  loc.column = static_cast<unsigned>(beat % g.beats_per_row);
+  const std::uint64_t upper = beat / g.beats_per_row;
+  loc.bank = static_cast<unsigned>(upper % g.banks_per_pc);
+  loc.row = upper / g.banks_per_pc;
+  return loc;
+}
+
+std::uint64_t compose_beat(const HbmGeometry& g,
+                           const BeatLocation& loc) noexcept {
+  return (loc.row * g.banks_per_pc + loc.bank) * g.beats_per_row + loc.column;
+}
+
+}  // namespace hbmvolt::hbm

@@ -1,0 +1,104 @@
+// HBM organization and address decomposition.
+//
+// Mirrors the paper's platform (Fig 1b): the XCVU37P carries two HBM
+// stacks; each stack exposes 8 memory channels (MCs) of 128 b, each split
+// into two independent 64 b pseudo-channels (PCs) -- 16 PCs per stack, 32
+// total.  Each AXI port is 256 b wide and maps 1:1 onto a PC; one AXI beat
+// corresponds to one 32 B DRAM column access (64 b PC x burst length 4).
+//
+// Capacity is parameterized: the real board has 2^31 bits (256 MB) per PC;
+// the default simulated geometry uses a reduced array so full sweeps run
+// in seconds, while fault *counts* near the onset voltage are
+// capacity-independent by model construction (see faults/fault_model.hpp).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::hbm {
+
+struct HbmGeometry {
+  unsigned stacks = 2;
+  unsigned channels_per_stack = 8;   // memory channels (MCs)
+  unsigned pcs_per_channel = 2;      // pseudo-channels per MC
+
+  /// Simulated bits per pseudo-channel.  Real hardware: 1ull << 31.
+  std::uint64_t bits_per_pc = 1ull << 19;
+
+  /// One AXI beat = one column access.
+  unsigned bits_per_beat = 256;
+
+  // Internal DRAM organization used for spatial analyses (fault
+  // clustering per bank/row).  Real HBM2: 16 banks, 2 KB rows; the scaled
+  // defaults keep several rows per bank at small simulated capacities.
+  unsigned banks_per_pc = 4;
+  unsigned beats_per_row = 16;       // columns (beats) in one row
+
+  [[nodiscard]] constexpr unsigned pcs_per_stack() const noexcept {
+    return channels_per_stack * pcs_per_channel;
+  }
+  [[nodiscard]] unsigned total_pcs() const noexcept {
+    return stacks * pcs_per_stack();
+  }
+  [[nodiscard]] std::uint64_t beats_per_pc() const noexcept {
+    return bits_per_pc / bits_per_beat;
+  }
+  [[nodiscard]] std::uint64_t bits_per_stack() const noexcept {
+    return bits_per_pc * pcs_per_stack();
+  }
+  [[nodiscard]] std::uint64_t total_bits() const noexcept {
+    return bits_per_stack() * stacks;
+  }
+  [[nodiscard]] std::uint64_t rows_per_bank() const noexcept {
+    return beats_per_pc() / (static_cast<std::uint64_t>(banks_per_pc) *
+                             beats_per_row);
+  }
+
+  /// Validates divisibility constraints; call after hand-editing fields.
+  [[nodiscard]] Status validate() const;
+
+  /// The real VCU128 geometry (2 x 4 GB stacks, 256 MB per PC).
+  [[nodiscard]] static HbmGeometry vcu128();
+  /// Reduced geometry for fast simulation (default).
+  [[nodiscard]] static HbmGeometry simulation_default();
+  /// Tiny geometry for unit tests.
+  [[nodiscard]] static HbmGeometry test_tiny();
+};
+
+/// Identifies a pseudo-channel globally (0..31) or structurally.
+struct PcId {
+  unsigned stack = 0;     // 0..stacks-1
+  unsigned index = 0;     // PC index within the stack, 0..15
+
+  [[nodiscard]] constexpr unsigned global(const HbmGeometry& g) const noexcept {
+    return stack * g.pcs_per_stack() + index;
+  }
+  [[nodiscard]] static constexpr PcId from_global(const HbmGeometry& g,
+                                                  unsigned global) noexcept {
+    return PcId{global / g.pcs_per_stack(), global % g.pcs_per_stack()};
+  }
+  [[nodiscard]] constexpr unsigned channel(const HbmGeometry& g) const noexcept {
+    return index / g.pcs_per_channel;
+  }
+  friend constexpr bool operator==(PcId, PcId) = default;
+};
+
+/// Physical location of one beat inside a PC's DRAM array.
+struct BeatLocation {
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+  unsigned column = 0;   // beat within the row
+};
+
+/// Decomposes a linear beat index: column bits lowest, then bank, then row
+/// (column-interleaved banks, the mapping Xilinx's HBM IP defaults to).
+[[nodiscard]] BeatLocation decompose_beat(const HbmGeometry& g,
+                                          std::uint64_t beat) noexcept;
+
+/// Inverse of decompose_beat.
+[[nodiscard]] std::uint64_t compose_beat(const HbmGeometry& g,
+                                         const BeatLocation& loc) noexcept;
+
+}  // namespace hbmvolt::hbm

@@ -1,0 +1,77 @@
+#include "hbm/ip_registers.hpp"
+
+#include <cmath>
+
+namespace hbmvolt::hbm {
+
+HbmIpCore::HbmIpCore(axi::StackController& controller, Celsius temperature)
+    : controller_(controller), temperature_(temperature) {}
+
+Result<std::uint32_t> HbmIpCore::read(std::uint32_t offset) {
+  switch (offset) {
+    case kRegId:
+      return kIdValue;
+    case kRegCtrl: {
+      std::uint32_t value = 0;
+      if (controller_.switch_network().enabled()) value |= kCtrlSwitchEnable;
+      return value;
+    }
+    case kRegStatus: {
+      std::uint32_t value = kStatusInitDone;  // model: always calibrated
+      if (temperature_.value >= kCattripCelsius) value |= kStatusCattrip;
+      if (controller_.stack().responding()) value |= kStatusResponding;
+      return value;
+    }
+    case kRegPortEnable: {
+      std::uint32_t mask = 0;
+      for (unsigned port = 0; port < controller_.port_count(); ++port) {
+        if (controller_.port(port).enabled()) mask |= 1u << port;
+      }
+      return mask;
+    }
+    case kRegTemperature:
+      return static_cast<std::uint32_t>(
+          std::lround(std::max(0.0, temperature_.value)));
+    case kRegSlverrCount:
+      return static_cast<std::uint32_t>(
+          controller_.aggregate_stats().slverr);
+    case kRegBeatCountLo: {
+      const auto stats = controller_.aggregate_stats();
+      return static_cast<std::uint32_t>(
+          (stats.beats_written + stats.beats_read) & 0xFFFFFFFFull);
+    }
+    case kRegBeatCountHi: {
+      const auto stats = controller_.aggregate_stats();
+      return static_cast<std::uint32_t>(
+          (stats.beats_written + stats.beats_read) >> 32);
+    }
+    default:
+      return not_found("HBM IP: no readable register at offset");
+  }
+}
+
+Status HbmIpCore::write(std::uint32_t offset, std::uint32_t value) {
+  switch (offset) {
+    case kRegCtrl:
+      controller_.switch_network().set_enabled(value & kCtrlSwitchEnable);
+      if (value & kCtrlSoftReset) {
+        controller_.reset_ports();
+        controller_.switch_network().reset_routes();
+      }
+      return Status::ok();
+    case kRegPortEnable:
+      controller_.set_enabled_mask(value);
+      return Status::ok();
+    case kRegId:
+    case kRegStatus:
+    case kRegTemperature:
+    case kRegSlverrCount:
+    case kRegBeatCountLo:
+    case kRegBeatCountHi:
+      return failed_precondition("HBM IP: register is read-only");
+    default:
+      return not_found("HBM IP: no writable register at offset");
+  }
+}
+
+}  // namespace hbmvolt::hbm

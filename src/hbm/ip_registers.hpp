@@ -1,0 +1,66 @@
+// Register-level model of the Xilinx HBM IP core's APB configuration and
+// status port (the interface host logic uses on the real XCVU37P).
+//
+// The real IP exposes initialization status, the switch configuration,
+// and device DRPs including the stack temperature sensor and the
+// catastrophic-temperature (CATTRIP) flag.  This model maps the same
+// functions onto one stack's controller so host-side code exercises a
+// realistic bring-up sequence: poll INIT_DONE, program SWITCH/PORT
+// enables, watch STATUS during experiments.
+//
+// Register map (word offsets):
+//   0x00 ID          RO  0x48424D32 ("HBM2")
+//   0x04 CTRL        RW  bit0 switch_enable, bit1 soft_reset (self-clears)
+//   0x08 STATUS      RO  bit0 init_done, bit1 cattrip, bit2 all_responding
+//   0x0C PORT_ENABLE RW  one bit per AXI port of the stack
+//   0x10 TEMPERATURE RO  stack temperature, degrees C (DRP readout)
+//   0x14 SLVERR_CNT  RO  summed AXI error responses across ports
+//   0x18 BEAT_CNT_LO RO  total beats moved (low word)
+//   0x1C BEAT_CNT_HI RO  total beats moved (high word)
+
+#pragma once
+
+#include <cstdint>
+
+#include "axi/controller.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace hbmvolt::hbm {
+
+class HbmIpCore {
+ public:
+  static constexpr std::uint32_t kRegId = 0x00;
+  static constexpr std::uint32_t kRegCtrl = 0x04;
+  static constexpr std::uint32_t kRegStatus = 0x08;
+  static constexpr std::uint32_t kRegPortEnable = 0x0C;
+  static constexpr std::uint32_t kRegTemperature = 0x10;
+  static constexpr std::uint32_t kRegSlverrCount = 0x14;
+  static constexpr std::uint32_t kRegBeatCountLo = 0x18;
+  static constexpr std::uint32_t kRegBeatCountHi = 0x1C;
+
+  static constexpr std::uint32_t kIdValue = 0x48424D32;  // "HBM2"
+  static constexpr std::uint32_t kCtrlSwitchEnable = 1u << 0;
+  static constexpr std::uint32_t kCtrlSoftReset = 1u << 1;
+  static constexpr std::uint32_t kStatusInitDone = 1u << 0;
+  static constexpr std::uint32_t kStatusCattrip = 1u << 1;
+  static constexpr std::uint32_t kStatusResponding = 1u << 2;
+
+  /// CATTRIP asserts at this stack temperature (JESD235: ~105 degC).
+  static constexpr double kCattripCelsius = 105.0;
+
+  HbmIpCore(axi::StackController& controller, Celsius temperature);
+
+  Result<std::uint32_t> read(std::uint32_t offset);
+  Status write(std::uint32_t offset, std::uint32_t value);
+
+  void set_temperature(Celsius temperature) noexcept {
+    temperature_ = temperature;
+  }
+
+ private:
+  axi::StackController& controller_;
+  Celsius temperature_;
+};
+
+}  // namespace hbmvolt::hbm

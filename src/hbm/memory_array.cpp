@@ -1,0 +1,54 @@
+#include "hbm/memory_array.hpp"
+
+#include "common/rng.hpp"
+
+namespace hbmvolt::hbm {
+
+MemoryArray::MemoryArray(std::uint64_t bits, std::uint64_t seed)
+    : bits_(bits), words_(bits / 64) {
+  HBMVOLT_REQUIRE(bits > 0 && bits % 256 == 0,
+                  "array size must be a positive multiple of 256 bits");
+  scramble(seed);
+}
+
+void MemoryArray::write_beat(std::uint64_t beat, const Beat& data) noexcept {
+  const std::uint64_t w = beat * 4;
+  words_[w] = data[0];
+  words_[w + 1] = data[1];
+  words_[w + 2] = data[2];
+  words_[w + 3] = data[3];
+}
+
+Beat MemoryArray::read_beat(std::uint64_t beat) const noexcept {
+  const std::uint64_t w = beat * 4;
+  return Beat{words_[w], words_[w + 1], words_[w + 2], words_[w + 3]};
+}
+
+void MemoryArray::write_bit(std::uint64_t bit, bool value) noexcept {
+  const std::uint64_t mask = 1ull << (bit % 64);
+  if (value) {
+    words_[bit / 64] |= mask;
+  } else {
+    words_[bit / 64] &= ~mask;
+  }
+}
+
+bool MemoryArray::read_bit(std::uint64_t bit) const noexcept {
+  return (words_[bit / 64] >> (bit % 64)) & 1ull;
+}
+
+void MemoryArray::scramble(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& word : words_) word = rng();
+}
+
+void MemoryArray::fill(const Beat& pattern) noexcept {
+  for (std::uint64_t w = 0; w < words_.size(); w += 4) {
+    words_[w] = pattern[0];
+    words_[w + 1] = pattern[1];
+    words_[w + 2] = pattern[2];
+    words_[w + 3] = pattern[3];
+  }
+}
+
+}  // namespace hbmvolt::hbm

@@ -1,0 +1,64 @@
+// Backing store for one pseudo-channel's DRAM array.
+//
+// Stores the *written* value of every bit; voltage-induced stuck-at faults
+// are applied as an overlay at read time (see faults/fault_overlay.hpp),
+// which matches the physics: a stuck cell still receives writes, it just
+// cannot hold the value, and recovers its last written data once the
+// voltage is raised back above its failure point is not modelled -- the
+// paper's tests always rewrite before reading.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::hbm {
+
+/// One 256-bit AXI beat as four little-endian 64-bit words.
+using Beat = std::array<std::uint64_t, 4>;
+
+class MemoryArray {
+ public:
+  /// Creates an array of `bits` cells (must be a multiple of 256),
+  /// initialized to the power-up pattern derived from `seed` (real DRAM
+  /// powers up with effectively random contents).
+  MemoryArray(std::uint64_t bits, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
+  [[nodiscard]] std::uint64_t beats() const noexcept { return bits_ / 256; }
+
+  void write_beat(std::uint64_t beat, const Beat& data) noexcept;
+  [[nodiscard]] Beat read_beat(std::uint64_t beat) const noexcept;
+
+  /// Bit-granular accessors for tests and fault-map verification.
+  void write_bit(std::uint64_t bit, bool value) noexcept;
+  [[nodiscard]] bool read_bit(std::uint64_t bit) const noexcept;
+
+  /// Re-randomizes contents (models a power cycle losing all data).
+  void scramble(std::uint64_t seed);
+
+  /// Fills the entire array with a repeating beat pattern.
+  void fill(const Beat& pattern) noexcept;
+
+  /// Raw word view (read-only) for whole-array scans.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::uint64_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Common test patterns for Algorithm 1.
+[[nodiscard]] constexpr Beat beat_of_all(std::uint64_t word) noexcept {
+  return Beat{word, word, word, word};
+}
+inline constexpr Beat kBeatAllOnes = {~0ull, ~0ull, ~0ull, ~0ull};
+inline constexpr Beat kBeatAllZeros = {0, 0, 0, 0};
+
+}  // namespace hbmvolt::hbm

@@ -1,0 +1,81 @@
+#include "hbm/stack.hpp"
+
+#include "common/rng.hpp"
+
+namespace hbmvolt::hbm {
+
+HbmStack::HbmStack(const HbmGeometry& geometry, unsigned stack_index,
+                   faults::FaultInjector& injector, std::uint64_t seed)
+    : geometry_(geometry),
+      index_(stack_index),
+      injector_(injector),
+      seed_(seed) {
+  HBMVOLT_REQUIRE(stack_index < geometry.stacks, "stack index out of range");
+  arrays_.reserve(geometry_.pcs_per_stack());
+  for (unsigned pc = 0; pc < geometry_.pcs_per_stack(); ++pc) {
+    arrays_.push_back(std::make_unique<MemoryArray>(
+        geometry_.bits_per_pc, mix_seed(seed_, 0xA22A0 + pc)));
+  }
+}
+
+void HbmStack::on_voltage_change(Millivolts v) {
+  voltage_ = v;
+  if (v.value <= 0) {
+    if (state_ != State::kPoweredOff) {
+      state_ = State::kPoweredOff;
+      // DRAM loses its contents without power.
+      for (unsigned pc = 0; pc < arrays_.size(); ++pc) {
+        arrays_[pc]->scramble(mix_seed(seed_, 0xDEAD0 + pc));
+      }
+    }
+    return;
+  }
+  if (injector_.model().is_crash_voltage(v)) {
+    state_ = State::kCrashed;  // restoring voltage will not recover it
+    return;
+  }
+  if (state_ == State::kPoweredOff) {
+    state_ = State::kOperational;  // power-up restart
+  }
+  // A crashed stack stays crashed until a power cycle.
+}
+
+Status HbmStack::check_access(unsigned pc_local, std::uint64_t beat) const {
+  switch (state_) {
+    case State::kCrashed:
+      return unavailable("HBM stack crashed; power cycle required");
+    case State::kPoweredOff:
+      return unavailable("HBM stack is powered off");
+    case State::kOperational:
+      break;
+  }
+  if (pc_local >= geometry_.pcs_per_stack()) {
+    return out_of_range("pseudo-channel index out of range");
+  }
+  if (beat >= geometry_.beats_per_pc()) {
+    return out_of_range("beat address beyond PC capacity");
+  }
+  return Status::ok();
+}
+
+Status HbmStack::write_beat(unsigned pc_local, std::uint64_t beat,
+                            const Beat& data) {
+  HBMVOLT_RETURN_IF_ERROR(check_access(pc_local, beat));
+  arrays_[pc_local]->write_beat(beat, data);
+  return Status::ok();
+}
+
+Result<Beat> HbmStack::read_beat(unsigned pc_local, std::uint64_t beat) {
+  const Status access = check_access(pc_local, beat);
+  if (!access.is_ok()) return access;
+  Beat data = arrays_[pc_local]->read_beat(beat);
+  injector_.overlay(global_pc(pc_local)).apply(beat, data);
+  return data;
+}
+
+MemoryArray& HbmStack::array(unsigned pc_local) {
+  HBMVOLT_REQUIRE(pc_local < arrays_.size(), "PC index out of range");
+  return *arrays_[pc_local];
+}
+
+}  // namespace hbmvolt::hbm

@@ -1,0 +1,79 @@
+// One HBM stack: 16 pseudo-channel arrays behind an operating-state
+// machine driven by the supply voltage.
+//
+// State behavior (paper §III-B):
+//  * Operational while VCC_HBM >= V_critical (0.81 V).
+//  * Crashed when the voltage drops below V_critical but stays above 0:
+//    the stack stops responding to all traffic, and *restoring the supply
+//    voltage does not recover it* -- only a power-down/restart does.
+//  * PoweredOff at 0 V; raising the voltage from 0 performs the restart
+//    (contents are lost: the arrays re-scramble).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/geometry.hpp"
+#include "hbm/memory_array.hpp"
+
+namespace hbmvolt::hbm {
+
+class HbmStack {
+ public:
+  enum class State { kOperational, kCrashed, kPoweredOff };
+
+  /// `injector` spans all PCs of the device and is shared between stacks;
+  /// it must outlive the stack.
+  HbmStack(const HbmGeometry& geometry, unsigned stack_index,
+           faults::FaultInjector& injector, std::uint64_t seed);
+
+  [[nodiscard]] unsigned index() const noexcept { return index_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] Millivolts voltage() const noexcept { return voltage_; }
+  [[nodiscard]] const HbmGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+
+  /// Supply-voltage notification (wired to the regulator's output).  Note
+  /// this only moves *this stack's* state machine; the caller is
+  /// responsible for FaultInjector::set_voltage (the injector is shared).
+  void on_voltage_change(Millivolts v);
+
+  /// True when the stack responds to traffic.
+  [[nodiscard]] bool responding() const noexcept {
+    return state_ == State::kOperational;
+  }
+
+  /// Writes one 256-bit beat.  UNAVAILABLE when crashed or powered off.
+  Status write_beat(unsigned pc_local, std::uint64_t beat, const Beat& data);
+
+  /// Reads one 256-bit beat with the stuck-at overlay of the current
+  /// voltage applied.  UNAVAILABLE when crashed or powered off.
+  Result<Beat> read_beat(unsigned pc_local, std::uint64_t beat);
+
+  /// Direct array access for tests and white-box analyses.
+  [[nodiscard]] MemoryArray& array(unsigned pc_local);
+
+  /// Global PC index of a local one.
+  [[nodiscard]] unsigned global_pc(unsigned pc_local) const noexcept {
+    return index_ * geometry_.pcs_per_stack() + pc_local;
+  }
+
+ private:
+  Status check_access(unsigned pc_local, std::uint64_t beat) const;
+
+  HbmGeometry geometry_;
+  unsigned index_;
+  faults::FaultInjector& injector_;
+  std::uint64_t seed_;
+  State state_ = State::kOperational;
+  Millivolts voltage_{1200};
+  std::vector<std::unique_ptr<MemoryArray>> arrays_;
+};
+
+}  // namespace hbmvolt::hbm

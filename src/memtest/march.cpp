@@ -1,0 +1,139 @@
+#include "memtest/march.hpp"
+
+#include <vector>
+
+namespace hbmvolt::memtest {
+
+std::uint64_t MarchAlgorithm::ops_per_cell() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& element : elements) total += element.ops.size();
+  return total;
+}
+
+bool MarchAlgorithm::reads_both_states() const noexcept {
+  bool r0 = false;
+  bool r1 = false;
+  for (const auto& element : elements) {
+    for (const auto op : element.ops) {
+      r0 = r0 || op == Op::kR0;
+      r1 = r1 || op == Op::kR1;
+    }
+  }
+  return r0 && r1;
+}
+
+MarchAlgorithm mats_plus() {
+  return {"MATS+",
+          {{Direction::kEither, {Op::kW0}},
+           {Direction::kUp, {Op::kR0, Op::kW1}},
+           {Direction::kDown, {Op::kR1, Op::kW0}}}};
+}
+
+MarchAlgorithm march_x() {
+  return {"March X",
+          {{Direction::kEither, {Op::kW0}},
+           {Direction::kUp, {Op::kR0, Op::kW1}},
+           {Direction::kDown, {Op::kR1, Op::kW0}},
+           {Direction::kEither, {Op::kR0}}}};
+}
+
+MarchAlgorithm march_y() {
+  return {"March Y",
+          {{Direction::kEither, {Op::kW0}},
+           {Direction::kUp, {Op::kR0, Op::kW1, Op::kR1}},
+           {Direction::kDown, {Op::kR1, Op::kW0, Op::kR0}},
+           {Direction::kEither, {Op::kR0}}}};
+}
+
+MarchAlgorithm march_b() {
+  return {"March B",
+          {{Direction::kEither, {Op::kW0}},
+           {Direction::kUp,
+            {Op::kR0, Op::kW1, Op::kR1, Op::kW0, Op::kR0, Op::kW1}},
+           {Direction::kUp, {Op::kR1, Op::kW0, Op::kW1}},
+           {Direction::kDown, {Op::kR1, Op::kW0, Op::kW1, Op::kW0}},
+           {Direction::kDown, {Op::kR0, Op::kW1, Op::kW0}}}};
+}
+
+MarchAlgorithm march_c_minus() {
+  return {"March C-",
+          {{Direction::kEither, {Op::kW0}},
+           {Direction::kUp, {Op::kR0, Op::kW1}},
+           {Direction::kUp, {Op::kR1, Op::kW0}},
+           {Direction::kDown, {Op::kR0, Op::kW1}},
+           {Direction::kDown, {Op::kR1, Op::kW0}},
+           {Direction::kEither, {Op::kR0}}}};
+}
+
+MarchAlgorithm solid_patterns() {
+  return {"Algorithm 1 (solids)",
+          {{Direction::kUp, {Op::kW1}},
+           {Direction::kUp, {Op::kR1}},
+           {Direction::kUp, {Op::kW0}},
+           {Direction::kUp, {Op::kR0}}}};
+}
+
+std::vector<MarchAlgorithm> all_march_algorithms() {
+  return {solid_patterns(), mats_plus(), march_x(),
+          march_y(),        march_b(),   march_c_minus()};
+}
+
+MarchRunner::MarchRunner(hbm::HbmStack& stack, unsigned pc_local)
+    : stack_(stack), pc_local_(pc_local) {}
+
+Result<MarchResult> MarchRunner::run(const MarchAlgorithm& algorithm) {
+  const std::uint64_t beats = stack_.geometry().beats_per_pc();
+  const unsigned bits = stack_.geometry().bits_per_beat;
+
+  MarchResult result;
+  result.cells = beats * bits;
+  // Faulty-cell bitmap (one bit per cell of the PC).
+  std::vector<std::uint64_t> faulty(stack_.geometry().bits_per_pc / 64, 0);
+
+  for (const auto& element : algorithm.elements) {
+    const bool descending = element.direction == Direction::kDown;
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      const std::uint64_t beat = descending ? beats - 1 - i : i;
+      // March semantics: the whole op sequence applies to one address
+      // before moving on (beat granularity: 256 cells share an address).
+      for (const auto op : element.ops) {
+        switch (op) {
+          case Op::kW0:
+          case Op::kW1: {
+            const auto& pattern =
+                op == Op::kW1 ? hbm::kBeatAllOnes : hbm::kBeatAllZeros;
+            HBMVOLT_RETURN_IF_ERROR(
+                stack_.write_beat(pc_local_, beat, pattern));
+            ++result.write_ops;
+            break;
+          }
+          case Op::kR0:
+          case Op::kR1: {
+            auto data = stack_.read_beat(pc_local_, beat);
+            if (!data.is_ok()) return data.status();
+            ++result.read_ops;
+            const std::uint64_t expected = op == Op::kR1 ? ~0ull : 0ull;
+            bool any_flip = false;
+            for (unsigned w = 0; w < bits / 64; ++w) {
+              const std::uint64_t diff = data.value()[w] ^ expected;
+              if (diff != 0) {
+                any_flip = true;
+                faulty[beat * (bits / 64) + w] |= diff;
+              }
+            }
+            if (any_flip) ++result.mismatched_reads;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto word : faulty) {
+    result.faulty_cells +=
+        static_cast<unsigned>(__builtin_popcountll(word));
+  }
+  return result;
+}
+
+}  // namespace hbmvolt::memtest

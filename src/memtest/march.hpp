@@ -1,0 +1,85 @@
+// March memory-test algorithms (van de Goor's notation) over an HBM
+// pseudo-channel.
+//
+// A March test is a sequence of elements; each element walks the address
+// space in a direction applying a fixed op sequence per cell, e.g.
+// March C-:  up(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); down(r0)
+//
+// The paper's Algorithm 1 is the two-solid-pattern test (write-all/read-
+// all per pattern), which is complete for the stuck-at faults undervolting
+// produces.  The March runner lets the claim be checked against the
+// classical algorithms -- every March test that reads each cell in both
+// states must find exactly the same stuck-cell set -- and quantifies
+// their op-count cost (bench/ext_march_tests).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hbm/stack.hpp"
+
+namespace hbmvolt::memtest {
+
+enum class Op : std::uint8_t { kW0, kW1, kR0, kR1 };
+
+enum class Direction : std::uint8_t {
+  kUp,      // ascending addresses
+  kDown,    // descending addresses
+  kEither,  // direction irrelevant (notated as an up-down arrow)
+};
+
+struct MarchElement {
+  Direction direction = Direction::kEither;
+  std::vector<Op> ops;
+};
+
+struct MarchAlgorithm {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Total operations applied per cell.
+  [[nodiscard]] std::uint64_t ops_per_cell() const noexcept;
+  /// Whether every cell is read at least once in each logic state --
+  /// the condition for complete stuck-at-fault coverage.
+  [[nodiscard]] bool reads_both_states() const noexcept;
+};
+
+// Classical algorithms.
+[[nodiscard]] MarchAlgorithm mats_plus();      // 5n, all SAFs + AFs
+[[nodiscard]] MarchAlgorithm march_x();        // 6n, adds transition faults
+[[nodiscard]] MarchAlgorithm march_y();        // 8n, adds linked TFs
+[[nodiscard]] MarchAlgorithm march_c_minus();  // 10n, adds coupling faults
+[[nodiscard]] MarchAlgorithm march_b();        // 17n, adds linked CFs
+/// The paper's Algorithm 1 expressed as a March test: up(w1); up(r1);
+/// up(w0); up(r0) -- 4n.
+[[nodiscard]] MarchAlgorithm solid_patterns();
+
+/// Every algorithm above, for catalog-style sweeps.
+[[nodiscard]] std::vector<MarchAlgorithm> all_march_algorithms();
+
+struct MarchResult {
+  std::uint64_t cells = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t mismatched_reads = 0;
+  /// Distinct cells that failed at least one read.
+  std::uint64_t faulty_cells = 0;
+};
+
+class MarchRunner {
+ public:
+  MarchRunner(hbm::HbmStack& stack, unsigned pc_local);
+
+  /// Runs the algorithm over the whole PC.  UNAVAILABLE if the stack
+  /// stops responding.
+  Result<MarchResult> run(const MarchAlgorithm& algorithm);
+
+ private:
+  hbm::HbmStack& stack_;
+  unsigned pc_local_;
+};
+
+}  // namespace hbmvolt::memtest

@@ -1,0 +1,45 @@
+#include "mitigate/remap.hpp"
+
+namespace hbmvolt::mitigate {
+
+RemappedChannel::RemappedChannel(hbm::HbmStack& stack, unsigned pc_local,
+                                 const RetirementMap& retirement)
+    : stack_(stack), pc_local_(pc_local) {
+  const unsigned pc_global = stack_.global_pc(pc_local);
+  const std::uint64_t beats = stack_.geometry().beats_per_pc();
+  HBMVOLT_REQUIRE(beats <= (1ull << 32), "beat index exceeds remap width");
+  remap_.reserve(beats);
+  for (std::uint64_t beat = 0; beat < beats; ++beat) {
+    if (!retirement.beat_retired(pc_global, beat)) {
+      remap_.push_back(static_cast<std::uint32_t>(beat));
+    }
+  }
+}
+
+double RemappedChannel::capacity_fraction() const noexcept {
+  return static_cast<double>(remap_.size()) /
+         static_cast<double>(stack_.geometry().beats_per_pc());
+}
+
+Result<std::uint64_t> RemappedChannel::physical_beat(
+    std::uint64_t logical) const {
+  if (logical >= remap_.size()) {
+    return out_of_range("logical beat beyond remapped capacity");
+  }
+  return static_cast<std::uint64_t>(remap_[logical]);
+}
+
+Status RemappedChannel::write_beat(std::uint64_t logical,
+                                   const hbm::Beat& data) {
+  auto physical = physical_beat(logical);
+  if (!physical.is_ok()) return physical.status();
+  return stack_.write_beat(pc_local_, physical.value(), data);
+}
+
+Result<hbm::Beat> RemappedChannel::read_beat(std::uint64_t logical) {
+  auto physical = physical_beat(logical);
+  if (!physical.is_ok()) return physical.status();
+  return stack_.read_beat(pc_local_, physical.value());
+}
+
+}  // namespace hbmvolt::mitigate

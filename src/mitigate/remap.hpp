@@ -1,0 +1,49 @@
+// Remapping allocator: a contiguous, fault-free logical address space on
+// top of an undervolted PC with retired rows.
+//
+// Row retirement (row_retirement.hpp) says *which* beats to avoid; this
+// allocator gives applications what they actually want -- a dense
+// logical beat range [0, usable_beats) transparently remapped around the
+// retired rows, so existing sequential code runs unmodified on the
+// reduced-capacity, reduced-voltage device.  The remap table is the
+// software analogue of a DRAM row-repair fuse map.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hbm/stack.hpp"
+#include "mitigate/row_retirement.hpp"
+
+namespace hbmvolt::mitigate {
+
+class RemappedChannel {
+ public:
+  /// Builds the logical->physical beat map for `pc_global` from the
+  /// retirement map (which must cover that PC at the target voltage).
+  RemappedChannel(hbm::HbmStack& stack, unsigned pc_local,
+                  const RetirementMap& retirement);
+
+  /// Beats usable after remapping.
+  [[nodiscard]] std::uint64_t usable_beats() const noexcept {
+    return remap_.size();
+  }
+  /// Fraction of the PC's physical capacity that remains addressable.
+  [[nodiscard]] double capacity_fraction() const noexcept;
+
+  /// Physical beat backing a logical one.
+  [[nodiscard]] Result<std::uint64_t> physical_beat(
+      std::uint64_t logical) const;
+
+  Status write_beat(std::uint64_t logical, const hbm::Beat& data);
+  Result<hbm::Beat> read_beat(std::uint64_t logical);
+
+ private:
+  hbm::HbmStack& stack_;
+  unsigned pc_local_;
+  std::vector<std::uint32_t> remap_;  // logical index -> physical beat
+};
+
+}  // namespace hbmvolt::mitigate

@@ -1,0 +1,66 @@
+// PMBus command codes (PMBus spec part II, appendix I) -- the subset the
+// ISL68301 model and the host driver use.
+
+#pragma once
+
+#include <cstdint>
+
+namespace hbmvolt::pmbus {
+
+enum class Command : std::uint8_t {
+  kOperation = 0x01,
+  kOnOffConfig = 0x02,
+  kClearFaults = 0x03,
+  kWriteProtect = 0x10,
+  kVoutMode = 0x20,
+  kVoutCommand = 0x21,
+  kVoutMax = 0x24,
+  kVoutMarginHigh = 0x25,
+  kVoutMarginLow = 0x26,
+  kVoutTransitionRate = 0x27,
+  kVoutOvFaultLimit = 0x40,
+  kVoutOvWarnLimit = 0x42,
+  kVoutUvWarnLimit = 0x43,
+  kVoutUvFaultLimit = 0x44,
+  kIoutOcFaultLimit = 0x46,
+  kIoutOcWarnLimit = 0x4A,
+  kOtFaultLimit = 0x4F,
+  kOtWarnLimit = 0x51,
+  kStatusByte = 0x78,
+  kStatusWord = 0x79,
+  kStatusVout = 0x7A,
+  kStatusIout = 0x7B,
+  kStatusTemperature = 0x7D,
+  kReadVin = 0x88,
+  kReadVout = 0x8B,
+  kReadIout = 0x8C,
+  kReadTemperature1 = 0x8D,
+  kReadPout = 0x96,
+  kReadPin = 0x97,
+  kPmbusRevision = 0x98,
+  kMfrId = 0x99,
+  kMfrModel = 0x9A,
+};
+
+// OPERATION register bits (PMBus part II §12.1).
+inline constexpr std::uint8_t kOperationOn = 0x80;
+inline constexpr std::uint8_t kOperationMarginLow = 0x18;
+inline constexpr std::uint8_t kOperationMarginHigh = 0x28;
+
+// STATUS_BYTE bits (PMBus part II §17.1).
+inline constexpr std::uint8_t kStatusByteBusy = 0x80;
+inline constexpr std::uint8_t kStatusByteOff = 0x40;
+inline constexpr std::uint8_t kStatusByteVoutOv = 0x20;
+inline constexpr std::uint8_t kStatusByteIoutOc = 0x10;
+inline constexpr std::uint8_t kStatusByteVinUv = 0x08;
+inline constexpr std::uint8_t kStatusByteTemperature = 0x04;
+inline constexpr std::uint8_t kStatusByteCml = 0x02;
+inline constexpr std::uint8_t kStatusByteOther = 0x01;
+
+// STATUS_VOUT bits (PMBus part II §17.4).
+inline constexpr std::uint8_t kStatusVoutOvFault = 0x80;
+inline constexpr std::uint8_t kStatusVoutOvWarn = 0x40;
+inline constexpr std::uint8_t kStatusVoutUvWarn = 0x20;
+inline constexpr std::uint8_t kStatusVoutUvFault = 0x10;
+
+}  // namespace hbmvolt::pmbus

@@ -1,0 +1,29 @@
+#include "pmbus/device.hpp"
+
+namespace hbmvolt::pmbus {
+
+Result<std::uint8_t> SlaveDevice::read_byte(std::uint8_t) {
+  return not_found("command not implemented (read_byte)");
+}
+
+Status SlaveDevice::write_byte(std::uint8_t, std::uint8_t) {
+  return not_found("command not implemented (write_byte)");
+}
+
+Result<std::uint16_t> SlaveDevice::read_word(std::uint8_t) {
+  return not_found("command not implemented (read_word)");
+}
+
+Status SlaveDevice::write_word(std::uint8_t, std::uint16_t) {
+  return not_found("command not implemented (write_word)");
+}
+
+Result<std::vector<std::uint8_t>> SlaveDevice::read_block(std::uint8_t) {
+  return not_found("command not implemented (read_block)");
+}
+
+Status SlaveDevice::send_byte(std::uint8_t) {
+  return not_found("command not implemented (send_byte)");
+}
+
+}  // namespace hbmvolt::pmbus

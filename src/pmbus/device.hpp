@@ -1,0 +1,35 @@
+// PMBus/SMBus slave device abstraction.
+//
+// A device responds to byte/word/block transactions addressed to a command
+// code.  Concrete models (ISL68301, INA226) override the handlers; the bus
+// handles addressing and PEC framing.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::pmbus {
+
+class SlaveDevice {
+ public:
+  virtual ~SlaveDevice() = default;
+
+  /// 7-bit bus address the device responds to.
+  [[nodiscard]] virtual std::uint8_t address() const noexcept = 0;
+
+  // Default handlers NACK (kNotFound), matching a device that does not
+  // implement the command.
+  virtual Result<std::uint8_t> read_byte(std::uint8_t command);
+  virtual Status write_byte(std::uint8_t command, std::uint8_t value);
+  virtual Result<std::uint16_t> read_word(std::uint8_t command);
+  virtual Status write_word(std::uint8_t command, std::uint16_t value);
+  virtual Result<std::vector<std::uint8_t>> read_block(std::uint8_t command);
+  /// Send-byte transaction (command only, no data) -- e.g. CLEAR_FAULTS.
+  virtual Status send_byte(std::uint8_t command);
+};
+
+}  // namespace hbmvolt::pmbus

@@ -1,0 +1,314 @@
+#include "pmbus/isl68301.hpp"
+
+#include <algorithm>
+
+#include "pmbus/bus.hpp"
+#include "pmbus/linear.hpp"
+
+namespace hbmvolt::power {
+
+using pmbus::Command;
+
+Isl68301::Isl68301(Config config) : config_(config) { reset(); }
+
+void Isl68301::reset() {
+  vout_command_ = config_.vout_default;
+  vout_max_ = config_.vout_max;
+  ov_fault_limit_ = config_.ov_fault_limit;
+  ov_warn_limit_ = config_.ov_warn_limit;
+  uv_warn_limit_ = config_.uv_warn_limit;
+  uv_fault_limit_ = config_.uv_fault_limit;
+  margin_high_ = config_.margin_high;
+  margin_low_ = config_.margin_low;
+  operation_ = pmbus::kOperationOn;
+  status_vout_ = 0;
+  output_on_ = true;
+  uv_faulted_ = false;
+  last_notified_ = Millivolts{-1};
+  update_output();
+}
+
+Millivolts Isl68301::commanded_target() const noexcept {
+  const std::uint8_t margin = operation_ & 0x3C;
+  if (margin == pmbus::kOperationMarginHigh) return margin_high_;
+  if (margin == pmbus::kOperationMarginLow) return margin_low_;
+  return vout_command_;
+}
+
+Millivolts Isl68301::vout_nominal() const noexcept {
+  if (!output_on_ || uv_faulted_ || !(operation_ & pmbus::kOperationOn)) {
+    return Millivolts{0};
+  }
+  return std::min(commanded_target(), vout_max_);
+}
+
+Millivolts Isl68301::vout_sensed() const {
+  const Millivolts nominal = vout_nominal();
+  if (nominal.value <= 0 || !load_model_) return nominal;
+  const Amps i = load_model_(nominal);
+  const double droop_mv = i.value * config_.droop.value * 1000.0;
+  return Millivolts{nominal.value - static_cast<int>(droop_mv + 0.5)};
+}
+
+Amps Isl68301::iout() const {
+  const Millivolts nominal = vout_nominal();
+  if (nominal.value <= 0 || !load_model_) return Amps{0.0};
+  return load_model_(nominal);
+}
+
+void Isl68301::update_output() {
+  const Millivolts target = vout_nominal();
+  // Evaluate protection thresholds against the regulation target.
+  if (target.value > 0) {
+    if (target >= ov_fault_limit_) {
+      status_vout_ |= pmbus::kStatusVoutOvFault;
+    } else if (target >= ov_warn_limit_) {
+      status_vout_ |= pmbus::kStatusVoutOvWarn;
+    }
+    if (target < uv_fault_limit_) {
+      // UV fault latches the output off until CLEAR_FAULTS.
+      status_vout_ |= pmbus::kStatusVoutUvFault;
+      uv_faulted_ = true;
+    } else if (target < uv_warn_limit_) {
+      status_vout_ |= pmbus::kStatusVoutUvWarn;
+    }
+  }
+  notify();
+}
+
+void Isl68301::notify() {
+  const Millivolts v = vout_nominal();
+  if (v == last_notified_) return;
+  last_notified_ = v;
+  for (const auto& listener : listeners_) listener(v);
+}
+
+Result<std::uint8_t> Isl68301::read_byte(std::uint8_t command) {
+  switch (static_cast<Command>(command)) {
+    case Command::kOperation:
+      return operation_;
+    case Command::kVoutMode:
+      return pmbus::make_vout_mode(config_.vout_exponent);
+    case Command::kStatusByte: {
+      std::uint8_t status = 0;
+      if (vout_nominal().value == 0) status |= pmbus::kStatusByteOff;
+      if (status_vout_ & pmbus::kStatusVoutOvFault) {
+        status |= pmbus::kStatusByteVoutOv;
+      }
+      if (status_vout_ != 0) status |= pmbus::kStatusByteOther;
+      return status;
+    }
+    case Command::kStatusVout:
+      return status_vout_;
+    case Command::kPmbusRevision:
+      return std::uint8_t{0x22};  // PMBus rev 1.2 / 1.2
+    default:
+      return not_found("ISL68301: unsupported read_byte command");
+  }
+}
+
+Status Isl68301::write_byte(std::uint8_t command, std::uint8_t value) {
+  switch (static_cast<Command>(command)) {
+    case Command::kOperation:
+      operation_ = value;
+      output_on_ = (value & pmbus::kOperationOn) != 0;
+      update_output();
+      return Status::ok();
+    case Command::kOnOffConfig:
+      return Status::ok();  // accepted; we model "respond to OPERATION"
+    default:
+      return not_found("ISL68301: unsupported write_byte command");
+  }
+}
+
+Result<std::uint16_t> Isl68301::read_word(std::uint8_t command) {
+  const int exp = config_.vout_exponent;
+  auto vout_word = [exp](Millivolts v) -> Result<std::uint16_t> {
+    return pmbus::linear16_encode(v.volts(), exp);
+  };
+  switch (static_cast<Command>(command)) {
+    case Command::kVoutCommand:
+      return vout_word(vout_command_);
+    case Command::kVoutMax:
+      return vout_word(vout_max_);
+    case Command::kVoutMarginHigh:
+      return vout_word(margin_high_);
+    case Command::kVoutMarginLow:
+      return vout_word(margin_low_);
+    case Command::kVoutOvFaultLimit:
+      return vout_word(ov_fault_limit_);
+    case Command::kVoutOvWarnLimit:
+      return vout_word(ov_warn_limit_);
+    case Command::kVoutUvWarnLimit:
+      return vout_word(uv_warn_limit_);
+    case Command::kVoutUvFaultLimit:
+      return vout_word(uv_fault_limit_);
+    case Command::kReadVout:
+      return vout_word(vout_sensed());
+    case Command::kReadIout:
+      return pmbus::linear11_encode(iout().value);
+    case Command::kReadPout: {
+      const Watts p = power_from(vout_sensed(), iout());
+      return pmbus::linear11_encode(p.value);
+    }
+    case Command::kReadTemperature1:
+      return pmbus::linear11_encode(config_.temperature.value);
+    case Command::kStatusWord: {
+      auto low = read_byte(static_cast<std::uint8_t>(Command::kStatusByte));
+      std::uint16_t word = low.is_ok() ? low.value() : 0;
+      if (status_vout_ != 0) word |= 0x8000;  // VOUT summary bit
+      return word;
+    }
+    default:
+      return not_found("ISL68301: unsupported read_word command");
+  }
+}
+
+Status Isl68301::write_word(std::uint8_t command, std::uint16_t value) {
+  const int exp = config_.vout_exponent;
+  const auto as_mv = [exp](std::uint16_t mantissa) {
+    return from_volts(pmbus::linear16_decode(mantissa, exp));
+  };
+  switch (static_cast<Command>(command)) {
+    case Command::kVoutCommand: {
+      const Millivolts target = as_mv(value);
+      if (target > vout_max_) {
+        return invalid_argument("VOUT_COMMAND above VOUT_MAX");
+      }
+      vout_command_ = target;
+      update_output();
+      return Status::ok();
+    }
+    case Command::kVoutMax:
+      vout_max_ = as_mv(value);
+      update_output();
+      return Status::ok();
+    case Command::kVoutMarginHigh:
+      margin_high_ = as_mv(value);
+      update_output();
+      return Status::ok();
+    case Command::kVoutMarginLow:
+      margin_low_ = as_mv(value);
+      update_output();
+      return Status::ok();
+    case Command::kVoutOvFaultLimit:
+      ov_fault_limit_ = as_mv(value);
+      update_output();
+      return Status::ok();
+    case Command::kVoutOvWarnLimit:
+      ov_warn_limit_ = as_mv(value);
+      update_output();
+      return Status::ok();
+    case Command::kVoutUvWarnLimit:
+      uv_warn_limit_ = as_mv(value);
+      update_output();
+      return Status::ok();
+    case Command::kVoutUvFaultLimit:
+      uv_fault_limit_ = as_mv(value);
+      update_output();
+      return Status::ok();
+    default:
+      return not_found("ISL68301: unsupported write_word command");
+  }
+}
+
+Result<std::vector<std::uint8_t>> Isl68301::read_block(std::uint8_t command) {
+  switch (static_cast<Command>(command)) {
+    case Command::kMfrId:
+      return std::vector<std::uint8_t>{'R', 'E', 'N'};
+    case Command::kMfrModel:
+      return std::vector<std::uint8_t>{'I', 'S', 'L', '6', '8', '3', '0', '1'};
+    default:
+      return not_found("ISL68301: unsupported read_block command");
+  }
+}
+
+Status Isl68301::send_byte(std::uint8_t command) {
+  if (static_cast<Command>(command) == Command::kClearFaults) {
+    status_vout_ = 0;
+    uv_faulted_ = false;
+    update_output();
+    return Status::ok();
+  }
+  return not_found("ISL68301: unsupported send_byte command");
+}
+
+// --------------------------- Isl68301Driver -------------------------------
+
+Isl68301Driver::Isl68301Driver(pmbus::Bus& bus, std::uint8_t address)
+    : bus_(bus), address_(address) {}
+
+Status Isl68301Driver::probe() {
+  auto mode = bus_.read_byte(address_,
+                             static_cast<std::uint8_t>(Command::kVoutMode));
+  if (!mode.is_ok()) return mode.status();
+  auto exponent = pmbus::vout_mode_exponent(mode.value());
+  if (!exponent.is_ok()) return exponent.status();
+  vout_exponent_ = exponent.value();
+  probed_ = true;
+  return Status::ok();
+}
+
+Status Isl68301Driver::set_vout(Millivolts target) {
+  if (!probed_) HBMVOLT_RETURN_IF_ERROR(probe());
+  auto mantissa = pmbus::linear16_encode(target.volts(), vout_exponent_);
+  if (!mantissa.is_ok()) return mantissa.status();
+  return bus_.write_word(address_,
+                         static_cast<std::uint8_t>(Command::kVoutCommand),
+                         mantissa.value());
+}
+
+Status Isl68301Driver::set_uv_fault_limit(Millivolts limit) {
+  if (!probed_) HBMVOLT_RETURN_IF_ERROR(probe());
+  auto mantissa = pmbus::linear16_encode(limit.volts(), vout_exponent_);
+  if (!mantissa.is_ok()) return mantissa.status();
+  // Keep the warn limit at or above the fault limit so the warn threshold
+  // never masks the fault threshold.
+  HBMVOLT_RETURN_IF_ERROR(bus_.write_word(
+      address_, static_cast<std::uint8_t>(Command::kVoutUvWarnLimit),
+      mantissa.value()));
+  return bus_.write_word(
+      address_, static_cast<std::uint8_t>(Command::kVoutUvFaultLimit),
+      mantissa.value());
+}
+
+Result<Millivolts> Isl68301Driver::read_vout() {
+  if (!probed_) HBMVOLT_RETURN_IF_ERROR(probe());
+  auto word = bus_.read_word(address_,
+                             static_cast<std::uint8_t>(Command::kReadVout));
+  if (!word.is_ok()) return word.status();
+  return from_volts(pmbus::linear16_decode(word.value(), vout_exponent_));
+}
+
+Result<Amps> Isl68301Driver::read_iout() {
+  auto word = bus_.read_word(address_,
+                             static_cast<std::uint8_t>(Command::kReadIout));
+  if (!word.is_ok()) return word.status();
+  return Amps{pmbus::linear11_decode(word.value())};
+}
+
+Result<Watts> Isl68301Driver::read_pout() {
+  auto word = bus_.read_word(address_,
+                             static_cast<std::uint8_t>(Command::kReadPout));
+  if (!word.is_ok()) return word.status();
+  return Watts{pmbus::linear11_decode(word.value())};
+}
+
+Result<Celsius> Isl68301Driver::read_temperature() {
+  auto word = bus_.read_word(
+      address_, static_cast<std::uint8_t>(Command::kReadTemperature1));
+  if (!word.is_ok()) return word.status();
+  return Celsius{pmbus::linear11_decode(word.value())};
+}
+
+Result<std::uint8_t> Isl68301Driver::read_status_vout() {
+  return bus_.read_byte(address_,
+                        static_cast<std::uint8_t>(Command::kStatusVout));
+}
+
+Status Isl68301Driver::clear_faults() {
+  return bus_.send_byte(address_,
+                        static_cast<std::uint8_t>(Command::kClearFaults));
+}
+
+}  // namespace hbmvolt::power

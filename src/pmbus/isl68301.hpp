@@ -1,0 +1,146 @@
+// Behavioral model of the Intersil/Renesas ISL68301 PMBus voltage
+// regulator that supplies VCC_HBM on the Xilinx VCU128 board, plus the
+// host-side driver the experiments use to command it.
+//
+// Modelled behavior:
+//  * VOUT_COMMAND / VOUT_MODE in LINEAR16 with a configurable exponent.
+//  * OPERATION on/off and margin-high/low states.
+//  * VOUT_MAX clamp, OV/UV warn and fault limits with STATUS_VOUT /
+//    STATUS_BYTE / STATUS_WORD reporting.  A UV *fault* latches the output
+//    off until CLEAR_FAULTS -- so host code must first lower
+//    VOUT_UV_FAULT_LIMIT before undervolting, exactly as on real hardware.
+//  * Load-line droop (Vout sags with load current).
+//  * Telemetry: READ_VOUT / READ_IOUT / READ_POUT / READ_TEMPERATURE_1,
+//    with currents and powers reported in LINEAR11.
+//
+// The regulator is wired to the rest of the system through two hooks: a
+// LoadModel (asks the downstream rail how much current it draws at a given
+// output voltage) and VoutListeners (notified when the output changes, so
+// HBM stacks can react).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "pmbus/commands.hpp"
+#include "pmbus/device.hpp"
+
+namespace hbmvolt::pmbus {
+class Bus;
+}
+
+namespace hbmvolt::power {
+
+class Isl68301 : public pmbus::SlaveDevice {
+ public:
+  struct Config {
+    std::uint8_t address = 0x60;
+    int vout_exponent = -12;           // VOUT_MODE: 1/4096 V resolution
+    Millivolts vout_default{1200};     // VCC_HBM nominal
+    Millivolts vout_max{1500};
+    Millivolts ov_fault_limit{1320};   // +10% of nominal
+    Millivolts ov_warn_limit{1260};
+    Millivolts uv_warn_limit{1140};    // -5% of nominal
+    Millivolts uv_fault_limit{1080};   // -10%: must be lowered to undervolt
+    Millivolts margin_high{1260};
+    Millivolts margin_low{1140};
+    Ohms droop{0.0002};                // load-line resistance
+    Celsius temperature{35.0};         // paper: 35 +/- 1 degC
+  };
+
+  explicit Isl68301(Config config);
+
+  /// Downstream current draw as a function of the present output voltage.
+  using LoadModel = std::function<Amps(Millivolts)>;
+  void set_load_model(LoadModel model) { load_model_ = std::move(model); }
+
+  /// Notification that the regulated output changed.
+  using VoutListener = std::function<void(Millivolts)>;
+  void add_vout_listener(VoutListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Regulated output (0 mV when off or latched off by a fault), before
+  /// load-line droop.
+  [[nodiscard]] Millivolts vout_nominal() const noexcept;
+  /// Output at the sense point including droop under the present load.
+  [[nodiscard]] Millivolts vout_sensed() const;
+  /// Present load current per the load model.
+  [[nodiscard]] Amps iout() const;
+
+  [[nodiscard]] bool output_enabled() const noexcept { return output_on_; }
+  [[nodiscard]] bool uv_fault_latched() const noexcept { return uv_faulted_; }
+
+  /// Power-on-reset: restores defaults (used by Board::power_cycle).
+  void reset();
+
+  // SlaveDevice interface.
+  [[nodiscard]] std::uint8_t address() const noexcept override {
+    return config_.address;
+  }
+  Result<std::uint8_t> read_byte(std::uint8_t command) override;
+  Status write_byte(std::uint8_t command, std::uint8_t value) override;
+  Result<std::uint16_t> read_word(std::uint8_t command) override;
+  Status write_word(std::uint8_t command, std::uint16_t value) override;
+  Result<std::vector<std::uint8_t>> read_block(std::uint8_t command) override;
+  Status send_byte(std::uint8_t command) override;
+
+ private:
+  void update_output();
+  void notify();
+  [[nodiscard]] Millivolts commanded_target() const noexcept;
+
+  Config config_;
+  LoadModel load_model_;
+  std::vector<VoutListener> listeners_;
+
+  Millivolts vout_command_{1200};
+  Millivolts vout_max_{1500};
+  Millivolts ov_fault_limit_{1320};
+  Millivolts ov_warn_limit_{1260};
+  Millivolts uv_warn_limit_{1140};
+  Millivolts uv_fault_limit_{1080};
+  Millivolts margin_high_{1260};
+  Millivolts margin_low_{1140};
+  std::uint8_t operation_ = pmbus::kOperationOn;
+  std::uint8_t status_vout_ = 0;
+  bool output_on_ = true;
+  bool uv_faulted_ = false;
+  Millivolts last_notified_{-1};
+};
+
+/// Host-side convenience driver: speaks to the regulator over a Bus the
+/// way the paper's "customized interface on the host" does.
+class Isl68301Driver {
+ public:
+  Isl68301Driver(pmbus::Bus& bus, std::uint8_t address);
+
+  /// Reads VOUT_MODE and caches the exponent.  Call before set_vout.
+  Status probe();
+
+  /// Commands a new output voltage via VOUT_COMMAND.
+  Status set_vout(Millivolts target);
+
+  /// Lowers the UV fault limit so deep undervolting does not latch the
+  /// output off.  The experiments call this once during setup.
+  Status set_uv_fault_limit(Millivolts limit);
+
+  Result<Millivolts> read_vout();
+  Result<Amps> read_iout();
+  Result<Watts> read_pout();
+  Result<Celsius> read_temperature();
+  Result<std::uint8_t> read_status_vout();
+  Status clear_faults();
+
+ private:
+  pmbus::Bus& bus_;
+  std::uint8_t address_;
+  int vout_exponent_ = -12;
+  bool probed_ = false;
+};
+
+}  // namespace hbmvolt::power

@@ -1,0 +1,75 @@
+#include "pmbus/linear.hpp"
+
+#include <cmath>
+
+namespace hbmvolt::pmbus {
+namespace {
+
+constexpr int kMantissaMax = 1023;    // 11-bit two's complement positive max
+constexpr int kMantissaMin = -1024;
+constexpr int kExponentMax = 15;      // 5-bit two's complement
+constexpr int kExponentMin = -16;
+
+std::uint16_t pack_linear11(int mantissa, int exponent) noexcept {
+  const auto y = static_cast<std::uint16_t>(mantissa & 0x7FF);
+  const auto n = static_cast<std::uint16_t>(exponent & 0x1F);
+  return static_cast<std::uint16_t>((n << 11) | y);
+}
+
+}  // namespace
+
+std::uint16_t linear11_encode(double value) noexcept {
+  if (std::isnan(value)) return pack_linear11(0, 0);
+  // Pick the smallest exponent at which the mantissa fits: this maximizes
+  // resolution.  Walk up from kExponentMin.
+  for (int exponent = kExponentMin; exponent <= kExponentMax; ++exponent) {
+    const double scaled = value / std::ldexp(1.0, exponent);
+    const double rounded = std::nearbyint(scaled);
+    if (rounded >= kMantissaMin && rounded <= kMantissaMax) {
+      return pack_linear11(static_cast<int>(rounded), exponent);
+    }
+  }
+  // Out of range: clamp to the extreme of the format.
+  return value > 0 ? pack_linear11(kMantissaMax, kExponentMax)
+                   : pack_linear11(kMantissaMin, kExponentMax);
+}
+
+double linear11_decode(std::uint16_t word) noexcept {
+  int mantissa = word & 0x7FF;
+  if (mantissa & 0x400) mantissa -= 0x800;  // sign-extend 11 bits
+  int exponent = (word >> 11) & 0x1F;
+  if (exponent & 0x10) exponent -= 0x20;    // sign-extend 5 bits
+  return static_cast<double>(mantissa) * std::ldexp(1.0, exponent);
+}
+
+Result<std::uint16_t> linear16_encode(double value, int exponent) {
+  if (value < 0.0) {
+    return invalid_argument("LINEAR16 encodes unsigned values only");
+  }
+  const double scaled = std::nearbyint(value / std::ldexp(1.0, exponent));
+  if (scaled > 65535.0) {
+    return out_of_range("value does not fit LINEAR16 mantissa");
+  }
+  return static_cast<std::uint16_t>(scaled);
+}
+
+double linear16_decode(std::uint16_t mantissa, int exponent) noexcept {
+  return static_cast<double>(mantissa) * std::ldexp(1.0, exponent);
+}
+
+Result<int> vout_mode_exponent(std::uint8_t vout_mode) {
+  if ((vout_mode & 0xE0) != 0) {
+    return invalid_argument("VOUT_MODE is not linear format");
+  }
+  int exponent = vout_mode & 0x1F;
+  if (exponent & 0x10) exponent -= 0x20;
+  return exponent;
+}
+
+std::uint8_t make_vout_mode(int exponent) {
+  HBMVOLT_REQUIRE(exponent >= kExponentMin && exponent <= kExponentMax,
+                  "VOUT_MODE exponent out of 5-bit range");
+  return static_cast<std::uint8_t>(exponent & 0x1F);
+}
+
+}  // namespace hbmvolt::pmbus

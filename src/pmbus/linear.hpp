@@ -1,0 +1,43 @@
+// PMBus numeric data formats (PMBus spec part II, §7 and §8).
+//
+// LINEAR11: 16-bit word = 5-bit two's-complement exponent N (bits 15..11)
+//           and 11-bit two's-complement mantissa Y (bits 10..0);
+//           value = Y * 2^N.  Used for currents, powers, temperatures.
+// LINEAR16 ("ULINEAR16"): 16-bit unsigned mantissa with the exponent
+//           supplied out-of-band by VOUT_MODE (5-bit two's complement).
+//           Used for output voltages.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::pmbus {
+
+/// Encodes `value` into LINEAR11, choosing the exponent that maximizes
+/// mantissa precision.  Values whose magnitude exceeds the format's range
+/// (|Y| <= 1023, N in [-16, 15]) are clamped to the representable extreme.
+[[nodiscard]] std::uint16_t linear11_encode(double value) noexcept;
+
+/// Decodes a LINEAR11 word.
+[[nodiscard]] double linear11_decode(std::uint16_t word) noexcept;
+
+/// Encodes `value` into a LINEAR16 mantissa for the given VOUT_MODE
+/// exponent (two's-complement 5-bit, typical regulators use -12 .. -8).
+/// Returns an error if the value does not fit in 16 unsigned bits.
+[[nodiscard]] Result<std::uint16_t> linear16_encode(double value,
+                                                    int exponent);
+
+/// Decodes a LINEAR16 mantissa with the given exponent.
+[[nodiscard]] double linear16_decode(std::uint16_t mantissa,
+                                     int exponent) noexcept;
+
+/// Extracts the 5-bit two's-complement exponent from a VOUT_MODE byte
+/// (mode bits 7..5 must be 000 = linear; otherwise an error).
+[[nodiscard]] Result<int> vout_mode_exponent(std::uint8_t vout_mode);
+
+/// Builds a linear-format VOUT_MODE byte from an exponent in [-16, 15].
+[[nodiscard]] std::uint8_t make_vout_mode(int exponent);
+
+}  // namespace hbmvolt::pmbus

@@ -1,0 +1,20 @@
+#include "pmbus/pec.hpp"
+
+namespace hbmvolt::pmbus {
+
+std::uint8_t pec_crc8_step(std::uint8_t crc, std::uint8_t byte) noexcept {
+  crc ^= byte;
+  for (int bit = 0; bit < 8; ++bit) {
+    crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
+                       : static_cast<std::uint8_t>(crc << 1);
+  }
+  return crc;
+}
+
+std::uint8_t pec_crc8(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint8_t crc = 0;
+  for (const auto b : bytes) crc = pec_crc8_step(crc, b);
+  return crc;
+}
+
+}  // namespace hbmvolt::pmbus

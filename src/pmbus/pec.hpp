@@ -1,0 +1,18 @@
+// SMBus Packet Error Checking: CRC-8 with polynomial x^8 + x^2 + x + 1
+// (0x07), initial value 0, no reflection, no final XOR (SMBus 2.0 §4.2).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hbmvolt::pmbus {
+
+/// CRC-8/SMBus over a byte sequence.
+[[nodiscard]] std::uint8_t pec_crc8(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Incrementally extends a CRC with one byte.
+[[nodiscard]] std::uint8_t pec_crc8_step(std::uint8_t crc,
+                                         std::uint8_t byte) noexcept;
+
+}  // namespace hbmvolt::pmbus

@@ -1,0 +1,38 @@
+#include "power/droop.hpp"
+
+#include <cmath>
+
+namespace hbmvolt::power {
+
+Millivolts effective_rail_voltage(Millivolts setpoint,
+                                  const PowerModel& model,
+                                  double utilization, Ohms load_line) {
+  if (setpoint.value <= 0) return setpoint;
+  double v = setpoint.volts();
+  for (int iteration = 0; iteration < 16; ++iteration) {
+    const double i = model.current(from_volts(v), utilization).value;
+    const double next = setpoint.volts() - i * load_line.value;
+    if (std::abs(next - v) < 1e-5) {
+      v = next;
+      break;
+    }
+    v = next;
+  }
+  return from_volts(v);
+}
+
+Millivolts compensated_setpoint(Millivolts target, const PowerModel& model,
+                                double utilization, Ohms load_line) {
+  // Invert by iterating: setpoint = target + I(effective)*R.
+  Millivolts setpoint = target;
+  for (int iteration = 0; iteration < 16; ++iteration) {
+    const Millivolts effective =
+        effective_rail_voltage(setpoint, model, utilization, load_line);
+    const int error = target.value - effective.value;
+    if (error == 0) break;
+    setpoint = Millivolts{setpoint.value + error};
+  }
+  return setpoint;
+}
+
+}  // namespace hbmvolt::power

@@ -1,0 +1,33 @@
+// Load-line (droop) analysis: the effective rail voltage the HBM cells
+// see is the regulator setpoint minus I*R_loadline, and the current
+// itself depends on that voltage -- a small fixed point.
+//
+// This quantifies a deployment hazard the paper's lab setup avoided by
+// using a quality VRM: with a soft load line, the *effective* guardband
+// at full bandwidth is narrower than the characterization (done against
+// setpoints) suggests.  bench/ext_vrm_droop sweeps load-line quality.
+
+#pragma once
+
+#include "common/units.hpp"
+#include "power/power_model.hpp"
+
+namespace hbmvolt::power {
+
+/// Effective cell voltage for a given setpoint, load model and load line.
+/// Solves v = setpoint - I(v)*R by fixed-point iteration (converges in a
+/// few steps; I is nearly constant over millivolt perturbations).
+[[nodiscard]] Millivolts effective_rail_voltage(Millivolts setpoint,
+                                                const PowerModel& model,
+                                                double utilization,
+                                                Ohms load_line);
+
+/// The setpoint needed so that the *effective* voltage equals `target`
+/// under the given load (the VRM-compensation a careful deployment
+/// applies before undervolting).
+[[nodiscard]] Millivolts compensated_setpoint(Millivolts target,
+                                              const PowerModel& model,
+                                              double utilization,
+                                              Ohms load_line);
+
+}  // namespace hbmvolt::power

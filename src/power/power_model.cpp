@@ -1,0 +1,34 @@
+#include "power/power_model.hpp"
+
+#include "common/status.hpp"
+
+namespace hbmvolt::power {
+
+PowerModel::PowerModel(PowerModelConfig config, AlphaFn alpha)
+    : config_(config), alpha_(std::move(alpha)) {
+  HBMVOLT_REQUIRE(config_.v_nom.value > 0, "nominal voltage must be positive");
+  HBMVOLT_REQUIRE(config_.p_full_load.value > 0, "full-load power must be positive");
+  HBMVOLT_REQUIRE(config_.idle_fraction >= 0.0 && config_.idle_fraction <= 1.0,
+                  "idle fraction must be in [0,1]");
+}
+
+Watts PowerModel::power(Millivolts v, double utilization) const {
+  if (v.value <= 0) return Watts{0.0};
+  utilization = utilization < 0.0 ? 0.0 : (utilization > 1.0 ? 1.0 : utilization);
+  const double vr = v.volts() / config_.v_nom.volts();
+  const double demand =
+      config_.idle_fraction + (1.0 - config_.idle_fraction) * utilization;
+  return Watts{config_.p_full_load.value * demand * vr * vr * alpha(v)};
+}
+
+Amps PowerModel::current(Millivolts v, double utilization) const {
+  if (v.value <= 0) return Amps{0.0};
+  return current_from(power(v, utilization), v);
+}
+
+double PowerModel::alpha_clf(Millivolts v, double utilization) const {
+  if (v.value <= 0) return 0.0;
+  return power(v, utilization).value / (v.volts() * v.volts());
+}
+
+}  // namespace hbmvolt::power

@@ -1,0 +1,71 @@
+// HBM rail power model.
+//
+// Total rail power at supply voltage v and bandwidth utilization u (0..1):
+//
+//   P(v, u) = P_full * (f_idle + (1 - f_idle) * u) * (v / V_nom)^2 * alpha(v)
+//
+//  * P_full: full-load power at nominal voltage (both stacks, 310 GB/s).
+//    Calibrated from the ~7 pJ/bit HBM2 transfer energy the paper cites:
+//    310 GB/s * 8 b/B * 7 pJ/b ~= 17.4 W of dynamic power, which is 2/3 of
+//    the total given the paper's "idle is one third of full load", so
+//    P_full ~= 26.1 W.
+//  * f_idle = 1/3: idle fraction (anchor 3).  Idle power comes from clock
+//    distribution, refresh and peripheral toggling, which scale with V^2
+//    like the active portion -- this makes the *savings factor*
+//    utilization-independent, matching Fig 2.
+//  * (v/V_nom)^2: CMOS dynamic power, Eq. (1) of the paper.
+//  * alpha(v): activity degradation from stuck cells (anchor 10) -- a
+//    stuck bit line no longer charges/discharges, so deep undervolting
+//    yields *extra* savings beyond V^2.  Supplied by the fault model;
+//    identity when no fault model is attached.
+
+#pragma once
+
+#include <functional>
+
+#include "common/units.hpp"
+
+namespace hbmvolt::power {
+
+struct PowerModelConfig {
+  Millivolts v_nom{1200};
+  Watts p_full_load{26.1};       // both stacks, 100% utilization, 1.2 V
+  double idle_fraction = 1.0 / 3.0;
+};
+
+class PowerModel {
+ public:
+  /// alpha(v): multiplier in (0, 1]; pass nullptr for the identity.
+  using AlphaFn = std::function<double(Millivolts)>;
+
+  explicit PowerModel(PowerModelConfig config, AlphaFn alpha = nullptr);
+
+  [[nodiscard]] const PowerModelConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Total rail power; 0 W when v <= 0.
+  [[nodiscard]] Watts power(Millivolts v, double utilization) const;
+
+  /// Idle component only (utilization 0).
+  [[nodiscard]] Watts idle_power(Millivolts v) const {
+    return power(v, 0.0);
+  }
+
+  /// Rail current I = P / v; 0 A when v <= 0.
+  [[nodiscard]] Amps current(Millivolts v, double utilization) const;
+
+  /// The quantity Fig 3 plots: P / v^2, i.e. alpha * C_L * f in
+  /// farads/second (before per-bandwidth normalization).
+  [[nodiscard]] double alpha_clf(Millivolts v, double utilization) const;
+
+  [[nodiscard]] double alpha(Millivolts v) const {
+    return alpha_ ? alpha_(v) : 1.0;
+  }
+
+ private:
+  PowerModelConfig config_;
+  AlphaFn alpha_;
+};
+
+}  // namespace hbmvolt::power

@@ -1,0 +1,18 @@
+#include "power/rail.hpp"
+
+#include <algorithm>
+
+namespace hbmvolt::power {
+
+PowerRail::PowerRail(PowerModel model) : model_(std::move(model)) {}
+
+void PowerRail::set_utilization(double u) noexcept {
+  utilization_ = std::clamp(u, 0.0, 1.0);
+}
+
+void PowerRail::advance(Seconds dt) {
+  if (dt.value <= 0.0) return;
+  energy_ = energy_ + energy_from(true_power(), dt);
+}
+
+}  // namespace hbmvolt::power

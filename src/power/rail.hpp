@@ -1,0 +1,58 @@
+// The VCC_HBM power rail: the piece of board that couples the regulator's
+// output, the load the HBM stacks present, and the INA226's sense inputs,
+// plus an energy integrator for efficiency studies.
+//
+//             ISL68301 --(vout listener)--> PowerRail <--(probe)-- INA226
+//                 ^                            |
+//                 +------(load model)----------+
+
+#pragma once
+
+#include "common/units.hpp"
+#include "power/power_model.hpp"
+#include "sensors/ina226.hpp"
+
+namespace hbmvolt::power {
+
+class PowerRail {
+ public:
+  explicit PowerRail(PowerModel model);
+
+  [[nodiscard]] const PowerModel& model() const noexcept { return model_; }
+
+  /// Present bandwidth utilization of the HBM (0..1); set by the traffic
+  /// controllers when a workload runs.
+  void set_utilization(double u) noexcept;
+  [[nodiscard]] double utilization() const noexcept { return utilization_; }
+
+  /// Regulator listener: records the rail voltage.
+  void on_voltage(Millivolts v) noexcept { voltage_ = v; }
+  [[nodiscard]] Millivolts voltage() const noexcept { return voltage_; }
+
+  /// Regulator load model: current drawn at a hypothetical output voltage.
+  [[nodiscard]] Amps load_current(Millivolts v) const {
+    return model_.current(v, utilization_);
+  }
+
+  /// INA226 probe: the true rail state right now.
+  [[nodiscard]] sensors::RailSample sample() const {
+    return {voltage_, load_current(voltage_)};
+  }
+
+  [[nodiscard]] Watts true_power() const {
+    return model_.power(voltage_, utilization_);
+  }
+
+  /// Energy accounting: integrates P over simulated elapsed time.
+  void advance(Seconds dt);
+  [[nodiscard]] Joules consumed_energy() const noexcept { return energy_; }
+  void reset_energy() noexcept { energy_ = Joules{0.0}; }
+
+ private:
+  PowerModel model_;
+  Millivolts voltage_{1200};
+  double utilization_ = 0.0;
+  Joules energy_{0.0};
+};
+
+}  // namespace hbmvolt::power

@@ -1,0 +1,174 @@
+#include "sensors/ina226.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pmbus/bus.hpp"
+
+namespace hbmvolt::sensors {
+
+Ina226::Ina226(Config config) : config_(config), rng_(config.seed) {}
+
+void Ina226::reset() {
+  config_reg_ = kConfigDefault;
+  calibration_ = 0;
+  mask_enable_ = 0;
+  alert_limit_ = 0;
+  shunt_reg_ = 0;
+  bus_reg_ = 0;
+}
+
+unsigned Ina226::averaging_count() const noexcept {
+  static constexpr unsigned kCounts[8] = {1, 4, 16, 64, 128, 256, 512, 1024};
+  return kCounts[(config_reg_ >> 9) & 0x7];
+}
+
+void Ina226::convert() {
+  if (!probe_) {
+    shunt_reg_ = 0;
+    bus_reg_ = 0;
+    return;
+  }
+  const RailSample sample = probe_();
+  // Gaussian noise on the current measurement, attenuated by averaging.
+  const double navg = averaging_count();
+  const double sigma = config_.noise_sigma_amps / std::sqrt(navg);
+  const double i_measured = sample.current.value + sigma * rng_.normal();
+  const double vshunt = i_measured * config_.shunt.value;
+  const double shunt_counts = std::nearbyint(vshunt / kShuntLsbVolts);
+  shunt_reg_ = static_cast<std::int16_t>(
+      std::clamp(shunt_counts, -32768.0, 32767.0));
+  const double bus_counts =
+      std::nearbyint(sample.bus_voltage.volts() / kBusLsbVolts);
+  bus_reg_ = static_cast<std::uint16_t>(std::clamp(bus_counts, 0.0, 32767.0));
+}
+
+Result<std::uint16_t> Ina226::read_word(std::uint8_t reg) {
+  switch (reg) {
+    case kRegConfig:
+      return config_reg_;
+    case kRegShunt:
+      convert();
+      return static_cast<std::uint16_t>(shunt_reg_);
+    case kRegBus:
+      convert();
+      return bus_reg_;
+    case kRegCurrent: {
+      convert();
+      // Datasheet eq. 3: Current = (ShuntVoltage * CAL) / 2048.
+      const std::int32_t current =
+          (static_cast<std::int32_t>(shunt_reg_) * calibration_) / 2048;
+      return static_cast<std::uint16_t>(
+          std::clamp<std::int32_t>(current, -32768, 32767));
+    }
+    case kRegPower: {
+      convert();
+      const std::int32_t current =
+          (static_cast<std::int32_t>(shunt_reg_) * calibration_) / 2048;
+      // Datasheet eq. 4: Power = (Current * BusVoltage) / 20000.
+      const std::int32_t power =
+          (current * static_cast<std::int32_t>(bus_reg_)) / 20000;
+      return static_cast<std::uint16_t>(std::clamp<std::int32_t>(power, 0, 65535));
+    }
+    case kRegCalibration:
+      return calibration_;
+    case kRegMaskEnable:
+      return mask_enable_;
+    case kRegAlertLimit:
+      return alert_limit_;
+    case kRegManufacturerId:
+      return std::uint16_t{0x5449};
+    case kRegDieId:
+      return std::uint16_t{0x2260};
+    default:
+      return not_found("INA226: no such register");
+  }
+}
+
+Status Ina226::write_word(std::uint8_t reg, std::uint16_t value) {
+  switch (reg) {
+    case kRegConfig:
+      if (value & 0x8000) {  // RST bit
+        reset();
+      } else {
+        config_reg_ = value;
+      }
+      return Status::ok();
+    case kRegCalibration:
+      calibration_ = value & 0x7FFF;
+      return Status::ok();
+    case kRegMaskEnable:
+      mask_enable_ = value;
+      return Status::ok();
+    case kRegAlertLimit:
+      alert_limit_ = value;
+      return Status::ok();
+    default:
+      return not_found("INA226: register is read-only or absent");
+  }
+}
+
+// --------------------------- Ina226Driver ---------------------------------
+
+Ina226Driver::Ina226Driver(pmbus::Bus& bus, std::uint8_t address)
+    : bus_(bus), address_(address) {}
+
+Status Ina226Driver::configure(double max_expected_amps, Ohms shunt,
+                               unsigned averages) {
+  if (max_expected_amps <= 0.0 || shunt.value <= 0.0) {
+    return invalid_argument("INA226 calibration needs positive I_max and R");
+  }
+  shunt_ = shunt;
+  // Datasheet eq. 2: Current_LSB = I_max / 2^15; eq. 1: CAL = 0.00512 /
+  // (Current_LSB * R_shunt).
+  current_lsb_ = max_expected_amps / 32768.0;
+  const double cal = 0.00512 / (current_lsb_ * shunt.value);
+  if (cal > 32767.0) {
+    return invalid_argument("INA226 calibration exceeds register range");
+  }
+  HBMVOLT_RETURN_IF_ERROR(bus_.write_word(
+      address_, Ina226::kRegCalibration, static_cast<std::uint16_t>(cal)));
+
+  // Averaging field (CONFIG bits 11..9): pick the smallest supported count
+  // >= the request.
+  static constexpr unsigned kCounts[8] = {1, 4, 16, 64, 128, 256, 512, 1024};
+  std::uint16_t avg_bits = 7;
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    if (kCounts[i] >= averages) {
+      avg_bits = i;
+      break;
+    }
+  }
+  const std::uint16_t config =
+      static_cast<std::uint16_t>((Ina226::kConfigDefault & ~0x0E00) |
+                                 (avg_bits << 9));
+  return bus_.write_word(address_, Ina226::kRegConfig, config);
+}
+
+Result<Millivolts> Ina226Driver::read_bus_voltage() {
+  auto reg = bus_.read_word(address_, Ina226::kRegBus);
+  if (!reg.is_ok()) return reg.status();
+  return from_volts(reg.value() * Ina226::kBusLsbVolts);
+}
+
+Result<Amps> Ina226Driver::read_current() {
+  auto reg = bus_.read_word(address_, Ina226::kRegCurrent);
+  if (!reg.is_ok()) return reg.status();
+  return Amps{static_cast<std::int16_t>(reg.value()) * current_lsb_};
+}
+
+Result<Watts> Ina226Driver::read_power() {
+  auto reg = bus_.read_word(address_, Ina226::kRegPower);
+  if (!reg.is_ok()) return reg.status();
+  return Watts{reg.value() * 25.0 * current_lsb_};
+}
+
+Result<Amps> Ina226Driver::read_shunt_current() {
+  auto reg = bus_.read_word(address_, Ina226::kRegShunt);
+  if (!reg.is_ok()) return reg.status();
+  const double vshunt =
+      static_cast<std::int16_t>(reg.value()) * Ina226::kShuntLsbVolts;
+  return Amps{vshunt / shunt_.value};
+}
+
+}  // namespace hbmvolt::sensors

@@ -1,0 +1,124 @@
+// Behavioral model of the Texas Instruments INA226 current/power monitor
+// that the VCU128 board places on the VCC_HBM rail, plus the host-side
+// driver that performs the datasheet calibration math.
+//
+// Register map and scaling per the INA226 datasheet (SBOS547):
+//   0x00 CONFIG       (reset, averaging, conversion times, mode)
+//   0x01 SHUNT        signed, LSB = 2.5 uV
+//   0x02 BUS          unsigned, LSB = 1.25 mV
+//   0x03 POWER        unsigned, LSB = 25 * Current_LSB
+//   0x04 CURRENT      signed,  value = SHUNT * CAL / 2048
+//   0x05 CALIBRATION  CAL = 0.00512 / (Current_LSB * R_shunt)
+//   0xFE MANUFACTURER ID = 0x5449 ("TI")
+//   0xFF DIE ID        = 0x2260
+//
+// The model samples a RailProbe (true bus voltage + current), quantizes
+// through the shunt ADC LSB, and applies optional Gaussian measurement
+// noise attenuated by the configured averaging count -- so experiments see
+// realistic quantization and can study averaging trade-offs.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "pmbus/device.hpp"
+
+namespace hbmvolt::pmbus {
+class Bus;
+}
+
+namespace hbmvolt::sensors {
+
+struct RailSample {
+  Millivolts bus_voltage;
+  Amps current;
+};
+
+class Ina226 : public pmbus::SlaveDevice {
+ public:
+  struct Config {
+    std::uint8_t address = 0x40;
+    Ohms shunt{0.002};               // board-level shunt resistor
+    double noise_sigma_amps = 0.01;  // 1-sample current noise (std dev)
+    std::uint64_t seed = 0x1A226;
+  };
+
+  explicit Ina226(Config config);
+
+  /// Provides the true rail state each time a conversion is sampled.
+  using RailProbe = std::function<RailSample()>;
+  void set_rail_probe(RailProbe probe) { probe_ = std::move(probe); }
+
+  /// Averaging count decoded from CONFIG (1..1024).
+  [[nodiscard]] unsigned averaging_count() const noexcept;
+
+  void reset();
+
+  // SlaveDevice interface (the INA226 is an I2C device; it shares the
+  // SMBus word framing the Bus models).
+  [[nodiscard]] std::uint8_t address() const noexcept override {
+    return config_.address;
+  }
+  Result<std::uint16_t> read_word(std::uint8_t reg) override;
+  Status write_word(std::uint8_t reg, std::uint16_t value) override;
+
+  // Register indices.
+  static constexpr std::uint8_t kRegConfig = 0x00;
+  static constexpr std::uint8_t kRegShunt = 0x01;
+  static constexpr std::uint8_t kRegBus = 0x02;
+  static constexpr std::uint8_t kRegPower = 0x03;
+  static constexpr std::uint8_t kRegCurrent = 0x04;
+  static constexpr std::uint8_t kRegCalibration = 0x05;
+  static constexpr std::uint8_t kRegMaskEnable = 0x06;
+  static constexpr std::uint8_t kRegAlertLimit = 0x07;
+  static constexpr std::uint8_t kRegManufacturerId = 0xFE;
+  static constexpr std::uint8_t kRegDieId = 0xFF;
+
+  static constexpr double kShuntLsbVolts = 2.5e-6;
+  static constexpr double kBusLsbVolts = 1.25e-3;
+  static constexpr std::uint16_t kConfigDefault = 0x4127;
+
+ private:
+  /// Runs one (averaged) conversion and latches the data registers.
+  void convert();
+
+  Config config_;
+  RailProbe probe_;
+  Xoshiro256 rng_;
+
+  std::uint16_t config_reg_ = kConfigDefault;
+  std::uint16_t calibration_ = 0;
+  std::uint16_t mask_enable_ = 0;
+  std::uint16_t alert_limit_ = 0;
+  std::int16_t shunt_reg_ = 0;
+  std::uint16_t bus_reg_ = 0;
+};
+
+/// Host-side driver implementing the datasheet calibration procedure.
+class Ina226Driver {
+ public:
+  Ina226Driver(pmbus::Bus& bus, std::uint8_t address);
+
+  /// Programs CALIBRATION for the given full-scale current and shunt value
+  /// and sets the averaging count (rounded up to a supported 1..1024 step).
+  Status configure(double max_expected_amps, Ohms shunt, unsigned averages);
+
+  Result<Millivolts> read_bus_voltage();
+  Result<Amps> read_current();
+  Result<Watts> read_power();
+  Result<Amps> read_shunt_current();  // from SHUNT register directly
+
+  [[nodiscard]] double current_lsb() const noexcept { return current_lsb_; }
+
+ private:
+  pmbus::Bus& bus_;
+  std::uint8_t address_;
+  double current_lsb_ = 0.0;
+  Ohms shunt_{0.002};
+};
+
+}  // namespace hbmvolt::sensors

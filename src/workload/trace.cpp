@@ -1,0 +1,191 @@
+#include "workload/trace.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace hbmvolt::workload {
+
+void AccessTrace::append(bool write, std::uint64_t beat) {
+  HBMVOLT_REQUIRE(beat <= 0xFFFFFFFFull, "trace beat exceeds 32 bits");
+  records_.push_back({write, static_cast<std::uint32_t>(beat)});
+}
+
+std::string AccessTrace::to_text() const {
+  std::string out;
+  out.reserve(records_.size() * 12);
+  for (const auto& record : records_) {
+    out += record.write ? 'W' : 'R';
+    out += ' ';
+    out += std::to_string(record.beat);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<AccessTrace> AccessTrace::from_text(std::string_view text) {
+  AccessTrace trace;
+  std::size_t line_number = 0;
+  std::size_t position = 0;
+  while (position < text.size()) {
+    std::size_t end = text.find('\n', position);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(position, end - position);
+    position = end + 1;
+    ++line_number;
+
+    // Trim and skip blanks/comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.size() < 3 || (line[0] != 'R' && line[0] != 'W') ||
+        line[1] != ' ') {
+      return invalid_argument("trace line " + std::to_string(line_number) +
+                              ": expected 'R <beat>' or 'W <beat>'");
+    }
+    std::uint64_t beat = 0;
+    bool any_digit = false;
+    for (std::size_t i = 2; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == ' ' || c == '\r') break;
+      if (c < '0' || c > '9') {
+        return invalid_argument("trace line " + std::to_string(line_number) +
+                                ": bad beat number");
+      }
+      beat = beat * 10 + static_cast<std::uint64_t>(c - '0');
+      any_digit = true;
+    }
+    if (!any_digit || beat > 0xFFFFFFFFull) {
+      return invalid_argument("trace line " + std::to_string(line_number) +
+                              ": bad beat number");
+    }
+    trace.append(line[0] == 'W', beat);
+  }
+  return trace;
+}
+
+AccessTrace make_streaming(std::uint64_t beats, unsigned passes) {
+  AccessTrace trace;
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    for (std::uint64_t beat = 0; beat < beats; ++beat) {
+      trace.append(pass == 0, beat);  // first pass writes, rest read
+    }
+  }
+  return trace;
+}
+
+AccessTrace make_uniform_random(std::uint64_t beats, std::uint64_t accesses,
+                                double write_fraction, std::uint64_t seed) {
+  AccessTrace trace;
+  Xoshiro256 rng(seed);
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    trace.append(rng.bernoulli(write_fraction), rng.bounded(beats));
+  }
+  return trace;
+}
+
+AccessTrace make_hot_set(std::uint64_t beats, std::uint64_t accesses,
+                         double hot_fraction, double hot_access_fraction,
+                         std::uint64_t seed) {
+  HBMVOLT_REQUIRE(hot_fraction > 0.0 && hot_fraction <= 1.0,
+                  "hot fraction must be in (0,1]");
+  AccessTrace trace;
+  Xoshiro256 rng(seed);
+  const auto hot_beats = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(hot_fraction *
+                                    static_cast<double>(beats)));
+  // The hot set starts at a seeded offset, wrapping around.
+  const std::uint64_t hot_base = rng.bounded(beats);
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    std::uint64_t beat;
+    if (rng.bernoulli(hot_access_fraction)) {
+      beat = (hot_base + rng.bounded(hot_beats)) % beats;
+    } else {
+      beat = rng.bounded(beats);
+    }
+    trace.append(rng.bernoulli(0.3), beat);
+  }
+  return trace;
+}
+
+AccessTrace make_strided(std::uint64_t beats, std::uint64_t accesses,
+                         std::uint64_t stride) {
+  HBMVOLT_REQUIRE(stride > 0, "stride must be positive");
+  AccessTrace trace;
+  // First touch of each position writes (initialization), revisits read.
+  std::vector<bool> seen(beats, false);
+  std::uint64_t beat = 0;
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    trace.append(!seen[beat], beat);
+    seen[beat] = true;
+    beat = (beat + stride) % beats;
+  }
+  return trace;
+}
+
+Result<ExposureResult> replay_exposure(hbm::HbmStack& stack,
+                                       unsigned pc_local,
+                                       const AccessTrace& trace,
+                                       std::uint64_t data_seed) {
+  const std::uint64_t beats = stack.geometry().beats_per_pc();
+  ExposureResult result;
+
+  // Written-data journal (beat -> generation), so reads verify against
+  // what the workload last stored there.
+  std::unordered_map<std::uint32_t, std::uint64_t> generation;
+  std::unordered_set<std::uint64_t> stuck_touched;
+  std::unordered_set<std::uint32_t> footprint;
+
+  const auto data_for = [&](std::uint32_t beat, std::uint64_t gen) {
+    hbm::Beat data;
+    for (unsigned w = 0; w < 4; ++w) {
+      data[w] = splitmix64(data_seed ^ (static_cast<std::uint64_t>(beat) *
+                                            4 + w) ^ (gen << 40));
+    }
+    return data;
+  };
+
+  for (const auto& record : trace) {
+    if (record.beat >= beats) {
+      return out_of_range("trace beat beyond PC capacity");
+    }
+    footprint.insert(record.beat);
+    ++result.accesses;
+    if (record.write) {
+      const std::uint64_t gen = ++generation[record.beat];
+      HBMVOLT_RETURN_IF_ERROR(
+          stack.write_beat(pc_local, record.beat, data_for(record.beat, gen)));
+      ++result.writes;
+    } else {
+      auto data = stack.read_beat(pc_local, record.beat);
+      if (!data.is_ok()) return data.status();
+      ++result.reads;
+      const auto it = generation.find(record.beat);
+      if (it == generation.end()) continue;  // never written: skip check
+      const hbm::Beat expected = data_for(record.beat, it->second);
+      bool corrupted = false;
+      for (unsigned w = 0; w < 4; ++w) {
+        std::uint64_t diff = data.value()[w] ^ expected[w];
+        if (diff == 0) continue;
+        corrupted = true;
+        result.flipped_bits +=
+            static_cast<unsigned>(__builtin_popcountll(diff));
+        while (diff != 0) {
+          const int bit = __builtin_ctzll(diff);
+          diff &= diff - 1;
+          stuck_touched.insert(static_cast<std::uint64_t>(record.beat) * 256 +
+                               w * 64 + static_cast<unsigned>(bit));
+        }
+      }
+      result.corrupted_reads += corrupted ? 1 : 0;
+    }
+  }
+  result.distinct_stuck_cells_touched = stuck_touched.size();
+  result.footprint_beats = footprint.size();
+  return result;
+}
+
+}  // namespace hbmvolt::workload

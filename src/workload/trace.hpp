@@ -1,0 +1,111 @@
+// Access-trace infrastructure: synthetic workload generators, a compact
+// text serialization, and a replay engine that measures *application-
+// level fault exposure* on an undervolted PC.
+//
+// Algorithm 1 answers "which cells are stuck?"; an application cares
+// about "how often do MY reads hit a stuck cell?".  The two differ by
+// the workload's footprint and skew: a streaming scan touches every
+// stuck cell once per pass, a hot-set workload may never touch one.
+// Replay counts corrupted reads and distinct stuck cells touched, which
+// feeds directly into the paper's tolerable-fault-rate axis (Fig 6).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "hbm/stack.hpp"
+
+namespace hbmvolt::workload {
+
+struct TraceRecord {
+  bool write = false;
+  std::uint32_t beat = 0;
+};
+
+class AccessTrace {
+ public:
+  void append(bool write, std::uint64_t beat);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const TraceRecord& operator[](std::size_t i) const {
+    return records_[i];
+  }
+  [[nodiscard]] std::vector<TraceRecord>::const_iterator begin() const {
+    return records_.begin();
+  }
+  [[nodiscard]] std::vector<TraceRecord>::const_iterator end() const {
+    return records_.end();
+  }
+
+  /// One record per line: "R <beat>" / "W <beat>"; '#' comments allowed.
+  [[nodiscard]] std::string to_text() const;
+  static Result<AccessTrace> from_text(std::string_view text);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+// ---- Synthetic workload generators (deterministic per seed) ----
+
+/// Sequential scan: `passes` read sweeps over [0, beats).
+[[nodiscard]] AccessTrace make_streaming(std::uint64_t beats,
+                                         unsigned passes = 1);
+
+/// Uniform random reads/writes over [0, beats).
+[[nodiscard]] AccessTrace make_uniform_random(std::uint64_t beats,
+                                              std::uint64_t accesses,
+                                              double write_fraction,
+                                              std::uint64_t seed);
+
+/// Skewed workload: `hot_fraction` of the beats receive
+/// `hot_access_fraction` of the accesses (e.g. 0.1 / 0.9 = 90% of traffic
+/// on 10% of the footprint).
+[[nodiscard]] AccessTrace make_hot_set(std::uint64_t beats,
+                                       std::uint64_t accesses,
+                                       double hot_fraction,
+                                       double hot_access_fraction,
+                                       std::uint64_t seed);
+
+/// Fixed-stride reads (e.g. column walks); stride in beats.
+[[nodiscard]] AccessTrace make_strided(std::uint64_t beats,
+                                       std::uint64_t accesses,
+                                       std::uint64_t stride);
+
+// ---- Replay ----
+
+struct ExposureResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Reads that returned at least one flipped bit.
+  std::uint64_t corrupted_reads = 0;
+  /// Total flipped bits observed across all reads.
+  std::uint64_t flipped_bits = 0;
+  /// Distinct stuck cells the workload actually touched.
+  std::uint64_t distinct_stuck_cells_touched = 0;
+  /// Distinct beats touched (the footprint).
+  std::uint64_t footprint_beats = 0;
+
+  [[nodiscard]] double corrupted_read_fraction() const noexcept {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(corrupted_reads) /
+                            static_cast<double>(reads);
+  }
+};
+
+/// Replays `trace` against one PC of `stack` at its current voltage.
+/// Writes store deterministic per-beat data (seeded); reads verify
+/// against the last written data for that beat (beats read before any
+/// write are skipped for corruption accounting but still counted).
+Result<ExposureResult> replay_exposure(hbm::HbmStack& stack,
+                                       unsigned pc_local,
+                                       const AccessTrace& trace,
+                                       std::uint64_t data_seed = 1);
+
+}  // namespace hbmvolt::workload

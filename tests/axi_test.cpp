@@ -1,0 +1,351 @@
+// Unit tests for src/axi: traffic generators, the switching network, and
+// per-stack controllers.
+
+#include <gtest/gtest.h>
+
+#include "axi/controller.hpp"
+#include "axi/switch.hpp"
+#include "axi/traffic_gen.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/stack.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using axi::MacroOp;
+using axi::StackController;
+using axi::SwitchNetwork;
+using axi::TgCommand;
+using axi::TrafficGenerator;
+
+class AxiTest : public ::testing::Test {
+ protected:
+  AxiTest()
+      : geometry_(hbm::HbmGeometry::test_tiny()),
+        injector_(faults::FaultModel(geometry_, faults::FaultModelConfig{})),
+        stack_(geometry_, 0, injector_, 3) {}
+
+  void set_voltage(Millivolts v) {
+    injector_.set_voltage(v);
+    stack_.on_voltage_change(v);
+  }
+
+  hbm::HbmGeometry geometry_;
+  faults::FaultInjector injector_;
+  hbm::HbmStack stack_;
+};
+
+// ----------------------------------------------------------- count_flips
+
+TEST(CountFlipsTest, SeparatesDirections) {
+  const hbm::Beat expected = {0xFF, 0x00, ~0ull, 0};
+  const hbm::Beat observed = {0x0F, 0xF0, ~0ull, 1};
+  std::uint64_t f10 = 0;
+  std::uint64_t f01 = 0;
+  axi::count_flips(observed, expected, f10, f01);
+  EXPECT_EQ(f10, 4u);  // upper nibble of word 0 lost its ones
+  EXPECT_EQ(f01, 5u);  // word 1 gained four ones, word 3 gained one
+}
+
+TEST(CountFlipsTest, IdenticalBeatsNoFlips) {
+  std::uint64_t f10 = 0;
+  std::uint64_t f01 = 0;
+  axi::count_flips(hbm::kBeatAllOnes, hbm::kBeatAllOnes, f10, f01);
+  EXPECT_EQ(f10 + f01, 0u);
+}
+
+// ------------------------------------------------------ TrafficGenerator
+
+TEST_F(AxiTest, WriteReadCleanAtNominal) {
+  TrafficGenerator tg(stack_, 0);
+  TgCommand command{MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes, true};
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_EQ(tg.stats().beats_written, geometry_.beats_per_pc());
+  EXPECT_EQ(tg.stats().beats_read, geometry_.beats_per_pc());
+  EXPECT_EQ(tg.stats().total_flips(), 0u);
+  EXPECT_EQ(tg.stats().bits_checked, geometry_.bits_per_pc);
+}
+
+TEST_F(AxiTest, SubrangeCommand) {
+  TrafficGenerator tg(stack_, 1);
+  TgCommand command{MacroOp::kWriteRead, 4, 8, hbm::kBeatAllZeros, true};
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_EQ(tg.stats().beats_written, 8u);
+  EXPECT_EQ(tg.stats().bits_checked, 8u * 256);
+}
+
+TEST_F(AxiTest, ReadWithoutCheckCountsNothing) {
+  TrafficGenerator tg(stack_, 0);
+  TgCommand command{MacroOp::kRead, 0, 4, hbm::kBeatAllOnes, false};
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_EQ(tg.stats().bits_checked, 0u);
+  EXPECT_EQ(tg.stats().beats_written, 0u);
+  EXPECT_EQ(tg.stats().beats_read, 4u);
+}
+
+TEST_F(AxiTest, RangeValidation) {
+  TrafficGenerator tg(stack_, 0);
+  TgCommand command{MacroOp::kWrite, geometry_.beats_per_pc(), 1,
+                    hbm::kBeatAllOnes, false};
+  EXPECT_EQ(tg.run(command).code(), StatusCode::kOutOfRange);
+  command = {MacroOp::kWrite, 0, geometry_.beats_per_pc() + 1,
+             hbm::kBeatAllOnes, false};
+  EXPECT_EQ(tg.run(command).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(AxiTest, DisabledPortDoesNothing) {
+  TrafficGenerator tg(stack_, 0);
+  tg.set_enabled(false);
+  TgCommand command{MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes, true};
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_EQ(tg.stats().beats_written, 0u);
+}
+
+TEST_F(AxiTest, CrashedStackReturnsSlverr) {
+  set_voltage(Millivolts{800});
+  TrafficGenerator tg(stack_, 0);
+  TgCommand command{MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes, true};
+  EXPECT_EQ(tg.run(command).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(tg.stats().slverr, 1u);
+}
+
+TEST_F(AxiTest, UndervoltedReadsCountFlipsByDirection) {
+  set_voltage(Millivolts{880});
+  TrafficGenerator tg(stack_, 4);  // PC4: a weak PC
+  TgCommand ones{MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes, true};
+  TgCommand zeros{MacroOp::kWriteRead, 0, 0, hbm::kBeatAllZeros, true};
+  ASSERT_TRUE(tg.run(ones).is_ok());
+  ASSERT_TRUE(tg.run(zeros).is_ok());
+  // All-ones pattern exposes stuck-at-0 cells, all-zeros stuck-at-1.
+  const auto& overlay = injector_.overlay(4);
+  EXPECT_EQ(tg.stats().flips_1to0,
+            overlay.count(faults::StuckPolarity::kStuckAt0));
+  EXPECT_EQ(tg.stats().flips_0to1,
+            overlay.count(faults::StuckPolarity::kStuckAt1));
+}
+
+TEST_F(AxiTest, BandwidthModel) {
+  TrafficGenerator tg(stack_, 0);
+  // Peak: 450 MHz * 32 B * 0.673 ~= 9.69 GB/s -> 32 ports ~= 310 GB/s.
+  EXPECT_NEAR(tg.peak_bandwidth().value, 310.0 / 32.0, 0.05);
+  TgCommand command{MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes, false};
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_GT(tg.stats().busy_time, 0u);
+  EXPECT_NEAR(tg.sustained_bandwidth().value, tg.peak_bandwidth().value,
+              0.01);
+}
+
+TEST_F(AxiTest, StatsReset) {
+  TrafficGenerator tg(stack_, 0);
+  TgCommand command{MacroOp::kWrite, 0, 4, hbm::kBeatAllOnes, false};
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_GT(tg.stats().beats_written, 0u);
+  tg.reset_stats();
+  EXPECT_EQ(tg.stats().beats_written, 0u);
+  EXPECT_EQ(tg.stats().busy_time, 0u);
+}
+
+// ------------------------------------------------ Random order + timing
+
+TEST_F(AxiTest, RandomOrderCoversEveryBeatExactlyOnce) {
+  TrafficGenerator tg(stack_, 0);
+  TgCommand command{axi::MacroOp::kWrite, 0, 0, hbm::kBeatAllOnes, false};
+  command.random_order = true;
+  command.order_seed = 77;
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_EQ(tg.stats().beats_written, geometry_.beats_per_pc());
+  // Every beat was written: the whole array reads back all-ones.
+  for (std::uint64_t beat = 0; beat < geometry_.beats_per_pc(); ++beat) {
+    EXPECT_EQ(stack_.array(0).read_beat(beat), hbm::kBeatAllOnes) << beat;
+  }
+}
+
+TEST_F(AxiTest, FaultCountsAreOrderIndependent) {
+  set_voltage(Millivolts{880});
+  TgCommand sequential{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                       true};
+  TgCommand shuffled = sequential;
+  shuffled.random_order = true;
+  shuffled.order_seed = 123;
+
+  TrafficGenerator tg_seq(stack_, 4);
+  TrafficGenerator tg_rnd(stack_, 4);
+  ASSERT_TRUE(tg_seq.run(sequential).is_ok());
+  ASSERT_TRUE(tg_rnd.run(shuffled).is_ok());
+  EXPECT_EQ(tg_seq.stats().flips_1to0, tg_rnd.stats().flips_1to0);
+  EXPECT_EQ(tg_seq.stats().flips_0to1, tg_rnd.stats().flips_0to1);
+}
+
+TEST_F(AxiTest, CommandLevelTimingNearFlatForSequential) {
+  // For sequential sweeps the AXI port domain binds, so the composed
+  // model reports (nearly) the flat elapsed time -- on this tiny array
+  // the unamortized first activations add a few percent.
+  TgCommand command{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                    false};
+  TrafficGenerator flat(stack_, 0);
+  TrafficGenerator composed(stack_, 1);
+  composed.set_timing_mode(axi::TimingMode::kCommandLevel);
+  ASSERT_TRUE(flat.run(command).is_ok());
+  ASSERT_TRUE(composed.run(command).is_ok());
+  EXPECT_GE(composed.stats().busy_time, flat.stats().busy_time);
+  EXPECT_LE(composed.stats().busy_time,
+            flat.stats().busy_time + flat.stats().busy_time / 8);
+}
+
+TEST_F(AxiTest, CommandLevelTimingPenalizesRandomOrder) {
+  TgCommand command{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                    false};
+  command.random_order = true;
+  command.order_seed = 5;
+
+  TrafficGenerator flat(stack_, 0);
+  ASSERT_TRUE(flat.run(command).is_ok());
+  TrafficGenerator composed(stack_, 1);
+  composed.set_timing_mode(axi::TimingMode::kCommandLevel);
+  ASSERT_TRUE(composed.run(command).is_ok());
+  // Random addresses thrash DRAM rows: the DRAM domain becomes the
+  // bottleneck and elapsed time grows well beyond the flat port model.
+  EXPECT_GT(composed.stats().busy_time, 2 * flat.stats().busy_time);
+  EXPECT_LT(composed.sustained_bandwidth().value,
+            0.5 * flat.sustained_bandwidth().value);
+}
+
+// --------------------------------------------------------- SwitchNetwork
+
+TEST(SwitchTest, IdentityWhenDisabled) {
+  SwitchNetwork sw(16);
+  EXPECT_FALSE(sw.enabled());
+  for (unsigned p = 0; p < 16; ++p) {
+    EXPECT_EQ(sw.target_pc(p), p);
+    EXPECT_DOUBLE_EQ(sw.throughput_derate(p), 1.0);
+  }
+}
+
+TEST(SwitchTest, NonIdentityRoutingRequiresEnable) {
+  SwitchNetwork sw(16);
+  EXPECT_EQ(sw.route(0, 5).code(), StatusCode::kFailedPrecondition);
+  sw.set_enabled(true);
+  EXPECT_TRUE(sw.route(0, 5).is_ok());
+  EXPECT_EQ(sw.target_pc(0), 5u);
+}
+
+TEST(SwitchTest, EnabledCostsBandwidth) {
+  SwitchNetwork sw(16);
+  sw.set_enabled(true);
+  // Same-group routing pays the base derate.
+  EXPECT_DOUBLE_EQ(sw.throughput_derate(0), SwitchNetwork::kEnabledDerate);
+  // Distant PCs pay per-hop extra.
+  ASSERT_TRUE(sw.route(0, 15).is_ok());
+  EXPECT_LT(sw.throughput_derate(0), SwitchNetwork::kEnabledDerate);
+  EXPECT_GE(sw.throughput_derate(0), 0.5);
+}
+
+TEST(SwitchTest, ResetRestoresIdentity) {
+  SwitchNetwork sw(16);
+  sw.set_enabled(true);
+  ASSERT_TRUE(sw.route(2, 9).is_ok());
+  sw.reset_routes();
+  EXPECT_EQ(sw.target_pc(2), 2u);
+}
+
+TEST(SwitchTest, RangeChecks) {
+  SwitchNetwork sw(4);
+  sw.set_enabled(true);
+  EXPECT_EQ(sw.route(4, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(sw.route(0, 4).code(), StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------- StackController
+
+TEST_F(AxiTest, ControllerEnableCountAndMask) {
+  StackController controller(stack_);
+  EXPECT_EQ(controller.port_count(), geometry_.pcs_per_stack());
+  controller.set_enabled_count(5);
+  EXPECT_EQ(controller.enabled_ports(), 5u);
+  controller.set_enabled_mask(0b1010);
+  EXPECT_EQ(controller.enabled_ports(), 2u);
+  EXPECT_FALSE(controller.port(0).enabled());
+  EXPECT_TRUE(controller.port(1).enabled());
+}
+
+TEST_F(AxiTest, ControllerBroadcastAggregates) {
+  StackController controller(stack_);
+  controller.set_enabled_count(4);
+  TgCommand command{MacroOp::kWriteRead, 0, 16, hbm::kBeatAllOnes, true};
+  const auto result = controller.run(command);
+  EXPECT_EQ(result.ports_active, 4u);
+  EXPECT_TRUE(result.stack_responding);
+  EXPECT_GT(result.elapsed, 0u);
+  const auto totals = result.totals();
+  EXPECT_EQ(totals.beats_written, 4u * 16);
+  EXPECT_EQ(totals.beats_read, 4u * 16);
+  // Ports run concurrently: elapsed is one port's time, not the sum.
+  EXPECT_EQ(result.elapsed, result.per_port[0].busy_time);
+}
+
+TEST_F(AxiTest, AggregateBandwidthScalesWithPorts) {
+  StackController controller(stack_);
+  TgCommand command{MacroOp::kWriteRead, 0, 64, hbm::kBeatAllOnes, false};
+  controller.set_enabled_count(1);
+  const double bw1 = controller.run(command).aggregate_bandwidth.value;
+  controller.set_enabled_count(16);
+  const double bw16 = controller.run(command).aggregate_bandwidth.value;
+  EXPECT_NEAR(bw16 / bw1, 16.0, 0.1);
+  // Full stack: ~155 GB/s (half the 310 GB/s device: one of two stacks).
+  EXPECT_NEAR(bw16, 310.0 / 2.0, 2.0);
+}
+
+TEST_F(AxiTest, RunOnPortTouchesOnlyThatPort) {
+  StackController controller(stack_);
+  controller.set_enabled_count(0);
+  TgCommand command{MacroOp::kWriteRead, 0, 8, hbm::kBeatAllOnes, true};
+  const auto result = controller.run_on_port(7, command);
+  EXPECT_EQ(result.ports_active, 1u);
+  EXPECT_EQ(result.per_port[7].beats_written, 8u);
+  EXPECT_EQ(result.per_port[6].beats_written, 0u);
+}
+
+TEST_F(AxiTest, ControllerResetPorts) {
+  StackController controller(stack_);
+  controller.set_enabled_count(2);
+  TgCommand command{MacroOp::kWrite, 0, 8, hbm::kBeatAllOnes, false};
+  (void)controller.run(command);
+  EXPECT_GT(controller.aggregate_stats().beats_written, 0u);
+  controller.reset_ports();
+  EXPECT_EQ(controller.aggregate_stats().beats_written, 0u);
+}
+
+TEST_F(AxiTest, ControllerReportsCrashedStack) {
+  set_voltage(Millivolts{800});
+  StackController controller(stack_);
+  controller.set_enabled_count(2);
+  TgCommand command{MacroOp::kWriteRead, 0, 8, hbm::kBeatAllOnes, true};
+  const auto result = controller.run(command);
+  EXPECT_FALSE(result.stack_responding);
+  EXPECT_GT(result.totals().slverr, 0u);
+}
+
+TEST_F(AxiTest, SwitchRoutingRedirectsTraffic) {
+  StackController controller(stack_);
+  controller.switch_network().set_enabled(true);
+  ASSERT_TRUE(controller.switch_network().route(0, 3).is_ok());
+  controller.set_enabled_count(1);  // only port 0
+  TgCommand command{MacroOp::kWrite, 0, 1, hbm::kBeatAllOnes, false};
+  (void)controller.run(command);
+  // The write landed in PC3's array, not PC0's.
+  EXPECT_EQ(stack_.array(3).read_beat(0), hbm::kBeatAllOnes);
+  EXPECT_NE(stack_.array(0).read_beat(0), hbm::kBeatAllOnes);
+}
+
+TEST_F(AxiTest, SwitchEnabledReducesThroughput) {
+  StackController controller(stack_);
+  controller.set_enabled_count(1);
+  TgCommand command{MacroOp::kWriteRead, 0, 64, hbm::kBeatAllOnes, false};
+  const double bw_direct = controller.run(command).aggregate_bandwidth.value;
+  controller.switch_network().set_enabled(true);
+  const double bw_switched = controller.run(command).aggregate_bandwidth.value;
+  EXPECT_NEAR(bw_switched / bw_direct, SwitchNetwork::kEnabledDerate, 0.01);
+}
+
+}  // namespace
+}  // namespace hbmvolt

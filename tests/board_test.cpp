@@ -1,0 +1,193 @@
+// Unit tests for the VCU128 board composition: PMBus-driven voltage
+// control, INA226-path power measurement, port management, crash/recovery.
+
+#include <gtest/gtest.h>
+
+#include "board/vcu128.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using board::BoardConfig;
+using board::Vcu128Board;
+
+BoardConfig tiny_config() {
+  BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  config.monitor_config.noise_sigma_amps = 0.0;
+  return config;
+}
+
+class BoardTest : public ::testing::Test {
+ protected:
+  BoardTest() : board_(tiny_config()) {}
+  Vcu128Board board_;
+};
+
+TEST_F(BoardTest, PowersUpAtNominalAndResponding) {
+  EXPECT_EQ(board_.hbm_voltage().value, 1200);
+  EXPECT_TRUE(board_.responding());
+  EXPECT_EQ(board_.active_ports(), 0u);
+}
+
+TEST_F(BoardTest, SetVoltagePropagatesToStacksAndInjector) {
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{900}).is_ok());
+  EXPECT_EQ(board_.hbm_voltage().value, 900);
+  EXPECT_EQ(board_.stack(0).voltage().value, 900);
+  EXPECT_EQ(board_.stack(1).voltage().value, 900);
+  EXPECT_EQ(board_.injector().voltage().value, 900);
+}
+
+TEST_F(BoardTest, RegulatorReadVoutIncludesDroop) {
+  board_.set_active_ports(board_.total_ports());
+  auto vout = board_.regulator().read_vout();
+  ASSERT_TRUE(vout.is_ok());
+  // ~21.75 A at full load through 0.2 mOhm -> ~4 mV droop.
+  EXPECT_LT(vout.value().value, 1200);
+  EXPECT_GE(vout.value().value, 1190);
+}
+
+TEST_F(BoardTest, MeasuredPowerTracksModel) {
+  board_.set_active_ports(board_.total_ports());
+  auto measured = board_.measure_power_averaged(4);
+  ASSERT_TRUE(measured.is_ok());
+  const double expected =
+      board_.power_model().power(Millivolts{1200}, 1.0).value;
+  EXPECT_NEAR(measured.value().value, expected, expected * 0.02);
+}
+
+TEST_F(BoardTest, MeasuredPowerDropsWhenIdle) {
+  board_.set_active_ports(board_.total_ports());
+  const double full = board_.measure_power().value().value;
+  board_.set_active_ports(0);
+  const double idle = board_.measure_power().value().value;
+  EXPECT_NEAR(idle / full, 1.0 / 3.0, 0.03);
+}
+
+TEST_F(BoardTest, ActivePortsSpreadAcrossStacks) {
+  board_.set_active_ports(16);
+  EXPECT_EQ(board_.active_ports(), 16u);
+  EXPECT_EQ(board_.controller(0).enabled_ports(), 8u);
+  EXPECT_EQ(board_.controller(1).enabled_ports(), 8u);
+  EXPECT_DOUBLE_EQ(board_.utilization(), 0.5);
+  board_.set_active_ports(7);
+  EXPECT_EQ(board_.controller(0).enabled_ports(), 4u);
+  EXPECT_EQ(board_.controller(1).enabled_ports(), 3u);
+}
+
+TEST_F(BoardTest, RunTrafficReturnsPerStackResults) {
+  board_.set_active_ports(4);
+  axi::TgCommand command{axi::MacroOp::kWriteRead, 0, 8, hbm::kBeatAllOnes,
+                         true};
+  const auto results = board_.run_traffic(command);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].totals().beats_written, 2u * 8);
+  EXPECT_EQ(results[1].totals().beats_written, 2u * 8);
+  // Energy accounting advanced.
+  EXPECT_GT(board_.rail().consumed_energy().value, 0.0);
+}
+
+TEST_F(BoardTest, CrashAndPowerCycle) {
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{790}).is_ok());
+  EXPECT_FALSE(board_.responding());
+  // Restoring voltage alone does not recover (the paper's observation).
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{1200}).is_ok());
+  EXPECT_FALSE(board_.responding());
+  ASSERT_TRUE(board_.power_cycle().is_ok());
+  EXPECT_TRUE(board_.responding());
+  EXPECT_EQ(board_.hbm_voltage().value, 1200);
+}
+
+TEST_F(BoardTest, UndervoltBelowUvDefaultWorksAfterBringup) {
+  // Board bring-up lowered the regulator's UV fault limit, so deep
+  // undervolting must not latch the output off.
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{820}).is_ok());
+  EXPECT_EQ(board_.hbm_voltage().value, 820);
+  EXPECT_TRUE(board_.responding());
+}
+
+TEST_F(BoardTest, FaultsAppearOnlyBelowGuardband) {
+  board_.set_active_ports(board_.total_ports());
+  axi::TgCommand command{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                         true};
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{980}).is_ok());
+  std::uint64_t flips = 0;
+  for (const auto& result : board_.run_traffic(command)) {
+    flips += result.totals().total_flips();
+  }
+  EXPECT_EQ(flips, 0u);
+
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{900}).is_ok());
+  flips = 0;
+  for (const auto& result : board_.run_traffic(command)) {
+    flips += result.totals().total_flips();
+  }
+  EXPECT_GT(flips, 0u);
+}
+
+TEST_F(BoardTest, MeasurePowerAveragedValidatesArgs) {
+  EXPECT_FALSE(board_.measure_power_averaged(0).is_ok());
+}
+
+TEST_F(BoardTest, PowerScalesQuadraticallyThroughSensorPath) {
+  board_.set_active_ports(board_.total_ports());
+  const double p_nom = board_.measure_power_averaged(4).value().value;
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{980}).is_ok());
+  const double p_980 = board_.measure_power_averaged(4).value().value;
+  EXPECT_NEAR(p_nom / p_980, 1.5, 0.05);
+}
+
+TEST_F(BoardTest, DeterministicAcrossBoards) {
+  Vcu128Board other(tiny_config());
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{880}).is_ok());
+  ASSERT_TRUE(other.set_hbm_voltage(Millivolts{880}).is_ok());
+  axi::TgCommand command{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                         true};
+  board_.set_active_ports(board_.total_ports());
+  other.set_active_ports(other.total_ports());
+  const auto a = board_.run_traffic(command);
+  const auto b = other.run_traffic(command);
+  for (unsigned s = 0; s < 2; ++s) {
+    EXPECT_EQ(a[s].totals().flips_1to0, b[s].totals().flips_1to0);
+  }
+}
+
+TEST_F(BoardTest, IpCoresExposeControllers) {
+  // The IP cores and the host API view the same state.
+  board_.set_active_ports(8);
+  const auto mask0 = board_.ip_core(0).read(hbm::HbmIpCore::kRegPortEnable);
+  ASSERT_TRUE(mask0.is_ok());
+  EXPECT_EQ(__builtin_popcount(mask0.value()), 4);  // 8 spread over 2 stacks
+  // Programming through the registers is visible to the host API.
+  ASSERT_TRUE(board_.ip_core(0)
+                  .write(hbm::HbmIpCore::kRegPortEnable, 0xFFFF)
+                  .is_ok());
+  EXPECT_EQ(board_.controller(0).enabled_ports(), 16u);
+  // Status mirrors crash state.
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{790}).is_ok());
+  const auto status = board_.ip_core(0).read(hbm::HbmIpCore::kRegStatus);
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_FALSE(status.value() & hbm::HbmIpCore::kStatusResponding);
+  ASSERT_TRUE(board_.power_cycle().is_ok());
+}
+
+TEST_F(BoardTest, DifferentSeedDifferentFaultPlacement) {
+  BoardConfig other_config = tiny_config();
+  other_config.seed = 0xD1FF;
+  Vcu128Board other(other_config);
+  ASSERT_TRUE(board_.set_hbm_voltage(Millivolts{880}).is_ok());
+  ASSERT_TRUE(other.set_hbm_voltage(Millivolts{880}).is_ok());
+  // Same anchors (faults exist at 880 on both), but placement differs.
+  const auto& overlay_a = board_.injector().overlay(18);
+  const auto& overlay_b = other.injector().overlay(18);
+  EXPECT_GT(overlay_a.total_count(), 0u);
+  EXPECT_GT(overlay_b.total_count(), 0u);
+  bool any_difference = false;
+  overlay_a.for_each([&](std::uint64_t bit, faults::StuckPolarity) {
+    if (!overlay_b.is_stuck(bit)) any_difference = true;
+  });
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace hbmvolt

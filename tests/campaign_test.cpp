@@ -1,0 +1,114 @@
+// Integration tests for the campaign runner (the one-call full
+// characterization) and its artifact writing.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+
+namespace hbmvolt {
+namespace {
+
+namespace fs = std::filesystem;
+
+board::BoardConfig tiny_board() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  config.monitor_config.noise_sigma_amps = 0.0;
+  return config;
+}
+
+core::CampaignConfig fast_campaign() {
+  core::CampaignConfig config;
+  config.reliability.sweep = {Millivolts{1200}, Millivolts{800}, 20};
+  config.reliability.batch_size = 1;
+  config.power.sweep = {Millivolts{1200}, Millivolts{850}, 50};
+  config.power.samples = 2;
+  config.power.traffic_beats = 4;
+  config.dry_run = true;
+  return config;
+}
+
+TEST(CampaignTest, DryRunProducesAllAnalyses) {
+  board::Vcu128Board board(tiny_board());
+  core::Campaign campaign(board, fast_campaign());
+  auto result = campaign.run();
+  ASSERT_TRUE(result.is_ok());
+  const auto& r = result.value();
+
+  EXPECT_EQ(r.guardband.v_min.value, 980);
+  EXPECT_TRUE(r.guardband.crash_observed);
+  EXPECT_FALSE(r.tradeoff_points.empty());
+  EXPECT_FALSE(r.power.series.empty());
+  EXPECT_TRUE(r.files_written.empty());  // dry run
+
+  // Headline numbers are populated and sane.  The coarse 50 mV power grid
+  // snaps V_min=0.98V to the 1.00V point, so allow the wider band.
+  EXPECT_NEAR(r.headline.savings_at_vmin, 1.5, 0.12);
+  EXPECT_NEAR(r.headline.savings_at_850mv, 2.3, 0.15);
+  EXPECT_NEAR(r.headline.idle_fraction, 1.0 / 3.0, 0.04);
+  ASSERT_TRUE(r.headline.pattern_variation.first_1to0.has_value());
+
+  // The trade-off points reference live fault-map data (regression test
+  // for the moved-map bug): at nominal, all PCs usable at zero tolerance.
+  EXPECT_EQ(r.tradeoff_points.front().usable_pcs.front(),
+            board.geometry().total_pcs());
+}
+
+TEST(CampaignTest, WritesArtifacts) {
+  board::Vcu128Board board(tiny_board());
+  auto config = fast_campaign();
+  config.dry_run = false;
+  config.output_dir =
+      (fs::temp_directory_path() / "hbmvolt_campaign_test").string();
+  fs::remove_all(config.output_dir);
+
+  core::Campaign campaign(board, config);
+  auto result = campaign.run();
+  ASSERT_TRUE(result.is_ok());
+
+  ASSERT_EQ(result.value().files_written.size(), 5u);
+  for (const char* name :
+       {"fig2.csv", "fig4.csv", "fig5.csv", "fig6.csv", "summary.txt"}) {
+    const fs::path path = fs::path(config.output_dir) / name;
+    ASSERT_TRUE(fs::exists(path)) << name;
+    EXPECT_GT(fs::file_size(path), 100u) << name;
+  }
+
+  // The summary contains the headline table and each figure heading.
+  std::ifstream in(fs::path(config.output_dir) / "summary.txt");
+  std::string summary((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  for (const char* needle :
+       {"Headline numbers", "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6"}) {
+    EXPECT_NE(summary.find(needle), std::string::npos) << needle;
+  }
+
+  fs::remove_all(config.output_dir);
+}
+
+TEST(CampaignTest, InvalidOutputDirectoryFails) {
+  board::Vcu128Board board(tiny_board());
+  auto config = fast_campaign();
+  config.dry_run = false;
+  config.output_dir = "/proc/definitely/not/writable";
+  core::Campaign campaign(board, config);
+  auto result = campaign.run();
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(CampaignTest, CollectHeadlineNumbersHandlesEmptyPower) {
+  board::Vcu128Board board(tiny_board());
+  faults::FaultMap map(board.geometry());
+  map.record(Millivolts{1000}, 0, {100, 0, 0, 100, 0});
+  const auto numbers = core::collect_headline_numbers(
+      map, core::PowerCharacterization{}, Millivolts{1200});
+  EXPECT_DOUBLE_EQ(numbers.savings_at_vmin, 0.0);
+  EXPECT_EQ(numbers.guardband.v_min.value, 1000);
+}
+
+}  // namespace
+}  // namespace hbmvolt

@@ -1,0 +1,236 @@
+// Unit tests for the DRAM command-level timing substrate: bank state
+// machine, timing constraints, and the per-PC scheduler.
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hpp"
+#include "dram/scheduler.hpp"
+#include "hbm/geometry.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using dram::AccessStats;
+using dram::Bank;
+using dram::Command;
+using dram::Cycles;
+using dram::DramTimings;
+using dram::PcScheduler;
+
+DramTimings timings() { return DramTimings{}; }
+
+// ------------------------------------------------------------------ Bank
+
+TEST(BankTest, InitialStateIsIdle) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  EXPECT_FALSE(bank.active());
+  EXPECT_TRUE(bank.legal(Command::kActivate));
+  EXPECT_FALSE(bank.legal(Command::kRead));
+  EXPECT_FALSE(bank.legal(Command::kPrecharge));
+  EXPECT_TRUE(bank.legal(Command::kRefresh));
+}
+
+TEST(BankTest, ActivateOpensRowAndGatesReads) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  const Cycles ready = bank.issue(Command::kActivate, 100, 7);
+  EXPECT_TRUE(bank.active());
+  EXPECT_EQ(*bank.open_row(), 7u);
+  EXPECT_EQ(ready, 100 + t.t_rcd);
+  // tRCD: reads can't start before ACT + tRCD.
+  EXPECT_EQ(bank.earliest_issue(Command::kRead), 100 + t.t_rcd);
+  // tRAS: precharge can't start before ACT + tRAS.
+  EXPECT_EQ(bank.earliest_issue(Command::kPrecharge), 100 + t.t_ras);
+}
+
+TEST(BankTest, PrechargeClosesRowAndGatesActivate) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  (void)bank.issue(Command::kActivate, 0, 3);
+  (void)bank.issue(Command::kPrecharge, t.t_ras);
+  EXPECT_FALSE(bank.active());
+  // tRP after PRE.
+  EXPECT_GE(bank.earliest_issue(Command::kActivate), t.t_ras + t.t_rp);
+}
+
+TEST(BankTest, ActToActRespectsTrc) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  (void)bank.issue(Command::kActivate, 0, 1);
+  // Even if we precharge as early as legal, the next ACT waits for tRC.
+  (void)bank.issue(Command::kPrecharge, t.t_ras);
+  EXPECT_GE(bank.earliest_issue(Command::kActivate), t.t_rc);
+}
+
+TEST(BankTest, ConsecutiveReadsSpacedByTccd) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  (void)bank.issue(Command::kActivate, 0, 0);
+  const Cycles first = bank.earliest_issue(Command::kRead);
+  (void)bank.issue(Command::kRead, first);
+  EXPECT_EQ(bank.earliest_issue(Command::kRead), first + t.t_ccd);
+}
+
+TEST(BankTest, WriteRecoveryDelaysPrecharge) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  (void)bank.issue(Command::kActivate, 0, 0);
+  const Cycles write_at = bank.earliest_issue(Command::kWrite);
+  (void)bank.issue(Command::kWrite, write_at);
+  EXPECT_GE(bank.earliest_issue(Command::kPrecharge),
+            write_at + t.burst + t.t_wr);
+}
+
+TEST(BankTest, RefreshBlocksActivateForTrfc) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  (void)bank.issue(Command::kRefresh, 50);
+  EXPECT_GE(bank.earliest_issue(Command::kActivate), 50 + t.t_rfc);
+}
+
+TEST(BankTest, CountsActivationsAndHits) {
+  const DramTimings t = timings();
+  Bank bank(t);
+  (void)bank.issue(Command::kActivate, 0, 0);
+  bank.note_row_hit();
+  bank.note_row_hit();
+  EXPECT_EQ(bank.activations(), 1u);
+  EXPECT_EQ(bank.row_hits(), 2u);
+}
+
+// ------------------------------------------------------------- Scheduler
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : geometry_(hbm::HbmGeometry::simulation_default()) {}
+  hbm::HbmGeometry geometry_;
+};
+
+TEST_F(SchedulerTest, SequentialReadsApproachPeakBandwidth) {
+  PcScheduler scheduler(geometry_, timings());
+  for (std::uint64_t beat = 0; beat < geometry_.beats_per_pc(); ++beat) {
+    scheduler.access(false, beat);
+  }
+  const AccessStats stats = scheduler.finish();
+  EXPECT_EQ(stats.requests, geometry_.beats_per_pc());
+  // Sequential sweep with eager activation: row misses hide under other
+  // banks' bursts; only refresh and the first activations cost cycles.
+  EXPECT_GT(stats.bus_utilization(scheduler.timings()), 0.85);
+  EXPECT_LT(stats.bus_utilization(scheduler.timings()), 1.0);
+  EXPECT_GT(stats.bandwidth_gbs(scheduler.timings()), 12.0);  // of 14.4 peak
+}
+
+TEST_F(SchedulerTest, RowHitsDominateSequentialAccess) {
+  PcScheduler scheduler(geometry_, timings());
+  for (std::uint64_t beat = 0; beat < geometry_.beats_per_pc(); ++beat) {
+    scheduler.access(false, beat);
+  }
+  const AccessStats stats = scheduler.finish();
+  // One miss per (bank, row) visit (refresh closes rows, adding at most
+  // banks_per_pc re-activations each), beats_per_row - 1 hits after it.
+  const std::uint64_t base_misses =
+      geometry_.beats_per_pc() / geometry_.beats_per_row;
+  EXPECT_GE(stats.row_misses, base_misses);
+  EXPECT_LE(stats.row_misses,
+            base_misses + stats.refreshes * geometry_.banks_per_pc);
+  EXPECT_EQ(stats.row_hits, stats.requests - stats.row_misses);
+}
+
+TEST_F(SchedulerTest, SameBankRowThrashingIsSlow) {
+  // Alternate between two rows of the same bank: every access is a miss
+  // gated by tRC -- the worst case the open-page policy can hit.
+  PcScheduler scheduler(geometry_, timings());
+  const std::uint64_t row_stride =
+      static_cast<std::uint64_t>(geometry_.beats_per_row) *
+      geometry_.banks_per_pc;
+  for (int i = 0; i < 200; ++i) {
+    scheduler.access(false, (i % 2) ? row_stride * 2 : 0);
+  }
+  const AccessStats stats = scheduler.finish();
+  EXPECT_EQ(stats.row_misses, 200u);
+  EXPECT_LT(stats.bus_utilization(scheduler.timings()), 0.15);
+}
+
+TEST_F(SchedulerTest, BankInterleavingHidesThrashing) {
+  // The same 200 row misses spread across all banks pipeline much better.
+  PcScheduler scheduler(geometry_, timings());
+  const std::uint64_t row_stride =
+      static_cast<std::uint64_t>(geometry_.beats_per_row) *
+      geometry_.banks_per_pc;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t bank_offset =
+        static_cast<std::uint64_t>(i % geometry_.banks_per_pc) *
+        geometry_.beats_per_row;
+    const std::uint64_t row =
+        static_cast<std::uint64_t>(i) * row_stride;  // always a new row
+    scheduler.access(false, (row + bank_offset) %
+                                geometry_.beats_per_pc());
+  }
+  const AccessStats spread = scheduler.finish();
+
+  PcScheduler thrash(geometry_, timings());
+  for (int i = 0; i < 200; ++i) {
+    thrash.access(false, (i % 2) ? row_stride * 2 : 0);
+  }
+  const AccessStats same_bank = thrash.finish();
+  EXPECT_LT(spread.cycles, same_bank.cycles / 2);
+}
+
+TEST_F(SchedulerTest, TurnaroundsArePenalizedAndCounted) {
+  PcScheduler alternating(geometry_, timings());
+  for (std::uint64_t beat = 0; beat < 512; ++beat) {
+    alternating.access(beat % 2 == 0, beat);
+  }
+  const AccessStats alt = alternating.finish();
+  EXPECT_EQ(alt.turnarounds, 511u);
+
+  PcScheduler grouped(geometry_, timings());
+  for (std::uint64_t beat = 0; beat < 512; ++beat) {
+    grouped.access(beat < 256, beat);
+  }
+  const AccessStats grp = grouped.finish();
+  EXPECT_EQ(grp.turnarounds, 1u);
+  EXPECT_LT(grp.cycles, alt.cycles);
+}
+
+TEST_F(SchedulerTest, RefreshFiresEveryTrefi) {
+  const DramTimings t = timings();
+  PcScheduler scheduler(geometry_, t);
+  // Run enough sequential traffic to cross several refresh intervals.
+  const std::uint64_t beats = geometry_.beats_per_pc();
+  for (std::uint64_t i = 0; i < beats * 4; ++i) {
+    scheduler.access(false, i % beats);
+  }
+  const AccessStats stats = scheduler.finish();
+  EXPECT_GT(stats.refreshes, 0u);
+  const double expected =
+      static_cast<double>(stats.cycles) / static_cast<double>(t.t_refi);
+  EXPECT_NEAR(static_cast<double>(stats.refreshes), expected, expected * 0.2);
+}
+
+TEST_F(SchedulerTest, RefreshCostMatchesTrfcShare) {
+  // With refresh "disabled" (huge interval), sequential bandwidth rises
+  // by roughly tRFC/tREFI.
+  DramTimings no_refresh = timings();
+  no_refresh.t_refi = ~0ull >> 2;
+  PcScheduler without(geometry_, no_refresh);
+  PcScheduler with(geometry_, timings());
+  const std::uint64_t beats = geometry_.beats_per_pc();
+  for (std::uint64_t i = 0; i < beats * 4; ++i) {
+    without.access(false, i % beats);
+    with.access(false, i % beats);
+  }
+  const double bw_without = without.finish().bandwidth_gbs(no_refresh);
+  const double bw_with = with.finish().bandwidth_gbs(timings());
+  const double refresh_share = static_cast<double>(timings().t_rfc) /
+                               static_cast<double>(timings().t_refi);
+  EXPECT_NEAR(bw_with / bw_without, 1.0 - refresh_share, 0.03);
+}
+
+TEST_F(SchedulerTest, PeakBandwidthConstant) {
+  EXPECT_NEAR(timings().peak_bandwidth().value, 14.4, 0.01);
+}
+
+}  // namespace
+}  // namespace hbmvolt

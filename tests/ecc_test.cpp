@@ -1,0 +1,211 @@
+// Unit tests for the SECDED(72,64) codec and the ECC-protected channel.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/ecc_channel.hpp"
+#include "ecc/secded.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/stack.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using ecc::DecodeStatus;
+using ecc::EccChannel;
+using ecc::secded_decode;
+using ecc::secded_encode;
+
+// ---------------------------------------------------------------- codec
+
+TEST(SecdedTest, CleanWordsDecodeClean) {
+  for (const std::uint64_t data :
+       {0ull, ~0ull, 0x1ull, 0x8000000000000000ull, 0xDEADBEEFCAFEF00Dull}) {
+    const auto check = secded_encode(data);
+    const auto result = secded_decode(data, check);
+    EXPECT_EQ(result.status, DecodeStatus::kClean);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+class SecdedSingleBit : public ::testing::TestWithParam<int> {};
+
+// Every single data-bit error is corrected.
+TEST_P(SecdedSingleBit, DataBitErrorCorrected) {
+  const int bit = GetParam();
+  const std::uint64_t data = 0xA5A5A5A5F00F0FF0ull;
+  const auto check = secded_encode(data);
+  const std::uint64_t corrupted = data ^ (1ull << bit);
+  const auto result = secded_decode(corrupted, check);
+  EXPECT_EQ(result.status, DecodeStatus::kCorrectedData);
+  EXPECT_EQ(result.data, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, SecdedSingleBit, ::testing::Range(0, 64));
+
+TEST(SecdedTest, CheckBitErrorLeavesDataIntact) {
+  const std::uint64_t data = 0x0123456789ABCDEFull;
+  const auto check = secded_encode(data);
+  for (int bit = 0; bit < 8; ++bit) {
+    const auto corrupted_check =
+        static_cast<std::uint8_t>(check ^ (1u << bit));
+    const auto result = secded_decode(data, corrupted_check);
+    EXPECT_EQ(result.status, DecodeStatus::kCorrectedCheck) << bit;
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(SecdedTest, DoubleBitErrorsDetected) {
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t data = rng();
+    const auto check = secded_encode(data);
+    // Flip two distinct bits anywhere in the 72-bit codeword.
+    const unsigned a = static_cast<unsigned>(rng.bounded(72));
+    unsigned b = static_cast<unsigned>(rng.bounded(71));
+    if (b >= a) ++b;
+    std::uint64_t bad_data = data;
+    std::uint8_t bad_check = check;
+    for (const unsigned position : {a, b}) {
+      if (position < 64) {
+        bad_data ^= 1ull << position;
+      } else {
+        bad_check ^= static_cast<std::uint8_t>(1u << (position - 64));
+      }
+    }
+    const auto result = secded_decode(bad_data, bad_check);
+    EXPECT_EQ(result.status, DecodeStatus::kUncorrectable)
+        << "bits " << a << "," << b;
+  }
+}
+
+TEST(SecdedTest, RandomRoundTripFuzz) {
+  Xoshiro256 rng(321);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::uint64_t data = rng();
+    const auto result = secded_decode(data, secded_encode(data));
+    ASSERT_EQ(result.status, DecodeStatus::kClean);
+    ASSERT_EQ(result.data, data);
+  }
+}
+
+// -------------------------------------------------------------- channel
+
+class EccChannelTest : public ::testing::Test {
+ protected:
+  EccChannelTest()
+      : geometry_(hbm::HbmGeometry::test_tiny()),
+        injector_(faults::FaultModel(geometry_, faults::FaultModelConfig{})),
+        stack_(geometry_, 0, injector_, 11) {}
+
+  void set_voltage(Millivolts v) {
+    injector_.set_voltage(v);
+    stack_.on_voltage_change(v);
+  }
+
+  hbm::HbmGeometry geometry_;
+  faults::FaultInjector injector_;
+  hbm::HbmStack stack_;
+};
+
+TEST_F(EccChannelTest, LayoutReservesParityRegion) {
+  EccChannel channel(stack_, 0);
+  EXPECT_LT(channel.data_beats(), geometry_.beats_per_pc());
+  // data + parity fits: data/8 parity beats.
+  EXPECT_LE(channel.data_beats() + (channel.data_beats() + 7) / 8,
+            geometry_.beats_per_pc());
+  EXPECT_EQ(channel.data_beats() % EccChannel::kBeatsPerParityBeat, 0u);
+}
+
+TEST_F(EccChannelTest, CleanRoundTripAtNominal) {
+  EccChannel channel(stack_, 0);
+  Xoshiro256 rng(5);
+  for (std::uint64_t beat = 0; beat < channel.data_beats(); ++beat) {
+    const hbm::Beat data = {rng(), rng(), rng(), rng()};
+    ASSERT_TRUE(channel.write_beat(beat, data).is_ok());
+    auto outcome = channel.read_beat(beat);
+    ASSERT_TRUE(outcome.is_ok());
+    EXPECT_EQ(outcome.value().data, data);
+    EXPECT_EQ(outcome.value().corrected, 0u);
+  }
+  EXPECT_EQ(channel.stats().uncorrectable, 0u);
+  EXPECT_EQ(channel.stats().words_clean, channel.stats().words_read);
+}
+
+TEST_F(EccChannelTest, RangeChecked) {
+  EccChannel channel(stack_, 0);
+  EXPECT_FALSE(channel.write_beat(channel.data_beats(), hbm::kBeatAllOnes)
+                   .is_ok());
+  EXPECT_FALSE(channel.read_beat(channel.data_beats()).is_ok());
+}
+
+TEST_F(EccChannelTest, SingleStuckCellsAreCorrected) {
+  // Just below the weak PC's onset there are only a handful of stuck
+  // cells -- at most one per 64-bit word -- so ECC must fully clean them.
+  EccChannel channel(stack_, 4);  // PC4 is weak
+  set_voltage(Millivolts{950});
+  const auto& overlay = injector_.overlay(4);
+  ASSERT_GT(overlay.total_count(), 0u);
+  ASSERT_LT(overlay.total_count(), 20u);
+
+  std::uint64_t corrupted_words = 0;
+  for (std::uint64_t beat = 0; beat < channel.data_beats(); ++beat) {
+    ASSERT_TRUE(channel.write_beat(beat, hbm::kBeatAllOnes).is_ok());
+    auto outcome = channel.read_beat(beat);
+    ASSERT_TRUE(outcome.is_ok());
+    EXPECT_EQ(outcome.value().data, hbm::kBeatAllOnes) << beat;
+    corrupted_words += outcome.value().corrected;
+  }
+  EXPECT_GT(channel.stats().corrected_data + channel.stats().corrected_check,
+            0u);
+  EXPECT_EQ(channel.stats().uncorrectable, 0u);
+  EXPECT_GT(corrupted_words, 0u);
+}
+
+TEST_F(EccChannelTest, DeepUndervoltOverwhelmsEcc) {
+  EccChannel channel(stack_, 4);
+  set_voltage(Millivolts{855});  // bulk collapse: many errors per word
+  for (std::uint64_t beat = 0; beat < channel.data_beats(); ++beat) {
+    ASSERT_TRUE(channel.write_beat(beat, hbm::kBeatAllOnes).is_ok());
+    auto outcome = channel.read_beat(beat);
+    ASSERT_TRUE(outcome.is_ok());
+  }
+  EXPECT_GT(channel.stats().uncorrectable, 0u);
+  EXPECT_GT(channel.stats().uncorrectable_rate(), 0.01);
+}
+
+TEST_F(EccChannelTest, CrashPropagates) {
+  EccChannel channel(stack_, 0);
+  set_voltage(Millivolts{800});
+  EXPECT_EQ(channel.write_beat(0, hbm::kBeatAllOnes).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(channel.read_beat(0).status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(EccChannelTest, EccExtendsTheUsableVoltageFloor) {
+  // The extension experiment in miniature: at a voltage where raw reads
+  // of a weak PC already fail, ECC still returns correct data.
+  EccChannel channel(stack_, 5);  // weak PC5
+  set_voltage(Millivolts{956});   // a few stuck cells on PC5
+  const auto& overlay = injector_.overlay(5);
+  ASSERT_GT(overlay.total_count(), 0u);
+  ASSERT_LT(overlay.total_count(), 20u);
+
+  bool raw_fault_seen = false;
+  bool ecc_data_wrong = false;
+  for (std::uint64_t beat = 0; beat < channel.data_beats(); ++beat) {
+    ASSERT_TRUE(channel.write_beat(beat, hbm::kBeatAllOnes).is_ok());
+    auto raw = stack_.read_beat(5, beat);
+    ASSERT_TRUE(raw.is_ok());
+    raw_fault_seen |= raw.value() != hbm::kBeatAllOnes;
+    auto corrected = channel.read_beat(beat);
+    ASSERT_TRUE(corrected.is_ok());
+    ecc_data_wrong |= corrected.value().data != hbm::kBeatAllOnes;
+  }
+  EXPECT_TRUE(raw_fault_seen);
+  EXPECT_FALSE(ecc_data_wrong);
+  EXPECT_EQ(channel.stats().uncorrectable, 0u);
+}
+
+}  // namespace
+}  // namespace hbmvolt

@@ -1,0 +1,541 @@
+// Unit tests for src/faults: the calibrated fault model, weak-cell
+// ordering, overlays, the injector, and the fault map.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_map.hpp"
+#include "faults/fault_model.hpp"
+#include "faults/fault_overlay.hpp"
+#include "faults/weak_cells.hpp"
+#include "hbm/geometry.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using faults::FaultInjector;
+using faults::FaultMap;
+using faults::FaultModel;
+using faults::FaultModelConfig;
+using faults::FaultOverlay;
+using faults::PcFaultRecord;
+using faults::StuckPolarity;
+using faults::WeakCellConfig;
+using faults::WeakCellOrder;
+using hbm::HbmGeometry;
+
+FaultModel make_model(HbmGeometry geometry = HbmGeometry::test_tiny()) {
+  return FaultModel(geometry, FaultModelConfig{});
+}
+
+// ------------------------------------------------------------ FaultModel
+
+TEST(FaultModelTest, GuardbandIsFaultFree) {
+  const auto model = make_model();
+  for (int mv = 1200; mv >= 980; mv -= 10) {
+    for (unsigned pc = 0; pc < model.geometry().total_pcs(); ++pc) {
+      EXPECT_EQ(model.stuck_count(pc, StuckPolarity::kStuckAt0,
+                                  Millivolts{mv}),
+                0u)
+          << "pc " << pc << " at " << mv;
+      EXPECT_EQ(model.stuck_count(pc, StuckPolarity::kStuckAt1,
+                                  Millivolts{mv}),
+                0u);
+    }
+  }
+}
+
+TEST(FaultModelTest, FirstFlipVoltagesMatchPaper) {
+  const auto model = make_model();
+  // Device-level onset: some PC faults (stuck-at-0) exactly at 0.97 V...
+  std::uint64_t sa0_at_970 = 0;
+  std::uint64_t sa1_at_970 = 0;
+  std::uint64_t sa1_at_960 = 0;
+  for (unsigned pc = 0; pc < model.geometry().total_pcs(); ++pc) {
+    sa0_at_970 +=
+        model.stuck_count(pc, StuckPolarity::kStuckAt0, Millivolts{970});
+    sa1_at_970 +=
+        model.stuck_count(pc, StuckPolarity::kStuckAt1, Millivolts{970});
+    sa1_at_960 +=
+        model.stuck_count(pc, StuckPolarity::kStuckAt1, Millivolts{960});
+  }
+  EXPECT_GT(sa0_at_970, 0u);   // first 1->0 flips at 0.97 V
+  EXPECT_EQ(sa1_at_970, 0u);   // no 0->1 flips yet
+  EXPECT_GT(sa1_at_960, 0u);   // first 0->1 flips at 0.96 V
+}
+
+TEST(FaultModelTest, OnsetAtExactlyOneCell) {
+  const auto model = make_model();
+  // At its onset voltage each PC has exactly one stuck-at-0 cell
+  // (kappa(V_onset) = 1), independent of simulated capacity.
+  const unsigned pc = 18;  // pinned weakest PC
+  EXPECT_EQ(model.onset_voltage(pc).value, 970);
+  EXPECT_EQ(model.stuck_count(pc, StuckPolarity::kStuckAt0, Millivolts{970}),
+            1u);
+}
+
+TEST(FaultModelTest, CountsGrowExponentially) {
+  const auto model = make_model();
+  const unsigned pc = 18;
+  // In the tail regime, each 10 mV step multiplies counts by roughly
+  // exp(k * 0.01); check the growth is at least 1.5x per step.
+  std::uint64_t prev =
+      model.stuck_count(pc, StuckPolarity::kStuckAt0, Millivolts{950});
+  for (int mv = 940; mv >= 900; mv -= 10) {
+    const std::uint64_t next =
+        model.stuck_count(pc, StuckPolarity::kStuckAt0, Millivolts{mv});
+    EXPECT_GT(static_cast<double>(next), 1.5 * static_cast<double>(prev))
+        << "at " << mv;
+    prev = next;
+  }
+}
+
+class FaultMonotonicity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FaultMonotonicity, CountsNeverDecreaseAsVoltageDrops) {
+  const auto model = make_model();
+  const unsigned pc = GetParam();
+  for (const auto polarity :
+       {StuckPolarity::kStuckAt0, StuckPolarity::kStuckAt1}) {
+    std::uint64_t prev = 0;
+    for (int mv = 1200; mv >= 811; mv -= 1) {
+      const std::uint64_t count =
+          model.stuck_count(pc, polarity, Millivolts{mv});
+      EXPECT_GE(count, prev) << "pc " << pc << " at " << mv;
+      prev = count;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPcs, FaultMonotonicity,
+                         ::testing::Range(0u, 32u));
+
+TEST(FaultModelTest, AllCellsFaultyAtAndBelow841) {
+  const auto model = make_model();
+  const std::uint64_t n = model.geometry().bits_per_pc;
+  for (const int mv : {841, 830, 820, 811}) {
+    for (unsigned pc = 0; pc < model.geometry().total_pcs(); ++pc) {
+      EXPECT_DOUBLE_EQ(model.stuck_fraction(pc, Millivolts{mv}), 1.0)
+          << "pc " << pc << " at " << mv;
+      EXPECT_EQ(model.stuck_count(pc, StuckPolarity::kStuckAt0,
+                                  Millivolts{mv}),
+                n);
+    }
+  }
+}
+
+TEST(FaultModelTest, CrashPredicate) {
+  const auto model = make_model();
+  EXPECT_FALSE(model.is_crash_voltage(Millivolts{810}));  // V_critical works
+  EXPECT_TRUE(model.is_crash_voltage(Millivolts{809}));
+  EXPECT_TRUE(model.is_crash_voltage(Millivolts{500}));
+  EXPECT_FALSE(model.is_crash_voltage(Millivolts{0}));    // powered off
+  EXPECT_FALSE(model.is_crash_voltage(Millivolts{1200}));
+}
+
+TEST(FaultModelTest, WeakPcsHaveHighestOnsets) {
+  const auto model = make_model();
+  int min_weak_onset = 2000;
+  int max_other_onset = 0;
+  const auto weak = faults::paper_weak_pcs();
+  for (unsigned pc = 0; pc < 32; ++pc) {
+    const int onset = model.onset_voltage(pc).value;
+    const bool is_weak =
+        std::find(weak.begin(), weak.end(), pc) != weak.end();
+    if (is_weak) {
+      min_weak_onset = std::min(min_weak_onset, onset);
+    } else {
+      max_other_onset = std::max(max_other_onset, onset);
+    }
+  }
+  EXPECT_GT(min_weak_onset, max_other_onset);
+}
+
+TEST(FaultModelTest, StrongPcsAreFaultFreeAt950) {
+  const auto model = make_model();
+  // Fig 6 anchor: the 7 strong PCs still have zero faults at 0.95 V.
+  for (const unsigned pc : faults::paper_strong_pcs()) {
+    EXPECT_DOUBLE_EQ(model.stuck_fraction(pc, Millivolts{950}), 0.0)
+        << "pc " << pc;
+  }
+  // And they are exactly the fault-free set at 0.95 V.
+  unsigned fault_free = 0;
+  for (unsigned pc = 0; pc < 32; ++pc) {
+    if (model.stuck_fraction(pc, Millivolts{950}) == 0.0) ++fault_free;
+  }
+  EXPECT_EQ(fault_free, 7u);
+}
+
+TEST(FaultModelTest, Hbm1IsWorseOnAverage) {
+  const auto model = make_model();
+  double gap_sum = 0.0;
+  int samples = 0;
+  for (int mv = 960; mv >= 845; mv -= 5) {
+    const double r0 = model.stack_stuck_fraction(0, Millivolts{mv});
+    const double r1 = model.stack_stuck_fraction(1, Millivolts{mv});
+    if (r1 <= 0.0 || r1 >= 0.999) continue;
+    gap_sum += (r1 - r0) / r1;
+    ++samples;
+  }
+  ASSERT_GT(samples, 5);
+  const double average_gap = gap_sum / samples;
+  // Paper anchor: ~13% average gap; allow a generous band.
+  EXPECT_GT(average_gap, 0.05);
+  EXPECT_LT(average_gap, 0.35);
+}
+
+TEST(FaultModelTest, StuckAt1ShareYields21PercentExcess) {
+  const FaultModelConfig config;
+  EXPECT_NEAR(config.stuck_at_one_share / (1.0 - config.stuck_at_one_share),
+              1.21, 0.01);
+}
+
+TEST(FaultModelTest, AlphaMultiplierMatchesPaperAt850) {
+  const auto model = make_model();
+  // Guardband: no degradation.
+  EXPECT_DOUBLE_EQ(model.alpha_multiplier(Millivolts{1200}), 1.0);
+  EXPECT_DOUBLE_EQ(model.alpha_multiplier(Millivolts{980}), 1.0);
+  // Paper: alpha*C_L*f is ~14% below nominal at 0.85 V.
+  EXPECT_NEAR(model.alpha_multiplier(Millivolts{850}), 0.86, 0.03);
+}
+
+TEST(FaultModelTest, DeviceFractionAveragesStacks) {
+  const auto model = make_model();
+  const Millivolts v{870};
+  const double expected = (model.stack_stuck_fraction(0, v) +
+                           model.stack_stuck_fraction(1, v)) /
+                          2.0;
+  EXPECT_DOUBLE_EQ(model.device_stuck_fraction(v), expected);
+}
+
+TEST(FaultModelTest, DeterministicAcrossInstances) {
+  const auto a = make_model();
+  const auto b = make_model();
+  for (unsigned pc = 0; pc < 32; ++pc) {
+    EXPECT_EQ(a.onset_voltage(pc).value, b.onset_voltage(pc).value);
+    EXPECT_EQ(a.stuck_count(pc, StuckPolarity::kStuckAt0, Millivolts{900}),
+              b.stuck_count(pc, StuckPolarity::kStuckAt0, Millivolts{900}));
+  }
+}
+
+TEST(FaultModelTest, SeedChangesJitterButNotAnchors) {
+  FaultModelConfig other;
+  other.seed = 0x12345;
+  const FaultModel a(HbmGeometry::test_tiny(), FaultModelConfig{});
+  const FaultModel b(HbmGeometry::test_tiny(), other);
+  // The pinned weakest PC onset is an anchor, not jitter.
+  EXPECT_EQ(a.onset_voltage(18).value, 970);
+  EXPECT_EQ(b.onset_voltage(18).value, 970);
+  // But some other PC's onset differs between lots.
+  int differing = 0;
+  for (unsigned pc = 0; pc < 32; ++pc) {
+    differing += a.onset_voltage(pc).value != b.onset_voltage(pc).value;
+  }
+  EXPECT_GT(differing, 4);
+}
+
+TEST(FaultModelTest, NonStandardGeometryStillWorks) {
+  HbmGeometry g = HbmGeometry::test_tiny();
+  g.channels_per_stack = 2;  // 8 PCs total
+  ASSERT_TRUE(g.validate().is_ok());
+  const FaultModel model(g, FaultModelConfig{});
+  std::uint64_t at_first_flip = 0;
+  for (unsigned pc = 0; pc < g.total_pcs(); ++pc) {
+    EXPECT_EQ(model.stuck_fraction(pc, Millivolts{1000}), 0.0);
+    at_first_flip +=
+        model.stuck_count(pc, StuckPolarity::kStuckAt0, Millivolts{970});
+  }
+  EXPECT_GT(at_first_flip, 0u);  // the pinned first-flip PC exists
+}
+
+// --------------------------------------------------------- WeakCellOrder
+
+TEST(WeakCellOrderTest, OrdersPartitionAllCells) {
+  const auto g = HbmGeometry::test_tiny();
+  const WeakCellOrder order(g, 42, WeakCellConfig{});
+  const auto& sa0 = order.order(StuckPolarity::kStuckAt0);
+  const auto& sa1 = order.order(StuckPolarity::kStuckAt1);
+  EXPECT_EQ(sa0.size() + sa1.size(), g.bits_per_pc);
+  std::set<std::uint32_t> seen(sa0.begin(), sa0.end());
+  seen.insert(sa1.begin(), sa1.end());
+  EXPECT_EQ(seen.size(), g.bits_per_pc);  // no duplicates, full coverage
+}
+
+TEST(WeakCellOrderTest, PolaritySharesMatchConfig) {
+  const auto g = HbmGeometry::test_tiny();
+  WeakCellConfig config;
+  config.stuck_at_one_share = 0.5475;
+  const WeakCellOrder order(g, 42, config);
+  const double share1 =
+      static_cast<double>(order.order(StuckPolarity::kStuckAt1).size()) /
+      static_cast<double>(g.bits_per_pc);
+  EXPECT_NEAR(share1, 0.5475, 0.02);
+}
+
+TEST(WeakCellOrderTest, EarlyRanksAreClustered) {
+  const auto g = HbmGeometry::test_tiny();
+  const WeakCellOrder order(g, 42, WeakCellConfig{});
+  // Most of the first 100 cells in each order lie inside cluster windows.
+  unsigned in_cluster = 0;
+  for (const auto polarity :
+       {StuckPolarity::kStuckAt0, StuckPolarity::kStuckAt1}) {
+    const auto& cells = order.order(polarity);
+    for (std::size_t i = 0; i < 100 && i < cells.size(); ++i) {
+      in_cluster += order.in_cluster(cells[i]) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(in_cluster, 120u);  // >60% of 200
+}
+
+TEST(WeakCellOrderTest, ClusteringDisabledGivesUniformEarlyRanks) {
+  const auto g = HbmGeometry::test_tiny();
+  WeakCellConfig config;
+  config.cluster_count = 0;
+  const WeakCellOrder order(g, 42, config);
+  EXPECT_TRUE(order.clusters().empty());
+  EXPECT_FALSE(order.in_cluster(0));
+}
+
+TEST(WeakCellOrderTest, DeterministicPerSeed) {
+  const auto g = HbmGeometry::test_tiny();
+  const WeakCellOrder a(g, 42, WeakCellConfig{});
+  const WeakCellOrder b(g, 42, WeakCellConfig{});
+  const WeakCellOrder c(g, 43, WeakCellConfig{});
+  EXPECT_EQ(a.order(StuckPolarity::kStuckAt0),
+            b.order(StuckPolarity::kStuckAt0));
+  EXPECT_NE(a.order(StuckPolarity::kStuckAt0),
+            c.order(StuckPolarity::kStuckAt0));
+}
+
+// ---------------------------------------------------------- FaultOverlay
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  OverlayTest()
+      : geometry_(HbmGeometry::test_tiny()),
+        order_(geometry_, 42, WeakCellConfig{}) {}
+
+  HbmGeometry geometry_;
+  WeakCellOrder order_;
+};
+
+TEST_F(OverlayTest, EmptyOverlayIsIdentity) {
+  const FaultOverlay overlay;
+  EXPECT_TRUE(overlay.empty());
+  hbm::Beat data = {1, 2, 3, 4};
+  overlay.apply(0, data);
+  EXPECT_EQ(data, (hbm::Beat{1, 2, 3, 4}));
+}
+
+TEST_F(OverlayTest, CountsAreClampedToOrderSizes) {
+  const auto overlay = FaultOverlay::build(order_, ~0ull, ~0ull);
+  EXPECT_EQ(overlay.total_count(), geometry_.bits_per_pc);
+}
+
+TEST_F(OverlayTest, SparseAndDenseAgree) {
+  // Same stuck set, forced into both representations by building with
+  // counts around the switch threshold and comparing per-bit behavior.
+  const std::uint64_t k = geometry_.bits_per_pc / 64;  // sparse boundary
+  const auto sparse = FaultOverlay::build(order_, k / 2, k / 2 - 1);
+  const auto dense = FaultOverlay::build(order_, k / 2, k / 2 - 1 + 64);
+  ASSERT_FALSE(sparse.dense());
+  ASSERT_TRUE(dense.dense());
+  // Every cell stuck in `sparse` must be stuck with the same value in
+  // `dense` (dense is a superset by monotonicity).
+  sparse.for_each([&](std::uint64_t bit, StuckPolarity polarity) {
+    EXPECT_TRUE(dense.is_stuck(bit));
+    EXPECT_EQ(dense.stuck_value(bit),
+              polarity == StuckPolarity::kStuckAt1);
+  });
+}
+
+TEST_F(OverlayTest, ApplyMatchesIsStuck) {
+  const auto overlay = FaultOverlay::build(order_, 200, 300);
+  for (std::uint64_t beat = 0; beat < geometry_.beats_per_pc(); ++beat) {
+    hbm::Beat ones = hbm::kBeatAllOnes;
+    hbm::Beat zeros = hbm::kBeatAllZeros;
+    overlay.apply(beat, ones);
+    overlay.apply(beat, zeros);
+    for (unsigned bit = 0; bit < 256; ++bit) {
+      const std::uint64_t cell = beat * 256 + bit;
+      const bool one_read = (ones[bit / 64] >> (bit % 64)) & 1;
+      const bool zero_read = (zeros[bit / 64] >> (bit % 64)) & 1;
+      if (overlay.is_stuck(cell)) {
+        EXPECT_EQ(one_read, overlay.stuck_value(cell));
+        EXPECT_EQ(zero_read, overlay.stuck_value(cell));
+      } else {
+        EXPECT_TRUE(one_read);
+        EXPECT_FALSE(zero_read);
+      }
+    }
+  }
+}
+
+TEST_F(OverlayTest, ForEachVisitsExactlyTheStuckSet) {
+  const auto overlay = FaultOverlay::build(order_, 150, 250);
+  std::uint64_t visited = 0;
+  std::uint64_t sa0 = 0;
+  overlay.for_each([&](std::uint64_t bit, StuckPolarity polarity) {
+    ++visited;
+    sa0 += polarity == StuckPolarity::kStuckAt0 ? 1 : 0;
+    EXPECT_TRUE(overlay.is_stuck(bit));
+  });
+  EXPECT_EQ(visited, 400u);
+  EXPECT_EQ(sa0, 150u);
+  EXPECT_EQ(overlay.count(StuckPolarity::kStuckAt0), 150u);
+  EXPECT_EQ(overlay.count(StuckPolarity::kStuckAt1), 250u);
+}
+
+TEST_F(OverlayTest, LowerVoltageSetContainsHigherVoltageSet) {
+  const auto small = FaultOverlay::build(order_, 50, 60);
+  const auto large = FaultOverlay::build(order_, 500, 600);
+  small.for_each([&](std::uint64_t bit, StuckPolarity) {
+    EXPECT_TRUE(large.is_stuck(bit));
+  });
+}
+
+// --------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, OverlayTracksVoltage) {
+  FaultInjector injector(make_model());
+  injector.set_voltage(Millivolts{1200});
+  EXPECT_TRUE(injector.overlay(18).empty());
+  injector.set_voltage(Millivolts{900});
+  const auto count_900 = injector.overlay(18).total_count();
+  EXPECT_GT(count_900, 0u);
+  injector.set_voltage(Millivolts{870});
+  EXPECT_GT(injector.overlay(18).total_count(), count_900);
+  injector.set_voltage(Millivolts{1200});
+  EXPECT_TRUE(injector.overlay(18).empty());
+}
+
+TEST(FaultInjectorTest, OverlayMatchesModelCounts) {
+  FaultInjector injector(make_model());
+  for (const int mv : {965, 940, 910, 880, 850}) {
+    injector.set_voltage(Millivolts{mv});
+    for (const unsigned pc : {4u, 18u, 0u}) {
+      const auto& overlay = injector.overlay(pc);
+      EXPECT_EQ(overlay.count(StuckPolarity::kStuckAt0),
+                std::min(injector.model().stuck_count(
+                             pc, StuckPolarity::kStuckAt0, Millivolts{mv}),
+                         injector.order(pc)
+                             .order(StuckPolarity::kStuckAt0)
+                             .size()))
+          << "pc " << pc << " at " << mv;
+    }
+  }
+}
+
+// -------------------------------------------------------------- FaultMap
+
+TEST(FaultMapTest, RecordAndQuery) {
+  FaultMap map(HbmGeometry::test_tiny());
+  map.record(Millivolts{950}, 3, {1000, 5, 7});
+  map.record(Millivolts{950}, 3, {1000, 1, 0});  // accumulates
+  const auto record = map.pc_record(Millivolts{950}, 3);
+  EXPECT_EQ(record.bits_tested, 2000u);
+  EXPECT_EQ(record.flips_1to0, 6u);
+  EXPECT_EQ(record.flips_0to1, 7u);
+  EXPECT_DOUBLE_EQ(record.rate(), 13.0 / 2000.0);
+}
+
+TEST(FaultMapTest, AggregationAcrossStacksAndDevice) {
+  const auto g = HbmGeometry::test_tiny();
+  FaultMap map(g);
+  map.record(Millivolts{900}, 0, {100, 1, 0});                    // stack 0
+  map.record(Millivolts{900}, g.pcs_per_stack(), {100, 0, 3});    // stack 1
+  EXPECT_EQ(map.stack_record(Millivolts{900}, 0).total_flips(), 1u);
+  EXPECT_EQ(map.stack_record(Millivolts{900}, 1).total_flips(), 3u);
+  EXPECT_EQ(map.device_record(Millivolts{900}).total_flips(), 4u);
+  EXPECT_EQ(map.device_record(Millivolts{900}).bits_tested, 200u);
+}
+
+TEST(FaultMapTest, VoltagesSortedDescending) {
+  FaultMap map(HbmGeometry::test_tiny());
+  map.record(Millivolts{900}, 0, {1, 0, 0});
+  map.record(Millivolts{1100}, 0, {1, 0, 0});
+  map.record(Millivolts{1000}, 0, {1, 0, 0});
+  const auto voltages = map.voltages();
+  ASSERT_EQ(voltages.size(), 3u);
+  EXPECT_EQ(voltages[0].value, 1100);
+  EXPECT_EQ(voltages[1].value, 1000);
+  EXPECT_EQ(voltages[2].value, 900);
+}
+
+TEST(FaultMapTest, ObservedOnsetAndHighestFaulty) {
+  FaultMap map(HbmGeometry::test_tiny());
+  map.record(Millivolts{1000}, 5, {100, 0, 0});
+  map.record(Millivolts{970}, 5, {100, 2, 0});
+  map.record(Millivolts{960}, 5, {100, 9, 1});
+  map.record(Millivolts{970}, 6, {100, 0, 0});
+  ASSERT_TRUE(map.observed_onset(5).has_value());
+  EXPECT_EQ(map.observed_onset(5)->value, 970);
+  EXPECT_FALSE(map.observed_onset(6).has_value());
+  ASSERT_TRUE(map.highest_faulty_voltage().has_value());
+  EXPECT_EQ(map.highest_faulty_voltage()->value, 970);
+}
+
+TEST(FaultMapTest, UsablePcsThreshold) {
+  const auto g = HbmGeometry::test_tiny();
+  FaultMap map(g);
+  for (unsigned pc = 0; pc < g.total_pcs(); ++pc) {
+    // PC i has i flips out of 1000 bits.
+    map.record(Millivolts{900}, pc, {1000, pc, 0});
+  }
+  EXPECT_EQ(map.usable_pcs(Millivolts{900}, 0.0), 1u);       // only PC0
+  EXPECT_EQ(map.usable_pcs(Millivolts{900}, 0.005), 6u);     // PCs 0..5
+  EXPECT_EQ(map.usable_pcs(Millivolts{900}, 1.0), g.total_pcs());
+}
+
+TEST(FaultMapTest, CrashRecording) {
+  FaultMap map(HbmGeometry::test_tiny());
+  map.record_crash(Millivolts{800});
+  const auto* observation = map.at(Millivolts{800});
+  ASSERT_NE(observation, nullptr);
+  EXPECT_TRUE(observation->crashed);
+  EXPECT_EQ(map.usable_pcs(Millivolts{800}, 1.0), 0u);
+}
+
+TEST(FaultMapTest, MissingVoltageGivesEmptyRecord) {
+  FaultMap map(HbmGeometry::test_tiny());
+  EXPECT_EQ(map.at(Millivolts{999}), nullptr);
+  EXPECT_EQ(map.pc_record(Millivolts{999}, 0).bits_tested, 0u);
+}
+
+// ---------------------------------------------------- Clustering analysis
+
+TEST(ClusteringTest, ClusteredFaultsConcentrateInFewRows) {
+  const auto g = HbmGeometry::test_tiny();
+  const WeakCellOrder clustered(g, 42, WeakCellConfig{});
+  const auto overlay = FaultOverlay::build(clustered, 100, 120);
+  const auto stats = analyze_clustering(g, overlay);
+  EXPECT_EQ(stats.faults, 220u);
+  // With 6 windows x 2 rows out of 16 total rows, the densest 5% of rows
+  // can't hold everything, but clustering must far exceed uniform.
+  EXPECT_GT(stats.fraction_in_densest_5pct_rows, 0.15);
+  EXPECT_LT(stats.mean_gap, stats.uniform_expected_gap);
+}
+
+TEST(ClusteringTest, UniformFaultsSpreadAcrossRows) {
+  const auto g = HbmGeometry::test_tiny();
+  WeakCellConfig config;
+  config.cluster_count = 0;
+  const WeakCellOrder uniform(g, 42, config);
+  const auto overlay = FaultOverlay::build(uniform, 100, 120);
+  const auto stats = analyze_clustering(g, overlay);
+  // ~5% of mass in the densest 5% of rows (with slack for small samples).
+  EXPECT_LT(stats.fraction_in_densest_5pct_rows, 0.25);
+  EXPECT_NEAR(stats.mean_gap, stats.uniform_expected_gap,
+              stats.uniform_expected_gap * 0.5);
+}
+
+TEST(ClusteringTest, EmptyOverlayGivesZeroStats) {
+  const auto stats =
+      analyze_clustering(HbmGeometry::test_tiny(), FaultOverlay{});
+  EXPECT_EQ(stats.faults, 0u);
+  EXPECT_EQ(stats.rows_with_faults, 0u);
+}
+
+}  // namespace
+}  // namespace hbmvolt

@@ -1,0 +1,132 @@
+// Tests for the adaptive undervolting governor.
+
+#include <gtest/gtest.h>
+
+#include "core/governor.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using core::GovernorConfig;
+using core::GovernorResult;
+using core::GovernorStep;
+using core::UndervoltGovernor;
+
+board::BoardConfig tiny_board() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  config.monitor_config.noise_sigma_amps = 0.0;
+  return config;
+}
+
+GovernorConfig fast_governor() {
+  GovernorConfig config;
+  config.probe_beats = 0;  // replaced per test
+  config.probe_beats = 64;
+  config.settle_probes = 2;
+  return config;
+}
+
+TEST(GovernorTest, ZeroToleranceSettlesAtGuardbandEdge) {
+  board::Vcu128Board board(tiny_board());
+  GovernorConfig config = fast_governor();
+  config.tolerable_rate = 0.0;
+  // Probe the whole PC so every stuck cell is visible to the probe.
+  config.probe_beats = board.geometry().beats_per_pc();
+  UndervoltGovernor governor(board, config);
+  auto result = governor.run();
+  ASSERT_TRUE(result.is_ok());
+  const GovernorResult& r = result.value();
+  EXPECT_TRUE(r.converged);
+  // First fault at 0.97V, one-step backoff -> settle at 0.98V = V_min.
+  EXPECT_EQ(r.settled.value, 980);
+  EXPECT_NEAR(r.savings_factor, 1.5, 0.01);
+  // The board is left at the settled voltage and operational.
+  EXPECT_EQ(board.hbm_voltage().value, 980);
+  EXPECT_TRUE(board.responding());
+}
+
+TEST(GovernorTest, ToleranceBuysDepth) {
+  board::Vcu128Board board(tiny_board());
+  GovernorConfig strict = fast_governor();
+  strict.tolerable_rate = 0.0;
+  strict.probe_beats = board.geometry().beats_per_pc();
+  auto strict_result = UndervoltGovernor(board, strict).run();
+  ASSERT_TRUE(strict_result.is_ok());
+
+  GovernorConfig loose = fast_governor();
+  loose.tolerable_rate = 1e-3;
+  loose.probe_beats = board.geometry().beats_per_pc();
+  auto loose_result = UndervoltGovernor(board, loose).run();
+  ASSERT_TRUE(loose_result.is_ok());
+
+  EXPECT_LT(loose_result.value().settled.value,
+            strict_result.value().settled.value);
+  EXPECT_GT(loose_result.value().savings_factor,
+            strict_result.value().savings_factor);
+}
+
+TEST(GovernorTest, FloorStopsDescent) {
+  board::Vcu128Board board(tiny_board());
+  GovernorConfig config = fast_governor();
+  config.tolerable_rate = 1.0;  // tolerate anything
+  config.floor = Millivolts{900};
+  UndervoltGovernor governor(board, config);
+  auto result = governor.run();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().converged);
+  EXPECT_EQ(result.value().settled.value, 900);
+}
+
+TEST(GovernorTest, CrashRecoveryHoldsAboveCriticalRegion) {
+  board::Vcu128Board board(tiny_board());
+  GovernorConfig config = fast_governor();
+  config.tolerable_rate = 1.0;  // rides all the way into the crash
+  config.floor = Millivolts{790};
+  UndervoltGovernor governor(board, config);
+  auto result = governor.run();
+  ASSERT_TRUE(result.is_ok());
+  const GovernorResult& r = result.value();
+  EXPECT_TRUE(r.converged);
+  // A crash happened somewhere in the trace...
+  bool saw_crash = false;
+  for (const auto& step : r.trace) {
+    saw_crash = saw_crash || step.crashed;
+  }
+  EXPECT_TRUE(saw_crash);
+  // ...and the governor recovered to a working voltage.
+  EXPECT_TRUE(board.responding());
+  EXPECT_GE(r.settled.value, 810);
+}
+
+TEST(GovernorTest, TraceIsWellFormed) {
+  board::Vcu128Board board(tiny_board());
+  GovernorConfig config = fast_governor();
+  config.probe_beats = board.geometry().beats_per_pc();
+  UndervoltGovernor governor(board, config);
+  auto result = governor.run();
+  ASSERT_TRUE(result.is_ok());
+  const auto& trace = result.value().trace;
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front().voltage.value, 1200);
+  // Voltages only move in step_mv quanta.
+  for (const auto& step : trace) {
+    EXPECT_EQ((1200 - step.voltage.value) % config.step_mv, 0);
+  }
+  EXPECT_EQ(result.value().probes, trace.size());
+}
+
+TEST(GovernorTest, ProbeBudgetBoundsRuntime) {
+  board::Vcu128Board board(tiny_board());
+  GovernorConfig config = fast_governor();
+  config.max_probes = 3;
+  config.settle_probes = 100;  // can never settle
+  UndervoltGovernor governor(board, config);
+  auto result = governor.run();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().converged);
+  EXPECT_EQ(result.value().probes, 3u);
+}
+
+}  // namespace
+}  // namespace hbmvolt

@@ -1,0 +1,267 @@
+// End-to-end integration tests: the full paper pipeline on the default
+// simulation geometry, checking every headline anchor in one place.
+// These run the same code paths the bench/ binaries use, with reduced
+// batch sizes for speed.
+
+#include <gtest/gtest.h>
+
+#include "board/vcu128.hpp"
+#include "core/fault_characterizer.hpp"
+#include "core/guardband.hpp"
+#include "core/power_characterizer.hpp"
+#include "core/reliability_tester.hpp"
+#include "core/report.hpp"
+#include "core/tradeoff.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using board::BoardConfig;
+using board::Vcu128Board;
+
+// One shared fixture runs the expensive sweeps once.
+class PaperPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BoardConfig config;
+    config.geometry = hbm::HbmGeometry::simulation_default();
+    config.monitor_config.noise_sigma_amps = 0.002;
+    board_ = new Vcu128Board(config);
+
+    // Reliability sweep: full grid at batch 1 (deterministic model).
+    core::ReliabilityConfig rel_config;
+    rel_config.sweep = {Millivolts{1200}, Millivolts{810}, 10};
+    rel_config.batch_size = 1;
+    core::ReliabilityTester tester(*board_, rel_config);
+    map_ = new faults::FaultMap(std::move(tester.run()).value());
+
+    // Power sweep over the paper's five utilization series.
+    core::PowerSweepConfig power_config;
+    power_config.sweep = {Millivolts{1200}, Millivolts{810}, 10};
+    power_config.samples = 4;
+    power_config.traffic_beats = 16;
+    core::PowerCharacterizer characterizer(*board_, power_config);
+    power_ = new core::PowerCharacterization(
+        std::move(characterizer.run()).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete power_;
+    delete map_;
+    delete board_;
+    power_ = nullptr;
+    map_ = nullptr;
+    board_ = nullptr;
+  }
+
+  static Vcu128Board* board_;
+  static faults::FaultMap* map_;
+  static core::PowerCharacterization* power_;
+};
+
+Vcu128Board* PaperPipeline::board_ = nullptr;
+faults::FaultMap* PaperPipeline::map_ = nullptr;
+core::PowerCharacterization* PaperPipeline::power_ = nullptr;
+
+// --------------------------------------------------- Guardband (Sec. I)
+
+TEST_F(PaperPipeline, GuardbandLandmarks) {
+  const auto result = core::analyze_guardband(*map_, Millivolts{1200});
+  EXPECT_EQ(result.v_min.value, 980);          // paper: V_min = 0.98 V
+  EXPECT_EQ(result.v_first_fault.value, 970);  // first flips at 0.97 V
+  EXPECT_EQ(result.v_critical.value, 810);     // V_critical = 0.81 V
+  // Paper quotes "19%" for the 0.22 V guardband (18.3% exactly).
+  EXPECT_NEAR(result.guardband_fraction, 0.183, 0.002);
+}
+
+TEST_F(PaperPipeline, NoFaultsAnywhereInGuardband) {
+  for (const auto v : map_->voltages()) {
+    if (v >= Millivolts{980}) {
+      EXPECT_EQ(map_->device_record(v).total_flips(), 0u) << v.value;
+    }
+  }
+}
+
+TEST_F(PaperPipeline, ExponentialFaultGrowth) {
+  // Device-level fault counts grow geometrically (>=1.5x per 10 mV step;
+  // per-PC growth rates are 42..80 /V, i.e. 1.5x..2.2x per step) from the
+  // onset region down to ~0.86 V.
+  std::uint64_t prev = 0;
+  for (int mv = 960; mv >= 860; mv -= 10) {
+    const auto record = map_->device_record(Millivolts{mv});
+    EXPECT_GT(record.total_flips(), prev + prev / 2) << mv;
+    prev = record.total_flips();
+  }
+}
+
+TEST_F(PaperPipeline, EntireMemoryFaultyBelow841) {
+  for (const int mv : {840, 830, 820, 810}) {
+    const auto record = map_->device_record(Millivolts{mv});
+    // Both patterns: every cell flips under exactly one of them.
+    EXPECT_DOUBLE_EQ(record.rate(), 0.5) << mv;
+  }
+}
+
+// ------------------------------------------------------ Power (Fig 2/3)
+
+TEST_F(PaperPipeline, Savings15xAtVminForAllUtilizations) {
+  for (const auto& series : power_->series) {
+    const auto savings = power_->savings_factor(series, Millivolts{980});
+    ASSERT_TRUE(savings.has_value());
+    EXPECT_NEAR(*savings, 1.5, 0.05) << series.ports << " ports";
+  }
+}
+
+TEST_F(PaperPipeline, Savings23xAt850ForAllUtilizations) {
+  for (const auto& series : power_->series) {
+    const auto savings = power_->savings_factor(series, Millivolts{850});
+    ASSERT_TRUE(savings.has_value());
+    EXPECT_NEAR(*savings, 2.3, 0.15) << series.ports << " ports";
+  }
+}
+
+TEST_F(PaperPipeline, IdleIsOneThirdOfFullLoad) {
+  const auto* idle = &power_->series.front();
+  const auto* full = &power_->series.back();
+  ASSERT_EQ(idle->ports, 0u);
+  ASSERT_EQ(full->ports, 32u);
+  const auto idle_nominal = idle->power_at(Millivolts{1200});
+  ASSERT_TRUE(idle_nominal.has_value());
+  EXPECT_NEAR(idle_nominal->value / power_->reference.value, 1.0 / 3.0,
+              0.03);
+}
+
+TEST_F(PaperPipeline, AlphaClfWithin3PercentAboveGuardbandFloor) {
+  for (const auto& series : power_->series) {
+    for (std::size_t i = 0; i < series.voltages.size(); ++i) {
+      if (series.voltages[i] < Millivolts{980}) continue;
+      EXPECT_NEAR(power_->alpha_clf_normalized(series, i), 1.0, 0.03)
+          << series.ports << " ports at " << series.voltages[i].value;
+    }
+  }
+}
+
+TEST_F(PaperPipeline, AlphaClfDropsAbout14PercentAt850) {
+  for (const auto& series : power_->series) {
+    for (std::size_t i = 0; i < series.voltages.size(); ++i) {
+      if (series.voltages[i] == Millivolts{850}) {
+        EXPECT_NEAR(power_->alpha_clf_normalized(series, i), 0.86, 0.04)
+            << series.ports << " ports";
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- Reliability (Fig 4/5)
+
+TEST_F(PaperPipeline, StackVariationAnchor) {
+  const auto variation = core::analyze_stack_variation(*map_);
+  EXPECT_EQ(variation.better_stack, 0u);
+  // Paper: 13% average; the model lands in the same regime.
+  EXPECT_GT(variation.average_gap, 0.05);
+  EXPECT_LT(variation.average_gap, 0.35);
+}
+
+TEST_F(PaperPipeline, PatternVariationAnchors) {
+  const auto variation = core::analyze_pattern_variation(*map_);
+  ASSERT_TRUE(variation.first_1to0.has_value());
+  ASSERT_TRUE(variation.first_0to1.has_value());
+  EXPECT_EQ(variation.first_1to0->value, 970);
+  EXPECT_EQ(variation.first_0to1->value, 960);
+  EXPECT_NEAR(variation.average_0to1_excess, 0.21, 0.08);
+}
+
+TEST_F(PaperPipeline, WeakPcsFaultFirst) {
+  const auto onsets = core::per_pc_onsets(*map_);
+  // Every weak PC faults at or above 0.96 V; every strong PC is still
+  // fault-free there.
+  for (const unsigned pc : faults::paper_weak_pcs()) {
+    ASSERT_TRUE(onsets[pc].has_value());
+    EXPECT_GE(onsets[pc]->value, 960) << "pc " << pc;
+  }
+  for (const unsigned pc : faults::paper_strong_pcs()) {
+    if (onsets[pc].has_value()) {
+      EXPECT_LT(onsets[pc]->value, 950) << "pc " << pc;
+    }
+  }
+}
+
+TEST_F(PaperPipeline, FaultsAreClustered) {
+  core::FaultCharacterizer characterizer(*board_);
+  // Tail-fault regime on a weak PC: strongly clustered.  A voltage with
+  // O(100) faults makes the gap statistics stable.
+  const auto stats = characterizer.clustering(18, Millivolts{910});
+  ASSERT_GT(stats.faults, 50u);
+  EXPECT_GT(stats.fraction_in_densest_5pct_rows, 0.3);
+  EXPECT_LT(stats.median_gap, 0.5 * stats.uniform_expected_gap);
+}
+
+// ------------------------------------------------------- Fig 6 anchors
+
+TEST_F(PaperPipeline, TradeoffAnchors) {
+  core::TradeoffAnalyzer analyzer(*map_, Millivolts{1200},
+                                  &board_->power_model());
+  core::TradeoffConfig config;
+  config.tolerable_rates = {0.0, 1e-4, 1e-2, 0.5};
+  const auto points = analyzer.analyze(config);
+
+  for (const auto& point : points) {
+    // Guardband region: everything usable at zero tolerance.
+    if (point.voltage >= Millivolts{980}) {
+      EXPECT_EQ(point.usable_pcs[0], 32u) << point.voltage.value;
+    }
+    // Fig 6 anchor: 7 fault-free PCs at 0.95 V.
+    if (point.voltage == Millivolts{950}) {
+      EXPECT_EQ(point.usable_pcs[0], 7u);
+    }
+    // Tolerating half-faulty PCs keeps everything usable until the bulk
+    // collapse begins.
+    if (point.voltage >= Millivolts{880}) {
+      EXPECT_EQ(point.usable_pcs.back(), 32u) << point.voltage.value;
+    }
+  }
+}
+
+TEST_F(PaperPipeline, PaperExamplePlans) {
+  core::TradeoffAnalyzer analyzer(*map_, Millivolts{1200});
+  // "Up to 1.6x savings ... using only 7 fault-free PCs at 0.95 V."
+  const auto plan7 = analyzer.plan(7, 0.0);
+  ASSERT_TRUE(plan7.has_value());
+  EXPECT_LE(plan7->voltage.value, 950);
+  EXPECT_GE(plan7->savings_factor, 1.59);
+  // "0.0001% fault rate with half the capacity at 0.90 V -> ~1.8x."
+  // (Rate thresholds are relative to simulated capacity; see DESIGN.md.)
+  const auto plan16 = analyzer.plan(16, 1e-4);
+  ASSERT_TRUE(plan16.has_value());
+  EXPECT_LE(plan16->voltage.value, 900);
+  EXPECT_GE(plan16->savings_factor, 1.75);
+}
+
+// ----------------------------------------------------------- Renderers
+
+TEST_F(PaperPipeline, FullReportRenders) {
+  const auto guardband = core::analyze_guardband(*map_, Millivolts{1200});
+  core::HeadlineNumbers numbers;
+  numbers.guardband = guardband;
+  const auto& full = power_->series.back();
+  numbers.savings_at_vmin =
+      power_->savings_factor(full, Millivolts{980}).value_or(0.0);
+  numbers.savings_at_850mv =
+      power_->savings_factor(full, Millivolts{850}).value_or(0.0);
+  numbers.idle_fraction =
+      power_->series.front().power_at(Millivolts{1200})->value /
+      power_->reference.value;
+  numbers.stack_variation = core::analyze_stack_variation(*map_);
+  numbers.pattern_variation = core::analyze_pattern_variation(*map_);
+  const std::string table = core::render_headline(numbers);
+  EXPECT_NE(table.find("Paper"), std::string::npos);
+  EXPECT_NE(table.find("1.5"), std::string::npos);
+  // Every figure renders non-trivially.
+  EXPECT_GT(core::render_fig2(*power_).size(), 200u);
+  EXPECT_GT(core::render_fig3(*power_).size(), 200u);
+  EXPECT_GT(core::render_fig4(*map_).size(), 200u);
+  EXPECT_GT(core::render_fig5(*map_, 20).size(), 200u);
+}
+
+}  // namespace
+}  // namespace hbmvolt

@@ -1,0 +1,110 @@
+// Unit tests for the March memory-test algorithms.
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_overlay.hpp"
+#include "memtest/march.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using memtest::Direction;
+using memtest::MarchAlgorithm;
+using memtest::MarchRunner;
+using memtest::Op;
+
+class MarchTest : public ::testing::Test {
+ protected:
+  MarchTest()
+      : geometry_(hbm::HbmGeometry::test_tiny()),
+        injector_(faults::FaultModel(geometry_, faults::FaultModelConfig{})),
+        stack_(geometry_, 0, injector_, 21) {}
+
+  void set_voltage(Millivolts v) {
+    injector_.set_voltage(v);
+    stack_.on_voltage_change(v);
+  }
+
+  hbm::HbmGeometry geometry_;
+  faults::FaultInjector injector_;
+  hbm::HbmStack stack_;
+};
+
+TEST(MarchAlgorithmTest, OpCounts) {
+  EXPECT_EQ(memtest::mats_plus().ops_per_cell(), 5u);
+  EXPECT_EQ(memtest::march_x().ops_per_cell(), 6u);
+  EXPECT_EQ(memtest::march_y().ops_per_cell(), 8u);
+  EXPECT_EQ(memtest::march_c_minus().ops_per_cell(), 10u);
+  EXPECT_EQ(memtest::march_b().ops_per_cell(), 17u);
+  EXPECT_EQ(memtest::solid_patterns().ops_per_cell(), 4u);
+}
+
+TEST(MarchAlgorithmTest, AllProvidedAlgorithmsReadBothStates) {
+  const auto algorithms = memtest::all_march_algorithms();
+  EXPECT_EQ(algorithms.size(), 6u);
+  for (const auto& algorithm : algorithms) {
+    EXPECT_TRUE(algorithm.reads_both_states()) << algorithm.name;
+  }
+}
+
+TEST(MarchAlgorithmTest, IncompleteAlgorithmDetected) {
+  const MarchAlgorithm only_zeros{"w0/r0 only",
+                                  {{Direction::kUp, {Op::kW0}},
+                                   {Direction::kUp, {Op::kR0}}}};
+  EXPECT_FALSE(only_zeros.reads_both_states());
+}
+
+TEST_F(MarchTest, CleanMemoryPassesEverything) {
+  MarchRunner runner(stack_, 4);
+  for (const auto& algorithm : memtest::all_march_algorithms()) {
+    auto result = runner.run(algorithm);
+    ASSERT_TRUE(result.is_ok()) << algorithm.name;
+    EXPECT_EQ(result.value().faulty_cells, 0u) << algorithm.name;
+    EXPECT_EQ(result.value().mismatched_reads, 0u) << algorithm.name;
+    EXPECT_EQ(result.value().cells, geometry_.bits_per_pc);
+  }
+}
+
+TEST_F(MarchTest, OpAccountingMatchesAlgorithm) {
+  MarchRunner runner(stack_, 0);
+  const auto algorithm = memtest::march_c_minus();
+  auto result = runner.run(algorithm);
+  ASSERT_TRUE(result.is_ok());
+  const std::uint64_t beats = geometry_.beats_per_pc();
+  EXPECT_EQ(result.value().read_ops, 5u * beats);   // r0,r1,r0,r1,r0
+  EXPECT_EQ(result.value().write_ops, 5u * beats);  // w0,w1,w0,w1,w0
+}
+
+class MarchCoverage
+    : public MarchTest,
+      public ::testing::WithParamInterface<int> {};
+
+// Every complete March test finds *exactly* the stuck-cell set, matching
+// the injector's ground truth -- including the paper's Algorithm 1.
+TEST_P(MarchCoverage, FindsExactlyTheStuckCells) {
+  const int mv = GetParam();
+  set_voltage(Millivolts{mv});
+  const unsigned pc = 4;  // weak PC
+  const std::uint64_t truth = injector_.overlay(pc).total_count();
+  MarchRunner runner(stack_, pc);
+  for (const auto& algorithm : memtest::all_march_algorithms()) {
+    auto result = runner.run(algorithm);
+    ASSERT_TRUE(result.is_ok()) << algorithm.name;
+    EXPECT_EQ(result.value().faulty_cells, truth)
+        << algorithm.name << " at " << mv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, MarchCoverage,
+                         ::testing::Values(960, 930, 900, 870, 845));
+
+TEST_F(MarchTest, CrashedStackPropagates) {
+  set_voltage(Millivolts{800});
+  MarchRunner runner(stack_, 0);
+  auto result = runner.run(memtest::mats_plus());
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace hbmvolt

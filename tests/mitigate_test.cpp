@@ -1,0 +1,304 @@
+// Unit tests for row retirement, plus the new TG data patterns and the
+// fault model's temperature extension.
+
+#include <gtest/gtest.h>
+
+#include "axi/traffic_gen.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/stack.hpp"
+#include "mitigate/remap.hpp"
+#include "mitigate/row_retirement.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using mitigate::RetirementMap;
+
+class RetirementTest : public ::testing::Test {
+ protected:
+  RetirementTest()
+      : geometry_(hbm::HbmGeometry::test_tiny()),
+        injector_(faults::FaultModel(geometry_, faults::FaultModelConfig{})) {}
+
+  hbm::HbmGeometry geometry_;
+  faults::FaultInjector injector_;
+};
+
+TEST_F(RetirementTest, GuardbandVoltageRetiresNothing) {
+  const auto map = RetirementMap::build(injector_, Millivolts{1000});
+  EXPECT_EQ(map.rows_retired_total(), 0u);
+  EXPECT_DOUBLE_EQ(map.capacity_fraction(), 1.0);
+}
+
+TEST_F(RetirementTest, RetiredRowsCoverEveryStuckCell) {
+  const auto map = RetirementMap::build(injector_, Millivolts{920});
+  injector_.set_voltage(Millivolts{920});
+  std::uint64_t stuck_total = 0;
+  for (unsigned pc = 0; pc < geometry_.total_pcs(); ++pc) {
+    injector_.overlay(pc).for_each(
+        [&](std::uint64_t bit, faults::StuckPolarity) {
+          ++stuck_total;
+          EXPECT_TRUE(map.beat_retired(pc, bit / geometry_.bits_per_beat));
+        });
+  }
+  EXPECT_GT(stuck_total, 0u);
+  EXPECT_GT(map.rows_retired_total(), 0u);
+}
+
+TEST_F(RetirementTest, SurvivingBeatsAreFaultFree) {
+  const Millivolts v{910};
+  const auto map = RetirementMap::build(injector_, v);
+  injector_.set_voltage(v);
+  hbm::HbmStack stack(geometry_, 0, injector_, 3);
+  stack.on_voltage_change(v);
+
+  std::uint64_t surviving = 0;
+  for (unsigned pc = 0; pc < geometry_.pcs_per_stack(); ++pc) {
+    for (std::uint64_t beat = 0; beat < geometry_.beats_per_pc(); ++beat) {
+      if (map.beat_retired(pc, beat)) continue;
+      ASSERT_TRUE(stack.write_beat(pc, beat, hbm::kBeatAllOnes).is_ok());
+      auto data = stack.read_beat(pc, beat);
+      ASSERT_TRUE(data.is_ok());
+      EXPECT_EQ(data.value(), hbm::kBeatAllOnes)
+          << "pc " << pc << " beat " << beat;
+      ++surviving;
+    }
+  }
+  EXPECT_GT(surviving, 0u);
+}
+
+TEST_F(RetirementTest, MonotoneInVoltage) {
+  const auto shallow = RetirementMap::build(injector_, Millivolts{940});
+  const auto deep = RetirementMap::build(injector_, Millivolts{900});
+  EXPECT_GE(deep.rows_retired_total(), shallow.rows_retired_total());
+  EXPECT_LE(deep.capacity_fraction(), shallow.capacity_fraction());
+}
+
+TEST_F(RetirementTest, ClusteringMakesRetirementCheap) {
+  // With clustering, many stuck cells share few rows; with uniform
+  // placement, the same cell count spreads over many more rows.
+  faults::WeakCellConfig uniform;
+  uniform.cluster_count = 0;
+  faults::FaultInjector uniform_injector(
+      faults::FaultModel(geometry_, faults::FaultModelConfig{}), uniform);
+
+  const Millivolts v{905};
+  const auto clustered = RetirementMap::build(injector_, v);
+  const auto spread = RetirementMap::build(uniform_injector, v);
+  EXPECT_LT(clustered.rows_retired_total(), spread.rows_retired_total());
+}
+
+TEST_F(RetirementTest, SinglePcBuildTouchesOnlyThatPc) {
+  const auto map = RetirementMap::build_for_pc(injector_, 18, Millivolts{920});
+  EXPECT_GT(map.rows_retired(18), 0u);
+  for (unsigned pc = 0; pc < geometry_.total_pcs(); ++pc) {
+    if (pc != 18) {
+      EXPECT_EQ(map.rows_retired(pc), 0u) << pc;
+    }
+  }
+  EXPECT_LT(map.pc_capacity_fraction(18), 1.0);
+  EXPECT_DOUBLE_EQ(map.pc_capacity_fraction(0), 1.0);
+}
+
+TEST_F(RetirementTest, RestoresInjectorVoltage) {
+  injector_.set_voltage(Millivolts{1000});
+  (void)RetirementMap::build(injector_, Millivolts{880});
+  EXPECT_EQ(injector_.voltage().value, 1000);
+}
+
+// ------------------------------------------------------ RemappedChannel
+
+class RemapTest : public RetirementTest {
+ protected:
+  RemapTest() : stack_(geometry_, 1, injector_, 9) {}
+
+  void set_voltage(Millivolts v) {
+    injector_.set_voltage(v);
+    stack_.on_voltage_change(v);
+  }
+
+  hbm::HbmStack stack_;  // stack 1: hosts the weak PC18 (local 2)
+};
+
+TEST_F(RemapTest, IdentityWhenNothingRetired) {
+  const auto retirement = RetirementMap::build(injector_, Millivolts{1000});
+  mitigate::RemappedChannel channel(stack_, 2, retirement);
+  EXPECT_EQ(channel.usable_beats(), geometry_.beats_per_pc());
+  EXPECT_DOUBLE_EQ(channel.capacity_fraction(), 1.0);
+  EXPECT_EQ(channel.physical_beat(17).value(), 17u);
+}
+
+TEST_F(RemapTest, SkipsRetiredRowsAndStaysContiguous) {
+  const Millivolts v{915};
+  const auto retirement = RetirementMap::build(injector_, v);
+  mitigate::RemappedChannel channel(stack_, 2, retirement);  // PC18
+  const unsigned pc_global = stack_.global_pc(2);
+  ASSERT_GT(retirement.rows_retired(pc_global), 0u);
+  EXPECT_LT(channel.usable_beats(), geometry_.beats_per_pc());
+
+  // Every logical beat maps to a non-retired physical beat; the mapping
+  // is strictly increasing (contiguous compaction).
+  std::uint64_t previous = 0;
+  for (std::uint64_t logical = 0; logical < channel.usable_beats();
+       ++logical) {
+    const std::uint64_t physical = channel.physical_beat(logical).value();
+    EXPECT_FALSE(retirement.beat_retired(pc_global, physical));
+    if (logical > 0) {
+      EXPECT_GT(physical, previous);
+    }
+    previous = physical;
+  }
+}
+
+TEST_F(RemapTest, RemappedSpaceIsFaultFreeUnderUndervolt) {
+  const Millivolts v{915};
+  const auto retirement = RetirementMap::build(injector_, v);
+  set_voltage(v);
+  mitigate::RemappedChannel channel(stack_, 2, retirement);
+  for (std::uint64_t logical = 0; logical < channel.usable_beats();
+       ++logical) {
+    ASSERT_TRUE(channel.write_beat(logical, hbm::kBeatAllOnes).is_ok());
+    auto data = channel.read_beat(logical);
+    ASSERT_TRUE(data.is_ok());
+    EXPECT_EQ(data.value(), hbm::kBeatAllOnes) << logical;
+  }
+}
+
+TEST_F(RemapTest, OutOfRangeLogicalBeatRejected) {
+  const auto retirement = RetirementMap::build(injector_, Millivolts{915});
+  mitigate::RemappedChannel channel(stack_, 2, retirement);
+  EXPECT_EQ(channel.physical_beat(channel.usable_beats()).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(
+      channel.write_beat(channel.usable_beats(), hbm::kBeatAllOnes).is_ok());
+}
+
+// --------------------------------------------------------- TG patterns
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest()
+      : geometry_(hbm::HbmGeometry::test_tiny()),
+        injector_(faults::FaultModel(geometry_, faults::FaultModelConfig{})),
+        stack_(geometry_, 0, injector_, 3) {}
+
+  void set_voltage(Millivolts v) {
+    injector_.set_voltage(v);
+    stack_.on_voltage_change(v);
+  }
+
+  hbm::HbmGeometry geometry_;
+  faults::FaultInjector injector_;
+  hbm::HbmStack stack_;
+};
+
+TEST_F(PatternTest, CommandDataGenerators) {
+  axi::TgCommand command;
+  command.kind = axi::PatternKind::kSolid;
+  command.pattern = hbm::kBeatAllOnes;
+  EXPECT_EQ(axi::command_data(command, 7), hbm::kBeatAllOnes);
+
+  command.kind = axi::PatternKind::kCheckerboard;
+  EXPECT_EQ(axi::command_data(command, 0)[0], 0x5555555555555555ull);
+  EXPECT_EQ(axi::command_data(command, 1)[0], 0xAAAAAAAAAAAAAAAAull);
+
+  command.kind = axi::PatternKind::kAddressAsData;
+  EXPECT_EQ(axi::command_data(command, 5)[2], 5u * 4 + 2);
+
+  command.kind = axi::PatternKind::kRandom;
+  command.pattern_seed = 9;
+  const auto a = axi::command_data(command, 3);
+  EXPECT_EQ(a, axi::command_data(command, 3));  // reproducible
+  EXPECT_NE(a, axi::command_data(command, 4));
+  command.pattern_seed = 10;
+  EXPECT_NE(a, axi::command_data(command, 3));  // seed-dependent
+}
+
+class PatternKindSweep
+    : public PatternTest,
+      public ::testing::WithParamInterface<axi::PatternKind> {};
+
+TEST_P(PatternKindSweep, CleanAtNominalFaultyBelowGuardband) {
+  axi::TrafficGenerator tg(stack_, 4);
+  axi::TgCommand command;
+  command.kind = GetParam();
+  command.pattern = hbm::kBeatAllOnes;
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_EQ(tg.stats().total_flips(), 0u);
+
+  set_voltage(Millivolts{880});
+  tg.reset_stats();
+  ASSERT_TRUE(tg.run(command).is_ok());
+  EXPECT_GT(tg.stats().total_flips(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PatternKindSweep,
+                         ::testing::Values(axi::PatternKind::kSolid,
+                                           axi::PatternKind::kCheckerboard,
+                                           axi::PatternKind::kAddressAsData,
+                                           axi::PatternKind::kRandom));
+
+TEST_F(PatternTest, CheckerboardExposesBothPolarities) {
+  set_voltage(Millivolts{870});
+  axi::TrafficGenerator tg(stack_, 4);
+  axi::TgCommand command;
+  command.kind = axi::PatternKind::kCheckerboard;
+  ASSERT_TRUE(tg.run(command).is_ok());
+  // A checkerboard writes ~half the cells to 1 and half to 0, so both
+  // flip directions appear in a single pass (solid patterns need two).
+  EXPECT_GT(tg.stats().flips_1to0, 0u);
+  EXPECT_GT(tg.stats().flips_0to1, 0u);
+}
+
+TEST_F(PatternTest, SolidPatternsTogetherSeeEveryStuckCell) {
+  set_voltage(Millivolts{880});
+  axi::TrafficGenerator tg(stack_, 4);
+  axi::TgCommand ones{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                      true};
+  axi::TgCommand zeros{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllZeros,
+                       true};
+  ASSERT_TRUE(tg.run(ones).is_ok());
+  ASSERT_TRUE(tg.run(zeros).is_ok());
+  EXPECT_EQ(tg.stats().total_flips(),
+            injector_.overlay(4).total_count());
+}
+
+// -------------------------------------------------------- Temperature
+
+TEST(TemperatureTest, ReferencePointKeepsAnchors) {
+  faults::FaultModelConfig config;
+  config.temperature_c = 35.0;
+  const faults::FaultModel model(hbm::HbmGeometry::test_tiny(), config);
+  EXPECT_EQ(model.onset_voltage(18).value, 970);
+}
+
+TEST(TemperatureTest, HotterSiliconFaultsEarlier) {
+  faults::FaultModelConfig hot;
+  hot.temperature_c = 85.0;
+  const faults::FaultModel hot_model(hbm::HbmGeometry::test_tiny(), hot);
+  const faults::FaultModel ref(hbm::HbmGeometry::test_tiny(),
+                               faults::FaultModelConfig{});
+  // +50 degC at 0.25 mV/degC: onsets shift up ~12-13 mV.
+  for (unsigned pc = 0; pc < 32; ++pc) {
+    const int shift =
+        hot_model.onset_voltage(pc).value - ref.onset_voltage(pc).value;
+    EXPECT_GE(shift, 12) << pc;
+    EXPECT_LE(shift, 13) << pc;
+  }
+  // More stuck cells at any unsafe voltage.
+  EXPECT_GT(hot_model.device_stuck_fraction(Millivolts{900}),
+            ref.device_stuck_fraction(Millivolts{900}));
+}
+
+TEST(TemperatureTest, ColderSiliconGainsMargin) {
+  faults::FaultModelConfig cold;
+  cold.temperature_c = 15.0;
+  const faults::FaultModel cold_model(hbm::HbmGeometry::test_tiny(), cold);
+  const faults::FaultModel ref(hbm::HbmGeometry::test_tiny(),
+                               faults::FaultModelConfig{});
+  EXPECT_LT(cold_model.onset_voltage(18).value,
+            ref.onset_voltage(18).value);
+}
+
+}  // namespace
+}  // namespace hbmvolt

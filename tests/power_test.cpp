@@ -1,0 +1,218 @@
+// Unit tests for src/power: the rail power model and the PowerRail glue.
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_model.hpp"
+#include "hbm/geometry.hpp"
+#include "power/droop.hpp"
+#include "power/power_model.hpp"
+#include "power/rail.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using power::PowerModel;
+using power::PowerModelConfig;
+using power::PowerRail;
+
+PowerModel make_model() { return PowerModel(PowerModelConfig{}); }
+
+TEST(PowerModelTest, NominalFullLoadMatchesConfig) {
+  const auto model = make_model();
+  EXPECT_NEAR(model.power(Millivolts{1200}, 1.0).value, 26.1, 1e-9);
+}
+
+TEST(PowerModelTest, IdleIsOneThirdOfFullLoad) {
+  const auto model = make_model();
+  const double full = model.power(Millivolts{1200}, 1.0).value;
+  const double idle = model.idle_power(Millivolts{1200}).value;
+  EXPECT_NEAR(idle / full, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PowerModelTest, QuadraticVoltageScaling) {
+  const auto model = make_model();
+  for (const double u : {0.0, 0.25, 0.5, 1.0}) {
+    const double p_nom = model.power(Millivolts{1200}, u).value;
+    const double p_600 = model.power(Millivolts{600}, u).value;
+    EXPECT_NEAR(p_600 / p_nom, 0.25, 1e-9) << "utilization " << u;
+  }
+}
+
+TEST(PowerModelTest, GuardbandSavingsFactorIs1_5x) {
+  const auto model = make_model();
+  for (const double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double savings = model.power(Millivolts{1200}, u).value /
+                           model.power(Millivolts{980}, u).value;
+    EXPECT_NEAR(savings, 1.5, 0.01) << "utilization " << u;
+  }
+}
+
+TEST(PowerModelTest, ZeroVoltageDrawsNothing) {
+  const auto model = make_model();
+  EXPECT_DOUBLE_EQ(model.power(Millivolts{0}, 1.0).value, 0.0);
+  EXPECT_DOUBLE_EQ(model.current(Millivolts{0}, 1.0).value, 0.0);
+  EXPECT_DOUBLE_EQ(model.power(Millivolts{-5}, 1.0).value, 0.0);
+}
+
+TEST(PowerModelTest, UtilizationIsClamped) {
+  const auto model = make_model();
+  EXPECT_DOUBLE_EQ(model.power(Millivolts{1200}, 2.0).value,
+                   model.power(Millivolts{1200}, 1.0).value);
+  EXPECT_DOUBLE_EQ(model.power(Millivolts{1200}, -1.0).value,
+                   model.power(Millivolts{1200}, 0.0).value);
+}
+
+TEST(PowerModelTest, PowerIncreasesWithUtilization) {
+  const auto model = make_model();
+  double prev = 0.0;
+  for (const double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double p = model.power(Millivolts{980}, u).value;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModelTest, CurrentIsPowerOverVoltage) {
+  const auto model = make_model();
+  const Millivolts v{980};
+  EXPECT_NEAR(model.current(v, 0.5).value,
+              model.power(v, 0.5).value / 0.98, 1e-9);
+}
+
+TEST(PowerModelTest, AlphaClfIsFlatWithoutAlphaHook) {
+  const auto model = make_model();
+  const double at_nom = model.alpha_clf(Millivolts{1200}, 1.0);
+  for (const int mv : {1100, 1000, 900, 850}) {
+    EXPECT_NEAR(model.alpha_clf(Millivolts{mv}, 1.0), at_nom, 1e-9);
+  }
+}
+
+TEST(PowerModelTest, AlphaHookScalesPower) {
+  const PowerModel model(PowerModelConfig{}, [](Millivolts v) {
+    return v.value < 980 ? 0.9 : 1.0;
+  });
+  const double base = PowerModel(PowerModelConfig{})
+                          .power(Millivolts{900}, 1.0)
+                          .value;
+  EXPECT_NEAR(model.power(Millivolts{900}, 1.0).value, 0.9 * base, 1e-9);
+  EXPECT_DOUBLE_EQ(model.alpha(Millivolts{900}), 0.9);
+  EXPECT_DOUBLE_EQ(model.alpha(Millivolts{1200}), 1.0);
+}
+
+TEST(PowerModelTest, FaultModelCouplingGives2_3xAt850) {
+  // The full coupling: alpha from the calibrated fault model produces the
+  // paper's 2.3x total savings at 0.85 V.
+  const faults::FaultModel faults(hbm::HbmGeometry::test_tiny(),
+                                  faults::FaultModelConfig{});
+  const PowerModel model(PowerModelConfig{}, [&faults](Millivolts v) {
+    return faults.alpha_multiplier(v);
+  });
+  for (const double u : {0.0, 0.5, 1.0}) {
+    const double savings = model.power(Millivolts{1200}, u).value /
+                           model.power(Millivolts{850}, u).value;
+    EXPECT_NEAR(savings, 2.3, 0.12) << "utilization " << u;
+  }
+}
+
+// ------------------------------------------------------------- PowerRail
+
+TEST(PowerRailTest, SampleReflectsVoltageAndUtilization) {
+  PowerRail rail(make_model());
+  rail.on_voltage(Millivolts{1200});
+  rail.set_utilization(1.0);
+  const auto sample = rail.sample();
+  EXPECT_EQ(sample.bus_voltage.value, 1200);
+  EXPECT_NEAR(sample.current.value, 26.1 / 1.2, 1e-6);
+}
+
+TEST(PowerRailTest, UtilizationClamped) {
+  PowerRail rail(make_model());
+  rail.set_utilization(5.0);
+  EXPECT_DOUBLE_EQ(rail.utilization(), 1.0);
+  rail.set_utilization(-5.0);
+  EXPECT_DOUBLE_EQ(rail.utilization(), 0.0);
+}
+
+TEST(PowerRailTest, LoadCurrentFollowsModel) {
+  PowerRail rail(make_model());
+  rail.set_utilization(0.5);
+  EXPECT_NEAR(rail.load_current(Millivolts{980}).value,
+              rail.model().current(Millivolts{980}, 0.5).value, 1e-12);
+}
+
+TEST(PowerRailTest, EnergyIntegration) {
+  PowerRail rail(make_model());
+  rail.on_voltage(Millivolts{1200});
+  rail.set_utilization(1.0);
+  rail.advance(Seconds{2.0});
+  EXPECT_NEAR(rail.consumed_energy().value, 26.1 * 2.0, 1e-9);
+  rail.advance(Seconds{-1.0});  // no-op
+  EXPECT_NEAR(rail.consumed_energy().value, 26.1 * 2.0, 1e-9);
+  rail.reset_energy();
+  EXPECT_DOUBLE_EQ(rail.consumed_energy().value, 0.0);
+}
+
+// ----------------------------------------------------------- Droop math
+
+TEST(DroopTest, ZeroLoadLineIsIdentity) {
+  const auto model = make_model();
+  EXPECT_EQ(power::effective_rail_voltage(Millivolts{980}, model, 1.0,
+                                          Ohms{0.0})
+                .value,
+            980);
+}
+
+TEST(DroopTest, SagScalesWithLoadLineAndUtilization) {
+  const auto model = make_model();
+  const auto sag = [&model](double util, double ohms) {
+    return 980 - power::effective_rail_voltage(Millivolts{980}, model, util,
+                                               Ohms{ohms})
+                     .value;
+  };
+  // Idle draws 1/3 the current of full load (integer-mV rounding slack).
+  EXPECT_NEAR(sag(0.0, 0.002), sag(1.0, 0.002) / 3.0, 1.5);
+  EXPECT_GT(sag(1.0, 0.005), sag(1.0, 0.002));
+  EXPECT_GT(sag(1.0, 0.002), 0);
+  // Sanity: ~17.4 A at 0.98 V full load through 2 mOhm = ~35 mV.
+  EXPECT_NEAR(sag(1.0, 0.002), 35, 4);
+}
+
+TEST(DroopTest, FixedPointIsSelfConsistent) {
+  const auto model = make_model();
+  const Ohms load_line{0.004};
+  const Millivolts effective =
+      power::effective_rail_voltage(Millivolts{950}, model, 1.0, load_line);
+  const double i = model.current(effective, 1.0).value;
+  EXPECT_NEAR(effective.volts(), 0.95 - i * load_line.value, 0.0015);
+}
+
+TEST(DroopTest, CompensatedSetpointRestoresTarget) {
+  const auto model = make_model();
+  for (const double ohms : {0.001, 0.005, 0.01}) {
+    const Millivolts setpoint = power::compensated_setpoint(
+        Millivolts{980}, model, 1.0, Ohms{ohms});
+    const Millivolts effective =
+        power::effective_rail_voltage(setpoint, model, 1.0, Ohms{ohms});
+    EXPECT_NEAR(effective.value, 980, 1) << ohms;
+    EXPECT_GT(setpoint.value, 980);
+  }
+}
+
+TEST(PowerRailTest, UndervoltingReducesEnergyForSameTime) {
+  PowerRail nominal(make_model());
+  nominal.on_voltage(Millivolts{1200});
+  nominal.set_utilization(1.0);
+  nominal.advance(Seconds{1.0});
+
+  PowerRail undervolted(make_model());
+  undervolted.on_voltage(Millivolts{980});
+  undervolted.set_utilization(1.0);
+  undervolted.advance(Seconds{1.0});
+
+  EXPECT_NEAR(nominal.consumed_energy().value /
+                  undervolted.consumed_energy().value,
+              1.5, 0.01);
+}
+
+}  // namespace
+}  // namespace hbmvolt

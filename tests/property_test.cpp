@@ -1,0 +1,341 @@
+// Property-based tests: invariants that must hold over swept parameter
+// spaces -- permutation bijectivity, fault-set monotonicity, black-box vs
+// white-box consistency, format round-trips, end-to-end determinism.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "board/vcu128.hpp"
+#include "common/prp.hpp"
+#include "common/rng.hpp"
+#include "core/reliability_tester.hpp"
+#include "faults/fault_overlay.hpp"
+#include "pmbus/linear.hpp"
+
+namespace hbmvolt {
+namespace {
+
+// ---------------------------------------------------------- PRP property
+
+struct PrpCase {
+  std::uint64_t size;
+  std::uint64_t seed;
+};
+
+class PrpProperty : public ::testing::TestWithParam<PrpCase> {};
+
+TEST_P(PrpProperty, BijectionAndInverse) {
+  const auto [n, seed] = GetParam();
+  FeistelPermutation prp(n, seed);
+  std::vector<bool> hit(n, false);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    const std::uint64_t y = prp.forward(x);
+    ASSERT_LT(y, n);
+    ASSERT_FALSE(hit[y]);
+    hit[y] = true;
+    ASSERT_EQ(prp.inverse(y), x);
+  }
+}
+
+std::vector<PrpCase> prp_cases() {
+  std::vector<PrpCase> cases;
+  for (const std::uint64_t n : {5ull, 64ull, 1000ull, 65536ull}) {
+    for (const std::uint64_t seed : {0ull, 42ull, 0xFFFFFFFFull}) {
+      cases.push_back({n, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PrpProperty, ::testing::ValuesIn(prp_cases()));
+
+// ----------------------------------------------- Fault-set monotonicity
+
+class OverlayMonotonicity : public ::testing::TestWithParam<unsigned> {};
+
+// As voltage descends, the stuck-cell set only ever grows, and every cell
+// keeps its polarity -- the property that makes undervolting predictable
+// enough for the Fig 6 trade-off to be actionable.
+TEST_P(OverlayMonotonicity, StuckSetsAreNested) {
+  const unsigned pc = GetParam();
+  faults::FaultInjector injector(faults::FaultModel(
+      hbm::HbmGeometry::test_tiny(), faults::FaultModelConfig{}));
+
+  std::set<std::uint64_t> previous_sa0;
+  std::set<std::uint64_t> previous_sa1;
+  for (int mv = 980; mv >= 850; mv -= 10) {
+    injector.set_voltage(Millivolts{mv});
+    const auto& overlay = injector.overlay(pc);
+    std::set<std::uint64_t> sa0;
+    std::set<std::uint64_t> sa1;
+    overlay.for_each([&](std::uint64_t bit, faults::StuckPolarity polarity) {
+      (polarity == faults::StuckPolarity::kStuckAt0 ? sa0 : sa1).insert(bit);
+    });
+    for (const auto bit : previous_sa0) {
+      ASSERT_TRUE(sa0.contains(bit)) << "pc " << pc << " lost sa0 cell at "
+                                     << mv;
+    }
+    for (const auto bit : previous_sa1) {
+      ASSERT_TRUE(sa1.contains(bit)) << "pc " << pc << " lost sa1 cell at "
+                                     << mv;
+    }
+    previous_sa0 = std::move(sa0);
+    previous_sa1 = std::move(sa1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SomePcs, OverlayMonotonicity,
+                         ::testing::Values(0u, 4u, 9u, 18u, 25u, 31u));
+
+// --------------------------------- Black-box test == white-box fault set
+
+class BlackBoxWhiteBox : public ::testing::TestWithParam<int> {};
+
+// Algorithm 1's measured flip counts must equal the injector's overlay
+// counts exactly: the pattern test is a complete observer of stuck cells.
+TEST_P(BlackBoxWhiteBox, PatternTestRecoversOverlayCounts) {
+  const int mv = GetParam();
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  board::Vcu128Board board(config);
+
+  ASSERT_TRUE(board.set_hbm_voltage(Millivolts{mv}).is_ok());
+  board.set_active_ports(board.total_ports());
+
+  axi::TgCommand ones{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                      true};
+  axi::TgCommand zeros{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllZeros,
+                       true};
+  const auto result_ones = board.run_traffic(ones);
+  const auto result_zeros = board.run_traffic(zeros);
+
+  const unsigned per_stack = board.geometry().pcs_per_stack();
+  for (unsigned s = 0; s < 2; ++s) {
+    for (unsigned p = 0; p < per_stack; ++p) {
+      const unsigned pc = s * per_stack + p;
+      const auto& overlay = board.injector().overlay(pc);
+      EXPECT_EQ(result_ones[s].per_port[p].flips_1to0,
+                overlay.count(faults::StuckPolarity::kStuckAt0))
+          << "pc " << pc << " at " << mv;
+      EXPECT_EQ(result_ones[s].per_port[p].flips_0to1, 0u);
+      EXPECT_EQ(result_zeros[s].per_port[p].flips_0to1,
+                overlay.count(faults::StuckPolarity::kStuckAt1))
+          << "pc " << pc << " at " << mv;
+      EXPECT_EQ(result_zeros[s].per_port[p].flips_1to0, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, BlackBoxWhiteBox,
+                         ::testing::Values(1000, 970, 950, 930, 900, 870,
+                                           845, 830));
+
+// ----------------------------------------------- LINEAR11 random fuzzing
+
+TEST(LinearFuzzTest, Linear11RoundTripRandomValues) {
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const double value = rng.uniform(-500.0, 500.0);
+    const double decoded =
+        pmbus::linear11_decode(pmbus::linear11_encode(value));
+    ASSERT_NEAR(decoded, value, std::abs(value) / 500.0 + 1e-4) << value;
+  }
+}
+
+TEST(LinearFuzzTest, Linear16RoundTripRandomVoltages) {
+  Xoshiro256 rng(78);
+  for (int i = 0; i < 5000; ++i) {
+    const double value = rng.uniform(0.0, 2.0);
+    auto mantissa = pmbus::linear16_encode(value, -12);
+    ASSERT_TRUE(mantissa.is_ok());
+    ASSERT_NEAR(pmbus::linear16_decode(mantissa.value(), -12), value,
+                1.0 / 4096.0);
+  }
+}
+
+// ---------------------------------------------- Memory array random fuzz
+
+TEST(MemoryFuzzTest, RandomWritesReadBack) {
+  hbm::MemoryArray array(1 << 14, 5);
+  Xoshiro256 rng(6);
+  std::vector<std::pair<std::uint64_t, hbm::Beat>> journal;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t beat = rng.bounded(array.beats());
+    const hbm::Beat data = {rng(), rng(), rng(), rng()};
+    array.write_beat(beat, data);
+    journal.emplace_back(beat, data);
+  }
+  // Replay forward: the LAST write to each beat wins.
+  std::map<std::uint64_t, hbm::Beat> expected;
+  for (const auto& [beat, data] : journal) expected[beat] = data;
+  for (const auto& [beat, data] : expected) {
+    ASSERT_EQ(array.read_beat(beat), data);
+  }
+}
+
+// ------------------------------------------- End-to-end determinism
+
+TEST(DeterminismTest, FullSweepBitIdentical) {
+  const auto run_once = []() {
+    board::BoardConfig config;
+    config.geometry = hbm::HbmGeometry::test_tiny();
+    board::Vcu128Board board(config);
+    core::ReliabilityConfig rel;
+    rel.sweep = {Millivolts{980}, Millivolts{860}, 20};
+    rel.batch_size = 2;
+    core::ReliabilityTester tester(board, rel);
+    return std::move(tester.run()).value();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  for (const auto v : a.voltages()) {
+    for (unsigned pc = 0; pc < 32; ++pc) {
+      ASSERT_EQ(a.pc_record(v, pc).flips_1to0, b.pc_record(v, pc).flips_1to0);
+      ASSERT_EQ(a.pc_record(v, pc).flips_0to1, b.pc_record(v, pc).flips_0to1);
+      ASSERT_EQ(a.pc_record(v, pc).bits_tested, b.pc_record(v, pc).bits_tested);
+    }
+  }
+}
+
+// Repeating the same batch at a fixed voltage gives identical fault counts
+// every time: stuck-at faults are stable, not transient (which is what
+// makes the paper's fault map usable at all).
+TEST(DeterminismTest, RepeatedBatchesAgree) {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  board::Vcu128Board board(config);
+  ASSERT_TRUE(board.set_hbm_voltage(Millivolts{905}).is_ok());
+  board.set_active_ports(board.total_ports());
+  axi::TgCommand command{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                         true};
+  std::uint64_t first = 0;
+  for (int batch = 0; batch < 5; ++batch) {
+    std::uint64_t flips = 0;
+    for (const auto& result : board.run_traffic(command)) {
+      flips += result.totals().total_flips();
+    }
+    if (batch == 0) {
+      first = flips;
+      EXPECT_GT(first, 0u);
+    } else {
+      EXPECT_EQ(flips, first) << "batch " << batch;
+    }
+  }
+}
+
+// ------------------------------------------ Channel-level aggregation
+
+TEST(FaultMapChannelTest, ChannelsSumToStack) {
+  const auto g = hbm::HbmGeometry::test_tiny();
+  faults::FaultMap map(g);
+  Xoshiro256 rng(17);
+  for (unsigned pc = 0; pc < g.total_pcs(); ++pc) {
+    map.record(Millivolts{900},
+               pc, {1000, rng.bounded(50), rng.bounded(50), 500, 500});
+  }
+  for (unsigned stack = 0; stack < g.stacks; ++stack) {
+    faults::PcFaultRecord sum;
+    for (unsigned channel = 0; channel < g.channels_per_stack; ++channel) {
+      sum += map.channel_record(Millivolts{900}, stack, channel);
+    }
+    const auto whole = map.stack_record(Millivolts{900}, stack);
+    EXPECT_EQ(sum.total_flips(), whole.total_flips());
+    EXPECT_EQ(sum.bits_tested, whole.bits_tested);
+  }
+}
+
+// ------------------------------------------ Seed (process-lot) robustness
+
+class SeedRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The calibration anchors are properties of the *model*, not of one
+// particular seed: every process lot must reproduce them.
+TEST_P(SeedRobustness, AnchorsHoldForEveryLot) {
+  faults::FaultModelConfig config;
+  config.seed = GetParam();
+  const faults::FaultModel model(hbm::HbmGeometry::test_tiny(), config);
+
+  // Guardband clean, first flip at 0.97 V.
+  std::uint64_t at_980 = 0;
+  std::uint64_t at_970 = 0;
+  unsigned fault_free_950 = 0;
+  for (unsigned pc = 0; pc < 32; ++pc) {
+    at_980 += model.stuck_count(pc, faults::StuckPolarity::kStuckAt0,
+                                Millivolts{980}) +
+              model.stuck_count(pc, faults::StuckPolarity::kStuckAt1,
+                                Millivolts{980});
+    at_970 += model.stuck_count(pc, faults::StuckPolarity::kStuckAt0,
+                                Millivolts{970});
+    if (model.stuck_fraction(pc, Millivolts{950}) == 0.0) ++fault_free_950;
+  }
+  EXPECT_EQ(at_980, 0u) << "seed " << GetParam();
+  EXPECT_GT(at_970, 0u) << "seed " << GetParam();
+  EXPECT_EQ(fault_free_950, 7u) << "seed " << GetParam();
+
+  // All-faulty floor and alpha drop.
+  EXPECT_DOUBLE_EQ(model.device_stuck_fraction(Millivolts{841}), 1.0);
+  EXPECT_NEAR(model.alpha_multiplier(Millivolts{850}), 0.86, 0.035);
+
+  // HBM1 worse on average (direction must never flip with the lot).
+  double gap = 0.0;
+  int samples = 0;
+  for (int mv = 955; mv >= 850; mv -= 5) {
+    const double r0 = model.stack_stuck_fraction(0, Millivolts{mv});
+    const double r1 = model.stack_stuck_fraction(1, Millivolts{mv});
+    if (r1 <= 0.0 || r1 >= 0.999) continue;
+    gap += (r1 - r0) / r1;
+    ++samples;
+  }
+  ASSERT_GT(samples, 5);
+  EXPECT_GT(gap / samples, 0.0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Lots, SeedRobustness,
+                         ::testing::Values(1ull, 42ull, 0xB5C0FFEEull,
+                                           0xDEADBEEFull, 987654321ull));
+
+// -------------------------------------- Fault-rate ordering properties
+
+TEST(OrderingTest, WeakPcsAlwaysAtOrAboveStrongPcs) {
+  const faults::FaultModel model(hbm::HbmGeometry::test_tiny(),
+                                 faults::FaultModelConfig{});
+  for (int mv = 975; mv >= 855; mv -= 5) {
+    double weak_min = 1.0;
+    double strong_max = 0.0;
+    for (const unsigned pc : faults::paper_weak_pcs()) {
+      weak_min = std::min(weak_min, model.stuck_fraction(pc, Millivolts{mv}));
+    }
+    for (const unsigned pc : faults::paper_strong_pcs()) {
+      strong_max =
+          std::max(strong_max, model.stuck_fraction(pc, Millivolts{mv}));
+    }
+    // Outside the bulk-collapse zone, weak PCs dominate strong ones.
+    if (mv >= 870) {
+      EXPECT_GE(weak_min, strong_max) << "at " << mv;
+    }
+  }
+}
+
+TEST(OrderingTest, StackFractionBoundedByPcExtremes) {
+  const faults::FaultModel model(hbm::HbmGeometry::test_tiny(),
+                                 faults::FaultModelConfig{});
+  for (int mv = 960; mv >= 850; mv -= 10) {
+    for (unsigned stack = 0; stack < 2; ++stack) {
+      double lo = 1.0;
+      double hi = 0.0;
+      for (unsigned p = 0; p < 16; ++p) {
+        const double f =
+            model.stuck_fraction(stack * 16 + p, Millivolts{mv});
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+      }
+      const double avg = model.stack_stuck_fraction(stack, Millivolts{mv});
+      EXPECT_GE(avg, lo - 1e-12);
+      EXPECT_LE(avg, hi + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hbmvolt

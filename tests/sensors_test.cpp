@@ -1,0 +1,189 @@
+// Unit tests for the INA226 model and driver: register map, datasheet
+// calibration math, quantization, averaging.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "pmbus/bus.hpp"
+#include "sensors/ina226.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using sensors::Ina226;
+using sensors::Ina226Driver;
+using sensors::RailSample;
+
+class Ina226Test : public ::testing::Test {
+ protected:
+  Ina226Test() : monitor_(make_config()) {
+    EXPECT_TRUE(bus_.attach(&monitor_).is_ok());
+  }
+
+  static Ina226::Config make_config() {
+    Ina226::Config config;
+    config.shunt = Ohms{0.002};
+    config.noise_sigma_amps = 0.0;  // deterministic unless a test opts in
+    return config;
+  }
+
+  void set_rail(double volts, double amps) {
+    monitor_.set_rail_probe([volts, amps]() {
+      return RailSample{from_volts(volts), Amps{amps}};
+    });
+  }
+
+  pmbus::Bus bus_;
+  Ina226 monitor_;
+};
+
+TEST_F(Ina226Test, IdentificationRegisters) {
+  auto mfr = bus_.read_word(0x40, Ina226::kRegManufacturerId);
+  ASSERT_TRUE(mfr.is_ok());
+  EXPECT_EQ(mfr.value(), 0x5449);  // "TI"
+  auto die = bus_.read_word(0x40, Ina226::kRegDieId);
+  ASSERT_TRUE(die.is_ok());
+  EXPECT_EQ(die.value(), 0x2260);
+}
+
+TEST_F(Ina226Test, ConfigDefaultAndReset) {
+  auto config = bus_.read_word(0x40, Ina226::kRegConfig);
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config.value(), Ina226::kConfigDefault);
+  ASSERT_TRUE(bus_.write_word(0x40, Ina226::kRegConfig, 0x4200).is_ok());
+  EXPECT_EQ(bus_.read_word(0x40, Ina226::kRegConfig).value(), 0x4200);
+  // RST bit restores defaults.
+  ASSERT_TRUE(bus_.write_word(0x40, Ina226::kRegConfig, 0x8000).is_ok());
+  EXPECT_EQ(bus_.read_word(0x40, Ina226::kRegConfig).value(),
+            Ina226::kConfigDefault);
+}
+
+TEST_F(Ina226Test, BusVoltageLsbIs1_25mV) {
+  set_rail(1.2, 0.0);
+  auto reg = bus_.read_word(0x40, Ina226::kRegBus);
+  ASSERT_TRUE(reg.is_ok());
+  EXPECT_EQ(reg.value(), 960);  // 1.2 V / 1.25 mV
+}
+
+TEST_F(Ina226Test, ShuntRegisterQuantizesTo2_5uV) {
+  set_rail(1.2, 10.0);  // 10 A * 2 mOhm = 20 mV = 8000 counts
+  auto reg = bus_.read_word(0x40, Ina226::kRegShunt);
+  ASSERT_TRUE(reg.is_ok());
+  EXPECT_EQ(static_cast<std::int16_t>(reg.value()), 8000);
+}
+
+TEST_F(Ina226Test, DriverCalibrationMatchesDatasheet) {
+  Ina226Driver driver(bus_, 0x40);
+  ASSERT_TRUE(driver.configure(40.0, Ohms{0.002}, 16).is_ok());
+  // Current_LSB = 40/2^15 ~= 1.2207 mA; CAL = 0.00512/(LSB*0.002) ~= 2097.
+  EXPECT_NEAR(driver.current_lsb(), 40.0 / 32768.0, 1e-9);
+  auto cal = bus_.read_word(0x40, Ina226::kRegCalibration);
+  ASSERT_TRUE(cal.is_ok());
+  EXPECT_NEAR(cal.value(), 0.00512 / (driver.current_lsb() * 0.002), 1.0);
+}
+
+TEST_F(Ina226Test, CurrentAndPowerReadBack) {
+  Ina226Driver driver(bus_, 0x40);
+  ASSERT_TRUE(driver.configure(40.0, Ohms{0.002}, 1).is_ok());
+  set_rail(1.2, 18.0);
+  auto current = driver.read_current();
+  ASSERT_TRUE(current.is_ok());
+  EXPECT_NEAR(current.value().value, 18.0, 0.05);
+  auto power = driver.read_power();
+  ASSERT_TRUE(power.is_ok());
+  EXPECT_NEAR(power.value().value, 18.0 * 1.2, 0.2);
+  auto vbus = driver.read_bus_voltage();
+  ASSERT_TRUE(vbus.is_ok());
+  EXPECT_NEAR(vbus.value().volts(), 1.2, 0.002);
+  auto ishunt = driver.read_shunt_current();
+  ASSERT_TRUE(ishunt.is_ok());
+  EXPECT_NEAR(ishunt.value().value, 18.0, 0.05);
+}
+
+class Ina226CurrentSweep : public Ina226Test,
+                           public ::testing::WithParamInterface<double> {};
+
+TEST_P(Ina226CurrentSweep, ReadsTrackTrueCurrent) {
+  Ina226Driver driver(bus_, 0x40);
+  ASSERT_TRUE(driver.configure(40.0, Ohms{0.002}, 1).is_ok());
+  const double amps = GetParam();
+  set_rail(0.98, amps);
+  auto current = driver.read_current();
+  ASSERT_TRUE(current.is_ok());
+  // Quantization: shunt LSB 2.5 uV / 2 mOhm = 1.25 mA, plus CAL rounding.
+  EXPECT_NEAR(current.value().value, amps, 0.05 + amps * 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, Ina226CurrentSweep,
+                         ::testing::Values(0.0, 0.5, 2.0, 7.5, 15.0, 25.0,
+                                           39.0));
+
+TEST_F(Ina226Test, AveragingReducesNoise) {
+  Ina226::Config noisy = make_config();
+  noisy.noise_sigma_amps = 0.5;
+  noisy.address = 0x41;
+  Ina226 monitor(noisy);
+  monitor.set_rail_probe(
+      []() { return RailSample{from_volts(1.2), Amps{10.0}}; });
+  ASSERT_TRUE(bus_.attach(&monitor).is_ok());
+  Ina226Driver driver(bus_, 0x41);
+
+  const auto spread_with_avg = [&](unsigned averages) {
+    EXPECT_TRUE(driver.configure(40.0, Ohms{0.002}, averages).is_ok());
+    RunningStats stats;
+    for (int i = 0; i < 200; ++i) {
+      auto current = driver.read_current();
+      EXPECT_TRUE(current.is_ok());
+      stats.add(current.value().value);
+    }
+    return stats.stddev();
+  };
+
+  const double sigma1 = spread_with_avg(1);
+  const double sigma256 = spread_with_avg(256);
+  EXPECT_GT(sigma1, 4.0 * sigma256);  // ~sqrt(256)=16x in theory
+}
+
+TEST_F(Ina226Test, NoProbeReadsZero) {
+  Ina226Driver driver(bus_, 0x40);
+  ASSERT_TRUE(driver.configure(40.0, Ohms{0.002}, 1).is_ok());
+  auto current = driver.read_current();
+  ASSERT_TRUE(current.is_ok());
+  EXPECT_DOUBLE_EQ(current.value().value, 0.0);
+}
+
+TEST_F(Ina226Test, ConfigureRejectsBadArguments) {
+  Ina226Driver driver(bus_, 0x40);
+  EXPECT_FALSE(driver.configure(0.0, Ohms{0.002}, 1).is_ok());
+  EXPECT_FALSE(driver.configure(10.0, Ohms{0.0}, 1).is_ok());
+  // Tiny current LSB overflows the CAL register.
+  EXPECT_FALSE(driver.configure(0.0001, Ohms{10.0}, 1).is_ok());
+}
+
+TEST_F(Ina226Test, MaskAndAlertRegistersAreWritable) {
+  ASSERT_TRUE(bus_.write_word(0x40, Ina226::kRegMaskEnable, 0x8000).is_ok());
+  ASSERT_TRUE(bus_.write_word(0x40, Ina226::kRegAlertLimit, 0x1234).is_ok());
+  EXPECT_EQ(bus_.read_word(0x40, Ina226::kRegMaskEnable).value(), 0x8000);
+  EXPECT_EQ(bus_.read_word(0x40, Ina226::kRegAlertLimit).value(), 0x1234);
+}
+
+TEST_F(Ina226Test, UnknownRegisterNacks) {
+  EXPECT_EQ(bus_.read_word(0x40, 0x10).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bus_.write_word(0x40, 0x01, 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(Ina226Test, AveragingCountDecoding) {
+  // CONFIG bits 11..9: 0->1, 1->4, ... 7->1024.
+  const unsigned expected[8] = {1, 4, 16, 64, 128, 256, 512, 1024};
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    const auto config = static_cast<std::uint16_t>(
+        (Ina226::kConfigDefault & ~0x0E00) | (bits << 9));
+    ASSERT_TRUE(bus_.write_word(0x40, Ina226::kRegConfig, config).is_ok());
+    EXPECT_EQ(monitor_.averaging_count(), expected[bits]);
+  }
+}
+
+}  // namespace
+}  // namespace hbmvolt

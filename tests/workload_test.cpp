@@ -1,0 +1,202 @@
+// Unit tests for the workload-trace infrastructure.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_overlay.hpp"
+#include "workload/trace.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using workload::AccessTrace;
+using workload::ExposureResult;
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : geometry_(hbm::HbmGeometry::test_tiny()),
+        injector_(faults::FaultModel(geometry_, faults::FaultModelConfig{})),
+        stack_(geometry_, 0, injector_, 31) {}
+
+  void set_voltage(Millivolts v) {
+    injector_.set_voltage(v);
+    stack_.on_voltage_change(v);
+  }
+
+  hbm::HbmGeometry geometry_;
+  faults::FaultInjector injector_;
+  hbm::HbmStack stack_;
+};
+
+// ----------------------------------------------------------- Trace basics
+
+TEST(TraceTest, TextRoundTrip) {
+  AccessTrace trace;
+  trace.append(true, 0);
+  trace.append(false, 42);
+  trace.append(false, 4294967295ull);
+  const std::string text = trace.to_text();
+  EXPECT_EQ(text, "W 0\nR 42\nR 4294967295\n");
+  auto parsed = AccessTrace::from_text(text);
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().size(), 3u);
+  EXPECT_TRUE(parsed.value()[0].write);
+  EXPECT_EQ(parsed.value()[1].beat, 42u);
+  EXPECT_EQ(parsed.value()[2].beat, 4294967295u);
+}
+
+TEST(TraceTest, ParserSkipsCommentsAndBlanks) {
+  auto parsed = AccessTrace::from_text(
+      "# header comment\n\n  R 7\n\t W 9\n");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].beat, 7u);
+  EXPECT_TRUE(parsed.value()[1].write);
+}
+
+TEST(TraceTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(AccessTrace::from_text("X 3\n").is_ok());
+  EXPECT_FALSE(AccessTrace::from_text("R\n").is_ok());
+  EXPECT_FALSE(AccessTrace::from_text("R abc\n").is_ok());
+  EXPECT_FALSE(AccessTrace::from_text("R 99999999999999\n").is_ok());
+}
+
+// ------------------------------------------------------------ Generators
+
+TEST(TraceTest, StreamingWritesThenReads) {
+  const auto trace = workload::make_streaming(16, 3);
+  ASSERT_EQ(trace.size(), 48u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_TRUE(trace[i].write);
+  for (std::size_t i = 16; i < 48; ++i) EXPECT_FALSE(trace[i].write);
+  EXPECT_EQ(trace[17].beat, 1u);
+}
+
+TEST(TraceTest, UniformRandomStaysInRangeAndMixes) {
+  const auto trace = workload::make_uniform_random(64, 2000, 0.25, 5);
+  ASSERT_EQ(trace.size(), 2000u);
+  std::size_t writes = 0;
+  for (const auto& record : trace) {
+    EXPECT_LT(record.beat, 64u);
+    writes += record.write ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / 2000.0, 0.25, 0.05);
+}
+
+TEST(TraceTest, HotSetConcentratesTraffic) {
+  const auto trace = workload::make_hot_set(256, 5000, 0.1, 0.9, 7);
+  std::map<std::uint32_t, unsigned> histogram;
+  for (const auto& record : trace) ++histogram[record.beat];
+  // The busiest 10% of beats should hold well over half the accesses.
+  std::vector<unsigned> counts;
+  counts.reserve(histogram.size());
+  for (const auto& [beat, count] : histogram) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < 26 && i < counts.size(); ++i) top += counts[i];
+  EXPECT_GT(static_cast<double>(top) / 5000.0, 0.6);
+}
+
+TEST(TraceTest, StridedWrapsAroundAndWritesFirstTouch) {
+  const auto trace = workload::make_strided(32, 10, 12);
+  EXPECT_EQ(trace[0].beat, 0u);
+  EXPECT_EQ(trace[1].beat, 12u);
+  EXPECT_EQ(trace[2].beat, 24u);
+  EXPECT_EQ(trace[3].beat, 4u);  // wrapped
+  // First touches write; revisits read.
+  EXPECT_TRUE(trace[0].write);
+  const auto long_trace = workload::make_strided(8, 16, 3);  // revisits all
+  std::size_t writes = 0;
+  for (const auto& record : long_trace) writes += record.write ? 1 : 0;
+  EXPECT_EQ(writes, 8u);
+}
+
+TEST(TraceTest, GeneratorsAreDeterministic) {
+  const auto a = workload::make_uniform_random(64, 100, 0.5, 9);
+  const auto b = workload::make_uniform_random(64, 100, 0.5, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].beat, b[i].beat);
+    EXPECT_EQ(a[i].write, b[i].write);
+  }
+}
+
+// --------------------------------------------------------------- Replay
+
+TEST_F(WorkloadTest, CleanReplayAtNominal) {
+  const auto trace =
+      workload::make_streaming(geometry_.beats_per_pc(), 2);
+  auto result = workload::replay_exposure(stack_, 0, trace);
+  ASSERT_TRUE(result.is_ok());
+  const ExposureResult& r = result.value();
+  EXPECT_EQ(r.accesses, trace.size());
+  EXPECT_EQ(r.corrupted_reads, 0u);
+  EXPECT_EQ(r.distinct_stuck_cells_touched, 0u);
+  EXPECT_EQ(r.footprint_beats, geometry_.beats_per_pc());
+}
+
+TEST_F(WorkloadTest, StreamingTouchesEveryStuckCell) {
+  set_voltage(Millivolts{880});
+  const unsigned pc = 4;
+  const auto trace =
+      workload::make_streaming(geometry_.beats_per_pc(), 2);
+  auto result = workload::replay_exposure(stack_, pc, trace);
+  ASSERT_TRUE(result.is_ok());
+  // A full write+read sweep observes every cell stuck at the opposite of
+  // the written bit; with random data, every stuck cell disagrees with
+  // the written value with probability 1/2 -- over two read passes of
+  // the same data it's still 1/2.  So the sweep sees a large fraction,
+  // and never more than the overlay's total.
+  const std::uint64_t truth = injector_.overlay(pc).total_count();
+  EXPECT_GT(result.value().distinct_stuck_cells_touched, truth / 3);
+  EXPECT_LE(result.value().distinct_stuck_cells_touched, truth);
+}
+
+TEST_F(WorkloadTest, HotSetExposureDependsOnPlacement) {
+  set_voltage(Millivolts{900});
+  const unsigned pc = 18 % geometry_.pcs_per_stack();  // any PC on stack 0
+  // Small hot set: exposure varies with where the hot set lands, and is
+  // bounded above by the streaming exposure.
+  const auto hot = workload::make_hot_set(geometry_.beats_per_pc(), 4000,
+                                          0.05, 0.95, 11);
+  const auto streaming =
+      workload::make_streaming(geometry_.beats_per_pc(), 2);
+  auto hot_result = workload::replay_exposure(stack_, pc, hot);
+  auto streaming_result = workload::replay_exposure(stack_, pc, streaming);
+  ASSERT_TRUE(hot_result.is_ok());
+  ASSERT_TRUE(streaming_result.is_ok());
+  EXPECT_LE(hot_result.value().distinct_stuck_cells_touched,
+            streaming_result.value().distinct_stuck_cells_touched);
+  EXPECT_LT(hot_result.value().footprint_beats,
+            streaming_result.value().footprint_beats);
+}
+
+TEST_F(WorkloadTest, ReplayRejectsOutOfRangeBeat) {
+  AccessTrace trace;
+  trace.append(false, geometry_.beats_per_pc());
+  auto result = workload::replay_exposure(stack_, 0, trace);
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(WorkloadTest, ReplayPropagatesCrash) {
+  set_voltage(Millivolts{800});
+  const auto trace = workload::make_streaming(4, 1);
+  auto result = workload::replay_exposure(stack_, 0, trace);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(WorkloadTest, RewritesRefreshExpectations) {
+  // Writing a beat twice updates the expected data: the second write's
+  // generation is what reads verify against.
+  AccessTrace trace;
+  trace.append(true, 3);
+  trace.append(true, 3);
+  trace.append(false, 3);
+  auto result = workload::replay_exposure(stack_, 0, trace);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().corrupted_reads, 0u);
+}
+
+}  // namespace
+}  // namespace hbmvolt
