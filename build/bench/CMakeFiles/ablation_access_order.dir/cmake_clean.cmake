@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_access_order.dir/ablation_access_order.cpp.o"
+  "CMakeFiles/ablation_access_order.dir/ablation_access_order.cpp.o.d"
+  "ablation_access_order"
+  "ablation_access_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_access_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

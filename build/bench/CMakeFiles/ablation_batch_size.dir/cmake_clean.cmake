@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_size.dir/ablation_batch_size.cpp.o"
+  "CMakeFiles/ablation_batch_size.dir/ablation_batch_size.cpp.o.d"
+  "ablation_batch_size"
+  "ablation_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_network.dir/ablation_switch_network.cpp.o"
+  "CMakeFiles/ablation_switch_network.dir/ablation_switch_network.cpp.o.d"
+  "ablation_switch_network"
+  "ablation_switch_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_governor.dir/ext_adaptive_governor.cpp.o"
+  "CMakeFiles/ext_adaptive_governor.dir/ext_adaptive_governor.cpp.o.d"
+  "ext_adaptive_governor"
+  "ext_adaptive_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ecc_mitigation.dir/ext_ecc_mitigation.cpp.o"
+  "CMakeFiles/ext_ecc_mitigation.dir/ext_ecc_mitigation.cpp.o.d"
+  "ext_ecc_mitigation"
+  "ext_ecc_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ecc_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

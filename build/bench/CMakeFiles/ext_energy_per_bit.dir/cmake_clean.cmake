@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_energy_per_bit.dir/ext_energy_per_bit.cpp.o"
+  "CMakeFiles/ext_energy_per_bit.dir/ext_energy_per_bit.cpp.o.d"
+  "ext_energy_per_bit"
+  "ext_energy_per_bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy_per_bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

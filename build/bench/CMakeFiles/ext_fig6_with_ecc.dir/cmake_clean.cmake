@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fig6_with_ecc.dir/ext_fig6_with_ecc.cpp.o"
+  "CMakeFiles/ext_fig6_with_ecc.dir/ext_fig6_with_ecc.cpp.o.d"
+  "ext_fig6_with_ecc"
+  "ext_fig6_with_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fig6_with_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

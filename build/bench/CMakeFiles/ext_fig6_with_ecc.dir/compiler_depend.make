@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_fig6_with_ecc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_march_tests.dir/ext_march_tests.cpp.o"
+  "CMakeFiles/ext_march_tests.dir/ext_march_tests.cpp.o.d"
+  "ext_march_tests"
+  "ext_march_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_march_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

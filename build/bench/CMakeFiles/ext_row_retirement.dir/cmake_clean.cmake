@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_row_retirement.dir/ext_row_retirement.cpp.o"
+  "CMakeFiles/ext_row_retirement.dir/ext_row_retirement.cpp.o.d"
+  "ext_row_retirement"
+  "ext_row_retirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_row_retirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_row_retirement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_temperature.dir/ext_temperature.cpp.o"
+  "CMakeFiles/ext_temperature.dir/ext_temperature.cpp.o.d"
+  "ext_temperature"
+  "ext_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_timing_validation.dir/ext_timing_validation.cpp.o"
+  "CMakeFiles/ext_timing_validation.dir/ext_timing_validation.cpp.o.d"
+  "ext_timing_validation"
+  "ext_timing_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_timing_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

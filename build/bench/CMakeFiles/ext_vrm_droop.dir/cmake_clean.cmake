@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vrm_droop.dir/ext_vrm_droop.cpp.o"
+  "CMakeFiles/ext_vrm_droop.dir/ext_vrm_droop.cpp.o.d"
+  "ext_vrm_droop"
+  "ext_vrm_droop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vrm_droop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workload_exposure.dir/ext_workload_exposure.cpp.o"
+  "CMakeFiles/ext_workload_exposure.dir/ext_workload_exposure.cpp.o.d"
+  "ext_workload_exposure"
+  "ext_workload_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workload_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

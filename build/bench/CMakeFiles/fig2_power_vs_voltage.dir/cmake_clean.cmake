@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_power_vs_voltage.dir/fig2_power_vs_voltage.cpp.o"
+  "CMakeFiles/fig2_power_vs_voltage.dir/fig2_power_vs_voltage.cpp.o.d"
+  "fig2_power_vs_voltage"
+  "fig2_power_vs_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_power_vs_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

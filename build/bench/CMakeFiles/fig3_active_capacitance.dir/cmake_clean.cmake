@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_active_capacitance.dir/fig3_active_capacitance.cpp.o"
+  "CMakeFiles/fig3_active_capacitance.dir/fig3_active_capacitance.cpp.o.d"
+  "fig3_active_capacitance"
+  "fig3_active_capacitance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_active_capacitance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

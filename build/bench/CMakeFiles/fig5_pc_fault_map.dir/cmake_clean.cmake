@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pc_fault_map.dir/fig5_pc_fault_map.cpp.o"
+  "CMakeFiles/fig5_pc_fault_map.dir/fig5_pc_fault_map.cpp.o.d"
+  "fig5_pc_fault_map"
+  "fig5_pc_fault_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pc_fault_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_pc_fault_map.
+# This may be replaced when dependencies are built.

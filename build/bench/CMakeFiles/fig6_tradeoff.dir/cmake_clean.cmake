@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tradeoff.dir/fig6_tradeoff.cpp.o"
+  "CMakeFiles/fig6_tradeoff.dir/fig6_tradeoff.cpp.o.d"
+  "fig6_tradeoff"
+  "fig6_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

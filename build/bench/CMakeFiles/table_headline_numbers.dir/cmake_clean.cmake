@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_headline_numbers.dir/table_headline_numbers.cpp.o"
+  "CMakeFiles/table_headline_numbers.dir/table_headline_numbers.cpp.o.d"
+  "table_headline_numbers"
+  "table_headline_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_headline_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_headline_numbers.
+# This may be replaced when dependencies are built.

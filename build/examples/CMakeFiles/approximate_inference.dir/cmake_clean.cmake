@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_inference.dir/approximate_inference.cpp.o"
+  "CMakeFiles/approximate_inference.dir/approximate_inference.cpp.o.d"
+  "approximate_inference"
+  "approximate_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

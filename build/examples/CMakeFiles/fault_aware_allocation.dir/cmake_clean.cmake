@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_aware_allocation.dir/fault_aware_allocation.cpp.o"
+  "CMakeFiles/fault_aware_allocation.dir/fault_aware_allocation.cpp.o.d"
+  "fault_aware_allocation"
+  "fault_aware_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_aware_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_characterization.dir/full_characterization.cpp.o"
+  "CMakeFiles/full_characterization.dir/full_characterization.cpp.o.d"
+  "full_characterization"
+  "full_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/controller.cpp" "src/CMakeFiles/hbmvolt.dir/axi/controller.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/axi/controller.cpp.o.d"
+  "/root/repo/src/axi/switch.cpp" "src/CMakeFiles/hbmvolt.dir/axi/switch.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/axi/switch.cpp.o.d"
+  "/root/repo/src/axi/traffic_gen.cpp" "src/CMakeFiles/hbmvolt.dir/axi/traffic_gen.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/axi/traffic_gen.cpp.o.d"
+  "/root/repo/src/board/config_io.cpp" "src/CMakeFiles/hbmvolt.dir/board/config_io.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/board/config_io.cpp.o.d"
+  "/root/repo/src/board/vcu128.cpp" "src/CMakeFiles/hbmvolt.dir/board/vcu128.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/board/vcu128.cpp.o.d"
+  "/root/repo/src/common/ini.cpp" "src/CMakeFiles/hbmvolt.dir/common/ini.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/ini.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/hbmvolt.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/plot.cpp" "src/CMakeFiles/hbmvolt.dir/common/plot.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/plot.cpp.o.d"
+  "/root/repo/src/common/prp.cpp" "src/CMakeFiles/hbmvolt.dir/common/prp.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/prp.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/hbmvolt.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/hbmvolt.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/hbmvolt.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/hbmvolt.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/hbmvolt.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/fault_characterizer.cpp" "src/CMakeFiles/hbmvolt.dir/core/fault_characterizer.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/fault_characterizer.cpp.o.d"
+  "/root/repo/src/core/governor.cpp" "src/CMakeFiles/hbmvolt.dir/core/governor.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/governor.cpp.o.d"
+  "/root/repo/src/core/guardband.cpp" "src/CMakeFiles/hbmvolt.dir/core/guardband.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/guardband.cpp.o.d"
+  "/root/repo/src/core/power_characterizer.cpp" "src/CMakeFiles/hbmvolt.dir/core/power_characterizer.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/power_characterizer.cpp.o.d"
+  "/root/repo/src/core/reliability_tester.cpp" "src/CMakeFiles/hbmvolt.dir/core/reliability_tester.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/reliability_tester.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/hbmvolt.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/CMakeFiles/hbmvolt.dir/core/tradeoff.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/tradeoff.cpp.o.d"
+  "/root/repo/src/core/voltage_sweep.cpp" "src/CMakeFiles/hbmvolt.dir/core/voltage_sweep.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/core/voltage_sweep.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/hbmvolt.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/scheduler.cpp" "src/CMakeFiles/hbmvolt.dir/dram/scheduler.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/dram/scheduler.cpp.o.d"
+  "/root/repo/src/ecc/ecc_channel.cpp" "src/CMakeFiles/hbmvolt.dir/ecc/ecc_channel.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/ecc/ecc_channel.cpp.o.d"
+  "/root/repo/src/ecc/secded.cpp" "src/CMakeFiles/hbmvolt.dir/ecc/secded.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/ecc/secded.cpp.o.d"
+  "/root/repo/src/faults/fault_map.cpp" "src/CMakeFiles/hbmvolt.dir/faults/fault_map.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/faults/fault_map.cpp.o.d"
+  "/root/repo/src/faults/fault_model.cpp" "src/CMakeFiles/hbmvolt.dir/faults/fault_model.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/faults/fault_model.cpp.o.d"
+  "/root/repo/src/faults/fault_overlay.cpp" "src/CMakeFiles/hbmvolt.dir/faults/fault_overlay.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/faults/fault_overlay.cpp.o.d"
+  "/root/repo/src/faults/weak_cells.cpp" "src/CMakeFiles/hbmvolt.dir/faults/weak_cells.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/faults/weak_cells.cpp.o.d"
+  "/root/repo/src/hbm/geometry.cpp" "src/CMakeFiles/hbmvolt.dir/hbm/geometry.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/hbm/geometry.cpp.o.d"
+  "/root/repo/src/hbm/ip_registers.cpp" "src/CMakeFiles/hbmvolt.dir/hbm/ip_registers.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/hbm/ip_registers.cpp.o.d"
+  "/root/repo/src/hbm/memory_array.cpp" "src/CMakeFiles/hbmvolt.dir/hbm/memory_array.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/hbm/memory_array.cpp.o.d"
+  "/root/repo/src/hbm/stack.cpp" "src/CMakeFiles/hbmvolt.dir/hbm/stack.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/hbm/stack.cpp.o.d"
+  "/root/repo/src/memtest/march.cpp" "src/CMakeFiles/hbmvolt.dir/memtest/march.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/memtest/march.cpp.o.d"
+  "/root/repo/src/mitigate/remap.cpp" "src/CMakeFiles/hbmvolt.dir/mitigate/remap.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/mitigate/remap.cpp.o.d"
+  "/root/repo/src/mitigate/row_retirement.cpp" "src/CMakeFiles/hbmvolt.dir/mitigate/row_retirement.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/mitigate/row_retirement.cpp.o.d"
+  "/root/repo/src/pmbus/bus.cpp" "src/CMakeFiles/hbmvolt.dir/pmbus/bus.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/pmbus/bus.cpp.o.d"
+  "/root/repo/src/pmbus/device.cpp" "src/CMakeFiles/hbmvolt.dir/pmbus/device.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/pmbus/device.cpp.o.d"
+  "/root/repo/src/pmbus/isl68301.cpp" "src/CMakeFiles/hbmvolt.dir/pmbus/isl68301.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/pmbus/isl68301.cpp.o.d"
+  "/root/repo/src/pmbus/linear.cpp" "src/CMakeFiles/hbmvolt.dir/pmbus/linear.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/pmbus/linear.cpp.o.d"
+  "/root/repo/src/pmbus/pec.cpp" "src/CMakeFiles/hbmvolt.dir/pmbus/pec.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/pmbus/pec.cpp.o.d"
+  "/root/repo/src/power/droop.cpp" "src/CMakeFiles/hbmvolt.dir/power/droop.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/power/droop.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/hbmvolt.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/power/rail.cpp" "src/CMakeFiles/hbmvolt.dir/power/rail.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/power/rail.cpp.o.d"
+  "/root/repo/src/sensors/ina226.cpp" "src/CMakeFiles/hbmvolt.dir/sensors/ina226.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/sensors/ina226.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/hbmvolt.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/hbmvolt.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for hbmvolt.
+# This may be replaced when dependencies are built.

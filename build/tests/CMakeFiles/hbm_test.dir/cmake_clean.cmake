@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbm_test.dir/hbm_test.cpp.o"
+  "CMakeFiles/hbm_test.dir/hbm_test.cpp.o.d"
+  "hbm_test"
+  "hbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtest_test.dir/memtest_test.cpp.o"
+  "CMakeFiles/memtest_test.dir/memtest_test.cpp.o.d"
+  "memtest_test"
+  "memtest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigate_test.dir/mitigate_test.cpp.o"
+  "CMakeFiles/mitigate_test.dir/mitigate_test.cpp.o.d"
+  "mitigate_test"
+  "mitigate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbus_test.dir/pmbus_test.cpp.o"
+  "CMakeFiles/pmbus_test.dir/pmbus_test.cpp.o.d"
+  "pmbus_test"
+  "pmbus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
