@@ -28,6 +28,16 @@ inline core::ReliabilityConfig full_sweep_config(unsigned batch = 2) {
   return config;
 }
 
+/// Shorter sweep for throughput benchmarking: still crosses the fault
+/// onset (so overlays get exercised) but keeps one iteration sub-second.
+inline core::ReliabilityConfig bench_sweep_config() {
+  core::ReliabilityConfig config;
+  config.sweep = {Millivolts{1200}, Millivolts{900}, 50};
+  config.batch_size = 1;
+  config.crash_policy = core::CrashPolicy::kStop;
+  return config;
+}
+
 inline void print_banner(const char* title) {
   std::printf("==========================================================\n");
   std::printf("%s\n", title);

@@ -7,7 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include "axi/traffic_gen.hpp"
+#include "bench_common.hpp"
 #include "common/prp.hpp"
+#include "core/parallel.hpp"
 #include "faults/fault_overlay.hpp"
 #include "hbm/stack.hpp"
 
@@ -101,6 +103,41 @@ void BM_FullPcPatternTest(benchmark::State& state) {
       static_cast<std::int64_t>(geometry.bits_per_pc / 8) * 2);
 }
 BENCHMARK(BM_FullPcPatternTest);
+
+// Whole-device reliability sweep at different worker counts: the paper's
+// Algorithm 1 with all 32 TGs, fanned out by core::ThreadPool.  The
+// speedup over Arg(1) is the headline number for the parallel engine
+// (expect >= 2x at Arg(4) on a 4-core host; on fewer cores the extra
+// workers just measure the pool's overhead).  Results are byte-identical
+// across arguments -- tests/parallel_test.cpp enforces that; this bench
+// only measures time.
+void BM_SweepThroughput(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  board::Vcu128Board board(bench::default_board_config());
+  core::ReliabilityTester tester(board, bench::bench_sweep_config());
+  // threads == 1 is the serial reference path: no pool at all.
+  std::unique_ptr<core::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<core::ThreadPool>(threads);
+  std::uint64_t bits = 0;
+  for (auto _ : state) {
+    auto map = tester.run(pool.get());
+    if (!map.is_ok()) {
+      state.SkipWithError("sweep failed");
+      break;
+    }
+    bits += map.value().device_record(Millivolts{1200}).bits_tested;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits));
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

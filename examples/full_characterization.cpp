@@ -1,13 +1,17 @@
 // Full characterization campaign: reproduce the paper's entire evaluation
 // in one run and archive every artifact.
 //
-//   ./build/examples/full_characterization [output_dir]
+//   ./build/examples/full_characterization [output_dir] [threads]
 //
 // Writes fig2.csv/fig4.csv/fig5.csv/fig6.csv and summary.txt (headline
 // table + ASCII renderings of Figs 2-6) into `output_dir` (default:
 // ./artifacts), then prints the headline table and the trade-off plans.
+// `threads` fans the sweeps out across pseudo-channels (0 = all cores,
+// default; the artifacts are byte-identical at any thread count -- see
+// docs/parallelism.md).
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/campaign.hpp"
 #include "common/log.hpp"
@@ -24,6 +28,10 @@ int main(int argc, char** argv) {
 
   core::CampaignConfig config;
   if (argc > 1) config.output_dir = argv[1];
+  config.threads = 0;  // all cores; same bytes as the serial path
+  if (argc > 2) {
+    config.threads = static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
+  }
 
   core::Campaign campaign(board, config);
   auto result = campaign.run();

@@ -16,6 +16,10 @@
 #include "common/units.hpp"
 #include "hbm/stack.hpp"
 
+namespace hbmvolt::core {
+class ThreadPool;
+}
+
 namespace hbmvolt::axi {
 
 /// Outcome of broadcasting one macro command over the enabled ports.
@@ -58,8 +62,11 @@ class StackController {
   void reset_ports();
 
   /// Broadcasts `command` to every enabled port.  Each port targets the
-  /// PC the switching network routes it to.
-  RunResult run(const TgCommand& command);
+  /// PC the switching network routes it to.  With a pool, the enabled
+  /// ports run concurrently (the paper's 32-TGs-at-once access model);
+  /// results are byte-identical to the serial path because each port owns
+  /// its slot and aggregation happens afterwards in port order.
+  RunResult run(const TgCommand& command, core::ThreadPool* pool = nullptr);
 
   /// Runs a command on one specific port only (per-PC tests, Fig 5).
   RunResult run_on_port(unsigned index, const TgCommand& command);
@@ -67,9 +74,37 @@ class StackController {
   /// Cumulative stats summed over all ports.
   [[nodiscard]] TgStats aggregate_stats() const;
 
+  // ---- Split-phase API for board-level fan-out across both stacks ----
+  // Phases: route_ports (serial: enable + switch routing + baseline
+  // stats), run_routed_port (safe to call concurrently for *distinct*
+  // indices), assemble_result (serial, ascending port order).  run() is
+  // these three phases over one stack; the board flattens (stack, port)
+  // pairs through the same phases to fan 32 wide.
+
+  /// Ports currently enabled, ascending.
+  [[nodiscard]] std::vector<unsigned> enabled_port_list() const;
+
+  /// Enables `ports` and applies switch routing/derate.  Must precede
+  /// run_routed_port for those indices.
+  void route_ports(const std::vector<unsigned>& ports);
+
+  /// Executes `command` on one routed port and returns this run's stats
+  /// delta.  Touches only that port's state (plus its PC's array and
+  /// overlay slot), so distinct indices may run on different threads.
+  /// Sets *unavailable when the stack NAKed the traffic.
+  TgStats run_routed_port(unsigned index, const TgCommand& command,
+                          bool* unavailable);
+
+  /// Builds the RunResult from per-port deltas (parallel to `ports`),
+  /// aggregating in ascending port order.
+  [[nodiscard]] RunResult assemble_result(
+      const std::vector<unsigned>& ports, const std::vector<TgStats>& deltas,
+      bool stack_responding) const;
+
  private:
   RunResult run_ports(const TgCommand& command,
-                      const std::vector<unsigned>& ports);
+                      const std::vector<unsigned>& ports,
+                      core::ThreadPool* pool);
 
   hbm::HbmStack& stack_;
   SwitchNetwork switch_;

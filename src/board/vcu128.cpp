@@ -1,7 +1,10 @@
 #include "board/vcu128.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "core/parallel.hpp"
 #include "faults/fault_model.hpp"
 #include "power/power_model.hpp"
 
@@ -123,6 +126,28 @@ Result<Watts> Vcu128Board::measure_power_averaged(unsigned samples) {
   return Watts{sum / samples};
 }
 
+Result<Watts> Vcu128Board::measure_power_snapshot(unsigned samples,
+                                                  core::ThreadPool* pool) {
+  if (samples == 0) return invalid_argument("need at least one sample");
+  // Freeze the rail once: every sample of this step sees one physical
+  // operating point, so workers never race the regulator or the rail's
+  // latched registers.  Only the measurement noise varies per sample.
+  const sensors::RailSample snap = rail_->sample();
+  const std::uint64_t id = power_snapshot_id_++;
+  const double lsb = monitor_driver_->current_lsb();
+  std::vector<double> watts(samples, 0.0);
+  core::parallel_for_each(pool, samples, [&](std::size_t i) {
+    // Per-sample counter-seeded noise stream: value depends only on
+    // (monitor seed, snapshot, sample index), never on thread schedule.
+    Xoshiro256 rng(stream_seed(config_.monitor_config.seed, 0x50A9, id, i));
+    const std::uint16_t reg = monitor_->power_register_for(snap, rng.normal());
+    watts[i] = reg * 25.0 * lsb;
+  });
+  double sum = 0.0;
+  for (const double w : watts) sum += w;  // fixed order: FP-deterministic
+  return Watts{sum / samples};
+}
+
 void Vcu128Board::set_active_ports(unsigned count) {
   HBMVOLT_REQUIRE(count <= total_ports(), "more ports than exist");
   // Spread enabled ports evenly: fill stacks round-robin so 16 active
@@ -150,14 +175,54 @@ double Vcu128Board::utilization() const {
 }
 
 std::vector<axi::RunResult> Vcu128Board::run_traffic(
-    const axi::TgCommand& command) {
+    const axi::TgCommand& command, core::ThreadPool* pool) {
+  const unsigned stacks = static_cast<unsigned>(controllers_.size());
+
+  // Phase 1 (serial): route every enabled port of both stacks and build
+  // the flat (stack, port) work list — up to 32 items, one per TG.
+  struct Item {
+    unsigned stack;
+    unsigned port;
+    std::size_t slot;  // index into this stack's ports/deltas vectors
+  };
+  std::vector<std::vector<unsigned>> ports(stacks);
+  std::vector<Item> items;
+  for (unsigned s = 0; s < stacks; ++s) {
+    ports[s] = controllers_[s]->enabled_port_list();
+    controllers_[s]->route_ports(ports[s]);
+    for (std::size_t k = 0; k < ports[s].size(); ++k) {
+      items.push_back({s, ports[s][k], k});
+    }
+  }
+
+  // Phase 2 (parallel): each item owns its output slot and touches only
+  // its own TG + PC state, so any schedule produces the same deltas.
+  std::vector<std::vector<axi::TgStats>> deltas(stacks);
+  std::vector<std::vector<std::uint8_t>> naks(stacks);
+  for (unsigned s = 0; s < stacks; ++s) {
+    deltas[s].resize(ports[s].size());
+    naks[s].assign(ports[s].size(), 0);
+  }
+  core::parallel_for_each(pool, items.size(), [&](std::size_t i) {
+    const Item& item = items[i];
+    bool nak = false;
+    deltas[item.stack][item.slot] =
+        controllers_[item.stack]->run_routed_port(item.port, command, &nak);
+    naks[item.stack][item.slot] = nak ? 1 : 0;
+  });
+
+  // Phase 3 (serial, ascending stack order): assemble per-stack results.
+  // The stacks run concurrently: wall-clock is the slower one, not the
+  // sum, and rail energy integrates over that shared interval.
   std::vector<axi::RunResult> results;
-  results.reserve(controllers_.size());
+  results.reserve(stacks);
   SimTime elapsed = 0;
-  for (auto& controller : controllers_) {
-    axi::RunResult result = controller->run(command);
-    // The stacks run concurrently: wall-clock is the slower one, not the
-    // sum, and rail energy integrates over that shared interval.
+  for (unsigned s = 0; s < stacks; ++s) {
+    const bool responding =
+        std::none_of(naks[s].begin(), naks[s].end(),
+                     [](std::uint8_t nak) { return nak != 0; });
+    axi::RunResult result =
+        controllers_[s]->assemble_result(ports[s], deltas[s], responding);
     elapsed = std::max(elapsed, result.elapsed);
     results.push_back(std::move(result));
   }

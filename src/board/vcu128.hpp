@@ -29,6 +29,10 @@
 #include "power/rail.hpp"
 #include "sensors/ina226.hpp"
 
+namespace hbmvolt::core {
+class ThreadPool;
+}
+
 namespace hbmvolt::board {
 
 struct BoardConfig {
@@ -88,8 +92,17 @@ class Vcu128Board {
   /// Reads the rail power from the INA226 (register path: quantization
   /// and measurement noise included).
   Result<Watts> measure_power();
-  /// Averages `samples` INA226 readings.
+  /// Averages `samples` INA226 readings (sequential bus transactions; the
+  /// monitor's noise generator advances once per reading).
   Result<Watts> measure_power_averaged(unsigned samples);
+  /// Snapshot measurement for the parallel sweep pipeline: freezes the
+  /// rail state once, then computes `samples` INA-path readings whose
+  /// noise comes from counter-seeded per-sample streams.  Workers never
+  /// observe a torn rail state or share a generator, so the average is
+  /// byte-identical at any thread count (including the serial pool-less
+  /// path).
+  Result<Watts> measure_power_snapshot(unsigned samples,
+                                       core::ThreadPool* pool = nullptr);
 
   /// Enables `count` of the 32 AXI ports (spread evenly across stacks)
   /// and updates the rail's bandwidth utilization accordingly.
@@ -102,8 +115,13 @@ class Vcu128Board {
   [[nodiscard]] double utilization() const;
 
   /// Broadcasts a macro command to the enabled ports of both stacks;
-  /// returns combined per-run results (index 0 = stack 0).
-  std::vector<axi::RunResult> run_traffic(const axi::TgCommand& command);
+  /// returns combined per-run results (index 0 = stack 0).  With a pool,
+  /// every enabled port of *both* stacks runs concurrently (the paper's
+  /// 32 simultaneous traffic generators); per-PC state is disjoint and
+  /// aggregation is serial in (stack, port) order, so results are
+  /// byte-identical to the pool-less path.
+  std::vector<axi::RunResult> run_traffic(const axi::TgCommand& command,
+                                          core::ThreadPool* pool = nullptr);
 
   /// True while every stack responds.
   [[nodiscard]] bool responding() const;
@@ -126,6 +144,8 @@ class Vcu128Board {
   std::vector<std::unique_ptr<hbm::HbmStack>> stacks_;
   std::vector<std::unique_ptr<axi::StackController>> controllers_;
   std::vector<std::unique_ptr<hbm::HbmIpCore>> ip_cores_;
+  /// Distinguishes the noise streams of successive snapshot measurements.
+  std::uint64_t power_snapshot_id_ = 0;
 };
 
 }  // namespace hbmvolt::board

@@ -27,6 +27,33 @@ constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t key) noexcept
   return splitmix64(seed ^ (0x9E3779B97F4A7C15ULL + key * 0xD1342543DE82EF95ULL));
 }
 
+/// Counter-seeded stream derivation for parallel workers: each worker's
+/// generator is seeded from (root seed, counters) rather than drawn from a
+/// shared generator, so the values a worker sees depend only on *which*
+/// work item it is, never on thread scheduling or execution order.  The
+/// counters are mixed pairwise (not XOR-folded), so (a=1,b=0) and
+/// (a=0,b=1) yield unrelated streams.
+constexpr std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t a,
+                                    std::uint64_t b = 0,
+                                    std::uint64_t c = 0) noexcept {
+  return mix_seed(mix_seed(mix_seed(seed, a), b), c);
+}
+
+/// The per-PC worker stream of a campaign: f(campaign seed, stack,
+/// channel, pc-within-channel).  Every per-PC random quantity (weak-cell
+/// placement, process-variation draws, power-up contents) derives from
+/// this, which is what makes the per-PC fan-out schedule-independent.
+/// The structural address is folded back into the paper's global PC
+/// numbering before mixing so the streams match fault maps recorded by
+/// earlier (global-index-keyed) revisions of the model.
+constexpr std::uint64_t pc_stream_seed(std::uint64_t seed, unsigned stack,
+                                       unsigned channel, unsigned pc,
+                                       unsigned pcs_per_stack,
+                                       unsigned pcs_per_channel) noexcept {
+  return mix_seed(seed, 0x9C0000ULL + stack * pcs_per_stack +
+                            channel * pcs_per_channel + pc);
+}
+
 /// xoshiro256** 1.0 -- fast, high-quality 64-bit generator.
 class Xoshiro256 {
  public:

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/log.hpp"
+#include "core/parallel.hpp"
 
 namespace hbmvolt::core {
 
@@ -57,14 +58,21 @@ Campaign::Campaign(board::Vcu128Board& board, CampaignConfig config)
     : board_(board), config_(std::move(config)) {}
 
 Result<CampaignResult> Campaign::run() {
+  // threads == 1 keeps the serial reference path (no pool at all); any
+  // other value fans the per-PC work out, with byte-identical results.
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.threads != 1) {
+    pool = std::make_unique<ThreadPool>(config_.threads);
+  }
+
   HBMVOLT_LOG_INFO("campaign: reliability sweep (Algorithm 1)");
   ReliabilityTester tester(board_, config_.reliability);
-  auto map = tester.run();
+  auto map = tester.run(pool.get());
   if (!map.is_ok()) return map.status();
 
   HBMVOLT_LOG_INFO("campaign: power sweep");
   PowerCharacterizer characterizer(board_, config_.power);
-  auto power = characterizer.run();
+  auto power = characterizer.run(pool.get());
   if (!power.is_ok()) return power.status();
 
   const Millivolts v_nom = board_.config().regulator_config.vout_default;

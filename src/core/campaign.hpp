@@ -37,6 +37,10 @@ struct CampaignConfig {
   TradeoffConfig tradeoff{};
   /// Skip writing files (analyses only).
   bool dry_run = false;
+  /// Worker threads for the sweep fan-out.  1 = serial reference path
+  /// (no pool), 0 = hardware_concurrency.  Results are byte-identical at
+  /// any setting — see docs/parallelism.md.
+  unsigned threads = 1;
 };
 
 struct CampaignResult {

@@ -1,0 +1,139 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace hbmvolt::core {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  HBMVOLT_REQUIRE(task != nullptr, "null task submitted to pool");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HBMVOLT_REQUIRE(!stop_, "pool is shutting down");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// State shared between the caller and the helper tasks of one fan-out.
+/// The caller outlives every helper (it blocks on `pending`), so helpers
+/// may reference the body through the raw pointer held here.
+struct FanOut {
+  explicit FanOut(std::size_t count,
+                  const std::function<void(std::size_t)>& fn)
+      : body(&fn), errors(count) {}
+
+  const std::function<void(std::size_t)>* body;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors;  // slot per index: no sharing
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending = 0;
+
+  /// Claims indices off the shared ticket until the range is exhausted.
+  void drain() {
+    const std::size_t count = errors.size();
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        (*body)(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  }
+};
+
+void rethrow_lowest(std::vector<std::exception_ptr>& errors) {
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+void parallel_for_each(ThreadPool* pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || count == 1) {
+    // Serial reference path: same run-all / lowest-index-throws semantics
+    // as the fan-out so behavior is identical at every thread count.
+    std::vector<std::exception_ptr> errors(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    rethrow_lowest(errors);
+    return;
+  }
+
+  auto shared = std::make_shared<FanOut>(count, body);
+  // The calling thread participates, so only size-1 helpers are needed at
+  // most (and never more than there are indices).
+  const std::size_t helpers =
+      std::min<std::size_t>(pool->size(), count) - 1;
+  shared->pending = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->submit([shared] {
+      shared->drain();
+      {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        --shared->pending;
+      }
+      shared->done.notify_one();
+    });
+  }
+  shared->drain();
+  {
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->done.wait(lock, [&] { return shared->pending == 0; });
+  }
+  rethrow_lowest(shared->errors);
+}
+
+}  // namespace hbmvolt::core

@@ -1,0 +1,72 @@
+// Deterministic fan-out engine for the sweep pipeline.
+//
+// The paper's platform runs all 32 AXI traffic generators concurrently
+// (one per pseudo-channel) at every voltage step; this pool is the host
+// side of that concurrency.  Design rules that keep results byte-identical
+// at any thread count (enforced by tests/parallel_test.cpp):
+//
+//  * work is addressed by index: parallel_for_each(pool, n, body) calls
+//    body(0..n-1) exactly once each, and every output slot is owned by
+//    exactly one index -- workers never share mutable state;
+//  * aggregation happens on the calling thread, in ascending index order,
+//    after the fan-out joins -- no locks on the hot path, no
+//    reduction-order dependence;
+//  * randomness consumed inside a worker comes from a counter-seeded
+//    stream derived from the index (see stream_seed in common/rng.hpp),
+//    never from a shared generator.
+//
+// The pool is deliberately work-stealing-free: a shared atomic ticket is
+// all the scheduling the 32-wide fan-outs here need, and the simple
+// structure keeps the ThreadSanitizer lane clean.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbmvolt::core {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task for any worker.  Tasks must not throw (fan-outs wrap
+  /// their bodies; see parallel_for_each).
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(0) .. body(count-1), each exactly once, distributed over the
+/// pool's workers plus the calling thread; returns after all complete.
+///
+/// A null pool (or a single-thread pool) runs inline -- this is the serial
+/// reference path, and it executes the same code as the parallel one.
+/// Exception semantics are identical at every thread count: all indices
+/// run to completion, and the exception thrown by the *lowest* failing
+/// index is rethrown afterwards.
+void parallel_for_each(ThreadPool* pool, std::size_t count,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace hbmvolt::core

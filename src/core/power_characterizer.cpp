@@ -45,7 +45,7 @@ PowerCharacterizer::PowerCharacterizer(board::Vcu128Board& board,
   HBMVOLT_REQUIRE(config_.samples > 0, "need at least one sample");
 }
 
-Result<PowerCharacterization> PowerCharacterizer::run() {
+Result<PowerCharacterization> PowerCharacterizer::run(ThreadPool* pool) {
   PowerCharacterization out;
   out.v_nom = board_.config().regulator_config.vout_default;
 
@@ -62,9 +62,9 @@ Result<PowerCharacterization> PowerCharacterizer::run() {
         axi::TgCommand command{axi::MacroOp::kWriteRead, 0,
                                config_.traffic_beats, hbm::kBeatAllOnes,
                                /*check=*/false};
-        board_.run_traffic(command);
+        board_.run_traffic(command, pool);
       }
-      auto power = board_.measure_power_averaged(config_.samples);
+      auto power = board_.measure_power_snapshot(config_.samples, pool);
       if (!power.is_ok()) {
         HBMVOLT_LOG_WARN("power read failed at %d mV: %s", v.value,
                          power.status().to_string().c_str());

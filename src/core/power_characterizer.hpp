@@ -16,6 +16,8 @@
 
 namespace hbmvolt::core {
 
+class ThreadPool;
+
 struct PowerSweepConfig {
   SweepConfig sweep{};                      // 1200 -> 810, 10 mV
   /// Port counts to measure; the paper plots 0/25/50/75/100% utilization.
@@ -58,7 +60,10 @@ class PowerCharacterizer {
  public:
   PowerCharacterizer(board::Vcu128Board& board, PowerSweepConfig config);
 
-  Result<PowerCharacterization> run();
+  /// Runs the sweep.  Measurements go through the board's snapshot path
+  /// (per-step frozen rail + counter-seeded per-sample noise) whether or
+  /// not a pool is given, so serial and parallel runs agree bit-for-bit.
+  Result<PowerCharacterization> run(ThreadPool* pool = nullptr);
 
  private:
   board::Vcu128Board& board_;

@@ -12,15 +12,18 @@ ReliabilityTester::ReliabilityTester(board::Vcu128Board& board,
                   "at least one data pattern required");
 }
 
-Result<faults::FaultMap> ReliabilityTester::run() { return run_impl(-1); }
+Result<faults::FaultMap> ReliabilityTester::run(ThreadPool* pool) {
+  return run_impl(-1, pool);
+}
 
 Result<faults::FaultMap> ReliabilityTester::run_pc(unsigned pc_global) {
   HBMVOLT_REQUIRE(pc_global < board_.geometry().total_pcs(),
                   "PC index out of range");
-  return run_impl(static_cast<int>(pc_global));
+  return run_impl(static_cast<int>(pc_global), nullptr);
 }
 
-Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global) {
+Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global,
+                                                     ThreadPool* pool) {
   faults::FaultMap map(board_.geometry());
   const unsigned per_stack = board_.geometry().pcs_per_stack();
 
@@ -69,7 +72,7 @@ Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global) {
               map.record(v, static_cast<unsigned>(only_pc_global),
                          make_record(result.per_port[local]));
             } else {
-              const auto results = board_.run_traffic(command);
+              const auto results = board_.run_traffic(command, pool);
               for (unsigned s = 0; s < results.size(); ++s) {
                 for (unsigned p = 0; p < results[s].per_port.size(); ++p) {
                   const axi::TgStats& stats = results[s].per_port[p];

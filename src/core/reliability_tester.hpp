@@ -24,6 +24,8 @@
 
 namespace hbmvolt::core {
 
+class ThreadPool;
+
 struct ReliabilityConfig {
   SweepConfig sweep{};                       // 1200 -> 810, 10 mV
   unsigned batch_size = 130;
@@ -41,14 +43,16 @@ class ReliabilityTester {
  public:
   ReliabilityTester(board::Vcu128Board& board, ReliabilityConfig config);
 
-  /// Full-device test: every AXI port of both stacks.
-  Result<faults::FaultMap> run();
+  /// Full-device test: every AXI port of both stacks.  With a pool, the
+  /// 32 per-PC pattern tests of each voltage step fan out across workers;
+  /// the resulting FaultMap is byte-identical to the serial run.
+  Result<faults::FaultMap> run(ThreadPool* pool = nullptr);
 
   /// Single-PC test (the paper's per-PC variant of Algorithm 1).
   Result<faults::FaultMap> run_pc(unsigned pc_global);
 
  private:
-  Result<faults::FaultMap> run_impl(int only_pc_global);
+  Result<faults::FaultMap> run_impl(int only_pc_global, ThreadPool* pool);
 
   board::Vcu128Board& board_;
   ReliabilityConfig config_;

@@ -26,6 +26,21 @@ void FaultMap::record_crash(Millivolts v) {
   observation.crashed = true;
 }
 
+FaultMap& FaultMap::merge(const FaultMap& other) {
+  HBMVOLT_REQUIRE(geometry_.total_pcs() == other.geometry_.total_pcs() &&
+                      geometry_.stacks == other.geometry_.stacks,
+                  "cannot merge maps with different geometries");
+  for (const auto& [mv, theirs] : other.observations_) {
+    auto& ours = observations_[mv];
+    if (ours.pcs.empty()) ours.pcs.resize(geometry_.total_pcs());
+    for (std::size_t pc = 0; pc < theirs.pcs.size(); ++pc) {
+      ours.pcs[pc] += theirs.pcs[pc];
+    }
+    ours.crashed = ours.crashed || theirs.crashed;
+  }
+  return *this;
+}
+
 std::vector<Millivolts> FaultMap::voltages() const {
   std::vector<Millivolts> out;
   out.reserve(observations_.size());

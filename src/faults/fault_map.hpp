@@ -86,6 +86,13 @@ class FaultMap {
   /// Marks a voltage as having crashed the device.
   void record_crash(Millivolts v);
 
+  /// Folds another map (same geometry) into this one: per-(voltage, PC)
+  /// records add, crash flags OR.  Commutative and associative, so
+  /// per-worker partial maps can merge in any order with one result —
+  /// the contract the parallel sweep's deterministic aggregation relies
+  /// on (see docs/parallelism.md).
+  FaultMap& merge(const FaultMap& other);
+
   /// Voltages with observations, descending (nominal first).
   [[nodiscard]] std::vector<Millivolts> voltages() const;
 

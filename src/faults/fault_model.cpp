@@ -109,7 +109,13 @@ const PcParams& FaultModel::pc_params(unsigned pc_global) const {
 }
 
 std::uint64_t FaultModel::pc_seed(unsigned pc_global) const noexcept {
-  return mix_seed(config_.seed, 0x9C0000ULL + pc_global);
+  // Counter-seeded per-PC stream keyed by the structural address and
+  // independent of any worker scheduling (common/rng.hpp).
+  const auto id = hbm::PcId::from_global(geometry_, pc_global);
+  return pc_stream_seed(config_.seed, id.stack, id.channel(geometry_),
+                        id.index % geometry_.pcs_per_channel,
+                        geometry_.pcs_per_stack(),
+                        geometry_.pcs_per_channel);
 }
 
 double FaultModel::tail_count(const PcParams& pc, Millivolts onset,

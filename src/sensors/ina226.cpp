@@ -23,24 +23,41 @@ unsigned Ina226::averaging_count() const noexcept {
   return kCounts[(config_reg_ >> 9) & 0x7];
 }
 
+void Ina226::quantize(const RailSample& sample, double noise_normal,
+                      std::int16_t* shunt_reg, std::uint16_t* bus_reg) const {
+  // Gaussian noise on the current measurement, attenuated by averaging.
+  const double navg = averaging_count();
+  const double sigma = config_.noise_sigma_amps / std::sqrt(navg);
+  const double i_measured = sample.current.value + sigma * noise_normal;
+  const double vshunt = i_measured * config_.shunt.value;
+  const double shunt_counts = std::nearbyint(vshunt / kShuntLsbVolts);
+  *shunt_reg = static_cast<std::int16_t>(
+      std::clamp(shunt_counts, -32768.0, 32767.0));
+  const double bus_counts =
+      std::nearbyint(sample.bus_voltage.volts() / kBusLsbVolts);
+  *bus_reg = static_cast<std::uint16_t>(std::clamp(bus_counts, 0.0, 32767.0));
+}
+
 void Ina226::convert() {
   if (!probe_) {
     shunt_reg_ = 0;
     bus_reg_ = 0;
     return;
   }
-  const RailSample sample = probe_();
-  // Gaussian noise on the current measurement, attenuated by averaging.
-  const double navg = averaging_count();
-  const double sigma = config_.noise_sigma_amps / std::sqrt(navg);
-  const double i_measured = sample.current.value + sigma * rng_.normal();
-  const double vshunt = i_measured * config_.shunt.value;
-  const double shunt_counts = std::nearbyint(vshunt / kShuntLsbVolts);
-  shunt_reg_ = static_cast<std::int16_t>(
-      std::clamp(shunt_counts, -32768.0, 32767.0));
-  const double bus_counts =
-      std::nearbyint(sample.bus_voltage.volts() / kBusLsbVolts);
-  bus_reg_ = static_cast<std::uint16_t>(std::clamp(bus_counts, 0.0, 32767.0));
+  quantize(probe_(), rng_.normal(), &shunt_reg_, &bus_reg_);
+}
+
+std::uint16_t Ina226::power_register_for(const RailSample& sample,
+                                         double noise_normal) const {
+  std::int16_t shunt_reg = 0;
+  std::uint16_t bus_reg = 0;
+  quantize(sample, noise_normal, &shunt_reg, &bus_reg);
+  // Datasheet eqs. 3 and 4, as in the POWER register read path.
+  const std::int32_t current =
+      (static_cast<std::int32_t>(shunt_reg) * calibration_) / 2048;
+  const std::int32_t power =
+      (current * static_cast<std::int32_t>(bus_reg)) / 20000;
+  return static_cast<std::uint16_t>(std::clamp<std::int32_t>(power, 0, 65535));
 }
 
 Result<std::uint16_t> Ina226::read_word(std::uint8_t reg) {

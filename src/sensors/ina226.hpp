@@ -56,6 +56,13 @@ class Ina226 : public pmbus::SlaveDevice {
   /// Averaging count decoded from CONFIG (1..1024).
   [[nodiscard]] unsigned averaging_count() const noexcept;
 
+  /// Pure register-path power computation for a frozen rail sample: the
+  /// exact quantization math of a POWER register read, but with
+  /// caller-supplied unit-normal noise and no latched-register or
+  /// generator mutation.  Safe to call concurrently from sweep workers.
+  [[nodiscard]] std::uint16_t power_register_for(const RailSample& sample,
+                                                 double noise_normal) const;
+
   void reset();
 
   // SlaveDevice interface (the INA226 is an I2C device; it shares the
@@ -85,6 +92,10 @@ class Ina226 : public pmbus::SlaveDevice {
  private:
   /// Runs one (averaged) conversion and latches the data registers.
   void convert();
+  /// Shared quantization math: rail sample + unit-normal noise -> shunt
+  /// and bus register values.  Const and stateless.
+  void quantize(const RailSample& sample, double noise_normal,
+                std::int16_t* shunt_reg, std::uint16_t* bus_reg) const;
 
   Config config_;
   RailProbe probe_;

@@ -1,0 +1,147 @@
+// Golden-figure regression suite: a fixed-seed campaign must reproduce
+// the checked-in fig2/fig4/fig5 CSVs and headline numbers exactly,
+// byte for byte.  Any intentional change to the model's numerics shows up
+// here as a diff against tests/golden/ and must be reviewed by
+// regenerating the goldens:
+//
+//   cmake --build build -j
+//   HBMVOLT_REGEN_GOLDEN=1 ./build/tests/golden_test
+//   git diff tests/golden/   # review, then commit
+//
+// The campaign runs on the serial reference path (threads = 1);
+// tests/parallel_test.cpp separately proves every thread count matches
+// that path, so together the suites pin the parallel engine's output.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+
+#ifndef HBMVOLT_GOLDEN_DIR
+#error "HBMVOLT_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace hbmvolt {
+namespace {
+
+board::BoardConfig tiny_board() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  config.monitor_config.noise_sigma_amps = 0.0;
+  return config;
+}
+
+core::CampaignConfig fast_campaign() {
+  core::CampaignConfig config;
+  config.reliability.sweep = {Millivolts{1200}, Millivolts{800}, 20};
+  config.reliability.batch_size = 1;
+  config.power.sweep = {Millivolts{1200}, Millivolts{850}, 50};
+  config.power.samples = 2;
+  config.power.traffic_beats = 4;
+  config.dry_run = true;
+  return config;
+}
+
+/// Canonical headline serialization at full double precision (%.17g
+/// round-trips IEEE doubles exactly), so golden comparison pins every bit.
+std::string headline_text(const core::HeadlineNumbers& h) {
+  char buffer[128];
+  std::ostringstream out;
+  const auto field = [&](const char* name, double value) {
+    std::snprintf(buffer, sizeof(buffer), "%s=%.17g\n", name, value);
+    out << buffer;
+  };
+  out << "v_nom_mv=" << h.guardband.v_nom.value << "\n";
+  out << "v_min_mv=" << h.guardband.v_min.value << "\n";
+  out << "v_first_fault_mv=" << h.guardband.v_first_fault.value << "\n";
+  out << "v_critical_mv=" << h.guardband.v_critical.value << "\n";
+  out << "crash_observed=" << (h.guardband.crash_observed ? 1 : 0) << "\n";
+  field("guardband_fraction", h.guardband.guardband_fraction);
+  field("savings_at_vmin", h.savings_at_vmin);
+  field("savings_at_850mv", h.savings_at_850mv);
+  field("idle_fraction", h.idle_fraction);
+  field("alpha_drop_at_850mv", h.alpha_drop_at_850mv);
+  out << "better_stack=" << h.stack_variation.better_stack << "\n";
+  field("stack_average_gap", h.stack_variation.average_gap);
+  out << "stack_samples=" << h.stack_variation.samples << "\n";
+  out << "first_1to0_mv="
+      << (h.pattern_variation.first_1to0
+              ? h.pattern_variation.first_1to0->value
+              : -1)
+      << "\n";
+  out << "first_0to1_mv="
+      << (h.pattern_variation.first_0to1
+              ? h.pattern_variation.first_0to1->value
+              : -1)
+      << "\n";
+  field("average_0to1_excess", h.pattern_variation.average_0to1_excess);
+  out << "pattern_samples=" << h.pattern_variation.samples << "\n";
+  return out.str();
+}
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    board::Vcu128Board board(tiny_board());
+    core::Campaign campaign(board, fast_campaign());
+    auto run = campaign.run();
+    ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+    result_ = new core::CampaignResult(std::move(run).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+
+  /// Compares `actual` against the golden file, or rewrites the golden
+  /// when HBMVOLT_REGEN_GOLDEN is set in the environment.
+  static void check(const std::string& name, const std::string& actual) {
+    const std::string path = std::string(HBMVOLT_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("HBMVOLT_REGEN_GOLDEN") != nullptr) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      ASSERT_TRUE(out.good()) << "write failed: " << path;
+      GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << " -- run with HBMVOLT_REGEN_GOLDEN=1 to create it";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    // EXPECT_EQ on the whole string: a failure prints the first diverging
+    // bytes, and the regen command above produces the reviewable diff.
+    EXPECT_EQ(actual, expected.str()) << "golden mismatch: " << name;
+  }
+
+  static core::CampaignResult* result_;
+};
+
+core::CampaignResult* GoldenTest::result_ = nullptr;
+
+TEST_F(GoldenTest, Fig2PowerCsvMatches) {
+  check("fig2.csv", core::to_csv_fig2(result_->power));
+}
+
+TEST_F(GoldenTest, Fig4FaultRateCsvMatches) {
+  check("fig4.csv", core::to_csv_fig4(result_->fault_map));
+}
+
+TEST_F(GoldenTest, Fig5PerPcCsvMatches) {
+  check("fig5.csv", core::to_csv_fig5(result_->fault_map));
+}
+
+TEST_F(GoldenTest, HeadlineNumbersMatch) {
+  check("headline.txt", headline_text(result_->headline));
+}
+
+}  // namespace
+}  // namespace hbmvolt
