@@ -104,6 +104,30 @@ void BM_FullPcPatternTest(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPcPatternTest);
 
+// The batched-engine headline (docs/performance.md, CI perf-smoke):
+// solid-pattern full-PC write/read-verify at nominal voltage -- empty
+// overlay, so the batched verify is O(1) -- per-beat reference (Arg 0)
+// vs batched engine (Arg 1).  CI fails if batched is not faster.
+void BM_PatternTest(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto geometry = bench_geometry();
+  faults::FaultInjector injector(
+      faults::FaultModel(geometry, faults::FaultModelConfig{}));
+  hbm::HbmStack stack(geometry, 0, injector, 1);
+  axi::TrafficGenerator tg(stack, 4);
+  tg.set_engine(batched ? axi::EnginePath::kAuto : axi::EnginePath::kPerBeat);
+  axi::TgCommand command{axi::MacroOp::kWriteRead, 0, 0, hbm::kBeatAllOnes,
+                         true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg.run(command).is_ok());
+  }
+  state.SetLabel(batched ? "batched" : "per-beat");
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(geometry.bits_per_pc / 8) * 2);
+}
+BENCHMARK(BM_PatternTest)->Arg(0)->Arg(1);
+
 // Whole-device reliability sweep at different worker counts: the paper's
 // Algorithm 1 with all 32 TGs, fanned out by core::ThreadPool.  The
 // speedup over Arg(1) is the headline number for the parallel engine

@@ -34,6 +34,22 @@ hbm::Beat command_data(const TgCommand& command,
   return command.pattern;
 }
 
+hbm::WordPattern word_pattern(const TgCommand& command) noexcept {
+  switch (command.kind) {
+    case PatternKind::kSolid:
+      return hbm::WordPattern::repeat(command.pattern);
+    case PatternKind::kCheckerboard:
+      return hbm::WordPattern::alternate(
+          hbm::beat_of_all(0x5555555555555555ull),
+          hbm::beat_of_all(0xAAAAAAAAAAAAAAAAull));
+    case PatternKind::kAddressAsData:
+      return hbm::WordPattern::address();
+    case PatternKind::kRandom:
+      return hbm::WordPattern::hashed(command.pattern_seed);
+  }
+  return hbm::WordPattern::repeat(command.pattern);
+}
+
 TgStats& TgStats::operator+=(const TgStats& other) noexcept {
   beats_written += other.beats_written;
   beats_read += other.beats_read;
@@ -85,6 +101,14 @@ Status TrafficGenerator::run(const TgCommand& command) {
                                            : command.beats;
   if (command.start_beat + beats > total) {
     return out_of_range("TG range beyond PC capacity");
+  }
+
+  // Identity visit order under flat timing needs no per-beat state, so it
+  // dispatches to the batched beat-range engine; random order and
+  // command-level DRAM timing keep the per-beat reference loop.
+  if (engine_ == EnginePath::kAuto && timing_mode_ == TimingMode::kFlatEfficiency &&
+      !(command.random_order && beats > 1)) {
+    return run_batched(command, beats);
   }
 
   // Visit order: identity, or a seeded permutation of the range.
@@ -151,6 +175,54 @@ Status TrafficGenerator::run(const TgCommand& command) {
   }
   stats_.busy_time += elapsed;
 
+  return Status::ok();
+}
+
+Status TrafficGenerator::run_batched(const TgCommand& command,
+                                     std::uint64_t beats) {
+  const hbm::WordPattern pattern = word_pattern(command);
+  std::uint64_t transferred = 0;
+
+  if (command.op == MacroOp::kWrite || command.op == MacroOp::kWriteRead) {
+    const Status status =
+        stack_.write_range(pc_local_, command.start_beat, beats, pattern);
+    if (!status.is_ok()) {
+      ++stats_.slverr;
+      return status;
+    }
+    stats_.beats_written += beats;
+    transferred += beats;
+  }
+
+  if (command.op == MacroOp::kRead || command.op == MacroOp::kWriteRead) {
+    if (command.check) {
+      // A kWriteRead just filled the range with this very pattern, so the
+      // verify reduces to stuck cells only (zero memory traffic).
+      auto flips = stack_.read_verify_range(
+          pc_local_, command.start_beat, beats, pattern,
+          /*after_matching_write=*/command.op == MacroOp::kWriteRead);
+      if (!flips.is_ok()) {
+        ++stats_.slverr;
+        return flips.status();
+      }
+      stats_.flips_1to0 += flips.value().flips_1to0;
+      stats_.flips_0to1 += flips.value().flips_0to1;
+      stats_.bits_checked += beats * stack_.geometry().bits_per_beat;
+    } else {
+      // Unchecked reads move data nobody looks at; only the access check
+      // and the counters are observable.
+      const Status status =
+          stack_.check_range(pc_local_, command.start_beat, beats);
+      if (!status.is_ok()) {
+        ++stats_.slverr;
+        return status;
+      }
+    }
+    stats_.beats_read += beats;
+    transferred += beats;
+  }
+
+  stats_.busy_time += flat_time(transferred);
   return Status::ok();
 }
 

@@ -71,6 +71,20 @@ enum class TimingMode : std::uint8_t {
 [[nodiscard]] hbm::Beat command_data(const TgCommand& command,
                                      std::uint64_t beat) noexcept;
 
+/// The same data as a closed-form word pattern (command_data(c, beat)[w]
+/// == word_pattern(c).word(beat * 4 + w) for every beat and word), which
+/// is what lets the batched engine fill and verify ranges word-wise.
+[[nodiscard]] hbm::WordPattern word_pattern(const TgCommand& command) noexcept;
+
+/// Which execution engine TrafficGenerator::run uses.
+enum class EnginePath : std::uint8_t {
+  /// Batched beat-range engine for eligible commands (identity visit
+  /// order, flat timing); per-beat loop otherwise.  The default.
+  kAuto,
+  /// Always the per-beat reference loop (equivalence tests, benchmarks).
+  kPerBeat,
+};
+
 struct TgStats {
   std::uint64_t beats_written = 0;
   std::uint64_t beats_read = 0;
@@ -120,6 +134,11 @@ class TrafficGenerator {
     return timing_mode_;
   }
 
+  /// Selects the execution engine; kPerBeat forces the reference loop the
+  /// batched path is proven byte-identical to (tests/batched_test.cpp).
+  void set_engine(EnginePath path) noexcept { engine_ = path; }
+  [[nodiscard]] EnginePath engine() const noexcept { return engine_; }
+
   /// Executes one macro command, accumulating into the running stats.
   /// Disabled ports return OK and do nothing.  A non-responding stack
   /// records SLVERRs and returns UNAVAILABLE.
@@ -138,6 +157,10 @@ class TrafficGenerator {
   /// Flat-rate time for `beats` transfers, in picoseconds.
   [[nodiscard]] SimTime flat_time(std::uint64_t beats) const noexcept;
 
+  /// The batched beat-range path: bulk fill + overlay-aware bulk verify,
+  /// byte-identical stats to the per-beat loop.
+  Status run_batched(const TgCommand& command, std::uint64_t beats);
+
   hbm::HbmStack& stack_;
   unsigned pc_local_;
   Hertz clock_;
@@ -145,6 +168,7 @@ class TrafficGenerator {
   double derate_ = 1.0;
   bool enabled_ = true;
   TimingMode timing_mode_ = TimingMode::kFlatEfficiency;
+  EnginePath engine_ = EnginePath::kAuto;
   dram::DramTimings dram_timings_;
   TgStats stats_;
 };

@@ -1,6 +1,7 @@
 #include "faults/fault_overlay.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/status.hpp"
 
@@ -74,6 +75,135 @@ void FaultOverlay::apply(std::uint64_t beat, hbm::Beat& data) const noexcept {
   };
   patch(sparse_sa0_, false);
   patch(sparse_sa1_, true);
+}
+
+void FaultOverlay::apply_range(std::uint64_t start_beat, std::uint64_t beats,
+                               std::span<std::uint64_t> words) const noexcept {
+  if (empty()) return;
+  const std::uint64_t w0 = start_beat * 4;
+  if (!mask_.empty()) {
+    for (std::uint64_t i = 0; i < words.size(); ++i) {
+      const std::uint64_t m = mask_[w0 + i];
+      words[i] = (words[i] & ~m) | (value_[w0 + i] & m);
+    }
+    return;
+  }
+  const std::uint64_t lo = start_beat * 256;
+  const std::uint64_t hi = lo + beats * 256;
+  auto patch = [&](const std::vector<std::uint32_t>& cells, bool stuck_one) {
+    auto it = std::lower_bound(cells.begin(), cells.end(), lo);
+    for (; it != cells.end() && *it < hi; ++it) {
+      const std::uint64_t offset = *it - lo;
+      const std::uint64_t bit = 1ull << (offset % 64);
+      if (stuck_one) {
+        words[offset / 64] |= bit;
+      } else {
+        words[offset / 64] &= ~bit;
+      }
+    }
+  };
+  patch(sparse_sa0_, false);
+  patch(sparse_sa1_, true);
+}
+
+hbm::RangeFlips FaultOverlay::verify_after_fill(
+    std::uint64_t start_beat, std::uint64_t beats,
+    const hbm::WordPattern& pattern, std::uint64_t* diff_out) const noexcept {
+  hbm::RangeFlips out;
+  if (empty()) return out;  // stored == pattern: nothing can differ
+  const std::uint64_t w0 = start_beat * 4;
+  if (!mask_.empty()) {
+    for (std::uint64_t b = 0; b < beats; ++b) {
+      std::uint64_t any = 0;
+      for (unsigned w = 0; w < 4; ++w) {
+        const std::uint64_t i = b * 4 + w;
+        const std::uint64_t m = mask_[w0 + i];
+        if (m == 0) continue;
+        const std::uint64_t expected = pattern.word(w0 + i);
+        const std::uint64_t diff = (value_[w0 + i] ^ expected) & m;
+        out.flips_1to0 +=
+            static_cast<unsigned>(std::popcount(diff & expected));
+        out.flips_0to1 +=
+            static_cast<unsigned>(std::popcount(diff & ~expected));
+        any |= diff;
+        if (diff_out != nullptr) diff_out[i] |= diff;
+      }
+      if (any != 0) ++out.mismatched_beats;
+    }
+    return out;
+  }
+  // Sparse: merge the two sorted polarity lists so cells (and therefore
+  // beats) are visited in ascending order -- O(stuck cells in range).
+  const std::uint64_t lo = start_beat * 256;
+  const std::uint64_t hi = lo + beats * 256;
+  auto it0 = std::lower_bound(sparse_sa0_.begin(), sparse_sa0_.end(), lo);
+  auto it1 = std::lower_bound(sparse_sa1_.begin(), sparse_sa1_.end(), lo);
+  std::uint64_t last_beat = ~0ull;
+  while (true) {
+    const bool has0 = it0 != sparse_sa0_.end() && *it0 < hi;
+    const bool has1 = it1 != sparse_sa1_.end() && *it1 < hi;
+    if (!has0 && !has1) break;
+    const bool stuck_one = !has0 || (has1 && *it1 < *it0);
+    const std::uint64_t cell = stuck_one ? *it1++ : *it0++;
+    const bool expected = pattern.bit(cell);
+    if (stuck_one == expected) continue;
+    (expected ? out.flips_1to0 : out.flips_0to1) += 1;
+    if (diff_out != nullptr) {
+      diff_out[(cell - lo) / 64] |= 1ull << (cell % 64);
+    }
+    const std::uint64_t beat = cell / 256;
+    if (beat != last_beat) {
+      ++out.mismatched_beats;
+      last_beat = beat;
+    }
+  }
+  return out;
+}
+
+hbm::RangeFlips FaultOverlay::verify_stored(
+    std::uint64_t start_beat, std::uint64_t beats,
+    std::span<const std::uint64_t> stored, const hbm::WordPattern& pattern,
+    std::uint64_t* diff_out) const noexcept {
+  hbm::RangeFlips out;
+  const std::uint64_t w0 = start_beat * 4;
+  const bool dense = !mask_.empty();
+  // Sparse cursors advance monotonically alongside the word scan, so the
+  // patching cost is O(words + stuck) rather than a search per word.
+  const std::uint64_t lo = start_beat * 256;
+  auto it0 = std::lower_bound(sparse_sa0_.begin(), sparse_sa0_.end(), lo);
+  auto it1 = std::lower_bound(sparse_sa1_.begin(), sparse_sa1_.end(), lo);
+  for (std::uint64_t b = 0; b < beats; ++b) {
+    std::uint64_t any = 0;
+    for (unsigned w = 0; w < 4; ++w) {
+      const std::uint64_t i = b * 4 + w;
+      std::uint64_t observed = stored[i];
+      if (dense) {
+        const std::uint64_t m = mask_[w0 + i];
+        observed = (observed & ~m) | (value_[w0 + i] & m);
+      } else {
+        const std::uint64_t word_lo = lo + i * 64;
+        const std::uint64_t word_hi = word_lo + 64;
+        while (it0 != sparse_sa0_.end() && *it0 < word_hi) {
+          observed &= ~(1ull << (*it0 - word_lo));
+          ++it0;
+        }
+        while (it1 != sparse_sa1_.end() && *it1 < word_hi) {
+          observed |= 1ull << (*it1 - word_lo);
+          ++it1;
+        }
+      }
+      const std::uint64_t expected = pattern.word(w0 + i);
+      const std::uint64_t diff = observed ^ expected;
+      out.flips_1to0 +=
+          static_cast<unsigned>(std::popcount(diff & expected));
+      out.flips_0to1 +=
+          static_cast<unsigned>(std::popcount(diff & ~expected));
+      any |= diff;
+      if (diff_out != nullptr) diff_out[i] |= diff;
+    }
+    if (any != 0) ++out.mismatched_beats;
+  }
+  return out;
 }
 
 bool FaultOverlay::is_stuck(std::uint64_t bit) const noexcept {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -35,6 +36,33 @@ class FaultOverlay {
 
   /// Patches one 256-bit beat in place.
   void apply(std::uint64_t beat, hbm::Beat& data) const noexcept;
+
+  /// Patches the words of a whole beat range in place.  `words` spans
+  /// exactly the range: words[0] is the first word of `start_beat`.
+  /// Sparse overlays visit only the stuck cells inside the range.
+  void apply_range(std::uint64_t start_beat, std::uint64_t beats,
+                   std::span<std::uint64_t> words) const noexcept;
+
+  /// Bulk verify assuming the stored data equals `pattern` over the range
+  /// (it was just bulk-filled with it): only stuck cells can differ, so
+  /// this touches no memory-array words at all -- O(stuck cells in range)
+  /// with the sparse form, O(overlay words in range) dense, O(1) when the
+  /// overlay is empty (the guardband's pattern-vs-pattern comparison).
+  /// `diff_out`, when non-null, receives OR-ed per-word diffs
+  /// (diff_out[0] = first word of `start_beat`).
+  [[nodiscard]] hbm::RangeFlips verify_after_fill(
+      std::uint64_t start_beat, std::uint64_t beats,
+      const hbm::WordPattern& pattern,
+      std::uint64_t* diff_out = nullptr) const noexcept;
+
+  /// Bulk verify of arbitrary stored words against `pattern`: counts the
+  /// flips of observed = overlay(stored) word-wise, without materializing
+  /// Beats or a patched copy.  `stored` spans the range like apply_range's
+  /// `words`; `diff_out` as in verify_after_fill.
+  [[nodiscard]] hbm::RangeFlips verify_stored(
+      std::uint64_t start_beat, std::uint64_t beats,
+      std::span<const std::uint64_t> stored, const hbm::WordPattern& pattern,
+      std::uint64_t* diff_out = nullptr) const noexcept;
 
   [[nodiscard]] bool is_stuck(std::uint64_t bit) const noexcept;
   /// Value a stuck bit reads as; only meaningful when is_stuck(bit).

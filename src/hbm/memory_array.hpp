@@ -6,30 +6,46 @@
 // cannot hold the value, and recovers its last written data once the
 // voltage is raised back above its failure point is not modelled -- the
 // paper's tests always rewrite before reading.
+//
+// The backing store is lazily materialized: construction and scramble()
+// only record the power-up seed, and the dense word vector is allocated
+// and filled on first touch.  Guardband-only sweeps and small tests that
+// never access a PC therefore pay nothing for it.  Lazy first touch
+// mutates the array through const accessors, so concurrent access to one
+// array must be externally serialized -- the parallel sweep engine already
+// partitions work per PC (one worker per array at a time).
 
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/status.hpp"
+#include "hbm/word_pattern.hpp"
 
 namespace hbmvolt::hbm {
 
-/// One 256-bit AXI beat as four little-endian 64-bit words.
-using Beat = std::array<std::uint64_t, 4>;
+/// Flip counts from one bulk verify, split by direction, plus the number
+/// of beats that had at least one differing bit.
+struct RangeFlips {
+  std::uint64_t flips_1to0 = 0;  // expected 1, observed 0
+  std::uint64_t flips_0to1 = 0;  // expected 0, observed 1
+  std::uint64_t mismatched_beats = 0;
+};
 
 class MemoryArray {
  public:
-  /// Creates an array of `bits` cells (must be a multiple of 256),
-  /// initialized to the power-up pattern derived from `seed` (real DRAM
-  /// powers up with effectively random contents).
+  /// Creates an array of `bits` cells (must be a multiple of 256), whose
+  /// contents on first touch are the power-up pattern derived from `seed`
+  /// (real DRAM powers up with effectively random contents).
   MemoryArray(std::uint64_t bits, std::uint64_t seed);
 
   [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
   [[nodiscard]] std::uint64_t beats() const noexcept { return bits_ / 256; }
+
+  /// Whether the dense backing store has been allocated yet.
+  [[nodiscard]] bool materialized() const noexcept { return !words_.empty(); }
 
   void write_beat(std::uint64_t beat, const Beat& data) noexcept;
   [[nodiscard]] Beat read_beat(std::uint64_t beat) const noexcept;
@@ -38,27 +54,43 @@ class MemoryArray {
   void write_bit(std::uint64_t bit, bool value) noexcept;
   [[nodiscard]] bool read_bit(std::uint64_t bit) const noexcept;
 
-  /// Re-randomizes contents (models a power cycle losing all data).
+  /// Re-randomizes contents (models a power cycle losing all data).  Lazy:
+  /// releases the backing store and re-materializes on the next touch.
   void scramble(std::uint64_t seed);
 
   /// Fills the entire array with a repeating beat pattern.
   void fill(const Beat& pattern) noexcept;
 
+  /// Bulk-fills a beat range with `pattern`, word by word.  A whole-array
+  /// fill of an unmaterialized store skips the power-up scramble entirely
+  /// (every word is overwritten anyway).
+  void fill_range(std::uint64_t start_beat, std::uint64_t beats,
+                  const WordPattern& pattern) noexcept;
+
+  /// Compares a beat range against `pattern` with popcount-based flip
+  /// counting; no Beat is materialized.  When `diff_out` is non-null it
+  /// receives OR-ed per-word diffs (diff_out[0] = first word of
+  /// `start_beat`).  Fault overlays are NOT applied here -- this is the
+  /// raw stored-vs-pattern comparison (see HbmStack::read_verify_range
+  /// for the overlay-aware verify).
+  [[nodiscard]] RangeFlips compare_range(
+      std::uint64_t start_beat, std::uint64_t beats,
+      const WordPattern& pattern,
+      std::uint64_t* diff_out = nullptr) const noexcept;
+
   /// Raw word view (read-only) for whole-array scans.
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    ensure_materialized();
     return words_;
   }
 
  private:
-  std::uint64_t bits_;
-  std::vector<std::uint64_t> words_;
-};
+  /// Allocates and scrambles the backing store if not yet done.
+  void ensure_materialized() const;
 
-/// Common test patterns for Algorithm 1.
-[[nodiscard]] constexpr Beat beat_of_all(std::uint64_t word) noexcept {
-  return Beat{word, word, word, word};
-}
-inline constexpr Beat kBeatAllOnes = {~0ull, ~0ull, ~0ull, ~0ull};
-inline constexpr Beat kBeatAllZeros = {0, 0, 0, 0};
+  std::uint64_t bits_;
+  std::uint64_t scramble_seed_;
+  mutable std::vector<std::uint64_t> words_;  // empty until first touch
+};
 
 }  // namespace hbmvolt::hbm

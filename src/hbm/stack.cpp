@@ -73,6 +73,41 @@ Result<Beat> HbmStack::read_beat(unsigned pc_local, std::uint64_t beat) {
   return data;
 }
 
+Status HbmStack::check_range(unsigned pc_local, std::uint64_t start_beat,
+                             std::uint64_t beats) const {
+  HBMVOLT_RETURN_IF_ERROR(check_access(pc_local, start_beat));
+  if (beats == 0 || beats > geometry_.beats_per_pc() - start_beat) {
+    return out_of_range("beat range beyond PC capacity");
+  }
+  return Status::ok();
+}
+
+Status HbmStack::write_range(unsigned pc_local, std::uint64_t start_beat,
+                             std::uint64_t beats, const WordPattern& pattern) {
+  HBMVOLT_RETURN_IF_ERROR(check_range(pc_local, start_beat, beats));
+  arrays_[pc_local]->fill_range(start_beat, beats, pattern);
+  return Status::ok();
+}
+
+Result<RangeFlips> HbmStack::read_verify_range(
+    unsigned pc_local, std::uint64_t start_beat, std::uint64_t beats,
+    const WordPattern& pattern, bool after_matching_write,
+    std::uint64_t* diff_out) {
+  const Status access = check_range(pc_local, start_beat, beats);
+  if (!access.is_ok()) return access;
+  const faults::FaultOverlay& overlay = injector_.overlay(global_pc(pc_local));
+  if (after_matching_write) {
+    return overlay.verify_after_fill(start_beat, beats, pattern, diff_out);
+  }
+  if (overlay.empty()) {
+    return arrays_[pc_local]->compare_range(start_beat, beats, pattern,
+                                            diff_out);
+  }
+  const auto stored =
+      arrays_[pc_local]->words().subspan(start_beat * 4, beats * 4);
+  return overlay.verify_stored(start_beat, beats, stored, pattern, diff_out);
+}
+
 MemoryArray& HbmStack::array(unsigned pc_local) {
   HBMVOLT_REQUIRE(pc_local < arrays_.size(), "PC index out of range");
   return *arrays_[pc_local];

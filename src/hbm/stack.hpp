@@ -56,6 +56,35 @@ class HbmStack {
   /// voltage applied.  UNAVAILABLE when crashed or powered off.
   Result<Beat> read_beat(unsigned pc_local, std::uint64_t beat);
 
+  // ---- Batched beat-range engine ----
+  // Word-granularity bulk operations with the state/bounds check hoisted
+  // out of the loop; byte-identical results to the per-beat path (see
+  // docs/performance.md).
+
+  /// OK iff traffic to [start_beat, start_beat + beats) would be accepted
+  /// (operating state plus range bounds).
+  Status check_range(unsigned pc_local, std::uint64_t start_beat,
+                     std::uint64_t beats) const;
+
+  /// Bulk-writes `pattern` over the beat range.
+  Status write_range(unsigned pc_local, std::uint64_t start_beat,
+                     std::uint64_t beats, const WordPattern& pattern);
+
+  /// Bulk read-verify of the beat range against `pattern` with the current
+  /// voltage's overlay applied word-wise.  With `after_matching_write` the
+  /// stored data is known to equal the pattern (the range was just written
+  /// with it), so only stuck cells can differ and the verify touches no
+  /// memory-array words: O(stuck cells) sparse, a single pattern-vs-pattern
+  /// O(1) comparison when the overlay is empty (the whole guardband).
+  /// `diff_out`, when non-null, receives OR-ed per-word diffs (diff_out[0]
+  /// = first word of `start_beat`).
+  Result<RangeFlips> read_verify_range(unsigned pc_local,
+                                       std::uint64_t start_beat,
+                                       std::uint64_t beats,
+                                       const WordPattern& pattern,
+                                       bool after_matching_write,
+                                       std::uint64_t* diff_out = nullptr);
+
   /// Direct array access for tests and white-box analyses.
   [[nodiscard]] MemoryArray& array(unsigned pc_local);
 

@@ -1,0 +1,101 @@
+// Closed-form word-level data patterns for the batched beat-range engine.
+//
+// A WordPattern maps a *global 64-bit-word index* within one pseudo-channel
+// (word index = beat * 4 + word-within-beat) to the word a pattern test
+// writes there, so bulk fills and verifies can run word-by-word without
+// materializing per-beat data.  All four traffic-generator pattern kinds
+// (axi::PatternKind) reduce to one of three shapes:
+//   * kRepeat  -- a repeating block of 4 or 8 words (solid, checkerboard)
+//   * kAddress -- word value == word index (address-as-data)
+//   * kHash    -- word value == splitmix64(seed ^ index) (pseudo-random)
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace hbmvolt::hbm {
+
+/// One 256-bit AXI beat as four little-endian 64-bit words.
+using Beat = std::array<std::uint64_t, 4>;
+
+/// Common test patterns for Algorithm 1.
+[[nodiscard]] constexpr Beat beat_of_all(std::uint64_t word) noexcept {
+  return Beat{word, word, word, word};
+}
+inline constexpr Beat kBeatAllOnes = {~0ull, ~0ull, ~0ull, ~0ull};
+inline constexpr Beat kBeatAllZeros = {0, 0, 0, 0};
+
+class WordPattern {
+ public:
+  /// Every beat = `beat` (the solid patterns of Algorithm 1).
+  [[nodiscard]] static constexpr WordPattern repeat(const Beat& beat) noexcept {
+    WordPattern p;
+    p.period_ = 4;
+    for (unsigned w = 0; w < 4; ++w) p.block_[w] = p.block_[w + 4] = beat[w];
+    return p;
+  }
+
+  /// Even beats = `even`, odd beats = `odd` (checkerboard).
+  [[nodiscard]] static constexpr WordPattern alternate(
+      const Beat& even, const Beat& odd) noexcept {
+    WordPattern p;
+    p.period_ = 8;
+    for (unsigned w = 0; w < 4; ++w) {
+      p.block_[w] = even[w];
+      p.block_[w + 4] = odd[w];
+    }
+    return p;
+  }
+
+  /// Word value == word index (catches addressing faults).
+  [[nodiscard]] static constexpr WordPattern address() noexcept {
+    WordPattern p;
+    p.kind_ = Kind::kAddress;
+    return p;
+  }
+
+  /// Reproducible per-word pseudo-random data.
+  [[nodiscard]] static constexpr WordPattern hashed(
+      std::uint64_t seed) noexcept {
+    WordPattern p;
+    p.kind_ = Kind::kHash;
+    p.seed_ = seed;
+    return p;
+  }
+
+  /// The word this pattern writes at word index `index` (= beat * 4 + w).
+  [[nodiscard]] constexpr std::uint64_t word(std::uint64_t index) const noexcept {
+    switch (kind_) {
+      case Kind::kRepeat:
+        return block_[index & (period_ - 1)];
+      case Kind::kAddress:
+        return index;
+      case Kind::kHash:
+        return splitmix64(seed_ ^ index);
+    }
+    return 0;
+  }
+
+  /// The bit this pattern writes at bit index `bit_index` within the PC.
+  [[nodiscard]] constexpr bool bit(std::uint64_t bit_index) const noexcept {
+    return (word(bit_index / 64) >> (bit_index % 64)) & 1ull;
+  }
+
+  friend constexpr bool operator==(const WordPattern&,
+                                   const WordPattern&) noexcept = default;
+
+ private:
+  enum class Kind : std::uint8_t { kRepeat, kAddress, kHash };
+
+  constexpr WordPattern() = default;
+
+  Kind kind_ = Kind::kRepeat;
+  std::uint64_t period_ = 4;  // power of two; kRepeat only
+  std::array<std::uint64_t, 8> block_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace hbmvolt::hbm

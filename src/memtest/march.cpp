@@ -1,6 +1,10 @@
 #include "memtest/march.hpp"
 
+#include <bit>
+#include <optional>
 #include <vector>
+
+#include "hbm/word_pattern.hpp"
 
 namespace hbmvolt::memtest {
 
@@ -82,6 +86,62 @@ MarchRunner::MarchRunner(hbm::HbmStack& stack, unsigned pc_local)
     : stack_(stack), pc_local_(pc_local) {}
 
 Result<MarchResult> MarchRunner::run(const MarchAlgorithm& algorithm) {
+  return batched_ ? run_batched(algorithm) : run_per_beat(algorithm);
+}
+
+Result<MarchResult> MarchRunner::run_batched(const MarchAlgorithm& algorithm) {
+  const std::uint64_t beats = stack_.geometry().beats_per_pc();
+  const unsigned bits = stack_.geometry().bits_per_beat;
+
+  MarchResult result;
+  result.cells = beats * bits;
+  std::vector<std::uint64_t> faulty(stack_.geometry().bits_per_pc / 64, 0);
+
+  // Beats are independent under the stuck-at model, so each op can sweep
+  // the whole range before the next one and every beat still sees the ops
+  // in element order.  Direction therefore doesn't matter either -- the
+  // bulk ops always go up.
+  const hbm::WordPattern zeros = hbm::WordPattern::repeat(hbm::kBeatAllZeros);
+  const hbm::WordPattern ones = hbm::WordPattern::repeat(hbm::kBeatAllOnes);
+  // The pattern of the most recent whole-range write, if any: a read whose
+  // expected value matches it verifies against stuck cells alone, with no
+  // memory traffic (HbmStack::read_verify_range).
+  std::optional<hbm::WordPattern> last_fill;
+
+  for (const auto& element : algorithm.elements) {
+    for (const auto op : element.ops) {
+      switch (op) {
+        case Op::kW0:
+        case Op::kW1: {
+          const auto& pattern = op == Op::kW1 ? ones : zeros;
+          HBMVOLT_RETURN_IF_ERROR(
+              stack_.write_range(pc_local_, 0, beats, pattern));
+          last_fill = pattern;
+          result.write_ops += beats;
+          break;
+        }
+        case Op::kR0:
+        case Op::kR1: {
+          const auto& expected = op == Op::kR1 ? ones : zeros;
+          auto flips = stack_.read_verify_range(
+              pc_local_, 0, beats, expected,
+              /*after_matching_write=*/last_fill == expected, faulty.data());
+          if (!flips.is_ok()) return flips.status();
+          result.read_ops += beats;
+          result.mismatched_reads += flips.value().mismatched_beats;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const auto word : faulty) {
+    result.faulty_cells += static_cast<unsigned>(std::popcount(word));
+  }
+  return result;
+}
+
+Result<MarchResult> MarchRunner::run_per_beat(const MarchAlgorithm& algorithm) {
   const std::uint64_t beats = stack_.geometry().beats_per_pc();
   const unsigned bits = stack_.geometry().bits_per_beat;
 

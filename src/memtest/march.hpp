@@ -73,13 +73,25 @@ class MarchRunner {
  public:
   MarchRunner(hbm::HbmStack& stack, unsigned pc_local);
 
+  /// Routes ops through the per-beat reference loop instead of the
+  /// batched range engine (equivalence testing; see docs/performance.md).
+  /// Results are byte-identical either way: march ops on distinct beats
+  /// are independent under the stuck-at model, so applying one op across
+  /// the whole range before the next preserves each beat's op order.
+  void set_batched(bool batched) noexcept { batched_ = batched; }
+  [[nodiscard]] bool batched() const noexcept { return batched_; }
+
   /// Runs the algorithm over the whole PC.  UNAVAILABLE if the stack
   /// stops responding.
   Result<MarchResult> run(const MarchAlgorithm& algorithm);
 
  private:
+  Result<MarchResult> run_batched(const MarchAlgorithm& algorithm);
+  Result<MarchResult> run_per_beat(const MarchAlgorithm& algorithm);
+
   hbm::HbmStack& stack_;
   unsigned pc_local_;
+  bool batched_ = true;
 };
 
 }  // namespace hbmvolt::memtest

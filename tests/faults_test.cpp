@@ -1,7 +1,11 @@
 // Unit tests for src/faults: the calibrated fault model, weak-cell
 // ordering, overlays, the injector, and the fault map.
 
+#include <bit>
 #include <set>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -297,6 +301,14 @@ TEST(WeakCellOrderTest, ClusteringDisabledGivesUniformEarlyRanks) {
   EXPECT_FALSE(order.in_cluster(0));
 }
 
+TEST(WeakCellOrderDeathTest, RejectsCapacityBeyond32BitCellIndices) {
+  // Cell ranks are stored as uint32; a PC larger than 2^32 bits would
+  // silently truncate them, so construction must abort instead.
+  HbmGeometry g = HbmGeometry::test_tiny();
+  g.bits_per_pc = 1ull << 33;
+  EXPECT_DEATH(WeakCellOrder(g, 42, WeakCellConfig{}), "2\\^32");
+}
+
 TEST(WeakCellOrderTest, DeterministicPerSeed) {
   const auto g = HbmGeometry::test_tiny();
   const WeakCellOrder a(g, 42, WeakCellConfig{});
@@ -394,6 +406,137 @@ TEST_F(OverlayTest, LowerVoltageSetContainsHigherVoltageSet) {
     EXPECT_TRUE(large.is_stuck(bit));
   });
 }
+
+// ----------------------------------------------- FaultOverlay range ops
+
+/// Reference flip count: per-beat apply + per-word popcount, the loop the
+/// bulk verifies replace.
+hbm::RangeFlips reference_verify(const FaultOverlay& overlay,
+                                 std::uint64_t start_beat,
+                                 std::uint64_t beats,
+                                 const hbm::WordPattern& pattern,
+                                 std::span<const std::uint64_t> stored) {
+  hbm::RangeFlips flips;
+  for (std::uint64_t b = 0; b < beats; ++b) {
+    hbm::Beat data;
+    for (unsigned w = 0; w < 4; ++w) data[w] = stored[b * 4 + w];
+    overlay.apply(start_beat + b, data);
+    bool any = false;
+    for (unsigned w = 0; w < 4; ++w) {
+      const std::uint64_t expected = pattern.word((start_beat + b) * 4 + w);
+      const std::uint64_t diff = data[w] ^ expected;
+      any = any || diff != 0;
+      flips.flips_1to0 += static_cast<unsigned>(std::popcount(diff & expected));
+      flips.flips_0to1 +=
+          static_cast<unsigned>(std::popcount(diff & ~expected));
+    }
+    if (any) ++flips.mismatched_beats;
+  }
+  return flips;
+}
+
+class RangeOpsTest : public OverlayTest,
+                     public ::testing::WithParamInterface<bool> {
+ protected:
+  /// Sparse (220 stuck <= 256 words) or dense (500 stuck) per the param.
+  FaultOverlay make_overlay() const {
+    return GetParam() ? FaultOverlay::build(order_, 200, 300)
+                      : FaultOverlay::build(order_, 100, 120);
+  }
+};
+
+TEST_P(RangeOpsTest, ApplyRangeMatchesPerBeatApply) {
+  const auto overlay = make_overlay();
+  ASSERT_EQ(overlay.dense(), GetParam());
+  const auto pattern = hbm::WordPattern::hashed(13);
+  const std::uint64_t beats = geometry_.beats_per_pc();
+  for (const auto& [start, count] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, beats}, {7, 12}, {beats - 3, 3}}) {
+    std::vector<std::uint64_t> bulk(count * 4);
+    for (std::uint64_t i = 0; i < bulk.size(); ++i) {
+      bulk[i] = pattern.word(start * 4 + i);
+    }
+    overlay.apply_range(start, count, bulk);
+    for (std::uint64_t b = 0; b < count; ++b) {
+      hbm::Beat data;
+      for (unsigned w = 0; w < 4; ++w) {
+        data[w] = pattern.word((start + b) * 4 + w);
+      }
+      overlay.apply(start + b, data);
+      for (unsigned w = 0; w < 4; ++w) {
+        ASSERT_EQ(bulk[b * 4 + w], data[w]) << "beat " << b << " word " << w;
+      }
+    }
+  }
+}
+
+TEST_P(RangeOpsTest, VerifyAfterFillMatchesReference) {
+  const auto overlay = make_overlay();
+  const std::uint64_t beats = geometry_.beats_per_pc();
+  for (const auto& pattern :
+       {hbm::WordPattern::repeat(hbm::kBeatAllOnes),
+        hbm::WordPattern::repeat(hbm::kBeatAllZeros),
+        hbm::WordPattern::address(), hbm::WordPattern::hashed(5)}) {
+    for (const auto& [start, count] :
+         std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+             {0, beats}, {9, 20}, {beats - 1, 1}}) {
+      // After a matching fill, stored == pattern over the range.
+      std::vector<std::uint64_t> stored(count * 4);
+      for (std::uint64_t i = 0; i < stored.size(); ++i) {
+        stored[i] = pattern.word(start * 4 + i);
+      }
+      const auto expected =
+          reference_verify(overlay, start, count, pattern, stored);
+      std::vector<std::uint64_t> diff(count * 4, 0);
+      const auto got = overlay.verify_after_fill(start, count, pattern,
+                                                 diff.data());
+      EXPECT_EQ(got.flips_1to0, expected.flips_1to0);
+      EXPECT_EQ(got.flips_0to1, expected.flips_0to1);
+      EXPECT_EQ(got.mismatched_beats, expected.mismatched_beats);
+      // diff_out: OR of observed^expected per word.
+      std::uint64_t diff_bits = 0;
+      for (const auto word : diff) {
+        diff_bits += static_cast<unsigned>(std::popcount(word));
+      }
+      EXPECT_EQ(diff_bits, got.flips_1to0 + got.flips_0to1);
+    }
+  }
+}
+
+TEST_P(RangeOpsTest, VerifyStoredMatchesReference) {
+  const auto overlay = make_overlay();
+  const std::uint64_t beats = geometry_.beats_per_pc();
+  // Stored contents deliberately different from the expected pattern:
+  // the general verify must count pattern mismatches and stuck cells.
+  const auto stored_pattern = hbm::WordPattern::hashed(21);
+  const auto expected_pattern = hbm::WordPattern::repeat(hbm::kBeatAllOnes);
+  for (const auto& [start, count] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, beats}, {11, 30}, {beats - 2, 2}}) {
+    std::vector<std::uint64_t> stored(count * 4);
+    for (std::uint64_t i = 0; i < stored.size(); ++i) {
+      stored[i] = stored_pattern.word(start * 4 + i);
+    }
+    const auto expected =
+        reference_verify(overlay, start, count, expected_pattern, stored);
+    const auto got =
+        overlay.verify_stored(start, count, stored, expected_pattern);
+    EXPECT_EQ(got.flips_1to0, expected.flips_1to0);
+    EXPECT_EQ(got.flips_0to1, expected.flips_0to1);
+    EXPECT_EQ(got.mismatched_beats, expected.mismatched_beats);
+  }
+}
+
+TEST_F(OverlayTest, EmptyOverlayBulkVerifyIsClean) {
+  const FaultOverlay overlay;
+  const auto flips =
+      overlay.verify_after_fill(0, 8, hbm::WordPattern::hashed(3));
+  EXPECT_EQ(flips.flips_1to0 + flips.flips_0to1, 0u);
+  EXPECT_EQ(flips.mismatched_beats, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SparseAndDense, RangeOpsTest, ::testing::Bool());
 
 // --------------------------------------------------------- FaultInjector
 

@@ -1,6 +1,8 @@
 // Unit tests for src/hbm: geometry/addressing, memory arrays, and the
 // stack state machine.
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "axi/controller.hpp"
@@ -181,6 +183,67 @@ TEST(MemoryArrayTest, ScrambleLosesData) {
     all_ones = array.read_beat(beat) == hbm::kBeatAllOnes;
   }
   EXPECT_FALSE(all_ones);
+}
+
+TEST(MemoryArrayTest, BackingStoreIsLazy) {
+  MemoryArray array(1 << 12, 5);
+  EXPECT_FALSE(array.materialized());
+  // First touch materializes and yields the same power-up contents an
+  // eager twin would have had.
+  MemoryArray twin(1 << 12, 5);
+  (void)twin.words();
+  EXPECT_EQ(array.read_beat(2), twin.read_beat(2));
+  EXPECT_TRUE(array.materialized());
+  // Scramble drops the store again; contents still follow the new seed.
+  array.scramble(77);
+  EXPECT_FALSE(array.materialized());
+  MemoryArray reseeded(1 << 12, 77);
+  EXPECT_EQ(array.read_beat(0), reseeded.read_beat(0));
+}
+
+TEST(MemoryArrayTest, WholeArrayFillSkipsPowerUpScramble) {
+  MemoryArray array(1 << 12, 6);
+  ASSERT_FALSE(array.materialized());
+  array.fill(hbm::kBeatAllOnes);  // no point scrambling: all overwritten
+  EXPECT_TRUE(array.materialized());
+  for (std::uint64_t beat = 0; beat < array.beats(); ++beat) {
+    ASSERT_EQ(array.read_beat(beat), hbm::kBeatAllOnes);
+  }
+}
+
+TEST(MemoryArrayTest, FillRangeMatchesPerBeatWrites) {
+  MemoryArray bulk(1 << 12, 7);
+  MemoryArray reference(1 << 12, 7);
+  const auto pattern = hbm::WordPattern::hashed(31);
+  bulk.fill_range(3, 5, pattern);
+  for (std::uint64_t beat = 3; beat < 8; ++beat) {
+    Beat data;
+    for (unsigned w = 0; w < 4; ++w) data[w] = pattern.word(beat * 4 + w);
+    reference.write_beat(beat, data);
+  }
+  for (std::uint64_t beat = 0; beat < bulk.beats(); ++beat) {
+    ASSERT_EQ(bulk.read_beat(beat), reference.read_beat(beat)) << beat;
+  }
+}
+
+TEST(MemoryArrayTest, CompareRangeCountsFlipsAndDiffs) {
+  MemoryArray array(1 << 12, 8);
+  array.fill(hbm::kBeatAllZeros);
+  array.write_bit(4 * 256 + 7, true);    // beat 4: one 0->1 "flip"
+  array.write_bit(6 * 256 + 200, true);  // beat 6
+  const auto zeros = hbm::WordPattern::repeat(hbm::kBeatAllZeros);
+  std::vector<std::uint64_t> diff(array.beats() * 4, 0);
+  const auto flips = array.compare_range(0, array.beats(), zeros, diff.data());
+  EXPECT_EQ(flips.flips_0to1, 2u);
+  EXPECT_EQ(flips.flips_1to0, 0u);
+  EXPECT_EQ(flips.mismatched_beats, 2u);
+  EXPECT_EQ(diff[4 * 4 + 0], 1ull << 7);
+  EXPECT_EQ(diff[6 * 4 + 3], 1ull << (200 - 192));
+  // Against all-ones, every other bit is a 1->0 flip.
+  const auto ones = hbm::WordPattern::repeat(hbm::kBeatAllOnes);
+  const auto inverse = array.compare_range(0, array.beats(), ones);
+  EXPECT_EQ(inverse.flips_1to0, (1u << 12) - 2);
+  EXPECT_EQ(inverse.mismatched_beats, array.beats());
 }
 
 // ----------------------------------------------------------------- Stack
