@@ -4,6 +4,8 @@
 // These guard the "full sweep in seconds" property the fig benches rely
 // on.
 
+#include <optional>
+
 #include <benchmark/benchmark.h>
 
 #include "axi/traffic_gen.hpp"
@@ -12,6 +14,7 @@
 #include "core/parallel.hpp"
 #include "faults/fault_overlay.hpp"
 #include "hbm/stack.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -161,6 +164,42 @@ BENCHMARK(BM_SweepThroughput)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Telemetry overhead on the serial sweep (docs/observability.md, CI
+// telemetry gate).  Arg(0): no telemetry at all -- the baseline.  Arg(1):
+// an instance installed but disabled, so every instrumentation site takes
+// the one-branch null path; CI fails if this costs more than 3% over the
+// baseline.  Arg(2): fully enabled (spans + counters recorded), the
+// documented price of turning observability on.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  board::Vcu128Board board(bench::default_board_config());
+  core::ReliabilityTester tester(board, bench::bench_sweep_config());
+
+  telemetry::Telemetry instance(
+      telemetry::TelemetryConfig{.enabled = mode == 2});
+  std::optional<telemetry::ScopedTelemetry> scoped;
+  if (mode != 0) scoped.emplace(instance);
+
+  std::uint64_t bits = 0;
+  for (auto _ : state) {
+    auto map = tester.run();
+    if (!map.is_ok()) {
+      state.SkipWithError("sweep failed");
+      break;
+    }
+    bits += map.value().device_record(Millivolts{1200}).bits_tested;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bits));
+  state.SetLabel(mode == 0 ? "no-telemetry"
+                           : mode == 1 ? "installed-disabled" : "enabled");
+}
+BENCHMARK(BM_TelemetryOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 }  // namespace

@@ -66,5 +66,11 @@ int main(int argc, char** argv) {
   for (const auto& file : campaign_result.files_written) {
     std::printf("  %s\n", file.c_str());
   }
+
+  // Where the time and the traffic went (see docs/observability.md; load
+  // trace.json from the artifact dir in ui.perfetto.dev for the timeline).
+  if (!campaign_result.telemetry_summary.empty()) {
+    std::printf("\n%s", campaign_result.telemetry_summary.c_str());
+  }
   return 0;
 }

@@ -223,6 +223,11 @@ int run_campaign(board::Vcu128Board& board, const Options& options) {
   for (const auto& file : result.value().files_written) {
     std::printf("wrote %s\n", file.c_str());
   }
+  // Phase timing + pipeline counters; trace.json in --out loads in
+  // ui.perfetto.dev (one track per worker).
+  if (!result.value().telemetry_summary.empty()) {
+    std::printf("\n%s", result.value().telemetry_summary.c_str());
+  }
   return 0;
 }
 

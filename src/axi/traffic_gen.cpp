@@ -7,6 +7,7 @@
 #include "common/prp.hpp"
 #include "common/rng.hpp"
 #include "dram/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::axi {
 
@@ -108,8 +109,19 @@ Status TrafficGenerator::run(const TgCommand& command) {
   // command-level DRAM timing keep the per-beat reference loop.
   if (engine_ == EnginePath::kAuto && timing_mode_ == TimingMode::kFlatEfficiency &&
       !(command.random_order && beats > 1)) {
+    telemetry::Span span("tg.pattern_test", pc_local_);
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("tg.dispatch_batched");
+    }
     return run_batched(command, beats);
   }
+  telemetry::Span span("tg.pattern_test", pc_local_);
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("tg.dispatch_per_beat");
+  }
+  // The reference loop counts beats one at a time; telemetry totals come
+  // from the stats delta so the inner loop stays un-instrumented.
+  const TgStats before = stats_;
 
   // Visit order: identity, or a seeded permutation of the range.
   std::optional<FeistelPermutation> order;
@@ -175,12 +187,21 @@ Status TrafficGenerator::run(const TgCommand& command) {
   }
   stats_.busy_time += elapsed;
 
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("tg.beats_written", stats_.beats_written - before.beats_written);
+    tel->count("tg.beats_read", stats_.beats_read - before.beats_read);
+    tel->count("tg.words_compared",
+               (stats_.bits_checked - before.bits_checked) / 64);
+    tel->count("tg.flips", (stats_.flips_1to0 - before.flips_1to0) +
+                               (stats_.flips_0to1 - before.flips_0to1));
+  }
   return Status::ok();
 }
 
 Status TrafficGenerator::run_batched(const TgCommand& command,
                                      std::uint64_t beats) {
   const hbm::WordPattern pattern = word_pattern(command);
+  const TgStats before = stats_;
   std::uint64_t transferred = 0;
 
   if (command.op == MacroOp::kWrite || command.op == MacroOp::kWriteRead) {
@@ -223,6 +244,14 @@ Status TrafficGenerator::run_batched(const TgCommand& command,
   }
 
   stats_.busy_time += flat_time(transferred);
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("tg.beats_written", stats_.beats_written - before.beats_written);
+    tel->count("tg.beats_read", stats_.beats_read - before.beats_read);
+    tel->count("tg.words_compared",
+               (stats_.bits_checked - before.bits_checked) / 64);
+    tel->count("tg.flips", (stats_.flips_1to0 - before.flips_1to0) +
+                               (stats_.flips_0to1 - before.flips_0to1));
+  }
   return Status::ok();
 }
 

@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 #include "faults/fault_model.hpp"
 #include "power/power_model.hpp"
 
@@ -132,6 +133,10 @@ Result<Watts> Vcu128Board::measure_power_snapshot(unsigned samples,
   // Freeze the rail once: every sample of this step sees one physical
   // operating point, so workers never race the regulator or the rail's
   // latched registers.  Only the measurement noise varies per sample.
+  telemetry::Span span("power.snapshot", samples);
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("power.samples", samples);
+  }
   const sensors::RailSample snap = rail_->sample();
   const std::uint64_t id = power_snapshot_id_++;
   const double lsb = monitor_driver_->current_lsb();

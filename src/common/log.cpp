@@ -3,11 +3,11 @@
 #include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace hbmvolt {
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -20,20 +20,74 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+/// HBMVOLT_LOG_LEVEL, if set and parsable.  Read on every call so tests
+/// (and long-lived embedders) can change it with setenv.
+std::optional<LogLevel> env_level() noexcept {
+  const char* value = std::getenv("HBMVOLT_LOG_LEVEL");
+  if (value == nullptr) return std::nullopt;
+  return parse_log_level(value);
+}
+
+LogLevel initial_level() noexcept {
+  return env_level().value_or(LogLevel::kWarn);
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  const auto matches = [name](std::string_view expected) {
+    if (name.size() != expected.size()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i] >= 'A' && name[i] <= 'Z'
+                         ? static_cast<char>(name[i] - 'A' + 'a')
+                         : name[i];
+      if (c != expected[i]) return false;
+    }
+    return true;
+  };
+  if (matches("debug") || matches("0")) return LogLevel::kDebug;
+  if (matches("info") || matches("1")) return LogLevel::kInfo;
+  if (matches("warn") || matches("warning") || matches("2")) {
+    return LogLevel::kWarn;
+  }
+  if (matches("error") || matches("3")) return LogLevel::kError;
+  if (matches("off") || matches("none") || matches("4")) return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(env_level().value_or(level));
+}
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load()) return;
-  std::fprintf(stderr, "[hbmvolt %s] ", level_tag(level));
+
+  // One formatted buffer, one fwrite: concurrent sweep workers never
+  // interleave mid-line (three separate stderr writes used to).  Long
+  // messages truncate rather than spill; the newline always lands.
+  char buffer[1024];
+  int used = std::snprintf(buffer, sizeof(buffer), "[hbmvolt %s] ",
+                           level_tag(level));
+  if (used < 0) return;
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body = std::vsnprintf(buffer + used, sizeof(buffer) - used - 1,
+                                  fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body > 0) {
+    const int room = static_cast<int>(sizeof(buffer)) - used - 1;
+    used += body < room ? body : room;
+  }
+  buffer[used++] = '\n';
+
+  static std::mutex io_mutex;
+  const std::lock_guard<std::mutex> lock(io_mutex);
+  std::fwrite(buffer, 1, static_cast<std::size_t>(used), stderr);
 }
 
 }  // namespace hbmvolt

@@ -3,13 +3,22 @@
 
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 namespace hbmvolt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are dropped.
+/// Parses a level name ("debug", "info", "warn", "error", "off",
+/// case-insensitive) or a numeric level ("0".."4").
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view name) noexcept;
+
+/// Global threshold; messages below it are dropped.  The HBMVOLT_LOG_LEVEL
+/// environment variable, when set to a parsable level, wins over the
+/// programmatic value -- so verbosity can be cranked on any binary without
+/// touching its code.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 

@@ -4,11 +4,80 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "common/log.hpp"
 #include "core/parallel.hpp"
 
+#ifndef HBMVOLT_GIT_DESCRIBE
+#define HBMVOLT_GIT_DESCRIBE "unknown"
+#endif
+
 namespace hbmvolt::core {
+namespace {
+
+/// Run manifest: everything needed to identify and compare runs -- the
+/// knobs, the build, the phase timing, and the metric totals.
+std::string manifest_json(const CampaignConfig& config,
+                          const CampaignResult& result,
+                          const telemetry::Telemetry& telemetry) {
+  using telemetry::json_quoted;
+  const auto sweep = [](const SweepConfig& s) {
+    return "{\"start_mv\":" + std::to_string(s.start.value) +
+           ",\"stop_mv\":" + std::to_string(s.stop.value) +
+           ",\"step_mv\":" + std::to_string(s.step_mv) + "}";
+  };
+
+  std::string out = "{\n";
+  out += "  \"tool\": \"hbmvolt\",\n";
+  out += "  \"git\": " + json_quoted(HBMVOLT_GIT_DESCRIBE) + ",\n";
+  out += "  \"config\": {\n";
+  out += "    \"output_dir\": " + json_quoted(config.output_dir) + ",\n";
+  out += "    \"threads\": " + std::to_string(config.threads) + ",\n";
+  out += "    \"telemetry\": " +
+         std::string(config.telemetry.enabled ? "true" : "false") + ",\n";
+  out += "    \"reliability_sweep\": " + sweep(config.reliability.sweep) +
+         ",\n";
+  out += "    \"reliability_batch_size\": " +
+         std::to_string(config.reliability.batch_size) + ",\n";
+  out += "    \"power_sweep\": " + sweep(config.power.sweep) + ",\n";
+  out += "    \"power_samples\": " + std::to_string(config.power.samples) +
+         "\n";
+  out += "  },\n";
+
+  out += "  \"timing\": [";
+  bool first = true;
+  for (const telemetry::SpanStat& stat : telemetry.span_stats()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"span\": " + json_quoted(stat.name) +
+           ", \"count\": " + std::to_string(stat.count) +
+           ", \"total_ns\": " + std::to_string(stat.total_ns) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"metrics\": {";
+  first = true;
+  for (const auto& [name, value] : telemetry.metrics().counter_values()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_quoted(name) + ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"files\": [";
+  first = true;
+  for (const std::string& file : result.files_written) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_quoted(file);
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
 
 HeadlineNumbers collect_headline_numbers(const faults::FaultMap& map,
                                          const PowerCharacterization& power,
@@ -58,6 +127,11 @@ Campaign::Campaign(board::Vcu128Board& board, CampaignConfig config)
     : board_(board), config_(std::move(config)) {}
 
 Result<CampaignResult> Campaign::run() {
+  // The telemetry scope covers the whole run.  A disabled config installs
+  // nothing, so every instrumentation site below costs one branch.
+  telemetry::Telemetry telemetry(config_.telemetry);
+  telemetry::ScopedTelemetry scoped(telemetry);
+
   // threads == 1 keeps the serial reference path (no pool at all); any
   // other value fans the per-PC work out, with byte-identical results.
   std::unique_ptr<ThreadPool> pool;
@@ -65,38 +139,61 @@ Result<CampaignResult> Campaign::run() {
     pool = std::make_unique<ThreadPool>(config_.threads);
   }
 
-  HBMVOLT_LOG_INFO("campaign: reliability sweep (Algorithm 1)");
-  ReliabilityTester tester(board_, config_.reliability);
-  auto map = tester.run(pool.get());
-  if (!map.is_ok()) return map.status();
+  std::optional<CampaignResult> result;
+  {
+    telemetry::Span campaign_span("campaign");
 
-  HBMVOLT_LOG_INFO("campaign: power sweep");
-  PowerCharacterizer characterizer(board_, config_.power);
-  auto power = characterizer.run(pool.get());
-  if (!power.is_ok()) return power.status();
+    std::optional<Result<faults::FaultMap>> map;
+    {
+      telemetry::Span span("campaign.reliability");
+      HBMVOLT_LOG_INFO("campaign: reliability sweep (Algorithm 1)");
+      ReliabilityTester tester(board_, config_.reliability);
+      map.emplace(tester.run(pool.get()));
+    }
+    if (!map->is_ok()) return map->status();
 
-  const Millivolts v_nom = board_.config().regulator_config.vout_default;
+    std::optional<Result<PowerCharacterization>> power;
+    {
+      telemetry::Span span("campaign.power");
+      HBMVOLT_LOG_INFO("campaign: power sweep");
+      PowerCharacterizer characterizer(board_, config_.power);
+      power.emplace(characterizer.run(pool.get()));
+    }
+    if (!power->is_ok()) return power->status();
 
-  CampaignResult result{
-      /*guardband=*/analyze_guardband(map.value(), v_nom),
-      /*headline=*/
-      collect_headline_numbers(map.value(), power.value(), v_nom),
-      /*fault_map=*/std::move(map).value(),
-      /*power=*/std::move(power).value(),
-      /*tradeoff_points=*/{},
-      /*files_written=*/{}};
-  // The analyzer must reference the map's final home (result.fault_map),
-  // not the moved-from local.
-  TradeoffAnalyzer analyzer(result.fault_map, v_nom, &board_.power_model());
-  result.tradeoff_points = analyzer.analyze(config_.tradeoff);
+    telemetry::Span analyze_span("campaign.analyze");
+    const Millivolts v_nom = board_.config().regulator_config.vout_default;
+
+    result.emplace(CampaignResult{
+        /*guardband=*/analyze_guardband(map->value(), v_nom),
+        /*headline=*/
+        collect_headline_numbers(map->value(), power->value(), v_nom),
+        /*fault_map=*/std::move(*map).value(),
+        /*power=*/std::move(*power).value(),
+        /*tradeoff_points=*/{},
+        /*files_written=*/{},
+        /*telemetry_summary=*/{}});
+    // The analyzer must reference the map's final home (result->fault_map),
+    // not the moved-from local.
+    TradeoffAnalyzer analyzer(result->fault_map, v_nom,
+                              &board_.power_model());
+    result->tradeoff_points = analyzer.analyze(config_.tradeoff);
+  }
+
+  // Join the workers before export so every span track is final.
+  pool.reset();
 
   if (!config_.dry_run) {
-    HBMVOLT_RETURN_IF_ERROR(write_artifacts(result));
+    HBMVOLT_RETURN_IF_ERROR(write_artifacts(*result, telemetry));
   }
-  return result;
+  if (config_.telemetry.enabled) {
+    result->telemetry_summary = telemetry.summary();
+  }
+  return std::move(*result);
 }
 
-Status Campaign::write_artifacts(CampaignResult& result) const {
+Status Campaign::write_artifacts(CampaignResult& result,
+                                 telemetry::Telemetry& telemetry) const {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(config_.output_dir, ec);
@@ -115,27 +212,44 @@ Status Campaign::write_artifacts(CampaignResult& result) const {
     return Status::ok();
   };
 
-  HBMVOLT_RETURN_IF_ERROR(write_file("fig2.csv", to_csv_fig2(result.power)));
-  HBMVOLT_RETURN_IF_ERROR(
-      write_file("fig4.csv", to_csv_fig4(result.fault_map)));
-  HBMVOLT_RETURN_IF_ERROR(
-      write_file("fig5.csv", to_csv_fig5(result.fault_map)));
-  HBMVOLT_RETURN_IF_ERROR(write_file(
-      "fig6.csv", to_csv_fig6(result.tradeoff_points, config_.tradeoff)));
+  {
+    // Scoped so the span lands in the exports below.
+    telemetry::Span span("campaign.artifacts");
+    HBMVOLT_RETURN_IF_ERROR(
+        write_file("fig2.csv", to_csv_fig2(result.power)));
+    HBMVOLT_RETURN_IF_ERROR(
+        write_file("fig4.csv", to_csv_fig4(result.fault_map)));
+    HBMVOLT_RETURN_IF_ERROR(
+        write_file("fig5.csv", to_csv_fig5(result.fault_map)));
+    HBMVOLT_RETURN_IF_ERROR(write_file(
+        "fig6.csv", to_csv_fig6(result.tradeoff_points, config_.tradeoff)));
 
-  std::string summary;
-  summary += render_headline(result.headline);
-  summary += "\n";
-  summary += render_fig2(result.power);
-  summary += "\n";
-  summary += render_fig3(result.power);
-  summary += "\n";
-  summary += render_fig4(result.fault_map);
-  summary += "\n";
-  summary += render_fig5(result.fault_map, 20);
-  summary += "\n";
-  summary += render_fig6(result.tradeoff_points, config_.tradeoff);
-  return write_file("summary.txt", summary);
+    std::string summary;
+    summary += render_headline(result.headline);
+    summary += "\n";
+    summary += render_fig2(result.power);
+    summary += "\n";
+    summary += render_fig3(result.power);
+    summary += "\n";
+    summary += render_fig4(result.fault_map);
+    summary += "\n";
+    summary += render_fig5(result.fault_map, 20);
+    summary += "\n";
+    summary += render_fig6(result.tradeoff_points, config_.tradeoff);
+    HBMVOLT_RETURN_IF_ERROR(write_file("summary.txt", summary));
+  }
+
+  // Observability artifacts: the raw event stream and the Chrome trace
+  // when enabled, and the run manifest always (it lists the files above,
+  // so it goes last and is not in its own list).
+  if (config_.telemetry.enabled) {
+    HBMVOLT_RETURN_IF_ERROR(
+        write_file("telemetry.jsonl", telemetry.to_jsonl()));
+    HBMVOLT_RETURN_IF_ERROR(
+        write_file("trace.json", telemetry.to_chrome_trace()));
+  }
+  return write_file("manifest.json",
+                    manifest_json(config_, result, telemetry));
 }
 
 }  // namespace hbmvolt::core

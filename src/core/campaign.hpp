@@ -22,6 +22,7 @@
 #include "core/reliability_tester.hpp"
 #include "core/report.hpp"
 #include "core/tradeoff.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::core {
 
@@ -41,6 +42,10 @@ struct CampaignConfig {
   /// (no pool), 0 = hardware_concurrency.  Results are byte-identical at
   /// any setting — see docs/parallelism.md.
   unsigned threads = 1;
+  /// Observability: counters/spans for the whole run, exported as
+  /// telemetry.jsonl + trace.json next to the figures.  Never alters the
+  /// figures themselves — see docs/observability.md.
+  telemetry::TelemetryConfig telemetry{};
 };
 
 struct CampaignResult {
@@ -50,6 +55,9 @@ struct CampaignResult {
   PowerCharacterization power;
   std::vector<TradeoffPoint> tradeoff_points;
   std::vector<std::string> files_written;
+  /// Human-readable telemetry table (empty when telemetry is disabled);
+  /// the examples print it after their own output.
+  std::string telemetry_summary;
 };
 
 /// Collects the headline table from a finished fault map + power sweep
@@ -65,7 +73,8 @@ class Campaign {
   Result<CampaignResult> run();
 
  private:
-  Status write_artifacts(CampaignResult& result) const;
+  Status write_artifacts(CampaignResult& result,
+                         telemetry::Telemetry& telemetry) const;
 
   board::Vcu128Board& board_;
   CampaignConfig config_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/status.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::core {
 
@@ -17,7 +18,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -36,11 +37,20 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     HBMVOLT_REQUIRE(!stop_, "pool is shutting down");
     tasks_.push_back(std::move(task));
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->gauge_set("pool.queue_depth",
+                     static_cast<std::int64_t>(tasks_.size()));
+    }
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  // Workers own telemetry track index+1 (the installing thread is track
+  // 0), so the trace viewer shows one lane per pool worker and exports
+  // merge deterministically in worker-index order.
+  telemetry::Telemetry::set_thread_track(
+      static_cast<int>(index) + 1, "worker " + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {
@@ -49,6 +59,13 @@ void ThreadPool::worker_loop() {
       if (tasks_.empty()) return;  // stop_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      if (auto* tel = telemetry::Telemetry::active()) {
+        tel->gauge_set("pool.queue_depth",
+                       static_cast<std::int64_t>(tasks_.size()));
+      }
+    }
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("pool.tasks");
     }
     task();
   }
@@ -97,6 +114,7 @@ void rethrow_lowest(std::vector<std::exception_ptr>& errors) {
 void parallel_for_each(ThreadPool* pool, std::size_t count,
                        const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  telemetry::Span span("pool.fanout", static_cast<std::int64_t>(count));
   if (pool == nullptr || pool->size() <= 1 || count == 1) {
     // Serial reference path: same run-all / lowest-index-throws semantics
     // as the fan-out so behavior is identical at every thread count.

@@ -49,7 +49,7 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
 
   std::mutex mutex_;
   std::condition_variable cv_;

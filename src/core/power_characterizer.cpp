@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::core {
 
@@ -50,6 +51,7 @@ Result<PowerCharacterization> PowerCharacterizer::run(ThreadPool* pool) {
   out.v_nom = board_.config().regulator_config.vout_default;
 
   for (const unsigned ports : config_.port_counts) {
+    telemetry::Span series_span("power.series", ports);
     PowerSeries series;
     series.ports = ports;
     board_.set_active_ports(ports);

@@ -1,6 +1,7 @@
 #include "core/reliability_tester.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::core {
 
@@ -24,8 +25,17 @@ Result<faults::FaultMap> ReliabilityTester::run_pc(unsigned pc_global) {
 
 Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global,
                                                      ThreadPool* pool) {
+  telemetry::Span run_span("reliability.run", only_pc_global);
   faults::FaultMap map(board_.geometry());
   const unsigned per_stack = board_.geometry().pcs_per_stack();
+
+  const auto record_telemetry = [](const faults::PcFaultRecord& record) {
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("faults.recorded");
+      tel->count("faults.stuck_bits_hit",
+                 record.flips_1to0 + record.flips_0to1);
+    }
+  };
 
   std::vector<axi::TgCommand> commands;
   if (config_.pattern_ones) {
@@ -46,6 +56,9 @@ Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global,
   const Status status = sweep.run(
       [&](Millivolts v) {
         for (unsigned b = 0; b < config_.batch_size; ++b) {
+          if (auto* tel = telemetry::Telemetry::active()) {
+            tel->count("reliability.batches");
+          }
           // Algorithm 1: reset_axi_ports() before each batch.
           for (unsigned s = 0; s < board_.geometry().stacks; ++s) {
             board_.controller(s).reset_ports();
@@ -69,15 +82,18 @@ Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global,
                   static_cast<unsigned>(only_pc_global) % per_stack;
               const axi::RunResult result =
                   board_.controller(stack).run_on_port(local, command);
-              map.record(v, static_cast<unsigned>(only_pc_global),
-                         make_record(result.per_port[local]));
+              const auto record = make_record(result.per_port[local]);
+              record_telemetry(record);
+              map.record(v, static_cast<unsigned>(only_pc_global), record);
             } else {
               const auto results = board_.run_traffic(command, pool);
               for (unsigned s = 0; s < results.size(); ++s) {
                 for (unsigned p = 0; p < results[s].per_port.size(); ++p) {
                   const axi::TgStats& stats = results[s].per_port[p];
                   if (stats.bits_checked == 0) continue;
-                  map.record(v, s * per_stack + p, make_record(stats));
+                  const auto record = make_record(stats);
+                  record_telemetry(record);
+                  map.record(v, s * per_stack + p, record);
                 }
               }
             }

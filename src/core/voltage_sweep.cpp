@@ -1,6 +1,7 @@
 #include "core/voltage_sweep.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::core {
 
@@ -23,10 +24,14 @@ Status VoltageSweep::run(const std::function<void(Millivolts)>& body,
                          const std::function<void(Millivolts)>& on_crash) {
   bool crashed_any = false;
   for (const Millivolts v : sweep_grid(config_)) {
+    telemetry::Span step_span("sweep.step", v.value);
     HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(v));
     if (!board_.responding()) {
       HBMVOLT_LOG_INFO("HBM crashed at %d mV", v.value);
       crashed_any = true;
+      if (auto* tel = telemetry::Telemetry::active()) {
+        tel->count("sweep.crashes");
+      }
       if (on_crash) on_crash(v);
       if (policy_ == CrashPolicy::kStop) break;
       HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
@@ -35,7 +40,14 @@ Status VoltageSweep::run(const std::function<void(Millivolts)>& body,
       // callers normally stop their grids at V_critical).
       continue;
     }
-    body(v);
+    if (auto* tel = telemetry::Telemetry::active()) {
+      const std::uint64_t start = tel->clock().now_ns();
+      body(v);
+      tel->count("sweep.steps");
+      tel->observe("sweep.step_us", (tel->clock().now_ns() - start) / 1000);
+    } else {
+      body(v);
+    }
   }
   // Restore a sane state for whatever runs next.
   if (!board_.responding() || crashed_any) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hbm/word_pattern.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::memtest {
 
@@ -86,7 +87,16 @@ MarchRunner::MarchRunner(hbm::HbmStack& stack, unsigned pc_local)
     : stack_(stack), pc_local_(pc_local) {}
 
 Result<MarchResult> MarchRunner::run(const MarchAlgorithm& algorithm) {
-  return batched_ ? run_batched(algorithm) : run_per_beat(algorithm);
+  telemetry::Span span("march.run", pc_local_);
+  auto result = batched_ ? run_batched(algorithm) : run_per_beat(algorithm);
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count(batched_ ? "march.dispatch_batched" : "march.dispatch_per_beat");
+    if (result.is_ok()) {
+      tel->count("march.read_ops", result.value().read_ops);
+      tel->count("march.write_ops", result.value().write_ops);
+    }
+  }
+  return result;
 }
 
 Result<MarchResult> MarchRunner::run_batched(const MarchAlgorithm& algorithm) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "pmbus/pec.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::pmbus {
 
@@ -29,6 +30,9 @@ Result<SlaveDevice*> Bus::find(std::uint8_t address) {
 Result<std::vector<std::uint8_t>> Bus::transfer(
     std::vector<std::uint8_t> frame) {
   ++transactions_;
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("pmbus.transactions");
+  }
   if (!pec_enabled_) {
     if (corruptor_) corruptor_(frame);
     return frame;
@@ -39,6 +43,9 @@ Result<std::vector<std::uint8_t>> Bus::transfer(
   frame.pop_back();
   if (pec_crc8(frame) != received_pec) {
     ++pec_errors_;
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("pmbus.pec_errors");
+    }
     return data_loss("PEC mismatch on wire");
   }
   return frame;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "pmbus/bus.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::sensors {
 
@@ -175,6 +176,9 @@ Result<Amps> Ina226Driver::read_current() {
 }
 
 Result<Watts> Ina226Driver::read_power() {
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("power.samples");
+  }
   auto reg = bus_.read_word(address_, Ina226::kRegPower);
   if (!reg.is_ok()) return reg.status();
   return Watts{reg.value() * 25.0 * current_lsb_};

@@ -1,0 +1,51 @@
+// Monotonic time source for the telemetry layer.  Every timestamp the
+// instrumentation records flows through this interface so tests can swap
+// in a ManualClock and assert exact durations (tests/telemetry_test.cpp);
+// production uses SteadyClock (std::chrono::steady_clock).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace hbmvolt::telemetry {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  [[nodiscard]] virtual std::uint64_t now_ns() = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic clock for tests: time only moves when advanced, and may
+/// be advanced from any thread.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : now_(start_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t delta) noexcept {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set_ns(std::uint64_t t) noexcept {
+    now_.store(t, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_;
+};
+
+}  // namespace hbmvolt::telemetry

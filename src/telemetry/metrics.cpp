@@ -1,0 +1,94 @@
+#include "telemetry/metrics.hpp"
+
+#include "common/status.hpp"
+
+namespace hbmvolt::telemetry {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  HBMVOLT_REQUIRE(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    HBMVOLT_REQUIRE(bounds_[i - 1] < bounds_[i],
+                    "histogram bounds must ascend");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> MetricRegistry::default_bounds() {
+  return {1, 10, 100, 1000, 10000, 100000, 1000000, 10000000};
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<GaugeSnapshot> MetricRegistry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, gauge->value(), gauge->max()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricRegistry::histogram_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back({name, histogram->bounds(), histogram->bucket_counts(),
+                   histogram->count(), histogram->sum()});
+  }
+  return out;
+}
+
+}  // namespace hbmvolt::telemetry

@@ -70,13 +70,21 @@ TEST(CampaignTest, WritesArtifacts) {
   auto result = campaign.run();
   ASSERT_TRUE(result.is_ok());
 
-  ASSERT_EQ(result.value().files_written.size(), 5u);
+  ASSERT_EQ(result.value().files_written.size(), 8u);
   for (const char* name :
        {"fig2.csv", "fig4.csv", "fig5.csv", "fig6.csv", "summary.txt"}) {
     const fs::path path = fs::path(config.output_dir) / name;
     ASSERT_TRUE(fs::exists(path)) << name;
     EXPECT_GT(fs::file_size(path), 100u) << name;
   }
+
+  // Observability artifacts ride along with the figures by default.
+  for (const char* name : {"telemetry.jsonl", "trace.json", "manifest.json"}) {
+    const fs::path path = fs::path(config.output_dir) / name;
+    ASSERT_TRUE(fs::exists(path)) << name;
+    EXPECT_GT(fs::file_size(path), 0u) << name;
+  }
+  EXPECT_FALSE(result.value().telemetry_summary.empty());
 
   // The summary contains the headline table and each figure heading.
   std::ifstream in(fs::path(config.output_dir) / "summary.txt");

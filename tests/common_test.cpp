@@ -1,11 +1,13 @@
 // Unit tests for src/common: status, units, RNG, PRP, statistics, tables.
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/log.hpp"
 #include "common/plot.hpp"
 #include "common/prp.hpp"
 #include "common/rng.hpp"
@@ -493,6 +495,37 @@ TEST(AsciiChartTest, FlatSeriesDoesNotDivideByZero) {
   chart.add_series('=', {{1.0, 5.0}, {2.0, 5.0}});
   const std::string out = chart.render();
   EXPECT_NE(out.find('='), std::string::npos);
+}
+
+// ------------------------------------------------------------------- Log
+
+TEST(LogTest, ParseLogLevelNamesAndNumbers) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("loud"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(LogTest, EnvironmentOverridesProgrammaticLevel) {
+  const LogLevel before = log_level();
+
+  ::setenv("HBMVOLT_LOG_LEVEL", "debug", 1);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  // An unparsable value falls back to the programmatic setting.
+  ::setenv("HBMVOLT_LOG_LEVEL", "shouty", 1);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  ::unsetenv("HBMVOLT_LOG_LEVEL");
+  set_log_level(before);
+  EXPECT_EQ(log_level(), before);
 }
 
 }  // namespace

@@ -1,0 +1,404 @@
+// Tests for the telemetry subsystem: metric registry semantics and
+// concurrency, span nesting (including exception unwind), the JSONL and
+// Chrome-trace sinks, the disabled-registry no-op guarantee, and -- the
+// load-bearing one -- proof that telemetry never changes campaign results
+// (byte-identical figures with telemetry on vs off, serial and pooled).
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hbmvolt::telemetry {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricRegistryTest, CounterGaugeHistogramBasics) {
+  MetricRegistry registry;
+  registry.counter("a").add();
+  registry.counter("a").add(4);
+  EXPECT_EQ(registry.counter("a").value(), 5u);
+
+  registry.gauge("depth").set(3);
+  registry.gauge("depth").set(7);
+  registry.gauge("depth").set(2);
+  EXPECT_EQ(registry.gauge("depth").value(), 2);
+  EXPECT_EQ(registry.gauge("depth").max(), 7);
+
+  // Snapshots iterate in name order regardless of registration order.
+  registry.counter("z").add();
+  registry.counter("b").add();
+  const auto counters = registry.counter_values();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[1].first, "b");
+  EXPECT_EQ(counters[2].first, "z");
+}
+
+TEST(MetricRegistryTest, HistogramBucketEdges) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("h", {10, 20});
+  // Bucket i counts bounds[i-1] < v <= bounds[i]; last bucket = overflow.
+  h.observe(0);
+  h.observe(10);  // boundary lands in bucket 0
+  h.observe(11);
+  h.observe(20);  // boundary lands in bucket 1
+  h.observe(21);
+  h.observe(1000);  // overflow
+
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 20 + 21 + 1000);
+}
+
+TEST(MetricRegistryTest, HistogramFirstRegistrationFixesBounds) {
+  MetricRegistry registry;
+  registry.histogram("h", {10, 20});
+  Histogram& again = registry.histogram("h", {5});
+  EXPECT_EQ(again.bounds(), (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(MetricRegistryTest, ConcurrentUpdatesMatchSerialTotal) {
+  MetricRegistry registry;
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIters = 20000;
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Registration races with updates on purpose: every thread looks
+      // the metrics up by name on each iteration.
+      for (unsigned i = 0; i < kIters; ++i) {
+        registry.counter("hits").add();
+        registry.histogram("lat", {100}).observe(i % 7);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter("hits").value(),
+            std::uint64_t{kThreads} * kIters);
+  const Histogram& h = registry.histogram("lat", {100});
+  EXPECT_EQ(h.count(), std::uint64_t{kThreads} * kIters);
+  // sum of (i % 7) over one thread's iterations, times the thread count.
+  std::uint64_t serial_sum = 0;
+  for (unsigned i = 0; i < kIters; ++i) serial_sum += i % 7;
+  EXPECT_EQ(h.sum(), serial_sum * kThreads);
+}
+
+// ---------------------------------------------------- spans and install
+
+/// Splits a sink string into its non-empty lines.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Minimal flat-JSON-object parser for round-trip tests: returns key ->
+/// raw value text (strings without their quotes).  Fails the test on any
+/// syntax error, so a malformed sink line cannot slip through.
+std::map<std::string, std::string> parse_flat_json(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  std::size_t i = 0;
+  const auto fail = [&](const char* what) {
+    ADD_FAILURE() << what << " at byte " << i << " in: " << line;
+  };
+  const auto skip_string = [&]() -> std::string {
+    std::string out;
+    ++i;  // opening quote
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        switch (line[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: out += line[i];
+        }
+        ++i;
+        continue;
+      }
+      out += line[i++];
+    }
+    ++i;  // closing quote
+    return out;
+  };
+  const auto skip_scalar = [&]() -> std::string {
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ',' && line[i] != '}' &&
+           line[i] != ']') {
+      ++i;
+    }
+    return line.substr(start, i - start);
+  };
+
+  if (line.empty() || line[0] != '{') {
+    fail("expected '{'");
+    return fields;
+  }
+  i = 1;
+  while (i < line.size() && line[i] != '}') {
+    if (line[i] != '"') {
+      fail("expected key quote");
+      return fields;
+    }
+    const std::string key = skip_string();
+    if (i >= line.size() || line[i] != ':') {
+      fail("expected ':'");
+      return fields;
+    }
+    ++i;
+    std::string value;
+    if (line[i] == '"') {
+      value = skip_string();
+    } else if (line[i] == '[') {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ']') ++i;
+      ++i;
+      value = line.substr(start, i - start);
+    } else {
+      value = skip_scalar();
+    }
+    fields[key] = value;
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  if (i >= line.size() || line[i] != '}') fail("expected '}'");
+  return fields;
+}
+
+TEST(SpanTest, NestedSpansRecordDepthAndManualClockDurations) {
+  ManualClock clock;
+  Telemetry telemetry({.enabled = true}, &clock);
+  {
+    ScopedTelemetry scoped(telemetry);
+    ASSERT_EQ(Telemetry::active(), &telemetry);
+    Span outer("outer", 42);
+    clock.advance_ns(5000);
+    {
+      Span inner("inner");
+      clock.advance_ns(3000);
+    }
+    clock.advance_ns(1000);
+  }
+
+  const auto stats = telemetry.span_stats();
+  ASSERT_EQ(stats.size(), 2u);  // name order: inner, outer
+  EXPECT_EQ(stats[0].name, "inner");
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_EQ(stats[0].total_ns, 3000u);
+  EXPECT_EQ(stats[1].name, "outer");
+  EXPECT_EQ(stats[1].total_ns, 9000u);
+
+  // The JSONL stream carries nesting depth and the detail scalar.
+  for (const std::string& line : lines_of(telemetry.to_jsonl())) {
+    const auto fields = parse_flat_json(line);
+    if (fields.at("name") == "inner") {
+      EXPECT_EQ(fields.at("depth"), "1");
+      EXPECT_EQ(fields.at("start_ns"), "5000");
+    } else if (fields.at("name") == "outer") {
+      EXPECT_EQ(fields.at("depth"), "0");
+      EXPECT_EQ(fields.at("detail"), "42");
+    }
+  }
+}
+
+TEST(SpanTest, SpansUnwindOnException) {
+  ManualClock clock;
+  Telemetry telemetry({.enabled = true}, &clock);
+  ScopedTelemetry scoped(telemetry);
+
+  try {
+    Span outer("outer");
+    clock.advance_ns(100);
+    Span inner("inner");
+    clock.advance_ns(10);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // Depth must be back at 0: a span recorded after the unwind is a root.
+  { Span after("after"); }
+
+  for (const std::string& line : lines_of(telemetry.to_jsonl())) {
+    const auto fields = parse_flat_json(line);
+    if (fields.at("type") != "span") continue;
+    if (fields.at("name") == "inner") EXPECT_EQ(fields.at("depth"), "1");
+    if (fields.at("name") == "outer") EXPECT_EQ(fields.at("depth"), "0");
+    if (fields.at("name") == "after") EXPECT_EQ(fields.at("depth"), "0");
+  }
+  ASSERT_EQ(telemetry.span_stats().size(), 3u);
+}
+
+TEST(ScopedTelemetryTest, DisabledInstanceInstallsNothing) {
+  Telemetry telemetry({.enabled = false});
+  {
+    ScopedTelemetry scoped(telemetry);
+    EXPECT_EQ(Telemetry::active(), nullptr);
+    // All recording paths must be silent no-ops.
+    Span span("ignored");
+    if (auto* tel = Telemetry::active()) tel->count("never");
+  }
+  EXPECT_TRUE(telemetry.metrics().counter_values().empty());
+  EXPECT_TRUE(telemetry.span_stats().empty());
+  EXPECT_EQ(telemetry.summary(), "Telemetry summary\n");
+}
+
+TEST(ScopedTelemetryTest, RestoresPreviousInstanceOnExit) {
+  Telemetry outer_instance({.enabled = true});
+  ScopedTelemetry outer(outer_instance);
+  ASSERT_EQ(Telemetry::active(), &outer_instance);
+  {
+    Telemetry inner_instance({.enabled = true});
+    ScopedTelemetry inner(inner_instance);
+    EXPECT_EQ(Telemetry::active(), &inner_instance);
+  }
+  EXPECT_EQ(Telemetry::active(), &outer_instance);
+}
+
+// ----------------------------------------------------------------- sinks
+
+TEST(SinkTest, JsonlRoundTripsEveryRecordType) {
+  ManualClock clock;
+  Telemetry telemetry({.enabled = true}, &clock);
+  ScopedTelemetry scoped(telemetry);
+  {
+    Span span("phase \"one\"\n", -3);  // name needs escaping
+    clock.advance_ns(1500);
+  }
+  telemetry.count("beats", 12345678901234ull);
+  telemetry.gauge_set("queue", 4);
+  telemetry.observe("lat_us", 15);
+
+  const auto lines = lines_of(telemetry.to_jsonl());
+  ASSERT_EQ(lines.size(), 4u);
+  std::map<std::string, std::map<std::string, std::string>> by_type;
+  for (const std::string& line : lines) {
+    auto fields = parse_flat_json(line);
+    by_type[fields.at("type")] = std::move(fields);
+  }
+
+  EXPECT_EQ(by_type.at("span").at("name"), "phase \"one\"\n");
+  EXPECT_EQ(by_type.at("span").at("dur_ns"), "1500");
+  EXPECT_EQ(by_type.at("span").at("detail"), "-3");
+  EXPECT_EQ(by_type.at("counter").at("name"), "beats");
+  EXPECT_EQ(by_type.at("counter").at("value"), "12345678901234");
+  EXPECT_EQ(by_type.at("gauge").at("value"), "4");
+  EXPECT_EQ(by_type.at("gauge").at("max"), "4");
+  EXPECT_EQ(by_type.at("histogram").at("count"), "1");
+  EXPECT_EQ(by_type.at("histogram").at("sum"), "15");
+}
+
+TEST(SinkTest, SummaryListsSpansAndMetrics) {
+  ManualClock clock;
+  Telemetry telemetry({.enabled = true}, &clock);
+  ScopedTelemetry scoped(telemetry);
+  {
+    Span span("sweep.step");
+    clock.advance_ns(2'000'000);
+  }
+  telemetry.count("tg.beats_written", 512);
+
+  const std::string summary = telemetry.summary();
+  EXPECT_NE(summary.find("sweep.step"), std::string::npos);
+  EXPECT_NE(summary.find("tg.beats_written"), std::string::npos);
+  EXPECT_NE(summary.find("512"), std::string::npos);
+}
+
+// --------------------------------------- the never-alter-results proof
+
+board::BoardConfig tiny_board() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  config.monitor_config.noise_sigma_amps = 0.0;
+  return config;
+}
+
+core::CampaignConfig fast_campaign(bool telemetry_on, unsigned threads) {
+  core::CampaignConfig config;
+  config.reliability.sweep = {Millivolts{1200}, Millivolts{800}, 20};
+  config.reliability.batch_size = 1;
+  config.power.sweep = {Millivolts{1200}, Millivolts{850}, 50};
+  config.power.samples = 2;
+  config.power.traffic_beats = 4;
+  config.dry_run = true;
+  config.threads = threads;
+  config.telemetry.enabled = telemetry_on;
+  return config;
+}
+
+/// Every figure CSV of one campaign run, concatenated.
+std::string campaign_figures(bool telemetry_on, unsigned threads) {
+  board::Vcu128Board board(tiny_board());
+  core::Campaign campaign(board, fast_campaign(telemetry_on, threads));
+  auto result = campaign.run();
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  if (!result.is_ok()) return {};
+  const auto& r = result.value();
+  return core::to_csv_fig2(r.power) + core::to_csv_fig4(r.fault_map) +
+         core::to_csv_fig5(r.fault_map);
+}
+
+TEST(TelemetryNeutralityTest, FiguresByteIdenticalWithTelemetryOnOrOff) {
+  for (const unsigned threads : {1u, 4u}) {
+    const std::string with = campaign_figures(true, threads);
+    const std::string without = campaign_figures(false, threads);
+    ASSERT_FALSE(with.empty());
+    EXPECT_EQ(with, without) << "telemetry altered figures at threads="
+                             << threads;
+  }
+}
+
+TEST(ChromeTraceTest, CampaignTraceHasOneTrackPerWorker) {
+  namespace fs = std::filesystem;
+  board::Vcu128Board board(tiny_board());
+  auto config = fast_campaign(true, 4);
+  config.dry_run = false;
+  config.output_dir =
+      (fs::temp_directory_path() / "hbmvolt_telemetry_trace_test").string();
+  fs::remove_all(config.output_dir);
+
+  core::Campaign campaign(board, config);
+  auto result = campaign.run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  std::ifstream in(fs::path(config.output_dir) / "trace.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  // The main thread and each of the 4 pool workers get a named track.
+  for (const char* track : {"\"main\"", "\"worker 0\"", "\"worker 1\"",
+                            "\"worker 2\"", "\"worker 3\""}) {
+    EXPECT_NE(trace.find(track), std::string::npos) << track;
+  }
+  // Every span event is a complete ("X") event inside the array.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+
+  fs::remove_all(config.output_dir);
+}
+
+}  // namespace
+}  // namespace hbmvolt::telemetry
