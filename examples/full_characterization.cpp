@@ -9,6 +9,14 @@
 // `threads` fans the sweeps out across pseudo-channels (0 = all cores,
 // default; the artifacts are byte-identical at any thread count -- see
 // docs/parallelism.md).
+//
+// Robustness drills (see docs/robustness.md) via environment variables:
+//   HBMVOLT_CHAOS_RATE=0.05  inject transient faults of every kind at the
+//                            given per-event rate (figures stay identical)
+//   HBMVOLT_CHAOS_SEED=N     chaos schedule seed (default 0xC4A05)
+//   HBMVOLT_HALT_AFTER=N     simulate the process dying after N sweep
+//                            steps; re-run with the same output_dir to
+//                            resume from checkpoint.json
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +25,20 @@
 #include "common/log.hpp"
 
 using namespace hbmvolt;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* text = std::getenv(name);
+  return text != nullptr ? std::strtod(text, nullptr) : fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* text = std::getenv(name);
+  return text != nullptr ? std::strtoull(text, nullptr, 0) : fallback;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kInfo);
@@ -33,6 +55,21 @@ int main(int argc, char** argv) {
     config.threads = static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
   }
 
+  const double chaos_rate = env_double("HBMVOLT_CHAOS_RATE", 0.0);
+  if (chaos_rate > 0.0) {
+    config.chaos.seed = env_u64("HBMVOLT_CHAOS_SEED", config.chaos.seed);
+    config.chaos.pmbus_nack_rate = chaos_rate;
+    config.chaos.wire_corrupt_rate = chaos_rate;
+    config.chaos.ina_dropout_rate = chaos_rate;
+    config.chaos.axi_fail_rate = chaos_rate;
+    config.chaos.spurious_crash_rate = chaos_rate;
+    std::printf("chaos: all transient kinds at rate %g (seed %#llx)\n",
+                chaos_rate,
+                static_cast<unsigned long long>(config.chaos.seed));
+  }
+  config.halt_after_steps =
+      static_cast<unsigned>(env_u64("HBMVOLT_HALT_AFTER", 0));
+
   core::Campaign campaign(board, config);
   auto result = campaign.run();
   if (!result.is_ok()) {
@@ -41,6 +78,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   const auto& campaign_result = result.value();
+
+  if (campaign_result.halted) {
+    std::printf("halted after %u step(s); checkpoint saved in %s -- "
+                "re-run with the same output_dir to resume\n",
+                config.halt_after_steps, config.output_dir.c_str());
+    return 0;
+  }
+  for (const auto& error : campaign_result.errors) {
+    std::fprintf(stderr, "degraded: %s\n", error.c_str());
+  }
 
   std::fputs(core::render_headline(campaign_result.headline).c_str(),
              stdout);

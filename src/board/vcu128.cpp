@@ -190,6 +190,7 @@ std::vector<axi::RunResult> Vcu128Board::run_traffic(
     unsigned port;
     std::size_t slot;  // index into this stack's ports/deltas vectors
   };
+  const std::uint64_t run = traffic_run_seq_++;
   std::vector<std::vector<unsigned>> ports(stacks);
   std::vector<Item> items;
   for (unsigned s = 0; s < stacks; ++s) {
@@ -202,6 +203,11 @@ std::vector<axi::RunResult> Vcu128Board::run_traffic(
 
   // Phase 2 (parallel): each item owns its output slot and touches only
   // its own TG + PC state, so any schedule produces the same deltas.
+  // Under the AXI fault hook, a failed dispatch attempt never reaches the
+  // TG (no state advances), so a retried transient yields the same delta
+  // as a clean run; an exhausted retry reports the port as NAKed.  A
+  // genuine NAK (crashed stack) returns OK with the nak flag set and is
+  // never retried — retrying cannot un-crash a stack.
   std::vector<std::vector<axi::TgStats>> deltas(stacks);
   std::vector<std::vector<std::uint8_t>> naks(stacks);
   for (unsigned s = 0; s < stacks; ++s) {
@@ -211,8 +217,24 @@ std::vector<axi::RunResult> Vcu128Board::run_traffic(
   core::parallel_for_each(pool, items.size(), [&](std::size_t i) {
     const Item& item = items[i];
     bool nak = false;
-    deltas[item.stack][item.slot] =
-        controllers_[item.stack]->run_routed_port(item.port, command, &nak);
+    if (axi_fault_hook_) {
+      unsigned attempt = 0;
+      Status dispatched =
+          retry_status(traffic_retry_, "axi.dispatch", [&]() -> Status {
+            const unsigned a = attempt++;
+            HBMVOLT_RETURN_IF_ERROR(
+                axi_fault_hook_(run, item.stack, item.port, a));
+            nak = false;
+            deltas[item.stack][item.slot] =
+                controllers_[item.stack]->run_routed_port(item.port, command,
+                                                          &nak);
+            return Status::ok();
+          });
+      if (!dispatched.is_ok()) nak = true;
+    } else {
+      deltas[item.stack][item.slot] =
+          controllers_[item.stack]->run_routed_port(item.port, command, &nak);
+    }
     naks[item.stack][item.slot] = nak ? 1 : 0;
   });
 
@@ -244,17 +266,29 @@ bool Vcu128Board::responding() const {
 
 Status Vcu128Board::power_cycle() {
   HBMVOLT_LOG_INFO("power-cycling VCC_HBM");
-  HBMVOLT_RETURN_IF_ERROR(bus_.write_byte(
-      config_.regulator_config.address,
-      static_cast<std::uint8_t>(pmbus::Command::kOperation), 0x00));
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("board.power_cycles");
+  }
+  // Every leg of the cycle retries: a transient NACK during recovery must
+  // not strand the board half-restarted.  clear_faults and set_vout go
+  // through the regulator driver, which carries its own retry + read-back
+  // verify; the raw OPERATION writes retry here.
+  HBMVOLT_RETURN_IF_ERROR(retry_status(pmbus_retry_, "board.operation", [&] {
+    return bus_.write_byte(
+        config_.regulator_config.address,
+        static_cast<std::uint8_t>(pmbus::Command::kOperation), 0x00);
+  }));
   HBMVOLT_RETURN_IF_ERROR(regulator_driver_->clear_faults());
   // Re-command nominal voltage while the output is still off: coming back
   // up at a stale undervolted setpoint would crash the stacks again.
   HBMVOLT_RETURN_IF_ERROR(
       regulator_driver_->set_vout(config_.regulator_config.vout_default));
-  return bus_.write_byte(config_.regulator_config.address,
-                         static_cast<std::uint8_t>(pmbus::Command::kOperation),
-                         pmbus::kOperationOn);
+  return retry_status(pmbus_retry_, "board.operation", [&] {
+    return bus_.write_byte(
+        config_.regulator_config.address,
+        static_cast<std::uint8_t>(pmbus::Command::kOperation),
+        pmbus::kOperationOn);
+  });
 }
 
 }  // namespace hbmvolt::board

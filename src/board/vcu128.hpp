@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "axi/controller.hpp"
+#include "common/retry.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "faults/fault_overlay.hpp"
@@ -81,6 +82,11 @@ class Vcu128Board {
   [[nodiscard]] const power::PowerModel& power_model() const noexcept {
     return rail_->model();
   }
+  /// The regulator *model* (the slave device itself, not the host driver);
+  /// chaos injection hangs its vout listener here.
+  [[nodiscard]] power::Isl68301& regulator_model() noexcept {
+    return *regulator_;
+  }
 
   // ---- Host-level operations the experiments use ----
 
@@ -123,8 +129,34 @@ class Vcu128Board {
   std::vector<axi::RunResult> run_traffic(const axi::TgCommand& command,
                                           core::ThreadPool* pool = nullptr);
 
+  /// Fault-injection hook consulted before each per-port traffic dispatch.
+  /// Called with (run sequence number, stack, port, attempt); a non-OK
+  /// return fails that dispatch attempt, which the board retries under
+  /// the traffic retry policy.  Must be a pure function of its arguments
+  /// (it runs concurrently from sweep workers).  Pass nullptr to clear.
+  using AxiFaultHook = std::function<Status(
+      std::uint64_t run, unsigned stack, unsigned port, unsigned attempt)>;
+  void set_axi_fault_hook(AxiFaultHook hook) {
+    axi_fault_hook_ = std::move(hook);
+  }
+
+  /// Retry knobs for per-port traffic dispatch under the AXI fault hook.
+  void set_traffic_retry_policy(RetryPolicy policy) noexcept {
+    traffic_retry_ = policy;
+  }
+
   /// True while every stack responds.
   [[nodiscard]] bool responding() const;
+
+  /// Snapshot-measurement sequence number.  Each measure_power_snapshot
+  /// call consumes one; the checkpoint records it so a resumed campaign
+  /// replays the exact per-sample noise streams of the original run.
+  [[nodiscard]] std::uint64_t power_snapshot_seq() const noexcept {
+    return power_snapshot_id_;
+  }
+  void set_power_snapshot_seq(std::uint64_t seq) noexcept {
+    power_snapshot_id_ = seq;
+  }
 
   /// Power-down / restart: OPERATION off then on via PMBus, which clears
   /// a crash (contents are lost).  Restores the previous voltage? No --
@@ -144,6 +176,11 @@ class Vcu128Board {
   std::vector<std::unique_ptr<hbm::HbmStack>> stacks_;
   std::vector<std::unique_ptr<axi::StackController>> controllers_;
   std::vector<std::unique_ptr<hbm::HbmIpCore>> ip_cores_;
+  AxiFaultHook axi_fault_hook_;
+  RetryPolicy traffic_retry_;
+  RetryPolicy pmbus_retry_;
+  /// Serial per-run_traffic sequence number fed to the AXI fault hook.
+  std::uint64_t traffic_run_seq_ = 0;
   /// Distinguishes the noise streams of successive snapshot measurements.
   std::uint64_t power_snapshot_id_ = 0;
 };

@@ -1,0 +1,168 @@
+// Deterministic chaos injection for the host stack.
+//
+// The paper's campaigns run for hours against hardware that misbehaves in
+// benign, transient ways: PMBus transactions NACK, wires pick up glitches
+// that PEC catches, the INA226 occasionally drops a conversation, an AXI
+// dispatch times out, and very rarely a stack falls over at a voltage the
+// fault model calls safe.  The chaos injector reproduces all of that on a
+// seed-driven schedule so the robustness machinery (common/retry.hpp, the
+// sweep crash watchdog, campaign checkpointing) can be tested against the
+// exact fault sequence, every run.
+//
+// The headline invariant (pinned by tests/chaos_test.cpp): under any
+// all-transient schedule, campaign figures are byte-identical to the
+// fault-free run.  Two properties make that provable rather than lucky:
+//
+//  * Injection happens *before* device access.  The Bus transaction hook
+//    runs before the address phase and the AXI hook before the traffic
+//    generator is touched, so a failed attempt advances no device state
+//    and no RNG stream; the retried attempt sees the world exactly as a
+//    clean first attempt would.
+//
+//  * Injection sites are cooldown-limited.  After any injection a site
+//    stays clean for `cooldown` subsequent events (default 4), so a
+//    bounded retry budget always outlasts the worst-case fault burst: an
+//    operation crossing the NACK, dropout, and wire sites can fail at
+//    most three attempts in a row before every site is in cooldown.
+//
+// Persistent faults (`regulator_dies_after` / `monitor_dies_after`) are
+// the opposite contract: the component NACKs forever after N
+// transactions, retries exhaust, and the campaign degrades gracefully --
+// structured errors in the summary, partial artifacts, no process death.
+//
+// Thread-safety: the Bus and vout paths are host-serial (sweep thread
+// only), matching the board model.  The AXI hook runs concurrently from
+// sweep workers, so its decision is a pure function of (run, stack, port,
+// attempt) and its accounting uses atomics.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace hbmvolt::chaos {
+
+enum class FaultKind : unsigned {
+  kPmbusNack = 0,    // transaction NACK (kNotFound) on any PMBus address
+  kWireCorrupt = 1,  // single-bit frame flip; PEC turns it into kDataLoss
+  kInaDropout = 2,   // power monitor unresponsive (kUnavailable)
+  kAxiFail = 3,      // per-port traffic dispatch failure (kUnavailable)
+  kSpuriousCrash = 4 // stack crash at a voltage the model calls safe
+};
+inline constexpr unsigned kFaultKindCount = 5;
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+struct ChaosConfig {
+  std::uint64_t seed = 0xC4A05;
+  /// Per-event injection probabilities, one per transient fault kind.
+  double pmbus_nack_rate = 0.0;
+  double wire_corrupt_rate = 0.0;
+  double ina_dropout_rate = 0.0;
+  double axi_fail_rate = 0.0;
+  double spurious_crash_rate = 0.0;
+  /// Events a site stays clean for after an injection.  The default of 4
+  /// pairs with RetryPolicy::max_attempts = 4: see the header comment.
+  unsigned cooldown = 4;
+  /// Persistent faults: the component stops responding forever after this
+  /// many transactions addressed to it (-1 = never).
+  std::int64_t regulator_dies_after = -1;
+  std::int64_t monitor_dies_after = -1;
+
+  [[nodiscard]] bool any() const noexcept {
+    return pmbus_nack_rate > 0.0 || wire_corrupt_rate > 0.0 ||
+           ina_dropout_rate > 0.0 || axi_fail_rate > 0.0 ||
+           spurious_crash_rate > 0.0 || regulator_dies_after >= 0 ||
+           monitor_dies_after >= 0;
+  }
+};
+
+/// The deterministic fault schedule: a pure function from (kind, three
+/// event coordinates) to fire/no-fire decisions and value draws.  Two
+/// schedules with the same seed and rates agree everywhere.
+class ChaosSchedule {
+ public:
+  explicit ChaosSchedule(const ChaosConfig& config) : config_(config) {}
+
+  /// True when the event at coordinates (a, b, c) injects `kind`.
+  [[nodiscard]] bool fires(FaultKind kind, std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c) const noexcept;
+
+  /// Deterministic value draw for the same coordinates (which bit to
+  /// flip, which stack to crash).
+  [[nodiscard]] std::uint64_t draw(FaultKind kind, std::uint64_t a,
+                                   std::uint64_t b,
+                                   std::uint64_t c) const noexcept;
+
+  [[nodiscard]] double rate(FaultKind kind) const noexcept;
+  [[nodiscard]] const ChaosConfig& config() const noexcept { return config_; }
+
+ private:
+  ChaosConfig config_;
+};
+
+/// Installs the schedule into a board's fault hooks (Bus transaction
+/// hook, wire corruptor, AXI dispatch hook, regulator vout listener) and
+/// keeps per-kind injection counts.  Construct after board bring-up --
+/// the board's REQUIRE-guarded constructor must never see injected
+/// faults.  The destructor uninstalls every removable hook.
+class ChaosInjector {
+ public:
+  ChaosInjector(board::Vcu128Board& board, ChaosConfig config);
+  ~ChaosInjector();
+
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  [[nodiscard]] const ChaosSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const noexcept {
+    return injected_[static_cast<unsigned>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_injected() const noexcept;
+
+ private:
+  /// One injection site: an event counter plus the post-injection
+  /// cooldown that bounds consecutive faults (see header comment).
+  struct Site {
+    std::uint64_t events = 0;
+    unsigned cooldown = 0;
+
+    /// Advances the site by one event; true when this event injects.
+    bool spin(const ChaosSchedule& schedule, FaultKind kind,
+              std::uint64_t key, unsigned cooldown_events);
+  };
+
+  Status on_transaction(std::uint8_t address, std::uint8_t command);
+  void on_frame(std::vector<std::uint8_t>& frame);
+  Status on_axi(std::uint64_t run, unsigned stack, unsigned port,
+                unsigned attempt);
+  void on_vout(Millivolts v);
+  void note(FaultKind kind);
+
+  board::Vcu128Board& board_;
+  ChaosSchedule schedule_;
+  std::unordered_map<std::uint8_t, Site> nack_sites_;
+  Site dropout_site_;
+  Site wire_site_;
+  Site crash_site_;
+  std::uint64_t regulator_txns_ = 0;
+  std::uint64_t monitor_txns_ = 0;
+  std::array<std::atomic<std::uint64_t>, kFaultKindCount> injected_{};
+  /// The regulator's vout listener list is append-only, so the listener
+  /// outlives this injector; it checks this flag before touching state.
+  std::shared_ptr<std::atomic<bool>> alive_;
+};
+
+}  // namespace hbmvolt::chaos

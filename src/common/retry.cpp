@@ -1,0 +1,95 @@
+#include "common/retry.hpp"
+
+#include "common/log.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hbmvolt {
+
+bool RetryPolicy::retryable(const Status& status) const noexcept {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return retry_nack;
+    case StatusCode::kDataLoss:
+      return retry_data_loss;
+    case StatusCode::kUnavailable:
+      return retry_unavailable;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t RetryPolicy::backoff_us(unsigned failures) const noexcept {
+  if (failures == 0) return 0;
+  std::uint64_t us = backoff_start_us;
+  for (unsigned i = 1; i < failures; ++i) {
+    us *= 2;
+    if (us >= backoff_cap_us) return backoff_cap_us;
+  }
+  return us < backoff_cap_us ? us : backoff_cap_us;
+}
+
+namespace retry_detail {
+namespace {
+
+const char* code_counter(const Status& status) noexcept {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return "retry.nack";
+    case StatusCode::kDataLoss:
+      return "retry.data_loss";
+    case StatusCode::kUnavailable:
+      return "retry.unavailable";
+    default:
+      return "retry.other";
+  }
+}
+
+}  // namespace
+
+void note_retry(const char* op, const Status& status,
+                std::uint64_t backoff_us) {
+  (void)op;
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("retry.attempts");
+    tel->count(code_counter(status));
+    tel->count("retry.backoff_us", backoff_us);
+  }
+}
+
+void note_recovered(const char* op, unsigned failures) {
+  (void)op;
+  (void)failures;
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("retry.recovered");
+  }
+}
+
+void note_exhausted(const char* op, const Status& status) {
+  if (auto* tel = telemetry::Telemetry::active()) {
+    tel->count("retry.exhausted");
+  }
+  HBMVOLT_LOG_WARN("%s: retries exhausted: %s", op,
+                   status.to_string().c_str());
+}
+
+}  // namespace retry_detail
+
+Status retry_status(const RetryPolicy& policy, const char* op,
+                    const std::function<Status()>& attempt) {
+  unsigned failures = 0;
+  for (;;) {
+    Status status = attempt();
+    if (status.is_ok()) {
+      if (failures > 0) retry_detail::note_recovered(op, failures);
+      return status;
+    }
+    if (!policy.retryable(status)) return status;
+    if (++failures >= policy.max_attempts) {
+      retry_detail::note_exhausted(op, status);
+      return status;
+    }
+    retry_detail::note_retry(op, status, policy.backoff_us(failures));
+  }
+}
+
+}  // namespace hbmvolt

@@ -1,0 +1,89 @@
+// Bounded-retry policy for host-side transactions.
+//
+// The paper's experiments run for hours against a hostile platform: PMBus
+// transactions NACK, PEC catches wire corruption, sensors drop out.  All
+// of those are *transient* -- the correct host response is to retry the
+// transaction, not to abort the campaign or average the failure into a
+// measurement.  This header is the one retry implementation every driver
+// shares, so the knobs (attempt budget, which status codes are worth
+// retrying) live in one place and the telemetry counters
+// (retry.attempts / retry.recovered / retry.exhausted / retry.backoff_us,
+// plus per-code retry.nack / retry.data_loss / retry.unavailable) give an
+// exact account of what the harness absorbed.
+//
+// Backoff is *simulated*: the model has no wall-clock to wait on, so the
+// deterministic exponential backoff is accounted (summed into
+// retry.backoff_us) rather than slept.  Determinism matters more than
+// realism here -- a retried run must produce byte-identical figures (see
+// docs/robustness.md), which a real sleep would not threaten but a
+// time-dependent decision would.
+//
+// Thread-safety: retry_status/retry_result keep all state on the stack
+// and the telemetry counters are lock-free atomics, so concurrent retries
+// from sweep workers (board traffic dispatch) are safe.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.hpp"
+
+namespace hbmvolt {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  unsigned max_attempts = 4;
+  /// Simulated backoff before the first retry, doubling per failure.
+  std::uint64_t backoff_start_us = 50;
+  /// Cap on a single simulated backoff interval.
+  std::uint64_t backoff_cap_us = 10'000;
+  // Which failure classes are worth retrying.  The defaults retry every
+  // transient bus condition; programming errors (kInvalidArgument,
+  // kOutOfRange, ...) never retry.
+  bool retry_nack = true;         // kNotFound: address NACK
+  bool retry_data_loss = true;    // kDataLoss: PEC mismatch / bad read-back
+  bool retry_unavailable = true;  // kUnavailable: device dropout
+
+  [[nodiscard]] bool retryable(const Status& status) const noexcept;
+  /// Simulated backoff after `failures` consecutive failures (>= 1).
+  [[nodiscard]] std::uint64_t backoff_us(unsigned failures) const noexcept;
+};
+
+namespace retry_detail {
+// Telemetry sinks (no-ops when telemetry is inactive); out-of-line so the
+// template below does not pull telemetry headers into every driver.
+void note_retry(const char* op, const Status& status,
+                std::uint64_t backoff_us);
+void note_recovered(const char* op, unsigned failures);
+void note_exhausted(const char* op, const Status& status);
+}  // namespace retry_detail
+
+/// Runs `attempt` until it succeeds, fails non-retryably, or the attempt
+/// budget is spent; returns the last status.
+Status retry_status(const RetryPolicy& policy, const char* op,
+                    const std::function<Status()>& attempt);
+
+/// Result-returning flavor of retry_status; `attempt` is any callable
+/// returning Result<T>.
+template <typename Fn>
+auto retry_result(const RetryPolicy& policy, const char* op,
+                  const Fn& attempt) -> decltype(attempt()) {
+  unsigned failures = 0;
+  for (;;) {
+    auto result = attempt();
+    if (result.is_ok()) {
+      if (failures > 0) retry_detail::note_recovered(op, failures);
+      return result;
+    }
+    if (!policy.retryable(result.status())) return result;
+    if (++failures >= policy.max_attempts) {
+      retry_detail::note_exhausted(op, result.status());
+      return result;
+    }
+    retry_detail::note_retry(op, result.status(),
+                             policy.backoff_us(failures));
+  }
+}
+
+}  // namespace hbmvolt

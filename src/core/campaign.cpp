@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <bit>
 #include <climits>
 #include <cmath>
 #include <filesystem>
@@ -7,6 +8,8 @@
 #include <optional>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
+#include "core/checkpoint.hpp"
 #include "core/parallel.hpp"
 
 #ifndef HBMVOLT_GIT_DESCRIBE
@@ -64,6 +67,15 @@ std::string manifest_json(const CampaignConfig& config,
     out += "    " + json_quoted(name) + ": " + std::to_string(value);
   }
   out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"errors\": [";
+  first = true;
+  for (const std::string& error : result.errors) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_quoted(error);
+  }
+  out += first ? "],\n" : "\n  ],\n";
 
   out += "  \"files\": [";
   first = true;
@@ -126,11 +138,114 @@ HeadlineNumbers collect_headline_numbers(const faults::FaultMap& map,
 Campaign::Campaign(board::Vcu128Board& board, CampaignConfig config)
     : board_(board), config_(std::move(config)) {}
 
+std::uint64_t Campaign::config_fingerprint() const {
+  const auto& board = board_.config();
+  std::uint64_t fp = 0xC4A05F1;
+  const auto fold = [&fp](std::uint64_t value) { fp = mix_seed(fp, value); };
+  const auto fold_double = [&fold](double value) {
+    fold(std::bit_cast<std::uint64_t>(value));
+  };
+  const auto fold_sweep = [&fold](const SweepConfig& sweep) {
+    fold(static_cast<std::uint64_t>(sweep.start.value));
+    fold(static_cast<std::uint64_t>(sweep.stop.value));
+    fold(static_cast<std::uint64_t>(sweep.step_mv));
+  };
+  // Board physics.
+  fold(board.seed);
+  fold(board.geometry.stacks);
+  fold(board.geometry.channels_per_stack);
+  fold(board.geometry.pcs_per_channel);
+  fold(board.geometry.bits_per_pc);
+  fold(board.monitor_config.seed);
+  fold_double(board.monitor_config.noise_sigma_amps);
+  fold(static_cast<std::uint64_t>(board.regulator_config.vout_default.value));
+  // Reliability sweep.
+  fold_sweep(config_.reliability.sweep);
+  fold(config_.reliability.batch_size);
+  fold(config_.reliability.mem_beats);
+  fold(config_.reliability.pattern_ones ? 1 : 0);
+  fold(config_.reliability.pattern_zeros ? 1 : 0);
+  fold(static_cast<std::uint64_t>(config_.reliability.crash_policy));
+  fold(config_.reliability.crash_retries);
+  // Power sweep.
+  fold_sweep(config_.power.sweep);
+  for (const unsigned ports : config_.power.port_counts) fold(ports);
+  fold(config_.power.samples);
+  fold(config_.power.traffic_beats);
+  // Chaos schedule: a different schedule is a different run -- resuming
+  // across one would splice fault histories.
+  fold(config_.chaos.seed);
+  fold_double(config_.chaos.pmbus_nack_rate);
+  fold_double(config_.chaos.wire_corrupt_rate);
+  fold_double(config_.chaos.ina_dropout_rate);
+  fold_double(config_.chaos.axi_fail_rate);
+  fold_double(config_.chaos.spurious_crash_rate);
+  fold(config_.chaos.cooldown);
+  fold(static_cast<std::uint64_t>(config_.chaos.regulator_dies_after));
+  fold(static_cast<std::uint64_t>(config_.chaos.monitor_dies_after));
+  return fp;
+}
+
+namespace {
+
+/// Rebuilds the merged FaultMap from checkpointed rows.
+faults::FaultMap map_from_checkpoint(const hbm::HbmGeometry& geometry,
+                                     const CampaignCheckpoint& ckpt) {
+  faults::FaultMap map(geometry);
+  for (const CheckpointFaultRow& row : ckpt.reliability) {
+    const Millivolts v{row.mv};
+    if (row.crashed) map.record_crash(v);
+    for (unsigned pc = 0; pc < row.pcs.size(); ++pc) {
+      map.record(v, pc, row.pcs[pc]);
+    }
+  }
+  return map;
+}
+
+/// Rebuilds a (possibly partial) power characterization from checkpointed
+/// rows -- the degraded-result path when the power phase died.
+PowerCharacterization power_from_checkpoint(const board::Vcu128Board& board,
+                                            const CampaignCheckpoint& ckpt,
+                                            Millivolts v_nom) {
+  PowerCharacterization out;
+  out.v_nom = v_nom;
+  const double total =
+      static_cast<double>(board.geometry().total_pcs());
+  for (const CheckpointPowerSeries& series : ckpt.power) {
+    PowerSeries s;
+    s.ports = series.ports;
+    s.utilization = total > 0.0 ? series.ports / total : 0.0;
+    for (const CheckpointPowerRow& row : series.rows) {
+      s.voltages.push_back(Millivolts{row.mv});
+      s.power.push_back(row.watts);
+    }
+    out.series.push_back(std::move(s));
+  }
+  if (!out.series.empty()) {
+    const auto* max_series = &out.series.front();
+    for (const auto& s : out.series) {
+      if (s.ports > max_series->ports) max_series = &s;
+    }
+    if (const auto p = max_series->power_at(v_nom)) out.reference = *p;
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<CampaignResult> Campaign::run() {
+  namespace fs = std::filesystem;
   // The telemetry scope covers the whole run.  A disabled config installs
   // nothing, so every instrumentation site below costs one branch.
   telemetry::Telemetry telemetry(config_.telemetry);
   telemetry::ScopedTelemetry scoped(telemetry);
+
+  // Chaos goes in after board bring-up (the constructor's REQUIRE-guarded
+  // setup must never see injected faults) and uninstalls on scope exit.
+  std::optional<chaos::ChaosInjector> injector;
+  if (config_.chaos.any()) {
+    injector.emplace(board_, config_.chaos);
+  }
 
   // threads == 1 keeps the serial reference path (no pool at all); any
   // other value fans the per-PC work out, with byte-identical results.
@@ -139,31 +254,192 @@ Result<CampaignResult> Campaign::run() {
     pool = std::make_unique<ThreadPool>(config_.threads);
   }
 
+  // ---- Checkpoint load / resume ----
+  const std::uint64_t fingerprint = config_fingerprint();
+  const bool checkpointing = !config_.dry_run && config_.checkpoint;
+  const std::string ckpt_path =
+      (fs::path(config_.output_dir) / "checkpoint.json").string();
+  CampaignCheckpoint ckpt;
+  ckpt.fingerprint = fingerprint;
+  bool resumed = false;
+  if (checkpointing) {
+    std::error_code ec;
+    fs::create_directories(config_.output_dir, ec);
+    auto loaded = load_checkpoint(ckpt_path);
+    if (loaded.is_ok()) {
+      if (loaded.value().fingerprint == fingerprint) {
+        ckpt = std::move(loaded).value();
+        resumed = true;
+        HBMVOLT_LOG_INFO("campaign: resuming from %s (%zu reliability "
+                         "steps, %zu power series)",
+                         ckpt_path.c_str(), ckpt.reliability.size(),
+                         ckpt.power.size());
+        telemetry.count("checkpoint.loads");
+      } else {
+        HBMVOLT_LOG_WARN("campaign: checkpoint at %s belongs to a different "
+                         "configuration; starting fresh",
+                         ckpt_path.c_str());
+      }
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      HBMVOLT_LOG_WARN("campaign: unreadable checkpoint (%s); starting "
+                       "fresh",
+                       loaded.status().to_string().c_str());
+    }
+  }
+
+  // Shared step bookkeeping: every completed sweep step saves the
+  // checkpoint, and halt_after_steps simulates dying after step N.
+  unsigned steps_completed = 0;
+  bool halted = false;
+  bool save_warned = false;
+  const auto write_ckpt = [&]() -> bool {
+    if (checkpointing) {
+      const Status saved = save_checkpoint(ckpt, ckpt_path);
+      if (saved.is_ok()) {
+        telemetry.count("checkpoint.writes");
+      } else {
+        // A broken checkpoint disk must not kill the measurement run; the
+        // campaign just loses resumability.
+        telemetry.count("checkpoint.write_failures");
+        if (!save_warned) {
+          save_warned = true;
+          HBMVOLT_LOG_WARN("campaign: checkpoint save failed (%s); "
+                           "continuing without resumability",
+                           saved.to_string().c_str());
+        }
+      }
+    }
+    ++steps_completed;
+    if (config_.halt_after_steps > 0 &&
+        steps_completed >= config_.halt_after_steps) {
+      halted = true;
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<std::string> errors;
   std::optional<CampaignResult> result;
   {
     telemetry::Span campaign_span("campaign");
+    const Millivolts v_nom = board_.config().regulator_config.vout_default;
 
+    // ---- Reliability phase ----
+    faults::FaultMap restored = map_from_checkpoint(board_.geometry(), ckpt);
     std::optional<Result<faults::FaultMap>> map;
-    {
+    if (resumed && ckpt.reliability_done) {
+      map.emplace(std::move(restored));
+    } else {
       telemetry::Span span("campaign.reliability");
       HBMVOLT_LOG_INFO("campaign: reliability sweep (Algorithm 1)");
       ReliabilityTester tester(board_, config_.reliability);
-      map.emplace(tester.run(pool.get()));
+      ReliabilityResume resume;
+      resume.base = &restored;
+      for (const CheckpointFaultRow& row : ckpt.reliability) {
+        resume.completed.push_back({Millivolts{row.mv}, row.crashed});
+      }
+      ReliabilityTester::StepFn on_step;
+      if (checkpointing || config_.halt_after_steps > 0) {
+        on_step = [&](Millivolts v, const faults::FaultMap& m) {
+          if (const faults::VoltageObservation* obs = m.at(v)) {
+            ckpt.reliability.push_back({v.value, obs->crashed, obs->pcs});
+          }
+          return write_ckpt();
+        };
+      }
+      map.emplace(tester.run(pool.get(), resumed ? &resume : nullptr,
+                             on_step));
+      if (map->is_ok()) {
+        ckpt.reliability_done = true;
+        if (checkpointing && !halted) (void)save_checkpoint(ckpt, ckpt_path);
+      }
     }
-    if (!map->is_ok()) return map->status();
+    if (!map->is_ok() && !halted) {
+      // Persistent fault mid-sweep: keep what was measured, report a
+      // structured error, and continue with partial data.
+      telemetry.count("campaign.phase_errors");
+      errors.push_back("reliability: " + map->status().to_string());
+      HBMVOLT_LOG_WARN("campaign: reliability phase failed (%s); degrading "
+                       "to partial results",
+                       map->status().to_string().c_str());
+      map.emplace(map_from_checkpoint(board_.geometry(), ckpt));
+    }
 
+    // ---- Power phase ----
     std::optional<Result<PowerCharacterization>> power;
-    {
+    if (!halted && errors.empty()) {
       telemetry::Span span("campaign.power");
       HBMVOLT_LOG_INFO("campaign: power sweep");
       PowerCharacterizer characterizer(board_, config_.power);
-      power.emplace(characterizer.run(pool.get()));
+      PowerResume resume;
+      if (resumed) {
+        // Replay the snapshot sequence so resumed measurements draw the
+        // original per-sample noise streams.
+        board_.set_power_snapshot_seq(ckpt.power_snapshot_seq);
+        resume.series =
+            power_from_checkpoint(board_, ckpt, v_nom).series;
+      }
+      PowerCharacterizer::StepFn on_step;
+      if (checkpointing || config_.halt_after_steps > 0) {
+        on_step = [&](const PowerSeries& s) {
+          CheckpointPowerSeries* slot = nullptr;
+          for (CheckpointPowerSeries& existing : ckpt.power) {
+            if (existing.ports == s.ports) {
+              slot = &existing;
+              break;
+            }
+          }
+          if (slot == nullptr) {
+            ckpt.power.push_back({s.ports, {}});
+            slot = &ckpt.power.back();
+          }
+          slot->rows.clear();
+          for (std::size_t i = 0; i < s.voltages.size(); ++i) {
+            slot->rows.push_back({s.voltages[i].value, s.power[i]});
+          }
+          ckpt.power_snapshot_seq = board_.power_snapshot_seq();
+          return write_ckpt();
+        };
+      }
+      power.emplace(characterizer.run(pool.get(),
+                                      resumed ? &resume : nullptr, on_step));
     }
-    if (!power->is_ok()) return power->status();
+    if (!power.has_value() || (!power->is_ok() && !halted)) {
+      if (power.has_value() && !power->is_ok()) {
+        telemetry.count("campaign.phase_errors");
+        errors.push_back("power: " + power->status().to_string());
+        HBMVOLT_LOG_WARN("campaign: power phase failed (%s); degrading to "
+                         "partial results",
+                         power->status().to_string().c_str());
+      }
+      power.emplace(power_from_checkpoint(board_, ckpt, v_nom));
+    }
+
+    if (halted) {
+      // Simulated kill: the checkpoint is on disk, nothing else is
+      // written.  A re-run against the same output_dir resumes.
+      HBMVOLT_LOG_INFO("campaign: halted after %u step(s); checkpoint "
+                       "retained",
+                       steps_completed);
+      CampaignResult out{/*guardband=*/{},
+                         /*headline=*/{},
+                         /*fault_map=*/map_from_checkpoint(
+                             board_.geometry(), ckpt),
+                         /*power=*/power_from_checkpoint(board_, ckpt,
+                                                         v_nom),
+                         /*tradeoff_points=*/{},
+                         /*files_written=*/{},
+                         /*telemetry_summary=*/{},
+                         /*errors=*/std::move(errors),
+                         /*halted=*/true};
+      pool.reset();
+      if (config_.telemetry.enabled) {
+        out.telemetry_summary = telemetry.summary();
+      }
+      return out;
+    }
 
     telemetry::Span analyze_span("campaign.analyze");
-    const Millivolts v_nom = board_.config().regulator_config.vout_default;
-
     result.emplace(CampaignResult{
         /*guardband=*/analyze_guardband(map->value(), v_nom),
         /*headline=*/
@@ -172,7 +448,9 @@ Result<CampaignResult> Campaign::run() {
         /*power=*/std::move(*power).value(),
         /*tradeoff_points=*/{},
         /*files_written=*/{},
-        /*telemetry_summary=*/{}});
+        /*telemetry_summary=*/{},
+        /*errors=*/std::move(errors),
+        /*halted=*/false});
     // The analyzer must reference the map's final home (result->fault_map),
     // not the moved-from local.
     TradeoffAnalyzer analyzer(result->fault_map, v_nom,
@@ -185,6 +463,18 @@ Result<CampaignResult> Campaign::run() {
 
   if (!config_.dry_run) {
     HBMVOLT_RETURN_IF_ERROR(write_artifacts(*result, telemetry));
+  }
+  if (checkpointing) {
+    if (result->errors.empty()) {
+      // Clean finish: the artifacts are complete, the checkpoint has
+      // served its purpose.
+      std::error_code ec;
+      fs::remove(ckpt_path, ec);
+    } else {
+      HBMVOLT_LOG_WARN("campaign: finished with %zu error(s); checkpoint "
+                       "kept for retry",
+                       result->errors.size());
+    }
   }
   if (config_.telemetry.enabled) {
     result->telemetry_summary = telemetry.summary();
@@ -236,6 +526,15 @@ Status Campaign::write_artifacts(CampaignResult& result,
     summary += render_fig5(result.fault_map, 20);
     summary += "\n";
     summary += render_fig6(result.tradeoff_points, config_.tradeoff);
+    if (!result.errors.empty()) {
+      // Only degraded runs grow this section, so a clean run under
+      // transient chaos stays byte-identical to the fault-free summary.
+      summary += "\nerrors\n------\n";
+      for (const std::string& error : result.errors) {
+        summary += error;
+        summary += "\n";
+      }
+    }
     HBMVOLT_RETURN_IF_ERROR(write_file("summary.txt", summary));
   }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "board/vcu128.hpp"
+#include "chaos/chaos.hpp"
 #include "core/fault_characterizer.hpp"
 #include "core/guardband.hpp"
 #include "core/power_characterizer.hpp"
@@ -46,6 +47,18 @@ struct CampaignConfig {
   /// telemetry.jsonl + trace.json next to the figures.  Never alters the
   /// figures themselves — see docs/observability.md.
   telemetry::TelemetryConfig telemetry{};
+  /// Chaos injection (see src/chaos/): transient faults are absorbed by
+  /// the retry layer and never alter the figures; persistent faults
+  /// degrade the campaign to partial artifacts plus structured errors.
+  chaos::ChaosConfig chaos{};
+  /// Write <output_dir>/checkpoint.json after every completed sweep step
+  /// so a killed campaign resumes where it stopped with byte-identical
+  /// final artifacts (ignored under dry_run).  See docs/robustness.md.
+  bool checkpoint = true;
+  /// Test/drill knob: simulate the process dying after this many
+  /// checkpointed steps (0 = never).  The run returns with `halted` set,
+  /// artifacts unwritten, and the checkpoint on disk.
+  unsigned halt_after_steps = 0;
 };
 
 struct CampaignResult {
@@ -58,6 +71,13 @@ struct CampaignResult {
   /// Human-readable telemetry table (empty when telemetry is disabled);
   /// the examples print it after their own output.
   std::string telemetry_summary;
+  /// Structured phase errors (e.g. "reliability: UNAVAILABLE: ...") when a
+  /// persistent fault degraded the run; the artifacts written are partial
+  /// and the checkpoint is kept for a later retry.  Empty on clean runs.
+  std::vector<std::string> errors;
+  /// True when halt_after_steps stopped the run; resume by re-running the
+  /// same campaign against the same output_dir.
+  bool halted = false;
 };
 
 /// Collects the headline table from a finished fault map + power sweep
@@ -75,6 +95,12 @@ class Campaign {
  private:
   Status write_artifacts(CampaignResult& result,
                          telemetry::Telemetry& telemetry) const;
+  /// Fingerprint of the physics-relevant configuration (board seed,
+  /// geometry, sweep grids, chaos schedule...).  Deliberately excludes
+  /// threads, telemetry, output_dir, and the checkpoint/halt knobs: those
+  /// never change the figures, so a checkpoint stays resumable across
+  /// them.
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
 
   board::Vcu128Board& board_;
   CampaignConfig config_;

@@ -1,0 +1,217 @@
+#include "core/checkpoint.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace hbmvolt::core {
+
+namespace {
+
+std::string hex_bits(double value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                std::bit_cast<std::uint64_t>(value));
+  return buf;
+}
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+  return buf;
+}
+
+Result<std::uint64_t> parse_hex_u64(const json::Value* value,
+                                    const char* what) {
+  if (value == nullptr || !value->is_string()) {
+    return data_loss(std::string("checkpoint: missing hex field ") + what);
+  }
+  std::uint64_t bits = 0;
+  for (const char c : value->string) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') {
+      bits |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return data_loss(std::string("checkpoint: bad hex digit in ") + what);
+    }
+  }
+  return bits;
+}
+
+Result<std::int64_t> require_int(const json::Value* value, const char* what) {
+  if (value == nullptr || !value->is_number()) {
+    return data_loss(std::string("checkpoint: missing field ") + what);
+  }
+  return value->as_int();
+}
+
+}  // namespace
+
+std::string checkpoint_to_json(const CampaignCheckpoint& ckpt) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"version\": " << CampaignCheckpoint::kVersion << ",\n";
+  out << "  \"fingerprint\": \"" << hex_u64(ckpt.fingerprint) << "\",\n";
+  out << "  \"reliability_done\": "
+      << (ckpt.reliability_done ? "true" : "false") << ",\n";
+  out << "  \"power_snapshot_seq\": " << ckpt.power_snapshot_seq << ",\n";
+  out << "  \"reliability\": [";
+  for (std::size_t i = 0; i < ckpt.reliability.size(); ++i) {
+    const CheckpointFaultRow& row = ckpt.reliability[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"mv\": " << row.mv << ", \"crashed\": "
+        << (row.crashed ? "true" : "false") << ", \"pcs\": [";
+    for (std::size_t p = 0; p < row.pcs.size(); ++p) {
+      const faults::PcFaultRecord& pc = row.pcs[p];
+      if (p != 0) out << ", ";
+      out << '[' << pc.bits_tested << ", " << pc.flips_1to0 << ", "
+          << pc.flips_0to1 << ", " << pc.bits_tested_ones << ", "
+          << pc.bits_tested_zeros << ']';
+    }
+    out << "]}";
+  }
+  out << (ckpt.reliability.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"power\": [";
+  for (std::size_t i = 0; i < ckpt.power.size(); ++i) {
+    const CheckpointPowerSeries& series = ckpt.power[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"ports\": " << series.ports << ", \"rows\": [";
+    for (std::size_t r = 0; r < series.rows.size(); ++r) {
+      if (r != 0) out << ", ";
+      out << "{\"mv\": " << series.rows[r].mv << ", \"watts\": \""
+          << hex_bits(series.rows[r].watts.value) << "\"}";
+    }
+    out << "]}";
+  }
+  out << (ckpt.power.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+Result<CampaignCheckpoint> checkpoint_from_json(std::string_view text) {
+  auto parsed = json::parse(text);
+  if (!parsed.is_ok()) return parsed.status();
+  const json::Value& root = parsed.value();
+  if (!root.is_object()) return data_loss("checkpoint: root is not an object");
+
+  auto version = require_int(root.find("version"), "version");
+  if (!version.is_ok()) return version.status();
+  if (version.value() != CampaignCheckpoint::kVersion) {
+    return data_loss("checkpoint: unsupported version");
+  }
+
+  CampaignCheckpoint ckpt;
+  auto fingerprint = parse_hex_u64(root.find("fingerprint"), "fingerprint");
+  if (!fingerprint.is_ok()) return fingerprint.status();
+  ckpt.fingerprint = fingerprint.value();
+
+  const json::Value* done = root.find("reliability_done");
+  if (done == nullptr || done->kind != json::Value::Kind::kBool) {
+    return data_loss("checkpoint: missing field reliability_done");
+  }
+  ckpt.reliability_done = done->boolean;
+
+  auto seq = require_int(root.find("power_snapshot_seq"),
+                         "power_snapshot_seq");
+  if (!seq.is_ok()) return seq.status();
+  ckpt.power_snapshot_seq = static_cast<std::uint64_t>(seq.value());
+
+  const json::Value* reliability = root.find("reliability");
+  if (reliability == nullptr || !reliability->is_array()) {
+    return data_loss("checkpoint: missing field reliability");
+  }
+  for (const json::Value& entry : reliability->items) {
+    CheckpointFaultRow row;
+    auto mv = require_int(entry.find("mv"), "reliability.mv");
+    if (!mv.is_ok()) return mv.status();
+    row.mv = static_cast<int>(mv.value());
+    const json::Value* crashed = entry.find("crashed");
+    if (crashed == nullptr || crashed->kind != json::Value::Kind::kBool) {
+      return data_loss("checkpoint: missing field reliability.crashed");
+    }
+    row.crashed = crashed->boolean;
+    const json::Value* pcs = entry.find("pcs");
+    if (pcs == nullptr || !pcs->is_array()) {
+      return data_loss("checkpoint: missing field reliability.pcs");
+    }
+    for (const json::Value& tuple : pcs->items) {
+      if (!tuple.is_array() || tuple.items.size() != 5) {
+        return data_loss("checkpoint: malformed PC record");
+      }
+      faults::PcFaultRecord pc;
+      pc.bits_tested = tuple.items[0].as_uint();
+      pc.flips_1to0 = tuple.items[1].as_uint();
+      pc.flips_0to1 = tuple.items[2].as_uint();
+      pc.bits_tested_ones = tuple.items[3].as_uint();
+      pc.bits_tested_zeros = tuple.items[4].as_uint();
+      row.pcs.push_back(pc);
+    }
+    ckpt.reliability.push_back(std::move(row));
+  }
+
+  const json::Value* power = root.find("power");
+  if (power == nullptr || !power->is_array()) {
+    return data_loss("checkpoint: missing field power");
+  }
+  for (const json::Value& entry : power->items) {
+    CheckpointPowerSeries series;
+    auto ports = require_int(entry.find("ports"), "power.ports");
+    if (!ports.is_ok()) return ports.status();
+    series.ports = static_cast<unsigned>(ports.value());
+    const json::Value* rows = entry.find("rows");
+    if (rows == nullptr || !rows->is_array()) {
+      return data_loss("checkpoint: missing field power.rows");
+    }
+    for (const json::Value& row : rows->items) {
+      CheckpointPowerRow out_row;
+      auto mv = require_int(row.find("mv"), "power.rows.mv");
+      if (!mv.is_ok()) return mv.status();
+      out_row.mv = static_cast<int>(mv.value());
+      auto bits = parse_hex_u64(row.find("watts"), "power.rows.watts");
+      if (!bits.is_ok()) return bits.status();
+      out_row.watts = Watts{std::bit_cast<double>(bits.value())};
+      series.rows.push_back(out_row);
+    }
+    ckpt.power.push_back(std::move(series));
+  }
+  return ckpt;
+}
+
+Status save_checkpoint(const CampaignCheckpoint& ckpt,
+                       const std::string& path) {
+  // Atomic write: the previous checkpoint survives a kill at any point.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return unavailable("cannot open checkpoint tmp file: " + tmp);
+    out << checkpoint_to_json(ckpt);
+    if (!out.good()) return unavailable("checkpoint write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return unavailable("checkpoint rename failed: " + ec.message());
+  }
+  return Status::ok();
+}
+
+Result<CampaignCheckpoint> load_checkpoint(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return not_found("no checkpoint at " + path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return unavailable("cannot read checkpoint: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return checkpoint_from_json(buffer.str());
+}
+
+}  // namespace hbmvolt::core

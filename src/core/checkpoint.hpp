@@ -1,0 +1,82 @@
+// Campaign checkpoint: everything a killed-and-restarted campaign needs
+// to resume and still produce byte-identical artifacts.
+//
+// The checkpoint is written to <output_dir>/checkpoint.json after every
+// completed sweep step (atomically: tmp file + rename, so a kill mid-write
+// leaves the previous checkpoint intact).  It records
+//
+//  * a config fingerprint -- resume silently starts fresh when the
+//    campaign's physics-relevant configuration changed;
+//  * per-voltage fault rows (the merged FaultMap so far) and per-series
+//    power rows;
+//  * the board's power-snapshot sequence number, so resumed measurements
+//    draw the exact noise streams the original run would have.
+//
+// Serialization detail that byte-identity depends on: Watts values are
+// stored as 16-digit hex bit patterns of the IEEE-754 double, never as
+// decimal text -- a decimal round-trip is one ulp away from a diff in
+// fig2.csv.  Counters are exact JSON integers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "faults/fault_map.hpp"
+
+namespace hbmvolt::core {
+
+/// One completed reliability sweep step: the per-PC records at `mv`, or a
+/// crash marker.
+struct CheckpointFaultRow {
+  int mv = 0;
+  bool crashed = false;
+  std::vector<faults::PcFaultRecord> pcs;
+};
+
+struct CheckpointPowerRow {
+  int mv = 0;
+  Watts watts{0.0};
+};
+
+/// One (possibly partial) power series at a fixed port count.
+struct CheckpointPowerSeries {
+  unsigned ports = 0;
+  std::vector<CheckpointPowerRow> rows;
+};
+
+struct CampaignCheckpoint {
+  static constexpr int kVersion = 1;
+  /// Fingerprint of the physics-relevant campaign config (see
+  /// campaign.cpp); a mismatch means the checkpoint belongs to a
+  /// different experiment and resume must start fresh.
+  std::uint64_t fingerprint = 0;
+  bool reliability_done = false;
+  std::vector<CheckpointFaultRow> reliability;
+  std::vector<CheckpointPowerSeries> power;
+  /// Board power-snapshot sequence number at checkpoint time.
+  std::uint64_t power_snapshot_seq = 0;
+};
+
+/// Serializes to the checkpoint.json text (stable field order).
+[[nodiscard]] std::string checkpoint_to_json(const CampaignCheckpoint& ckpt);
+
+/// Parses checkpoint.json text; kDataLoss on malformed or
+/// version-mismatched input.
+[[nodiscard]] Result<CampaignCheckpoint> checkpoint_from_json(
+    std::string_view text);
+
+/// Atomically writes the checkpoint to `path` (tmp file + rename).
+[[nodiscard]] Status save_checkpoint(const CampaignCheckpoint& ckpt,
+                                     const std::string& path);
+
+/// Loads a checkpoint; kNotFound when the file does not exist, kDataLoss
+/// when it exists but cannot be parsed.
+[[nodiscard]] Result<CampaignCheckpoint> load_checkpoint(
+    const std::string& path);
+
+}  // namespace hbmvolt::core

@@ -46,7 +46,8 @@ PowerCharacterizer::PowerCharacterizer(board::Vcu128Board& board,
   HBMVOLT_REQUIRE(config_.samples > 0, "need at least one sample");
 }
 
-Result<PowerCharacterization> PowerCharacterizer::run(ThreadPool* pool) {
+Result<PowerCharacterization> PowerCharacterizer::run(
+    ThreadPool* pool, const PowerResume* resume, const StepFn& on_step) {
   PowerCharacterization out;
   out.v_nom = board_.config().regulator_config.vout_default;
 
@@ -57,24 +58,56 @@ Result<PowerCharacterization> PowerCharacterizer::run(ThreadPool* pool) {
     board_.set_active_ports(ports);
     series.utilization = board_.utilization();
 
+    // Resume: adopt the checkpointed rows of this series and skip their
+    // grid points.  Crash points are never checkpointed (no row was
+    // measured), so a resumed sweep re-discovers them deterministically.
+    std::vector<SweepSkip> skip;
+    if (resume != nullptr) {
+      for (const PowerSeries& prior : resume->series) {
+        if (prior.ports != ports) continue;
+        series.voltages = prior.voltages;
+        series.power = prior.power;
+        skip.reserve(prior.voltages.size());
+        for (const Millivolts v : prior.voltages) {
+          skip.push_back({v, /*crashed=*/false});
+        }
+        break;
+      }
+    }
+
     VoltageSweep sweep(board_, config_.sweep, CrashPolicy::kStop);
-    Status run_status = sweep.run([&](Millivolts v) {
-      if (ports > 0 && config_.traffic_beats > 0) {
-        // Keep live transactions flowing during the measurement window.
-        axi::TgCommand command{axi::MacroOp::kWriteRead, 0,
-                               config_.traffic_beats, hbm::kBeatAllOnes,
-                               /*check=*/false};
-        board_.run_traffic(command, pool);
-      }
-      auto power = board_.measure_power_snapshot(config_.samples, pool);
-      if (!power.is_ok()) {
-        HBMVOLT_LOG_WARN("power read failed at %d mV: %s", v.value,
-                         power.status().to_string().c_str());
-        return;
-      }
-      series.voltages.push_back(v);
-      series.power.push_back(power.value());
-    });
+    // Checkpoint only after steps that measured a row; a step whose power
+    // read failed (and was skipped with a warning) re-runs on resume.
+    bool row_added = false;
+    VoltageSweep::StepFn step_hook;
+    if (on_step) {
+      step_hook = [&](Millivolts) {
+        if (!row_added) return true;
+        row_added = false;
+        return on_step(series);
+      };
+    }
+    Status run_status = sweep.run_resumable(
+        skip,
+        [&](Millivolts v) {
+          if (ports > 0 && config_.traffic_beats > 0) {
+            // Keep live transactions flowing during the measurement window.
+            axi::TgCommand command{axi::MacroOp::kWriteRead, 0,
+                                   config_.traffic_beats, hbm::kBeatAllOnes,
+                                   /*check=*/false};
+            board_.run_traffic(command, pool);
+          }
+          auto power = board_.measure_power_snapshot(config_.samples, pool);
+          if (!power.is_ok()) {
+            HBMVOLT_LOG_WARN("power read failed at %d mV: %s", v.value,
+                             power.status().to_string().c_str());
+            return;
+          }
+          series.voltages.push_back(v);
+          series.power.push_back(power.value());
+          row_added = true;
+        },
+        nullptr, step_hook);
     if (!run_status.is_ok()) return run_status;
     out.series.push_back(std::move(series));
   }

@@ -56,14 +56,30 @@ struct PowerCharacterization {
                                                      Millivolts v) const;
 };
 
+/// Resume state for an interrupted run: the (possibly partial) series
+/// measured so far, matched to the config's port counts by `ports`.
+struct PowerResume {
+  std::vector<PowerSeries> series;
+};
+
 class PowerCharacterizer {
  public:
   PowerCharacterizer(board::Vcu128Board& board, PowerSweepConfig config);
 
+  /// Post-row checkpoint hook: fires after each measured (voltage, power)
+  /// row with the in-progress series; returning false halts the run (it
+  /// returns kUnavailable).
+  using StepFn = std::function<bool(const PowerSeries&)>;
+
   /// Runs the sweep.  Measurements go through the board's snapshot path
   /// (per-step frozen rail + counter-seeded per-sample noise) whether or
   /// not a pool is given, so serial and parallel runs agree bit-for-bit.
-  Result<PowerCharacterization> run(ThreadPool* pool = nullptr);
+  /// With `resume`, already-measured rows are replayed instead of
+  /// re-measured (the caller must also restore the board's power-snapshot
+  /// sequence number so later samples draw the original noise streams).
+  Result<PowerCharacterization> run(ThreadPool* pool = nullptr,
+                                    const PowerResume* resume = nullptr,
+                                    const StepFn& on_step = nullptr);
 
  private:
   board::Vcu128Board& board_;

@@ -13,20 +13,28 @@ ReliabilityTester::ReliabilityTester(board::Vcu128Board& board,
                   "at least one data pattern required");
 }
 
-Result<faults::FaultMap> ReliabilityTester::run(ThreadPool* pool) {
-  return run_impl(-1, pool);
+Result<faults::FaultMap> ReliabilityTester::run(
+    ThreadPool* pool, const ReliabilityResume* resume,
+    const StepFn& on_step) {
+  return run_impl(-1, pool, resume, on_step);
 }
 
 Result<faults::FaultMap> ReliabilityTester::run_pc(unsigned pc_global) {
   HBMVOLT_REQUIRE(pc_global < board_.geometry().total_pcs(),
                   "PC index out of range");
-  return run_impl(static_cast<int>(pc_global), nullptr);
+  return run_impl(static_cast<int>(pc_global), nullptr, nullptr, nullptr);
 }
 
-Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global,
-                                                     ThreadPool* pool) {
+Result<faults::FaultMap> ReliabilityTester::run_impl(
+    int only_pc_global, ThreadPool* pool, const ReliabilityResume* resume,
+    const StepFn& on_step) {
   telemetry::Span run_span("reliability.run", only_pc_global);
   faults::FaultMap map(board_.geometry());
+  if (resume != nullptr && resume->base != nullptr) {
+    // Replay the completed steps from the checkpoint; the sweep skips
+    // their grid points below.
+    map.merge(*resume->base);
+  }
   const unsigned per_stack = board_.geometry().pcs_per_stack();
 
   const auto record_telemetry = [](const faults::PcFaultRecord& record) {
@@ -53,7 +61,13 @@ Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global,
   }
 
   VoltageSweep sweep(board_, config_.sweep, config_.crash_policy);
-  const Status status = sweep.run(
+  sweep.set_crash_retries(config_.crash_retries);
+  VoltageSweep::StepFn step_hook;
+  if (on_step) {
+    step_hook = [&](Millivolts v) { return on_step(v, map); };
+  }
+  const Status status = sweep.run_resumable(
+      resume != nullptr ? resume->completed : std::vector<SweepSkip>{},
       [&](Millivolts v) {
         for (unsigned b = 0; b < config_.batch_size; ++b) {
           if (auto* tel = telemetry::Telemetry::active()) {
@@ -100,7 +114,7 @@ Result<faults::FaultMap> ReliabilityTester::run_impl(int only_pc_global,
           }
         }
       },
-      [&](Millivolts v) { map.record_crash(v); });
+      [&](Millivolts v) { map.record_crash(v); }, step_hook);
   if (!status.is_ok()) return status;
   return map;
 }

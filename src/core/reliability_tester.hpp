@@ -37,22 +37,42 @@ struct ReliabilityConfig {
   /// Test the all-zeros pattern (0->1 flips).
   bool pattern_zeros = true;
   CrashPolicy crash_policy = CrashPolicy::kStop;
+  /// Crash-watchdog budget forwarded to the sweep (see VoltageSweep).
+  unsigned crash_retries = 2;
+};
+
+/// Resume state for an interrupted run: the merged fault map of the
+/// completed voltage steps plus which grid points they were.
+struct ReliabilityResume {
+  const faults::FaultMap* base = nullptr;
+  std::vector<SweepSkip> completed;
 };
 
 class ReliabilityTester {
  public:
   ReliabilityTester(board::Vcu128Board& board, ReliabilityConfig config);
 
+  /// Post-step checkpoint hook: fires after each completed voltage step
+  /// with the map accumulated so far; returning false halts the run (the
+  /// sweep returns kUnavailable and no fault map is produced).
+  using StepFn = std::function<bool(Millivolts, const faults::FaultMap&)>;
+
   /// Full-device test: every AXI port of both stacks.  With a pool, the
   /// 32 per-PC pattern tests of each voltage step fan out across workers;
-  /// the resulting FaultMap is byte-identical to the serial run.
-  Result<faults::FaultMap> run(ThreadPool* pool = nullptr);
+  /// the resulting FaultMap is byte-identical to the serial run.  With
+  /// `resume`, the checkpointed steps are replayed from its map instead
+  /// of re-measured.
+  Result<faults::FaultMap> run(ThreadPool* pool = nullptr,
+                               const ReliabilityResume* resume = nullptr,
+                               const StepFn& on_step = nullptr);
 
   /// Single-PC test (the paper's per-PC variant of Algorithm 1).
   Result<faults::FaultMap> run_pc(unsigned pc_global);
 
  private:
-  Result<faults::FaultMap> run_impl(int only_pc_global, ThreadPool* pool);
+  Result<faults::FaultMap> run_impl(int only_pc_global, ThreadPool* pool,
+                                    const ReliabilityResume* resume,
+                                    const StepFn& on_step);
 
   board::Vcu128Board& board_;
   ReliabilityConfig config_;

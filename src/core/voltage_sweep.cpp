@@ -22,10 +22,48 @@ VoltageSweep::VoltageSweep(board::Vcu128Board& board, SweepConfig config,
 
 Status VoltageSweep::run(const std::function<void(Millivolts)>& body,
                          const std::function<void(Millivolts)>& on_crash) {
+  return run_resumable({}, body, on_crash, nullptr);
+}
+
+Status VoltageSweep::run_resumable(
+    const std::vector<SweepSkip>& skip,
+    const std::function<void(Millivolts)>& body,
+    const std::function<void(Millivolts)>& on_crash, const StepFn& on_step) {
   bool crashed_any = false;
   for (const Millivolts v : sweep_grid(config_)) {
+    // Resume: replay a checkpointed point without touching the board.
+    // A checkpointed crash replays the policy decision too -- under kStop
+    // the original run ended at this point, so the resumed one must.
+    const SweepSkip* done = nullptr;
+    for (const SweepSkip& s : skip) {
+      if (s.v == v) {
+        done = &s;
+        break;
+      }
+    }
+    if (done != nullptr) {
+      if (done->crashed) {
+        crashed_any = true;
+        if (policy_ == CrashPolicy::kStop) break;
+      }
+      continue;
+    }
+
     telemetry::Span step_span("sweep.step", v.value);
     HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(v));
+    // Crash watchdog: a genuine undervolt crash is deterministic -- a
+    // power cycle and re-applied voltage crashes the stack again.  A
+    // spurious (injected) crash recovers, and the retry rounds are
+    // figure-neutral (seeded re-scramble, content-independent faults).
+    unsigned recoveries = 0;
+    while (!board_.responding() && recoveries < crash_retries_) {
+      ++recoveries;
+      if (auto* tel = telemetry::Telemetry::active()) {
+        tel->count("sweep.crash_retries");
+      }
+      HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
+      HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(v));
+    }
     if (!board_.responding()) {
       HBMVOLT_LOG_INFO("HBM crashed at %d mV", v.value);
       crashed_any = true;
@@ -33,12 +71,23 @@ Status VoltageSweep::run(const std::function<void(Millivolts)>& body,
         tel->count("sweep.crashes");
       }
       if (on_crash) on_crash(v);
+      if (on_step && !on_step(v)) {
+        return unavailable("sweep halted by step callback");
+      }
       if (policy_ == CrashPolicy::kStop) break;
       HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
       // The power cycle restored nominal voltage; continue the sweep from
       // the next grid point (which will crash again if below critical --
       // callers normally stop their grids at V_critical).
       continue;
+    }
+    if (recoveries > 0) {
+      HBMVOLT_LOG_INFO("spurious crash at %d mV recovered after %u power "
+                       "cycle(s)",
+                       v.value, recoveries);
+      if (auto* tel = telemetry::Telemetry::active()) {
+        tel->count("sweep.spurious_crashes_recovered");
+      }
     }
     if (auto* tel = telemetry::Telemetry::active()) {
       const std::uint64_t start = tel->clock().now_ns();
@@ -47,6 +96,12 @@ Status VoltageSweep::run(const std::function<void(Millivolts)>& body,
       tel->observe("sweep.step_us", (tel->clock().now_ns() - start) / 1000);
     } else {
       body(v);
+    }
+    if (on_step && !on_step(v)) {
+      // Halt *without* the restore below: the caller is simulating the
+      // process dying here, and a resumed run must find board-independent
+      // state (the checkpoint), not a tidied-up board.
+      return unavailable("sweep halted by step callback");
     }
   }
   // Restore a sane state for whatever runs next.

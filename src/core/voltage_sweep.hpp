@@ -1,6 +1,25 @@
 // Voltage sweep driver: walks VCC_HBM down a millivolt grid (the paper's
 // V_nom -> V_critical in 10 mV steps) and invokes a measurement body at
 // each point, handling crashes per policy.
+//
+// Two robustness features live here:
+//
+//  * A crash watchdog.  A non-responding stack at a given voltage is
+//    either a genuine undervolt crash (deterministic: the voltage is
+//    below the stack's critical point, so a power cycle + re-set crashes
+//    it again) or a spurious injected crash (see src/chaos/).  The
+//    watchdog power-cycles and re-applies the voltage up to
+//    `crash_retries` times; only a crash that survives the recheck is
+//    recorded.  Extra power cycles are figure-neutral: the array
+//    re-scramble is seed-deterministic and the fault model is
+//    content-independent.
+//
+//  * Resumability.  `run_resumable` takes the list of grid points a
+//    previous (interrupted) run already completed and skips them without
+//    touching the board, plus an `on_step` callback after each completed
+//    point -- the campaign checkpoints there.  `on_step` returning false
+//    halts the sweep *without* the end-of-sweep restore, simulating the
+//    process dying mid-campaign.
 
 #pragma once
 
@@ -27,10 +46,28 @@ enum class CrashPolicy {
   kPowerCycleAndContinue  // record, power-cycle, keep sweeping
 };
 
+/// One already-completed grid point, as recorded by a checkpoint.
+struct SweepSkip {
+  Millivolts v{0};
+  /// The point completed *as a crash*: replay the policy decision (under
+  /// kStop the sweep ends here) without re-touching the board.
+  bool crashed = false;
+};
+
 class VoltageSweep {
  public:
   VoltageSweep(board::Vcu128Board& board, SweepConfig config,
                CrashPolicy policy = CrashPolicy::kStop);
+
+  /// Crash-watchdog budget: how many power-cycle + re-apply rounds to try
+  /// before believing a non-responding board really crashed (default 2).
+  void set_crash_retries(unsigned retries) noexcept {
+    crash_retries_ = retries;
+  }
+
+  /// Post-step callback: fires after each completed grid point (measured
+  /// or crash-recorded).  Returning false halts the sweep immediately.
+  using StepFn = std::function<bool(Millivolts)>;
 
   /// Runs `body(v)` at every grid voltage the device survives.  When a
   /// voltage crashes the stacks, `on_crash(v)` fires instead of body and
@@ -39,10 +76,19 @@ class VoltageSweep {
   Status run(const std::function<void(Millivolts)>& body,
              const std::function<void(Millivolts)>& on_crash = nullptr);
 
+  /// run() plus resume support: grid points in `skip` are replayed from
+  /// the checkpoint (body and on_crash do not fire for them), and
+  /// `on_step` fires after each newly completed point.
+  Status run_resumable(const std::vector<SweepSkip>& skip,
+                       const std::function<void(Millivolts)>& body,
+                       const std::function<void(Millivolts)>& on_crash,
+                       const StepFn& on_step);
+
  private:
   board::Vcu128Board& board_;
   SweepConfig config_;
   CrashPolicy policy_;
+  unsigned crash_retries_ = 2;
 };
 
 }  // namespace hbmvolt::core

@@ -49,6 +49,15 @@ class HbmStack {
     return state_ == State::kOperational;
   }
 
+  /// Chaos-injection seam: drops an operational stack into the crashed
+  /// state as if a marginal cell upset the control logic at a voltage the
+  /// deterministic model calls safe.  Recovery semantics are identical to
+  /// a real crash (only a power cycle restarts it).  No-op unless
+  /// operational.  See src/chaos/.
+  void force_crash() noexcept {
+    if (state_ == State::kOperational) state_ = State::kCrashed;
+  }
+
   /// Writes one 256-bit beat.  UNAVAILABLE when crashed or powered off.
   Status write_beat(unsigned pc_local, std::uint64_t beat, const Beat& data);
 

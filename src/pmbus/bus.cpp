@@ -19,9 +19,26 @@ Status Bus::attach(SlaveDevice* device) {
 
 void Bus::detach(std::uint8_t address) { devices_.erase(address); }
 
+Status Bus::begin_transaction(std::uint8_t address, std::uint8_t command) {
+  if (!hook_) return Status::ok();
+  Status injected = hook_(address, command);
+  if (injected.is_ok()) return injected;
+  if (injected.code() == StatusCode::kNotFound) {
+    ++nacks_;
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("pmbus.nacks");
+    }
+  }
+  return injected;
+}
+
 Result<SlaveDevice*> Bus::find(std::uint8_t address) {
   const auto it = devices_.find(address);
   if (it == devices_.end()) {
+    ++nacks_;
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("pmbus.nacks");
+    }
     return not_found("no device ACKed the address");
   }
   return it->second;
@@ -53,6 +70,7 @@ Result<std::vector<std::uint8_t>> Bus::transfer(
 
 Status Bus::write_byte(std::uint8_t address, std::uint8_t command,
                        std::uint8_t value) {
+  HBMVOLT_RETURN_IF_ERROR(begin_transaction(address, command));
   auto device = find(address);
   if (!device.is_ok()) return device.status();
   // Frame: address(W), command, data.
@@ -65,6 +83,7 @@ Status Bus::write_byte(std::uint8_t address, std::uint8_t command,
 
 Status Bus::write_word(std::uint8_t address, std::uint8_t command,
                        std::uint16_t value) {
+  HBMVOLT_RETURN_IF_ERROR(begin_transaction(address, command));
   auto device = find(address);
   if (!device.is_ok()) return device.status();
   // Frame: address(W), command, data low, data high (SMBus little-endian).
@@ -78,6 +97,7 @@ Status Bus::write_word(std::uint8_t address, std::uint8_t command,
 }
 
 Status Bus::send_byte(std::uint8_t address, std::uint8_t command) {
+  HBMVOLT_RETURN_IF_ERROR(begin_transaction(address, command));
   auto device = find(address);
   if (!device.is_ok()) return device.status();
   auto frame = transfer({static_cast<std::uint8_t>(address << 1), command});
@@ -87,6 +107,7 @@ Status Bus::send_byte(std::uint8_t address, std::uint8_t command) {
 
 Result<std::uint8_t> Bus::read_byte(std::uint8_t address,
                                     std::uint8_t command) {
+  HBMVOLT_RETURN_IF_ERROR(begin_transaction(address, command));
   auto device = find(address);
   if (!device.is_ok()) return device.status();
   auto value = device.value()->read_byte(command);
@@ -101,6 +122,7 @@ Result<std::uint8_t> Bus::read_byte(std::uint8_t address,
 
 Result<std::uint16_t> Bus::read_word(std::uint8_t address,
                                      std::uint8_t command) {
+  HBMVOLT_RETURN_IF_ERROR(begin_transaction(address, command));
   auto device = find(address);
   if (!device.is_ok()) return device.status();
   auto value = device.value()->read_word(command);

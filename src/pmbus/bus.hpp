@@ -40,6 +40,19 @@ class Bus {
     corruptor_ = std::move(corruptor);
   }
 
+  /// Fault-injection hook, consulted once at the start of every master
+  /// transaction, *before* the address phase.  A non-OK return aborts the
+  /// transaction with that status and no device is touched -- kNotFound
+  /// models an address NACK, kUnavailable an unresponsive device.  This
+  /// is what makes injected faults figure-neutral under retry: the slave
+  /// never sees the failed attempt, so no device state (or RNG stream)
+  /// advances.  Pass nullptr to clear.  See src/chaos/.
+  using TransactionHook =
+      std::function<Status(std::uint8_t address, std::uint8_t command)>;
+  void set_transaction_hook(TransactionHook hook) {
+    hook_ = std::move(hook);
+  }
+
   // Master-side transactions.  kNotFound if no device ACKs the address.
   Status write_byte(std::uint8_t address, std::uint8_t command,
                     std::uint8_t value);
@@ -57,8 +70,17 @@ class Bus {
   [[nodiscard]] std::uint64_t pec_error_count() const noexcept {
     return pec_errors_;
   }
+  /// Number of transactions that ended in an address NACK (kNotFound) --
+  /// real (no device at the address) or injected.  Deliberately separate
+  /// from pec_error_count(): a NACK means the transfer never happened,
+  /// while a PEC error (kDataLoss) means it happened and arrived corrupt,
+  /// and retry policy may treat the two differently.
+  [[nodiscard]] std::uint64_t nack_count() const noexcept { return nacks_; }
 
  private:
+  /// Pre-address-phase gate: runs the injection hook and accounts NACKs.
+  Status begin_transaction(std::uint8_t address, std::uint8_t command);
+
   Result<SlaveDevice*> find(std::uint8_t address);
 
   /// Frames `payload` bytes, applies corruption, and validates PEC.
@@ -68,8 +90,10 @@ class Bus {
   std::unordered_map<std::uint8_t, SlaveDevice*> devices_;
   bool pec_enabled_ = true;
   WireCorruptor corruptor_;
+  TransactionHook hook_;
   std::uint64_t transactions_ = 0;
   std::uint64_t pec_errors_ = 0;
+  std::uint64_t nacks_ = 0;
 };
 
 }  // namespace hbmvolt::pmbus

@@ -239,8 +239,10 @@ Isl68301Driver::Isl68301Driver(pmbus::Bus& bus, std::uint8_t address)
     : bus_(bus), address_(address) {}
 
 Status Isl68301Driver::probe() {
-  auto mode = bus_.read_byte(address_,
-                             static_cast<std::uint8_t>(Command::kVoutMode));
+  auto mode = retry_result(retry_, "isl68301.probe", [&] {
+    return bus_.read_byte(address_,
+                          static_cast<std::uint8_t>(Command::kVoutMode));
+  });
   if (!mode.is_ok()) return mode.status();
   auto exponent = pmbus::vout_mode_exponent(mode.value());
   if (!exponent.is_ok()) return exponent.status();
@@ -249,13 +251,31 @@ Status Isl68301Driver::probe() {
   return Status::ok();
 }
 
+Status Isl68301Driver::write_verified(Command command, std::uint16_t mantissa,
+                                      const char* op) {
+  // Write + read-back is one retry unit: a transient fault on either frame
+  // retries the pair, and success means the regulator provably holds the
+  // value.  Read-back uses the same register, not READ_VOUT -- the sensed
+  // output includes load-line droop and would never compare equal.
+  return retry_status(retry_, op, [&]() -> Status {
+    HBMVOLT_RETURN_IF_ERROR(bus_.write_word(
+        address_, static_cast<std::uint8_t>(command), mantissa));
+    auto echo =
+        bus_.read_word(address_, static_cast<std::uint8_t>(command));
+    if (!echo.is_ok()) return echo.status();
+    if (echo.value() != mantissa) {
+      return data_loss("register read-back mismatch after write");
+    }
+    return Status::ok();
+  });
+}
+
 Status Isl68301Driver::set_vout(Millivolts target) {
   if (!probed_) HBMVOLT_RETURN_IF_ERROR(probe());
   auto mantissa = pmbus::linear16_encode(target.volts(), vout_exponent_);
   if (!mantissa.is_ok()) return mantissa.status();
-  return bus_.write_word(address_,
-                         static_cast<std::uint8_t>(Command::kVoutCommand),
-                         mantissa.value());
+  return write_verified(Command::kVoutCommand, mantissa.value(),
+                        "isl68301.set_vout");
 }
 
 Status Isl68301Driver::set_uv_fault_limit(Millivolts limit) {
@@ -264,51 +284,62 @@ Status Isl68301Driver::set_uv_fault_limit(Millivolts limit) {
   if (!mantissa.is_ok()) return mantissa.status();
   // Keep the warn limit at or above the fault limit so the warn threshold
   // never masks the fault threshold.
-  HBMVOLT_RETURN_IF_ERROR(bus_.write_word(
-      address_, static_cast<std::uint8_t>(Command::kVoutUvWarnLimit),
-      mantissa.value()));
-  return bus_.write_word(
-      address_, static_cast<std::uint8_t>(Command::kVoutUvFaultLimit),
-      mantissa.value());
+  HBMVOLT_RETURN_IF_ERROR(write_verified(Command::kVoutUvWarnLimit,
+                                         mantissa.value(),
+                                         "isl68301.set_uv_warn_limit"));
+  return write_verified(Command::kVoutUvFaultLimit, mantissa.value(),
+                        "isl68301.set_uv_fault_limit");
 }
 
 Result<Millivolts> Isl68301Driver::read_vout() {
   if (!probed_) HBMVOLT_RETURN_IF_ERROR(probe());
-  auto word = bus_.read_word(address_,
-                             static_cast<std::uint8_t>(Command::kReadVout));
+  auto word = retry_result(retry_, "isl68301.read_vout", [&] {
+    return bus_.read_word(address_,
+                          static_cast<std::uint8_t>(Command::kReadVout));
+  });
   if (!word.is_ok()) return word.status();
   return from_volts(pmbus::linear16_decode(word.value(), vout_exponent_));
 }
 
 Result<Amps> Isl68301Driver::read_iout() {
-  auto word = bus_.read_word(address_,
-                             static_cast<std::uint8_t>(Command::kReadIout));
+  auto word = retry_result(retry_, "isl68301.read_iout", [&] {
+    return bus_.read_word(address_,
+                          static_cast<std::uint8_t>(Command::kReadIout));
+  });
   if (!word.is_ok()) return word.status();
   return Amps{pmbus::linear11_decode(word.value())};
 }
 
 Result<Watts> Isl68301Driver::read_pout() {
-  auto word = bus_.read_word(address_,
-                             static_cast<std::uint8_t>(Command::kReadPout));
+  auto word = retry_result(retry_, "isl68301.read_pout", [&] {
+    return bus_.read_word(address_,
+                          static_cast<std::uint8_t>(Command::kReadPout));
+  });
   if (!word.is_ok()) return word.status();
   return Watts{pmbus::linear11_decode(word.value())};
 }
 
 Result<Celsius> Isl68301Driver::read_temperature() {
-  auto word = bus_.read_word(
-      address_, static_cast<std::uint8_t>(Command::kReadTemperature1));
+  auto word = retry_result(retry_, "isl68301.read_temperature", [&] {
+    return bus_.read_word(
+        address_, static_cast<std::uint8_t>(Command::kReadTemperature1));
+  });
   if (!word.is_ok()) return word.status();
   return Celsius{pmbus::linear11_decode(word.value())};
 }
 
 Result<std::uint8_t> Isl68301Driver::read_status_vout() {
-  return bus_.read_byte(address_,
-                        static_cast<std::uint8_t>(Command::kStatusVout));
+  return retry_result(retry_, "isl68301.read_status_vout", [&] {
+    return bus_.read_byte(address_,
+                          static_cast<std::uint8_t>(Command::kStatusVout));
+  });
 }
 
 Status Isl68301Driver::clear_faults() {
-  return bus_.send_byte(address_,
-                        static_cast<std::uint8_t>(Command::kClearFaults));
+  return retry_status(retry_, "isl68301.clear_faults", [&] {
+    return bus_.send_byte(address_,
+                          static_cast<std::uint8_t>(Command::kClearFaults));
+  });
 }
 
 }  // namespace hbmvolt::power

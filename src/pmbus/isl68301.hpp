@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
 #include "pmbus/commands.hpp"
@@ -115,14 +116,28 @@ class Isl68301 : public pmbus::SlaveDevice {
 
 /// Host-side convenience driver: speaks to the regulator over a Bus the
 /// way the paper's "customized interface on the host" does.
+///
+/// Every transaction runs under a bounded RetryPolicy, and setpoint writes
+/// verify by reading the register back: a NACKed or PEC-corrupted write
+/// retries until the regulator provably holds the commanded value.  That
+/// is what makes a voltage sweep robust against transient bus faults --
+/// a silently-dropped VOUT_COMMAND would otherwise corrupt every
+/// measurement taken at the "new" voltage.
 class Isl68301Driver {
  public:
   Isl68301Driver(pmbus::Bus& bus, std::uint8_t address);
 
+  /// Retry knobs for all driver transactions (default: 4 attempts).
+  void set_retry_policy(RetryPolicy policy) noexcept { retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_;
+  }
+
   /// Reads VOUT_MODE and caches the exponent.  Call before set_vout.
   Status probe();
 
-  /// Commands a new output voltage via VOUT_COMMAND.
+  /// Commands a new output voltage via VOUT_COMMAND, then reads the
+  /// register back and retries until it matches.
   Status set_vout(Millivolts target);
 
   /// Lowers the UV fault limit so deep undervolting does not latch the
@@ -137,8 +152,13 @@ class Isl68301Driver {
   Status clear_faults();
 
  private:
+  /// One write-then-verify retry unit for a LINEAR16 register.
+  Status write_verified(pmbus::Command command, std::uint16_t mantissa,
+                        const char* op);
+
   pmbus::Bus& bus_;
   std::uint8_t address_;
+  RetryPolicy retry_;
   int vout_exponent_ = -12;
   bool probed_ = false;
 };

@@ -131,6 +131,22 @@ Status Ina226::write_word(std::uint8_t reg, std::uint16_t value) {
 Ina226Driver::Ina226Driver(pmbus::Bus& bus, std::uint8_t address)
     : bus_(bus), address_(address) {}
 
+Status Ina226Driver::write_verified(std::uint8_t reg, std::uint16_t value,
+                                    const char* op) {
+  // CALIBRATION and CONFIG read back exactly what was written, so the
+  // write + read-back pair is one retry unit and a mismatch means the
+  // write was lost on the wire.
+  return retry_status(retry_, op, [&]() -> Status {
+    HBMVOLT_RETURN_IF_ERROR(bus_.write_word(address_, reg, value));
+    auto echo = bus_.read_word(address_, reg);
+    if (!echo.is_ok()) return echo.status();
+    if (echo.value() != value) {
+      return data_loss("register read-back mismatch after write");
+    }
+    return Status::ok();
+  });
+}
+
 Status Ina226Driver::configure(double max_expected_amps, Ohms shunt,
                                unsigned averages) {
   if (max_expected_amps <= 0.0 || shunt.value <= 0.0) {
@@ -144,8 +160,9 @@ Status Ina226Driver::configure(double max_expected_amps, Ohms shunt,
   if (cal > 32767.0) {
     return invalid_argument("INA226 calibration exceeds register range");
   }
-  HBMVOLT_RETURN_IF_ERROR(bus_.write_word(
-      address_, Ina226::kRegCalibration, static_cast<std::uint16_t>(cal)));
+  HBMVOLT_RETURN_IF_ERROR(write_verified(Ina226::kRegCalibration,
+                                         static_cast<std::uint16_t>(cal),
+                                         "ina226.set_calibration"));
 
   // Averaging field (CONFIG bits 11..9): pick the smallest supported count
   // >= the request.
@@ -160,17 +177,27 @@ Status Ina226Driver::configure(double max_expected_amps, Ohms shunt,
   const std::uint16_t config =
       static_cast<std::uint16_t>((Ina226::kConfigDefault & ~0x0E00) |
                                  (avg_bits << 9));
-  return bus_.write_word(address_, Ina226::kRegConfig, config);
+  return write_verified(Ina226::kRegConfig, config, "ina226.set_config");
 }
 
+// Data-register reads retry too, but note the determinism caveat: each
+// attempt triggers a fresh conversion in the device, so a retried read
+// advances the sensor's sequential noise stream.  The campaign's power
+// figures do not go through this path (they use the snapshot-based
+// power_register_for), so retried dropouts stay figure-neutral there.
+
 Result<Millivolts> Ina226Driver::read_bus_voltage() {
-  auto reg = bus_.read_word(address_, Ina226::kRegBus);
+  auto reg = retry_result(retry_, "ina226.read_bus_voltage", [&] {
+    return bus_.read_word(address_, Ina226::kRegBus);
+  });
   if (!reg.is_ok()) return reg.status();
   return from_volts(reg.value() * Ina226::kBusLsbVolts);
 }
 
 Result<Amps> Ina226Driver::read_current() {
-  auto reg = bus_.read_word(address_, Ina226::kRegCurrent);
+  auto reg = retry_result(retry_, "ina226.read_current", [&] {
+    return bus_.read_word(address_, Ina226::kRegCurrent);
+  });
   if (!reg.is_ok()) return reg.status();
   return Amps{static_cast<std::int16_t>(reg.value()) * current_lsb_};
 }
@@ -179,13 +206,17 @@ Result<Watts> Ina226Driver::read_power() {
   if (auto* tel = telemetry::Telemetry::active()) {
     tel->count("power.samples");
   }
-  auto reg = bus_.read_word(address_, Ina226::kRegPower);
+  auto reg = retry_result(retry_, "ina226.read_power", [&] {
+    return bus_.read_word(address_, Ina226::kRegPower);
+  });
   if (!reg.is_ok()) return reg.status();
   return Watts{reg.value() * 25.0 * current_lsb_};
 }
 
 Result<Amps> Ina226Driver::read_shunt_current() {
-  auto reg = bus_.read_word(address_, Ina226::kRegShunt);
+  auto reg = retry_result(retry_, "ina226.read_shunt_current", [&] {
+    return bus_.read_word(address_, Ina226::kRegShunt);
+  });
   if (!reg.is_ok()) return reg.status();
   const double vshunt =
       static_cast<std::int16_t>(reg.value()) * Ina226::kShuntLsbVolts;

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -110,9 +111,18 @@ class Ina226 : public pmbus::SlaveDevice {
 };
 
 /// Host-side driver implementing the datasheet calibration procedure.
+/// All transactions run under a bounded RetryPolicy; configuration writes
+/// read the register back and retry until it matches (CALIBRATION and
+/// CONFIG echo exactly, so a mismatch means the write was lost).
 class Ina226Driver {
  public:
   Ina226Driver(pmbus::Bus& bus, std::uint8_t address);
+
+  /// Retry knobs for all driver transactions (default: 4 attempts).
+  void set_retry_policy(RetryPolicy policy) noexcept { retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_;
+  }
 
   /// Programs CALIBRATION for the given full-scale current and shunt value
   /// and sets the averaging count (rounded up to a supported 1..1024 step).
@@ -126,8 +136,13 @@ class Ina226Driver {
   [[nodiscard]] double current_lsb() const noexcept { return current_lsb_; }
 
  private:
+  /// One write-then-verify retry unit for an exactly-echoing register.
+  Status write_verified(std::uint8_t reg, std::uint16_t value,
+                        const char* op);
+
   pmbus::Bus& bus_;
   std::uint8_t address_;
+  RetryPolicy retry_;
   double current_lsb_ = 0.0;
   Ohms shunt_{0.002};
 };

@@ -1,0 +1,715 @@
+// Robustness suite: retry layer, NACK-vs-PEC accounting, deterministic
+// chaos injection, campaign checkpoint/resume, and graceful degradation.
+//
+// The headline invariant pinned here: under any all-transient chaos
+// schedule, the campaign's figures are byte-identical to the fault-free
+// run (at threads = 1 and threads = 4), and a campaign killed after step
+// N resumes from checkpoint.json to byte-identical final artifacts.
+// Persistent faults must instead degrade gracefully -- structured errors
+// plus partial artifacts, never a process death.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "board/vcu128.hpp"
+#include "chaos/chaos.hpp"
+#include "common/retry.hpp"
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "core/report.hpp"
+#include "core/voltage_sweep.hpp"
+
+namespace hbmvolt {
+namespace {
+
+namespace fs = std::filesystem;
+
+board::BoardConfig tiny_board() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  config.monitor_config.noise_sigma_amps = 0.0;
+  return config;
+}
+
+core::CampaignConfig fast_campaign() {
+  core::CampaignConfig config;
+  config.reliability.sweep = {Millivolts{1200}, Millivolts{800}, 20};
+  config.reliability.batch_size = 1;
+  config.power.sweep = {Millivolts{1200}, Millivolts{850}, 50};
+  config.power.samples = 2;
+  config.power.traffic_beats = 4;
+  config.dry_run = true;
+  return config;
+}
+
+/// All transient fault kinds at a rate high enough that a tiny campaign
+/// still crosses every injection site several times.
+chaos::ChaosConfig all_transient(std::uint64_t seed) {
+  chaos::ChaosConfig config;
+  config.seed = seed;
+  config.pmbus_nack_rate = 0.2;
+  config.wire_corrupt_rate = 0.2;
+  config.axi_fail_rate = 0.1;
+  config.spurious_crash_rate = 0.2;
+  return config;
+}
+
+/// Everything an artifact diff compares, as in-memory strings.
+struct Figures {
+  std::string fig2, fig4, fig5, fig6, headline;
+};
+
+std::string headline_text(const core::HeadlineNumbers& h) {
+  char buffer[256];
+  std::ostringstream out;
+  const auto field = [&](const char* name, double value) {
+    std::snprintf(buffer, sizeof(buffer), "%s=%.17g\n", name, value);
+    out << buffer;
+  };
+  out << "v_min_mv=" << h.guardband.v_min.value << "\n";
+  out << "v_first_fault_mv=" << h.guardband.v_first_fault.value << "\n";
+  out << "v_critical_mv=" << h.guardband.v_critical.value << "\n";
+  out << "crash_observed=" << (h.guardband.crash_observed ? 1 : 0) << "\n";
+  field("guardband_fraction", h.guardband.guardband_fraction);
+  field("savings_at_vmin", h.savings_at_vmin);
+  field("savings_at_850mv", h.savings_at_850mv);
+  field("idle_fraction", h.idle_fraction);
+  field("alpha_drop_at_850mv", h.alpha_drop_at_850mv);
+  return out.str();
+}
+
+Figures figures_of(const core::CampaignResult& result,
+                   const core::CampaignConfig& config) {
+  return {core::to_csv_fig2(result.power),
+          core::to_csv_fig4(result.fault_map),
+          core::to_csv_fig5(result.fault_map),
+          core::to_csv_fig6(result.tradeoff_points, config.tradeoff),
+          headline_text(result.headline)};
+}
+
+void expect_figures_equal(const Figures& actual, const Figures& expected,
+                          const std::string& label) {
+  EXPECT_EQ(actual.fig2, expected.fig2) << label << ": fig2 diverged";
+  EXPECT_EQ(actual.fig4, expected.fig4) << label << ": fig4 diverged";
+  EXPECT_EQ(actual.fig5, expected.fig5) << label << ": fig5 diverged";
+  EXPECT_EQ(actual.fig6, expected.fig6) << label << ": fig6 diverged";
+  EXPECT_EQ(actual.headline, expected.headline)
+      << label << ": headline diverged";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Fresh scratch directory under the build tree.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path("chaos_test_tmp") / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Retry layer
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, ClassifiesStatusCodes) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.retryable(not_found("nack")));
+  EXPECT_TRUE(policy.retryable(data_loss("pec")));
+  EXPECT_TRUE(policy.retryable(unavailable("dropout")));
+  EXPECT_FALSE(policy.retryable(invalid_argument("bug")));
+  EXPECT_FALSE(policy.retryable(Status::ok()));
+
+  policy.retry_nack = false;
+  EXPECT_FALSE(policy.retryable(not_found("nack")));
+  EXPECT_TRUE(policy.retryable(data_loss("pec")));
+}
+
+TEST(RetryPolicyTest, BackoffDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.backoff_start_us = 50;
+  policy.backoff_cap_us = 300;
+  EXPECT_EQ(policy.backoff_us(1), 50u);
+  EXPECT_EQ(policy.backoff_us(2), 100u);
+  EXPECT_EQ(policy.backoff_us(3), 200u);
+  EXPECT_EQ(policy.backoff_us(4), 300u);  // capped
+  EXPECT_EQ(policy.backoff_us(20), 300u);
+}
+
+TEST(RetryTest, RecoversAfterTransientFailures) {
+  RetryPolicy policy;
+  unsigned calls = 0;
+  const Status status = retry_status(policy, "test.op", [&]() -> Status {
+    return ++calls < 3 ? unavailable("transient") : Status::ok();
+  });
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryTest, ExhaustsAttemptBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  unsigned calls = 0;
+  const Status status = retry_status(policy, "test.op", [&]() -> Status {
+    ++calls;
+    return not_found("always");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryTest, DoesNotRetryProgrammingErrors) {
+  RetryPolicy policy;
+  unsigned calls = 0;
+  const Status status = retry_status(policy, "test.op", [&]() -> Status {
+    ++calls;
+    return invalid_argument("caller bug");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTest, ResultFlavorReturnsValueAfterRecovery) {
+  RetryPolicy policy;
+  unsigned calls = 0;
+  const Result<int> result =
+      retry_result(policy, "test.op", [&]() -> Result<int> {
+        if (++calls < 2) return data_loss("corrupt");
+        return 42;
+      });
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Bus accounting: NACK (kNotFound) vs PEC mismatch (kDataLoss)
+// ---------------------------------------------------------------------------
+
+TEST(BusAccountingTest, NackAndPecErrorsCountSeparately) {
+  board::Vcu128Board board(tiny_board());
+  pmbus::Bus& bus = board.bus();
+  const std::uint64_t nacks_before = bus.nack_count();
+  const std::uint64_t pec_before = bus.pec_error_count();
+
+  // One-shot injected NACK: the driver's retry absorbs it.
+  bool nacked = false;
+  bus.set_transaction_hook([&](std::uint8_t, std::uint8_t) -> Status {
+    if (nacked) return Status::ok();
+    nacked = true;
+    return not_found("injected NACK");
+  });
+  auto vout = board.regulator().read_vout();
+  bus.set_transaction_hook(nullptr);
+  ASSERT_TRUE(vout.is_ok()) << vout.status().to_string();
+  EXPECT_EQ(bus.nack_count(), nacks_before + 1);
+  EXPECT_EQ(bus.pec_error_count(), pec_before);
+
+  // One-shot wire flip: PEC catches it, and it lands in the *other*
+  // counter -- the transfer happened but arrived corrupt.
+  bool corrupted = false;
+  bus.set_wire_corruptor([&](std::vector<std::uint8_t>& frame) {
+    if (corrupted || frame.empty()) return;
+    corrupted = true;
+    frame[0] ^= 0x01;
+  });
+  vout = board.regulator().read_vout();
+  bus.set_wire_corruptor(nullptr);
+  ASSERT_TRUE(vout.is_ok()) << vout.status().to_string();
+  EXPECT_EQ(bus.nack_count(), nacks_before + 1);
+  EXPECT_EQ(bus.pec_error_count(), pec_before + 1);
+}
+
+TEST(BusAccountingTest, RetryPolicyCanTreatNackAndPecDifferently) {
+  board::Vcu128Board board(tiny_board());
+  // A policy that retries PEC errors but not NACKs: the injected NACK
+  // must surface immediately as kNotFound.
+  RetryPolicy policy;
+  policy.retry_nack = false;
+  board.regulator().set_retry_policy(policy);
+  board.bus().set_transaction_hook(
+      [](std::uint8_t, std::uint8_t) -> Status {
+        return not_found("injected NACK");
+      });
+  const auto vout = board.regulator().read_vout();
+  board.bus().set_transaction_hook(nullptr);
+  EXPECT_EQ(vout.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// ChaosSchedule determinism
+// ---------------------------------------------------------------------------
+
+TEST(ChaosScheduleTest, SameSeedSameDecisions) {
+  chaos::ChaosConfig config = all_transient(7);
+  const chaos::ChaosSchedule a(config);
+  const chaos::ChaosSchedule b(config);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.fires(chaos::FaultKind::kPmbusNack, i, 0, 0),
+              b.fires(chaos::FaultKind::kPmbusNack, i, 0, 0));
+    EXPECT_EQ(a.draw(chaos::FaultKind::kWireCorrupt, i, 8, 0),
+              b.draw(chaos::FaultKind::kWireCorrupt, i, 8, 0));
+  }
+}
+
+TEST(ChaosScheduleTest, SeedChangesSchedule) {
+  const chaos::ChaosSchedule a(all_transient(1));
+  const chaos::ChaosSchedule b(all_transient(2));
+  unsigned diffs = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    if (a.fires(chaos::FaultKind::kPmbusNack, i, 0, 0) !=
+        b.fires(chaos::FaultKind::kPmbusNack, i, 0, 0)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+TEST(ChaosScheduleTest, ZeroRateNeverFires) {
+  const chaos::ChaosSchedule schedule(chaos::ChaosConfig{});
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_FALSE(schedule.fires(chaos::FaultKind::kPmbusNack, i, 0, 0));
+  }
+}
+
+TEST(ChaosScheduleTest, RateScalesFireFrequency) {
+  chaos::ChaosConfig config;
+  config.pmbus_nack_rate = 0.25;
+  const chaos::ChaosSchedule schedule(config);
+  unsigned fires = 0;
+  const unsigned kTrials = 4000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) {
+    if (schedule.fires(chaos::FaultKind::kPmbusNack, i, 0, 0)) ++fires;
+  }
+  const double observed = static_cast<double>(fires) / kTrials;
+  EXPECT_NEAR(observed, 0.25, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, JsonRoundTripIsExact) {
+  core::CampaignCheckpoint ckpt;
+  ckpt.fingerprint = 0xDEADBEEFCAFE1234ull;
+  ckpt.reliability_done = true;
+  ckpt.power_snapshot_seq = 17;
+  ckpt.reliability.push_back(
+      {1200, false, {{1000, 3, 5, 500, 500}, {1000, 0, 0, 500, 500}}});
+  ckpt.reliability.push_back({800, true, {}});
+  // Awkward doubles a decimal round-trip would perturb.
+  ckpt.power.push_back({0, {{1200, Watts{1.0 / 3.0}}}});
+  ckpt.power.push_back({32, {{1200, Watts{6.02214076e23}},
+                             {1150, Watts{-0.0}}}});
+
+  const std::string text = core::checkpoint_to_json(ckpt);
+  auto parsed = core::checkpoint_from_json(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const core::CampaignCheckpoint& back = parsed.value();
+
+  EXPECT_EQ(back.fingerprint, ckpt.fingerprint);
+  EXPECT_EQ(back.reliability_done, ckpt.reliability_done);
+  EXPECT_EQ(back.power_snapshot_seq, ckpt.power_snapshot_seq);
+  ASSERT_EQ(back.reliability.size(), 2u);
+  EXPECT_EQ(back.reliability[0].mv, 1200);
+  ASSERT_EQ(back.reliability[0].pcs.size(), 2u);
+  EXPECT_EQ(back.reliability[0].pcs[0].flips_1to0, 3u);
+  EXPECT_EQ(back.reliability[0].pcs[0].flips_0to1, 5u);
+  EXPECT_TRUE(back.reliability[1].crashed);
+  ASSERT_EQ(back.power.size(), 2u);
+  // Bit-exact doubles: serialize again and compare text.
+  EXPECT_EQ(core::checkpoint_to_json(back), text);
+}
+
+TEST(CheckpointTest, LoadMissingFileIsNotFound) {
+  const auto loaded =
+      core::load_checkpoint("chaos_test_tmp/does_not_exist.json");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, MalformedTextIsDataLoss) {
+  EXPECT_EQ(core::checkpoint_from_json("not json").status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(core::checkpoint_from_json("{\"version\": 99}").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, SaveIsAtomicViaRename) {
+  const fs::path dir = scratch_dir("ckpt_atomic");
+  const std::string path = (dir / "checkpoint.json").string();
+  core::CampaignCheckpoint ckpt;
+  ckpt.fingerprint = 42;
+  ASSERT_TRUE(core::save_checkpoint(ckpt, path).is_ok());
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  auto loaded = core::load_checkpoint(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().fingerprint, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos equivalence: transient faults never change the figures
+// ---------------------------------------------------------------------------
+
+class ChaosEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    board::Vcu128Board board(tiny_board());
+    core::Campaign campaign(board, fast_campaign());
+    auto run = campaign.run();
+    ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+    baseline_ = new Figures(figures_of(run.value(), fast_campaign()));
+  }
+
+  static void TearDownTestSuite() {
+    delete baseline_;
+    baseline_ = nullptr;
+  }
+
+  /// Runs a chaotic campaign on a fresh board and checks its figures
+  /// byte-match the fault-free baseline.  Returns the result for extra
+  /// assertions.
+  static core::CampaignResult check_equivalent(
+      const chaos::ChaosConfig& chaos, unsigned threads,
+      const std::string& label) {
+    board::Vcu128Board board(tiny_board());
+    core::CampaignConfig config = fast_campaign();
+    config.chaos = chaos;
+    config.threads = threads;
+    config.telemetry.enabled = true;
+    core::Campaign campaign(board, config);
+    auto run = campaign.run();
+    EXPECT_TRUE(run.is_ok()) << label << ": " << run.status().to_string();
+    if (!run.is_ok()) {
+      return core::CampaignResult{
+          {}, {}, faults::FaultMap(board.geometry()), {}, {}, {}, {}, {},
+          false};
+    }
+    EXPECT_TRUE(run.value().errors.empty())
+        << label << ": unexpected degradation";
+    expect_figures_equal(figures_of(run.value(), config), *baseline_, label);
+    return std::move(run).value();
+  }
+
+  static Figures* baseline_;
+};
+
+Figures* ChaosEquivalenceTest::baseline_ = nullptr;
+
+TEST_F(ChaosEquivalenceTest, PmbusNacksAreFigureNeutral) {
+  chaos::ChaosConfig config;
+  config.pmbus_nack_rate = 0.2;
+  const auto result = check_equivalent(config, 1, "pmbus_nack");
+  EXPECT_NE(result.telemetry_summary.find("chaos.injected.pmbus_nack"),
+            std::string::npos)
+      << "schedule never fired; the test proved nothing";
+}
+
+TEST_F(ChaosEquivalenceTest, WireCorruptionIsFigureNeutral) {
+  chaos::ChaosConfig config;
+  config.wire_corrupt_rate = 0.2;
+  const auto result = check_equivalent(config, 1, "wire_corrupt");
+  EXPECT_NE(result.telemetry_summary.find("chaos.injected.wire_corrupt"),
+            std::string::npos);
+}
+
+TEST_F(ChaosEquivalenceTest, AxiDispatchFailuresAreFigureNeutral) {
+  chaos::ChaosConfig config;
+  config.axi_fail_rate = 0.1;
+  const auto result = check_equivalent(config, 1, "axi_fail");
+  EXPECT_NE(result.telemetry_summary.find("chaos.injected.axi_fail"),
+            std::string::npos);
+}
+
+TEST_F(ChaosEquivalenceTest, SpuriousCrashesAreFigureNeutral) {
+  chaos::ChaosConfig config;
+  config.spurious_crash_rate = 0.2;
+  const auto result = check_equivalent(config, 1, "spurious_crash");
+  EXPECT_NE(result.telemetry_summary.find("chaos.injected.spurious_crash"),
+            std::string::npos);
+  EXPECT_NE(result.telemetry_summary.find("sweep.spurious_crashes_recovered"),
+            std::string::npos)
+      << "the watchdog never exercised a recovery";
+}
+
+TEST_F(ChaosEquivalenceTest, AllKindsAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 0xFEEDull}) {
+    const auto result = check_equivalent(
+        all_transient(seed), 1, "all_kinds seed=" + std::to_string(seed));
+    EXPECT_NE(result.telemetry_summary.find("chaos.injected.total"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ChaosEquivalenceTest, AllKindsAtFourThreads) {
+  check_equivalent(all_transient(3), 4, "all_kinds threads=4");
+}
+
+TEST_F(ChaosEquivalenceTest, InaDropoutsAreValueNeutralOnBusReads) {
+  // The campaign's power phase uses the snapshot path (no INA bus reads),
+  // so dropouts are exercised directly on measure_power: retried reads
+  // must reproduce the clean board's exact value sequence, because the
+  // injection aborts the transaction *before* the monitor advances.
+  std::vector<Watts> clean;
+  {
+    board::Vcu128Board board(tiny_board());
+    for (int i = 0; i < 20; ++i) {
+      auto p = board.measure_power();
+      ASSERT_TRUE(p.is_ok());
+      clean.push_back(p.value());
+    }
+  }
+  board::Vcu128Board board(tiny_board());
+  chaos::ChaosConfig config;
+  config.ina_dropout_rate = 0.3;
+  chaos::ChaosInjector injector(board, config);
+  for (int i = 0; i < 20; ++i) {
+    auto p = board.measure_power();
+    ASSERT_TRUE(p.is_ok()) << p.status().to_string();
+    EXPECT_EQ(p.value().value, clean[static_cast<std::size_t>(i)].value)
+        << "reading " << i << " diverged";
+  }
+  EXPECT_GT(injector.injected(chaos::FaultKind::kInaDropout), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash watchdog
+// ---------------------------------------------------------------------------
+
+TEST(CrashWatchdogTest, SpuriousCrashRecoversViaPowerCycle) {
+  board::Vcu128Board board(tiny_board());
+  board.stack(0).force_crash();
+  ASSERT_FALSE(board.responding());
+
+  core::VoltageSweep sweep(board, {Millivolts{1200}, Millivolts{1200}, 10},
+                           core::CrashPolicy::kStop);
+  unsigned body_runs = 0;
+  const Status status = sweep.run([&](Millivolts) { ++body_runs; }, nullptr);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(body_runs, 1u) << "the recovered step must still be measured";
+  EXPECT_TRUE(board.responding());
+}
+
+TEST(CrashWatchdogTest, PowerCycleRetriesNackDuringRecovery) {
+  // Satellite regression: a NACK in the middle of power_cycle's PMBus
+  // sequence must be retried, not abort the recovery.
+  board::Vcu128Board board(tiny_board());
+  board.stack(1).force_crash();
+
+  unsigned txns = 0;
+  board.bus().set_transaction_hook([&](std::uint8_t, std::uint8_t) -> Status {
+    // NACK the first and third transactions of the recovery sequence.
+    ++txns;
+    if (txns == 1 || txns == 3) return not_found("injected NACK");
+    return Status::ok();
+  });
+  const Status status = board.power_cycle();
+  board.bus().set_transaction_hook(nullptr);
+
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_TRUE(board.responding());
+  EXPECT_EQ(board.hbm_voltage().value,
+            board.config().regulator_config.vout_default.value)
+      << "recovery must re-apply the nominal setpoint through the full "
+         "PMBus path";
+}
+
+// ---------------------------------------------------------------------------
+// Kill + resume
+// ---------------------------------------------------------------------------
+
+core::CampaignConfig artifact_campaign(const fs::path& dir) {
+  core::CampaignConfig config = fast_campaign();
+  config.dry_run = false;
+  config.output_dir = dir.string();
+  return config;
+}
+
+void expect_artifacts_match(const fs::path& actual, const fs::path& expected,
+                            const std::string& label) {
+  for (const char* name :
+       {"fig2.csv", "fig4.csv", "fig5.csv", "fig6.csv", "summary.txt"}) {
+    EXPECT_EQ(read_file(actual / name), read_file(expected / name))
+        << label << ": " << name << " diverged";
+  }
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    clean_dir_ = new fs::path(scratch_dir("clean"));
+    board::Vcu128Board board(tiny_board());
+    core::Campaign campaign(board, artifact_campaign(*clean_dir_));
+    auto run = campaign.run();
+    ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+    ASSERT_FALSE(run.value().halted);
+    // A clean finish removes its own checkpoint.
+    EXPECT_FALSE(fs::exists(*clean_dir_ / "checkpoint.json"));
+  }
+
+  static void TearDownTestSuite() {
+    delete clean_dir_;
+    clean_dir_ = nullptr;
+  }
+
+  /// Kills a campaign after `halt_after` steps, then resumes it on a
+  /// fresh board and diffs the final artifacts against the clean run.
+  static void check_kill_resume(unsigned halt_after,
+                                const chaos::ChaosConfig& chaos,
+                                const std::string& label) {
+    const fs::path dir = scratch_dir(label);
+    core::CampaignConfig config = artifact_campaign(dir);
+    config.chaos = chaos;
+    {
+      config.halt_after_steps = halt_after;
+      board::Vcu128Board board(tiny_board());
+      core::Campaign campaign(board, config);
+      auto run = campaign.run();
+      ASSERT_TRUE(run.is_ok()) << label << ": " << run.status().to_string();
+      EXPECT_TRUE(run.value().halted);
+      EXPECT_TRUE(fs::exists(dir / "checkpoint.json"))
+          << label << ": halt must leave the checkpoint behind";
+      EXPECT_FALSE(fs::exists(dir / "fig2.csv"))
+          << label << ": a halted run must not write artifacts";
+    }
+    {
+      // The resumed process: fresh board, same config, no halt.
+      config.halt_after_steps = 0;
+      board::Vcu128Board board(tiny_board());
+      core::Campaign campaign(board, config);
+      auto run = campaign.run();
+      ASSERT_TRUE(run.is_ok()) << label << ": " << run.status().to_string();
+      EXPECT_FALSE(run.value().halted);
+    }
+    EXPECT_FALSE(fs::exists(dir / "checkpoint.json"))
+        << label << ": a completed resume must clear the checkpoint";
+    expect_artifacts_match(dir, *clean_dir_, label);
+  }
+
+  static fs::path* clean_dir_;
+};
+
+fs::path* ResumeTest::clean_dir_ = nullptr;
+
+TEST_F(ResumeTest, KillDuringReliabilityPhaseResumesByteIdentical) {
+  check_kill_resume(5, chaos::ChaosConfig{}, "kill_reliability");
+}
+
+TEST_F(ResumeTest, KillDuringPowerPhaseResumesByteIdentical) {
+  // The reliability sweep has 21 steps (1200 -> 800 by 20), so step 24
+  // lands inside the power phase.
+  check_kill_resume(24, chaos::ChaosConfig{}, "kill_power");
+}
+
+TEST_F(ResumeTest, KillAndResumeUnderTransientChaos) {
+  // The resumed process rebuilds its injector, so its fault schedule
+  // differs from the uninterrupted run's -- which is exactly the point:
+  // transients are figure-neutral under *any* schedule.
+  check_kill_resume(7, all_transient(11), "kill_chaos");
+}
+
+TEST_F(ResumeTest, FingerprintMismatchStartsFresh) {
+  const fs::path dir = scratch_dir("stale_ckpt");
+  core::CampaignCheckpoint stale;
+  stale.fingerprint = 0x1234;  // no real config hashes to this
+  stale.reliability_done = true;
+  stale.reliability.push_back({1200, true, {}});
+  ASSERT_TRUE(
+      core::save_checkpoint(stale, (dir / "checkpoint.json").string())
+          .is_ok());
+
+  board::Vcu128Board board(tiny_board());
+  core::Campaign campaign(board, artifact_campaign(dir));
+  auto run = campaign.run();
+  ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+  expect_artifacts_match(dir, *clean_dir_, "stale_ckpt");
+}
+
+TEST_F(ResumeTest, CheckpointDisabledWritesNoFile) {
+  const fs::path dir = scratch_dir("no_ckpt");
+  core::CampaignConfig config = artifact_campaign(dir);
+  config.checkpoint = false;
+  board::Vcu128Board board(tiny_board());
+  core::Campaign campaign(board, config);
+  auto run = campaign.run();
+  ASSERT_TRUE(run.is_ok()) << run.status().to_string();
+  EXPECT_FALSE(fs::exists(dir / "checkpoint.json"));
+  expect_artifacts_match(dir, *clean_dir_, "no_ckpt");
+}
+
+// ---------------------------------------------------------------------------
+// Persistent faults: graceful degradation
+// ---------------------------------------------------------------------------
+
+TEST(DegradationTest, DeadRegulatorYieldsPartialArtifactsNotAbort) {
+  const fs::path dir = scratch_dir("dead_regulator");
+  board::Vcu128Board board(tiny_board());
+  core::CampaignConfig config = artifact_campaign(dir);
+  // Enough budget for a few sweep steps (2 transactions per setpoint),
+  // then the regulator NACKs forever and retries exhaust.
+  config.chaos.regulator_dies_after = 20;
+
+  core::Campaign campaign(board, config);
+  auto run = campaign.run();
+  ASSERT_TRUE(run.is_ok())
+      << "a persistent fault must degrade, not fail the run: "
+      << run.status().to_string();
+  const core::CampaignResult& result = run.value();
+  EXPECT_FALSE(result.halted);
+  ASSERT_FALSE(result.errors.empty());
+  EXPECT_NE(result.errors.front().find("reliability:"), std::string::npos);
+
+  // Partial artifacts exist, the summary carries the structured error,
+  // and the checkpoint survives for a later retry.
+  EXPECT_TRUE(fs::exists(dir / "fig4.csv"));
+  EXPECT_TRUE(fs::exists(dir / "summary.txt"));
+  const std::string summary = read_file(dir / "summary.txt");
+  EXPECT_NE(summary.find("errors\n------"), std::string::npos);
+  EXPECT_NE(summary.find("reliability:"), std::string::npos);
+  EXPECT_TRUE(fs::exists(dir / "checkpoint.json"));
+  // The measured prefix is real data: some voltage rows were recorded.
+  EXPECT_FALSE(result.fault_map.voltages().empty());
+}
+
+TEST(DegradationTest, DeadMonitorExhaustsMeasurePowerRetries) {
+  board::Vcu128Board board(tiny_board());
+  chaos::ChaosConfig config;
+  config.monitor_dies_after = 0;
+  chaos::ChaosInjector injector(board, config);
+  const auto power = board.measure_power();
+  EXPECT_EQ(power.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(injector.injected(chaos::FaultKind::kInaDropout), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Injector lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ChaosInjectorTest, DestructorUninstallsHooks) {
+  board::Vcu128Board board(tiny_board());
+  {
+    chaos::ChaosInjector injector(board, all_transient(5));
+  }
+  // With the injector gone, the board behaves cleanly: a full power cycle
+  // and a bus read succeed without a single injected fault showing up in
+  // the counters.
+  const std::uint64_t nacks = board.bus().nack_count();
+  const std::uint64_t pec_errors = board.bus().pec_error_count();
+  ASSERT_TRUE(board.power_cycle().is_ok());
+  ASSERT_TRUE(board.regulator().read_vout().is_ok());
+  EXPECT_EQ(board.bus().nack_count(), nacks);
+  EXPECT_EQ(board.bus().pec_error_count(), pec_errors);
+}
+
+}  // namespace
+}  // namespace hbmvolt
