@@ -22,6 +22,7 @@ const char* action_name(core::GovernorStep::Action action) {
     case core::GovernorStep::Action::kHold: return "hold";
     case core::GovernorStep::Action::kBackoff: return "BACKOFF";
     case core::GovernorStep::Action::kPowerCycle: return "POWER-CYCLE";
+    case core::GovernorStep::Action::kRetry: return "retry";
   }
   return "?";
 }

@@ -14,6 +14,7 @@
 #include "core/parallel.hpp"
 #include "faults/fault_overlay.hpp"
 #include "hbm/stack.hpp"
+#include "runtime/reliable_channel.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -201,6 +202,41 @@ BENCHMARK(BM_TelemetryOverhead)
     ->Arg(2)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Resilient-runtime serving price (bench/ext_resilient_serving.cpp has
+// the full raw-vs-reliable sweep; this tracks the trend).  One iteration
+// serves a 16k-op uniform stream through ReliableChannel on the weakest
+// PC.  Arg is the starting supply: nominal (ECC idle), 950 mV (SECDED
+// absorbing stuck cells), 920 mV (budget burns, rows retire online).
+// The board is rebuilt per iteration -- the ladder mutates voltage and
+// array state, so a fresh loop body is the only way iterations measure
+// the same thing; setup is a small fraction of the 16k-op serve.
+void BM_ResilientServe(benchmark::State& state) {
+  const int mv = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kOps = 1 << 14;
+  for (auto _ : state) {
+    board::Vcu128Board board(bench::default_board_config());
+    (void)board.set_hbm_voltage(Millivolts{mv});
+    runtime::ReliableChannelConfig config;
+    config.spare_fraction = 0.25;
+    runtime::ReliableChannel channel(board, 18, config);
+    const auto trace =
+        workload::make_uniform_random(channel.capacity(), kOps, 0.25, 0x5E11E);
+    auto report = channel.serve(trace, 1);
+    if (!report.is_ok()) {
+      state.SkipWithError("serve failed");
+      break;
+    }
+    benchmark::DoNotOptimize(report.value().ops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kOps));
+}
+BENCHMARK(BM_ResilientServe)
+    ->Arg(1200)
+    ->Arg(950)
+    ->Arg(920)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,164 @@
+// Resilient serving soak: run the ReliableChannel fleet through a chaos
+// fault storm and prove the headline invariant -- no read ever returns
+// data that mismatches the host-side journal.
+//
+//   ./build/examples/resilient_serving
+//
+// Every PC on a tiny board serves a deterministic uniform-random op
+// stream at an undervolted supply while the chaos injector fires
+// weak-cell bursts and bit rot.  The degradation ladder (correct ->
+// retire -> raise voltage -> power-cycle) absorbs whatever the storm
+// does; the process exits nonzero if a single corrupt beat was delivered
+// or the run fails outright.
+//
+// Knobs (environment variables, all optional):
+//   HBMVOLT_SOAK_OPS=N       foreground ops per PC (default 8192)
+//   HBMVOLT_SOAK_MV=N        starting supply in mV (default 950)
+//   HBMVOLT_SOAK_THREADS=N   worker threads, 1 = serial (default 4)
+//   HBMVOLT_SOAK_SEED=N      workload seed (default 101)
+//   HBMVOLT_SOAK_VERIFY=1    re-run serially and require an identical
+//                            fingerprint (byte-reproducibility check)
+//   HBMVOLT_CHAOS_RATE=X     storm intensity multiplier (default 1.0;
+//                            0 disables the storm entirely)
+//   HBMVOLT_CHAOS_SEED=N     chaos schedule seed (default 404)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "board/vcu128.hpp"
+#include "chaos/chaos.hpp"
+#include "runtime/fleet.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace hbmvolt;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* text = std::getenv(name);
+  return text != nullptr ? std::strtod(text, nullptr) : fallback;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* text = std::getenv(name);
+  return text != nullptr ? std::strtoull(text, nullptr, 0) : fallback;
+}
+
+runtime::FleetConfig soak_fleet(std::uint64_t ops_per_pc, unsigned threads,
+                                std::uint64_t seed) {
+  runtime::FleetConfig config;
+  config.ops_per_pc = ops_per_pc;
+  config.ops_per_epoch = 2048;
+  config.seed = seed;
+  config.threads = threads;
+  config.channel.spare_fraction = 0.25;
+  return config;
+}
+
+Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
+                                      int start_mv, double chaos_rate,
+                                      std::uint64_t chaos_seed,
+                                      bool print_storm) {
+  board::BoardConfig board_config;
+  board_config.geometry = hbm::HbmGeometry::test_tiny();
+  board::Vcu128Board board(board_config);
+  HBMVOLT_RETURN_IF_ERROR(board.set_hbm_voltage(Millivolts{start_mv}));
+
+  chaos::ChaosConfig chaos_config;
+  chaos_config.seed = chaos_seed;
+  chaos_config.weak_burst_rate = 1e-4 * chaos_rate;
+  chaos_config.bit_rot_rate = 1e-3 * chaos_rate;
+  chaos_config.burst_cells = 4;
+  chaos::ChaosInjector injector(board, chaos_config);
+
+  runtime::FleetConfig config = base;
+  if (chaos_rate > 0.0) {
+    config.storm_hook = [&injector](unsigned pc, std::uint64_t tick) {
+      return injector.storm_tick(pc, tick);
+    };
+  }
+
+  runtime::ServingFleet fleet(board, config);
+  auto report = fleet.run();
+  if (report.is_ok() && print_storm) {
+    std::printf("  storm             %llu weak-cell bursts, %llu bit-rot "
+                "flips\n",
+                static_cast<unsigned long long>(
+                    injector.injected(chaos::FaultKind::kWeakCellBurst)),
+                static_cast<unsigned long long>(
+                    injector.injected(chaos::FaultKind::kBitRot)));
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t ops = env_u64("HBMVOLT_SOAK_OPS", 8192);
+  const int mv = static_cast<int>(env_u64("HBMVOLT_SOAK_MV", 950));
+  const unsigned threads =
+      static_cast<unsigned>(env_u64("HBMVOLT_SOAK_THREADS", 4));
+  const std::uint64_t seed = env_u64("HBMVOLT_SOAK_SEED", 101);
+  const double chaos_rate = env_double("HBMVOLT_CHAOS_RATE", 1.0);
+  const std::uint64_t chaos_seed = env_u64("HBMVOLT_CHAOS_SEED", 404);
+  const bool verify = env_u64("HBMVOLT_SOAK_VERIFY", 0) != 0;
+
+  telemetry::Telemetry telemetry;
+  telemetry::ScopedTelemetry scope(telemetry);
+
+  std::printf("resilient serving soak: %llu ops/PC at %d mV, %u thread(s), "
+              "chaos x%.2f\n",
+              static_cast<unsigned long long>(ops), mv, threads, chaos_rate);
+
+  runtime::FleetConfig config = soak_fleet(ops, threads, seed);
+  auto result = run_soak(config, mv, chaos_rate, chaos_seed, true);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "soak failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const runtime::FleetReport& r = result.value();
+
+  std::printf("  ops               %llu (%llu reads, %llu writes)\n",
+              static_cast<unsigned long long>(r.ops),
+              static_cast<unsigned long long>(r.reads),
+              static_cast<unsigned long long>(r.writes));
+  std::printf("  corrupt reads     %llu\n",
+              static_cast<unsigned long long>(r.corrupt_reads));
+  std::printf("  escalated reads   %llu\n",
+              static_cast<unsigned long long>(r.escalated_reads));
+  std::printf("  ladder            %llu raises, %llu power-cycles "
+              "(fleet-level)\n",
+              static_cast<unsigned long long>(r.raises),
+              static_cast<unsigned long long>(r.power_cycles));
+  std::printf("  final voltage     %d mV\n", r.final_voltage.value);
+  std::printf("  fingerprint       %016llx\n",
+              static_cast<unsigned long long>(r.fingerprint));
+
+  if (r.corrupt_reads > 0) {
+    std::fprintf(stderr, "FAIL: %llu corrupt reads delivered\n",
+                 static_cast<unsigned long long>(r.corrupt_reads));
+    return 1;
+  }
+
+  if (verify) {
+    runtime::FleetConfig serial = soak_fleet(ops, 1, seed);
+    auto replay = run_soak(serial, mv, chaos_rate, chaos_seed, false);
+    if (!replay.is_ok()) {
+      std::fprintf(stderr, "serial replay failed: %s\n",
+                   replay.status().to_string().c_str());
+      return 1;
+    }
+    if (replay.value().fingerprint != r.fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: serial fingerprint %016llx != parallel %016llx\n",
+                   static_cast<unsigned long long>(replay.value().fingerprint),
+                   static_cast<unsigned long long>(r.fingerprint));
+      return 1;
+    }
+    std::printf("  replay            serial fingerprint matches\n");
+  }
+
+  std::printf("PASS: zero corrupt reads\n");
+  return 0;
+}

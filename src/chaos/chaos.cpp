@@ -17,6 +17,10 @@ const char* to_string(FaultKind kind) noexcept {
       return "axi_fail";
     case FaultKind::kSpuriousCrash:
       return "spurious_crash";
+    case FaultKind::kWeakCellBurst:
+      return "weak_cell_burst";
+    case FaultKind::kBitRot:
+      return "bit_rot";
   }
   return "unknown";
 }
@@ -33,6 +37,10 @@ double ChaosSchedule::rate(FaultKind kind) const noexcept {
       return config_.axi_fail_rate;
     case FaultKind::kSpuriousCrash:
       return config_.spurious_crash_rate;
+    case FaultKind::kWeakCellBurst:
+      return config_.weak_burst_rate;
+    case FaultKind::kBitRot:
+      return config_.bit_rot_rate;
   }
   return 0.0;
 }
@@ -145,6 +153,12 @@ void ChaosInjector::note(FaultKind kind) {
       case FaultKind::kSpuriousCrash:
         tel->count("chaos.injected.spurious_crash");
         break;
+      case FaultKind::kWeakCellBurst:
+        tel->count("chaos.injected.weak_cell_burst");
+        break;
+      case FaultKind::kBitRot:
+        tel->count("chaos.injected.bit_rot");
+        break;
     }
     tel->count("chaos.injected.total");
   }
@@ -224,6 +238,32 @@ Status ChaosInjector::on_axi(std::uint64_t run, unsigned stack, unsigned port,
   }
   note(FaultKind::kAxiFail);
   return unavailable("chaos: injected AXI dispatch failure");
+}
+
+bool ChaosInjector::storm_tick(unsigned pc_global, std::uint64_t tick) {
+  // Pure fire decisions from (seed, pc, tick) -- no Site state, so
+  // distinct PCs can tick concurrently (mutations below are PC-local).
+  bool fired = false;
+  const hbm::HbmGeometry& geometry = board_.geometry();
+  if (schedule_.fires(FaultKind::kWeakCellBurst, pc_global, tick, 0)) {
+    note(FaultKind::kWeakCellBurst);
+    const std::uint64_t cells = schedule_.config().burst_cells;
+    board_.injector().add_burst(pc_global, cells, cells);
+    HBMVOLT_LOG_INFO("chaos: weak-cell burst of %llu cells/polarity on PC %u",
+                     static_cast<unsigned long long>(cells), pc_global);
+    fired = true;
+  }
+  if (schedule_.fires(FaultKind::kBitRot, pc_global, tick, 1)) {
+    note(FaultKind::kBitRot);
+    const std::uint64_t u =
+        schedule_.draw(FaultKind::kBitRot, pc_global, tick, 1);
+    const std::uint64_t bit = u % geometry.bits_per_pc;
+    const hbm::PcId pc = hbm::PcId::from_global(geometry, pc_global);
+    hbm::MemoryArray& array = board_.stack(pc.stack).array(pc.index);
+    array.write_bit(bit, !array.read_bit(bit));
+    fired = true;
+  }
+  return fired;
 }
 
 void ChaosInjector::on_vout(Millivolts v) {

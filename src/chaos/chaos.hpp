@@ -56,9 +56,13 @@ enum class FaultKind : unsigned {
   kWireCorrupt = 1,  // single-bit frame flip; PEC turns it into kDataLoss
   kInaDropout = 2,   // power monitor unresponsive (kUnavailable)
   kAxiFail = 3,      // per-port traffic dispatch failure (kUnavailable)
-  kSpuriousCrash = 4 // stack crash at a voltage the model calls safe
+  kSpuriousCrash = 4, // stack crash at a voltage the model calls safe
+  // Fault-storm kinds, driven by storm_tick() from the resilient runtime
+  // (src/runtime/) rather than by board hooks:
+  kWeakCellBurst = 5, // sudden per-PC weak-cell burst (aging / VT shift)
+  kBitRot = 6         // stored-bit flip (the corruption patrol scrub fixes)
 };
-inline constexpr unsigned kFaultKindCount = 5;
+inline constexpr unsigned kFaultKindCount = 7;
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
 
@@ -70,6 +74,11 @@ struct ChaosConfig {
   double ina_dropout_rate = 0.0;
   double axi_fail_rate = 0.0;
   double spurious_crash_rate = 0.0;
+  /// Fault-storm rates, evaluated once per (PC, tick) by storm_tick().
+  double weak_burst_rate = 0.0;
+  double bit_rot_rate = 0.0;
+  /// Cells added per polarity by one weak-cell burst.
+  std::uint64_t burst_cells = 8;
   /// Events a site stays clean for after an injection.  The default of 4
   /// pairs with RetryPolicy::max_attempts = 4: see the header comment.
   unsigned cooldown = 4;
@@ -81,7 +90,8 @@ struct ChaosConfig {
   [[nodiscard]] bool any() const noexcept {
     return pmbus_nack_rate > 0.0 || wire_corrupt_rate > 0.0 ||
            ina_dropout_rate > 0.0 || axi_fail_rate > 0.0 ||
-           spurious_crash_rate > 0.0 || regulator_dies_after >= 0 ||
+           spurious_crash_rate > 0.0 || weak_burst_rate > 0.0 ||
+           bit_rot_rate > 0.0 || regulator_dies_after >= 0 ||
            monitor_dies_after >= 0;
   }
 };
@@ -131,6 +141,15 @@ class ChaosInjector {
         std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t total_injected() const noexcept;
+
+  /// Fault-storm entry point, called by the resilient runtime once per
+  /// (PC, scrub/serve tick).  The fire decision is a pure function of
+  /// (seed, pc_global, tick) -- like on_axi it is safe to call
+  /// concurrently for *distinct* PCs, and every mutation it makes is
+  /// PC-local (a weak-cell burst touches only that PC's overlay, bit rot
+  /// only that PC's array words).  Returns true when anything fired, so
+  /// callers can account storms without re-deriving the schedule.
+  bool storm_tick(unsigned pc_global, std::uint64_t tick);
 
  private:
   /// One injection site: an event counter plus the post-injection

@@ -1,6 +1,7 @@
 #include "core/governor.hpp"
 
 #include "common/log.hpp"
+#include "core/voltage_sweep.hpp"
 
 namespace hbmvolt::core {
 
@@ -55,8 +56,23 @@ Result<GovernorResult> UndervoltGovernor::run() {
     step.voltage = current;
 
     if (!rate.is_ok()) {
-      // Crash: power-cycle, return to last-known-good + margin, hold.
       step.crashed = true;
+      // Crash watchdog (shared with VoltageSweep): a chaos-injected crash
+      // recovers under a power-cycle + re-apply recheck, and the governor
+      // re-probes the same voltage instead of backing off -- spurious
+      // crashes must not inflate the settled voltage.
+      auto recovered = crash_watchdog_recover(
+          board_, current, config_.crash_retries, "governor");
+      if (!recovered.is_ok()) return recovered.status();
+      board_.set_active_ports(board_.total_ports());
+      if (recovered.value()) {
+        step.spurious = true;
+        step.action = GovernorStep::Action::kRetry;
+        result.trace.push_back(step);
+        continue;
+      }
+      // Genuine crash: power-cycle, return to last-known-good + margin,
+      // hold.
       step.action = GovernorStep::Action::kPowerCycle;
       result.trace.push_back(step);
       HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
@@ -109,6 +125,14 @@ Result<GovernorResult> UndervoltGovernor::run() {
     result.savings_factor = (nominal / v) * (nominal / v);
   }
   return result;
+}
+
+Result<Millivolts> UndervoltGovernor::raise_one_step() {
+  const Millivolts v_nom = board_.config().regulator_config.vout_default;
+  Millivolts next{board_.hbm_voltage().value + config_.step_mv};
+  if (next > v_nom) next = v_nom;
+  HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(next));
+  return next;
 }
 
 }  // namespace hbmvolt::core

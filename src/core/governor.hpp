@@ -40,13 +40,21 @@ struct GovernorConfig {
   unsigned settle_probes = 3;
   /// Safety cap on total probes.
   unsigned max_probes = 200;
+  /// Crash-watchdog budget (see core::crash_watchdog_recover): rounds of
+  /// power-cycle + re-apply before a probe crash is believed.  Spurious
+  /// injected crashes recover under the recheck and are re-probed at the
+  /// same voltage, so they no longer inflate the settled voltage.
+  unsigned crash_retries = 2;
 };
 
 struct GovernorStep {
   Millivolts voltage{0};
   double measured_rate = 0.0;
   bool crashed = false;
-  enum class Action { kLower, kHold, kBackoff, kPowerCycle } action;
+  /// The crash recovered under the watchdog recheck (chaos-injected, not
+  /// a real undervolt crash); the probe is retried at the same voltage.
+  bool spurious = false;
+  enum class Action { kLower, kHold, kBackoff, kPowerCycle, kRetry } action;
 };
 
 struct GovernorResult {
@@ -65,6 +73,11 @@ class UndervoltGovernor {
   /// the probe budget runs out).  Leaves the board at the settled
   /// voltage.
   Result<GovernorResult> run();
+
+  /// Raises the board one `step_mv` above its current setpoint, capped at
+  /// nominal -- the degradation ladder's "raise voltage" rung (see
+  /// src/runtime/).  Returns the new setpoint.
+  Result<Millivolts> raise_one_step();
 
  private:
   /// One probe at the current voltage: write/read the probe slice on

@@ -1,5 +1,7 @@
 #include "core/voltage_sweep.hpp"
 
+#include <string>
+
 #include "common/log.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -19,6 +21,31 @@ std::vector<Millivolts> sweep_grid(const SweepConfig& config) {
 VoltageSweep::VoltageSweep(board::Vcu128Board& board, SweepConfig config,
                            CrashPolicy policy)
     : board_(board), config_(config), policy_(policy) {}
+
+Result<bool> crash_watchdog_recover(board::Vcu128Board& board, Millivolts v,
+                                    unsigned retries,
+                                    const char* counter_prefix) {
+  unsigned recoveries = 0;
+  while (!board.responding() && recoveries < retries) {
+    ++recoveries;
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count(std::string(counter_prefix) + ".crash_retries");
+    }
+    HBMVOLT_RETURN_IF_ERROR(board.power_cycle());
+    HBMVOLT_RETURN_IF_ERROR(board.set_hbm_voltage(v));
+  }
+  if (!board.responding()) return false;
+  if (recoveries > 0) {
+    HBMVOLT_LOG_INFO("spurious crash at %d mV recovered after %u power "
+                     "cycle(s)",
+                     v.value, recoveries);
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count(std::string(counter_prefix) +
+                 ".spurious_crashes_recovered");
+    }
+  }
+  return true;
+}
 
 Status VoltageSweep::run(const std::function<void(Millivolts)>& body,
                          const std::function<void(Millivolts)>& on_crash) {
@@ -55,16 +82,9 @@ Status VoltageSweep::run_resumable(
     // power cycle and re-applied voltage crashes the stack again.  A
     // spurious (injected) crash recovers, and the retry rounds are
     // figure-neutral (seeded re-scramble, content-independent faults).
-    unsigned recoveries = 0;
-    while (!board_.responding() && recoveries < crash_retries_) {
-      ++recoveries;
-      if (auto* tel = telemetry::Telemetry::active()) {
-        tel->count("sweep.crash_retries");
-      }
-      HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
-      HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(v));
-    }
-    if (!board_.responding()) {
+    auto recovered = crash_watchdog_recover(board_, v, crash_retries_);
+    if (!recovered.is_ok()) return recovered.status();
+    if (!recovered.value()) {
       HBMVOLT_LOG_INFO("HBM crashed at %d mV", v.value);
       crashed_any = true;
       if (auto* tel = telemetry::Telemetry::active()) {
@@ -80,14 +100,6 @@ Status VoltageSweep::run_resumable(
       // the next grid point (which will crash again if below critical --
       // callers normally stop their grids at V_critical).
       continue;
-    }
-    if (recoveries > 0) {
-      HBMVOLT_LOG_INFO("spurious crash at %d mV recovered after %u power "
-                       "cycle(s)",
-                       v.value, recoveries);
-      if (auto* tel = telemetry::Telemetry::active()) {
-        tel->count("sweep.spurious_crashes_recovered");
-      }
     }
     if (auto* tel = telemetry::Telemetry::active()) {
       const std::uint64_t start = tel->clock().now_ns();

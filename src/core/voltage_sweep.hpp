@@ -46,6 +46,19 @@ enum class CrashPolicy {
   kPowerCycleAndContinue  // record, power-cycle, keep sweeping
 };
 
+/// The crash watchdog, shared by the sweep and the adaptive governor.
+/// While the board is unresponsive, power-cycles and re-applies `v`, up
+/// to `retries` rounds.  Returns true when the board responds afterwards
+/// (the crash was spurious and recovered -- or there was no crash at
+/// all), false when the crash survives every recheck (a genuine
+/// undervolt crash: deterministic, so re-applying `v` reproduces it).
+/// Retry rounds and recoveries are counted in telemetry as
+/// `<counter_prefix>.crash_retries` and
+/// `<counter_prefix>.spurious_crashes_recovered`.
+Result<bool> crash_watchdog_recover(board::Vcu128Board& board, Millivolts v,
+                                    unsigned retries,
+                                    const char* counter_prefix = "sweep");
+
 /// One already-completed grid point, as recorded by a checkpoint.
 struct SweepSkip {
   Millivolts v{0};

@@ -65,8 +65,11 @@ Result<EccChannel::ReadOutcome> EccChannel::read_beat(std::uint64_t beat) {
         ++outcome.corrected;
         break;
       case DecodeStatus::kCorrectedCheck:
+        // Data intact: counted as a check-byte event only, never folded
+        // into `corrected` (a beat with both a data and a check error used
+        // to report two corrected data words when only one was repaired).
         ++stats_.corrected_check;
-        ++outcome.corrected;
+        ++outcome.corrected_check;
         break;
       case DecodeStatus::kUncorrectable:
         ++stats_.uncorrectable;
@@ -74,6 +77,63 @@ Result<EccChannel::ReadOutcome> EccChannel::read_beat(std::uint64_t beat) {
         break;
     }
   }
+  return outcome;
+}
+
+Result<ScrubOutcome> EccChannel::scrub_beat(std::uint64_t beat) {
+  if (beat >= data_beats_) {
+    return out_of_range("ECC data beat out of range");
+  }
+  auto data = stack_.read_beat(pc_local_, beat);
+  if (!data.is_ok()) return data.status();
+  auto parity = stack_.read_beat(pc_local_, parity_beat_of(beat));
+  if (!parity.is_ok()) return parity.status();
+
+  const auto* check_bytes =
+      reinterpret_cast<const std::uint8_t*>(parity.value().data()) +
+      (beat % kBeatsPerParityBeat) * 4;
+
+  ScrubOutcome outcome;
+  hbm::Beat repaired = data.value();
+  bool data_dirty = false;
+  bool parity_dirty = false;
+  for (unsigned w = 0; w < 4; ++w) {
+    const DecodeResult decoded =
+        secded_decode(data.value()[w], check_bytes[w]);
+    switch (decoded.status) {
+      case DecodeStatus::kClean:
+        break;
+      case DecodeStatus::kCorrectedData:
+        ++outcome.corrected_data;
+        repaired[w] = decoded.data;
+        data_dirty = true;
+        break;
+      case DecodeStatus::kCorrectedCheck:
+        ++outcome.corrected_check;
+        parity_dirty = true;
+        break;
+      case DecodeStatus::kUncorrectable:
+        // Nothing trustworthy to write back for this word; leave the
+        // stored value alone so a later voltage raise can still recover it.
+        ++outcome.uncorrectable;
+        break;
+    }
+  }
+
+  if (data_dirty) {
+    HBMVOLT_RETURN_IF_ERROR(stack_.write_beat(pc_local_, beat, repaired));
+  }
+  if (parity_dirty) {
+    // Refresh the whole parity beat from the host-side shadow; this also
+    // repairs rot in the check bytes of the 7 sibling data beats.
+    const std::uint64_t group = beat / kBeatsPerParityBeat;
+    hbm::Beat fresh{};
+    std::memcpy(fresh.data(),
+                shadow_checks_.data() + group * kBeatsPerParityBeat * 4, 32);
+    HBMVOLT_RETURN_IF_ERROR(
+        stack_.write_beat(pc_local_, parity_beat_of(beat), fresh));
+  }
+  outcome.wrote_back = data_dirty || parity_dirty;
   return outcome;
 }
 

@@ -35,6 +35,21 @@ struct EccStats {
                            : static_cast<double>(uncorrectable) /
                                  static_cast<double>(words_read);
   }
+
+  /// Accounting invariant: every decoded word lands in exactly one bucket.
+  [[nodiscard]] bool consistent() const noexcept {
+    return words_read ==
+           words_clean + corrected_data + corrected_check + uncorrectable;
+  }
+};
+
+/// Result of one patrol-scrub pass over a beat (see scrub_beat).
+struct ScrubOutcome {
+  unsigned corrected_data = 0;   // data words repaired and written back
+  unsigned corrected_check = 0;  // check-byte errors (parity rewritten)
+  unsigned uncorrectable = 0;    // words the scrubber could not repair
+  /// Whether the scrubber wrote anything back (data beat and/or parity).
+  bool wrote_back = false;
 };
 
 class EccChannel {
@@ -53,19 +68,42 @@ class EccChannel {
 
   struct ReadOutcome {
     hbm::Beat data;
-    unsigned corrected = 0;       // words corrected in this beat
-    unsigned uncorrectable = 0;   // words lost in this beat
+    /// Data words that needed correction in this beat.  Check-byte-only
+    /// errors are counted in `corrected_check` instead: the data word was
+    /// intact, and folding both into one count double-counted beats that
+    /// had both a data and a check error (they reported two corrupted
+    /// words when only one data word was repaired).
+    unsigned corrected = 0;
+    unsigned corrected_check = 0;  // check-byte errors (data intact)
+    unsigned uncorrectable = 0;    // words lost in this beat
   };
   Result<ReadOutcome> read_beat(std::uint64_t beat);
+
+  /// Patrol-scrub one beat: decode every word and *write back* the
+  /// corrections -- read_beat's corrections are transient (the stored data
+  /// stays corrupt), which lets independent single-bit upsets accumulate
+  /// into uncorrectable words.  Repaired data words are rewritten to the
+  /// array; a beat with any check-byte error gets its parity beat
+  /// refreshed from the host-side shadow (repairing bit-rot in the parity
+  /// region).  Stuck-at cells re-corrupt the written-back value on the
+  /// next read, as on real hardware -- write-back targets *transient*
+  /// corruption, the stuck cells are the retirement ladder's job.
+  /// Scrub traffic is accounted in the ScrubOutcome only; it never inflates
+  /// the demand-read EccStats.
+  Result<ScrubOutcome> scrub_beat(std::uint64_t beat);
 
   [[nodiscard]] const EccStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = EccStats{}; }
 
- private:
+  /// Physical beat that stores `beat`'s check bytes.  Exposed so retirement
+  /// planners can tell whether a data beat's protection lives on a healthy
+  /// row: a fault-free data beat whose parity row is retired still can't be
+  /// served through ECC.
   [[nodiscard]] std::uint64_t parity_beat_of(std::uint64_t beat) const {
     return data_beats_padded_ + beat / kBeatsPerParityBeat;
   }
 
+ private:
   hbm::HbmStack& stack_;
   unsigned pc_local_;
   std::uint64_t data_beats_ = 0;         // exposed capacity

@@ -250,6 +250,22 @@ FaultInjector::FaultInjector(FaultModel model, WeakCellConfig weak_config)
   const unsigned total = model_.geometry().total_pcs();
   orders_.resize(total);
   overlays_.resize(total);
+  burst_extras_.assign(static_cast<std::size_t>(total) * 2, 0);
+}
+
+void FaultInjector::add_burst(unsigned pc_global, std::uint64_t extra_sa0,
+                              std::uint64_t extra_sa1) {
+  HBMVOLT_REQUIRE(pc_global < overlays_.size(), "PC index out of range");
+  burst_extras_[pc_global * 2 + 0] += extra_sa0;
+  burst_extras_[pc_global * 2 + 1] += extra_sa1;
+  overlays_[pc_global].reset();
+}
+
+std::uint64_t FaultInjector::burst_extra(unsigned pc_global,
+                                         StuckPolarity polarity) const {
+  HBMVOLT_REQUIRE(pc_global < overlays_.size(), "PC index out of range");
+  return burst_extras_[pc_global * 2 +
+                       (polarity == StuckPolarity::kStuckAt1 ? 1 : 0)];
 }
 
 void FaultInjector::set_voltage(Millivolts v) {
@@ -273,9 +289,11 @@ const FaultOverlay& FaultInjector::overlay(unsigned pc_global) {
   auto& slot = overlays_[pc_global];
   if (!slot) {
     const std::uint64_t k0 =
-        model_.stuck_count(pc_global, StuckPolarity::kStuckAt0, voltage_);
+        model_.stuck_count(pc_global, StuckPolarity::kStuckAt0, voltage_) +
+        burst_extras_[pc_global * 2 + 0];
     const std::uint64_t k1 =
-        model_.stuck_count(pc_global, StuckPolarity::kStuckAt1, voltage_);
+        model_.stuck_count(pc_global, StuckPolarity::kStuckAt1, voltage_) +
+        burst_extras_[pc_global * 2 + 1];
     if (k0 + k1 == 0) {
       // Guardband fast path: cache an empty overlay without materializing
       // the weak-cell order.

@@ -112,12 +112,30 @@ class FaultInjector {
   /// Weak-cell order for a PC (built lazily; stable across voltages).
   const WeakCellOrder& order(unsigned pc_global);
 
+  /// Permanently weakens a PC: the next `extra_sa0`/`extra_sa1` cells of
+  /// its weak-cell order become stuck *in addition to* the voltage-derived
+  /// prefix, at every voltage from now on -- the model of a sudden aging /
+  /// VT-shift burst (see chaos fault storms).  Raising the supply voltage
+  /// still shrinks the total stuck set (the burst extends the prefix, it
+  /// does not pin specific cells), and row retirement can remove burst
+  /// rows.  Only this PC's cached overlay is invalidated, so concurrent
+  /// workers touching *other* PCs are unaffected.
+  void add_burst(unsigned pc_global, std::uint64_t extra_sa0,
+                 std::uint64_t extra_sa1);
+
+  /// Accumulated burst extras for a PC.
+  [[nodiscard]] std::uint64_t burst_extra(unsigned pc_global,
+                                          StuckPolarity polarity) const;
+
  private:
   FaultModel model_;
   WeakCellConfig weak_config_;
   Millivolts voltage_{1200};
   std::vector<std::unique_ptr<WeakCellOrder>> orders_;
   std::vector<std::unique_ptr<FaultOverlay>> overlays_;  // null = stale
+  /// Per-PC burst extras appended to the voltage-derived stuck prefix
+  /// (index = pc_global * 2 + polarity).
+  std::vector<std::uint64_t> burst_extras_;
   FaultOverlay empty_;
 };
 

@@ -68,3 +68,8 @@
 #include "memtest/march.hpp"
 #include "mitigate/remap.hpp"
 #include "mitigate/row_retirement.hpp"
+
+// Resilient serving runtime (scrubbing, error budgets, the ladder).
+#include "runtime/error_budget.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/reliable_channel.hpp"

@@ -1,0 +1,55 @@
+#include "runtime/error_budget.hpp"
+
+namespace hbmvolt::runtime {
+
+const char* to_string(BudgetVerdict verdict) noexcept {
+  switch (verdict) {
+    case BudgetVerdict::kHealthy:
+      return "healthy";
+    case BudgetVerdict::kCorrectedBurn:
+      return "corrected_burn";
+    case BudgetVerdict::kUncorrectableBurn:
+      return "uncorrectable_burn";
+  }
+  return "unknown";
+}
+
+BudgetVerdict ErrorBudget::record(std::uint64_t words, std::uint64_t corrected,
+                                  std::uint64_t uncorrectable) {
+  if (burned()) return verdict_;  // latched until the ladder resets us
+  words_ += words;
+  corrected_ += corrected;
+  uncorrectable_ += uncorrectable;
+
+  if (uncorrectable_ > config_.uncorrectable_tolerance) {
+    verdict_ = BudgetVerdict::kUncorrectableBurn;
+    ++burns_;
+    return verdict_;
+  }
+  if (words_ >= config_.window_words) {
+    const double rate = words_ == 0
+                            ? 0.0
+                            : static_cast<double>(corrected_) /
+                                  static_cast<double>(words_);
+    ++windows_completed_;
+    if (rate > config_.corrected_slo) {
+      verdict_ = BudgetVerdict::kCorrectedBurn;
+      ++burns_;
+      return verdict_;
+    }
+    // Healthy window: roll over.
+    words_ = 0;
+    corrected_ = 0;
+    uncorrectable_ = 0;
+  }
+  return BudgetVerdict::kHealthy;
+}
+
+void ErrorBudget::reset() {
+  words_ = 0;
+  corrected_ = 0;
+  uncorrectable_ = 0;
+  verdict_ = BudgetVerdict::kHealthy;
+}
+
+}  // namespace hbmvolt::runtime

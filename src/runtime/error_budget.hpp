@@ -1,0 +1,81 @@
+// Windowed error-budget monitor for the resilient runtime.
+//
+// SRE-style error budgets applied to memory reliability: the channel is
+// allowed a bounded rate of *corrected* words per window (corrections
+// cost latency and signal decaying margin) and essentially zero
+// *uncorrectable* words (each one is an SLO breach the ladder must act
+// on).  The monitor only accounts and judges; acting on a burned budget
+// is the degradation ladder's job (see reliable_channel.hpp).
+
+#pragma once
+
+#include <cstdint>
+
+namespace hbmvolt::runtime {
+
+struct ErrorBudgetConfig {
+  /// Decoded words per accounting window.
+  std::uint64_t window_words = 4096;
+  /// Budgeted corrected-word fraction per window; a *complete* window
+  /// above this burns the budget.
+  double corrected_slo = 0.01;
+  /// Uncorrectable words tolerated per window before the budget burns
+  /// immediately (no need to wait for the window to fill).
+  std::uint64_t uncorrectable_tolerance = 0;
+};
+
+enum class BudgetVerdict {
+  kHealthy,
+  kCorrectedBurn,      // corrected rate over SLO at window completion
+  kUncorrectableBurn,  // uncorrectable words over tolerance
+};
+
+[[nodiscard]] const char* to_string(BudgetVerdict verdict) noexcept;
+
+/// Deterministic windowed accounting.  record() folds one batch of
+/// decoded words in and returns the verdict after the batch; a healthy
+/// window that fills up rolls over silently.  A burned window stays
+/// burned until reset() -- the ladder consumes the burn by acting, then
+/// resets.
+class ErrorBudget {
+ public:
+  explicit ErrorBudget(ErrorBudgetConfig config) : config_(config) {}
+
+  BudgetVerdict record(std::uint64_t words, std::uint64_t corrected,
+                       std::uint64_t uncorrectable);
+
+  /// Consume a burn (or abandon the current window) after a ladder
+  /// action; accounting restarts from an empty window.
+  void reset();
+
+  [[nodiscard]] BudgetVerdict verdict() const noexcept { return verdict_; }
+  [[nodiscard]] bool burned() const noexcept {
+    return verdict_ != BudgetVerdict::kHealthy;
+  }
+
+  [[nodiscard]] std::uint64_t window_words() const noexcept { return words_; }
+  [[nodiscard]] std::uint64_t window_corrected() const noexcept {
+    return corrected_;
+  }
+  [[nodiscard]] std::uint64_t window_uncorrectable() const noexcept {
+    return uncorrectable_;
+  }
+  [[nodiscard]] std::uint64_t windows_completed() const noexcept {
+    return windows_completed_;
+  }
+  [[nodiscard]] std::uint64_t burns() const noexcept { return burns_; }
+  [[nodiscard]] const ErrorBudgetConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ErrorBudgetConfig config_;
+  std::uint64_t words_ = 0;
+  std::uint64_t corrected_ = 0;
+  std::uint64_t uncorrectable_ = 0;
+  std::uint64_t windows_completed_ = 0;
+  std::uint64_t burns_ = 0;
+  BudgetVerdict verdict_ = BudgetVerdict::kHealthy;
+};
+
+}  // namespace hbmvolt::runtime

@@ -1,0 +1,261 @@
+#include "runtime/fleet.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "core/parallel.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hbmvolt::runtime {
+
+ServingFleet::ServingFleet(board::Vcu128Board& board, FleetConfig config)
+    : board_(board), config_(std::move(config)) {
+  HBMVOLT_REQUIRE(config_.ops_per_epoch > 0, "epoch must serve ops");
+  if (config_.pcs.empty()) {
+    for (unsigned pc = 0; pc < board_.geometry().total_pcs(); ++pc) {
+      config_.pcs.push_back(pc);
+    }
+  }
+  channels_.reserve(config_.pcs.size());
+  traces_.reserve(config_.pcs.size());
+  for (const unsigned pc : config_.pcs) {
+    channels_.push_back(
+        std::make_unique<ReliableChannel>(board_, pc, config_.channel));
+    traces_.push_back(workload::make_uniform_random(
+        channels_.back()->capacity(), config_.ops_per_pc,
+        config_.write_fraction, stream_seed(config_.seed, 0xF1EE7, pc, 0)));
+  }
+  states_.resize(config_.pcs.size());
+}
+
+void ServingFleet::serve_pc_epoch(std::size_t i) {
+  ReliableChannel& channel = *channels_[i];
+  const workload::AccessTrace& trace = traces_[i];
+  const unsigned pc = config_.pcs[i];
+  PcState& st = states_[i];
+  st.wants_global = false;
+  st.wanted = LadderRung::kCorrect;
+  const std::uint64_t data_seed = mix_seed(config_.seed, 0xDA7A);
+
+  std::uint64_t served = 0;
+  while (st.cursor < trace.size() && served < config_.ops_per_epoch) {
+    if (config_.storm_hook && st.cursor >= st.storm_next) {
+      const bool alarm = config_.storm_hook(pc, st.cursor);
+      st.storm_next = st.cursor + 1;
+      if (alarm) {
+        // Environmental alarm: flush soft state and expose any word the
+        // storm armed before SECDED can miscorrect it (see
+        // refresh_from_journal).
+        const Status refreshed = channel.refresh_from_journal();
+        if (!refreshed.is_ok()) {
+          if (refreshed.code() == StatusCode::kUnavailable) {
+            st.wants_global = true;
+            st.wanted = LadderRung::kPowerCycle;
+            return;
+          }
+          st.status = refreshed;
+          return;
+        }
+        if (channel.escalation_pending()) {
+          auto rung = channel.escalate();
+          if (!rung.is_ok()) {
+            st.status = rung.status();
+            return;
+          }
+          if (rung.value() != LadderRung::kCorrect) {
+            st.wants_global = true;
+            st.wanted = rung.value();
+            return;
+          }
+        }
+      }
+    }
+    const workload::TraceRecord& record = trace[st.cursor];
+    const std::uint64_t logical = record.beat % channel.capacity();
+    const bool write_op = record.write || !channel.journal_live(logical);
+
+    if (write_op) {
+      const Status wrote =
+          channel.write(logical, make_payload(data_seed, pc, st.cursor));
+      if (!wrote.is_ok()) {
+        if (wrote.code() == StatusCode::kUnavailable) {
+          // Crashed stack: request rung 3 and end the epoch; the op is
+          // retried after the barrier's power-cycle + restore.
+          ++st.attempts;
+          st.wants_global = true;
+          st.wanted = LadderRung::kPowerCycle;
+          return;
+        }
+        st.status = wrote;
+        return;
+      }
+      ++st.report.writes;
+    } else {
+      auto got = channel.read(logical);
+      if (!got.is_ok()) {
+        if (++st.attempts > 64) {
+          st.status = got.status();
+          return;
+        }
+        if (got.status().code() == StatusCode::kUnavailable) {
+          st.wants_global = true;
+          st.wanted = LadderRung::kPowerCycle;
+          return;
+        }
+        if (got.status().code() != StatusCode::kDataLoss) {
+          st.status = got.status();
+          return;
+        }
+        auto rung = channel.escalate();
+        if (!rung.is_ok()) {
+          st.status = rung.status();
+          return;
+        }
+        if (rung.value() == LadderRung::kCorrect) continue;  // retry now
+        st.wants_global = true;
+        st.wanted = rung.value();
+        return;  // retried after the barrier applies the global rung
+      }
+      if (got.value() != channel.journal_beat(logical)) {
+        ++st.report.corrupt_reads;
+      }
+      ++st.report.reads;
+      if (st.attempts > 0) ++st.report.escalated_reads;
+    }
+    ++st.report.ops;
+    ++st.cursor;
+    ++served;
+    st.attempts = 0;
+
+    // Consume a burned budget between ops, before a read trips on it.
+    if (channel.budget().burned() || channel.escalation_pending()) {
+      auto rung = channel.escalate();
+      if (!rung.is_ok()) {
+        st.status = rung.status();
+        return;
+      }
+      if (rung.value() != LadderRung::kCorrect) {
+        st.wants_global = true;
+        st.wanted = rung.value();
+        return;
+      }
+    }
+  }
+}
+
+Result<FleetReport> ServingFleet::run() {
+  FleetReport report;
+  std::unique_ptr<core::ThreadPool> pool;
+  if (config_.threads != 1) {
+    pool = std::make_unique<core::ThreadPool>(config_.threads);
+  }
+
+  // Epochs bound: the trace epochs plus a generous allowance for
+  // escalation-interrupted ones (each of those makes ladder progress).
+  const std::uint64_t trace_epochs =
+      (config_.ops_per_pc + config_.ops_per_epoch - 1) /
+      config_.ops_per_epoch;
+  const std::uint64_t max_epochs = trace_epochs + 4096;
+
+  for (;;) {
+    bool all_done = true;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i].cursor < traces_[i].size()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    if (report.epochs >= max_epochs) {
+      return unavailable("fleet ladder failed to converge");
+    }
+    ++report.epochs;
+
+    core::parallel_for_each(pool.get(), states_.size(),
+                            [this](std::size_t i) { serve_pc_epoch(i); });
+
+    // Serial aggregation and global ladder actions, in PC index order.
+    bool want_cycle = false;
+    bool want_raise = false;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      PcState& st = states_[i];
+      if (!st.status.is_ok()) return st.status;
+      if (!st.wants_global) continue;
+      if (st.wanted == LadderRung::kPowerCycle) want_cycle = true;
+      if (st.wanted == LadderRung::kRaiseVoltage) want_raise = true;
+    }
+    if (want_cycle || !board_.responding()) {
+      HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
+      for (auto& channel : channels_) {
+        HBMVOLT_RETURN_IF_ERROR(channel->restore_after_power_cycle());
+      }
+      ++report.power_cycles;
+      if (auto* tel = telemetry::Telemetry::active()) {
+        tel->count("runtime.fleet.power_cycle");
+      }
+    } else if (want_raise) {
+      const Millivolts nominal =
+          board_.config().regulator_config.vout_default;
+      Millivolts next{board_.hbm_voltage().value +
+                      config_.channel.raise_step_mv};
+      if (next > nominal) next = nominal;
+      HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(next));
+      for (auto& channel : channels_) {
+        channel->on_global_action(LadderRung::kRaiseVoltage);
+      }
+      ++report.raises;
+      if (auto* tel = telemetry::Telemetry::active()) {
+        tel->count("runtime.fleet.raise");
+      }
+    }
+    for (auto& channel : channels_) channel->flush_telemetry();
+  }
+
+  // Fold the run into the report, in PC index order.
+  std::uint64_t fp = mix_seed(config_.seed, 0xF17);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const PcState& st = states_[i];
+    const ReliableChannel& channel = *channels_[i];
+    report.ops += st.report.ops;
+    report.reads += st.report.reads;
+    report.writes += st.report.writes;
+    report.corrupt_reads += st.report.corrupt_reads;
+    report.escalated_reads += st.report.escalated_reads;
+
+    fp = mix_seed(fp, config_.pcs[i]);
+    fp = mix_seed(fp, st.report.reads);
+    fp = mix_seed(fp, st.report.writes);
+    fp = mix_seed(fp, st.report.corrupt_reads);
+    fp = mix_seed(fp, st.report.escalated_reads);
+    const ChannelStats& cs = channel.stats();
+    fp = mix_seed(fp, cs.corrected_words);
+    fp = mix_seed(fp, cs.corrected_check_words);
+    fp = mix_seed(fp, cs.uncorrectable_blocked);
+    fp = mix_seed(fp, cs.rows_retired);
+    fp = mix_seed(fp, cs.beats_migrated);
+    fp = mix_seed(fp, cs.journal_migrations);
+    fp = mix_seed(fp, cs.beats_parked);
+    fp = mix_seed(fp, cs.verify_caught);
+    fp = mix_seed(fp, cs.journal_refreshes);
+    fp = mix_seed(fp, cs.scrub_beats);
+    fp = mix_seed(fp, cs.scrub_corrected);
+    fp = mix_seed(fp, cs.scrub_uncorrectable);
+    for (const LadderEvent& event : channel.ladder_trace()) {
+      fp = mix_seed(fp, static_cast<std::uint64_t>(event.rung));
+      fp = mix_seed(fp, static_cast<std::uint64_t>(event.voltage.value));
+      fp = mix_seed(fp, event.op);
+    }
+    for (std::uint64_t beat = 0; beat < channel.capacity(); ++beat) {
+      if (!channel.journal_live(beat)) continue;
+      const hbm::Beat& data = channel.journal_beat(beat);
+      for (unsigned w = 0; w < 4; ++w) fp = mix_seed(fp, data[w]);
+    }
+  }
+  report.final_voltage = board_.hbm_voltage();
+  fp = mix_seed(fp, static_cast<std::uint64_t>(report.final_voltage.value));
+  fp = mix_seed(fp, report.raises);
+  fp = mix_seed(fp, report.power_cycles);
+  report.fingerprint = fp;
+  return report;
+}
+
+}  // namespace hbmvolt::runtime

@@ -1,0 +1,111 @@
+// ServingFleet: epoch-based parallel serving over many ReliableChannels.
+//
+// One ReliableChannel per pseudo-channel, one deterministic op stream per
+// PC (workload::make_uniform_random over a counter-derived seed), served
+// in epochs over the PR-1 thread pool.  The determinism discipline is the
+// repo's usual one:
+//
+//  * workers own disjoint per-PC state (channel, trace cursor, report
+//    slot) and never mutate anything global -- a worker that needs a
+//    global ladder rung (raise voltage / power-cycle) *requests* it and
+//    ends its epoch early;
+//  * global actions are applied serially between epochs, in PC index
+//    order, at most one voltage raise (or one power-cycle + restore) per
+//    barrier;
+//  * the run fingerprint folds per-PC results in PC index order, so the
+//    whole soak is byte-reproducible from (seed, config) at any thread
+//    count (pinned by tests/runtime_test.cpp).
+//
+// Chaos fault storms plug in through `storm_hook`, called once per
+// (PC, op tick) on the worker -- wire it to ChaosInjector::storm_tick,
+// whose decisions are pure in (seed, pc, tick) and whose mutations are
+// PC-local, preserving both thread-safety and reproducibility.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "common/status.hpp"
+#include "runtime/reliable_channel.hpp"
+#include "workload/trace.hpp"
+
+namespace hbmvolt::runtime {
+
+struct FleetConfig {
+  /// Global PC indices to serve (empty = every PC on the board).
+  std::vector<unsigned> pcs;
+  ReliableChannelConfig channel;
+  /// Total foreground ops per PC.
+  std::uint64_t ops_per_pc = 1 << 14;
+  /// Ops per PC between global barriers.
+  std::uint64_t ops_per_epoch = 1024;
+  double write_fraction = 0.25;
+  std::uint64_t seed = 1;
+  /// Worker threads (1 = serial reference path, 0 = hardware count).
+  unsigned threads = 1;
+  /// Optional fault-storm hook, called once per (pc_global, op tick)
+  /// before that op is served.  Must be PC-local in its mutations (see
+  /// ChaosInjector::storm_tick).  A true return means a fault event
+  /// fired on this PC; the fleet responds with an alarm-driven journal
+  /// refresh (see ReliableChannel::refresh_from_journal) -- the model
+  /// for a droop detector or RAS interrupt in a real deployment.
+  std::function<bool(unsigned pc_global, std::uint64_t tick)> storm_hook;
+};
+
+struct FleetReport {
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Reads whose delivered beat mismatched the journal: always zero (the
+  /// headline invariant).
+  std::uint64_t corrupt_reads = 0;
+  std::uint64_t escalated_reads = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t raises = 0;        // fleet-level rung-2 actions
+  std::uint64_t power_cycles = 0;  // fleet-level rung-3 actions
+  Millivolts final_voltage{0};
+  /// Order-stable fold of every per-PC outcome (reports, channel stats,
+  /// ladder traces, journals): equal fingerprints = byte-identical runs.
+  std::uint64_t fingerprint = 0;
+};
+
+class ServingFleet {
+ public:
+  ServingFleet(board::Vcu128Board& board, FleetConfig config);
+
+  /// Serves every PC's full op stream; returns the aggregated report.
+  Result<FleetReport> run();
+
+  [[nodiscard]] std::size_t channels() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] const ReliableChannel& channel(std::size_t i) const {
+    return *channels_[i];
+  }
+
+ private:
+  /// Per-PC worker state; owned by exactly one index during a fan-out.
+  struct PcState {
+    std::uint64_t cursor = 0;      // next trace record to serve
+    std::uint64_t storm_next = 0;  // first tick not yet storm-ticked
+    unsigned attempts = 0;         // escalation rounds on the current op
+    ServeReport report;
+    Status status = Status::ok();
+    bool wants_global = false;
+    LadderRung wanted = LadderRung::kCorrect;
+  };
+
+  void serve_pc_epoch(std::size_t i);
+
+  board::Vcu128Board& board_;
+  FleetConfig config_;
+  std::vector<std::unique_ptr<ReliableChannel>> channels_;
+  std::vector<workload::AccessTrace> traces_;
+  std::vector<PcState> states_;
+};
+
+}  // namespace hbmvolt::runtime

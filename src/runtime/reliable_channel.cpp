@@ -1,0 +1,564 @@
+#include "runtime/reliable_channel.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hbmvolt::runtime {
+
+const char* to_string(LadderRung rung) noexcept {
+  switch (rung) {
+    case LadderRung::kCorrect:
+      return "correct";
+    case LadderRung::kRetire:
+      return "retire";
+    case LadderRung::kRaiseVoltage:
+      return "raise_voltage";
+    case LadderRung::kPowerCycle:
+      return "power_cycle";
+  }
+  return "unknown";
+}
+
+ReliableChannel::ReliableChannel(board::Vcu128Board& board, unsigned pc_global,
+                                 ReliableChannelConfig config)
+    : board_(board),
+      pc_global_(pc_global),
+      pc_(hbm::PcId::from_global(board.geometry(), pc_global)),
+      config_(config),
+      ecc_(board.stack(pc_.stack), pc_.index),
+      budget_(config.budget) {
+  HBMVOLT_REQUIRE(pc_global < board.geometry().total_pcs(),
+                  "PC index out of range");
+  HBMVOLT_REQUIRE(config_.spare_fraction >= 0.0 &&
+                      config_.spare_fraction < 1.0,
+                  "spare fraction must be in [0, 1)");
+  HBMVOLT_REQUIRE(config_.raise_step_mv > 0, "raise step must be positive");
+
+  const std::uint64_t data = ecc_.data_beats();
+  std::uint64_t spare_count = static_cast<std::uint64_t>(
+      static_cast<double>(data) * config_.spare_fraction);
+  if (spare_count >= data) spare_count = data - 1;
+  const std::uint64_t exposed = data - spare_count;
+
+  remap_.resize(exposed);
+  for (std::uint64_t i = 0; i < exposed; ++i) {
+    remap_[i] = static_cast<std::uint32_t>(i);
+  }
+  spares_.reserve(spare_count);
+  for (std::uint64_t i = exposed; i < data; ++i) {
+    spares_.push_back(static_cast<std::uint32_t>(i));
+  }
+  journal_.assign(exposed, hbm::Beat{});
+  live_.assign(exposed, false);
+  parked_.assign(exposed, false);
+}
+
+std::uint64_t ReliableChannel::spares_free() const noexcept {
+  return spares_.size() - spare_cursor_;
+}
+
+std::uint64_t ReliableChannel::row_key(std::uint64_t physical_beat) const {
+  const hbm::HbmGeometry& g = board_.geometry();
+  const hbm::BeatLocation loc = hbm::decompose_beat(g, physical_beat);
+  return loc.row * g.banks_per_pc + loc.bank;
+}
+
+void ReliableChannel::note_row_events(std::uint64_t physical_beat,
+                                      unsigned events) {
+  if (events == 0) return;
+  row_events_[row_key(physical_beat)] += events;
+}
+
+void ReliableChannel::record_ladder(LadderRung rung) {
+  ladder_trace_.push_back(LadderEvent{rung, board_.hbm_voltage(), ops_});
+  HBMVOLT_LOG_INFO("runtime: PC %u ladder %s at %d mV (op %llu)", pc_global_,
+                   to_string(rung), board_.hbm_voltage().value,
+                   static_cast<unsigned long long>(ops_));
+  if (auto* tel = telemetry::Telemetry::active()) {
+    switch (rung) {
+      case LadderRung::kCorrect:
+        break;
+      case LadderRung::kRetire:
+        tel->count("runtime.ladder.retire");
+        break;
+      case LadderRung::kRaiseVoltage:
+        tel->count("runtime.ladder.raise");
+        break;
+      case LadderRung::kPowerCycle:
+        tel->count("runtime.ladder.power_cycle");
+        break;
+    }
+  }
+}
+
+Status ReliableChannel::write(std::uint64_t logical, const hbm::Beat& data) {
+  if (logical >= capacity()) {
+    return out_of_range("logical beat out of range");
+  }
+  if (!parked_[logical]) {
+    HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(remap_[logical], data));
+    if (config_.verify_writes) {
+      // Read-back: a word that cannot hold the data just written (stuck
+      // cells already pair up in it) must be caught NOW -- left armed,
+      // it is one soft upset away from a SECDED miscorrection.
+      auto back = ecc_.read_beat(remap_[logical]);
+      if (!back.is_ok()) return back.status();
+      note_row_events(remap_[logical], back.value().corrected);
+      budget_.record(4, back.value().corrected + back.value().corrected_check,
+                     back.value().uncorrectable);
+      if (back.value().uncorrectable > 0) {
+        ++stats_.verify_caught;
+        offender_rows_.insert(row_key(remap_[logical]));
+        escalation_pending_ = true;
+      }
+    }
+  }
+  journal_[logical] = data;
+  live_[logical] = true;
+  ++stats_.writes;
+  ++ops_;
+  if (config_.scrub_interval_ops > 0 &&
+      ops_ % config_.scrub_interval_ops == 0) {
+    HBMVOLT_RETURN_IF_ERROR(scrub_slice());
+  }
+  return Status::ok();
+}
+
+Result<hbm::Beat> ReliableChannel::read(std::uint64_t logical) {
+  if (logical >= capacity()) {
+    return out_of_range("logical beat out of range");
+  }
+  if (parked_[logical]) {
+    // Journal-backed: the device copy is unservable (stuck cells paired
+    // up with the spare pool exhausted), the host copy is the truth.
+    ++stats_.reads;
+    ++ops_;
+    if (config_.scrub_interval_ops > 0 &&
+        ops_ % config_.scrub_interval_ops == 0) {
+      HBMVOLT_RETURN_IF_ERROR(scrub_slice());
+    }
+    return journal_[logical];
+  }
+  const std::uint64_t physical = remap_[logical];
+  auto outcome = ecc_.read_beat(physical);
+  if (!outcome.is_ok()) return outcome.status();
+  const auto& got = outcome.value();
+
+  ++stats_.reads;
+  ++ops_;
+  stats_.corrected_words += got.corrected;
+  stats_.corrected_check_words += got.corrected_check;
+  note_row_events(physical, got.corrected);
+  budget_.record(4, got.corrected + got.corrected_check, got.uncorrectable);
+
+  if (got.uncorrectable > 0) {
+    // Never deliver a word the code could not vouch for: record the
+    // offender and hand the decision to the ladder.
+    ++stats_.uncorrectable_blocked;
+    offender_rows_.insert(row_key(physical));
+    escalation_pending_ = true;
+    return data_loss("uncorrectable word on read; escalation required");
+  }
+
+  if (config_.scrub_interval_ops > 0 &&
+      ops_ % config_.scrub_interval_ops == 0) {
+    HBMVOLT_RETURN_IF_ERROR(scrub_slice());
+  }
+  return got.data;
+}
+
+Status ReliableChannel::scrub_one(std::uint64_t logical) {
+  // Only live beats carry data the code can vouch for; a never-written
+  // beat decodes power-on scramble against zero shadow checks, and a
+  // parked beat has no device copy worth patrolling.
+  if (!live_[logical] || parked_[logical]) return Status::ok();
+  const std::uint64_t physical = remap_[logical];
+  auto outcome = ecc_.scrub_beat(physical);
+  if (!outcome.is_ok()) return outcome.status();
+  const auto& got = outcome.value();
+  ++stats_.scrub_beats;
+  stats_.scrub_corrected += got.corrected_data + got.corrected_check;
+  stats_.scrub_uncorrectable += got.uncorrectable;
+  if (got.wrote_back) ++stats_.scrub_writebacks;
+  note_row_events(physical, got.corrected_data);
+  budget_.record(4, got.corrected_data + got.corrected_check,
+                 got.uncorrectable);
+  if (got.uncorrectable > 0) {
+    // The patrol found a word demand reads would refuse: escalate
+    // before a caller trips over it.
+    offender_rows_.insert(row_key(physical));
+    escalation_pending_ = true;
+  }
+  return Status::ok();
+}
+
+Status ReliableChannel::scrub_slice() {
+  const std::uint64_t beats =
+      std::min<std::uint64_t>(config_.scrub_batch_beats, capacity());
+  for (std::uint64_t i = 0; i < beats; ++i) {
+    const std::uint64_t logical = scrub_cursor_;
+    scrub_cursor_ = (scrub_cursor_ + 1) % capacity();
+    HBMVOLT_RETURN_IF_ERROR(scrub_one(logical));
+  }
+  return Status::ok();
+}
+
+Status ReliableChannel::patrol_all() {
+  for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
+    HBMVOLT_RETURN_IF_ERROR(scrub_one(logical));
+  }
+  return Status::ok();
+}
+
+Status ReliableChannel::refresh_from_journal() {
+  for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
+    if (!live_[logical] || parked_[logical]) continue;
+    const std::uint64_t physical = remap_[logical];
+    HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(physical, journal_[logical]));
+    auto back = ecc_.read_beat(physical);
+    if (!back.is_ok()) return back.status();
+    note_row_events(physical, back.value().corrected);
+    if (back.value().uncorrectable > 0) {
+      ++stats_.verify_caught;
+      offender_rows_.insert(row_key(physical));
+      escalation_pending_ = true;
+    }
+  }
+  ++stats_.journal_refreshes;
+  return Status::ok();
+}
+
+Result<std::uint64_t> ReliableChannel::allocate_spare() {
+  while (spare_cursor_ < spares_.size()) {
+    const std::uint64_t beat = spares_[spare_cursor_];
+    const std::uint64_t key = row_key(beat);
+    // Never migrate onto a retired row, nor onto a row currently being
+    // evacuated.  Skipped spares are permanently consumed (cheap, and
+    // keeps the cursor deterministic).
+    if (retired_rows_.count(key) != 0 || offender_rows_.count(key) != 0) {
+      ++spare_cursor_;
+      continue;
+    }
+    return beat;
+  }
+  return unavailable("spare pool exhausted");
+}
+
+Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
+                                         bool* blocked) {
+  *retired_any = false;
+  *parked_any = false;
+  *blocked = false;
+  const Millivolts nominal = board_.config().regulator_config.vout_default;
+  // Deterministic order regardless of set iteration.
+  std::vector<std::uint64_t> rows(offender_rows_.begin(),
+                                  offender_rows_.end());
+  std::sort(rows.begin(), rows.end());
+  for (const std::uint64_t row : rows) {
+    bool row_blocked = false;
+    bool spares_ran_out = false;
+    for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
+      if (row_key(remap_[logical]) != row || parked_[logical]) continue;
+      auto spare = allocate_spare();
+      if (!spare.is_ok()) {
+        // Spares exhausted: the row cannot move.  A beat that still
+        // decodes is left in place (SECDED keeps serving it); an
+        // uncorrectable one is rewritten in place from the journal --
+        // which clears soft upsets like bit rot -- and parked on the
+        // journal if stuck cells keep it uncorrectable even then.
+        spares_ran_out = true;
+        if (!live_[logical]) continue;
+        auto got = ecc_.read_beat(remap_[logical]);
+        if (!got.is_ok()) return got.status();
+        if (got.value().uncorrectable == 0) continue;
+        if (board_.hbm_voltage() < nominal) {
+          // A raise can still shrink the stuck set; climb first.
+          row_blocked = true;
+          break;
+        }
+        HBMVOLT_RETURN_IF_ERROR(
+            ecc_.write_beat(remap_[logical], journal_[logical]));
+        auto again = ecc_.read_beat(remap_[logical]);
+        if (!again.is_ok()) return again.status();
+        if (again.value().uncorrectable > 0) {
+          parked_[logical] = true;
+          ++stats_.beats_parked;
+        }
+        *parked_any = true;
+        continue;
+      }
+      hbm::Beat data{};
+      if (live_[logical]) {
+        // Migrate through ECC, as real row-repair would: the journal is
+        // reserved for last-resort recovery, not steady-state reads.
+        auto got = ecc_.read_beat(remap_[logical]);
+        if (!got.is_ok()) return got.status();
+        if (got.value().uncorrectable > 0) {
+          const Millivolts nominal =
+              board_.config().regulator_config.vout_default;
+          if (board_.hbm_voltage() < nominal) {
+            // A voltage raise can still recover the stored word (stuck
+            // sets are voltage-keyed); leave the row an offender and let
+            // the ladder climb.
+            row_blocked = true;
+            break;
+          }
+          // Uncorrectable even at nominal (e.g. a weak-cell burst put two
+          // stuck bits in one codeword): no voltage recovers it and a
+          // power cycle would just rewrite-and-re-corrupt forever, so
+          // fall back to the journal -- the last-written truth.
+          data = journal_[logical];
+          ++stats_.journal_migrations;
+        } else {
+          data = got.value().data;
+        }
+      }
+      HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(spare.value(), data));
+      remap_[logical] = static_cast<std::uint32_t>(spare.value());
+      ++spare_cursor_;  // commit the allocation
+      ++stats_.beats_migrated;
+    }
+    if (row_blocked) {
+      *blocked = true;
+      continue;
+    }
+    if (spares_ran_out) {
+      // Handled in place (repairs/parks), not migrated: the row is not
+      // retired, but it no longer owes the ladder anything either.
+      offender_rows_.erase(row);
+      row_events_.erase(row);
+      continue;
+    }
+    retired_rows_.insert(row);
+    offender_rows_.erase(row);
+    row_events_.erase(row);
+    ++stats_.rows_retired;
+    *retired_any = true;
+  }
+  if (*retired_any) ++stats_.retires;
+  return Status::ok();
+}
+
+Result<LadderRung> ReliableChannel::escalate() {
+  if (escalation_pending_) {
+    // An uncorrectable word was seen: something (a fault storm, a deep
+    // undervolt) is arming codewords faster than the rotating patrol
+    // covers them.  Sweep every live beat NOW, so the retirement below
+    // handles the whole blast radius in one ladder action -- an armed
+    // word left undiscovered is one soft upset away from a SECDED
+    // miscorrection.
+    HBMVOLT_RETURN_IF_ERROR(patrol_all());
+  }
+  // Promote rows that crossed the event threshold to offenders.
+  for (const auto& [key, events] : row_events_) {
+    if (events >= config_.retire_threshold &&
+        retired_rows_.count(key) == 0) {
+      offender_rows_.insert(key);
+    }
+  }
+  if (!escalation_pending_ && !budget_.burned() && offender_rows_.empty()) {
+    return LadderRung::kCorrect;
+  }
+
+  bool retired_any = false;
+  bool parked_any = false;
+  bool blocked = false;
+  HBMVOLT_RETURN_IF_ERROR(
+      retire_offenders(&retired_any, &parked_any, &blocked));
+  const bool absorbed = retired_any || parked_any;
+  if (absorbed) record_ladder(LadderRung::kRetire);
+  if (absorbed && !blocked) {
+    // Rung 1 fully absorbed the escalation (migrations, in-place
+    // repairs, and/or parks).
+    budget_.reset();
+    escalation_pending_ = false;
+    return LadderRung::kCorrect;
+  }
+
+  const Millivolts nominal = board_.config().regulator_config.vout_default;
+  if (blocked || escalation_pending_) {
+    // A stored word only a global rung can recover.
+    if (board_.hbm_voltage() < nominal) return LadderRung::kRaiseVoltage;
+    return LadderRung::kPowerCycle;
+  }
+  if (budget_.burned() && board_.hbm_voltage() < nominal) {
+    // A corrected-rate burn with nothing retirable: shrink the stuck set.
+    return LadderRung::kRaiseVoltage;
+  }
+  // A corrected-rate burn at nominal with nothing left to retire: the
+  // SLO is unmeetable at this capacity.  Consume the burn and serve on.
+  budget_.reset();
+  return LadderRung::kCorrect;
+}
+
+void ReliableChannel::on_global_action(LadderRung rung) {
+  if (rung == LadderRung::kRaiseVoltage) {
+    ++stats_.raises;
+    record_ladder(LadderRung::kRaiseVoltage);
+  }
+  budget_.reset();
+  escalation_pending_ = false;
+}
+
+Status ReliableChannel::restore_after_power_cycle() {
+  for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
+    if (!live_[logical] || parked_[logical]) continue;
+    HBMVOLT_RETURN_IF_ERROR(
+        ecc_.write_beat(remap_[logical], journal_[logical]));
+  }
+  ++stats_.power_cycles;
+  record_ladder(LadderRung::kPowerCycle);
+  budget_.reset();
+  escalation_pending_ = false;
+  return Status::ok();
+}
+
+hbm::Beat make_payload(std::uint64_t seed, unsigned pc, std::uint64_t op) {
+  hbm::Beat data;
+  for (unsigned w = 0; w < 4; ++w) {
+    data[w] = splitmix64(stream_seed(seed, pc, op, w));
+  }
+  return data;
+}
+
+Status ReliableChannel::cycle_and_restore() {
+  for (unsigned tries = 0;; ++tries) {
+    HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
+    const Status restored = restore_after_power_cycle();
+    if (restored.is_ok()) return restored;
+    if (restored.code() != StatusCode::kUnavailable || tries >= 4) {
+      return restored;
+    }
+    // A chaos crash landed mid-restore; cycle again (cooldown-limited,
+    // so this terminates).
+  }
+}
+
+Status ReliableChannel::serve_one(bool write_op, std::uint64_t logical,
+                                  const hbm::Beat& payload,
+                                  ServeReport* report) {
+  unsigned attempts = 0;
+  if (write_op) {
+    for (;;) {
+      const Status wrote = write(logical, payload);
+      if (wrote.is_ok()) break;
+      // A crashed stack (e.g. a chaos spurious crash) is rung 3
+      // territory: cycle, restore the journal, retry the op.
+      if (wrote.code() != StatusCode::kUnavailable || ++attempts > 4) {
+        return wrote;
+      }
+      HBMVOLT_RETURN_IF_ERROR(cycle_and_restore());
+    }
+    ++report->writes;
+    ++report->ops;
+    return Status::ok();
+  }
+  bool escalated = false;
+  for (;;) {
+    auto got = read(logical);
+    if (got.is_ok()) {
+      if (got.value() != journal_[logical]) ++report->corrupt_reads;
+      break;
+    }
+    // The full ladder (retire -> raise to nominal -> power-cycle) is
+    // bounded: a climb from deep undervolt to nominal is at most a few
+    // dozen 10 mV rungs, and everything above it is O(1).
+    if (++attempts > 64) return got.status();
+    escalated = true;
+    if (got.status().code() == StatusCode::kUnavailable) {
+      HBMVOLT_RETURN_IF_ERROR(cycle_and_restore());
+      continue;
+    }
+    if (got.status().code() != StatusCode::kDataLoss) return got.status();
+    HBMVOLT_RETURN_IF_ERROR(apply_ladder_serial());
+  }
+  ++report->reads;
+  ++report->ops;
+  if (escalated) ++report->escalated_reads;
+  return Status::ok();
+}
+
+Status ReliableChannel::apply_ladder_serial() {
+  auto rung = escalate();
+  if (!rung.is_ok()) return rung.status();
+  switch (rung.value()) {
+    case LadderRung::kCorrect:
+    case LadderRung::kRetire:
+      return Status::ok();
+    case LadderRung::kRaiseVoltage: {
+      const Millivolts nominal =
+          board_.config().regulator_config.vout_default;
+      Millivolts next{board_.hbm_voltage().value + config_.raise_step_mv};
+      if (next > nominal) next = nominal;
+      HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(next));
+      on_global_action(LadderRung::kRaiseVoltage);
+      return Status::ok();
+    }
+    case LadderRung::kPowerCycle:
+      // The cycle restores nominal voltage; bring the data back.
+      return cycle_and_restore();
+  }
+  return Status::ok();
+}
+
+Result<ServeReport> ReliableChannel::serve(const workload::AccessTrace& trace,
+                                           std::uint64_t data_seed) {
+  ServeReport report;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const workload::TraceRecord& record = trace[i];
+    const std::uint64_t logical = record.beat % capacity();
+    // First touch of a beat is always a write: the journal is the read
+    // self-check's truth, so reads of never-written beats are undefined.
+    const bool write_op = record.write || !live_[logical];
+    const hbm::Beat payload =
+        write_op ? make_payload(data_seed, pc_global_, i) : hbm::Beat{};
+    HBMVOLT_RETURN_IF_ERROR(serve_one(write_op, logical, payload, &report));
+    // Consume a burned budget between ops, before a read trips on it.
+    if (budget_.burned() || escalation_pending_) {
+      HBMVOLT_RETURN_IF_ERROR(apply_ladder_serial());
+    }
+  }
+  flush_telemetry();
+  return report;
+}
+
+void ReliableChannel::flush_telemetry() {
+  auto* tel = telemetry::Telemetry::active();
+  if (tel == nullptr) {
+    flushed_ = stats_;
+    return;
+  }
+  const auto emit = [tel](const char* name, std::uint64_t now,
+                          std::uint64_t before) {
+    if (now > before) tel->count(name, now - before);
+  };
+  emit("runtime.reads", stats_.reads, flushed_.reads);
+  emit("runtime.writes", stats_.writes, flushed_.writes);
+  emit("runtime.corrected_words", stats_.corrected_words,
+       flushed_.corrected_words);
+  emit("runtime.corrected_check_words", stats_.corrected_check_words,
+       flushed_.corrected_check_words);
+  emit("runtime.uncorrectable_blocked", stats_.uncorrectable_blocked,
+       flushed_.uncorrectable_blocked);
+  emit("runtime.rows_retired", stats_.rows_retired, flushed_.rows_retired);
+  emit("runtime.beats_migrated", stats_.beats_migrated,
+       flushed_.beats_migrated);
+  emit("runtime.beats_parked", stats_.beats_parked, flushed_.beats_parked);
+  emit("runtime.verify_caught", stats_.verify_caught, flushed_.verify_caught);
+  emit("runtime.journal_refreshes", stats_.journal_refreshes,
+       flushed_.journal_refreshes);
+  emit("scrub.beats", stats_.scrub_beats, flushed_.scrub_beats);
+  emit("scrub.corrected", stats_.scrub_corrected, flushed_.scrub_corrected);
+  emit("scrub.uncorrectable", stats_.scrub_uncorrectable,
+       flushed_.scrub_uncorrectable);
+  emit("scrub.writebacks", stats_.scrub_writebacks,
+       flushed_.scrub_writebacks);
+  tel->gauge_set("runtime.spares_free",
+                 static_cast<std::int64_t>(spares_free()));
+  flushed_ = stats_;
+}
+
+}  // namespace hbmvolt::runtime

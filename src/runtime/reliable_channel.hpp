@@ -1,0 +1,296 @@
+// ReliableChannel: a supervised closed loop that keeps one undervolted
+// pseudo-channel serving *correct* read/write traffic.
+//
+// The paper's Fig-6 trade-off assumes a lab-measured fault map and an
+// offline mitigation decision; this runtime makes the decision online,
+// stacking the repo's mitigation primitives into a ladder:
+//
+//   rung 0  correct      SECDED per word (ecc::EccChannel) + a patrol
+//                        scrubber that writes corrections back before
+//                        independent upsets pair up into uncorrectable
+//                        words, under an error-budget monitor
+//                        (error_budget.hpp).
+//   rung 1  retire       when the budget burns, retire-and-remap the
+//                        offending DRAM rows online: quiesce the beat,
+//                        migrate live data to a spare through ECC,
+//                        resume.  PC-local, so fleets can run it
+//                        concurrently on distinct PCs.  When spares run
+//                        out, an uncorrectable-at-nominal word is first
+//                        rewritten in place from the journal (clearing
+//                        soft upsets); if stuck cells keep it
+//                        uncorrectable it is *parked* -- served from the
+//                        host-side journal from then on, trading host
+//                        memory for correctness instead of failing.
+//   rung 2  raise        when retirement cannot help (no offender rows,
+//                        spares exhausted, or a migration read is
+//                        uncorrectable), raise the supply one step --
+//                        stuck-at faults are voltage-keyed, so stored
+//                        data that was uncorrectable becomes readable
+//                        again (the stack keeps what was written; the
+//                        overlay shrinks).
+//   rung 3  power-cycle  last resort at nominal voltage: power-cycle the
+//                        board and restore every live beat from the
+//                        host-side journal (the last consistent state).
+//
+// The caller-visible contract, pinned by tests/runtime_test.cpp: read()
+// NEVER returns corrupt data.  A word the code cannot correct yields a
+// kDataLoss status and a recorded escalation; after escalate() (and any
+// global action it requests) the retried read succeeds.  Capacity,
+// voltage, and ladder position may degrade -- data may not.
+//
+// Logical address space: a fixed [0, capacity()) beat range.  A
+// `spare_fraction` of the ECC data beats is held back at construction as
+// migration spares, so retirement never shrinks the exposed capacity; it
+// consumes spares instead (runtime.spares_free gauges the headroom).
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "board/vcu128.hpp"
+#include "common/status.hpp"
+#include "ecc/ecc_channel.hpp"
+#include "runtime/error_budget.hpp"
+#include "workload/trace.hpp"
+
+namespace hbmvolt::runtime {
+
+struct ReliableChannelConfig {
+  ErrorBudgetConfig budget;
+  /// Foreground ops between patrol-scrub slices (0 = no patrol).
+  std::uint64_t scrub_interval_ops = 64;
+  /// Logical beats scrubbed per slice.
+  std::uint64_t scrub_batch_beats = 8;
+  /// Corrected/uncorrectable events on a (bank, row) before it becomes an
+  /// offender.  2 pairs with SECDED: one stuck bit per codeword is
+  /// absorbed forever; the second event on the same row is the signal.
+  unsigned retire_threshold = 2;
+  /// Fraction of ECC data beats held back as migration spares.
+  double spare_fraction = 0.05;
+  /// Millivolts per rung-2 voltage raise (capped at nominal).
+  int raise_step_mv = 10;
+  /// Read back every device write.  SECDED silently miscorrects >= 3-bit
+  /// words, so a word that cannot hold its data (stuck cells already
+  /// paired up in it) must be caught while the journal still vouches for
+  /// it -- not left armed for the next soft upset.
+  bool verify_writes = true;
+};
+
+enum class LadderRung : unsigned {
+  kCorrect = 0,
+  kRetire = 1,
+  kRaiseVoltage = 2,
+  kPowerCycle = 3,
+};
+
+[[nodiscard]] const char* to_string(LadderRung rung) noexcept;
+
+/// Deterministic beat payload for op `op` of PC `pc` -- the data both
+/// serve() and the fleet write, and the journal verifies reads against.
+[[nodiscard]] hbm::Beat make_payload(std::uint64_t seed, unsigned pc,
+                                     std::uint64_t op);
+
+/// One ladder escalation, for replayable traces.
+struct LadderEvent {
+  LadderRung rung = LadderRung::kCorrect;
+  Millivolts voltage{0};  // supply at the moment of the event
+  std::uint64_t op = 0;   // channel op count when it fired
+};
+
+struct ChannelStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t corrected_words = 0;        // demand reads, data repaired
+  std::uint64_t corrected_check_words = 0;  // demand reads, check-byte only
+  std::uint64_t uncorrectable_blocked = 0;  // reads refused, never delivered
+  std::uint64_t scrub_beats = 0;
+  std::uint64_t scrub_corrected = 0;
+  std::uint64_t scrub_uncorrectable = 0;
+  std::uint64_t scrub_writebacks = 0;
+  std::uint64_t rows_retired = 0;
+  std::uint64_t beats_migrated = 0;
+  /// Migrations that fell back to the journal copy because the stored
+  /// word was uncorrectable even at nominal voltage.
+  std::uint64_t journal_migrations = 0;
+  /// Beats permanently served from the host journal: uncorrectable at
+  /// nominal with the spare pool exhausted (see header comment).
+  std::uint64_t beats_parked = 0;
+  /// Write-verify read-backs that found the word uncorrectable.
+  std::uint64_t verify_caught = 0;
+  /// Alarm-driven journal refreshes (see refresh_from_journal).
+  std::uint64_t journal_refreshes = 0;
+  std::uint64_t retires = 0;       // rung-1 actions completed
+  std::uint64_t raises = 0;        // rung-2 actions observed
+  std::uint64_t power_cycles = 0;  // rung-3 actions observed
+};
+
+/// Serial serving report (see serve()).
+struct ServeReport {
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Reads whose delivered beat mismatched the journal.  The runtime's
+  /// headline invariant: always zero.
+  std::uint64_t corrupt_reads = 0;
+  /// Reads that needed at least one escalate() + retry round.
+  std::uint64_t escalated_reads = 0;
+};
+
+class ReliableChannel {
+ public:
+  ReliableChannel(board::Vcu128Board& board, unsigned pc_global,
+                  ReliableChannelConfig config = {});
+
+  /// Fixed logical capacity in beats (never shrinks; see header comment).
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return remap_.size();
+  }
+  [[nodiscard]] std::uint64_t spares_free() const noexcept;
+  [[nodiscard]] unsigned pc_global() const noexcept { return pc_global_; }
+
+  Status write(std::uint64_t logical, const hbm::Beat& data);
+
+  /// Serves one beat.  kDataLoss means the stored word is currently
+  /// uncorrectable: nothing corrupt was delivered, an escalation is
+  /// pending, and the caller should escalate() (applying any global
+  /// action it requests) and retry.
+  Result<hbm::Beat> read(std::uint64_t logical);
+
+  /// Advances the patrol scrubber by `scrub_batch_beats` logical beats
+  /// (wrapping), writing corrections back in place.  Called implicitly
+  /// every `scrub_interval_ops` foreground ops; callable directly too.
+  Status scrub_slice();
+
+  /// Emergency patrol: scrubs every live beat in one sweep.  escalate()
+  /// runs this whenever an uncorrectable word was seen, so a fault storm
+  /// is mapped out (and retired) in one ladder action.
+  Status patrol_all();
+
+  /// Environmental-alarm response: rewrites every live beat from the
+  /// journal with write-verify.  SECDED cannot *read* its way out of a
+  /// fault storm -- a word that jumps from one latent upset to three
+  /// mismatches decodes as a plausible single-bit fix -- but a rewrite
+  /// flushes soft state, and the verify read-back exposes any word whose
+  /// stuck cells pair up as a detectable double.  Fleets call this when
+  /// the storm hook reports a fault event (in a real deployment: a droop
+  /// detector or RAS interrupt).
+  Status refresh_from_journal();
+
+  [[nodiscard]] bool escalation_pending() const noexcept {
+    return escalation_pending_;
+  }
+
+  /// Climbs the ladder as far as PC-local actions reach (rung 1) and
+  /// reports what the channel needs next:
+  ///   kCorrect      -- handled locally (rows retired and/or budget
+  ///                    consumed); retry the op
+  ///   kRaiseVoltage -- caller must raise the supply one step, then call
+  ///                    on_global_action(kRaiseVoltage)
+  ///   kPowerCycle   -- caller must power-cycle the board, then call
+  ///                    restore_after_power_cycle() on every channel
+  /// Safe to run concurrently with other PCs' channels: every mutation
+  /// is PC-local and the board state it reads only changes at barriers.
+  Result<LadderRung> escalate();
+
+  /// Bookkeeping after the caller applied a global rung (2).  Resets the
+  /// budget window -- the error regime just changed.
+  void on_global_action(LadderRung rung);
+
+  /// Rung 3 epilogue: rewrites every live logical beat from the host-side
+  /// journal through ECC (the power cycle scrambled the arrays).
+  Status restore_after_power_cycle();
+
+  /// Serial convenience driver: replays `trace` (beats taken modulo
+  /// capacity), self-checking every read against the journal and applying
+  /// the full ladder inline -- including the global rungs, which is only
+  /// legal because nothing else is using the board.  Fleets split the
+  /// loop instead (see fleet.hpp).
+  Result<ServeReport> serve(const workload::AccessTrace& trace,
+                            std::uint64_t data_seed = 1);
+
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ErrorBudget& budget() const noexcept { return budget_; }
+  [[nodiscard]] const std::vector<LadderEvent>& ladder_trace() const noexcept {
+    return ladder_trace_;
+  }
+  [[nodiscard]] const ecc::EccChannel& ecc() const noexcept { return ecc_; }
+
+  /// Journal copy of a logical beat (test/self-check hook); only
+  /// meaningful when `journal_live(logical)`.
+  [[nodiscard]] const hbm::Beat& journal_beat(std::uint64_t logical) const {
+    return journal_[logical];
+  }
+  [[nodiscard]] bool journal_live(std::uint64_t logical) const {
+    return live_[logical];
+  }
+  /// True when the beat is journal-backed (no device copy can serve it).
+  [[nodiscard]] bool parked(std::uint64_t logical) const {
+    return parked_[logical];
+  }
+
+  /// Emits the delta of the high-rate counters since the last flush into
+  /// the telemetry registry (runtime.* / scrub.*).  Called at sync points
+  /// rather than per-op to keep the serving path cheap.
+  void flush_telemetry();
+
+ private:
+  friend class ServingFleet;
+
+  /// One trace op with journal self-check; read escalations are handled
+  /// by apply_ladder_serial (serial mode only).
+  Status serve_one(bool write_op, std::uint64_t logical,
+                   const hbm::Beat& payload, ServeReport* report);
+  /// Applies whatever rung escalate() asks for, including the global
+  /// ones -- only legal when nothing else shares the board.
+  Status apply_ladder_serial();
+  /// Power-cycle + journal restore with a bounded retry: a chaos
+  /// spurious crash can land during the cycle's own voltage restore.
+  Status cycle_and_restore();
+
+  /// Scrub one logical beat (the shared body of scrub_slice/patrol_all).
+  Status scrub_one(std::uint64_t logical);
+
+  [[nodiscard]] std::uint64_t row_key(std::uint64_t physical_beat) const;
+  void note_row_events(std::uint64_t physical_beat, unsigned events);
+  void record_ladder(LadderRung rung);
+  /// Retires every offender row it can, migrating live beats to spares.
+  /// With spares exhausted, repairs uncorrectable-at-nominal beats in
+  /// place from the journal and parks the ones stuck cells keep broken
+  /// (*parked_any).  Sets *blocked when only a voltage raise can recover
+  /// a stored word (the row stays an offender for the post-raise retry).
+  Status retire_offenders(bool* retired_any, bool* parked_any,
+                          bool* blocked);
+  [[nodiscard]] Result<std::uint64_t> allocate_spare();
+
+  board::Vcu128Board& board_;
+  unsigned pc_global_;
+  hbm::PcId pc_;
+  ReliableChannelConfig config_;
+  ecc::EccChannel ecc_;
+  ErrorBudget budget_;
+
+  std::vector<std::uint32_t> remap_;   // logical -> physical ECC data beat
+  std::vector<std::uint32_t> spares_;  // ascending physical beats
+  std::size_t spare_cursor_ = 0;
+
+  std::vector<hbm::Beat> journal_;  // last written data per logical beat
+  std::vector<bool> live_;
+  std::vector<bool> parked_;  // journal-backed beats (see header comment)
+
+  std::unordered_map<std::uint64_t, unsigned> row_events_;
+  std::unordered_set<std::uint64_t> offender_rows_;
+  std::unordered_set<std::uint64_t> retired_rows_;
+
+  std::uint64_t ops_ = 0;
+  std::uint64_t scrub_cursor_ = 0;
+  bool escalation_pending_ = false;
+
+  ChannelStats stats_;
+  ChannelStats flushed_;  // counts already exported to telemetry
+  std::vector<LadderEvent> ladder_trace_;
+};
+
+}  // namespace hbmvolt::runtime

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "chaos/chaos.hpp"
 #include "core/governor.hpp"
 
 namespace hbmvolt {
@@ -114,6 +115,45 @@ TEST(GovernorTest, TraceIsWellFormed) {
     EXPECT_EQ((1200 - step.voltage.value) % config.step_mv, 0);
   }
   EXPECT_EQ(result.value().probes, trace.size());
+}
+
+TEST(GovernorTest, SpuriousCrashesDoNotInflateSettledVoltage) {
+  // A chaos-injected spurious crash is indistinguishable from a genuine
+  // undervolt crash at the moment it happens.  The crash watchdog
+  // (power-cycle + recheck at the same voltage) must tell them apart, so
+  // the governor settles exactly where the chaos-free run does instead
+  // of backing off from phantom crashes.
+  GovernorConfig config = fast_governor();
+  config.tolerable_rate = 0.0;
+
+  board::Vcu128Board clean_board(tiny_board());
+  config.probe_beats = clean_board.geometry().beats_per_pc();
+  auto clean = UndervoltGovernor(clean_board, config).run();
+  ASSERT_TRUE(clean.is_ok());
+
+  board::Vcu128Board board(tiny_board());
+  chaos::ChaosConfig chaos_config;
+  chaos_config.seed = 77;
+  chaos_config.spurious_crash_rate = 0.2;
+  chaos::ChaosInjector injector(board, chaos_config);
+  auto stormy = UndervoltGovernor(board, config).run();
+  ASSERT_TRUE(stormy.is_ok()) << stormy.status().to_string();
+
+  EXPECT_TRUE(stormy.value().converged);
+  EXPECT_EQ(stormy.value().settled.value, clean.value().settled.value)
+      << "spurious crashes inflated the settled voltage";
+  EXPECT_GT(injector.injected(chaos::FaultKind::kSpuriousCrash), 0u);
+  // The recoveries are visible in the trace as retry steps.
+  bool saw_retry = false;
+  for (const auto& step : stormy.value().trace) {
+    if (step.action == GovernorStep::Action::kRetry) {
+      EXPECT_TRUE(step.spurious);
+      EXPECT_TRUE(step.crashed);
+      saw_retry = true;
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(board.responding());
 }
 
 TEST(GovernorTest, ProbeBudgetBoundsRuntime) {

@@ -1,9 +1,13 @@
 // Unit tests for row retirement, plus the new TG data patterns and the
 // fault model's temperature extension.
 
+#include <map>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "axi/traffic_gen.hpp"
+#include "ecc/ecc_channel.hpp"
 #include "faults/fault_overlay.hpp"
 #include "hbm/stack.hpp"
 #include "mitigate/remap.hpp"
@@ -288,6 +292,96 @@ TEST(TemperatureTest, HotterSiliconFaultsEarlier) {
   // More stuck cells at any unsafe voltage.
   EXPECT_GT(hot_model.device_stuck_fraction(Millivolts{900}),
             ref.device_stuck_fraction(Millivolts{900}));
+}
+
+TEST_F(RetirementTest, FilteredThresholdMatchesRowFaultCounts) {
+  // build_filtered(2) semantics, exactly: a retired row holds >= 2 stuck
+  // cells, a retained row at most 1 -- the single fault SECDED absorbs.
+  const Millivolts v{930};
+  const auto map = RetirementMap::build_filtered(injector_, v, 2);
+  injector_.set_voltage(v);
+  std::uint64_t retained_rows_with_fault = 0;
+  for (unsigned pc = 0; pc < geometry_.total_pcs(); ++pc) {
+    std::map<std::pair<unsigned, std::uint64_t>, unsigned> counts;
+    injector_.overlay(pc).for_each(
+        [&](std::uint64_t bit, faults::StuckPolarity) {
+          const auto loc =
+              hbm::decompose_beat(geometry_, bit / geometry_.bits_per_beat);
+          ++counts[{loc.bank, loc.row}];
+        });
+    for (const auto& [key, count] : counts) {
+      if (count >= 2) {
+        EXPECT_TRUE(map.row_retired(pc, key.first, key.second))
+            << "pc " << pc << " bank " << key.first << " row " << key.second
+            << " has " << count << " faults but was retained";
+      } else {
+        EXPECT_FALSE(map.row_retired(pc, key.first, key.second));
+        ++retained_rows_with_fault;
+      }
+    }
+  }
+  // The filter must actually be keeping some single-fault rows, or the
+  // test proves nothing.
+  EXPECT_GT(retained_rows_with_fault, 0u);
+  EXPECT_GT(map.rows_retired_total(), 0u);
+  // ...and the ECC-aware map keeps more capacity than blanket retirement.
+  const auto blanket = RetirementMap::build(injector_, v);
+  EXPECT_GT(map.capacity_fraction(), blanket.capacity_fraction());
+}
+
+TEST_F(RetirementTest, ThresholdTwoPlusSecdedHasZeroUncorrectable) {
+  // The contract the runtime's retire rung leans on: after filtered
+  // retirement at threshold 2, every retained beat decodes cleanly
+  // through SECDED -- at most one stuck bit per codeword remains.
+  const Millivolts v{930};
+  const auto map = RetirementMap::build_filtered(injector_, v, 2);
+  injector_.set_voltage(v);
+  hbm::HbmStack stack(geometry_, 0, injector_, 3);
+  stack.on_voltage_change(v);
+  for (unsigned pc = 0; pc < geometry_.pcs_per_stack(); ++pc) {
+    ecc::EccChannel ecc(stack, pc);
+    for (std::uint64_t beat = 0; beat < ecc.data_beats(); ++beat) {
+      if (map.beat_retired(pc, beat)) continue;
+      if (map.beat_retired(pc, ecc.parity_beat_of(beat))) continue;
+      ASSERT_TRUE(ecc.write_beat(beat, hbm::kBeatAllOnes).is_ok());
+      auto got = ecc.read_beat(beat);
+      ASSERT_TRUE(got.is_ok());
+      EXPECT_EQ(got.value().uncorrectable, 0u)
+          << "pc " << pc << " beat " << beat;
+      EXPECT_EQ(got.value().data, hbm::kBeatAllOnes);
+    }
+  }
+}
+
+TEST_F(RetirementTest, RebuildCoversMidRunWeakCellBurst) {
+  // Online re-retirement: a weak-cell burst lands mid-run (stuck at
+  // every voltage), and a rebuild of the filtered map picks up the new
+  // fault clusters that cross the threshold.
+  const Millivolts v{950};
+  const unsigned pc = 4;  // weak PC with a real population at 950 mV
+  const auto before = RetirementMap::build_filtered(injector_, v, 2);
+
+  injector_.add_burst(pc, 64, 64);
+  const auto after = RetirementMap::build_filtered(injector_, v, 2);
+  EXPECT_GT(after.rows_retired_total(), before.rows_retired_total());
+  EXPECT_LT(after.capacity_fraction(), before.capacity_fraction());
+
+  // The rebuilt map again satisfies the threshold contract on the
+  // bursted PC: every >= 2-fault row is retired.
+  injector_.set_voltage(v);
+  std::map<std::pair<unsigned, std::uint64_t>, unsigned> counts;
+  injector_.overlay(pc).for_each(
+      [&](std::uint64_t bit, faults::StuckPolarity) {
+        const auto loc =
+            hbm::decompose_beat(geometry_, bit / geometry_.bits_per_beat);
+        ++counts[{loc.bank, loc.row}];
+      });
+  ASSERT_FALSE(counts.empty());
+  for (const auto& [key, count] : counts) {
+    if (count >= 2) {
+      EXPECT_TRUE(after.row_retired(pc, key.first, key.second));
+    }
+  }
 }
 
 TEST(TemperatureTest, ColderSiliconGainsMargin) {
