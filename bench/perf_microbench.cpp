@@ -210,19 +210,30 @@ BENCHMARK(BM_TelemetryOverhead)
 // absorbing stuck cells), 920 mV (budget burns, rows retire online).
 // The board is rebuilt per iteration -- the ladder mutates voltage and
 // array state, so a fresh loop body is the only way iterations measure
-// the same thing; setup is a small fraction of the 16k-op serve.
+// the same thing -- but construction, the lazy fault-overlay build
+// (~50 ms for a weak PC at 950 mV, forced by the first access), and
+// trace generation happen under PauseTiming: the counter is serving
+// throughput, not setup.
 void BM_ResilientServe(benchmark::State& state) {
   const int mv = static_cast<int>(state.range(0));
   constexpr std::uint64_t kOps = 1 << 14;
+  std::optional<board::Vcu128Board> board;
+  std::optional<runtime::ReliableChannel> channel;
+  workload::AccessTrace trace;
   for (auto _ : state) {
-    board::Vcu128Board board(bench::default_board_config());
-    (void)board.set_hbm_voltage(Millivolts{mv});
+    state.PauseTiming();
+    channel.reset();
+    board.emplace(bench::default_board_config());
+    (void)board->set_hbm_voltage(Millivolts{mv});
     runtime::ReliableChannelConfig config;
     config.spare_fraction = 0.25;
-    runtime::ReliableChannel channel(board, 18, config);
-    const auto trace =
-        workload::make_uniform_random(channel.capacity(), kOps, 0.25, 0x5E11E);
-    auto report = channel.serve(trace, 1);
+    channel.emplace(*board, 18, config);
+    (void)channel->write(0, runtime::make_payload(1, 18, 0));  // overlay build
+    trace =
+        workload::make_uniform_random(channel->capacity(), kOps, 0.25,
+                                      0x5E11E);
+    state.ResumeTiming();
+    auto report = channel->serve(trace, 1);
     if (!report.is_ok()) {
       state.SkipWithError("serve failed");
       break;
@@ -238,6 +249,98 @@ BENCHMARK(BM_ResilientServe)
     ->Arg(920)
     ->Unit(benchmark::kMillisecond);
 
+// Reliability tax on streaming traffic (docs/performance.md, CI
+// perf-smoke): one write sweep plus read sweeps over the weakest PC,
+// served raw at the stack (mode 0 -- per-beat loads, no ECC, no
+// journal, no scrub: the same unprotected baseline as
+// bench/ext_resilient_serving.cpp) or through
+// ReliableChannel::serve_trace (mode 1 -- the range engine coalesces
+// the sweeps into bulk encode/decode runs, scrub and budget amortized
+// per run).  CI fails if the reliable path delivers less than 1/3 of
+// raw ops/s at 950 mV.  Board rebuilt per iteration (same reason as
+// BM_ResilientServe), with setup and the lazy overlay build likewise
+// excluded from the timed region.
+void BM_ReliableServe(benchmark::State& state) {
+  const int mv = static_cast<int>(state.range(0));
+  const bool reliable = state.range(1) != 0;
+  // One write sweep, seven read sweeps: serving traffic is read-heavy,
+  // and the write sweep carries the (documented) write-verify double cost.
+  constexpr unsigned kPasses = 8;
+  constexpr unsigned kPc = 18;
+  std::uint64_t ops = 0;
+  std::optional<board::Vcu128Board> board;
+  std::optional<runtime::ReliableChannel> channel;
+  workload::AccessTrace trace;
+  for (auto _ : state) {
+    state.PauseTiming();
+    channel.reset();
+    board.emplace(bench::default_board_config());
+    (void)board->set_hbm_voltage(Millivolts{mv});
+    const unsigned per_stack = board->geometry().pcs_per_stack();
+    auto& stack = board->stack(kPc / per_stack);
+    const unsigned local = kPc % per_stack;
+    if (reliable) {
+      runtime::ReliableChannelConfig config;
+      config.spare_fraction = 0.25;
+      channel.emplace(*board, kPc, config);
+      (void)channel->write(0, runtime::make_payload(1, kPc, 0));
+      trace = workload::make_streaming(channel->capacity(), kPasses);
+      state.ResumeTiming();
+      auto report = channel->serve_trace(trace, 1);
+      if (!report.is_ok()) {
+        state.SkipWithError("serve_trace failed");
+        break;
+      }
+      ops += report.value().ops;
+    } else {
+      const std::uint64_t beats = board->geometry().beats_per_pc();
+      (void)stack.read_beat(local, 0);  // force the lazy overlay build
+      state.ResumeTiming();
+      bool ok = true;
+      for (std::uint64_t b = 0; b < beats && ok; ++b) {
+        ok = stack.write_beat(local, b,
+                              runtime::make_payload(1, kPc, b)).is_ok();
+      }
+      for (unsigned pass = 1; pass < kPasses && ok; ++pass) {
+        for (std::uint64_t b = 0; b < beats && ok; ++b) {
+          auto data = stack.read_beat(local, b);
+          ok = data.is_ok();
+          benchmark::DoNotOptimize(data);
+        }
+      }
+      if (!ok) {
+        state.SkipWithError("raw access failed");
+        break;
+      }
+      ops += beats * kPasses;
+    }
+  }
+  state.SetLabel(reliable ? "reliable" : "raw");
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_ReliableServe)
+    ->Args({1200, 0})
+    ->Args({1200, 1})
+    ->Args({950, 0})
+    ->Args({950, 1})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the JSON context records whether *this* binary (and the
+// hbmvolt library linked into it) was built with optimizations -- the CI
+// perf gate refuses numbers from a debug build.  google-benchmark's own
+// `library_build_type` field only describes the benchmark library, which
+// distro packages sometimes ship as debug.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("hbmvolt_build_type", "release");
+#else
+  benchmark::AddCustomContext("hbmvolt_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

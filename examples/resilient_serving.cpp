@@ -18,12 +18,17 @@
 //   HBMVOLT_SOAK_SEED=N      workload seed (default 101)
 //   HBMVOLT_SOAK_VERIFY=1    re-run serially and require an identical
 //                            fingerprint (byte-reproducibility check)
+//   HBMVOLT_SOAK_ENGINE=S    bulk-operation engine: "range" (default,
+//                            the bit-sliced bulk path) or "perbeat"
+//                            (the one-beat-at-a-time reference); the
+//                            two produce identical fingerprints
 //   HBMVOLT_CHAOS_RATE=X     storm intensity multiplier (default 1.0;
 //                            0 disables the storm entirely)
 //   HBMVOLT_CHAOS_SEED=N     chaos schedule seed (default 404)
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "board/vcu128.hpp"
 #include "chaos/chaos.hpp"
@@ -44,6 +49,14 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return text != nullptr ? std::strtoull(text, nullptr, 0) : fallback;
 }
 
+runtime::ChannelEngine env_engine() {
+  const char* text = std::getenv("HBMVOLT_SOAK_ENGINE");
+  if (text != nullptr && std::strcmp(text, "perbeat") == 0) {
+    return runtime::ChannelEngine::kPerBeat;
+  }
+  return runtime::ChannelEngine::kRange;
+}
+
 runtime::FleetConfig soak_fleet(std::uint64_t ops_per_pc, unsigned threads,
                                 std::uint64_t seed) {
   runtime::FleetConfig config;
@@ -52,6 +65,7 @@ runtime::FleetConfig soak_fleet(std::uint64_t ops_per_pc, unsigned threads,
   config.seed = seed;
   config.threads = threads;
   config.channel.spare_fraction = 0.25;
+  config.channel.engine = env_engine();
   return config;
 }
 
@@ -107,8 +121,10 @@ int main() {
   telemetry::ScopedTelemetry scope(telemetry);
 
   std::printf("resilient serving soak: %llu ops/PC at %d mV, %u thread(s), "
-              "chaos x%.2f\n",
-              static_cast<unsigned long long>(ops), mv, threads, chaos_rate);
+              "chaos x%.2f, %s engine\n",
+              static_cast<unsigned long long>(ops), mv, threads, chaos_rate,
+              env_engine() == runtime::ChannelEngine::kRange ? "range"
+                                                             : "perbeat");
 
   runtime::FleetConfig config = soak_fleet(ops, threads, seed);
   auto result = run_soak(config, mv, chaos_rate, chaos_seed, true);

@@ -43,12 +43,21 @@ Result<EccChannel::ReadOutcome> EccChannel::read_beat(std::uint64_t beat) {
   }
   auto data = stack_.read_beat(pc_local_, beat);
   if (!data.is_ok()) return data.status();
-  auto parity = stack_.read_beat(pc_local_, parity_beat_of(beat));
-  if (!parity.is_ok()) return parity.status();
-
-  const auto* check_bytes =
-      reinterpret_cast<const std::uint8_t*>(parity.value().data()) +
-      (beat % kBeatsPerParityBeat) * 4;
+  // This beat's 4 check bytes occupy half of one 64-bit word of the parity
+  // beat; fetch just that word instead of the whole beat (the demand-read
+  // hot path -- scrubbing still reads full parity beats).
+  const std::uint64_t slot = beat % kBeatsPerParityBeat;
+  auto parity_word =
+      stack_.read_word(pc_local_, parity_beat_of(beat) * 4 + slot / 2);
+  if (!parity_word.is_ok()) return parity_word.status();
+  const std::uint32_t checks =
+      static_cast<std::uint32_t>(parity_word.value() >> ((slot % 2) * 32));
+  const std::uint8_t check_bytes[4] = {
+      static_cast<std::uint8_t>(checks),
+      static_cast<std::uint8_t>(checks >> 8),
+      static_cast<std::uint8_t>(checks >> 16),
+      static_cast<std::uint8_t>(checks >> 24),
+  };
 
   ReadOutcome outcome;
   for (unsigned w = 0; w < 4; ++w) {
@@ -135,6 +144,200 @@ Result<ScrubOutcome> EccChannel::scrub_beat(std::uint64_t beat) {
   }
   outcome.wrote_back = data_dirty || parity_dirty;
   return outcome;
+}
+
+Status EccChannel::encode_range(std::uint64_t start, std::uint64_t count,
+                                const hbm::Beat* data) {
+  if (count == 0) return Status::ok();
+  if (start >= data_beats_ || count > data_beats_ - start) {
+    return out_of_range("ECC data beat range out of range");
+  }
+  static_assert(sizeof(hbm::Beat) == 32, "Beat must be 4 packed words");
+  HBMVOLT_RETURN_IF_ERROR(stack_.write_range_words(
+      pc_local_, start, count,
+      reinterpret_cast<const std::uint64_t*>(data)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t beat = start + i;
+    for (unsigned w = 0; w < 4; ++w) {
+      shadow_checks_[beat * 4 + w] = secded_encode(data[i][w]);
+    }
+  }
+  // Each touched parity beat once, from the updated shadow -- the same
+  // final state as the per-beat path's repeated group rewrites.
+  const std::uint64_t g0 = start / kBeatsPerParityBeat;
+  const std::uint64_t g1 = (start + count - 1) / kBeatsPerParityBeat;
+  const std::uint64_t groups = g1 - g0 + 1;
+  scratch_parity_.resize(groups * 4);
+  std::memcpy(scratch_parity_.data(),
+              shadow_checks_.data() + g0 * kBeatsPerParityBeat * 4,
+              groups * 32);
+  return stack_.write_range_words(pc_local_, data_beats_padded_ + g0, groups,
+                                  scratch_parity_.data());
+}
+
+Status EccChannel::decode_range(std::uint64_t start, std::uint64_t count,
+                                hbm::Beat* out,
+                                std::vector<RangeBeatEvent>& events) {
+  if (count == 0) return Status::ok();
+  if (start >= data_beats_ || count > data_beats_ - start) {
+    return out_of_range("ECC data beat range out of range");
+  }
+  HBMVOLT_RETURN_IF_ERROR(stack_.read_range_words(
+      pc_local_, start, count, reinterpret_cast<std::uint64_t*>(out)));
+  const std::uint64_t g0 = start / kBeatsPerParityBeat;
+  const std::uint64_t g1 = (start + count - 1) / kBeatsPerParityBeat;
+  scratch_parity_.resize((g1 - g0 + 1) * 4);
+  HBMVOLT_RETURN_IF_ERROR(
+      stack_.read_range_words(pc_local_, data_beats_padded_ + g0, g1 - g0 + 1,
+                              scratch_parity_.data()));
+  const auto* parity_bytes =
+      reinterpret_cast<const std::uint8_t*>(scratch_parity_.data());
+
+  std::uint64_t clean_words = 0;
+  std::uint64_t corrected_data = 0;
+  std::uint64_t corrected_check = 0;
+  std::uint64_t uncorrectable = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t beat = start + i;
+    const std::uint64_t slot = beat % kBeatsPerParityBeat;
+    const std::uint8_t* checks =
+        parity_bytes + (beat / kBeatsPerParityBeat - g0) * 32 + slot * 4;
+    hbm::Beat& words = out[i];
+    // Fast all-clean exit: the OR of the four word syndromes (and parity
+    // mismatches) is zero for the overwhelming majority of beats.
+    bool clean = true;
+    for (unsigned w = 0; w < 4; ++w) {
+      const std::uint8_t syndrome = static_cast<std::uint8_t>(
+          (data_syndrome(words[w]) ^ checks[w]) & 0x7F);
+      const bool parity_mismatch =
+          ((std::popcount(words[w]) ^ std::popcount<unsigned>(checks[w])) &
+           1) != 0;
+      if (syndrome != 0 || parity_mismatch) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      clean_words += 4;
+      continue;
+    }
+    RangeBeatEvent event;
+    event.beat = beat;
+    for (unsigned w = 0; w < 4; ++w) {
+      const DecodeResult decoded = secded_decode(words[w], checks[w]);
+      words[w] = decoded.data;
+      switch (decoded.status) {
+        case DecodeStatus::kClean:
+          ++clean_words;
+          break;
+        case DecodeStatus::kCorrectedData:
+          ++corrected_data;
+          ++event.corrected;
+          break;
+        case DecodeStatus::kCorrectedCheck:
+          ++corrected_check;
+          ++event.corrected_check;
+          break;
+        case DecodeStatus::kUncorrectable:
+          ++uncorrectable;
+          ++event.uncorrectable;
+          break;
+      }
+    }
+    events.push_back(event);
+  }
+  stats_.words_read += count * 4;
+  stats_.words_clean += clean_words;
+  stats_.corrected_data += corrected_data;
+  stats_.corrected_check += corrected_check;
+  stats_.uncorrectable += uncorrectable;
+  return Status::ok();
+}
+
+Status EccChannel::scrub_range(std::uint64_t start, std::uint64_t count,
+                               std::vector<RangeBeatEvent>& events) {
+  if (count == 0) return Status::ok();
+  if (start >= data_beats_ || count > data_beats_ - start) {
+    return out_of_range("ECC data beat range out of range");
+  }
+  scratch_data_.resize(count * 4);
+  HBMVOLT_RETURN_IF_ERROR(stack_.read_range_words(pc_local_, start, count,
+                                                  scratch_data_.data()));
+  const std::uint64_t g0 = start / kBeatsPerParityBeat;
+  const std::uint64_t g1 = (start + count - 1) / kBeatsPerParityBeat;
+  scratch_parity_.resize((g1 - g0 + 1) * 4);
+  HBMVOLT_RETURN_IF_ERROR(
+      stack_.read_range_words(pc_local_, data_beats_padded_ + g0, g1 - g0 + 1,
+                              scratch_parity_.data()));
+  auto* parity_bytes =
+      reinterpret_cast<std::uint8_t*>(scratch_parity_.data());
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t beat = start + i;
+    const std::uint64_t group = beat / kBeatsPerParityBeat;
+    const std::uint64_t slot = beat % kBeatsPerParityBeat;
+    const std::uint8_t* checks =
+        parity_bytes + (group - g0) * 32 + slot * 4;
+    const std::uint64_t* words = scratch_data_.data() + i * 4;
+    bool clean = true;
+    for (unsigned w = 0; w < 4; ++w) {
+      const std::uint8_t syndrome = static_cast<std::uint8_t>(
+          (data_syndrome(words[w]) ^ checks[w]) & 0x7F);
+      const bool parity_mismatch =
+          ((std::popcount(words[w]) ^ std::popcount<unsigned>(checks[w])) &
+           1) != 0;
+      if (syndrome != 0 || parity_mismatch) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) continue;
+
+    RangeBeatEvent event;
+    event.beat = beat;
+    hbm::Beat repaired{words[0], words[1], words[2], words[3]};
+    bool data_dirty = false;
+    bool parity_dirty = false;
+    for (unsigned w = 0; w < 4; ++w) {
+      const DecodeResult decoded = secded_decode(words[w], checks[w]);
+      switch (decoded.status) {
+        case DecodeStatus::kClean:
+          break;
+        case DecodeStatus::kCorrectedData:
+          ++event.corrected;
+          repaired[w] = decoded.data;
+          data_dirty = true;
+          break;
+        case DecodeStatus::kCorrectedCheck:
+          ++event.corrected_check;
+          parity_dirty = true;
+          break;
+        case DecodeStatus::kUncorrectable:
+          ++event.uncorrectable;
+          break;
+      }
+    }
+    if (data_dirty) {
+      HBMVOLT_RETURN_IF_ERROR(stack_.write_beat(pc_local_, beat, repaired));
+    }
+    if (parity_dirty) {
+      // Refresh the whole parity beat from the shadow, then re-read it
+      // through the stack so later siblings in this group decode against
+      // the refreshed-and-overlaid bytes, exactly like the per-beat path.
+      hbm::Beat fresh{};
+      std::memcpy(fresh.data(),
+                  shadow_checks_.data() + group * kBeatsPerParityBeat * 4, 32);
+      HBMVOLT_RETURN_IF_ERROR(
+          stack_.write_beat(pc_local_, parity_beat_of(beat), fresh));
+      auto reread = stack_.read_beat(pc_local_, parity_beat_of(beat));
+      if (!reread.is_ok()) return reread.status();
+      std::memcpy(parity_bytes + (group - g0) * 32, reread.value().data(),
+                  32);
+    }
+    event.wrote_back = data_dirty || parity_dirty;
+    events.push_back(event);
+  }
+  return Status::ok();
 }
 
 }  // namespace hbmvolt::ecc

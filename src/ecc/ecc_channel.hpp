@@ -92,6 +92,46 @@ class EccChannel {
   /// the demand-read EccStats.
   Result<ScrubOutcome> scrub_beat(std::uint64_t beat);
 
+  // ---- Batched range engine ----
+  // Bulk siblings of write_beat/read_beat/scrub_beat over contiguous beat
+  // ranges, built on HbmStack's raw word-range ops and the bit-sliced
+  // SECDED codec (secded.hpp).  Results and final memory state are
+  // byte-identical to the equivalent per-beat call sequence in ascending
+  // beat order; non-clean beats are reported as sparse events so callers
+  // pay O(faults), not O(beats), for the exception bookkeeping.
+
+  /// One non-clean beat from decode_range/scrub_range, in ascending beat
+  /// order.  Clean beats produce no event -- the all-clean fast exit.
+  struct RangeBeatEvent {
+    std::uint64_t beat = 0;            // absolute ECC data-beat index
+    std::uint8_t corrected = 0;        // data words repaired
+    std::uint8_t corrected_check = 0;  // check-byte errors (data intact)
+    std::uint8_t uncorrectable = 0;    // words lost
+    bool wrote_back = false;           // scrub_range: repairs written back
+  };
+
+  /// Bulk encode+write of [start, start+count): data beats via one raw
+  /// range write, then each touched parity beat once from the shadow.
+  /// Final memory state identical to count write_beat calls.
+  Status encode_range(std::uint64_t start, std::uint64_t count,
+                      const hbm::Beat* data);
+
+  /// Bulk decode of [start, start+count) into `out` (count beats).  A beat
+  /// whose four words all have zero syndrome and intact parity is passed
+  /// through untouched (the common case costs 7 masked popcounts per word
+  /// and no branch misses); everything else appends a RangeBeatEvent.
+  Status decode_range(std::uint64_t start, std::uint64_t count,
+                      hbm::Beat* out, std::vector<RangeBeatEvent>& events);
+
+  /// Bulk patrol scrub of [start, start+count): per-beat semantics of
+  /// scrub_beat, including the parity-group refresh -- when a beat's
+  /// check bytes are rewritten from the shadow, later sibling beats in
+  /// the same parity group decode against the *refreshed* (re-read, so
+  /// overlay-corrupted exactly like a demand fetch) parity beat, matching
+  /// the per-beat call sequence bit for bit.
+  Status scrub_range(std::uint64_t start, std::uint64_t count,
+                     std::vector<RangeBeatEvent>& events);
+
   [[nodiscard]] const EccStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = EccStats{}; }
 
@@ -110,6 +150,10 @@ class EccChannel {
   std::uint64_t data_beats_padded_ = 0;  // rounded to parity granularity
   std::vector<std::uint8_t> shadow_checks_;  // 4 bytes per data beat
   EccStats stats_;
+  // Reusable scratch for the range engine (parity words / scrub data),
+  // so bulk calls allocate only on high-water growth.
+  std::vector<std::uint64_t> scratch_parity_;
+  std::vector<std::uint64_t> scratch_data_;
 };
 
 }  // namespace hbmvolt::ecc

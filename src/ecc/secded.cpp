@@ -1,45 +1,20 @@
-#include "ecc/secded.hpp"
+// Reference SECDED codec: the per-set-bit position-XOR walk the fast
+// bit-sliced header implementation replaced.  Kept verbatim so tests can
+// prove the closed-form column masks compute identical syndromes (and
+// therefore identical encodes/decodes) over the whole input space they
+// sample.
 
-#include <array>
-#include <bit>
+#include "ecc/secded.hpp"
 
 namespace hbmvolt::ecc {
 namespace {
 
-constexpr bool is_power_of_two(unsigned x) { return (x & (x - 1)) == 0; }
-
-/// Code position (1..71, skipping powers of two) of each data bit.
-constexpr std::array<std::uint8_t, 64> make_positions() {
-  std::array<std::uint8_t, 64> positions{};
-  unsigned next = 0;
-  for (unsigned position = 1; position <= 71 && next < 64; ++position) {
-    if (!is_power_of_two(position)) {
-      positions[next++] = static_cast<std::uint8_t>(position);
-    }
-  }
-  return positions;
-}
-
-/// Inverse map: code position -> data bit index (0xFF for check bits).
-constexpr std::array<std::uint8_t, 72> make_inverse() {
-  std::array<std::uint8_t, 72> inverse{};
-  for (auto& entry : inverse) entry = 0xFF;
-  const auto positions = make_positions();
-  for (unsigned d = 0; d < 64; ++d) inverse[positions[d]] = static_cast<std::uint8_t>(d);
-  return inverse;
-}
-
-constexpr auto kPositions = make_positions();
-constexpr auto kInverse = make_inverse();
-
-/// XOR of the code positions of all set data bits = the 7-bit Hamming
-/// syndrome contribution of the data word.
-std::uint8_t data_syndrome(std::uint64_t data) noexcept {
+std::uint8_t data_syndrome_reference(std::uint64_t data) noexcept {
   std::uint8_t syndrome = 0;
   while (data != 0) {
     const int bit = std::countr_zero(data);
     data &= data - 1;
-    syndrome ^= kPositions[static_cast<unsigned>(bit)];
+    syndrome ^= detail::kPositions[static_cast<unsigned>(bit)];
   }
   return syndrome;
 }
@@ -48,20 +23,20 @@ bool parity64(std::uint64_t x) noexcept { return std::popcount(x) & 1; }
 
 }  // namespace
 
-std::uint8_t secded_encode(std::uint64_t data) noexcept {
-  const std::uint8_t hamming = data_syndrome(data) & 0x7F;
-  // Overall parity bit makes the whole 72-bit codeword even-parity.
+std::uint8_t secded_encode_reference(std::uint64_t data) noexcept {
+  const std::uint8_t hamming = data_syndrome_reference(data) & 0x7F;
   const bool overall =
       parity64(data) ^ (std::popcount<unsigned>(hamming) & 1);
   return static_cast<std::uint8_t>(hamming | (overall ? 0x80 : 0x00));
 }
 
-DecodeResult secded_decode(std::uint64_t data, std::uint8_t check) noexcept {
+DecodeResult secded_decode_reference(std::uint64_t data,
+                                     std::uint8_t check) noexcept {
   DecodeResult result;
   result.data = data;
 
-  const std::uint8_t syndrome =
-      static_cast<std::uint8_t>((data_syndrome(data) ^ check) & 0x7F);
+  const std::uint8_t syndrome = static_cast<std::uint8_t>(
+      (data_syndrome_reference(data) ^ check) & 0x7F);
   const bool parity_mismatch =
       parity64(data) ^ (std::popcount<unsigned>(check) & 1);
 
@@ -70,26 +45,22 @@ DecodeResult secded_decode(std::uint64_t data, std::uint8_t check) noexcept {
     return result;
   }
   if (!parity_mismatch) {
-    // Nonzero syndrome with intact overall parity: >= 2 bit errors.
     result.status = DecodeStatus::kUncorrectable;
     return result;
   }
   if (syndrome == 0) {
-    // The overall parity bit itself flipped; data is intact.
     result.status = DecodeStatus::kCorrectedCheck;
     return result;
   }
-  if (syndrome < 72 && kInverse[syndrome] != 0xFF) {
-    result.data = data ^ (1ull << kInverse[syndrome]);
+  if (syndrome < 72 && detail::kInverse[syndrome] != 0xFF) {
+    result.data = data ^ (1ull << detail::kInverse[syndrome]);
     result.status = DecodeStatus::kCorrectedData;
     return result;
   }
-  if (syndrome < 72 && is_power_of_two(syndrome)) {
-    // A Hamming check bit flipped; data is intact.
+  if (syndrome < 72 && detail::is_power_of_two(syndrome)) {
     result.status = DecodeStatus::kCorrectedCheck;
     return result;
   }
-  // Syndrome points outside the codeword: multi-bit corruption.
   result.status = DecodeStatus::kUncorrectable;
   return result;
 }

@@ -106,6 +106,31 @@ void FaultOverlay::apply_range(std::uint64_t start_beat, std::uint64_t beats,
   patch(sparse_sa1_, true);
 }
 
+void FaultOverlay::apply_word(std::uint64_t word_index,
+                              std::uint64_t& word) const noexcept {
+  if (empty()) return;
+  if (!mask_.empty()) {
+    const std::uint64_t m = mask_[word_index];
+    word = (word & ~m) | (value_[word_index] & m);
+    return;
+  }
+  const std::uint64_t lo = word_index * 64;
+  const std::uint64_t hi = lo + 64;
+  auto patch = [&](const std::vector<std::uint32_t>& cells, bool stuck_one) {
+    auto it = std::lower_bound(cells.begin(), cells.end(), lo);
+    for (; it != cells.end() && *it < hi; ++it) {
+      const std::uint64_t bit = 1ull << (*it - lo);
+      if (stuck_one) {
+        word |= bit;
+      } else {
+        word &= ~bit;
+      }
+    }
+  };
+  patch(sparse_sa0_, false);
+  patch(sparse_sa1_, true);
+}
+
 hbm::RangeFlips FaultOverlay::verify_after_fill(
     std::uint64_t start_beat, std::uint64_t beats,
     const hbm::WordPattern& pattern, std::uint64_t* diff_out) const noexcept {

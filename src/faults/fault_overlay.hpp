@@ -43,6 +43,11 @@ class FaultOverlay {
   void apply_range(std::uint64_t start_beat, std::uint64_t beats,
                    std::span<std::uint64_t> words) const noexcept;
 
+  /// Patches a single 64-bit word in place (`word_index` counts words from
+  /// the start of the PC): the narrow sibling of apply(), for readers that
+  /// only need one word of a beat (e.g. the ECC channel's check bytes).
+  void apply_word(std::uint64_t word_index, std::uint64_t& word) const noexcept;
+
   /// Bulk verify assuming the stored data equals `pattern` over the range
   /// (it was just bulk-filled with it): only stuck cells can differ, so
   /// this touches no memory-array words at all -- O(stuck cells in range)

@@ -1,6 +1,7 @@
 #include "hbm/memory_array.hpp"
 
 #include <bit>
+#include <cstring>
 
 #include "common/rng.hpp"
 
@@ -47,6 +48,24 @@ void MemoryArray::write_bit(std::uint64_t bit, bool value) noexcept {
 bool MemoryArray::read_bit(std::uint64_t bit) const noexcept {
   ensure_materialized();
   return (words_[bit / 64] >> (bit % 64)) & 1ull;
+}
+
+void MemoryArray::read_words(std::uint64_t first_word, std::uint64_t count,
+                             std::uint64_t* out) const noexcept {
+  ensure_materialized();
+  std::memcpy(out, words_.data() + first_word, count * sizeof(std::uint64_t));
+}
+
+void MemoryArray::write_words(std::uint64_t first_word, std::uint64_t count,
+                              const std::uint64_t* data) noexcept {
+  ensure_materialized();
+  std::memcpy(words_.data() + first_word, data,
+              count * sizeof(std::uint64_t));
+}
+
+std::uint64_t MemoryArray::read_word(std::uint64_t word) const noexcept {
+  ensure_materialized();
+  return words_[word];
 }
 
 void MemoryArray::scramble(std::uint64_t seed) {

@@ -78,6 +78,14 @@ class MemoryArray {
       const WordPattern& pattern,
       std::uint64_t* diff_out = nullptr) const noexcept;
 
+  /// Bulk word copies for the beat-range engines: `first_word` indexes
+  /// 64-bit words from the start of the array (beat * 4).
+  void read_words(std::uint64_t first_word, std::uint64_t count,
+                  std::uint64_t* out) const noexcept;
+  void write_words(std::uint64_t first_word, std::uint64_t count,
+                   const std::uint64_t* data) noexcept;
+  [[nodiscard]] std::uint64_t read_word(std::uint64_t word) const noexcept;
+
   /// Raw word view (read-only) for whole-array scans.
   [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
     ensure_materialized();

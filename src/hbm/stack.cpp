@@ -108,6 +108,32 @@ Result<RangeFlips> HbmStack::read_verify_range(
   return overlay.verify_stored(start_beat, beats, stored, pattern, diff_out);
 }
 
+Status HbmStack::read_range_words(unsigned pc_local, std::uint64_t start_beat,
+                                  std::uint64_t beats, std::uint64_t* out) {
+  HBMVOLT_RETURN_IF_ERROR(check_range(pc_local, start_beat, beats));
+  arrays_[pc_local]->read_words(start_beat * 4, beats * 4, out);
+  injector_.overlay(global_pc(pc_local))
+      .apply_range(start_beat, beats, std::span<std::uint64_t>(out, beats * 4));
+  return Status::ok();
+}
+
+Status HbmStack::write_range_words(unsigned pc_local, std::uint64_t start_beat,
+                                   std::uint64_t beats,
+                                   const std::uint64_t* data) {
+  HBMVOLT_RETURN_IF_ERROR(check_range(pc_local, start_beat, beats));
+  arrays_[pc_local]->write_words(start_beat * 4, beats * 4, data);
+  return Status::ok();
+}
+
+Result<std::uint64_t> HbmStack::read_word(unsigned pc_local,
+                                          std::uint64_t word_index) {
+  const Status access = check_access(pc_local, word_index / 4);
+  if (!access.is_ok()) return access;
+  std::uint64_t word = arrays_[pc_local]->read_word(word_index);
+  injector_.overlay(global_pc(pc_local)).apply_word(word_index, word);
+  return word;
+}
+
 MemoryArray& HbmStack::array(unsigned pc_local) {
   HBMVOLT_REQUIRE(pc_local < arrays_.size(), "PC index out of range");
   return *arrays_[pc_local];

@@ -94,6 +94,21 @@ class HbmStack {
                                        bool after_matching_write,
                                        std::uint64_t* diff_out = nullptr);
 
+  /// Raw bulk read of a beat range into `out` (beats * 4 words) with the
+  /// current voltage's overlay applied -- the word-span sibling of
+  /// read_beat for engines that carry their own buffers (ECC decode_range).
+  Status read_range_words(unsigned pc_local, std::uint64_t start_beat,
+                          std::uint64_t beats, std::uint64_t* out);
+
+  /// Raw bulk write of a beat range from `data` (beats * 4 words).
+  Status write_range_words(unsigned pc_local, std::uint64_t start_beat,
+                           std::uint64_t beats, const std::uint64_t* data);
+
+  /// Reads one 64-bit word (index counted from the start of the PC) with
+  /// the overlay applied: a quarter of a read_beat for readers that only
+  /// need one word (e.g. a beat's ECC check bytes).
+  Result<std::uint64_t> read_word(unsigned pc_local, std::uint64_t word_index);
+
   /// Direct array access for tests and white-box analyses.
   [[nodiscard]] MemoryArray& array(unsigned pc_local);
 

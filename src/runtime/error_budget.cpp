@@ -45,6 +45,27 @@ BudgetVerdict ErrorBudget::record(std::uint64_t words, std::uint64_t corrected,
   return BudgetVerdict::kHealthy;
 }
 
+void ErrorBudget::record_clean(std::uint64_t words) {
+  if (burned() || words == 0) return;
+  // Complete the in-progress window through the normal path: its verdict
+  // depends on corrections recorded before this clean batch.
+  const std::uint64_t to_fill = config_.window_words > words_
+                                    ? config_.window_words - words_
+                                    : 0;
+  if (words < to_fill) {
+    words_ += words;
+    return;
+  }
+  record(to_fill, 0, 0);
+  if (burned()) return;  // latched exactly where the per-word loop would stop
+  words -= to_fill;
+  // Every remaining window is all-clean, hence healthy: fast-forward.
+  if (config_.window_words > 0) {
+    windows_completed_ += words / config_.window_words;
+    words_ = words % config_.window_words;
+  }
+}
+
 void ErrorBudget::reset() {
   words_ = 0;
   corrected_ = 0;

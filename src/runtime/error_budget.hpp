@@ -44,6 +44,16 @@ class ErrorBudget {
   BudgetVerdict record(std::uint64_t words, std::uint64_t corrected,
                        std::uint64_t uncorrectable);
 
+  /// Folds `words` clean decoded words in, exactly equivalent to that many
+  /// record(1, 0, 0) calls but O(1): the chunk that completes the current
+  /// window goes through the normal rate check (the window may still burn
+  /// on *previously* accumulated corrections), and the remaining fully
+  /// clean windows are fast-forwarded arithmetically.  This is what lets
+  /// the range engine account a multi-thousand-beat clean run without a
+  /// per-beat loop while staying fingerprint-identical to the per-beat
+  /// reference.
+  void record_clean(std::uint64_t words);
+
   /// Consume a burn (or abandon the current window) after a ladder
   /// action; accounting restarts from an empty window.
   void reset();

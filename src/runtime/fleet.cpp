@@ -73,6 +73,74 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
     const std::uint64_t logical = record.beat % channel.capacity();
     const bool write_op = record.write || !channel.journal_live(logical);
 
+    // Coalesce a maximal run of consecutive-beat, same-direction records
+    // into one bulk call -- the range fast path.  A storm hook pins the
+    // loop to per-op granularity (the hook must fire before every op),
+    // and a bulk call that hits the ladder falls back to the per-op
+    // machinery below without consuming the cursor.
+    if (!config_.storm_hook) {
+      const std::uint64_t run_budget =
+          std::min<std::uint64_t>(trace.size() - st.cursor,
+                                  config_.ops_per_epoch - served);
+      std::uint64_t n = 1;
+      while (n < run_budget) {
+        const workload::TraceRecord& r2 = trace[st.cursor + n];
+        const std::uint64_t l2 = r2.beat % channel.capacity();
+        if (l2 != logical + n) break;
+        const bool w2 = r2.write || !channel.journal_live(l2);
+        if (w2 != write_op) break;
+        ++n;
+      }
+      if (n >= 2) {
+        Status st_bulk = Status::ok();
+        if (write_op) {
+          st.beats.resize(n);
+          for (std::uint64_t k = 0; k < n; ++k) {
+            st.beats[k] = make_payload(data_seed, pc, st.cursor + k);
+          }
+          st_bulk = channel.write_range(logical, n, st.beats.data());
+          if (st_bulk.is_ok()) st.report.writes += n;
+        } else {
+          st.beats.resize(n);
+          st_bulk = channel.read_range(logical, n, st.beats.data());
+          if (st_bulk.is_ok()) {
+            for (std::uint64_t k = 0; k < n; ++k) {
+              if (st.beats[k] != channel.journal_beat(logical + k)) {
+                ++st.report.corrupt_reads;
+              }
+            }
+            st.report.reads += n;
+          }
+        }
+        if (st_bulk.is_ok()) {
+          st.report.ops += n;
+          st.cursor += n;
+          served += n;
+          st.attempts = 0;
+          if (channel.budget().burned() || channel.escalation_pending()) {
+            auto rung = channel.escalate();
+            if (!rung.is_ok()) {
+              st.status = rung.status();
+              return;
+            }
+            if (rung.value() != LadderRung::kCorrect) {
+              st.wants_global = true;
+              st.wanted = rung.value();
+              return;
+            }
+          }
+          continue;
+        }
+        if (st_bulk.code() != StatusCode::kDataLoss &&
+            st_bulk.code() != StatusCode::kUnavailable) {
+          st.status = st_bulk;
+          return;
+        }
+        // Fall through: the per-op path re-serves the run from its start
+        // and applies the usual escalate-and-retry handling.
+      }
+    }
+
     if (write_op) {
       const Status wrote =
           channel.write(logical, make_payload(data_seed, pc, st.cursor));
@@ -236,9 +304,11 @@ Result<FleetReport> ServingFleet::run() {
     fp = mix_seed(fp, cs.beats_parked);
     fp = mix_seed(fp, cs.verify_caught);
     fp = mix_seed(fp, cs.journal_refreshes);
+    fp = mix_seed(fp, cs.journal_served_reads);
     fp = mix_seed(fp, cs.scrub_beats);
     fp = mix_seed(fp, cs.scrub_corrected);
     fp = mix_seed(fp, cs.scrub_uncorrectable);
+    fp = mix_seed(fp, cs.scrub_blocks_skipped);
     for (const LadderEvent& event : channel.ladder_trace()) {
       fp = mix_seed(fp, static_cast<std::uint64_t>(event.rung));
       fp = mix_seed(fp, static_cast<std::uint64_t>(event.voltage.value));

@@ -97,6 +97,8 @@ class ServingFleet {
     Status status = Status::ok();
     bool wants_global = false;
     LadderRung wanted = LadderRung::kCorrect;
+    /// Payload/read buffer for coalesced bulk runs (high-water reuse).
+    std::vector<hbm::Beat> beats;
   };
 
   void serve_pc_epoch(std::size_t i);

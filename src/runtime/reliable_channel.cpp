@@ -53,7 +53,7 @@ ReliableChannel::ReliableChannel(board::Vcu128Board& board, unsigned pc_global,
   }
   journal_.assign(exposed, hbm::Beat{});
   live_.assign(exposed, false);
-  parked_.assign(exposed, false);
+  clean_blocks_.assign(block_count(), false);
 }
 
 std::uint64_t ReliableChannel::spares_free() const noexcept {
@@ -69,7 +69,7 @@ std::uint64_t ReliableChannel::row_key(std::uint64_t physical_beat) const {
 void ReliableChannel::note_row_events(std::uint64_t physical_beat,
                                       unsigned events) {
   if (events == 0) return;
-  row_events_[row_key(physical_beat)] += events;
+  row_events_.add(row_key(physical_beat), events);
 }
 
 void ReliableChannel::record_ladder(LadderRung rung) {
@@ -94,11 +94,109 @@ void ReliableChannel::record_ladder(LadderRung rung) {
   }
 }
 
+// ---- Clean-block bookkeeping (policy state shared by both engines) ----
+
+void ReliableChannel::invalidate_block(std::uint64_t logical) {
+  const std::uint64_t block = logical / kScrubBlockBeats;
+  clean_blocks_.clear(block);
+  // A write landing in the block the patrol is mid-scan through makes the
+  // scan's verdict stale.
+  if (scan_block_ == block) scan_clean_ = false;
+}
+
+void ReliableChannel::invalidate_all_blocks() {
+  clean_blocks_.clear_all();
+  scan_block_ = kNoBlock;
+  scan_clean_ = false;
+}
+
+void ReliableChannel::mark_clean_blocks(std::uint64_t logical,
+                                        std::uint64_t count) {
+  const std::uint64_t end = logical + count;
+  // Only blocks wholly inside [logical, end) were proven clean.
+  std::uint64_t block = (logical + kScrubBlockBeats - 1) / kScrubBlockBeats;
+  for (;; ++block) {
+    const std::uint64_t block_start = block * kScrubBlockBeats;
+    if (block_start >= capacity()) break;
+    const std::uint64_t block_end =
+        std::min(block_start + kScrubBlockBeats, capacity());
+    if (block_end > end) break;
+    clean_blocks_.set(block);
+  }
+}
+
+// ---- Per-beat accounting bodies (the policy both engines execute) ----
+
+bool ReliableChannel::account_read(std::uint64_t physical, unsigned corrected,
+                                   unsigned corrected_check,
+                                   unsigned uncorrectable) {
+  ++stats_.reads;
+  ++ops_;
+  stats_.corrected_words += corrected;
+  stats_.corrected_check_words += corrected_check;
+  note_row_events(physical, corrected);
+  budget_.record(4, corrected + corrected_check, uncorrectable);
+  if (uncorrectable > 0) {
+    // Never deliver a word the code could not vouch for: record the
+    // offender and hand the decision to the ladder.
+    ++stats_.uncorrectable_blocked;
+    offender_rows_.insert(row_key(physical));
+    escalation_pending_ = true;
+    return false;
+  }
+  return true;
+}
+
+void ReliableChannel::account_verify(std::uint64_t physical, unsigned corrected,
+                                     unsigned corrected_check,
+                                     unsigned uncorrectable) {
+  note_row_events(physical, corrected);
+  budget_.record(4, corrected + corrected_check, uncorrectable);
+  if (uncorrectable > 0) {
+    ++stats_.verify_caught;
+    offender_rows_.insert(row_key(physical));
+    escalation_pending_ = true;
+  }
+}
+
+void ReliableChannel::account_scrub(std::uint64_t physical,
+                                    unsigned corrected_data,
+                                    unsigned corrected_check,
+                                    unsigned uncorrectable, bool wrote_back) {
+  ++stats_.scrub_beats;
+  stats_.scrub_corrected += corrected_data + corrected_check;
+  stats_.scrub_uncorrectable += uncorrectable;
+  if (wrote_back) ++stats_.scrub_writebacks;
+  note_row_events(physical, corrected_data);
+  budget_.record(4, corrected_data + corrected_check, uncorrectable);
+  if (uncorrectable > 0) {
+    // The patrol found a word demand reads would refuse: escalate
+    // before a caller trips over it.
+    offender_rows_.insert(row_key(physical));
+    escalation_pending_ = true;
+  }
+  if (corrected_data + corrected_check + uncorrectable > 0 || wrote_back) {
+    scan_clean_ = false;
+  }
+}
+
+Status ReliableChannel::settle_scrub_debt(std::uint64_t ops_before) {
+  if (config_.scrub_interval_ops == 0) return Status::ok();
+  const std::uint64_t k = ops_ / config_.scrub_interval_ops -
+                          ops_before / config_.scrub_interval_ops;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    HBMVOLT_RETURN_IF_ERROR(scrub_slice());
+  }
+  return Status::ok();
+}
+
+// ---- Single-beat demand path ----
+
 Status ReliableChannel::write(std::uint64_t logical, const hbm::Beat& data) {
   if (logical >= capacity()) {
     return out_of_range("logical beat out of range");
   }
-  if (!parked_[logical]) {
+  if (!parked_.contains(logical)) {
     HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(remap_[logical], data));
     if (config_.verify_writes) {
       // Read-back: a word that cannot hold the data just written (stuck
@@ -106,20 +204,16 @@ Status ReliableChannel::write(std::uint64_t logical, const hbm::Beat& data) {
       // it is one soft upset away from a SECDED miscorrection.
       auto back = ecc_.read_beat(remap_[logical]);
       if (!back.is_ok()) return back.status();
-      note_row_events(remap_[logical], back.value().corrected);
-      budget_.record(4, back.value().corrected + back.value().corrected_check,
+      account_verify(remap_[logical], back.value().corrected,
+                     back.value().corrected_check,
                      back.value().uncorrectable);
-      if (back.value().uncorrectable > 0) {
-        ++stats_.verify_caught;
-        offender_rows_.insert(row_key(remap_[logical]));
-        escalation_pending_ = true;
-      }
     }
   }
   journal_[logical] = data;
-  live_[logical] = true;
+  live_.set(logical);
   ++stats_.writes;
   ++ops_;
+  invalidate_block(logical);
   if (config_.scrub_interval_ops > 0 &&
       ops_ % config_.scrub_interval_ops == 0) {
     HBMVOLT_RETURN_IF_ERROR(scrub_slice());
@@ -131,11 +225,12 @@ Result<hbm::Beat> ReliableChannel::read(std::uint64_t logical) {
   if (logical >= capacity()) {
     return out_of_range("logical beat out of range");
   }
-  if (parked_[logical]) {
+  if (parked_.contains(logical)) {
     // Journal-backed: the device copy is unservable (stuck cells paired
     // up with the spare pool exhausted), the host copy is the truth.
     ++stats_.reads;
     ++ops_;
+    ++stats_.journal_served_reads;
     if (config_.scrub_interval_ops > 0 &&
         ops_ % config_.scrub_interval_ops == 0) {
       HBMVOLT_RETURN_IF_ERROR(scrub_slice());
@@ -146,23 +241,10 @@ Result<hbm::Beat> ReliableChannel::read(std::uint64_t logical) {
   auto outcome = ecc_.read_beat(physical);
   if (!outcome.is_ok()) return outcome.status();
   const auto& got = outcome.value();
-
-  ++stats_.reads;
-  ++ops_;
-  stats_.corrected_words += got.corrected;
-  stats_.corrected_check_words += got.corrected_check;
-  note_row_events(physical, got.corrected);
-  budget_.record(4, got.corrected + got.corrected_check, got.uncorrectable);
-
-  if (got.uncorrectable > 0) {
-    // Never deliver a word the code could not vouch for: record the
-    // offender and hand the decision to the ladder.
-    ++stats_.uncorrectable_blocked;
-    offender_rows_.insert(row_key(physical));
-    escalation_pending_ = true;
+  if (!account_read(physical, got.corrected, got.corrected_check,
+                    got.uncorrectable)) {
     return data_loss("uncorrectable word on read; escalation required");
   }
-
   if (config_.scrub_interval_ops > 0 &&
       ops_ % config_.scrub_interval_ops == 0) {
     HBMVOLT_RETURN_IF_ERROR(scrub_slice());
@@ -170,66 +252,421 @@ Result<hbm::Beat> ReliableChannel::read(std::uint64_t logical) {
   return got.data;
 }
 
+// ---- Bulk demand path ----
+
+Status ReliableChannel::read_range(std::uint64_t logical, std::uint64_t count,
+                                   hbm::Beat* out) {
+  if (count == 0) return Status::ok();
+  if (logical >= capacity() || count > capacity() - logical) {
+    return out_of_range("logical beat range out of range");
+  }
+  const std::uint64_t end = logical + count;
+  const std::uint64_t ops_before = ops_;
+  const bool plain_call = !special_.any_in_range(logical, end);
+  bool all_clean = true;
+  std::uint64_t cur = logical;
+  while (cur < end) {
+    const std::uint64_t special = special_.first_in_range(cur, end);
+    const std::uint64_t plain_end =
+        special == SortedKeySet::kNone ? end : special;
+    if (cur < plain_end) {
+      // Plain run: identity-mapped, not parked (specials capture both).
+      if (config_.engine == ChannelEngine::kPerBeat) {
+        for (; cur < plain_end; ++cur) {
+          const std::uint64_t physical = remap_[cur];
+          auto outcome = ecc_.read_beat(physical);
+          if (!outcome.is_ok()) return outcome.status();
+          const auto& got = outcome.value();
+          out[cur - logical] = got.data;
+          if (got.corrected + got.corrected_check + got.uncorrectable > 0) {
+            all_clean = false;
+          }
+          if (!account_read(physical, got.corrected, got.corrected_check,
+                            got.uncorrectable)) {
+            return data_loss(
+                "uncorrectable word on read; escalation required");
+          }
+        }
+      } else {
+        const std::uint64_t n = plain_end - cur;
+        scratch_events_.clear();
+        HBMVOLT_RETURN_IF_ERROR(
+            ecc_.decode_range(cur, n, out + (cur - logical), scratch_events_));
+        std::uint64_t clean_from = cur;
+        for (const auto& ev : scratch_events_) {
+          all_clean = false;
+          if (ev.beat > clean_from) {
+            const std::uint64_t k = ev.beat - clean_from;
+            stats_.reads += k;
+            ops_ += k;
+            budget_.record_clean(4 * k);
+          }
+          if (!account_read(ev.beat, ev.corrected, ev.corrected_check,
+                            ev.uncorrectable)) {
+            // Beats past the failing one were decoded but are not
+            // accounted -- exactly where the per-beat reference stops.
+            return data_loss(
+                "uncorrectable word on read; escalation required");
+          }
+          clean_from = ev.beat + 1;
+        }
+        if (plain_end > clean_from) {
+          const std::uint64_t k = plain_end - clean_from;
+          stats_.reads += k;
+          ops_ += k;
+          budget_.record_clean(4 * k);
+        }
+        cur = plain_end;
+      }
+    }
+    if (special != SortedKeySet::kNone) {
+      if (parked_.contains(cur)) {
+        out[cur - logical] = journal_[cur];
+        ++stats_.reads;
+        ++ops_;
+        ++stats_.journal_served_reads;
+      } else {
+        const std::uint64_t physical = remap_[cur];
+        auto outcome = ecc_.read_beat(physical);
+        if (!outcome.is_ok()) return outcome.status();
+        const auto& got = outcome.value();
+        out[cur - logical] = got.data;
+        if (got.corrected + got.corrected_check + got.uncorrectable > 0) {
+          all_clean = false;
+        }
+        if (!account_read(physical, got.corrected, got.corrected_check,
+                          got.uncorrectable)) {
+          return data_loss("uncorrectable word on read; escalation required");
+        }
+      }
+      ++cur;
+    }
+  }
+  // A clean pass over identity-mapped beats is exactly what the patrol
+  // would have established: let the scrub cursor skip these blocks once.
+  if (plain_call && all_clean) mark_clean_blocks(logical, count);
+  return settle_scrub_debt(ops_before);
+}
+
+Status ReliableChannel::write_range(std::uint64_t logical, std::uint64_t count,
+                                    const hbm::Beat* data) {
+  if (count == 0) return Status::ok();
+  if (logical >= capacity() || count > capacity() - logical) {
+    return out_of_range("logical beat range out of range");
+  }
+  const std::uint64_t end = logical + count;
+  const std::uint64_t ops_before = ops_;
+  std::uint64_t cur = logical;
+  while (cur < end) {
+    const std::uint64_t special = special_.first_in_range(cur, end);
+    const std::uint64_t plain_end =
+        special == SortedKeySet::kNone ? end : special;
+    if (cur < plain_end) {
+      const std::uint64_t n = plain_end - cur;
+      const hbm::Beat* src = data + (cur - logical);
+      if (config_.engine == ChannelEngine::kPerBeat) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const std::uint64_t beat = cur + i;
+          HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(beat, src[i]));
+          if (config_.verify_writes) {
+            auto back = ecc_.read_beat(beat);
+            if (!back.is_ok()) return back.status();
+            account_verify(beat, back.value().corrected,
+                           back.value().corrected_check,
+                           back.value().uncorrectable);
+          }
+        }
+      } else {
+        HBMVOLT_RETURN_IF_ERROR(ecc_.encode_range(cur, n, src));
+        if (config_.verify_writes) {
+          scratch_beats_.resize(n);
+          scratch_events_.clear();
+          HBMVOLT_RETURN_IF_ERROR(ecc_.decode_range(
+              cur, n, scratch_beats_.data(), scratch_events_));
+          std::uint64_t clean_from = cur;
+          for (const auto& ev : scratch_events_) {
+            if (ev.beat > clean_from) {
+              budget_.record_clean(4 * (ev.beat - clean_from));
+            }
+            account_verify(ev.beat, ev.corrected, ev.corrected_check,
+                           ev.uncorrectable);
+            clean_from = ev.beat + 1;
+          }
+          if (plain_end > clean_from) {
+            budget_.record_clean(4 * (plain_end - clean_from));
+          }
+        }
+      }
+      std::copy(src, src + n, journal_.begin() + static_cast<long>(cur));
+      for (std::uint64_t i = 0; i < n; ++i) live_.set(cur + i);
+      stats_.writes += n;
+      ops_ += n;
+      cur = plain_end;
+    }
+    if (special != SortedKeySet::kNone) {
+      const hbm::Beat& beat_data = data[cur - logical];
+      if (!parked_.contains(cur)) {
+        const std::uint64_t physical = remap_[cur];
+        HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(physical, beat_data));
+        if (config_.verify_writes) {
+          auto back = ecc_.read_beat(physical);
+          if (!back.is_ok()) return back.status();
+          account_verify(physical, back.value().corrected,
+                         back.value().corrected_check,
+                         back.value().uncorrectable);
+        }
+      }
+      journal_[cur] = beat_data;
+      live_.set(cur);
+      ++stats_.writes;
+      ++ops_;
+      ++cur;
+    }
+  }
+  for (std::uint64_t block = logical / kScrubBlockBeats;
+       block * kScrubBlockBeats < end; ++block) {
+    invalidate_block(block * kScrubBlockBeats);
+  }
+  return settle_scrub_debt(ops_before);
+}
+
+// ---- Patrol scrub ----
+
 Status ReliableChannel::scrub_one(std::uint64_t logical) {
   // Only live beats carry data the code can vouch for; a never-written
   // beat decodes power-on scramble against zero shadow checks, and a
   // parked beat has no device copy worth patrolling.
-  if (!live_[logical] || parked_[logical]) return Status::ok();
+  if (!live_.get(logical) || parked_.contains(logical)) return Status::ok();
   const std::uint64_t physical = remap_[logical];
   auto outcome = ecc_.scrub_beat(physical);
   if (!outcome.is_ok()) return outcome.status();
   const auto& got = outcome.value();
-  ++stats_.scrub_beats;
-  stats_.scrub_corrected += got.corrected_data + got.corrected_check;
-  stats_.scrub_uncorrectable += got.uncorrectable;
-  if (got.wrote_back) ++stats_.scrub_writebacks;
-  note_row_events(physical, got.corrected_data);
-  budget_.record(4, got.corrected_data + got.corrected_check,
-                 got.uncorrectable);
-  if (got.uncorrectable > 0) {
-    // The patrol found a word demand reads would refuse: escalate
-    // before a caller trips over it.
-    offender_rows_.insert(row_key(physical));
-    escalation_pending_ = true;
+  account_scrub(physical, got.corrected_data, got.corrected_check,
+                got.uncorrectable, got.wrote_back);
+  return Status::ok();
+}
+
+Status ReliableChannel::scrub_plain_run(std::uint64_t logical,
+                                        std::uint64_t count) {
+  if (config_.engine == ChannelEngine::kPerBeat) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t beat = logical + i;
+      auto outcome = ecc_.scrub_beat(beat);
+      if (!outcome.is_ok()) return outcome.status();
+      const auto& got = outcome.value();
+      account_scrub(beat, got.corrected_data, got.corrected_check,
+                    got.uncorrectable, got.wrote_back);
+    }
+    return Status::ok();
+  }
+  scratch_events_.clear();
+  HBMVOLT_RETURN_IF_ERROR(ecc_.scrub_range(logical, count, scratch_events_));
+  std::uint64_t clean_from = logical;
+  for (const auto& ev : scratch_events_) {
+    if (ev.beat > clean_from) {
+      const std::uint64_t n = ev.beat - clean_from;
+      stats_.scrub_beats += n;
+      budget_.record_clean(4 * n);
+    }
+    account_scrub(ev.beat, ev.corrected, ev.corrected_check, ev.uncorrectable,
+                  ev.wrote_back);
+    clean_from = ev.beat + 1;
+  }
+  if (logical + count > clean_from) {
+    const std::uint64_t n = logical + count - clean_from;
+    stats_.scrub_beats += n;
+    budget_.record_clean(4 * n);
+  }
+  return Status::ok();
+}
+
+Status ReliableChannel::scrub_chunk(std::uint64_t logical,
+                                    std::uint64_t count) {
+  std::uint64_t cur = logical;
+  const std::uint64_t end = logical + count;
+  while (cur < end) {
+    const std::uint64_t special = special_.first_in_range(cur, end);
+    const std::uint64_t plain_end =
+        special == SortedKeySet::kNone ? end : special;
+    // Plain stretch: split into live runs; dead beats cost a word scan.
+    while (cur < plain_end) {
+      if (!live_.get(cur)) {
+        const std::uint64_t next = live_.next_set(cur);
+        cur = (next == BitVec::kNone || next > plain_end) ? plain_end : next;
+        continue;
+      }
+      std::uint64_t run_end = live_.next_clear(cur);
+      if (run_end == BitVec::kNone || run_end > plain_end) {
+        run_end = plain_end;
+      }
+      HBMVOLT_RETURN_IF_ERROR(scrub_plain_run(cur, run_end - cur));
+      cur = run_end;
+    }
+    if (special != SortedKeySet::kNone) {
+      HBMVOLT_RETURN_IF_ERROR(scrub_one(cur));
+      ++cur;
+    }
   }
   return Status::ok();
 }
 
 Status ReliableChannel::scrub_slice() {
-  const std::uint64_t beats =
-      std::min<std::uint64_t>(config_.scrub_batch_beats, capacity());
-  for (std::uint64_t i = 0; i < beats; ++i) {
-    const std::uint64_t logical = scrub_cursor_;
-    scrub_cursor_ = (scrub_cursor_ + 1) % capacity();
-    HBMVOLT_RETURN_IF_ERROR(scrub_one(logical));
+  const std::uint64_t cap = capacity();
+  std::uint64_t remaining =
+      std::min<std::uint64_t>(config_.scrub_batch_beats, cap);
+  const std::uint64_t nblocks = block_count();
+  std::uint64_t skips = 0;
+  while (remaining > 0) {
+    const std::uint64_t block = scrub_cursor_ / kScrubBlockBeats;
+    const std::uint64_t block_start = block * kScrubBlockBeats;
+    const std::uint64_t block_end =
+        std::min(block_start + kScrubBlockBeats, cap);
+    if (scrub_cursor_ == block_start && clean_blocks_.get(block)) {
+      // One skip consumes the mark, so staleness is bounded to a round.
+      clean_blocks_.clear(block);
+      ++stats_.scrub_blocks_skipped;
+      scrub_cursor_ = block_end % cap;
+      scan_block_ = kNoBlock;
+      // Everything marked clean this round: don't spin through the whole
+      // map again within one slice.
+      if (++skips > nblocks) break;
+      continue;
+    }
+    const std::uint64_t chunk = std::min(block_end - scrub_cursor_, remaining);
+    if (scrub_cursor_ == block_start) {
+      scan_block_ = block;
+      scan_clean_ = true;
+    } else if (scan_block_ != block) {
+      // Mid-block entry with no scan in flight: this pass cannot prove
+      // the block clean.
+      scan_block_ = kNoBlock;
+    }
+    const std::uint64_t lo = scrub_cursor_;
+    HBMVOLT_RETURN_IF_ERROR(scrub_chunk(lo, chunk));
+    scrub_cursor_ = (lo + chunk) % cap;
+    remaining -= chunk;
+    if (scan_block_ == block && lo + chunk == block_end) {
+      if (scan_clean_) clean_blocks_.set(block);
+      scan_block_ = kNoBlock;
+    }
   }
   return Status::ok();
 }
 
 Status ReliableChannel::patrol_all() {
-  for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
-    HBMVOLT_RETURN_IF_ERROR(scrub_one(logical));
+  // Emergency sweep: trust nothing, re-prove every block.
+  invalidate_all_blocks();
+  const std::uint64_t cap = capacity();
+  for (std::uint64_t start = 0; start < cap; start += kScrubBlockBeats) {
+    const std::uint64_t end = std::min(start + kScrubBlockBeats, cap);
+    scan_block_ = start / kScrubBlockBeats;
+    scan_clean_ = true;
+    HBMVOLT_RETURN_IF_ERROR(scrub_chunk(start, end - start));
+    if (scan_clean_) clean_blocks_.set(scan_block_);
+    scan_block_ = kNoBlock;
   }
   return Status::ok();
 }
 
-Status ReliableChannel::refresh_from_journal() {
-  for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
-    if (!live_[logical] || parked_[logical]) continue;
-    const std::uint64_t physical = remap_[logical];
-    HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(physical, journal_[logical]));
-    auto back = ecc_.read_beat(physical);
-    if (!back.is_ok()) return back.status();
-    note_row_events(physical, back.value().corrected);
-    if (back.value().uncorrectable > 0) {
+// ---- Journal rewrite (refresh / post-power-cycle restore) ----
+
+Status ReliableChannel::rewrite_plain_run(std::uint64_t logical,
+                                          std::uint64_t count, bool verify) {
+  if (config_.engine == ChannelEngine::kPerBeat) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t beat = logical + i;
+      HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(beat, journal_[beat]));
+      if (!verify) continue;
+      auto back = ecc_.read_beat(beat);
+      if (!back.is_ok()) return back.status();
+      note_row_events(beat, back.value().corrected);
+      if (back.value().uncorrectable > 0) {
+        ++stats_.verify_caught;
+        offender_rows_.insert(row_key(beat));
+        escalation_pending_ = true;
+      }
+    }
+    return Status::ok();
+  }
+  // Plain live run: journal_ is contiguous over it, feed it straight in.
+  HBMVOLT_RETURN_IF_ERROR(ecc_.encode_range(logical, count, &journal_[logical]));
+  if (!verify) return Status::ok();
+  scratch_beats_.resize(count);
+  scratch_events_.clear();
+  HBMVOLT_RETURN_IF_ERROR(
+      ecc_.decode_range(logical, count, scratch_beats_.data(), scratch_events_));
+  for (const auto& ev : scratch_events_) {
+    note_row_events(ev.beat, ev.corrected);
+    if (ev.uncorrectable > 0) {
       ++stats_.verify_caught;
-      offender_rows_.insert(row_key(physical));
+      offender_rows_.insert(row_key(ev.beat));
       escalation_pending_ = true;
     }
   }
+  return Status::ok();
+}
+
+Status ReliableChannel::rewrite_live_runs(bool verify) {
+  const std::uint64_t cap = capacity();
+  std::uint64_t cur = 0;
+  while (cur < cap) {
+    if (!live_.get(cur)) {
+      const std::uint64_t next = live_.next_set(cur);
+      if (next == BitVec::kNone) break;
+      cur = next;
+      continue;
+    }
+    std::uint64_t run_end = live_.next_clear(cur);
+    if (run_end == BitVec::kNone || run_end > cap) run_end = cap;
+    while (cur < run_end) {
+      const std::uint64_t special = special_.first_in_range(cur, run_end);
+      const std::uint64_t plain_end =
+          special == SortedKeySet::kNone ? run_end : special;
+      if (cur < plain_end) {
+        HBMVOLT_RETURN_IF_ERROR(
+            rewrite_plain_run(cur, plain_end - cur, verify));
+        cur = plain_end;
+      }
+      if (special != SortedKeySet::kNone) {
+        if (!parked_.contains(cur)) {
+          const std::uint64_t physical = remap_[cur];
+          HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(physical, journal_[cur]));
+          if (verify) {
+            auto back = ecc_.read_beat(physical);
+            if (!back.is_ok()) return back.status();
+            note_row_events(physical, back.value().corrected);
+            if (back.value().uncorrectable > 0) {
+              ++stats_.verify_caught;
+              offender_rows_.insert(row_key(physical));
+              escalation_pending_ = true;
+            }
+          }
+        }
+        ++cur;
+      }
+    }
+  }
+  // The device contents just changed wholesale; every mark is stale.
+  invalidate_all_blocks();
+  return Status::ok();
+}
+
+Status ReliableChannel::refresh_from_journal() {
+  HBMVOLT_RETURN_IF_ERROR(rewrite_live_runs(/*verify=*/true));
   ++stats_.journal_refreshes;
   return Status::ok();
 }
+
+Status ReliableChannel::restore_after_power_cycle() {
+  HBMVOLT_RETURN_IF_ERROR(rewrite_live_runs(/*verify=*/false));
+  ++stats_.power_cycles;
+  record_ladder(LadderRung::kPowerCycle);
+  budget_.reset();
+  escalation_pending_ = false;
+  return Status::ok();
+}
+
+// ---- Retirement ladder ----
 
 Result<std::uint64_t> ReliableChannel::allocate_spare() {
   while (spare_cursor_ < spares_.size()) {
@@ -238,7 +675,7 @@ Result<std::uint64_t> ReliableChannel::allocate_spare() {
     // Never migrate onto a retired row, nor onto a row currently being
     // evacuated.  Skipped spares are permanently consumed (cheap, and
     // keeps the cursor deterministic).
-    if (retired_rows_.count(key) != 0 || offender_rows_.count(key) != 0) {
+    if (retired_rows_.contains(key) || offender_rows_.contains(key)) {
       ++spare_cursor_;
       continue;
     }
@@ -247,21 +684,34 @@ Result<std::uint64_t> ReliableChannel::allocate_spare() {
   return unavailable("spare pool exhausted");
 }
 
+void ReliableChannel::park_beat(std::uint64_t logical) {
+  parked_.insert(logical);
+  special_.insert(logical);
+  ++stats_.beats_parked;
+}
+
+void ReliableChannel::remap_beat(std::uint64_t logical, std::uint64_t spare) {
+  remap_[logical] = static_cast<std::uint32_t>(spare);
+  // Remapped beats stay exceptions forever: remap never reverts.
+  special_.insert(logical);
+}
+
 Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
                                          bool* blocked) {
   *retired_any = false;
   *parked_any = false;
   *blocked = false;
   const Millivolts nominal = board_.config().regulator_config.vout_default;
-  // Deterministic order regardless of set iteration.
-  std::vector<std::uint64_t> rows(offender_rows_.begin(),
-                                  offender_rows_.end());
-  std::sort(rows.begin(), rows.end());
+  // Ascending row order (SortedKeySet iterates sorted); copied because the
+  // loop erases absorbed rows.
+  const std::vector<std::uint64_t> rows = offender_rows_.keys();
   for (const std::uint64_t row : rows) {
     bool row_blocked = false;
     bool spares_ran_out = false;
     for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
-      if (row_key(remap_[logical]) != row || parked_[logical]) continue;
+      if (row_key(remap_[logical]) != row || parked_.contains(logical)) {
+        continue;
+      }
       auto spare = allocate_spare();
       if (!spare.is_ok()) {
         // Spares exhausted: the row cannot move.  A beat that still
@@ -270,7 +720,7 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
         // which clears soft upsets like bit rot -- and parked on the
         // journal if stuck cells keep it uncorrectable even then.
         spares_ran_out = true;
-        if (!live_[logical]) continue;
+        if (!live_.get(logical)) continue;
         auto got = ecc_.read_beat(remap_[logical]);
         if (!got.is_ok()) return got.status();
         if (got.value().uncorrectable == 0) continue;
@@ -284,21 +734,18 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
         auto again = ecc_.read_beat(remap_[logical]);
         if (!again.is_ok()) return again.status();
         if (again.value().uncorrectable > 0) {
-          parked_[logical] = true;
-          ++stats_.beats_parked;
+          park_beat(logical);
         }
         *parked_any = true;
         continue;
       }
       hbm::Beat data{};
-      if (live_[logical]) {
+      if (live_.get(logical)) {
         // Migrate through ECC, as real row-repair would: the journal is
         // reserved for last-resort recovery, not steady-state reads.
         auto got = ecc_.read_beat(remap_[logical]);
         if (!got.is_ok()) return got.status();
         if (got.value().uncorrectable > 0) {
-          const Millivolts nominal =
-              board_.config().regulator_config.vout_default;
           if (board_.hbm_voltage() < nominal) {
             // A voltage raise can still recover the stored word (stuck
             // sets are voltage-keyed); leave the row an offender and let
@@ -317,7 +764,7 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
         }
       }
       HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(spare.value(), data));
-      remap_[logical] = static_cast<std::uint32_t>(spare.value());
+      remap_beat(logical, spare.value());
       ++spare_cursor_;  // commit the allocation
       ++stats_.beats_migrated;
     }
@@ -354,8 +801,7 @@ Result<LadderRung> ReliableChannel::escalate() {
   }
   // Promote rows that crossed the event threshold to offenders.
   for (const auto& [key, events] : row_events_) {
-    if (events >= config_.retire_threshold &&
-        retired_rows_.count(key) == 0) {
+    if (events >= config_.retire_threshold && !retired_rows_.contains(key)) {
       offender_rows_.insert(key);
     }
   }
@@ -401,19 +847,8 @@ void ReliableChannel::on_global_action(LadderRung rung) {
   }
   budget_.reset();
   escalation_pending_ = false;
-}
-
-Status ReliableChannel::restore_after_power_cycle() {
-  for (std::uint64_t logical = 0; logical < capacity(); ++logical) {
-    if (!live_[logical] || parked_[logical]) continue;
-    HBMVOLT_RETURN_IF_ERROR(
-        ecc_.write_beat(remap_[logical], journal_[logical]));
-  }
-  ++stats_.power_cycles;
-  record_ladder(LadderRung::kPowerCycle);
-  budget_.reset();
-  escalation_pending_ = false;
-  return Status::ok();
+  // The fault regime just changed; clean verdicts predate it.
+  invalidate_all_blocks();
 }
 
 hbm::Beat make_payload(std::uint64_t seed, unsigned pc, std::uint64_t op) {
@@ -512,7 +947,7 @@ Result<ServeReport> ReliableChannel::serve(const workload::AccessTrace& trace,
     const std::uint64_t logical = record.beat % capacity();
     // First touch of a beat is always a write: the journal is the read
     // self-check's truth, so reads of never-written beats are undefined.
-    const bool write_op = record.write || !live_[logical];
+    const bool write_op = record.write || !live_.get(logical);
     const hbm::Beat payload =
         write_op ? make_payload(data_seed, pc_global_, i) : hbm::Beat{};
     HBMVOLT_RETURN_IF_ERROR(serve_one(write_op, logical, payload, &report));
@@ -520,6 +955,83 @@ Result<ServeReport> ReliableChannel::serve(const workload::AccessTrace& trace,
     if (budget_.burned() || escalation_pending_) {
       HBMVOLT_RETURN_IF_ERROR(apply_ladder_serial());
     }
+  }
+  flush_telemetry();
+  return report;
+}
+
+Result<ServeReport> ReliableChannel::serve_trace(
+    const workload::AccessTrace& trace, std::uint64_t data_seed) {
+  ServeReport report;
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const std::uint64_t first = trace[i].beat % capacity();
+    const bool write_op = trace[i].write || !live_.get(first);
+    // Extend a maximal run of consecutive-beat, same-direction records.
+    // Distinct ascending beats, so intra-run decisions cannot depend on
+    // intra-run effects; the coalescing itself is engine-independent.
+    std::size_t j = i + 1;
+    while (j < trace.size()) {
+      const std::uint64_t lj = trace[j].beat % capacity();
+      if (lj != first + (j - i)) break;
+      const bool wj = trace[j].write || !live_.get(lj);
+      if (wj != write_op) break;
+      ++j;
+    }
+    const std::uint64_t n = j - i;
+    bool bulk_done = false;
+    if (n >= 2) {
+      Status st = Status::ok();
+      if (write_op) {
+        trace_beats_.resize(n);
+        for (std::uint64_t k = 0; k < n; ++k) {
+          trace_beats_[k] = make_payload(data_seed, pc_global_, i + k);
+        }
+        st = write_range(first, n, trace_beats_.data());
+        if (st.is_ok()) {
+          report.writes += n;
+          report.ops += n;
+          bulk_done = true;
+        }
+      } else {
+        trace_beats_.resize(n);
+        st = read_range(first, n, trace_beats_.data());
+        if (st.is_ok()) {
+          for (std::uint64_t k = 0; k < n; ++k) {
+            if (trace_beats_[k] != journal_[first + k]) {
+              ++report.corrupt_reads;
+            }
+          }
+          report.reads += n;
+          report.ops += n;
+          bulk_done = true;
+        }
+      }
+      if (!bulk_done && st.code() != StatusCode::kDataLoss &&
+          st.code() != StatusCode::kUnavailable) {
+        return st;
+      }
+    }
+    if (!bulk_done) {
+      // Singleton, or a bulk call that hit the ladder: serve op by op so
+      // the full escalate-and-retry machinery applies.
+      for (std::uint64_t k = 0; k < n; ++k) {
+        const std::uint64_t logical = first + k;
+        const hbm::Beat payload = write_op
+                                      ? make_payload(data_seed, pc_global_,
+                                                     i + k)
+                                      : hbm::Beat{};
+        HBMVOLT_RETURN_IF_ERROR(
+            serve_one(write_op, logical, payload, &report));
+        if (budget_.burned() || escalation_pending_) {
+          HBMVOLT_RETURN_IF_ERROR(apply_ladder_serial());
+        }
+      }
+    } else if (budget_.burned() || escalation_pending_) {
+      // Bulk runs consume a burned budget at run boundaries.
+      HBMVOLT_RETURN_IF_ERROR(apply_ladder_serial());
+    }
+    i = j;
   }
   flush_telemetry();
   return report;
@@ -547,6 +1059,8 @@ void ReliableChannel::flush_telemetry() {
   emit("runtime.beats_migrated", stats_.beats_migrated,
        flushed_.beats_migrated);
   emit("runtime.beats_parked", stats_.beats_parked, flushed_.beats_parked);
+  emit("runtime.journal_served_reads", stats_.journal_served_reads,
+       flushed_.journal_served_reads);
   emit("runtime.verify_caught", stats_.verify_caught, flushed_.verify_caught);
   emit("runtime.journal_refreshes", stats_.journal_refreshes,
        flushed_.journal_refreshes);
@@ -556,8 +1070,12 @@ void ReliableChannel::flush_telemetry() {
        flushed_.scrub_uncorrectable);
   emit("scrub.writebacks", stats_.scrub_writebacks,
        flushed_.scrub_writebacks);
+  emit("scrub.blocks_skipped", stats_.scrub_blocks_skipped,
+       flushed_.scrub_blocks_skipped);
   tel->gauge_set("runtime.spares_free",
                  static_cast<std::int64_t>(spares_free()));
+  tel->gauge_set("runtime.parked_beats",
+                 static_cast<std::int64_t>(parked_count()));
   flushed_ = stats_;
 }
 

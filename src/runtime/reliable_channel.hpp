@@ -42,21 +42,39 @@
 // `spare_fraction` of the ECC data beats is held back at construction as
 // migration spares, so retirement never shrinks the exposed capacity; it
 // consumes spares instead (runtime.spares_free gauges the headroom).
+//
+// Fast path (the range engine): read_range/write_range split a request at
+// the sparse exception set (parked or remapped beats -- a one-branch probe
+// in the common no-faults case, see flat_index.hpp) and serve the plain
+// runs through EccChannel's bulk decode/encode; patrol scrub runs the same
+// split and additionally skips blocks a previous pass (or a piggybacking
+// clean range read) proved clean.  The per-beat engine (ChannelEngine::
+// kPerBeat) executes the identical policy one beat at a time; fingerprints
+// are byte-identical between the two at any thread count, which
+// tests/range_test.cpp pins twin-universe style.
 
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "board/vcu128.hpp"
 #include "common/status.hpp"
 #include "ecc/ecc_channel.hpp"
 #include "runtime/error_budget.hpp"
+#include "runtime/flat_index.hpp"
 #include "workload/trace.hpp"
 
 namespace hbmvolt::runtime {
+
+/// Mechanism selector for the bulk operations (range I/O, patrol scrub,
+/// journal restore/refresh).  Policy -- accounting order, scrub cadence,
+/// clean-block marks -- is shared; only the execution strategy differs,
+/// and results are byte-identical (the twin-universe check).
+enum class ChannelEngine : unsigned {
+  kRange = 0,    // bulk runs through EccChannel::{decode,encode,scrub}_range
+  kPerBeat = 1,  // reference: one EccChannel beat call per beat
+};
 
 struct ReliableChannelConfig {
   ErrorBudgetConfig budget;
@@ -77,6 +95,8 @@ struct ReliableChannelConfig {
   /// paired up in it) must be caught while the journal still vouches for
   /// it -- not left armed for the next soft upset.
   bool verify_writes = true;
+  /// Bulk-operation mechanism (see ChannelEngine).
+  ChannelEngine engine = ChannelEngine::kRange;
 };
 
 enum class LadderRung : unsigned {
@@ -110,6 +130,9 @@ struct ChannelStats {
   std::uint64_t scrub_corrected = 0;
   std::uint64_t scrub_uncorrectable = 0;
   std::uint64_t scrub_writebacks = 0;
+  /// Patrol blocks skipped because a previous pass (or a clean bulk read)
+  /// marked them clean.
+  std::uint64_t scrub_blocks_skipped = 0;
   std::uint64_t rows_retired = 0;
   std::uint64_t beats_migrated = 0;
   /// Migrations that fell back to the journal copy because the stored
@@ -118,6 +141,9 @@ struct ChannelStats {
   /// Beats permanently served from the host journal: uncorrectable at
   /// nominal with the spare pool exhausted (see header comment).
   std::uint64_t beats_parked = 0;
+  /// Reads served from the host journal (parked beats): the soak-visible
+  /// split between device-served and journal-served traffic.
+  std::uint64_t journal_served_reads = 0;
   /// Write-verify read-backs that found the word uncorrectable.
   std::uint64_t verify_caught = 0;
   /// Alarm-driven journal refreshes (see refresh_from_journal).
@@ -141,6 +167,10 @@ struct ServeReport {
 
 class ReliableChannel {
  public:
+  /// Patrol clean-block granularity in logical beats: the unit the scrub
+  /// cursor can skip when a full pass over it found nothing to repair.
+  static constexpr std::uint64_t kScrubBlockBeats = 64;
+
   ReliableChannel(board::Vcu128Board& board, unsigned pc_global,
                   ReliableChannelConfig config = {});
 
@@ -150,6 +180,9 @@ class ReliableChannel {
   }
   [[nodiscard]] std::uint64_t spares_free() const noexcept;
   [[nodiscard]] unsigned pc_global() const noexcept { return pc_global_; }
+  [[nodiscard]] ChannelEngine engine() const noexcept {
+    return config_.engine;
+  }
 
   Status write(std::uint64_t logical, const hbm::Beat& data);
 
@@ -159,14 +192,34 @@ class ReliableChannel {
   /// action it requests) and retry.
   Result<hbm::Beat> read(std::uint64_t logical);
 
+  /// Bulk read of [logical, logical + count) into `out`.  Equivalent to
+  /// count read() calls in ascending order, except the patrol-scrub cadence
+  /// is settled once at the end of the call (k slices for k crossed
+  /// intervals) instead of between beats.  On an uncorrectable beat the
+  /// call accounts every beat up to and including the failing one, leaves
+  /// an escalation pending, and returns kDataLoss (nothing corrupt is
+  /// delivered; `out` is unspecified).  Parked beats are served from the
+  /// journal; remapped beats through their spare -- both as sparse
+  /// exceptions to the plain bulk runs.
+  Status read_range(std::uint64_t logical, std::uint64_t count,
+                    hbm::Beat* out);
+
+  /// Bulk write of `data` over [logical, logical + count): count write()
+  /// calls with the same end-of-call scrub cadence as read_range.
+  Status write_range(std::uint64_t logical, std::uint64_t count,
+                     const hbm::Beat* data);
+
   /// Advances the patrol scrubber by `scrub_batch_beats` logical beats
   /// (wrapping), writing corrections back in place.  Called implicitly
   /// every `scrub_interval_ops` foreground ops; callable directly too.
+  /// Blocks a previous full pass proved clean are skipped (one skip
+  /// consumes the mark, so staleness is bounded to one patrol round).
   Status scrub_slice();
 
-  /// Emergency patrol: scrubs every live beat in one sweep.  escalate()
-  /// runs this whenever an uncorrectable word was seen, so a fault storm
-  /// is mapped out (and retired) in one ladder action.
+  /// Emergency patrol: scrubs every live beat in one sweep, ignoring
+  /// clean-block marks.  escalate() runs this whenever an uncorrectable
+  /// word was seen, so a fault storm is mapped out (and retired) in one
+  /// ladder action.
   Status patrol_all();
 
   /// Environmental-alarm response: rewrites every live beat from the
@@ -211,6 +264,14 @@ class ReliableChannel {
   Result<ServeReport> serve(const workload::AccessTrace& trace,
                             std::uint64_t data_seed = 1);
 
+  /// serve() with run coalescing: maximal stretches of consecutive-beat
+  /// same-direction records are served through read_range/write_range, so
+  /// streaming traces ride the bulk path.  Identical journal state and
+  /// report invariants (corrupt_reads == 0) as serve(); escalation falls
+  /// back to the per-op ladder for the affected run.
+  Result<ServeReport> serve_trace(const workload::AccessTrace& trace,
+                                  std::uint64_t data_seed = 1);
+
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ErrorBudget& budget() const noexcept { return budget_; }
   [[nodiscard]] const std::vector<LadderEvent>& ladder_trace() const noexcept {
@@ -224,11 +285,15 @@ class ReliableChannel {
     return journal_[logical];
   }
   [[nodiscard]] bool journal_live(std::uint64_t logical) const {
-    return live_[logical];
+    return live_.get(logical);
   }
   /// True when the beat is journal-backed (no device copy can serve it).
   [[nodiscard]] bool parked(std::uint64_t logical) const {
-    return parked_[logical];
+    return parked_.contains(logical);
+  }
+  /// Beats currently served from the journal (the parked set's size).
+  [[nodiscard]] std::uint64_t parked_count() const noexcept {
+    return parked_.size();
   }
 
   /// Emits the delta of the high-rate counters since the last flush into
@@ -238,6 +303,8 @@ class ReliableChannel {
 
  private:
   friend class ServingFleet;
+
+  static constexpr std::uint64_t kNoBlock = ~0ull;
 
   /// One trace op with journal self-check; read escalations are handled
   /// by apply_ladder_serial (serial mode only).
@@ -250,8 +317,44 @@ class ReliableChannel {
   /// spurious crash can land during the cycle's own voltage restore.
   Status cycle_and_restore();
 
-  /// Scrub one logical beat (the shared body of scrub_slice/patrol_all).
+  /// Scrub one logical beat (the special-beat body of the patrol).
   Status scrub_one(std::uint64_t logical);
+  /// Scrub [logical, logical + count): splits at exceptions and liveness,
+  /// dispatches plain runs to the configured engine, and folds events into
+  /// the clean-block scan.
+  Status scrub_chunk(std::uint64_t logical, std::uint64_t count);
+  /// Plain identity-mapped live run through the engine.
+  Status scrub_plain_run(std::uint64_t logical, std::uint64_t count);
+  void account_scrub(std::uint64_t physical, unsigned corrected_data,
+                     unsigned corrected_check, unsigned uncorrectable,
+                     bool wrote_back);
+
+  /// Device-read accounting for one beat; returns false on uncorrectable
+  /// (caller must stop and surface kDataLoss).
+  bool account_read(std::uint64_t physical, unsigned corrected,
+                    unsigned corrected_check, unsigned uncorrectable);
+  void account_verify(std::uint64_t physical, unsigned corrected,
+                      unsigned corrected_check, unsigned uncorrectable);
+
+  /// Settles the patrol cadence after a bulk call: one slice per
+  /// scrub_interval_ops boundary crossed since `ops_before`.
+  Status settle_scrub_debt(std::uint64_t ops_before);
+
+  /// Rewrites every live beat from the journal (the refresh/restore body);
+  /// with `verify`, read-back accounting matches refresh_from_journal's
+  /// per-beat reference (row events + verify_caught, no budget records).
+  Status rewrite_live_runs(bool verify);
+  Status rewrite_plain_run(std::uint64_t logical, std::uint64_t count,
+                           bool verify);
+
+  [[nodiscard]] std::uint64_t block_count() const noexcept {
+    return (capacity() + kScrubBlockBeats - 1) / kScrubBlockBeats;
+  }
+  void invalidate_block(std::uint64_t logical);
+  void invalidate_all_blocks();
+  /// Marks blocks of [logical, logical + count) wholly inside the range as
+  /// clean (a bulk read decoded them with zero events).
+  void mark_clean_blocks(std::uint64_t logical, std::uint64_t count);
 
   [[nodiscard]] std::uint64_t row_key(std::uint64_t physical_beat) const;
   void note_row_events(std::uint64_t physical_beat, unsigned events);
@@ -264,6 +367,8 @@ class ReliableChannel {
   Status retire_offenders(bool* retired_any, bool* parked_any,
                           bool* blocked);
   [[nodiscard]] Result<std::uint64_t> allocate_spare();
+  void park_beat(std::uint64_t logical);
+  void remap_beat(std::uint64_t logical, std::uint64_t spare);
 
   board::Vcu128Board& board_;
   unsigned pc_global_;
@@ -277,20 +382,37 @@ class ReliableChannel {
   std::size_t spare_cursor_ = 0;
 
   std::vector<hbm::Beat> journal_;  // last written data per logical beat
-  std::vector<bool> live_;
-  std::vector<bool> parked_;  // journal-backed beats (see header comment)
+  BitVec live_;
 
-  std::unordered_map<std::uint64_t, unsigned> row_events_;
-  std::unordered_set<std::uint64_t> offender_rows_;
-  std::unordered_set<std::uint64_t> retired_rows_;
+  // Sparse exception sets over the logical space (flat_index.hpp).
+  SortedKeySet parked_;   // journal-backed beats (see header comment)
+  SortedKeySet special_;  // parked OR remapped: the range splitter's probe
+
+  RowEventCounts row_events_;
+  SortedKeySet offender_rows_;
+  SortedKeySet retired_rows_;
 
   std::uint64_t ops_ = 0;
   std::uint64_t scrub_cursor_ = 0;
   bool escalation_pending_ = false;
 
+  // Clean-block bookkeeping for the patrol skip (policy state, shared by
+  // both engines): a block is marked when a contiguous pass over it saw
+  // zero scrub events, or a bulk read decoded it entirely clean.
+  BitVec clean_blocks_;
+  std::uint64_t scan_block_ = kNoBlock;
+  bool scan_clean_ = false;
+
   ChannelStats stats_;
   ChannelStats flushed_;  // counts already exported to telemetry
   std::vector<LadderEvent> ladder_trace_;
+
+  // Range-engine scratch (high-water reuse, no per-call allocation).
+  // trace_beats_ is serve_trace's payload/read buffer -- distinct from
+  // scratch_beats_, which write_range's verify pass clobbers.
+  std::vector<ecc::EccChannel::RangeBeatEvent> scratch_events_;
+  std::vector<hbm::Beat> scratch_beats_;
+  std::vector<hbm::Beat> trace_beats_;
 };
 
 }  // namespace hbmvolt::runtime

@@ -1,0 +1,598 @@
+// Range-path equivalence suite: the bit-sliced SECDED codec, EccChannel's
+// bulk encode/decode/scrub, and ReliableChannel's range engine.
+//
+// The discipline is the repo's usual twin-universe one: the fast path
+// (ChannelEngine::kRange -- bulk decodes, flat exception sets, clean-block
+// scrub skipping) and the reference path (ChannelEngine::kPerBeat -- one
+// EccChannel call per beat) execute the same POLICY and must produce
+// byte-identical results: delivered data, journals, ChannelStats, budget
+// history, ladder traces, parked sets, fleet fingerprints.  Anything the
+// fast path gets to skip, it must account exactly as if it had not.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "board/vcu128.hpp"
+#include "common/rng.hpp"
+#include "ecc/ecc_channel.hpp"
+#include "ecc/secded.hpp"
+#include "faults/fault_overlay.hpp"
+#include "hbm/stack.hpp"
+#include "runtime/flat_index.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/reliable_channel.hpp"
+#include "workload/trace.hpp"
+
+namespace hbmvolt {
+namespace {
+
+using ecc::DecodeStatus;
+using ecc::EccChannel;
+using runtime::ChannelEngine;
+using runtime::ChannelStats;
+using runtime::FleetConfig;
+using runtime::ReliableChannel;
+using runtime::ReliableChannelConfig;
+using runtime::ServingFleet;
+
+constexpr unsigned kWeakPc = 4;  // deepest fault population on test_tiny
+
+board::BoardConfig tiny_board() {
+  board::BoardConfig config;
+  config.geometry = hbm::HbmGeometry::test_tiny();
+  config.monitor_config.noise_sigma_amps = 0.0;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-sliced SECDED vs the per-set-bit reference codec
+// ---------------------------------------------------------------------------
+
+TEST(SecdedBitSlicedTest, EncodeMatchesReference) {
+  Xoshiro256 rng(0xEC0DE);
+  for (int trial = 0; trial < 4096; ++trial) {
+    const std::uint64_t data = rng();
+    EXPECT_EQ(ecc::secded_encode(data), ecc::secded_encode_reference(data))
+        << std::hex << data;
+  }
+  for (const std::uint64_t data : {0ull, ~0ull, 1ull, 0x8000000000000000ull}) {
+    EXPECT_EQ(ecc::secded_encode(data), ecc::secded_encode_reference(data));
+  }
+}
+
+TEST(SecdedBitSlicedTest, DecodeMatchesReferenceOnEveryInjectedPattern) {
+  Xoshiro256 rng(0xDEC0DE);
+  for (int trial = 0; trial < 256; ++trial) {
+    const std::uint64_t data = rng();
+    const std::uint8_t check = ecc::secded_encode(data);
+    // Every 0-, 1-, and 2-bit corruption of the 72-bit codeword, plus a
+    // random multi-bit smear: identical data AND status from both codecs.
+    for (unsigned a = 0; a <= 72; ++a) {
+      for (unsigned b = a; b <= 72; b += (trial % 7) + 1) {
+        std::uint64_t bad_data = data;
+        std::uint8_t bad_check = check;
+        for (const unsigned position : {a, b}) {
+          if (position >= 72) continue;  // 72 = "no flip" sentinel
+          if (position < 64) {
+            bad_data ^= 1ull << position;
+          } else {
+            bad_check ^= static_cast<std::uint8_t>(1u << (position - 64));
+          }
+        }
+        const auto fast = ecc::secded_decode(bad_data, bad_check);
+        const auto ref = ecc::secded_decode_reference(bad_data, bad_check);
+        ASSERT_EQ(fast.status, ref.status)
+            << "flips " << a << "," << b << " data " << std::hex << data;
+        ASSERT_EQ(fast.data, ref.data)
+            << "flips " << a << "," << b << " data " << std::hex << data;
+      }
+    }
+  }
+  // Random garbage (data, check) pairs: both codecs agree everywhere.
+  for (int trial = 0; trial < 4096; ++trial) {
+    const std::uint64_t data = rng();
+    const std::uint8_t check = static_cast<std::uint8_t>(rng());
+    const auto fast = ecc::secded_decode(data, check);
+    const auto ref = ecc::secded_decode_reference(data, check);
+    ASSERT_EQ(fast.status, ref.status);
+    ASSERT_EQ(fast.data, ref.data);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat index structures
+// ---------------------------------------------------------------------------
+
+TEST(FlatIndexTest, SortedKeySetIntervalProbes) {
+  runtime::SortedKeySet set;
+  EXPECT_FALSE(set.any_in_range(0, ~0ull));
+  EXPECT_TRUE(set.insert(10));
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_FALSE(set.insert(10));
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_TRUE(set.any_in_range(4, 11));
+  EXPECT_FALSE(set.any_in_range(4, 10));
+  EXPECT_EQ(set.first_in_range(0, 100), 3u);
+  EXPECT_EQ(set.first_in_range(4, 100), 10u);
+  EXPECT_EQ(set.first_in_range(11, 100), runtime::SortedKeySet::kNone);
+  EXPECT_TRUE(set.erase(3));
+  EXPECT_FALSE(set.erase(3));
+  EXPECT_EQ(set.keys(), (std::vector<std::uint64_t>{10}));
+}
+
+TEST(FlatIndexTest, BitVecRunScans) {
+  runtime::BitVec bits;
+  bits.assign(130, false);
+  EXPECT_EQ(bits.next_set(0), runtime::BitVec::kNone);
+  EXPECT_EQ(bits.next_clear(0), 0u);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_EQ(bits.next_set(1), 64u);
+  EXPECT_EQ(bits.next_set(65), 129u);
+  EXPECT_EQ(bits.next_clear(0), 1u);
+  bits.assign(130, true);
+  EXPECT_EQ(bits.next_clear(0), runtime::BitVec::kNone);  // tail trimmed
+  bits.clear(127);
+  EXPECT_EQ(bits.next_clear(100), 127u);
+  EXPECT_EQ(bits.next_set(127), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// EccChannel bulk ops vs per-beat calls
+// ---------------------------------------------------------------------------
+
+class EccRangeTest : public ::testing::Test {
+ protected:
+  EccRangeTest()
+      : geometry_(hbm::HbmGeometry::test_tiny()),
+        injector_a_(faults::FaultModel(geometry_, faults::FaultModelConfig{})),
+        injector_b_(faults::FaultModel(geometry_, faults::FaultModelConfig{})),
+        stack_a_(geometry_, 0, injector_a_, 11),
+        stack_b_(geometry_, 0, injector_b_, 11) {}
+
+  void set_voltage(Millivolts v) {
+    injector_a_.set_voltage(v);
+    injector_b_.set_voltage(v);
+  }
+
+  static hbm::Beat payload(std::uint64_t beat) {
+    hbm::Beat data;
+    for (unsigned w = 0; w < 4; ++w) {
+      data[w] = splitmix64(beat * 4 + w + 0xBEA7);
+    }
+    return data;
+  }
+
+  hbm::HbmGeometry geometry_;
+  faults::FaultInjector injector_a_;
+  faults::FaultInjector injector_b_;
+  hbm::HbmStack stack_a_;
+  hbm::HbmStack stack_b_;
+};
+
+TEST_F(EccRangeTest, EncodeDecodeRangeMatchPerBeatTwin) {
+  std::uint64_t events_seen = 0;
+  for (const int mv : {1200, 950, 930, 910}) {
+    set_voltage(Millivolts{mv});
+    EccChannel a(stack_a_, kWeakPc);  // per-beat universe
+    EccChannel b(stack_b_, kWeakPc);  // range universe
+    const std::uint64_t beats = a.data_beats();
+    ASSERT_EQ(beats, b.data_beats());
+
+    std::vector<hbm::Beat> data(beats);
+    for (std::uint64_t i = 0; i < beats; ++i) data[i] = payload(i);
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      ASSERT_TRUE(a.write_beat(i, data[i]).is_ok());
+    }
+    ASSERT_TRUE(b.encode_range(0, beats, data.data()).is_ok());
+
+    // Identical final memory state: both universes read back the same
+    // bytes per beat, and bulk decode agrees with per-beat reads.
+    std::vector<hbm::Beat> bulk(beats);
+    std::vector<EccChannel::RangeBeatEvent> events;
+    ASSERT_TRUE(b.decode_range(0, beats, bulk.data(), events).is_ok());
+    std::size_t next_event = 0;
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      auto got = a.read_beat(i);
+      ASSERT_TRUE(got.is_ok());
+      EXPECT_EQ(got.value().data, bulk[i]) << "beat " << i << " at " << mv;
+      unsigned corrected = 0, corrected_check = 0, uncorrectable = 0;
+      if (next_event < events.size() && events[next_event].beat == i) {
+        corrected = events[next_event].corrected;
+        corrected_check = events[next_event].corrected_check;
+        uncorrectable = events[next_event].uncorrectable;
+        ++next_event;
+        ++events_seen;
+      }
+      EXPECT_EQ(got.value().corrected, corrected) << "beat " << i;
+      EXPECT_EQ(got.value().corrected_check, corrected_check) << "beat " << i;
+      EXPECT_EQ(got.value().uncorrectable, uncorrectable) << "beat " << i;
+    }
+    EXPECT_EQ(next_event, events.size());
+
+    // Sub-range decodes at awkward offsets agree with the full decode.
+    for (std::uint64_t lo = 0; lo < beats; lo += 17) {
+      const std::uint64_t n = std::min<std::uint64_t>(23, beats - lo);
+      std::vector<hbm::Beat> part(n);
+      std::vector<EccChannel::RangeBeatEvent> part_events;
+      ASSERT_TRUE(b.decode_range(lo, n, part.data(), part_events).is_ok());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(part[i], bulk[lo + i]) << "beat " << lo + i;
+      }
+    }
+  }
+  // The sweep must actually exercise the non-clean paths.
+  EXPECT_GT(events_seen, 0u);
+}
+
+TEST_F(EccRangeTest, ScrubRangeMatchesPerBeatTwin) {
+  std::uint64_t writebacks_seen = 0;
+  for (const int mv : {950, 930}) {
+    set_voltage(Millivolts{mv});
+    EccChannel a(stack_a_, kWeakPc);
+    EccChannel b(stack_b_, kWeakPc);
+    const std::uint64_t beats = a.data_beats();
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      ASSERT_TRUE(a.write_beat(i, payload(i)).is_ok());
+      ASSERT_TRUE(b.write_beat(i, payload(i)).is_ok());
+    }
+    // Soft-rot a couple of stored bits so the scrub has transient damage
+    // to repair (and a parity-group refresh to propagate).
+    for (const std::uint64_t beat : {std::uint64_t{5}, std::uint64_t{6}}) {
+      for (hbm::HbmStack* stack : {&stack_a_, &stack_b_}) {
+        auto got = stack->read_beat(kWeakPc, beat);
+        ASSERT_TRUE(got.is_ok());
+        hbm::Beat rotted = got.value();
+        rotted[1] ^= 1ull << 17;
+        ASSERT_TRUE(stack->write_beat(kWeakPc, beat, rotted).is_ok());
+      }
+    }
+
+    // Twin scrub: per-beat universe A vs one bulk call in universe B.
+    std::vector<EccChannel::RangeBeatEvent> events;
+    ASSERT_TRUE(b.scrub_range(0, beats, events).is_ok());
+    std::size_t next_event = 0;
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      auto got = a.scrub_beat(i);
+      ASSERT_TRUE(got.is_ok());
+      const auto& out = got.value();
+      unsigned corrected = 0, corrected_check = 0, uncorrectable = 0;
+      bool wrote_back = false;
+      if (next_event < events.size() && events[next_event].beat == i) {
+        corrected = events[next_event].corrected;
+        corrected_check = events[next_event].corrected_check;
+        uncorrectable = events[next_event].uncorrectable;
+        wrote_back = events[next_event].wrote_back;
+        ++next_event;
+      }
+      EXPECT_EQ(out.corrected_data, corrected) << "beat " << i << " " << mv;
+      EXPECT_EQ(out.corrected_check, corrected_check) << "beat " << i;
+      EXPECT_EQ(out.uncorrectable, uncorrectable) << "beat " << i;
+      EXPECT_EQ(out.wrote_back, wrote_back) << "beat " << i;
+      if (wrote_back) ++writebacks_seen;
+    }
+    EXPECT_EQ(next_event, events.size());
+
+    // Post-scrub state identical: every beat decodes to the same bytes.
+    for (std::uint64_t i = 0; i < beats; ++i) {
+      auto ra = a.read_beat(i);
+      auto rb = b.read_beat(i);
+      ASSERT_TRUE(ra.is_ok());
+      ASSERT_TRUE(rb.is_ok());
+      EXPECT_EQ(ra.value().data, rb.value().data) << "beat " << i;
+    }
+  }
+  EXPECT_GT(writebacks_seen, 0u);  // the rot must have been repaired
+}
+
+// ---------------------------------------------------------------------------
+// ReliableChannel: range engine vs per-beat engine (twin universes)
+// ---------------------------------------------------------------------------
+
+struct ChannelTwin {
+  board::Vcu128Board board_range;
+  board::Vcu128Board board_perbeat;
+  ReliableChannel range;
+  ReliableChannel perbeat;
+
+  ChannelTwin(unsigned pc, ReliableChannelConfig config,
+              int start_mv = 1200)
+      : board_range(tiny_board()),
+        board_perbeat(tiny_board()),
+        range(board_range, pc, with_engine(config, ChannelEngine::kRange)),
+        perbeat(board_perbeat, pc,
+                with_engine(config, ChannelEngine::kPerBeat)) {
+    EXPECT_TRUE(board_range.set_hbm_voltage(Millivolts{start_mv}).is_ok());
+    EXPECT_TRUE(board_perbeat.set_hbm_voltage(Millivolts{start_mv}).is_ok());
+  }
+
+  static ReliableChannelConfig with_engine(ReliableChannelConfig config,
+                                           ChannelEngine engine) {
+    config.engine = engine;
+    return config;
+  }
+
+  /// Full-state comparison: everything the twin-universe contract pins.
+  void expect_equal(const char* where) const {
+    const ChannelStats& a = range.stats();
+    const ChannelStats& b = perbeat.stats();
+    EXPECT_EQ(a.reads, b.reads) << where;
+    EXPECT_EQ(a.writes, b.writes) << where;
+    EXPECT_EQ(a.corrected_words, b.corrected_words) << where;
+    EXPECT_EQ(a.corrected_check_words, b.corrected_check_words) << where;
+    EXPECT_EQ(a.uncorrectable_blocked, b.uncorrectable_blocked) << where;
+    EXPECT_EQ(a.scrub_beats, b.scrub_beats) << where;
+    EXPECT_EQ(a.scrub_corrected, b.scrub_corrected) << where;
+    EXPECT_EQ(a.scrub_uncorrectable, b.scrub_uncorrectable) << where;
+    EXPECT_EQ(a.scrub_writebacks, b.scrub_writebacks) << where;
+    EXPECT_EQ(a.scrub_blocks_skipped, b.scrub_blocks_skipped) << where;
+    EXPECT_EQ(a.rows_retired, b.rows_retired) << where;
+    EXPECT_EQ(a.beats_migrated, b.beats_migrated) << where;
+    EXPECT_EQ(a.journal_migrations, b.journal_migrations) << where;
+    EXPECT_EQ(a.beats_parked, b.beats_parked) << where;
+    EXPECT_EQ(a.journal_served_reads, b.journal_served_reads) << where;
+    EXPECT_EQ(a.verify_caught, b.verify_caught) << where;
+    EXPECT_EQ(a.journal_refreshes, b.journal_refreshes) << where;
+    EXPECT_EQ(a.retires, b.retires) << where;
+    EXPECT_EQ(a.raises, b.raises) << where;
+    EXPECT_EQ(a.power_cycles, b.power_cycles) << where;
+    EXPECT_EQ(range.budget().windows_completed(),
+              perbeat.budget().windows_completed())
+        << where;
+    EXPECT_EQ(range.budget().window_words(), perbeat.budget().window_words())
+        << where;
+    EXPECT_EQ(range.budget().burns(), perbeat.budget().burns()) << where;
+    EXPECT_EQ(range.parked_count(), perbeat.parked_count()) << where;
+    EXPECT_EQ(range.spares_free(), perbeat.spares_free()) << where;
+    EXPECT_EQ(range.ladder_trace().size(), perbeat.ladder_trace().size())
+        << where;
+    for (std::size_t i = 0; i < range.ladder_trace().size() &&
+                            i < perbeat.ladder_trace().size();
+         ++i) {
+      EXPECT_EQ(range.ladder_trace()[i].rung, perbeat.ladder_trace()[i].rung);
+      EXPECT_EQ(range.ladder_trace()[i].voltage.value,
+                perbeat.ladder_trace()[i].voltage.value);
+      EXPECT_EQ(range.ladder_trace()[i].op, perbeat.ladder_trace()[i].op);
+    }
+    ASSERT_EQ(range.capacity(), perbeat.capacity());
+    for (std::uint64_t l = 0; l < range.capacity(); ++l) {
+      ASSERT_EQ(range.journal_live(l), perbeat.journal_live(l)) << where;
+      ASSERT_EQ(range.parked(l), perbeat.parked(l)) << where;
+      if (range.journal_live(l)) {
+        ASSERT_EQ(range.journal_beat(l), perbeat.journal_beat(l))
+            << where << " beat " << l;
+      }
+    }
+    EXPECT_EQ(board_range.hbm_voltage().value,
+              board_perbeat.hbm_voltage().value)
+        << where;
+  }
+};
+
+hbm::Beat test_payload(std::uint64_t l) {
+  hbm::Beat data;
+  for (unsigned w = 0; w < 4; ++w) data[w] = splitmix64(l * 4 + w + 0xFEED);
+  return data;
+}
+
+TEST(ReliableRangeTest, EmptyRemapFastPathMatchesPerBeat) {
+  // Nominal voltage, no faults, no specials: the whole capacity is one
+  // plain run and the all-clean exit marks blocks for the patrol.
+  ChannelTwin twin(0, ReliableChannelConfig{});
+  const std::uint64_t cap = twin.range.capacity();
+
+  std::vector<hbm::Beat> data(cap);
+  for (std::uint64_t l = 0; l < cap; ++l) data[l] = test_payload(l);
+  ASSERT_TRUE(twin.range.write_range(0, cap, data.data()).is_ok());
+  ASSERT_TRUE(twin.perbeat.write_range(0, cap, data.data()).is_ok());
+  twin.expect_equal("after write_range");
+
+  std::vector<hbm::Beat> out_a(cap), out_b(cap);
+  ASSERT_TRUE(twin.range.read_range(0, cap, out_a.data()).is_ok());
+  ASSERT_TRUE(twin.perbeat.read_range(0, cap, out_b.data()).is_ok());
+  for (std::uint64_t l = 0; l < cap; ++l) {
+    ASSERT_EQ(out_a[l], data[l]) << "beat " << l;
+    ASSERT_EQ(out_b[l], data[l]) << "beat " << l;
+  }
+  twin.expect_equal("after read_range");
+
+  // Single-beat API agrees with the bulk result.
+  for (std::uint64_t l = 0; l < cap; l += 7) {
+    auto got = twin.range.read(l);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), data[l]);
+  }
+}
+
+TEST(ReliableRangeTest, UndervoltedRangesMatchPerBeatAtEveryOffset) {
+  ReliableChannelConfig config;
+  config.spare_fraction = 0.25;
+  ChannelTwin twin(kWeakPc, config, 950);
+  const std::uint64_t cap = twin.range.capacity();
+
+  std::vector<hbm::Beat> data(cap);
+  for (std::uint64_t l = 0; l < cap; ++l) data[l] = test_payload(l);
+  ASSERT_TRUE(twin.range.write_range(0, cap, data.data()).is_ok());
+  ASSERT_TRUE(twin.perbeat.write_range(0, cap, data.data()).is_ok());
+
+  // Sweep every offset with a prime-ish length so ranges start and end on
+  // every beat (including any corrected/remapped one).
+  std::vector<hbm::Beat> out_a(cap), out_b(cap);
+  for (std::uint64_t lo = 0; lo < cap; ++lo) {
+    const std::uint64_t n = std::min<std::uint64_t>(13, cap - lo);
+    const Status sa = twin.range.read_range(lo, n, out_a.data());
+    const Status sb = twin.perbeat.read_range(lo, n, out_b.data());
+    ASSERT_EQ(sa.code(), sb.code()) << "offset " << lo;
+    if (!sa.is_ok()) continue;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out_a[i], data[lo + i]) << "beat " << lo + i;
+      ASSERT_EQ(out_b[i], data[lo + i]) << "beat " << lo + i;
+    }
+  }
+  twin.expect_equal("after offset sweep");
+
+  // Manual patrol slices drive the clean-block machinery identically.
+  for (int slice = 0; slice < 32; ++slice) {
+    ASSERT_TRUE(twin.range.scrub_slice().is_ok());
+    ASSERT_TRUE(twin.perbeat.scrub_slice().is_ok());
+  }
+  twin.expect_equal("after patrol slices");
+  EXPECT_GT(twin.range.stats().scrub_beats, 0u);
+}
+
+TEST(ReliableRangeTest, RemappedBeatsAtRangeBoundaries) {
+  // 930 mV on the weak PC arms uncorrectable words; serving a trace
+  // drives the ladder through retirement, leaving remapped beats behind.
+  ReliableChannelConfig config;
+  config.spare_fraction = 0.25;
+  ChannelTwin twin(kWeakPc, config, 930);
+  const std::uint64_t cap = twin.range.capacity();
+
+  const workload::AccessTrace trace =
+      workload::make_uniform_random(cap, 2048, 0.25, 0x5EED);
+  auto ra = twin.range.serve(trace, 7);
+  auto rb = twin.perbeat.serve(trace, 7);
+  ASSERT_TRUE(ra.is_ok());
+  ASSERT_TRUE(rb.is_ok());
+  EXPECT_EQ(ra.value().corrupt_reads, 0u);
+  EXPECT_EQ(rb.value().corrupt_reads, 0u);
+  EXPECT_EQ(ra.value().escalated_reads, rb.value().escalated_reads);
+  twin.expect_equal("after undervolted serve");
+  ASSERT_GT(twin.range.stats().beats_migrated, 0u)
+      << "test premise: retirement must have remapped something";
+
+  // Every offset x length-4 window: remapped beats land on the first
+  // beat, an interior beat, and the last beat of some range.
+  std::vector<hbm::Beat> out_a(4), out_b(4);
+  for (std::uint64_t lo = 0; lo + 4 <= cap; ++lo) {
+    const Status sa = twin.range.read_range(lo, 4, out_a.data());
+    const Status sb = twin.perbeat.read_range(lo, 4, out_b.data());
+    ASSERT_EQ(sa.code(), sb.code()) << "offset " << lo;
+    if (!sa.is_ok()) continue;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      if (!twin.range.journal_live(lo + i)) continue;
+      ASSERT_EQ(out_a[i], twin.range.journal_beat(lo + i)) << lo + i;
+      ASSERT_EQ(out_b[i], out_a[i]) << lo + i;
+    }
+  }
+  twin.expect_equal("after boundary sweep");
+}
+
+TEST(ReliableRangeTest, ReadRangeSpansParkedBeats) {
+  // Park beats for real: a permanent weak-cell burst that persists at
+  // nominal voltage, with a zero spare pool, forces the retirement rung
+  // into its journal-park fallback.
+  ReliableChannelConfig config;
+  config.spare_fraction = 0.0;
+  ChannelTwin twin(kWeakPc, config, 1200);
+  // 64+64 cells over ~220 codewords: dense enough that stuck cells pair
+  // up into uncorrectable (parkable) words, sparse enough that no word
+  // collects the 3 mismatches SECDED would silently miscorrect.
+  twin.board_range.injector().add_burst(kWeakPc, 64, 64);
+  twin.board_perbeat.injector().add_burst(kWeakPc, 64, 64);
+
+  const std::uint64_t cap = twin.range.capacity();
+  const workload::AccessTrace trace =
+      workload::make_uniform_random(cap, 2048, 0.25, 0xAB5EED);
+  auto ra = twin.range.serve(trace, 9);
+  auto rb = twin.perbeat.serve(trace, 9);
+  ASSERT_TRUE(ra.is_ok());
+  ASSERT_TRUE(rb.is_ok());
+  EXPECT_EQ(ra.value().corrupt_reads, 0u);
+  EXPECT_EQ(rb.value().corrupt_reads, 0u);
+  twin.expect_equal("after burst serve");
+  ASSERT_GT(twin.range.parked_count(), 0u)
+      << "test premise: the burst must park at least one beat";
+
+  // Bulk reads spanning parked beats serve them from the journal (and
+  // count them), identically in both engines.
+  const std::uint64_t served_before = twin.range.stats().journal_served_reads;
+  std::vector<hbm::Beat> out_a(cap), out_b(cap);
+  const Status sa = twin.range.read_range(0, cap, out_a.data());
+  const Status sb = twin.perbeat.read_range(0, cap, out_b.data());
+  ASSERT_EQ(sa.code(), sb.code());
+  if (sa.is_ok()) {
+    for (std::uint64_t l = 0; l < cap; ++l) {
+      if (!twin.range.journal_live(l)) continue;
+      ASSERT_EQ(out_a[l], twin.range.journal_beat(l)) << "beat " << l;
+      ASSERT_EQ(out_b[l], out_a[l]) << "beat " << l;
+    }
+    EXPECT_GT(twin.range.stats().journal_served_reads, served_before);
+  }
+  twin.expect_equal("after spanning read_range");
+}
+
+TEST(ReliableRangeTest, ServeTraceStreamingEquivalence) {
+  // Streaming trace = maximal contiguous runs: the bulk path carries
+  // nearly every op.  Same journal, stats, and report as the per-beat
+  // engine, with the headline invariant intact.
+  ReliableChannelConfig config;
+  config.spare_fraction = 0.25;
+  ChannelTwin twin(kWeakPc, config, 950);
+  const workload::AccessTrace trace =
+      workload::make_streaming(twin.range.capacity(), 4);
+
+  auto ra = twin.range.serve_trace(trace, 21);
+  auto rb = twin.perbeat.serve_trace(trace, 21);
+  ASSERT_TRUE(ra.is_ok());
+  ASSERT_TRUE(rb.is_ok());
+  EXPECT_EQ(ra.value().ops, rb.value().ops);
+  EXPECT_EQ(ra.value().reads, rb.value().reads);
+  EXPECT_EQ(ra.value().writes, rb.value().writes);
+  EXPECT_EQ(ra.value().corrupt_reads, 0u);
+  EXPECT_EQ(rb.value().corrupt_reads, 0u);
+  twin.expect_equal("after streaming serve_trace");
+
+  // serve_trace == serve on a third universe: coalescing changes the
+  // mechanism and the scrub cadence policy, not the delivered bytes.
+  board::Vcu128Board board_serial(tiny_board());
+  ASSERT_TRUE(board_serial.set_hbm_voltage(Millivolts{950}).is_ok());
+  ReliableChannel serial(board_serial, kWeakPc,
+                         ChannelTwin::with_engine(config,
+                                                  ChannelEngine::kPerBeat));
+  auto rs = serial.serve(trace, 21);
+  ASSERT_TRUE(rs.is_ok());
+  EXPECT_EQ(rs.value().corrupt_reads, 0u);
+  for (std::uint64_t l = 0; l < twin.range.capacity(); ++l) {
+    ASSERT_EQ(twin.range.journal_live(l), serial.journal_live(l));
+    if (serial.journal_live(l)) {
+      ASSERT_EQ(twin.range.journal_beat(l), serial.journal_beat(l)) << l;
+    }
+  }
+}
+
+TEST(ReliableRangeTest, FleetFingerprintAcrossEnginesAndThreads) {
+  const auto run_fleet = [](ChannelEngine engine, unsigned threads) {
+    board::Vcu128Board board(tiny_board());
+    EXPECT_TRUE(board.set_hbm_voltage(Millivolts{950}).is_ok());
+    FleetConfig config;
+    config.pcs = {0, kWeakPc, 5};
+    config.ops_per_pc = 4096;
+    config.ops_per_epoch = 512;
+    config.seed = 77;
+    config.threads = threads;
+    config.channel.spare_fraction = 0.25;
+    config.channel.engine = engine;
+    ServingFleet fleet(board, config);
+    auto report = fleet.run();
+    EXPECT_TRUE(report.is_ok());
+    EXPECT_EQ(report.value().corrupt_reads, 0u);
+    return report.is_ok() ? report.value().fingerprint : 0;
+  };
+
+  const std::uint64_t range_1 = run_fleet(ChannelEngine::kRange, 1);
+  const std::uint64_t range_4 = run_fleet(ChannelEngine::kRange, 4);
+  const std::uint64_t perbeat_1 = run_fleet(ChannelEngine::kPerBeat, 1);
+  const std::uint64_t perbeat_4 = run_fleet(ChannelEngine::kPerBeat, 4);
+  EXPECT_NE(range_1, 0u);
+  EXPECT_EQ(range_1, range_4);
+  EXPECT_EQ(range_1, perbeat_1);
+  EXPECT_EQ(range_1, perbeat_4);
+}
+
+}  // namespace
+}  // namespace hbmvolt
