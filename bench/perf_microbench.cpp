@@ -167,16 +167,29 @@ BENCHMARK(BM_SweepThroughput)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
-// Telemetry overhead on the serial sweep (docs/observability.md, CI
-// telemetry gate).  Arg(0): no telemetry at all -- the baseline.  Arg(1):
-// an instance installed but disabled, so every instrumentation site takes
-// the one-branch null path; CI fails if this costs more than 3% over the
-// baseline.  Arg(2): fully enabled (spans + counters recorded), the
-// documented price of turning observability on.
+// Telemetry overhead on the serial sweep plus a nominal-voltage
+// ReliableChannel serve pass (docs/observability.md, CI telemetry gate).
+// The serve pass exercises the newer instrumentation sites -- per-PC
+// labeled family counters and HDR latency recording via OpTimer -- so the
+// gate covers them too, not just the sweep spans.  Arg(0): no telemetry
+// at all -- the baseline.  Arg(1): an instance installed but disabled, so
+// every instrumentation site takes the one-branch null path; CI fails if
+// this costs more than 3% over the baseline.  Arg(2): fully enabled
+// (spans + counters + families + latency recorded), the documented price
+// of turning observability on.
 void BM_TelemetryOverhead(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
   board::Vcu128Board board(bench::default_board_config());
   core::ReliabilityTester tester(board, bench::bench_sweep_config());
+
+  // Nominal supply: the ladder never escalates, so the channel can be
+  // built once and serve the same trace every iteration.
+  runtime::ReliableChannelConfig channel_config;
+  channel_config.spare_fraction = 0.25;
+  runtime::ReliableChannel channel(board, 18, channel_config);
+  (void)channel.write(0, runtime::make_payload(1, 18, 0));  // overlay build
+  const workload::AccessTrace trace = workload::make_uniform_random(
+      channel.capacity(), 1 << 12, 0.25, 0x5E11E);
 
   telemetry::Telemetry instance(
       telemetry::TelemetryConfig{.enabled = mode == 2});
@@ -191,6 +204,12 @@ void BM_TelemetryOverhead(benchmark::State& state) {
       break;
     }
     bits += map.value().device_record(Millivolts{1200}).bits_tested;
+    auto report = channel.serve(trace, 1);
+    if (!report.is_ok()) {
+      state.SkipWithError("serve failed");
+      break;
+    }
+    channel.flush_telemetry();  // the epoch-barrier family/HDR merge
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(bits));
   state.SetLabel(mode == 0 ? "no-telemetry"

@@ -25,14 +25,25 @@
 //   HBMVOLT_CHAOS_RATE=X     storm intensity multiplier (default 1.0;
 //                            0 disables the storm entirely)
 //   HBMVOLT_CHAOS_SEED=N     chaos schedule seed (default 404)
+//   HBMVOLT_SOAK_DASHBOARD=1 render the fleet health dashboard after
+//                            every epoch barrier (per-PC rung/budget/
+//                            spares/scrub rows, latency quantiles, alert
+//                            state)
+//   HBMVOLT_SOAK_ARTIFACTS=D write health.json, dashboard.txt, and
+//                            alerts.jsonl into directory D after the run
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "board/vcu128.hpp"
 #include "chaos/chaos.hpp"
 #include "runtime/fleet.hpp"
+#include "runtime/health.hpp"
+#include "telemetry/hdr_histogram.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace hbmvolt;
@@ -69,10 +80,19 @@ runtime::FleetConfig soak_fleet(std::uint64_t ops_per_pc, unsigned threads,
   return config;
 }
 
+/// Fleet-owned observability state, copied out before the fleet (and the
+/// board backing it) is destroyed at the end of run_soak.
+struct SoakArtifacts {
+  std::string health_json;
+  std::string dashboard;
+  std::string alerts_jsonl;
+};
+
 Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
                                       int start_mv, double chaos_rate,
                                       std::uint64_t chaos_seed,
-                                      bool print_storm) {
+                                      bool print_storm, bool dashboard,
+                                      SoakArtifacts* artifacts) {
   board::BoardConfig board_config;
   board_config.geometry = hbm::HbmGeometry::test_tiny();
   board::Vcu128Board board(board_config);
@@ -91,9 +111,28 @@ Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
       return injector.storm_tick(pc, tick);
     };
   }
+  if (dashboard) {
+    config.epoch_hook = [](const runtime::EpochStatus& status) {
+      telemetry::Telemetry* tel = telemetry::Telemetry::active();
+      std::fputs(runtime::render_dashboard(
+                     *status.health, status.alerts,
+                     tel != nullptr ? &tel->metrics() : nullptr)
+                     .c_str(),
+                 stdout);
+      std::fputc('\n', stdout);
+    };
+  }
 
   runtime::ServingFleet fleet(board, config);
   auto report = fleet.run();
+  if (artifacts != nullptr) {
+    telemetry::Telemetry* tel = telemetry::Telemetry::active();
+    artifacts->health_json = fleet.health().to_json();
+    artifacts->dashboard = runtime::render_dashboard(
+        fleet.health(), &fleet.alerts(),
+        tel != nullptr ? &tel->metrics() : nullptr);
+    artifacts->alerts_jsonl = fleet.alerts().to_jsonl();
+  }
   if (report.is_ok() && print_storm) {
     std::printf("  storm             %llu weak-cell bursts, %llu bit-rot "
                 "flips\n",
@@ -103,6 +142,32 @@ Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
                     injector.injected(chaos::FaultKind::kBitRot)));
   }
   return report;
+}
+
+/// "latency read   p50 812 ns  p90 ...  (n=...)" from the merged HDR
+/// family, or nothing when telemetry recorded no samples.
+void print_latency_summary(const telemetry::MetricRegistry& metrics) {
+  for (const auto& family : metrics.hdr_family_values()) {
+    if (family.name != "latency.read" && family.name != "latency.write") {
+      continue;
+    }
+    const telemetry::HdrSnapshot& m = family.merged;
+    if (m.count == 0) continue;
+    std::printf("  latency %-9s p50 %s  p90 %s  p99 %s  p999 %s  (n=%llu)\n",
+                family.name == "latency.read" ? "read" : "write",
+                telemetry::format_duration_ns(m.q.p50).c_str(),
+                telemetry::format_duration_ns(m.q.p90).c_str(),
+                telemetry::format_duration_ns(m.q.p99).c_str(),
+                telemetry::format_duration_ns(m.q.p999).c_str(),
+                static_cast<unsigned long long>(m.count));
+  }
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+  out.flush();
+  return out.good();
 }
 
 }  // namespace
@@ -116,6 +181,8 @@ int main() {
   const double chaos_rate = env_double("HBMVOLT_CHAOS_RATE", 1.0);
   const std::uint64_t chaos_seed = env_u64("HBMVOLT_CHAOS_SEED", 404);
   const bool verify = env_u64("HBMVOLT_SOAK_VERIFY", 0) != 0;
+  const bool dashboard = env_u64("HBMVOLT_SOAK_DASHBOARD", 0) != 0;
+  const char* artifacts_dir = std::getenv("HBMVOLT_SOAK_ARTIFACTS");
 
   telemetry::Telemetry telemetry;
   telemetry::ScopedTelemetry scope(telemetry);
@@ -127,7 +194,9 @@ int main() {
                                                              : "perbeat");
 
   runtime::FleetConfig config = soak_fleet(ops, threads, seed);
-  auto result = run_soak(config, mv, chaos_rate, chaos_seed, true);
+  SoakArtifacts artifacts;
+  auto result = run_soak(config, mv, chaos_rate, chaos_seed, true, dashboard,
+                         artifacts_dir != nullptr ? &artifacts : nullptr);
   if (!result.is_ok()) {
     std::fprintf(stderr, "soak failed: %s\n",
                  result.status().to_string().c_str());
@@ -150,6 +219,23 @@ int main() {
   std::printf("  final voltage     %d mV\n", r.final_voltage.value);
   std::printf("  fingerprint       %016llx\n",
               static_cast<unsigned long long>(r.fingerprint));
+  print_latency_summary(telemetry.metrics());
+
+  if (artifacts_dir != nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifacts_dir, ec);
+    const std::filesystem::path dir(artifacts_dir);
+    if (ec || !write_file(dir / "health.json", artifacts.health_json) ||
+        !write_file(dir / "dashboard.txt", artifacts.dashboard) ||
+        !write_file(dir / "alerts.jsonl", artifacts.alerts_jsonl)) {
+      std::fprintf(stderr, "FAIL: could not write soak artifacts to %s\n",
+                   artifacts_dir);
+      return 1;
+    }
+    std::printf("  artifacts         %s/{health.json,dashboard.txt,"
+                "alerts.jsonl}\n",
+                artifacts_dir);
+  }
 
   if (r.corrupt_reads > 0) {
     std::fprintf(stderr, "FAIL: %llu corrupt reads delivered\n",
@@ -159,7 +245,8 @@ int main() {
 
   if (verify) {
     runtime::FleetConfig serial = soak_fleet(ops, 1, seed);
-    auto replay = run_soak(serial, mv, chaos_rate, chaos_seed, false);
+    auto replay =
+        run_soak(serial, mv, chaos_rate, chaos_seed, false, false, nullptr);
     if (!replay.is_ok()) {
       std::fprintf(stderr, "serial replay failed: %s\n",
                    replay.status().to_string().c_str());

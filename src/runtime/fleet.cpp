@@ -6,9 +6,28 @@
 #include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::runtime {
+namespace {
+
+/// The fleet's standing rules when the caller supplies none: page when
+/// the corrected rate burns the channel budget's own SLO, and when reads
+/// start leaking into the host journal faster than 1% -- both with a
+/// sharp fast window and a calmer slow window (see telemetry/alerts.hpp).
+std::vector<telemetry::AlertRule> resolve_rules(const FleetConfig& config) {
+  if (!config.alert_rules.empty()) return config.alert_rules;
+  return {
+      {"corrected_burn", telemetry::AlertSignal::kCorrectedRate,
+       config.channel.budget.corrected_slo, 1, 4.0, 4, 1.0},
+      {"journal_served", telemetry::AlertSignal::kJournalServedRate, 0.01, 1,
+       4.0, 4, 1.0},
+  };
+}
+
+}  // namespace
 
 ServingFleet::ServingFleet(board::Vcu128Board& board, FleetConfig config)
-    : board_(board), config_(std::move(config)) {
+    : board_(board),
+      config_(std::move(config)),
+      alerts_(resolve_rules(config_)) {
   HBMVOLT_REQUIRE(config_.ops_per_epoch > 0, "epoch must serve ops");
   if (config_.pcs.empty()) {
     for (unsigned pc = 0; pc < board_.geometry().total_pcs(); ++pc) {
@@ -25,6 +44,8 @@ ServingFleet::ServingFleet(board::Vcu128Board& board, FleetConfig config)
         config_.write_fraction, stream_seed(config_.seed, 0xF1EE7, pc, 0)));
   }
   states_.resize(config_.pcs.size());
+  epoch_prev_.resize(config_.pcs.size());
+  health_.reset(config_.pcs.size());
 }
 
 void ServingFleet::serve_pc_epoch(std::size_t i) {
@@ -210,6 +231,48 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
   }
 }
 
+void ServingFleet::close_epoch(std::uint64_t epoch) {
+  // Fleet-wide deltas since the previous barrier, folded in PC index
+  // order.  Everything here *reads* channel state the barrier already
+  // made deterministic, so the sample stream -- and with it the alert
+  // events and health snapshots -- is identical at any thread count and
+  // with telemetry on or off.
+  telemetry::EpochSample sample;
+  sample.epoch = epoch;
+  double burn_max = 0.0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const ReliableChannel& channel = *channels_[i];
+    const ChannelStats& now = channel.stats();
+    const ChannelStats& prev = epoch_prev_[i];
+    sample.reads += now.reads - prev.reads;
+    sample.writes += now.writes - prev.writes;
+    sample.corrected += (now.corrected_words + now.corrected_check_words) -
+                        (prev.corrected_words + prev.corrected_check_words);
+    sample.uncorrectable +=
+        now.uncorrectable_blocked - prev.uncorrectable_blocked;
+    sample.journal_served +=
+        now.journal_served_reads - prev.journal_served_reads;
+    sample.parked += channel.parked_count();
+    epoch_prev_[i] = now;
+
+    const ErrorBudget& budget = channel.budget();
+    if (budget.window_words() > 0 && budget.config().corrected_slo > 0.0) {
+      const double burn = static_cast<double>(budget.window_corrected()) /
+                          static_cast<double>(budget.window_words()) /
+                          budget.config().corrected_slo;
+      if (burn > burn_max) burn_max = burn;
+    }
+    health_.update(i, channel, board_.hbm_voltage(), epoch);
+  }
+  sample.budget_burn = burn_max;
+  alerts_.tick(sample);
+  for (auto& channel : channels_) channel->flush_telemetry();
+  if (config_.epoch_hook) {
+    config_.epoch_hook(
+        EpochStatus{epoch, board_.hbm_voltage(), &health_, &alerts_});
+  }
+}
+
 Result<FleetReport> ServingFleet::run() {
   FleetReport report;
   std::unique_ptr<core::ThreadPool> pool;
@@ -275,7 +338,7 @@ Result<FleetReport> ServingFleet::run() {
         tel->count("runtime.fleet.raise");
       }
     }
-    for (auto& channel : channels_) channel->flush_telemetry();
+    close_epoch(report.epochs);
   }
 
   // Fold the run into the report, in PC index order.

@@ -30,10 +30,22 @@
 
 #include "board/vcu128.hpp"
 #include "common/status.hpp"
+#include "runtime/health.hpp"
 #include "runtime/reliable_channel.hpp"
+#include "telemetry/alerts.hpp"
 #include "workload/trace.hpp"
 
 namespace hbmvolt::runtime {
+
+/// What the epoch hook sees after every barrier: the refreshed health
+/// registry and the alert engine (both owned by the fleet and rebuilt
+/// serially in PC index order, so observers stay deterministic).
+struct EpochStatus {
+  std::uint64_t epoch = 0;
+  Millivolts voltage{0};
+  const HealthRegistry* health = nullptr;
+  const telemetry::AlertEngine* alerts = nullptr;
+};
 
 struct FleetConfig {
   /// Global PC indices to serve (empty = every PC on the board).
@@ -54,6 +66,16 @@ struct FleetConfig {
   /// refresh (see ReliableChannel::refresh_from_journal) -- the model
   /// for a droop detector or RAS interrupt in a real deployment.
   std::function<bool(unsigned pc_global, std::uint64_t tick)> storm_hook;
+  /// Burn-rate alert rules evaluated at every barrier (empty = defaults
+  /// derived from the channel budget: a corrected-rate rule at the budget
+  /// SLO plus a journal-served-rate rule).  Deterministic regardless of
+  /// thread count or telemetry state -- see telemetry/alerts.hpp.
+  std::vector<telemetry::AlertRule> alert_rules;
+  /// Called serially after every barrier with the refreshed health
+  /// registry and alert engine -- the live-dashboard seam
+  /// (examples/resilient_serving renders it under HBMVOLT_SOAK_DASHBOARD).
+  /// Must not touch the board or the channels.
+  std::function<void(const EpochStatus&)> epoch_hook;
 };
 
 struct FleetReport {
@@ -86,6 +108,14 @@ class ServingFleet {
   [[nodiscard]] const ReliableChannel& channel(std::size_t i) const {
     return *channels_[i];
   }
+  /// Per-PC health as of the last barrier (empty before run()).
+  [[nodiscard]] const HealthRegistry& health() const noexcept {
+    return health_;
+  }
+  /// The burn-rate engine with the full epoch ring and event log.
+  [[nodiscard]] const telemetry::AlertEngine& alerts() const noexcept {
+    return alerts_;
+  }
 
  private:
   /// Per-PC worker state; owned by exactly one index during a fan-out.
@@ -102,12 +132,18 @@ class ServingFleet {
   };
 
   void serve_pc_epoch(std::size_t i);
+  /// Barrier bookkeeping: epoch deltas -> alert tick, health refresh,
+  /// telemetry flush, epoch hook.  Serial, PC index order.
+  void close_epoch(std::uint64_t epoch);
 
   board::Vcu128Board& board_;
   FleetConfig config_;
   std::vector<std::unique_ptr<ReliableChannel>> channels_;
   std::vector<workload::AccessTrace> traces_;
   std::vector<PcState> states_;
+  std::vector<ChannelStats> epoch_prev_;  // stats at the previous barrier
+  HealthRegistry health_;
+  telemetry::AlertEngine alerts_;
 };
 
 }  // namespace hbmvolt::runtime

@@ -1,0 +1,82 @@
+// Per-PC health snapshots for the serving fleet.
+//
+// The degradation ladder acts on one channel at a time; an operator (or a
+// CI lane) needs the cross-section: which PCs are burning budget, how much
+// spare headroom is left, how far the patrol scrubber lags, and what the
+// last ladder action was.  HealthRegistry copies that state out of each
+// ReliableChannel at the fleet's epoch barrier -- read-only against the
+// model, so fingerprints cannot depend on it -- and exports it two ways:
+// health.json (machine-readable, uploaded as a CI artifact) and a
+// fixed-width console dashboard (HBMVOLT_SOAK_DASHBOARD=1 in
+// examples/resilient_serving).  See docs/observability.md.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "runtime/reliable_channel.hpp"
+#include "telemetry/alerts.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hbmvolt::runtime {
+
+struct PcHealth {
+  unsigned pc = 0;
+  int voltage_mv = 0;
+  /// Highest rung the channel has climbed to so far (kCorrect = never
+  /// escalated) and the channel op count of its latest ladder event.
+  LadderRung last_rung = LadderRung::kCorrect;
+  std::uint64_t last_rung_op = 0;
+  /// Corrected fraction of the current budget window over its SLO
+  /// (burn rate 1.0 = exactly on budget), plus completed burns.
+  double burn_fraction = 0.0;
+  std::uint64_t budget_burns = 0;
+  std::uint64_t spares_free = 0;
+  std::uint64_t parked_beats = 0;
+  /// Logical beats the patrol cursor still has to visit this pass.
+  std::uint64_t scrub_lag_beats = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable_blocked = 0;
+  std::uint64_t journal_served = 0;
+};
+
+class HealthRegistry {
+ public:
+  void reset(std::size_t pc_count);
+
+  /// Refreshes slot `slot` from the channel (read-only).  Called at epoch
+  /// barriers in PC index order.
+  void update(std::size_t slot, const ReliableChannel& channel,
+              Millivolts voltage, std::uint64_t epoch);
+
+  /// Direct slot write -- the golden-test / external-producer seam.
+  void set(std::size_t slot, const PcHealth& health);
+
+  [[nodiscard]] const std::vector<PcHealth>& pcs() const noexcept {
+    return pcs_;
+  }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// health.json: {"epoch":...,"pcs":[{...}, ...]}, keys in fixed order.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<PcHealth> pcs_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Fixed-width console dashboard: one row per PC, a fleet latency line
+/// (when `metrics` has the latency.* HDR families), and one line per alert
+/// rule (when `alerts` is given).  Pure function of its inputs -- the
+/// golden test pins the rendering.
+[[nodiscard]] std::string render_dashboard(
+    const HealthRegistry& health,
+    const telemetry::AlertEngine* alerts = nullptr,
+    const telemetry::MetricRegistry* metrics = nullptr);
+
+}  // namespace hbmvolt::runtime

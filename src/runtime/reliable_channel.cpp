@@ -7,6 +7,39 @@
 #include "telemetry/telemetry.hpp"
 
 namespace hbmvolt::runtime {
+namespace {
+
+/// RAII per-op latency probe for the public serve entry points.  With no
+/// active Telemetry instance the whole object is one relaxed load and a
+/// branch (no clock reads); otherwise it times the call through the
+/// instance's Clock seam (ManualClock in tests) and folds `ops` samples
+/// of duration/ops into the channel-local histogram -- merged into the
+/// shared latency.* families only at flush_telemetry() sync points, so
+/// recording never perturbs the parallel soak's fingerprint.
+class OpTimer {
+ public:
+  OpTimer(telemetry::HdrHistogram& sink, std::uint64_t ops) noexcept
+      : tel_(telemetry::Telemetry::active()), sink_(sink), ops_(ops) {
+    if (tel_ != nullptr) start_ns_ = tel_->clock().now_ns();
+  }
+  ~OpTimer() {
+    if (tel_ == nullptr || ops_ == 0) return;
+    const std::uint64_t end = tel_->clock().now_ns();
+    const std::uint64_t dur = end >= start_ns_ ? end - start_ns_ : 0;
+    sink_.record_n(dur / ops_, ops_);
+  }
+
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  telemetry::Telemetry* tel_;
+  telemetry::HdrHistogram& sink_;
+  std::uint64_t ops_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace
 
 const char* to_string(LadderRung rung) noexcept {
   switch (rung) {
@@ -196,6 +229,7 @@ Status ReliableChannel::write(std::uint64_t logical, const hbm::Beat& data) {
   if (logical >= capacity()) {
     return out_of_range("logical beat out of range");
   }
+  OpTimer timer(write_latency_, 1);
   if (!parked_.contains(logical)) {
     HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(remap_[logical], data));
     if (config_.verify_writes) {
@@ -225,6 +259,7 @@ Result<hbm::Beat> ReliableChannel::read(std::uint64_t logical) {
   if (logical >= capacity()) {
     return out_of_range("logical beat out of range");
   }
+  OpTimer timer(read_latency_, 1);
   if (parked_.contains(logical)) {
     // Journal-backed: the device copy is unservable (stuck cells paired
     // up with the spare pool exhausted), the host copy is the truth.
@@ -260,6 +295,7 @@ Status ReliableChannel::read_range(std::uint64_t logical, std::uint64_t count,
   if (logical >= capacity() || count > capacity() - logical) {
     return out_of_range("logical beat range out of range");
   }
+  OpTimer timer(read_latency_, count);
   const std::uint64_t end = logical + count;
   const std::uint64_t ops_before = ops_;
   const bool plain_call = !special_.any_in_range(logical, end);
@@ -354,6 +390,7 @@ Status ReliableChannel::write_range(std::uint64_t logical, std::uint64_t count,
   if (logical >= capacity() || count > capacity() - logical) {
     return out_of_range("logical beat range out of range");
   }
+  OpTimer timer(write_latency_, count);
   const std::uint64_t end = logical + count;
   const std::uint64_t ops_before = ops_;
   std::uint64_t cur = logical;
@@ -1041,30 +1078,45 @@ void ReliableChannel::flush_telemetry() {
   auto* tel = telemetry::Telemetry::active();
   if (tel == nullptr) {
     flushed_ = stats_;
+    // Nothing records latency without an active instance, but clear
+    // anyway so a mid-run disable cannot leak stale samples later.
+    read_latency_.clear();
+    write_latency_.clear();
     return;
   }
+  auto& metrics = tel->metrics();
+  const std::size_t pcs = board_.geometry().total_pcs();
+  // The per-PC hot counters export as `{pc=N}` families (the bare name
+  // stays the cross-PC total in every sink); low-rate ladder bookkeeping
+  // stays un-labeled.
+  const auto emit_pc = [&](const char* name, std::uint64_t now,
+                           std::uint64_t before) {
+    if (now > before) {
+      metrics.counter_family(name, "pc", pcs).at(pc_global_).add(now - before);
+    }
+  };
   const auto emit = [tel](const char* name, std::uint64_t now,
                           std::uint64_t before) {
     if (now > before) tel->count(name, now - before);
   };
-  emit("runtime.reads", stats_.reads, flushed_.reads);
-  emit("runtime.writes", stats_.writes, flushed_.writes);
-  emit("runtime.corrected_words", stats_.corrected_words,
-       flushed_.corrected_words);
-  emit("runtime.corrected_check_words", stats_.corrected_check_words,
-       flushed_.corrected_check_words);
-  emit("runtime.uncorrectable_blocked", stats_.uncorrectable_blocked,
-       flushed_.uncorrectable_blocked);
+  emit_pc("runtime.reads", stats_.reads, flushed_.reads);
+  emit_pc("runtime.writes", stats_.writes, flushed_.writes);
+  emit_pc("runtime.corrected_words", stats_.corrected_words,
+          flushed_.corrected_words);
+  emit_pc("runtime.corrected_check_words", stats_.corrected_check_words,
+          flushed_.corrected_check_words);
+  emit_pc("runtime.uncorrectable_blocked", stats_.uncorrectable_blocked,
+          flushed_.uncorrectable_blocked);
   emit("runtime.rows_retired", stats_.rows_retired, flushed_.rows_retired);
   emit("runtime.beats_migrated", stats_.beats_migrated,
        flushed_.beats_migrated);
-  emit("runtime.beats_parked", stats_.beats_parked, flushed_.beats_parked);
-  emit("runtime.journal_served_reads", stats_.journal_served_reads,
-       flushed_.journal_served_reads);
+  emit_pc("runtime.beats_parked", stats_.beats_parked, flushed_.beats_parked);
+  emit_pc("runtime.journal_served_reads", stats_.journal_served_reads,
+          flushed_.journal_served_reads);
   emit("runtime.verify_caught", stats_.verify_caught, flushed_.verify_caught);
   emit("runtime.journal_refreshes", stats_.journal_refreshes,
        flushed_.journal_refreshes);
-  emit("scrub.beats", stats_.scrub_beats, flushed_.scrub_beats);
+  emit_pc("scrub.beats", stats_.scrub_beats, flushed_.scrub_beats);
   emit("scrub.corrected", stats_.scrub_corrected, flushed_.scrub_corrected);
   emit("scrub.uncorrectable", stats_.scrub_uncorrectable,
        flushed_.scrub_uncorrectable);
@@ -1072,10 +1124,22 @@ void ReliableChannel::flush_telemetry() {
        flushed_.scrub_writebacks);
   emit("scrub.blocks_skipped", stats_.scrub_blocks_skipped,
        flushed_.scrub_blocks_skipped);
-  tel->gauge_set("runtime.spares_free",
-                 static_cast<std::int64_t>(spares_free()));
-  tel->gauge_set("runtime.parked_beats",
-                 static_cast<std::int64_t>(parked_count()));
+  metrics.gauge_family("runtime.spares_free", "pc", pcs)
+      .at(pc_global_)
+      .set(static_cast<std::int64_t>(spares_free()));
+  metrics.gauge_family("runtime.parked_beats", "pc", pcs)
+      .at(pc_global_)
+      .set(static_cast<std::int64_t>(parked_count()));
+  if (read_latency_.count() > 0) {
+    metrics.hdr_family("latency.read", "pc", pcs)
+        .merge_into(pc_global_, read_latency_);
+  }
+  if (write_latency_.count() > 0) {
+    metrics.hdr_family("latency.write", "pc", pcs)
+        .merge_into(pc_global_, write_latency_);
+  }
+  read_latency_.clear();
+  write_latency_.clear();
   flushed_ = stats_;
 }
 

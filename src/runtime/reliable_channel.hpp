@@ -63,6 +63,7 @@
 #include "ecc/ecc_channel.hpp"
 #include "runtime/error_budget.hpp"
 #include "runtime/flat_index.hpp"
+#include "telemetry/hdr_histogram.hpp"
 #include "workload/trace.hpp"
 
 namespace hbmvolt::runtime {
@@ -295,10 +296,18 @@ class ReliableChannel {
   [[nodiscard]] std::uint64_t parked_count() const noexcept {
     return parked_.size();
   }
+  /// Patrol cursor position in logical beats; capacity() - scrub_cursor()
+  /// is the lag of the current pass (health.hpp reports it).
+  [[nodiscard]] std::uint64_t scrub_cursor() const noexcept {
+    return scrub_cursor_;
+  }
 
   /// Emits the delta of the high-rate counters since the last flush into
-  /// the telemetry registry (runtime.* / scrub.*).  Called at sync points
-  /// rather than per-op to keep the serving path cheap.
+  /// the telemetry registry (runtime.* / scrub.*, the per-PC hot counters
+  /// as `{pc=N}` families) and merges the channel-local latency
+  /// histograms into the latency.read / latency.write HDR families.
+  /// Called at sync points rather than per-op to keep the serving path
+  /// cheap.
   void flush_telemetry();
 
  private:
@@ -405,6 +414,10 @@ class ReliableChannel {
 
   ChannelStats stats_;
   ChannelStats flushed_;  // counts already exported to telemetry
+  // Per-op serve latency, recorded locally (no atomics) only while a
+  // Telemetry instance is active, merged + cleared at flush_telemetry().
+  telemetry::HdrHistogram read_latency_;
+  telemetry::HdrHistogram write_latency_;
   std::vector<LadderEvent> ladder_trace_;
 
   // Range-engine scratch (high-water reuse, no per-call allocation).

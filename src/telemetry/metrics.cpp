@@ -3,6 +3,19 @@
 #include "common/status.hpp"
 
 namespace hbmvolt::telemetry {
+namespace {
+
+std::string join_bounds(const std::vector<std::uint64_t>& bounds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(bounds[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
     : bounds_(std::move(bounds)),
@@ -21,6 +34,91 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return counts;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket > 0.0 && cumulative + in_bucket >= rank) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no upper edge to interpolate toward.
+        return static_cast<double>(bounds.back());
+      }
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(bounds.back());
+}
+
+CounterFamily::CounterFamily(std::string label_key, std::size_t slots)
+    : label_key_(std::move(label_key)),
+      size_(slots),
+      slots_(new Counter[slots]) {
+  HBMVOLT_REQUIRE(slots > 0, "counter family needs at least one slot");
+}
+
+Counter& CounterFamily::at(std::size_t label) {
+  HBMVOLT_REQUIRE(label < size_, "counter family label out of range");
+  return slots_[label];
+}
+
+GaugeFamily::GaugeFamily(std::string label_key, std::size_t slots)
+    : label_key_(std::move(label_key)),
+      size_(slots),
+      slots_(new Gauge[slots]) {
+  HBMVOLT_REQUIRE(slots > 0, "gauge family needs at least one slot");
+}
+
+Gauge& GaugeFamily::at(std::size_t label) {
+  HBMVOLT_REQUIRE(label < size_, "gauge family label out of range");
+  return slots_[label];
+}
+
+HdrFamily::HdrFamily(std::string label_key, std::size_t slots,
+                     std::uint64_t max_value)
+    : label_key_(std::move(label_key)), max_value_(max_value) {
+  HBMVOLT_REQUIRE(slots > 0, "hdr family needs at least one slot");
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) slots_.emplace_back(max_value);
+}
+
+void HdrFamily::merge_into(std::size_t label, const HdrHistogram& local) {
+  HBMVOLT_REQUIRE(label < slots_.size(), "hdr family label out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_[label].merge(local);
+}
+
+HdrHistogram HdrFamily::slot(std::size_t label) const {
+  HBMVOLT_REQUIRE(label < slots_.size(), "hdr family label out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_[label];
+}
+
+HdrHistogram HdrFamily::merged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HdrHistogram out(max_value_);
+  for (const HdrHistogram& slot : slots_) out.merge(slot);
+  return out;
+}
+
+std::string family_slot_name(std::string_view name, std::string_view label_key,
+                             std::size_t label) {
+  std::string out(name);
+  out += '{';
+  out += label_key;
+  out += '=';
+  out += std::to_string(label);
+  out += '}';
+  return out;
 }
 
 std::vector<std::uint64_t> MetricRegistry::default_bounds() {
@@ -46,16 +144,91 @@ Gauge& MetricRegistry::gauge(std::string_view name) {
   return *it->second;
 }
 
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  return histogram(name, default_bounds());
+}
+
 Histogram& MetricRegistry::histogram(std::string_view name,
                                      std::vector<std::uint64_t> bounds) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<Histogram>(std::move(bounds)))
-             .first;
+  if (it != histograms_.end()) {
+    if (it->second->bounds() != bounds) {
+      const std::string what =
+          "histogram '" + std::string(name) +
+          "' re-registered with different bounds: existing " +
+          join_bounds(it->second->bounds()) + " vs requested " +
+          join_bounds(bounds);
+      HBMVOLT_REQUIRE(false, what.c_str());
+    }
+    return *it->second;
   }
+  it = histograms_
+           .emplace(std::string(name),
+                    std::make_unique<Histogram>(std::move(bounds)))
+           .first;
+  return *it->second;
+}
+
+CounterFamily& MetricRegistry::counter_family(std::string_view name,
+                                              std::string_view label_key,
+                                              std::size_t slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counter_families_.find(name);
+  if (it != counter_families_.end()) {
+    HBMVOLT_REQUIRE(
+        it->second->label_key() == label_key && it->second->size() == slots,
+        "counter family re-registered with a different label key or slots");
+    return *it->second;
+  }
+  it = counter_families_
+           .emplace(std::string(name), std::make_unique<CounterFamily>(
+                                           std::string(label_key), slots))
+           .first;
+  return *it->second;
+}
+
+GaugeFamily& MetricRegistry::gauge_family(std::string_view name,
+                                          std::string_view label_key,
+                                          std::size_t slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauge_families_.find(name);
+  if (it != gauge_families_.end()) {
+    HBMVOLT_REQUIRE(
+        it->second->label_key() == label_key && it->second->size() == slots,
+        "gauge family re-registered with a different label key or slots");
+    return *it->second;
+  }
+  it = gauge_families_
+           .emplace(std::string(name), std::make_unique<GaugeFamily>(
+                                           std::string(label_key), slots))
+           .first;
+  return *it->second;
+}
+
+HdrFamily& MetricRegistry::hdr_family(std::string_view name,
+                                      std::string_view label_key,
+                                      std::size_t slots,
+                                      std::uint64_t max_value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = hdr_families_.find(name);
+  if (it != hdr_families_.end()) {
+    HBMVOLT_REQUIRE(it->second->label_key() == label_key &&
+                        it->second->size() == slots &&
+                        it->second->max_value() == max_value,
+                    "hdr family re-registered with a different shape");
+    return *it->second;
+  }
+  it = hdr_families_
+           .emplace(std::string(name),
+                    std::make_unique<HdrFamily>(std::string(label_key), slots,
+                                                max_value))
+           .first;
   return *it->second;
 }
 
@@ -87,6 +260,72 @@ std::vector<HistogramSnapshot> MetricRegistry::histogram_values() const {
   for (const auto& [name, histogram] : histograms_) {
     out.push_back({name, histogram->bounds(), histogram->bucket_counts(),
                    histogram->count(), histogram->sum()});
+  }
+  return out;
+}
+
+std::vector<CounterFamilySnapshot> MetricRegistry::counter_family_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterFamilySnapshot> out;
+  out.reserve(counter_families_.size());
+  for (const auto& [name, family] : counter_families_) {
+    CounterFamilySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.label_key = family->label_key();
+    snapshot.values.resize(family->size());
+    for (std::size_t i = 0; i < family->size(); ++i) {
+      snapshot.values[i] = family->at(i).value();
+      snapshot.total += snapshot.values[i];
+    }
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+std::vector<GaugeFamilySnapshot> MetricRegistry::gauge_family_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeFamilySnapshot> out;
+  out.reserve(gauge_families_.size());
+  for (const auto& [name, family] : gauge_families_) {
+    GaugeFamilySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.label_key = family->label_key();
+    for (std::size_t i = 0; i < family->size(); ++i) {
+      const Gauge& slot = family->at(i);
+      if (!slot.touched()) continue;
+      snapshot.slots.emplace_back(
+          i, GaugeSnapshot{"", slot.value(), slot.max()});
+    }
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+namespace {
+
+HdrSnapshot snapshot_of(const HdrHistogram& h) {
+  return {h.count(), h.sum(), h.min(), h.max(), h.overflow(), h.quantiles()};
+}
+
+}  // namespace
+
+std::vector<HdrFamilySnapshot> MetricRegistry::hdr_family_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HdrFamilySnapshot> out;
+  out.reserve(hdr_families_.size());
+  for (const auto& [name, family] : hdr_families_) {
+    HdrFamilySnapshot snapshot;
+    snapshot.name = name;
+    snapshot.label_key = family->label_key();
+    HdrHistogram merged(family->max_value());
+    for (std::size_t i = 0; i < family->size(); ++i) {
+      const HdrHistogram slot = family->slot(i);
+      if (slot.count() > 0) snapshot.slots.emplace_back(i, snapshot_of(slot));
+      merged.merge(slot);
+    }
+    snapshot.merged = snapshot_of(merged);
+    out.push_back(std::move(snapshot));
   }
   return out;
 }

@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/hdr_histogram.hpp"
+
 namespace hbmvolt::telemetry {
 
 /// Monotonically increasing event count.
@@ -36,6 +38,7 @@ class Gauge {
  public:
   void set(std::int64_t v) noexcept {
     value_.store(v, std::memory_order_relaxed);
+    touched_.store(true, std::memory_order_relaxed);
     std::int64_t seen = max_.load(std::memory_order_relaxed);
     while (v > seen &&
            !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
@@ -47,10 +50,16 @@ class Gauge {
   [[nodiscard]] std::int64_t max() const noexcept {
     return max_.load(std::memory_order_relaxed);
   }
+  /// Whether set() ever ran -- how family exports tell an idle slot from
+  /// one legitimately sitting at zero.
+  [[nodiscard]] bool touched() const noexcept {
+    return touched_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::int64_t> value_{0};
   std::atomic<std::int64_t> max_{0};
+  std::atomic<bool> touched_{false};
 };
 
 /// Fixed upper-bound buckets: bucket i counts observations v with
@@ -87,6 +96,78 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Labeled counter family: one name, one label key, a fixed number of
+/// slots (e.g. `runtime.reads{pc=17}` = slot 17 of a 32-slot family).
+/// Slots are a flat array fixed at registration, so the hot path is the
+/// same single relaxed fetch_add as a plain Counter -- no per-update name
+/// lookup, no map, no lock.
+class CounterFamily {
+ public:
+  CounterFamily(std::string label_key, std::size_t slots);
+
+  /// Unchecked in release-style hot paths is tempting, but slots are
+  /// caller-controlled indices (PC numbers): keep the bounds REQUIRE.
+  [[nodiscard]] Counter& at(std::size_t label);
+
+  [[nodiscard]] const std::string& label_key() const noexcept {
+    return label_key_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::string label_key_;
+  std::size_t size_;
+  std::unique_ptr<Counter[]> slots_;
+};
+
+/// Labeled gauge family (e.g. `runtime.spares_free{pc=N}`): without the
+/// label, per-PC gauges collapse to last-writer-wins and the export shows
+/// whichever channel flushed last.
+class GaugeFamily {
+ public:
+  GaugeFamily(std::string label_key, std::size_t slots);
+
+  [[nodiscard]] Gauge& at(std::size_t label);
+
+  [[nodiscard]] const std::string& label_key() const noexcept {
+    return label_key_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::string label_key_;
+  std::size_t size_;
+  std::unique_ptr<Gauge[]> slots_;
+};
+
+/// Labeled HDR-histogram family (e.g. `latency.read{pc=N}`).  Not a hot
+/// path: workers record into private HdrHistograms and merge_into() here
+/// at sync points (epoch barriers), under one mutex.
+class HdrFamily {
+ public:
+  HdrFamily(std::string label_key, std::size_t slots,
+            std::uint64_t max_value);
+
+  void merge_into(std::size_t label, const HdrHistogram& local);
+
+  [[nodiscard]] const std::string& label_key() const noexcept {
+    return label_key_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::uint64_t max_value() const noexcept {
+    return max_value_;
+  }
+  /// Copy of one slot / the index-order merge of all slots (lock held).
+  [[nodiscard]] HdrHistogram slot(std::size_t label) const;
+  [[nodiscard]] HdrHistogram merged() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string label_key_;
+  std::uint64_t max_value_;
+  std::vector<HdrHistogram> slots_;
+};
+
 struct GaugeSnapshot {
   std::string name;
   std::int64_t value = 0;
@@ -99,7 +180,52 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+
+  /// Bucket-interpolated quantile: finds the bucket holding rank q*count
+  /// and interpolates linearly inside it (overflow bucket reports the top
+  /// bound -- the histogram has no upper edge there).  Coarser than the
+  /// HDR exact-rank quantile; exported alongside it for every fixed-bucket
+  /// histogram.
+  [[nodiscard]] double quantile(double q) const;
 };
+
+struct CounterFamilySnapshot {
+  std::string name;
+  std::string label_key;
+  std::vector<std::uint64_t> values;  // slot-indexed
+  std::uint64_t total = 0;
+};
+
+struct GaugeFamilySnapshot {
+  std::string name;
+  std::string label_key;
+  /// (slot index, snapshot) for every slot set() ever touched; .name is
+  /// left empty.
+  std::vector<std::pair<std::size_t, GaugeSnapshot>> slots;
+};
+
+struct HdrSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t overflow = 0;
+  HdrHistogram::Quantiles q;
+};
+
+struct HdrFamilySnapshot {
+  std::string name;
+  std::string label_key;
+  /// (slot index, snapshot) for every slot with count > 0.
+  std::vector<std::pair<std::size_t, HdrSnapshot>> slots;
+  /// Index-order merge across all slots (the fleet-wide distribution).
+  HdrSnapshot merged;
+};
+
+/// Canonical rendering of one family slot: "name{key=label}".
+[[nodiscard]] std::string family_slot_name(std::string_view name,
+                                           std::string_view label_key,
+                                           std::size_t label);
 
 /// Thread-safe name -> metric registry.  Returned references stay valid
 /// for the registry's lifetime (metrics are heap nodes, never rehashed).
@@ -108,10 +234,25 @@ class MetricRegistry {
  public:
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  /// First registration fixes the bounds; later calls with the same name
-  /// return the existing histogram regardless of `bounds`.
+  /// Existing histogram, or a new one with the default duration bounds.
+  Histogram& histogram(std::string_view name);
+  /// Explicit bounds.  First registration fixes them; re-registering the
+  /// same name with different bounds aborts (HBMVOLT_REQUIRE) naming both
+  /// bound sets -- a silent mismatch used to hand the caller buckets it
+  /// never asked for.
   Histogram& histogram(std::string_view name,
-                       std::vector<std::uint64_t> bounds = default_bounds());
+                       std::vector<std::uint64_t> bounds);
+
+  /// Labeled families.  First registration fixes (label_key, slots[,
+  /// max_value]); re-registering with a different shape aborts.
+  CounterFamily& counter_family(std::string_view name,
+                                std::string_view label_key,
+                                std::size_t slots);
+  GaugeFamily& gauge_family(std::string_view name, std::string_view label_key,
+                            std::size_t slots);
+  HdrFamily& hdr_family(
+      std::string_view name, std::string_view label_key, std::size_t slots,
+      std::uint64_t max_value = HdrHistogram::kDefaultMaxValue);
 
   /// Default bounds for duration-style histograms, in microseconds:
   /// 1us .. 10s decades.
@@ -121,12 +262,22 @@ class MetricRegistry {
   counter_values() const;
   [[nodiscard]] std::vector<GaugeSnapshot> gauge_values() const;
   [[nodiscard]] std::vector<HistogramSnapshot> histogram_values() const;
+  [[nodiscard]] std::vector<CounterFamilySnapshot> counter_family_values()
+      const;
+  [[nodiscard]] std::vector<GaugeFamilySnapshot> gauge_family_values() const;
+  [[nodiscard]] std::vector<HdrFamilySnapshot> hdr_family_values() const;
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<CounterFamily>, std::less<>>
+      counter_families_;
+  std::map<std::string, std::unique_ptr<GaugeFamily>, std::less<>>
+      gauge_families_;
+  std::map<std::string, std::unique_ptr<HdrFamily>, std::less<>>
+      hdr_families_;
 };
 
 }  // namespace hbmvolt::telemetry

@@ -182,7 +182,45 @@ std::string Telemetry::summary() const {
   for (const auto& histogram : metrics_.histogram_values()) {
     metrics.add_row({histogram.name, "histogram",
                      "n=" + std::to_string(histogram.count) +
-                         " sum=" + std::to_string(histogram.sum)});
+                         " sum=" + std::to_string(histogram.sum) +
+                         " p50=" + format_double(histogram.quantile(0.50), 1) +
+                         " p90=" + format_double(histogram.quantile(0.90), 1) +
+                         " p99=" + format_double(histogram.quantile(0.99), 1) +
+                         " p999=" +
+                         format_double(histogram.quantile(0.999), 1)});
+  }
+  // Families: one row per live slot plus a bare-name total/merged row, so
+  // the un-labeled name keeps meaning what it always did.
+  for (const auto& family : metrics_.counter_family_values()) {
+    for (std::size_t i = 0; i < family.values.size(); ++i) {
+      if (family.values[i] == 0) continue;
+      metrics.add_row({family_slot_name(family.name, family.label_key, i),
+                       "counter", std::to_string(family.values[i])});
+    }
+    metrics.add_row({family.name, "counter", std::to_string(family.total)});
+  }
+  for (const auto& family : metrics_.gauge_family_values()) {
+    for (const auto& [label, slot] : family.slots) {
+      metrics.add_row({family_slot_name(family.name, family.label_key, label),
+                       "gauge",
+                       std::to_string(slot.value) + " (max " +
+                           std::to_string(slot.max) + ")"});
+    }
+  }
+  const auto hdr_row = [](const HdrSnapshot& snapshot) {
+    return "n=" + std::to_string(snapshot.count) +
+           " p50=" + std::to_string(snapshot.q.p50) +
+           " p90=" + std::to_string(snapshot.q.p90) +
+           " p99=" + std::to_string(snapshot.q.p99) +
+           " p999=" + std::to_string(snapshot.q.p999) +
+           " max=" + std::to_string(snapshot.max);
+  };
+  for (const auto& family : metrics_.hdr_family_values()) {
+    for (const auto& [label, snapshot] : family.slots) {
+      metrics.add_row({family_slot_name(family.name, family.label_key, label),
+                       "hdr", hdr_row(snapshot)});
+    }
+    metrics.add_row({family.name, "hdr", hdr_row(family.merged)});
   }
   if (metrics.rows() > 0) out += metrics.to_string();
   return out;
@@ -223,7 +261,51 @@ std::string Telemetry::to_jsonl() const {
       out += std::to_string(histogram.buckets[i]);
     }
     out += "],\"count\":" + std::to_string(histogram.count) +
-           ",\"sum\":" + std::to_string(histogram.sum) + "}\n";
+           ",\"sum\":" + std::to_string(histogram.sum) +
+           ",\"p50\":" + format_double(histogram.quantile(0.50), 3) +
+           ",\"p90\":" + format_double(histogram.quantile(0.90), 3) +
+           ",\"p99\":" + format_double(histogram.quantile(0.99), 3) +
+           ",\"p999\":" + format_double(histogram.quantile(0.999), 3) +
+           "}\n";
+  }
+  for (const auto& family : metrics_.counter_family_values()) {
+    for (std::size_t i = 0; i < family.values.size(); ++i) {
+      if (family.values[i] == 0) continue;
+      out += "{\"type\":\"counter\",\"name\":" +
+             json_quoted(family_slot_name(family.name, family.label_key, i)) +
+             ",\"value\":" + std::to_string(family.values[i]) + "}\n";
+    }
+    out += "{\"type\":\"counter\",\"name\":" + json_quoted(family.name) +
+           ",\"value\":" + std::to_string(family.total) + "}\n";
+  }
+  for (const auto& family : metrics_.gauge_family_values()) {
+    for (const auto& [label, slot] : family.slots) {
+      out += "{\"type\":\"gauge\",\"name\":" +
+             json_quoted(
+                 family_slot_name(family.name, family.label_key, label)) +
+             ",\"value\":" + std::to_string(slot.value) +
+             ",\"max\":" + std::to_string(slot.max) + "}\n";
+    }
+  }
+  const auto hdr_line = [](const std::string& name,
+                           const HdrSnapshot& snapshot) {
+    return "{\"type\":\"hdr\",\"name\":" + json_quoted(name) +
+           ",\"count\":" + std::to_string(snapshot.count) +
+           ",\"sum\":" + std::to_string(snapshot.sum) +
+           ",\"min\":" + std::to_string(snapshot.min) +
+           ",\"max\":" + std::to_string(snapshot.max) +
+           ",\"overflow\":" + std::to_string(snapshot.overflow) +
+           ",\"p50\":" + std::to_string(snapshot.q.p50) +
+           ",\"p90\":" + std::to_string(snapshot.q.p90) +
+           ",\"p99\":" + std::to_string(snapshot.q.p99) +
+           ",\"p999\":" + std::to_string(snapshot.q.p999) + "}\n";
+  };
+  for (const auto& family : metrics_.hdr_family_values()) {
+    for (const auto& [label, snapshot] : family.slots) {
+      out += hdr_line(family_slot_name(family.name, family.label_key, label),
+                      snapshot);
+    }
+    out += hdr_line(family.name, family.merged);
   }
   return out;
 }

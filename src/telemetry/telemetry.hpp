@@ -103,8 +103,9 @@ class Telemetry {
 
   /// Human-readable table: span aggregates + every metric.
   [[nodiscard]] std::string summary() const;
-  /// JSONL event stream: one {"type":"span"|"counter"|"gauge"|"histogram"}
-  /// object per line.
+  /// JSONL event stream: one {"type":"span"|"counter"|"gauge"|"histogram"
+  /// |"hdr"} object per line; family slots appear as "name{key=label}"
+  /// entries next to a bare-name total/merged line.
   [[nodiscard]] std::string to_jsonl() const;
   /// Chrome trace-event JSON ("X" complete events, one tid per worker
   /// track); open in chrome://tracing or https://ui.perfetto.dev.

@@ -70,8 +70,21 @@ TEST(MetricRegistryTest, HistogramBucketEdges) {
 TEST(MetricRegistryTest, HistogramFirstRegistrationFixesBounds) {
   MetricRegistry registry;
   registry.histogram("h", {10, 20});
-  Histogram& again = registry.histogram("h", {5});
+  // Same bounds: fine.  The no-bounds overload returns the existing
+  // histogram without a check (Telemetry::observe's path).
+  Histogram& again = registry.histogram("h", {10, 20});
   EXPECT_EQ(again.bounds(), (std::vector<std::uint64_t>{10, 20}));
+  EXPECT_EQ(registry.histogram("h").bounds(),
+            (std::vector<std::uint64_t>{10, 20}));
+}
+
+TEST(MetricRegistryDeathTest, HistogramBoundsMismatchAborts) {
+  MetricRegistry registry;
+  registry.histogram("h", {10, 20});
+  // A silent mismatch used to hand the caller buckets it never asked
+  // for; now it fails fast naming both bound sets.
+  EXPECT_DEATH(registry.histogram("h", {5}),
+               "existing \\[10,20\\] vs requested \\[5\\]");
 }
 
 TEST(MetricRegistryTest, ConcurrentUpdatesMatchSerialTotal) {
