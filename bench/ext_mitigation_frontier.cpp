@@ -1,0 +1,194 @@
+// Extension experiment: the mitigation-efficiency frontier.
+//
+// The paper picks one protection story (crash-free undervolt down to the
+// guardband, faults beyond it); the mitigation zoo (mitigate/scheme.hpp)
+// makes the protection stack a knob.  This bench serves the same
+// deterministic fleet soak under every scheme across the Fig-6 undervolt
+// range and reports what each scheme pays -- check/parity/spare storage,
+// serving throughput -- and what it buys: the supply voltage it can hold
+// without the degradation ladder walking back toward nominal, and
+// (stripe only) survival of whole-pseudo-channel death.
+//
+// Two artifacts:
+//
+//   sweep    per (scheme, start mV): ops/s, corrupted reads (must be 0),
+//            ladder raises / power-cycles, and the voltage the run ended
+//            at.  "V_min held" per scheme = the deepest start voltage the
+//            scheme finished at without giving any voltage back.
+//   drill    whole-PC death at 950 mV: a storm hook kills PC 0 mid-soak.
+//            secded/dected degrade to journal-backed serving (correct,
+//            but no silicon redundancy); stripe reconstructs reads from
+//            parity + peers and rebuilds the dead PC onto a spare online.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mitigate/scheme.hpp"
+#include "runtime/fleet.hpp"
+
+using namespace hbmvolt;
+
+namespace {
+
+constexpr std::uint64_t kOpsPerPc = 1 << 11;
+constexpr std::uint64_t kSeed = 0xF207;
+
+struct SoakRow {
+  bool ok = false;
+  double mops = 0.0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t reconstructed = 0;
+  std::uint64_t rebuilt = 0;
+  std::uint64_t journal_served = 0;
+  std::uint64_t raises = 0;
+  std::uint64_t power_cycles = 0;
+  int final_mv = 0;
+  /// Parity + spare PCs as a fraction of serving PCs (0 unless striped).
+  double stripe_overhead = 0.0;
+};
+
+runtime::FleetConfig frontier_config(mitigate::MitigationKind scheme) {
+  runtime::FleetConfig config;
+  config.scheme = scheme;
+  config.ops_per_pc = kOpsPerPc;
+  config.seed = kSeed;
+  config.threads = 4;  // counters are thread-count invariant
+  return config;
+}
+
+SoakRow run_soak(mitigate::MitigationKind scheme, int mv, bool kill_pc0) {
+  board::Vcu128Board board(bench::default_board_config());
+  (void)board.set_hbm_voltage(Millivolts{mv});
+  // Force every PC's lazy fault-overlay build before the timed region --
+  // at deep undervolt the builds cost more than the soak itself and
+  // would swamp the throughput column.
+  const unsigned per_stack = board.geometry().pcs_per_stack();
+  for (unsigned pc = 0; pc < board.geometry().total_pcs(); ++pc) {
+    (void)board.stack(pc / per_stack).read_beat(pc % per_stack, 0);
+  }
+  runtime::FleetConfig config = frontier_config(scheme);
+  if (kill_pc0) {
+    // Same PC-local kill discipline as ChaosInjector::storm_tick, on a
+    // schedule the drill can reason about.
+    config.storm_hook = [&board](unsigned pc, std::uint64_t tick) {
+      if (pc == 0 && tick == 70) {
+        board.stack(0).kill_pc(0);
+      }
+      return false;
+    };
+  }
+  runtime::ServingFleet fleet(board, config);
+
+  SoakRow row;
+  const std::size_t serving = fleet.channels();
+  const std::size_t total = board.geometry().total_pcs();
+  row.stripe_overhead = serving == 0
+                            ? 0.0
+                            : static_cast<double>(total - serving) /
+                                  static_cast<double>(serving);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = fleet.run();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (!result.is_ok()) {
+    std::printf("  %s @ %d mV: run failed: %s\n",
+                mitigate::to_string(scheme), mv,
+                result.status().to_string().c_str());
+    return row;
+  }
+  const runtime::FleetReport& r = result.value();
+  std::uint64_t journal = 0;
+  for (std::size_t i = 0; i < fleet.channels(); ++i) {
+    journal += fleet.channel(i).stats().journal_served_reads;
+  }
+  row.ok = true;
+  row.mops = static_cast<double>(r.ops) / elapsed.count() / 1e6;
+  row.corrupt = r.corrupt_reads;
+  row.reconstructed = r.reconstructed_reads;
+  row.rebuilt = r.rebuilt_beats;
+  row.journal_served = journal;
+  row.raises = r.raises;
+  row.power_cycles = r.power_cycles;
+  row.final_mv = board.hbm_voltage().value;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Extension: mitigation-efficiency frontier across the scheme zoo");
+
+  constexpr mitigate::MitigationKind kZoo[] = {
+      mitigate::MitigationKind::kSecded,
+      mitigate::MitigationKind::kDected,
+      mitigate::MitigationKind::kStripe,
+  };
+  constexpr int kVoltages[] = {980, 960, 940, 920, 900};
+
+  std::printf("fleet soak: %llu ops/PC (75%% reads), 4 threads\n\n",
+              static_cast<unsigned long long>(kOpsPerPc));
+  std::printf("%-8s %-8s %9s %8s %7s %7s %9s\n", "scheme", "start", "Mop/s",
+              "corrupt", "raises", "cycles", "final mV");
+
+  double mops_950[3] = {0, 0, 0};
+  int vmin_held[3] = {0, 0, 0};
+  double stripe_overhead[3] = {0, 0, 0};
+  for (unsigned s = 0; s < 3; ++s) {
+    for (const int mv : kVoltages) {
+      const SoakRow row = run_soak(kZoo[s], mv, /*kill_pc0=*/false);
+      if (!row.ok) continue;
+      std::printf("%-8s %5d mV %9.2f %8llu %7llu %7llu %9d\n",
+                  mitigate::to_string(kZoo[s]), mv, row.mops,
+                  static_cast<unsigned long long>(row.corrupt),
+                  static_cast<unsigned long long>(row.raises),
+                  static_cast<unsigned long long>(row.power_cycles),
+                  row.final_mv);
+      stripe_overhead[s] = row.stripe_overhead;
+      if (row.raises == 0 && row.power_cycles == 0 && row.corrupt == 0) {
+        vmin_held[s] = mv;  // sweep descends: last such row is the deepest
+      }
+    }
+    const SoakRow at950 = run_soak(kZoo[s], 950, /*kill_pc0=*/false);
+    mops_950[s] = at950.mops;
+    std::printf("\n");
+  }
+
+  std::printf("whole-PC death drill at 950 mV (PC 0 killed at tick 70)\n\n");
+  std::printf("%-8s %8s %9s %9s %9s\n", "scheme", "corrupt", "reconstr",
+              "rebuilt", "journal");
+  for (const auto scheme : kZoo) {
+    const SoakRow row = run_soak(scheme, 950, /*kill_pc0=*/true);
+    std::printf("%-8s %8llu %9llu %9llu %9llu\n", mitigate::to_string(scheme),
+                static_cast<unsigned long long>(row.corrupt),
+                static_cast<unsigned long long>(row.reconstructed),
+                static_cast<unsigned long long>(row.rebuilt),
+                static_cast<unsigned long long>(row.journal_served));
+  }
+
+  std::printf(
+      "\nfrontier summary (storage %% = check bits + parity/spare PCs)\n\n");
+  std::printf("%-8s %-16s %9s %10s %11s %10s\n", "scheme", "fault domain",
+              "storage", "Mop/s@950", "tax vs secd", "Vmin held");
+  for (unsigned s = 0; s < 3; ++s) {
+    const mitigate::SchemeInfo& info = mitigate::scheme_info(kZoo[s]);
+    const double storage =
+        100.0 * (info.check_overhead + stripe_overhead[s] *
+                                           (1.0 + info.check_overhead));
+    std::printf("%-8s %-16s %8.1f%% %10.2f %10.2fx %7d mV\n", info.name,
+                info.fault_domain, storage, mops_950[s],
+                mops_950[0] > 0.0 ? mops_950[0] / mops_950[s] : 0.0,
+                vmin_held[s]);
+  }
+
+  std::printf(
+      "\nEvery `corrupt` cell is zero by construction -- the ladder spends\n"
+      "voltage instead.  dected's wider per-word domain holds deeper\n"
+      "supplies than secded before the budget forces a raise; stripe pays\n"
+      "parity+spare silicon and a write fan-out tax, and is the only\n"
+      "scheme that keeps silicon redundancy through whole-PC death (the\n"
+      "drill: secded/dected fall back to the journal, stripe reconstructs\n"
+      "and rebuilds).\n");
+  return 0;
+}

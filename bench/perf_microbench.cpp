@@ -14,6 +14,7 @@
 #include "core/parallel.hpp"
 #include "faults/fault_overlay.hpp"
 #include "hbm/stack.hpp"
+#include "runtime/fleet.hpp"
 #include "runtime/reliable_channel.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -343,6 +344,51 @@ BENCHMARK(BM_ReliableServe)
     ->Args({950, 0})
     ->Args({950, 1})
     ->Unit(benchmark::kMillisecond);
+
+// Stripe-mode serving price (docs/resilience.md): a single-threaded
+// ServingFleet under the cross-PC erasure stripe, healthy (no PC kill),
+// on the same streaming shape as BM_ReliableServe (one write sweep,
+// seven read sweeps) so the range engine coalesces for both -- every
+// data write also updates the group parity channel, so this is the
+// steady-state RAIM write fan-out tax, not the reconstruction path.
+// items/s counts foreground fleet ops, directly comparable to
+// BM_ReliableServe's per-PC ops/s; CI fails if stripe-mode serve
+// delivers less than 1/5 of the raw path at 950 mV.  Board rebuilt per
+// iteration with all fault overlays pre-built under PauseTiming (one
+// beat read per PC forces each lazy build).
+void BM_StripeServe(benchmark::State& state) {
+  const int mv = static_cast<int>(state.range(0));
+  constexpr unsigned kPasses = 8;
+  std::uint64_t ops = 0;
+  std::optional<board::Vcu128Board> board;
+  std::optional<runtime::ServingFleet> fleet;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fleet.reset();
+    board.emplace(bench::default_board_config());
+    (void)board->set_hbm_voltage(Millivolts{mv});
+    const unsigned per_stack = board->geometry().pcs_per_stack();
+    for (unsigned pc = 0; pc < board->geometry().total_pcs(); ++pc) {
+      (void)board->stack(pc / per_stack).read_beat(pc % per_stack, 0);
+    }
+    runtime::FleetConfig config;
+    config.scheme = mitigate::MitigationKind::kStripe;
+    config.streaming_passes = kPasses;
+    config.threads = 1;
+    config.seed = 0x5E11E;
+    fleet.emplace(*board, std::move(config));
+    state.ResumeTiming();
+    auto report = fleet->run();
+    if (!report.is_ok()) {
+      state.SkipWithError("fleet run failed");
+      break;
+    }
+    ops += report.value().ops;
+  }
+  state.SetLabel("stripe");
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_StripeServe)->Arg(1200)->Arg(950)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

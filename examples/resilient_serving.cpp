@@ -11,7 +11,8 @@
 // does; the process exits nonzero if a single corrupt beat was delivered
 // or the run fails outright.
 //
-// Knobs (environment variables, all optional):
+// Knobs (environment variables, all optional; an unparseable value
+// fails fast with exit code 2 naming the bad knob and what it accepts):
 //   HBMVOLT_SOAK_OPS=N       foreground ops per PC (default 8192)
 //   HBMVOLT_SOAK_MV=N        starting supply in mV (default 950)
 //   HBMVOLT_SOAK_THREADS=N   worker threads, 1 = serial (default 4)
@@ -22,13 +23,18 @@
 //                            the bit-sliced bulk path) or "perbeat"
 //                            (the one-beat-at-a-time reference); the
 //                            two produce identical fingerprints
+//   HBMVOLT_SOAK_SCHEME=S    mitigation scheme: "secded" (default),
+//                            "dected", or "stripe" (cross-PC erasure
+//                            stripe with online spare rebuild)
 //   HBMVOLT_CHAOS_RATE=X     storm intensity multiplier (default 1.0;
 //                            0 disables the storm entirely)
 //   HBMVOLT_CHAOS_SEED=N     chaos schedule seed (default 404)
+//   HBMVOLT_CHAOS_PC_KILL_RATE=X  per-tick whole-PC-kill probability
+//                            (default 0; try 1e-5 with the stripe scheme)
 //   HBMVOLT_SOAK_DASHBOARD=1 render the fleet health dashboard after
-//                            every epoch barrier (per-PC rung/budget/
-//                            spares/scrub rows, latency quantiles, alert
-//                            state)
+//                            every epoch barrier (per-PC scheme/stripe/
+//                            rung/budget/spares/scrub rows, latency
+//                            quantiles, alert state)
 //   HBMVOLT_SOAK_ARTIFACTS=D write health.json, dashboard.txt, and
 //                            alerts.jsonl into directory D after the run
 
@@ -41,6 +47,7 @@
 
 #include "board/vcu128.hpp"
 #include "chaos/chaos.hpp"
+#include "mitigate/scheme.hpp"
 #include "runtime/fleet.hpp"
 #include "runtime/health.hpp"
 #include "telemetry/hdr_histogram.hpp"
@@ -50,27 +57,65 @@ using namespace hbmvolt;
 
 namespace {
 
+// Every knob parses strictly: an unrecognized or trailing-garbage value
+// aborts the soak (exit 2) naming the knob and what it accepts, instead
+// of silently running a different experiment than the one asked for.
+[[noreturn]] void bad_knob(const char* name, const char* value,
+                           const char* accepted) {
+  std::fprintf(stderr, "%s=\"%s\" is invalid; accepted: %s\n", name, value,
+               accepted);
+  std::exit(2);
+}
+
 double env_double(const char* name, double fallback) {
   const char* text = std::getenv(name);
-  return text != nullptr ? std::strtod(text, nullptr) : fallback;
+  if (text == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || value < 0.0) {
+    bad_knob(name, text, "a non-negative decimal number");
+  }
+  return value;
 }
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* text = std::getenv(name);
-  return text != nullptr ? std::strtoull(text, nullptr, 0) : fallback;
+  if (text == nullptr) return fallback;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 0);
+  // strtoull silently wraps "-5" to a huge value; reject signs outright.
+  if (end == text || *end != '\0' || text[0] == '-' || text[0] == '+') {
+    bad_knob(name, text, "an unsigned integer (decimal, 0x hex, or octal)");
+  }
+  return value;
 }
 
 runtime::ChannelEngine env_engine() {
   const char* text = std::getenv("HBMVOLT_SOAK_ENGINE");
-  if (text != nullptr && std::strcmp(text, "perbeat") == 0) {
+  if (text == nullptr || std::strcmp(text, "range") == 0) {
+    return runtime::ChannelEngine::kRange;
+  }
+  if (std::strcmp(text, "perbeat") == 0) {
     return runtime::ChannelEngine::kPerBeat;
   }
-  return runtime::ChannelEngine::kRange;
+  bad_knob("HBMVOLT_SOAK_ENGINE", text, "\"range\" or \"perbeat\"");
+}
+
+mitigate::MitigationKind env_scheme() {
+  const char* text = std::getenv("HBMVOLT_SOAK_SCHEME");
+  if (text == nullptr) return mitigate::MitigationKind::kSecded;
+  mitigate::MitigationKind kind;
+  if (!mitigate::parse_mitigation(text, &kind)) {
+    bad_knob("HBMVOLT_SOAK_SCHEME", text,
+             "\"secded\", \"dected\", or \"stripe\"");
+  }
+  return kind;
 }
 
 runtime::FleetConfig soak_fleet(std::uint64_t ops_per_pc, unsigned threads,
                                 std::uint64_t seed) {
   runtime::FleetConfig config;
+  config.scheme = env_scheme();
   config.ops_per_pc = ops_per_pc;
   config.ops_per_epoch = 2048;
   config.seed = seed;
@@ -91,7 +136,8 @@ struct SoakArtifacts {
 Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
                                       int start_mv, double chaos_rate,
                                       std::uint64_t chaos_seed,
-                                      bool print_storm, bool dashboard,
+                                      double pc_kill_rate, bool print_storm,
+                                      bool dashboard,
                                       SoakArtifacts* artifacts) {
   board::BoardConfig board_config;
   board_config.geometry = hbm::HbmGeometry::test_tiny();
@@ -103,10 +149,11 @@ Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
   chaos_config.weak_burst_rate = 1e-4 * chaos_rate;
   chaos_config.bit_rot_rate = 1e-3 * chaos_rate;
   chaos_config.burst_cells = 4;
+  chaos_config.pc_kill_rate = pc_kill_rate;
   chaos::ChaosInjector injector(board, chaos_config);
 
   runtime::FleetConfig config = base;
-  if (chaos_rate > 0.0) {
+  if (chaos_rate > 0.0 || pc_kill_rate > 0.0) {
     config.storm_hook = [&injector](unsigned pc, std::uint64_t tick) {
       return injector.storm_tick(pc, tick);
     };
@@ -135,11 +182,13 @@ Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
   }
   if (report.is_ok() && print_storm) {
     std::printf("  storm             %llu weak-cell bursts, %llu bit-rot "
-                "flips\n",
+                "flips, %llu PC kills\n",
                 static_cast<unsigned long long>(
                     injector.injected(chaos::FaultKind::kWeakCellBurst)),
                 static_cast<unsigned long long>(
-                    injector.injected(chaos::FaultKind::kBitRot)));
+                    injector.injected(chaos::FaultKind::kBitRot)),
+                static_cast<unsigned long long>(
+                    injector.injected(chaos::FaultKind::kPcKill)));
   }
   return report;
 }
@@ -180,6 +229,7 @@ int main() {
   const std::uint64_t seed = env_u64("HBMVOLT_SOAK_SEED", 101);
   const double chaos_rate = env_double("HBMVOLT_CHAOS_RATE", 1.0);
   const std::uint64_t chaos_seed = env_u64("HBMVOLT_CHAOS_SEED", 404);
+  const double pc_kill_rate = env_double("HBMVOLT_CHAOS_PC_KILL_RATE", 0.0);
   const bool verify = env_u64("HBMVOLT_SOAK_VERIFY", 0) != 0;
   const bool dashboard = env_u64("HBMVOLT_SOAK_DASHBOARD", 0) != 0;
   const char* artifacts_dir = std::getenv("HBMVOLT_SOAK_ARTIFACTS");
@@ -188,15 +238,17 @@ int main() {
   telemetry::ScopedTelemetry scope(telemetry);
 
   std::printf("resilient serving soak: %llu ops/PC at %d mV, %u thread(s), "
-              "chaos x%.2f, %s engine\n",
+              "chaos x%.2f, %s engine, %s scheme\n",
               static_cast<unsigned long long>(ops), mv, threads, chaos_rate,
               env_engine() == runtime::ChannelEngine::kRange ? "range"
-                                                             : "perbeat");
+                                                             : "perbeat",
+              mitigate::to_string(env_scheme()));
 
   runtime::FleetConfig config = soak_fleet(ops, threads, seed);
   SoakArtifacts artifacts;
-  auto result = run_soak(config, mv, chaos_rate, chaos_seed, true, dashboard,
-                         artifacts_dir != nullptr ? &artifacts : nullptr);
+  auto result =
+      run_soak(config, mv, chaos_rate, chaos_seed, pc_kill_rate, true,
+               dashboard, artifacts_dir != nullptr ? &artifacts : nullptr);
   if (!result.is_ok()) {
     std::fprintf(stderr, "soak failed: %s\n",
                  result.status().to_string().c_str());
@@ -212,6 +264,9 @@ int main() {
               static_cast<unsigned long long>(r.corrupt_reads));
   std::printf("  escalated reads   %llu\n",
               static_cast<unsigned long long>(r.escalated_reads));
+  std::printf("  reconstructed     %llu reads (stripe), %llu beats rebuilt\n",
+              static_cast<unsigned long long>(r.reconstructed_reads),
+              static_cast<unsigned long long>(r.rebuilt_beats));
   std::printf("  ladder            %llu raises, %llu power-cycles "
               "(fleet-level)\n",
               static_cast<unsigned long long>(r.raises),
@@ -245,8 +300,8 @@ int main() {
 
   if (verify) {
     runtime::FleetConfig serial = soak_fleet(ops, 1, seed);
-    auto replay =
-        run_soak(serial, mv, chaos_rate, chaos_seed, false, false, nullptr);
+    auto replay = run_soak(serial, mv, chaos_rate, chaos_seed, pc_kill_rate,
+                           false, false, nullptr);
     if (!replay.is_ok()) {
       std::fprintf(stderr, "serial replay failed: %s\n",
                    replay.status().to_string().c_str());

@@ -21,6 +21,8 @@ const char* to_string(FaultKind kind) noexcept {
       return "weak_cell_burst";
     case FaultKind::kBitRot:
       return "bit_rot";
+    case FaultKind::kPcKill:
+      return "pc_kill";
   }
   return "unknown";
 }
@@ -41,6 +43,8 @@ double ChaosSchedule::rate(FaultKind kind) const noexcept {
       return config_.weak_burst_rate;
     case FaultKind::kBitRot:
       return config_.bit_rot_rate;
+    case FaultKind::kPcKill:
+      return config_.pc_kill_rate;
   }
   return 0.0;
 }
@@ -159,6 +163,9 @@ void ChaosInjector::note(FaultKind kind) {
       case FaultKind::kBitRot:
         tel->count("chaos.injected.bit_rot");
         break;
+      case FaultKind::kPcKill:
+        tel->count("chaos.injected.pc_kill");
+        break;
     }
     tel->count("chaos.injected.total");
   }
@@ -262,6 +269,16 @@ bool ChaosInjector::storm_tick(unsigned pc_global, std::uint64_t tick) {
     hbm::MemoryArray& array = board_.stack(pc.stack).array(pc.index);
     array.write_bit(bit, !array.read_bit(bit));
     fired = true;
+  }
+  if (schedule_.fires(FaultKind::kPcKill, pc_global, tick, 2)) {
+    const hbm::PcId pc = hbm::PcId::from_global(geometry, pc_global);
+    hbm::HbmStack& stack = board_.stack(pc.stack);
+    if (!stack.pc_killed(pc.index)) {
+      note(FaultKind::kPcKill);
+      HBMVOLT_LOG_INFO("chaos: pseudo-channel %u killed outright", pc_global);
+      stack.kill_pc(pc.index);
+      fired = true;
+    }
   }
   return fired;
 }

@@ -60,9 +60,10 @@ enum class FaultKind : unsigned {
   // Fault-storm kinds, driven by storm_tick() from the resilient runtime
   // (src/runtime/) rather than by board hooks:
   kWeakCellBurst = 5, // sudden per-PC weak-cell burst (aging / VT shift)
-  kBitRot = 6         // stored-bit flip (the corruption patrol scrub fixes)
+  kBitRot = 6,        // stored-bit flip (the corruption patrol scrub fixes)
+  kPcKill = 7         // whole-pseudo-channel death; power cycles don't revive
 };
-inline constexpr unsigned kFaultKindCount = 7;
+inline constexpr unsigned kFaultKindCount = 8;
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
 
@@ -77,6 +78,11 @@ struct ChaosConfig {
   /// Fault-storm rates, evaluated once per (PC, tick) by storm_tick().
   double weak_burst_rate = 0.0;
   double bit_rot_rate = 0.0;
+  /// Whole-PC-kill storm rate: the ticked PC dies outright and stays dead
+  /// across power cycles.  Only the cross-PC erasure stripe (or the
+  /// journal fallback) survives this; keep it orders of magnitude below
+  /// the transient rates.
+  double pc_kill_rate = 0.0;
   /// Cells added per polarity by one weak-cell burst.
   std::uint64_t burst_cells = 8;
   /// Events a site stays clean for after an injection.  The default of 4
@@ -91,8 +97,8 @@ struct ChaosConfig {
     return pmbus_nack_rate > 0.0 || wire_corrupt_rate > 0.0 ||
            ina_dropout_rate > 0.0 || axi_fail_rate > 0.0 ||
            spurious_crash_rate > 0.0 || weak_burst_rate > 0.0 ||
-           bit_rot_rate > 0.0 || regulator_dies_after >= 0 ||
-           monitor_dies_after >= 0;
+           bit_rot_rate > 0.0 || pc_kill_rate > 0.0 ||
+           regulator_dies_after >= 0 || monitor_dies_after >= 0;
   }
 };
 

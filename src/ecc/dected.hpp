@@ -1,0 +1,188 @@
+// DECTED codec: double-error-correcting, triple-error-detecting code over
+// 64-bit words -- the next rung up from SECDED in the mitigation zoo.
+//
+// Salami et al. (PDP'19) show the reachable V_min depends on how many
+// stuck bits per codeword the deployed code absorbs; SECDED dies on the
+// second stuck cell in a word, DECTED on the third.  The ext_mitigation
+// bench family quantifies that trade against the doubled check storage.
+//
+// Construction: a shortened binary BCH code over GF(2^7) (primitive
+// polynomial x^7 + x^3 + 1) with designed distance 5 -- generator
+// g(x) = m1(x) * m3(x), degree 14 -- plus an overall parity bit, for
+// minimum distance 6: any 1- or 2-bit error is corrected, any 3-bit
+// error is detected.  The codeword has 79 live positions:
+//
+//   polynomial degrees  0..13   the 14 BCH check bits
+//   polynomial degrees 14..77   the 64 data bits (data bit i at 14 + i)
+//   position 78                 the overall parity bit
+//
+// Stored check bits are 16 (two bytes per word): bits [0,14) the BCH
+// remainder, bit 14 the overall parity, bit 15 a pad that is always
+// written zero and ignored on decode.
+//
+// Syndrome computation is bit-sliced exactly like secded.hpp: the 14-bit
+// remainder contribution of the data word is 14 masked popcounts against
+// constexpr column masks (column j collects the data bits whose
+// x^{14+i} mod g(x) has coefficient j set).  Correction uses a lazily
+// built 2^14-entry syndrome table enumerating every 1- and 2-position
+// error pattern -- BCH distance >= 5 guarantees the patterns collide
+// nowhere, which the table build asserts.  dected.cpp keeps the original
+// long-division encoder and a linear-scan decoder as the reference pair
+// for the exhaustive 0/1/2/3-bit flip equivalence tests.
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "ecc/secded.hpp"  // DecodeStatus / DecodeResult
+
+namespace hbmvolt::ecc {
+
+namespace dected_detail {
+
+/// GF(2^7) carry-less multiply modulo x^7 + x^3 + 1.
+constexpr unsigned gf_mul(unsigned a, unsigned b) {
+  unsigned r = 0;
+  for (unsigned i = 0; i < 7; ++i) {
+    if ((b >> i) & 1u) r ^= a << i;
+  }
+  for (int d = 12; d >= 7; --d) {
+    if ((r >> d) & 1u) r ^= 0x89u << (d - 7);
+  }
+  return r;
+}
+
+/// Minimal polynomial of alpha^3: product of (x + alpha^{3*2^k}) over the
+/// cyclotomic coset, degree 7 with coefficients in GF(2).
+constexpr std::uint32_t make_m3() {
+  unsigned coeffs[9] = {1, 0, 0, 0, 0, 0, 0, 0, 0};
+  unsigned deg = 0;
+  unsigned root = 8;  // alpha^3 = x^3
+  for (unsigned k = 0; k < 7; ++k) {
+    unsigned next[9] = {};
+    for (unsigned i = 0; i <= deg; ++i) {
+      next[i + 1] ^= coeffs[i];
+      next[i] ^= gf_mul(coeffs[i], root);
+    }
+    ++deg;
+    for (unsigned i = 0; i <= deg; ++i) coeffs[i] = next[i];
+    root = gf_mul(root, root);
+  }
+  std::uint32_t m3 = 0;
+  for (unsigned i = 0; i <= 7; ++i) m3 |= (coeffs[i] & 1u) << i;
+  return m3;
+}
+
+/// Generator g(x) = m1(x) * m3(x): degree 14, GF(2) product of the
+/// minimal polynomials of alpha (x^7 + x^3 + 1) and alpha^3.
+constexpr std::uint32_t make_generator() {
+  const std::uint32_t m3 = make_m3();
+  std::uint32_t g = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    if ((0x89u >> i) & 1u) g ^= m3 << i;
+  }
+  return g;
+}
+
+inline constexpr std::uint32_t kGenerator = make_generator();
+inline constexpr std::uint32_t kCheckMask = 0x3FFF;  // 14 BCH check bits
+inline constexpr unsigned kCheckBits = 14;
+inline constexpr unsigned kDataBits = 64;
+/// Live codeword positions: 14 check + 64 data + 1 overall parity.
+inline constexpr unsigned kPositions = 79;
+inline constexpr unsigned kParityPos = 78;
+
+/// x^{14+i} mod g(x) for each data bit i -- its syndrome column.
+constexpr std::array<std::uint16_t, 64> make_remainders() {
+  std::array<std::uint16_t, 64> r{};
+  std::uint32_t cur = kGenerator & kCheckMask;  // x^14 mod g
+  for (unsigned i = 0; i < 64; ++i) {
+    r[i] = static_cast<std::uint16_t>(cur);
+    cur <<= 1;
+    if (cur & (1u << kCheckBits)) cur ^= kGenerator;
+  }
+  return r;
+}
+
+/// Bit-sliced transpose of the remainder table: column j has data bit i
+/// set iff x^{14+i} mod g has coefficient j.
+constexpr std::array<std::uint64_t, 14> make_columns() {
+  const auto remainders = make_remainders();
+  std::array<std::uint64_t, 14> columns{};
+  for (unsigned d = 0; d < 64; ++d) {
+    for (unsigned j = 0; j < 14; ++j) {
+      if ((remainders[d] >> j) & 1u) columns[j] |= 1ull << d;
+    }
+  }
+  return columns;
+}
+
+inline constexpr auto kRemainders = make_remainders();
+inline constexpr auto kColumns = make_columns();
+
+/// Syndrome column of codeword position p (0..77; the parity bit has no
+/// BCH column).  Check positions are unit vectors (x^p mod g = x^p).
+[[nodiscard]] constexpr std::uint16_t position_column(unsigned p) noexcept {
+  return p < kCheckBits ? static_cast<std::uint16_t>(1u << p)
+                        : kRemainders[p - kCheckBits];
+}
+
+/// Syndrome-table lookup result, packed: kind in the top 2 bits
+/// (0 = no pattern, 1 = single, 2 = pair), positions below.
+[[nodiscard]] std::uint32_t pattern_for(std::uint16_t syndrome) noexcept;
+
+inline constexpr std::uint32_t kPatternSingle = 1u << 30;
+inline constexpr std::uint32_t kPatternPair = 2u << 30;
+inline constexpr std::uint32_t kPatternKindMask = 3u << 30;
+
+}  // namespace dected_detail
+
+/// 14-bit BCH remainder contribution of the data word (bit-sliced, no
+/// per-bit walk) -- the dected sibling of data_syndrome().
+[[nodiscard]] inline std::uint16_t dected_data_syndrome(
+    std::uint64_t data) noexcept {
+  unsigned syndrome = 0;
+  for (unsigned j = 0; j < 14; ++j) {
+    syndrome |=
+        (std::popcount(data & dected_detail::kColumns[j]) & 1u) << j;
+  }
+  return static_cast<std::uint16_t>(syndrome);
+}
+
+/// Computes the 16 stored check bits for a 64-bit data word.
+[[nodiscard]] inline std::uint16_t dected_encode(std::uint64_t data) noexcept {
+  const std::uint16_t rem = dected_data_syndrome(data);
+  const bool overall =
+      ((std::popcount(data) ^ std::popcount<unsigned>(rem)) & 1) != 0;
+  return static_cast<std::uint16_t>(rem | (overall ? 0x4000 : 0x0000));
+}
+
+/// Decodes a (data, check) pair, correcting up to two bit errors anywhere
+/// in the 79 live codeword positions and detecting any three.  Bit 15 of
+/// `check` (the pad) is ignored.
+[[nodiscard]] DecodeResult dected_decode(std::uint64_t data,
+                                         std::uint16_t check) noexcept;
+
+/// True when the received word has zero BCH syndrome and intact overall
+/// parity -- the bulk-decode all-clean fast test.
+[[nodiscard]] inline bool dected_clean(std::uint64_t data,
+                                       std::uint16_t check) noexcept {
+  const std::uint16_t syndrome = static_cast<std::uint16_t>(
+      dected_data_syndrome(data) ^ (check & dected_detail::kCheckMask));
+  const bool parity_mismatch =
+      ((std::popcount(data) ^
+        std::popcount<unsigned>(check & 0x7FFFu)) &
+       1) != 0;
+  return syndrome == 0 && !parity_mismatch;
+}
+
+/// Reference codec: long-division encoder and linear-scan decoder (no
+/// syndrome table), kept for the exhaustive flip equivalence tests.
+[[nodiscard]] std::uint16_t dected_encode_reference(
+    std::uint64_t data) noexcept;
+[[nodiscard]] DecodeResult dected_decode_reference(
+    std::uint64_t data, std::uint16_t check) noexcept;
+
+}  // namespace hbmvolt::ecc

@@ -4,16 +4,62 @@
 
 namespace hbmvolt::ecc {
 
-EccChannel::EccChannel(hbm::HbmStack& stack, unsigned pc_local)
-    : stack_(stack), pc_local_(pc_local) {
+const char* to_string(WordCodec codec) noexcept {
+  switch (codec) {
+    case WordCodec::kSecded:
+      return "secded";
+    case WordCodec::kDected:
+      return "dected";
+  }
+  return "unknown";
+}
+
+EccChannel::EccChannel(hbm::HbmStack& stack, unsigned pc_local,
+                       WordCodec codec)
+    : stack_(stack), pc_local_(pc_local), codec_(codec) {
+  check_bytes_per_word_ = codec_ == WordCodec::kDected ? 2 : 1;
+  // Each 32-byte parity beat holds the check bytes of a full group of
+  // data beats under either codec: 8 x 4 B (SECDED) or 4 x 8 B (DECTED).
+  beats_per_parity_ = 32 / (4 * check_bytes_per_word_);
   const std::uint64_t total = stack_.geometry().beats_per_pc();
-  // data + ceil(data/8) <= total, data a multiple of 8.
-  data_beats_padded_ = (total * kBeatsPerParityBeat /
-                        (kBeatsPerParityBeat + 1)) /
-                       kBeatsPerParityBeat * kBeatsPerParityBeat;
+  // data + ceil(data/group) <= total, data a multiple of the group size.
+  data_beats_padded_ = (total * beats_per_parity_ / (beats_per_parity_ + 1)) /
+                       beats_per_parity_ * beats_per_parity_;
   HBMVOLT_REQUIRE(data_beats_padded_ > 0, "PC too small for ECC layout");
   data_beats_ = data_beats_padded_;
-  shadow_checks_.assign(data_beats_ * 4, 0);
+  shadow_checks_.assign(data_beats_ * 4 * check_bytes_per_word_, 0);
+}
+
+DecodeResult EccChannel::decode_word(std::uint64_t word,
+                                     const std::uint8_t* checks) const {
+  if (codec_ == WordCodec::kSecded) return secded_decode(word, checks[0]);
+  return dected_decode(
+      word, static_cast<std::uint16_t>(checks[0] |
+                                       (static_cast<unsigned>(checks[1]) << 8)));
+}
+
+bool EccChannel::word_clean(std::uint64_t word,
+                            const std::uint8_t* checks) const {
+  if (codec_ == WordCodec::kSecded) {
+    const std::uint8_t syndrome =
+        static_cast<std::uint8_t>((data_syndrome(word) ^ checks[0]) & 0x7F);
+    const bool parity_mismatch =
+        ((std::popcount(word) ^ std::popcount<unsigned>(checks[0])) & 1) != 0;
+    return syndrome == 0 && !parity_mismatch;
+  }
+  return dected_clean(
+      word, static_cast<std::uint16_t>(checks[0] |
+                                       (static_cast<unsigned>(checks[1]) << 8)));
+}
+
+void EccChannel::encode_word(std::uint64_t word, std::uint8_t* checks) const {
+  if (codec_ == WordCodec::kSecded) {
+    checks[0] = secded_encode(word);
+    return;
+  }
+  const std::uint16_t check = dected_encode(word);
+  checks[0] = static_cast<std::uint8_t>(check);
+  checks[1] = static_cast<std::uint8_t>(check >> 8);
 }
 
 Status EccChannel::write_beat(std::uint64_t beat, const hbm::Beat& data) {
@@ -23,17 +69,17 @@ Status EccChannel::write_beat(std::uint64_t beat, const hbm::Beat& data) {
   HBMVOLT_RETURN_IF_ERROR(stack_.write_beat(pc_local_, beat, data));
 
   // Update the shadow check bytes for this beat.
+  const unsigned cbw = check_bytes_per_word_;
   for (unsigned w = 0; w < 4; ++w) {
-    shadow_checks_[beat * 4 + w] = secded_encode(data[w]);
+    encode_word(data[w], shadow_checks_.data() + (beat * 4 + w) * cbw);
   }
 
-  // Write the full parity beat (32 check bytes covering 8 data beats)
+  // Write the full parity beat (32 check bytes covering one beat group)
   // from the shadow -- atomic with the data write, like the extra ECC
   // devices on a DIMM.
-  const std::uint64_t group = beat / kBeatsPerParityBeat;
+  const std::uint64_t group = beat / beats_per_parity_;
   hbm::Beat parity{};
-  std::memcpy(parity.data(),
-              shadow_checks_.data() + group * kBeatsPerParityBeat * 4, 32);
+  std::memcpy(parity.data(), shadow_checks_.data() + group * 32, 32);
   return stack_.write_beat(pc_local_, parity_beat_of(beat), parity);
 }
 
@@ -43,26 +89,25 @@ Result<EccChannel::ReadOutcome> EccChannel::read_beat(std::uint64_t beat) {
   }
   auto data = stack_.read_beat(pc_local_, beat);
   if (!data.is_ok()) return data.status();
-  // This beat's 4 check bytes occupy half of one 64-bit word of the parity
-  // beat; fetch just that word instead of the whole beat (the demand-read
-  // hot path -- scrubbing still reads full parity beats).
-  const std::uint64_t slot = beat % kBeatsPerParityBeat;
-  auto parity_word =
-      stack_.read_word(pc_local_, parity_beat_of(beat) * 4 + slot / 2);
+  // This beat's check bytes (4 or 8) fit inside one 64-bit word of the
+  // parity beat; fetch just that word instead of the whole beat (the
+  // demand-read hot path -- scrubbing still reads full parity beats).
+  const unsigned cbw = check_bytes_per_word_;
+  const std::uint64_t slot = beat % beats_per_parity_;
+  const std::uint64_t byte_off = slot * 4 * cbw;
+  auto parity_word = stack_.read_word(
+      pc_local_, parity_beat_of(beat) * 4 + byte_off / 8);
   if (!parity_word.is_ok()) return parity_word.status();
-  const std::uint32_t checks =
-      static_cast<std::uint32_t>(parity_word.value() >> ((slot % 2) * 32));
-  const std::uint8_t check_bytes[4] = {
-      static_cast<std::uint8_t>(checks),
-      static_cast<std::uint8_t>(checks >> 8),
-      static_cast<std::uint8_t>(checks >> 16),
-      static_cast<std::uint8_t>(checks >> 24),
-  };
+  std::uint8_t check_bytes[8];
+  const std::uint64_t raw = parity_word.value() >> ((byte_off % 8) * 8);
+  for (unsigned b = 0; b < 4 * cbw; ++b) {
+    check_bytes[b] = static_cast<std::uint8_t>(raw >> (b * 8));
+  }
 
   ReadOutcome outcome;
   for (unsigned w = 0; w < 4; ++w) {
     const DecodeResult decoded =
-        secded_decode(data.value()[w], check_bytes[w]);
+        decode_word(data.value()[w], check_bytes + w * cbw);
     outcome.data[w] = decoded.data;
     ++stats_.words_read;
     switch (decoded.status) {
@@ -98,9 +143,10 @@ Result<ScrubOutcome> EccChannel::scrub_beat(std::uint64_t beat) {
   auto parity = stack_.read_beat(pc_local_, parity_beat_of(beat));
   if (!parity.is_ok()) return parity.status();
 
+  const unsigned cbw = check_bytes_per_word_;
   const auto* check_bytes =
       reinterpret_cast<const std::uint8_t*>(parity.value().data()) +
-      (beat % kBeatsPerParityBeat) * 4;
+      (beat % beats_per_parity_) * 4 * cbw;
 
   ScrubOutcome outcome;
   hbm::Beat repaired = data.value();
@@ -108,7 +154,7 @@ Result<ScrubOutcome> EccChannel::scrub_beat(std::uint64_t beat) {
   bool parity_dirty = false;
   for (unsigned w = 0; w < 4; ++w) {
     const DecodeResult decoded =
-        secded_decode(data.value()[w], check_bytes[w]);
+        decode_word(data.value()[w], check_bytes + w * cbw);
     switch (decoded.status) {
       case DecodeStatus::kClean:
         break;
@@ -134,11 +180,10 @@ Result<ScrubOutcome> EccChannel::scrub_beat(std::uint64_t beat) {
   }
   if (parity_dirty) {
     // Refresh the whole parity beat from the host-side shadow; this also
-    // repairs rot in the check bytes of the 7 sibling data beats.
-    const std::uint64_t group = beat / kBeatsPerParityBeat;
+    // repairs rot in the check bytes of the sibling data beats.
+    const std::uint64_t group = beat / beats_per_parity_;
     hbm::Beat fresh{};
-    std::memcpy(fresh.data(),
-                shadow_checks_.data() + group * kBeatsPerParityBeat * 4, 32);
+    std::memcpy(fresh.data(), shadow_checks_.data() + group * 32, 32);
     HBMVOLT_RETURN_IF_ERROR(
         stack_.write_beat(pc_local_, parity_beat_of(beat), fresh));
   }
@@ -156,20 +201,20 @@ Status EccChannel::encode_range(std::uint64_t start, std::uint64_t count,
   HBMVOLT_RETURN_IF_ERROR(stack_.write_range_words(
       pc_local_, start, count,
       reinterpret_cast<const std::uint64_t*>(data)));
+  const unsigned cbw = check_bytes_per_word_;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t beat = start + i;
     for (unsigned w = 0; w < 4; ++w) {
-      shadow_checks_[beat * 4 + w] = secded_encode(data[i][w]);
+      encode_word(data[i][w], shadow_checks_.data() + (beat * 4 + w) * cbw);
     }
   }
   // Each touched parity beat once, from the updated shadow -- the same
   // final state as the per-beat path's repeated group rewrites.
-  const std::uint64_t g0 = start / kBeatsPerParityBeat;
-  const std::uint64_t g1 = (start + count - 1) / kBeatsPerParityBeat;
+  const std::uint64_t g0 = start / beats_per_parity_;
+  const std::uint64_t g1 = (start + count - 1) / beats_per_parity_;
   const std::uint64_t groups = g1 - g0 + 1;
   scratch_parity_.resize(groups * 4);
-  std::memcpy(scratch_parity_.data(),
-              shadow_checks_.data() + g0 * kBeatsPerParityBeat * 4,
+  std::memcpy(scratch_parity_.data(), shadow_checks_.data() + g0 * 32,
               groups * 32);
   return stack_.write_range_words(pc_local_, data_beats_padded_ + g0, groups,
                                   scratch_parity_.data());
@@ -184,8 +229,8 @@ Status EccChannel::decode_range(std::uint64_t start, std::uint64_t count,
   }
   HBMVOLT_RETURN_IF_ERROR(stack_.read_range_words(
       pc_local_, start, count, reinterpret_cast<std::uint64_t*>(out)));
-  const std::uint64_t g0 = start / kBeatsPerParityBeat;
-  const std::uint64_t g1 = (start + count - 1) / kBeatsPerParityBeat;
+  const std::uint64_t g0 = start / beats_per_parity_;
+  const std::uint64_t g1 = (start + count - 1) / beats_per_parity_;
   scratch_parity_.resize((g1 - g0 + 1) * 4);
   HBMVOLT_RETURN_IF_ERROR(
       stack_.read_range_words(pc_local_, data_beats_padded_ + g0, g1 - g0 + 1,
@@ -193,26 +238,22 @@ Status EccChannel::decode_range(std::uint64_t start, std::uint64_t count,
   const auto* parity_bytes =
       reinterpret_cast<const std::uint8_t*>(scratch_parity_.data());
 
+  const unsigned cbw = check_bytes_per_word_;
   std::uint64_t clean_words = 0;
   std::uint64_t corrected_data = 0;
   std::uint64_t corrected_check = 0;
   std::uint64_t uncorrectable = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t beat = start + i;
-    const std::uint64_t slot = beat % kBeatsPerParityBeat;
+    const std::uint64_t slot = beat % beats_per_parity_;
     const std::uint8_t* checks =
-        parity_bytes + (beat / kBeatsPerParityBeat - g0) * 32 + slot * 4;
+        parity_bytes + (beat / beats_per_parity_ - g0) * 32 + slot * 4 * cbw;
     hbm::Beat& words = out[i];
-    // Fast all-clean exit: the OR of the four word syndromes (and parity
-    // mismatches) is zero for the overwhelming majority of beats.
+    // Fast all-clean exit: zero syndrome and intact parity on all four
+    // words covers the overwhelming majority of beats.
     bool clean = true;
     for (unsigned w = 0; w < 4; ++w) {
-      const std::uint8_t syndrome = static_cast<std::uint8_t>(
-          (data_syndrome(words[w]) ^ checks[w]) & 0x7F);
-      const bool parity_mismatch =
-          ((std::popcount(words[w]) ^ std::popcount<unsigned>(checks[w])) &
-           1) != 0;
-      if (syndrome != 0 || parity_mismatch) {
+      if (!word_clean(words[w], checks + w * cbw)) {
         clean = false;
         break;
       }
@@ -224,7 +265,7 @@ Status EccChannel::decode_range(std::uint64_t start, std::uint64_t count,
     RangeBeatEvent event;
     event.beat = beat;
     for (unsigned w = 0; w < 4; ++w) {
-      const DecodeResult decoded = secded_decode(words[w], checks[w]);
+      const DecodeResult decoded = decode_word(words[w], checks + w * cbw);
       words[w] = decoded.data;
       switch (decoded.status) {
         case DecodeStatus::kClean:
@@ -263,8 +304,8 @@ Status EccChannel::scrub_range(std::uint64_t start, std::uint64_t count,
   scratch_data_.resize(count * 4);
   HBMVOLT_RETURN_IF_ERROR(stack_.read_range_words(pc_local_, start, count,
                                                   scratch_data_.data()));
-  const std::uint64_t g0 = start / kBeatsPerParityBeat;
-  const std::uint64_t g1 = (start + count - 1) / kBeatsPerParityBeat;
+  const std::uint64_t g0 = start / beats_per_parity_;
+  const std::uint64_t g1 = (start + count - 1) / beats_per_parity_;
   scratch_parity_.resize((g1 - g0 + 1) * 4);
   HBMVOLT_RETURN_IF_ERROR(
       stack_.read_range_words(pc_local_, data_beats_padded_ + g0, g1 - g0 + 1,
@@ -272,21 +313,17 @@ Status EccChannel::scrub_range(std::uint64_t start, std::uint64_t count,
   auto* parity_bytes =
       reinterpret_cast<std::uint8_t*>(scratch_parity_.data());
 
+  const unsigned cbw = check_bytes_per_word_;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t beat = start + i;
-    const std::uint64_t group = beat / kBeatsPerParityBeat;
-    const std::uint64_t slot = beat % kBeatsPerParityBeat;
+    const std::uint64_t group = beat / beats_per_parity_;
+    const std::uint64_t slot = beat % beats_per_parity_;
     const std::uint8_t* checks =
-        parity_bytes + (group - g0) * 32 + slot * 4;
+        parity_bytes + (group - g0) * 32 + slot * 4 * cbw;
     const std::uint64_t* words = scratch_data_.data() + i * 4;
     bool clean = true;
     for (unsigned w = 0; w < 4; ++w) {
-      const std::uint8_t syndrome = static_cast<std::uint8_t>(
-          (data_syndrome(words[w]) ^ checks[w]) & 0x7F);
-      const bool parity_mismatch =
-          ((std::popcount(words[w]) ^ std::popcount<unsigned>(checks[w])) &
-           1) != 0;
-      if (syndrome != 0 || parity_mismatch) {
+      if (!word_clean(words[w], checks + w * cbw)) {
         clean = false;
         break;
       }
@@ -299,7 +336,7 @@ Status EccChannel::scrub_range(std::uint64_t start, std::uint64_t count,
     bool data_dirty = false;
     bool parity_dirty = false;
     for (unsigned w = 0; w < 4; ++w) {
-      const DecodeResult decoded = secded_decode(words[w], checks[w]);
+      const DecodeResult decoded = decode_word(words[w], checks + w * cbw);
       switch (decoded.status) {
         case DecodeStatus::kClean:
           break;
@@ -325,8 +362,7 @@ Status EccChannel::scrub_range(std::uint64_t start, std::uint64_t count,
       // through the stack so later siblings in this group decode against
       // the refreshed-and-overlaid bytes, exactly like the per-beat path.
       hbm::Beat fresh{};
-      std::memcpy(fresh.data(),
-                  shadow_checks_.data() + group * kBeatsPerParityBeat * 4, 32);
+      std::memcpy(fresh.data(), shadow_checks_.data() + group * 32, 32);
       HBMVOLT_RETURN_IF_ERROR(
           stack_.write_beat(pc_local_, parity_beat_of(beat), fresh));
       auto reread = stack_.read_beat(pc_local_, parity_beat_of(beat));
@@ -338,6 +374,14 @@ Status EccChannel::scrub_range(std::uint64_t start, std::uint64_t count,
     events.push_back(event);
   }
   return Status::ok();
+}
+
+void EccChannel::restore_state(const std::vector<std::uint8_t>& shadow,
+                               const EccStats& stats) {
+  HBMVOLT_REQUIRE(shadow.size() == shadow_checks_.size(),
+                  "shadow checkpoint layout mismatch");
+  shadow_checks_ = shadow;
+  stats_ = stats;
 }
 
 }  // namespace hbmvolt::ecc

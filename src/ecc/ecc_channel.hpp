@@ -1,10 +1,12 @@
 // ECC-protected view of one pseudo-channel.
 //
-// Carves the PC into a data region and a parity region (8 data beats per
-// parity beat: each 256-bit data beat needs 4 SECDED check bytes).  Check
-// bytes live in the same undervolted DRAM as the data, so they suffer
-// stuck-at faults too -- matching how on-die/side-band ECC really behaves
-// under voltage underscaling.
+// Carves the PC into a data region and a parity region.  Under SECDED
+// each 256-bit data beat needs 4 check bytes (8 data beats per parity
+// beat); under DECTED it needs 8 (4 data beats per parity beat, double
+// the storage for double the correction reach).  Check bytes live in the
+// same undervolted DRAM as the data, so they suffer stuck-at faults too
+// -- matching how on-die/side-band ECC really behaves under voltage
+// underscaling.
 //
 // The channel keeps a host-side shadow of the check bytes it wrote so
 // that parity writes are atomic with data writes (no read-modify-write
@@ -17,10 +19,20 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "ecc/dected.hpp"
 #include "ecc/secded.hpp"
 #include "hbm/stack.hpp"
 
 namespace hbmvolt::ecc {
+
+/// Per-word codec deployed by an EccChannel.  The mitigation registry
+/// (mitigate/scheme.hpp) maps scheme names onto these.
+enum class WordCodec : unsigned {
+  kSecded = 0,  // Hamming(72,64): 1 check byte/word, corrects 1, detects 2
+  kDected = 1,  // BCH+parity(80,64): 2 check bytes/word, corrects 2, detects 3
+};
+
+[[nodiscard]] const char* to_string(WordCodec codec) noexcept;
 
 struct EccStats {
   std::uint64_t words_read = 0;
@@ -54,14 +66,30 @@ struct ScrubOutcome {
 
 class EccChannel {
  public:
-  /// Beats per parity beat: 8 data beats x 4 words x 1 check byte = 32 B.
+  /// SECDED beats per parity beat: 8 data beats x 4 words x 1 check byte
+  /// = 32 B.  (DECTED packs 4 data beats x 4 words x 2 check bytes into
+  /// the same 32 B; see beats_per_parity_beat().)
   static constexpr std::uint64_t kBeatsPerParityBeat = 8;
 
-  EccChannel(hbm::HbmStack& stack, unsigned pc_local);
+  EccChannel(hbm::HbmStack& stack, unsigned pc_local,
+             WordCodec codec = WordCodec::kSecded);
 
-  /// Usable data beats (the parity region consumes 1/9 of the PC).
+  /// Usable data beats (the parity region consumes 1/9 of the PC under
+  /// SECDED, 1/5 under DECTED).
   [[nodiscard]] std::uint64_t data_beats() const noexcept {
     return data_beats_;
+  }
+
+  [[nodiscard]] WordCodec codec() const noexcept { return codec_; }
+
+  /// Check bytes per 64-bit data word: 1 (SECDED) or 2 (DECTED).
+  [[nodiscard]] unsigned check_bytes_per_word() const noexcept {
+    return check_bytes_per_word_;
+  }
+
+  /// Data beats covered by one 32-byte parity beat: 8 (SECDED), 4 (DECTED).
+  [[nodiscard]] std::uint64_t beats_per_parity_beat() const noexcept {
+    return beats_per_parity_;
   }
 
   Status write_beat(std::uint64_t beat, const hbm::Beat& data);
@@ -135,20 +163,41 @@ class EccChannel {
   [[nodiscard]] const EccStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = EccStats{}; }
 
+  /// Host-side shadow of every written check byte (checkpoint seam).
+  [[nodiscard]] const std::vector<std::uint8_t>& shadow_checks()
+      const noexcept {
+    return shadow_checks_;
+  }
+  /// Restores a checkpointed shadow + stats onto a freshly constructed
+  /// channel of identical layout (fleet checkpoint/restore).
+  void restore_state(const std::vector<std::uint8_t>& shadow,
+                     const EccStats& stats);
+
   /// Physical beat that stores `beat`'s check bytes.  Exposed so retirement
   /// planners can tell whether a data beat's protection lives on a healthy
   /// row: a fault-free data beat whose parity row is retired still can't be
   /// served through ECC.
   [[nodiscard]] std::uint64_t parity_beat_of(std::uint64_t beat) const {
-    return data_beats_padded_ + beat / kBeatsPerParityBeat;
+    return data_beats_padded_ + beat / beats_per_parity_;
   }
 
  private:
+  /// Decode/encode/clean-test one 64-bit word against its stored check
+  /// bytes (`checks` points at check_bytes_per_word_ little-endian bytes).
+  [[nodiscard]] DecodeResult decode_word(std::uint64_t word,
+                                         const std::uint8_t* checks) const;
+  [[nodiscard]] bool word_clean(std::uint64_t word,
+                                const std::uint8_t* checks) const;
+  void encode_word(std::uint64_t word, std::uint8_t* checks) const;
+
   hbm::HbmStack& stack_;
   unsigned pc_local_;
+  WordCodec codec_;
+  unsigned check_bytes_per_word_ = 1;
+  std::uint64_t beats_per_parity_ = kBeatsPerParityBeat;
   std::uint64_t data_beats_ = 0;         // exposed capacity
   std::uint64_t data_beats_padded_ = 0;  // rounded to parity granularity
-  std::vector<std::uint8_t> shadow_checks_;  // 4 bytes per data beat
+  std::vector<std::uint8_t> shadow_checks_;  // 4 or 8 bytes per data beat
   EccStats stats_;
   // Reusable scratch for the range engine (parity words / scrub data),
   // so bulk calls allocate only on high-water growth.

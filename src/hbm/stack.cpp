@@ -16,6 +16,7 @@ HbmStack::HbmStack(const HbmGeometry& geometry, unsigned stack_index,
     arrays_.push_back(std::make_unique<MemoryArray>(
         geometry_.bits_per_pc, mix_seed(seed_, 0xA22A0 + pc)));
   }
+  killed_.assign(geometry_.pcs_per_stack(), false);
 }
 
 void HbmStack::on_voltage_change(Millivolts v) {
@@ -51,6 +52,9 @@ Status HbmStack::check_access(unsigned pc_local, std::uint64_t beat) const {
   }
   if (pc_local >= geometry_.pcs_per_stack()) {
     return out_of_range("pseudo-channel index out of range");
+  }
+  if (killed_[pc_local]) {
+    return unavailable("pseudo-channel killed; not recoverable in place");
   }
   if (beat >= geometry_.beats_per_pc()) {
     return out_of_range("beat address beyond PC capacity");

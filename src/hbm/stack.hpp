@@ -58,6 +58,21 @@ class HbmStack {
     if (state_ == State::kOperational) state_ = State::kCrashed;
   }
 
+  /// Chaos-injection seam for whole-pseudo-channel death: the paper's
+  /// per-PC variation data makes the weakest PC of a stack the first
+  /// casualty of undervolting, and when its access circuitry lets go the
+  /// PC is gone for good.  All traffic to a killed PC returns UNAVAILABLE
+  /// while its siblings keep serving, and -- unlike a crash -- a power
+  /// cycle does NOT bring it back: surviving this is the cross-PC
+  /// erasure stripe's job, not the ladder's.
+  void kill_pc(unsigned pc_local) noexcept {
+    if (pc_local < killed_.size()) killed_[pc_local] = 1;
+  }
+
+  [[nodiscard]] bool pc_killed(unsigned pc_local) const noexcept {
+    return pc_local < killed_.size() && killed_[pc_local] != 0;
+  }
+
   /// Writes one 256-bit beat.  UNAVAILABLE when crashed or powered off.
   Status write_beat(unsigned pc_local, std::uint64_t beat, const Beat& data);
 
@@ -127,6 +142,10 @@ class HbmStack {
   State state_ = State::kOperational;
   Millivolts voltage_{1200};
   std::vector<std::unique_ptr<MemoryArray>> arrays_;
+  // Per-PC death flags; power cycles don't clear them.  One byte per PC
+  // (not vector<bool>): a fleet worker killing its own PC must not share
+  // a memory location with siblings reading theirs.
+  std::vector<std::uint8_t> killed_;
 };
 
 }  // namespace hbmvolt::hbm

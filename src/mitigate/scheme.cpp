@@ -1,0 +1,33 @@
+#include "mitigate/scheme.hpp"
+
+namespace hbmvolt::mitigate {
+
+namespace {
+
+constexpr SchemeInfo kSchemes[kMitigationKindCount] = {
+    {"secded", ecc::WordCodec::kSecded, "1 cell/word", 1.0 / 8.0, false},
+    {"dected", ecc::WordCodec::kDected, "2 cells/word", 2.0 / 8.0, false},
+    {"stripe", ecc::WordCodec::kSecded, "1 pseudo-channel", 1.0 / 8.0, true},
+};
+
+}  // namespace
+
+const SchemeInfo& scheme_info(MitigationKind kind) noexcept {
+  return kSchemes[static_cast<unsigned>(kind)];
+}
+
+const char* to_string(MitigationKind kind) noexcept {
+  return scheme_info(kind).name;
+}
+
+bool parse_mitigation(std::string_view text, MitigationKind* out) noexcept {
+  for (unsigned i = 0; i < kMitigationKindCount; ++i) {
+    if (text == kSchemes[i].name) {
+      *out = static_cast<MitigationKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hbmvolt::mitigate

@@ -1,0 +1,56 @@
+// Mitigation scheme registry: the pluggable knob that picks which
+// protection stack a ReliableChannel fleet deploys.
+//
+// The paper frames undervolted HBM as a power/reliability/performance
+// trade-off; which point is reachable depends on the deployed mitigation
+// (Salami et al.'s built-in-ECC study, PAPERS.md).  The zoo:
+//
+//   secded  Hamming(72,64) per word, remap/park/journal ladder.  Fault
+//           domain: one DRAM cell per word.  1/8 check storage.
+//   dected  BCH+parity(80,64) per word, same ladder.  Fault domain: two
+//           cells per word.  1/4 check storage.
+//   stripe  SECDED per word plus a RAIM-style XOR erasure stripe across
+//           pseudo-channels: one parity PC per `stripe_width` data PCs.
+//           Fault domain: one whole pseudo-channel -- the fleet serves
+//           a dead PC's reads by reconstruction from its stripe peers
+//           and rebuilds it onto a spare PC online.
+//
+// Scheme selection stays a plain enum + descriptor table (no virtual
+// codec dispatch on the word hot path): the codec is resolved once at
+// channel construction, the stripe topology once at fleet construction.
+
+#pragma once
+
+#include <string_view>
+
+#include "ecc/ecc_channel.hpp"
+
+namespace hbmvolt::mitigate {
+
+enum class MitigationKind : unsigned {
+  kSecded = 0,
+  kDected = 1,
+  kStripe = 2,
+};
+
+inline constexpr unsigned kMitigationKindCount = 3;
+
+/// Static descriptor of one scheme; runtime costs (throughput tax, V_min
+/// reached) come from the ext_mitigation_frontier bench, not from here.
+struct SchemeInfo {
+  const char* name;
+  ecc::WordCodec codec;       // per-word codec the channels deploy
+  const char* fault_domain;   // largest failure unit survived per codeword
+  double check_overhead;      // check storage / data storage
+  bool striped;               // cross-PC erasure stripe on top
+};
+
+[[nodiscard]] const SchemeInfo& scheme_info(MitigationKind kind) noexcept;
+[[nodiscard]] const char* to_string(MitigationKind kind) noexcept;
+
+/// Parses a scheme name ("secded" / "dected" / "stripe"); returns false
+/// on anything else, leaving *out untouched.
+[[nodiscard]] bool parse_mitigation(std::string_view text,
+                                    MitigationKind* out) noexcept;
+
+}  // namespace hbmvolt::mitigate

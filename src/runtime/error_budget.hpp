@@ -32,6 +32,17 @@ enum class BudgetVerdict {
 
 [[nodiscard]] const char* to_string(BudgetVerdict verdict) noexcept;
 
+/// Plain-data snapshot of a budget's window accounting, for fleet
+/// checkpoint/restore (see fleet.hpp).
+struct ErrorBudgetState {
+  std::uint64_t words = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t windows_completed = 0;
+  std::uint64_t burns = 0;
+  BudgetVerdict verdict = BudgetVerdict::kHealthy;
+};
+
 /// Deterministic windowed accounting.  record() folds one batch of
 /// decoded words in and returns the verdict after the batch; a healthy
 /// window that fills up rolls over silently.  A burned window stays
@@ -76,6 +87,19 @@ class ErrorBudget {
   [[nodiscard]] std::uint64_t burns() const noexcept { return burns_; }
   [[nodiscard]] const ErrorBudgetConfig& config() const noexcept {
     return config_;
+  }
+
+  [[nodiscard]] ErrorBudgetState state() const noexcept {
+    return {words_, corrected_, uncorrectable_, windows_completed_, burns_,
+            verdict_};
+  }
+  void restore(const ErrorBudgetState& state) noexcept {
+    words_ = state.words;
+    corrected_ = state.corrected;
+    uncorrectable_ = state.uncorrectable;
+    windows_completed_ = state.windows_completed;
+    burns_ = state.burns;
+    verdict_ = state.verdict;
   }
 
  private:

@@ -109,6 +109,7 @@ class RowEventCounts {
   [[nodiscard]] auto end() const noexcept { return items_.end(); }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  void clear() noexcept { items_.clear(); }
 
  private:
   std::vector<std::pair<std::uint64_t, unsigned>> items_;

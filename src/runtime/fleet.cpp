@@ -1,5 +1,7 @@
 #include "runtime/fleet.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/parallel.hpp"
@@ -9,9 +11,11 @@ namespace hbmvolt::runtime {
 namespace {
 
 /// The fleet's standing rules when the caller supplies none: page when
-/// the corrected rate burns the channel budget's own SLO, and when reads
-/// start leaking into the host journal faster than 1% -- both with a
-/// sharp fast window and a calmer slow window (see telemetry/alerts.hpp).
+/// the corrected rate burns the channel budget's own SLO, when reads
+/// start leaking into the host journal faster than 1%, and when stripe
+/// reconstruction serves more than 1% of reads (a dead PC whose rebuild
+/// is not keeping up) -- each with a sharp fast window and a calmer slow
+/// window (see telemetry/alerts.hpp).
 std::vector<telemetry::AlertRule> resolve_rules(const FleetConfig& config) {
   if (!config.alert_rules.empty()) return config.alert_rules;
   return {
@@ -19,7 +23,13 @@ std::vector<telemetry::AlertRule> resolve_rules(const FleetConfig& config) {
        config.channel.budget.corrected_slo, 1, 4.0, 4, 1.0},
       {"journal_served", telemetry::AlertSignal::kJournalServedRate, 0.01, 1,
        4.0, 4, 1.0},
+      {"reconstructed", telemetry::AlertSignal::kReconstructedRate, 0.01, 1,
+       4.0, 4, 1.0},
   };
+}
+
+void xor_into(hbm::Beat& acc, const hbm::Beat& b) noexcept {
+  for (unsigned w = 0; w < 4; ++w) acc[w] ^= b[w];
 }
 
 }  // namespace
@@ -34,19 +44,240 @@ ServingFleet::ServingFleet(board::Vcu128Board& board, FleetConfig config)
       config_.pcs.push_back(pc);
     }
   }
+  // The scheme owns the per-word codec; kStripe additionally carves the
+  // PC pool into stripe groups + parity PCs + spares.
+  config_.channel.codec = mitigate::scheme_info(config_.scheme).codec;
+  if (striped()) {
+    const unsigned width = config_.stripe_width;
+    HBMVOLT_REQUIRE(width >= 2, "stripe width must be at least 2");
+    HBMVOLT_REQUIRE(config_.rebuild_beats_per_epoch > 0,
+                    "rebuild step must make progress");
+    const std::size_t group_count = config_.pcs.size() / (width + 1);
+    HBMVOLT_REQUIRE(group_count >= 1,
+                    "stripe needs at least width+1 pseudo-channels");
+    const std::vector<unsigned> pool = std::move(config_.pcs);
+    const std::size_t serving = group_count * width;
+    config_.pcs.assign(pool.begin(), pool.begin() + serving);
+    parity_channels_.reserve(group_count);
+    for (std::size_t g = 0; g < group_count; ++g) {
+      parity_channels_.push_back(std::make_unique<ReliableChannel>(
+          board_, pool[serving + g], config_.channel));
+    }
+    spare_pcs_.assign(pool.begin() + serving + group_count, pool.end());
+    groups_.resize(group_count);
+    parity_prev_.resize(group_count);
+  }
   channels_.reserve(config_.pcs.size());
   traces_.reserve(config_.pcs.size());
   for (const unsigned pc : config_.pcs) {
     channels_.push_back(
         std::make_unique<ReliableChannel>(board_, pc, config_.channel));
-    traces_.push_back(workload::make_uniform_random(
-        channels_.back()->capacity(), config_.ops_per_pc,
-        config_.write_fraction, stream_seed(config_.seed, 0xF1EE7, pc, 0)));
+    traces_.push_back(
+        config_.streaming_passes > 0
+            ? workload::make_streaming(channels_.back()->capacity(),
+                                       config_.streaming_passes)
+            : workload::make_uniform_random(
+                  channels_.back()->capacity(), config_.ops_per_pc,
+                  config_.write_fraction,
+                  stream_seed(config_.seed, 0xF1EE7, pc, 0)));
+  }
+  if (config_.streaming_passes > 0) {
+    // Keep the epoch bound in run() honest: the streaming trace length
+    // is capacity * passes, not the (ignored) ops_per_pc.
+    std::uint64_t longest = 0;
+    for (const auto& trace : traces_) {
+      longest = std::max<std::uint64_t>(longest, trace.size());
+    }
+    config_.ops_per_pc = longest;
+  }
+  if (striped()) {
+    // Stripe XOR needs every member and parity channel address-congruent.
+    for (const auto& channel : channels_) {
+      HBMVOLT_REQUIRE(channel->capacity() == channels_[0]->capacity(),
+                      "stripe members must have equal capacity");
+    }
+    for (const auto& parity : parity_channels_) {
+      HBMVOLT_REQUIRE(parity->capacity() >= channels_[0]->capacity(),
+                      "parity PC smaller than stripe members");
+    }
   }
   states_.resize(config_.pcs.size());
   epoch_prev_.resize(config_.pcs.size());
   health_.reset(config_.pcs.size());
 }
+
+// ---- Scheme-dispatching op wrappers ----
+
+bool ServingFleet::absorb_device_loss(ReliableChannel& ch) {
+  const hbm::PcId pc =
+      hbm::PcId::from_global(board_.geometry(), ch.pc_global());
+  if (!board_.stack(pc.stack).pc_killed(pc.index)) return false;
+  if (!ch.device_lost()) {
+    ch.set_device_lost();
+    HBMVOLT_LOG_INFO("runtime: PC %u device lost; serving from %s",
+                     ch.pc_global(), striped() ? "stripe" : "journal");
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("runtime.fleet.device_lost");
+    }
+  }
+  return true;
+}
+
+hbm::Beat ServingFleet::parity_value(std::size_t g,
+                                     std::uint64_t logical) const {
+  hbm::Beat acc{};
+  const std::size_t base = g * config_.stripe_width;
+  for (std::size_t s = base; s < base + config_.stripe_width; ++s) {
+    const ReliableChannel& member = *channels_[s];
+    if (member.journal_live(logical)) {
+      xor_into(acc, member.journal_beat(logical));
+    }
+  }
+  return acc;
+}
+
+Status ServingFleet::settle_parity(std::size_t g, PcState& st) {
+  ReliableChannel& parity = *parity_channels_[g];
+  if (!parity.budget().burned() && !parity.escalation_pending()) {
+    return Status::ok();
+  }
+  auto rung = parity.escalate();
+  if (!rung.is_ok()) return rung.status();
+  if (rung.value() != LadderRung::kCorrect) {
+    st.wants_global = true;
+    st.wanted = rung.value();
+  }
+  return Status::ok();
+}
+
+Status ServingFleet::do_write(std::size_t i, std::uint64_t logical,
+                              const hbm::Beat& data) {
+  ReliableChannel& member = *channels_[i];
+  Status wrote = member.write(logical, data);
+  if (!wrote.is_ok() || !striped()) return wrote;
+
+  // Maintain the stripe invariant: parity journal/device hold the XOR of
+  // the live member journals.  Recomputing (rather than delta-patching)
+  // makes retries after a mid-op crash idempotent -- the member journal
+  // only advances on success, and this XOR is a pure function of it.
+  const std::size_t g = group_of(i);
+  ReliableChannel& parity = *parity_channels_[g];
+  const hbm::Beat pv = parity_value(g, logical);
+  Status ps = parity.write(logical, pv);
+  if (ps.code() == StatusCode::kUnavailable && absorb_device_loss(parity)) {
+    ps = parity.write(logical, pv);  // journal-only now
+  }
+  if (!ps.is_ok()) return ps;
+
+  // Writes landing behind the rebuild cursor must refresh the adopted
+  // silicon too, or the rebuilt device copy goes stale vs the journal.
+  StripeGroup& grp = groups_[g];
+  if (member.device_lost() && grp.rebuilding == i &&
+      logical < grp.rebuild_cursor) {
+    HBMVOLT_RETURN_IF_ERROR(member.rebuild_device_range(logical, 1));
+  }
+  if (parity.device_lost() && grp.rebuilding_parity &&
+      logical < grp.rebuild_cursor) {
+    HBMVOLT_RETURN_IF_ERROR(parity.rebuild_device_range(logical, 1));
+  }
+  return Status::ok();
+}
+
+Status ServingFleet::do_write_range(std::size_t i, std::uint64_t logical,
+                                    std::uint64_t count,
+                                    const hbm::Beat* data) {
+  ReliableChannel& member = *channels_[i];
+  Status wrote = member.write_range(logical, count, data);
+  if (!wrote.is_ok() || !striped()) return wrote;
+
+  const std::size_t g = group_of(i);
+  ReliableChannel& parity = *parity_channels_[g];
+  std::vector<hbm::Beat>& pbuf = states_[i].pbuf;
+  pbuf.resize(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    pbuf[k] = parity_value(g, logical + k);
+  }
+  Status ps = parity.write_range(logical, count, pbuf.data());
+  if (ps.code() == StatusCode::kUnavailable && absorb_device_loss(parity)) {
+    ps = parity.write_range(logical, count, pbuf.data());
+  }
+  if (!ps.is_ok()) return ps;
+
+  StripeGroup& grp = groups_[g];
+  if (member.device_lost() && grp.rebuilding == i &&
+      logical < grp.rebuild_cursor) {
+    const std::uint64_t overlap =
+        std::min(grp.rebuild_cursor, logical + count) - logical;
+    HBMVOLT_RETURN_IF_ERROR(member.rebuild_device_range(logical, overlap));
+  }
+  if (parity.device_lost() && grp.rebuilding_parity &&
+      logical < grp.rebuild_cursor) {
+    const std::uint64_t overlap =
+        std::min(grp.rebuild_cursor, logical + count) - logical;
+    HBMVOLT_RETURN_IF_ERROR(parity.rebuild_device_range(logical, overlap));
+  }
+  return Status::ok();
+}
+
+Result<hbm::Beat> ServingFleet::stripe_fetch(ReliableChannel& ch,
+                                             std::uint64_t logical,
+                                             PcState& st) {
+  for (unsigned attempt = 0; attempt < 8; ++attempt) {
+    auto got = ch.read(logical);
+    if (got.is_ok()) return got;
+    if (got.status().code() == StatusCode::kUnavailable) {
+      // A killed contributor keeps serving through its journal.
+      if (absorb_device_loss(ch)) continue;
+      return got.status();  // board-level: the caller requests a cycle
+    }
+    if (got.status().code() != StatusCode::kDataLoss) return got.status();
+    auto rung = ch.escalate();
+    if (!rung.is_ok()) return rung.status();
+    if (rung.value() != LadderRung::kCorrect) {
+      // Park the contributor's global need on the member being served;
+      // the op retries after the barrier applies it.
+      st.wants_global = true;
+      st.wanted = rung.value();
+      return data_loss("stripe contributor needs a global ladder rung");
+    }
+  }
+  return data_loss("stripe contributor read did not converge");
+}
+
+Result<hbm::Beat> ServingFleet::reconstruct_read(std::size_t i,
+                                                 std::uint64_t logical) {
+  const std::size_t g = group_of(i);
+  PcState& st = states_[i];
+  hbm::Beat acc{};
+  auto parity = stripe_fetch(*parity_channels_[g], logical, st);
+  if (!parity.is_ok()) return parity.status();
+  xor_into(acc, parity.value());
+  const std::size_t base = g * config_.stripe_width;
+  for (std::size_t s = base; s < base + config_.stripe_width; ++s) {
+    if (s == i) continue;
+    ReliableChannel& peer = *channels_[s];
+    if (!peer.journal_live(logical)) continue;
+    auto got = stripe_fetch(peer, logical, st);
+    if (!got.is_ok()) return got.status();
+    xor_into(acc, got.value());
+  }
+  ++channels_[i]->stats_.reconstructed_reads;
+  return acc;
+}
+
+Result<hbm::Beat> ServingFleet::do_read(std::size_t i, std::uint64_t logical) {
+  ReliableChannel& member = *channels_[i];
+  if (!striped() || !member.device_lost()) return member.read(logical);
+  // Reconstruction survives exactly one lost member per group; a second
+  // loss degrades to journal-backed serving (still zero corrupt reads).
+  const std::size_t base = group_of(i) * config_.stripe_width;
+  for (std::size_t s = base; s < base + config_.stripe_width; ++s) {
+    if (s != i && channels_[s]->device_lost()) return member.read(logical);
+  }
+  return reconstruct_read(i, logical);
+}
+
+// ---- Epoch workers ----
 
 void ServingFleet::serve_pc_epoch(std::size_t i) {
   ReliableChannel& channel = *channels_[i];
@@ -69,12 +300,17 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
         const Status refreshed = channel.refresh_from_journal();
         if (!refreshed.is_ok()) {
           if (refreshed.code() == StatusCode::kUnavailable) {
-            st.wants_global = true;
-            st.wanted = LadderRung::kPowerCycle;
+            if (!absorb_device_loss(channel)) {
+              st.wants_global = true;
+              st.wanted = LadderRung::kPowerCycle;
+              return;
+            }
+            // Whole-PC death: nothing left to refresh; keep serving
+            // through the journal / stripe reconstruction.
+          } else {
+            st.status = refreshed;
             return;
           }
-          st.status = refreshed;
-          return;
         }
         if (channel.escalation_pending()) {
           auto rung = channel.escalate();
@@ -119,7 +355,7 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
           for (std::uint64_t k = 0; k < n; ++k) {
             st.beats[k] = make_payload(data_seed, pc, st.cursor + k);
           }
-          st_bulk = channel.write_range(logical, n, st.beats.data());
+          st_bulk = do_write_range(i, logical, n, st.beats.data());
           if (st_bulk.is_ok()) st.report.writes += n;
         } else {
           st.beats.resize(n);
@@ -150,6 +386,14 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
               return;
             }
           }
+          if (striped()) {
+            const Status settled = settle_parity(group_of(i), st);
+            if (!settled.is_ok()) {
+              st.status = settled;
+              return;
+            }
+            if (st.wants_global) return;
+          }
           continue;
         }
         if (st_bulk.code() != StatusCode::kDataLoss &&
@@ -164,11 +408,14 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
 
     if (write_op) {
       const Status wrote =
-          channel.write(logical, make_payload(data_seed, pc, st.cursor));
+          do_write(i, logical, make_payload(data_seed, pc, st.cursor));
       if (!wrote.is_ok()) {
+        if (st.wants_global) return;  // parked by a stripe contributor
         if (wrote.code() == StatusCode::kUnavailable) {
-          // Crashed stack: request rung 3 and end the epoch; the op is
-          // retried after the barrier's power-cycle + restore.
+          // Whole-PC death is absorbed locally (journal/stripe serving);
+          // a crashed stack requests rung 3 and ends the epoch -- the op
+          // is retried after the barrier's power-cycle + restore.
+          if (absorb_device_loss(channel)) continue;
           ++st.attempts;
           st.wants_global = true;
           st.wanted = LadderRung::kPowerCycle;
@@ -179,13 +426,15 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
       }
       ++st.report.writes;
     } else {
-      auto got = channel.read(logical);
+      auto got = do_read(i, logical);
       if (!got.is_ok()) {
         if (++st.attempts > 64) {
           st.status = got.status();
           return;
         }
+        if (st.wants_global) return;  // parked by a stripe contributor
         if (got.status().code() == StatusCode::kUnavailable) {
+          if (absorb_device_loss(channel)) continue;
           st.wants_global = true;
           st.wanted = LadderRung::kPowerCycle;
           return;
@@ -228,6 +477,119 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
         return;
       }
     }
+    if (striped() && write_op) {
+      const Status settled = settle_parity(group_of(i), st);
+      if (!settled.is_ok()) {
+        st.status = settled;
+        return;
+      }
+      if (st.wants_global) return;
+    }
+  }
+}
+
+void ServingFleet::serve_group_epoch(std::size_t g) {
+  const std::size_t base = g * config_.stripe_width;
+  for (std::size_t s = base; s < base + config_.stripe_width; ++s) {
+    serve_pc_epoch(s);
+  }
+  rebuild_step(g);
+}
+
+void ServingFleet::rebuild_step(std::size_t g) {
+  StripeGroup& grp = groups_[g];
+  grp.wants_global = false;
+  grp.wanted = LadderRung::kCorrect;
+  if (grp.rebuilding == StripeGroup::kIdle && !grp.rebuilding_parity) return;
+  ReliableChannel& ch = grp.rebuilding_parity
+                            ? *parity_channels_[g]
+                            : *channels_[grp.rebuilding];
+  const std::uint64_t cap = ch.capacity();
+  std::uint64_t budget = config_.rebuild_beats_per_epoch;
+  while (budget > 0 && grp.rebuild_cursor < cap) {
+    const std::uint64_t cur = grp.rebuild_cursor;
+    if (!ch.journal_live(cur)) {
+      ++grp.rebuild_cursor;
+      continue;
+    }
+    std::uint64_t end = cur + 1;
+    while (end < cap && end - cur < budget && ch.journal_live(end)) ++end;
+    // Cross-check the stripe invariant before trusting the journal copy:
+    // the rebuilt data must equal what XOR reconstruction would serve.
+    for (std::uint64_t l = cur; l < end; ++l) {
+      hbm::Beat expect{};
+      if (grp.rebuilding_parity) {
+        expect = parity_value(g, l);
+      } else {
+        const ReliableChannel& parity = *parity_channels_[g];
+        if (parity.journal_live(l)) xor_into(expect, parity.journal_beat(l));
+        const std::size_t base = g * config_.stripe_width;
+        for (std::size_t s = base; s < base + config_.stripe_width; ++s) {
+          if (s == grp.rebuilding) continue;
+          const ReliableChannel& peer = *channels_[s];
+          if (peer.journal_live(l)) xor_into(expect, peer.journal_beat(l));
+        }
+      }
+      HBMVOLT_REQUIRE(expect == ch.journal_beat(l),
+                      "stripe invariant violated during rebuild");
+    }
+    const Status rebuilt = ch.rebuild_device_range(cur, end - cur);
+    if (!rebuilt.is_ok()) {
+      if (rebuilt.code() == StatusCode::kUnavailable) {
+        grp.wants_global = true;
+        grp.wanted = LadderRung::kPowerCycle;
+      } else {
+        grp.status = rebuilt;
+      }
+      return;
+    }
+    budget -= end - cur;
+    grp.rebuild_cursor = end;
+  }
+  if (grp.rebuild_cursor >= cap) {
+    ch.finish_rebuild();
+    HBMVOLT_LOG_INFO("runtime: PC %u rebuilt onto spare silicon (%llu beats)",
+                     ch.pc_global(),
+                     static_cast<unsigned long long>(
+                         ch.stats().rebuilt_beats));
+    if (auto* tel = telemetry::Telemetry::active()) {
+      tel->count("runtime.fleet.rebuild_complete");
+    }
+    grp.rebuilding = StripeGroup::kIdle;
+    grp.rebuilding_parity = false;
+    grp.rebuild_cursor = 0;
+  }
+}
+
+void ServingFleet::claim_spares() {
+  if (!striped()) return;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    StripeGroup& grp = groups_[g];
+    if (grp.rebuilding != StripeGroup::kIdle || grp.rebuilding_parity) {
+      continue;
+    }
+    if (spare_next_ >= spare_pcs_.size()) return;  // pool dry: stay degraded
+    const std::size_t base = g * config_.stripe_width;
+    std::size_t victim = StripeGroup::kIdle;
+    for (std::size_t s = base; s < base + config_.stripe_width; ++s) {
+      if (channels_[s]->device_lost()) {
+        victim = s;
+        break;
+      }
+    }
+    const bool parity_lost =
+        victim == StripeGroup::kIdle && parity_channels_[g]->device_lost();
+    if (victim == StripeGroup::kIdle && !parity_lost) continue;
+    ReliableChannel& ch =
+        parity_lost ? *parity_channels_[g] : *channels_[victim];
+    const unsigned spare_pc = spare_pcs_[spare_next_++];
+    ch.adopt_device(spare_pc);
+    ch.record_ladder(LadderRung::kStripeRebuild);
+    grp.rebuilding = victim;
+    grp.rebuilding_parity = parity_lost;
+    grp.rebuild_cursor = 0;
+    HBMVOLT_LOG_INFO("runtime: group %zu adopts spare PC %u for rebuild", g,
+                     spare_pc);
   }
 }
 
@@ -240,8 +602,9 @@ void ServingFleet::close_epoch(std::uint64_t epoch) {
   telemetry::EpochSample sample;
   sample.epoch = epoch;
   double burn_max = 0.0;
+  const char* scheme_name = mitigate::to_string(config_.scheme);
   for (std::size_t i = 0; i < channels_.size(); ++i) {
-    const ReliableChannel& channel = *channels_[i];
+    ReliableChannel& channel = *channels_[i];
     const ChannelStats& now = channel.stats();
     const ChannelStats& prev = epoch_prev_[i];
     sample.reads += now.reads - prev.reads;
@@ -252,6 +615,8 @@ void ServingFleet::close_epoch(std::uint64_t epoch) {
         now.uncorrectable_blocked - prev.uncorrectable_blocked;
     sample.journal_served +=
         now.journal_served_reads - prev.journal_served_reads;
+    sample.reconstructed +=
+        now.reconstructed_reads - prev.reconstructed_reads;
     sample.parked += channel.parked_count();
     epoch_prev_[i] = now;
 
@@ -262,11 +627,30 @@ void ServingFleet::close_epoch(std::uint64_t epoch) {
                           budget.config().corrected_slo;
       if (burn > burn_max) burn_max = burn;
     }
-    health_.update(i, channel, board_.hbm_voltage(), epoch);
+    const char* stripe_state = "-";
+    if (striped()) {
+      const StripeGroup& grp = groups_[group_of(i)];
+      stripe_state = !channel.device_lost()
+                         ? "healthy"
+                         : (grp.rebuilding == i ? "rebuilding" : "degraded");
+    }
+    health_.update(i, channel, board_.hbm_voltage(), epoch, scheme_name,
+                   stripe_state);
+  }
+  for (std::size_t g = 0; g < parity_channels_.size(); ++g) {
+    const ChannelStats& now = parity_channels_[g]->stats();
+    const ChannelStats& prev = parity_prev_[g];
+    sample.writes += now.writes - prev.writes;
+    sample.corrected += (now.corrected_words + now.corrected_check_words) -
+                        (prev.corrected_words + prev.corrected_check_words);
+    sample.journal_served +=
+        now.journal_served_reads - prev.journal_served_reads;
+    parity_prev_[g] = now;
   }
   sample.budget_burn = burn_max;
   alerts_.tick(sample);
   for (auto& channel : channels_) channel->flush_telemetry();
+  for (auto& parity : parity_channels_) parity->flush_telemetry();
   if (config_.epoch_hook) {
     config_.epoch_hook(
         EpochStatus{epoch, board_.hbm_voltage(), &health_, &alerts_});
@@ -275,17 +659,25 @@ void ServingFleet::close_epoch(std::uint64_t epoch) {
 
 Result<FleetReport> ServingFleet::run() {
   FleetReport report;
+  report.epochs = base_epochs_;
+  report.raises = base_raises_;
+  report.power_cycles = base_power_cycles_;
   std::unique_ptr<core::ThreadPool> pool;
   if (config_.threads != 1) {
     pool = std::make_unique<core::ThreadPool>(config_.threads);
   }
 
   // Epochs bound: the trace epochs plus a generous allowance for
-  // escalation-interrupted ones (each of those makes ladder progress).
+  // escalation-interrupted ones (each of those makes ladder progress) and
+  // for post-trace rebuild epochs.
   const std::uint64_t trace_epochs =
       (config_.ops_per_pc + config_.ops_per_epoch - 1) /
       config_.ops_per_epoch;
-  const std::uint64_t max_epochs = trace_epochs + 4096;
+  std::uint64_t max_epochs = trace_epochs + 4096;
+  if (striped() && !channels_.empty()) {
+    max_epochs +=
+        channels_[0]->capacity() / config_.rebuild_beats_per_epoch + 1;
+  }
 
   for (;;) {
     bool all_done = true;
@@ -295,14 +687,26 @@ Result<FleetReport> ServingFleet::run() {
         break;
       }
     }
+    // A rebuild in flight keeps the fleet ticking after the traces end:
+    // the group workers drain it with no foreground ops in the way.
+    for (const StripeGroup& grp : groups_) {
+      if (grp.rebuilding != StripeGroup::kIdle || grp.rebuilding_parity) {
+        all_done = false;
+      }
+    }
     if (all_done) break;
     if (report.epochs >= max_epochs) {
       return unavailable("fleet ladder failed to converge");
     }
     ++report.epochs;
 
-    core::parallel_for_each(pool.get(), states_.size(),
-                            [this](std::size_t i) { serve_pc_epoch(i); });
+    if (striped()) {
+      core::parallel_for_each(pool.get(), groups_.size(),
+                              [this](std::size_t g) { serve_group_epoch(g); });
+    } else {
+      core::parallel_for_each(pool.get(), states_.size(),
+                              [this](std::size_t i) { serve_pc_epoch(i); });
+    }
 
     // Serial aggregation and global ladder actions, in PC index order.
     bool want_cycle = false;
@@ -314,10 +718,26 @@ Result<FleetReport> ServingFleet::run() {
       if (st.wanted == LadderRung::kPowerCycle) want_cycle = true;
       if (st.wanted == LadderRung::kRaiseVoltage) want_raise = true;
     }
+    for (StripeGroup& grp : groups_) {
+      if (!grp.status.is_ok()) return grp.status;
+      if (!grp.wants_global) continue;
+      if (grp.wanted == LadderRung::kPowerCycle) want_cycle = true;
+      if (grp.wanted == LadderRung::kRaiseVoltage) want_raise = true;
+    }
     if (want_cycle || !board_.responding()) {
       HBMVOLT_RETURN_IF_ERROR(board_.power_cycle());
       for (auto& channel : channels_) {
         HBMVOLT_RETURN_IF_ERROR(channel->restore_after_power_cycle());
+      }
+      for (auto& parity : parity_channels_) {
+        HBMVOLT_RETURN_IF_ERROR(parity->restore_after_power_cycle());
+      }
+      // The cycle scrambled any partially rebuilt spare (device-lost
+      // channels skip the journal rewrite): restart those rebuilds.
+      for (StripeGroup& grp : groups_) {
+        if (grp.rebuilding != StripeGroup::kIdle || grp.rebuilding_parity) {
+          grp.rebuild_cursor = 0;
+        }
       }
       ++report.power_cycles;
       if (auto* tel = telemetry::Telemetry::active()) {
@@ -333,30 +753,38 @@ Result<FleetReport> ServingFleet::run() {
       for (auto& channel : channels_) {
         channel->on_global_action(LadderRung::kRaiseVoltage);
       }
+      for (auto& parity : parity_channels_) {
+        parity->on_global_action(LadderRung::kRaiseVoltage);
+      }
       ++report.raises;
       if (auto* tel = telemetry::Telemetry::active()) {
         tel->count("runtime.fleet.raise");
       }
     }
+    claim_spares();
     close_epoch(report.epochs);
+    if (config_.halt_after_epochs > 0 &&
+        report.epochs >= config_.halt_after_epochs) {
+      base_epochs_ = report.epochs;
+      base_raises_ = report.raises;
+      base_power_cycles_ = report.power_cycles;
+      for (const PcState& st : states_) {
+        report.ops += st.report.ops;
+        report.reads += st.report.reads;
+        report.writes += st.report.writes;
+        report.corrupt_reads += st.report.corrupt_reads;
+        report.escalated_reads += st.report.escalated_reads;
+      }
+      report.final_voltage = board_.hbm_voltage();
+      report.halted = true;
+      return report;
+    }
   }
 
   // Fold the run into the report, in PC index order.
   std::uint64_t fp = mix_seed(config_.seed, 0xF17);
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    const PcState& st = states_[i];
-    const ReliableChannel& channel = *channels_[i];
-    report.ops += st.report.ops;
-    report.reads += st.report.reads;
-    report.writes += st.report.writes;
-    report.corrupt_reads += st.report.corrupt_reads;
-    report.escalated_reads += st.report.escalated_reads;
-
-    fp = mix_seed(fp, config_.pcs[i]);
-    fp = mix_seed(fp, st.report.reads);
-    fp = mix_seed(fp, st.report.writes);
-    fp = mix_seed(fp, st.report.corrupt_reads);
-    fp = mix_seed(fp, st.report.escalated_reads);
+  std::uint64_t dfp = mix_seed(config_.seed, 0xDA7AF17);
+  auto fold_channel = [&fp](const ReliableChannel& channel) {
     const ChannelStats& cs = channel.stats();
     fp = mix_seed(fp, cs.corrected_words);
     fp = mix_seed(fp, cs.corrected_check_words);
@@ -368,6 +796,8 @@ Result<FleetReport> ServingFleet::run() {
     fp = mix_seed(fp, cs.verify_caught);
     fp = mix_seed(fp, cs.journal_refreshes);
     fp = mix_seed(fp, cs.journal_served_reads);
+    fp = mix_seed(fp, cs.reconstructed_reads);
+    fp = mix_seed(fp, cs.rebuilt_beats);
     fp = mix_seed(fp, cs.scrub_beats);
     fp = mix_seed(fp, cs.scrub_corrected);
     fp = mix_seed(fp, cs.scrub_uncorrectable);
@@ -382,13 +812,152 @@ Result<FleetReport> ServingFleet::run() {
       const hbm::Beat& data = channel.journal_beat(beat);
       for (unsigned w = 0; w < 4; ++w) fp = mix_seed(fp, data[w]);
     }
+  };
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const PcState& st = states_[i];
+    const ReliableChannel& channel = *channels_[i];
+    report.ops += st.report.ops;
+    report.reads += st.report.reads;
+    report.writes += st.report.writes;
+    report.corrupt_reads += st.report.corrupt_reads;
+    report.escalated_reads += st.report.escalated_reads;
+    report.reconstructed_reads += channel.stats().reconstructed_reads;
+    report.rebuilt_beats += channel.stats().rebuilt_beats;
+
+    fp = mix_seed(fp, config_.pcs[i]);
+    fp = mix_seed(fp, st.report.reads);
+    fp = mix_seed(fp, st.report.writes);
+    fp = mix_seed(fp, st.report.corrupt_reads);
+    fp = mix_seed(fp, st.report.escalated_reads);
+    fold_channel(channel);
+
+    // Data-only fold: the slot identity (stable across spare adoption),
+    // the served op counts, and the journal contents.  Ladder traces,
+    // voltages, and device-side stats are deliberately absent -- this is
+    // the fingerprint that must survive chaos on/off.
+    dfp = mix_seed(dfp, i);
+    dfp = mix_seed(dfp, st.report.reads);
+    dfp = mix_seed(dfp, st.report.writes);
+    dfp = mix_seed(dfp, st.report.corrupt_reads);
+    for (std::uint64_t beat = 0; beat < channel.capacity(); ++beat) {
+      if (!channel.journal_live(beat)) continue;
+      const hbm::Beat& data = channel.journal_beat(beat);
+      dfp = mix_seed(dfp, beat);
+      for (unsigned w = 0; w < 4; ++w) dfp = mix_seed(dfp, data[w]);
+    }
+  }
+  for (std::size_t g = 0; g < parity_channels_.size(); ++g) {
+    const ReliableChannel& parity = *parity_channels_[g];
+    report.rebuilt_beats += parity.stats().rebuilt_beats;
+    fp = mix_seed(fp, 0x9A817 + g);
+    fold_channel(parity);
   }
   report.final_voltage = board_.hbm_voltage();
   fp = mix_seed(fp, static_cast<std::uint64_t>(report.final_voltage.value));
   fp = mix_seed(fp, report.raises);
   fp = mix_seed(fp, report.power_cycles);
   report.fingerprint = fp;
+  report.data_fingerprint = dfp;
   return report;
+}
+
+// ---- Checkpoint seam ----
+
+FleetCheckpoint ServingFleet::checkpoint() const {
+  FleetCheckpoint ck;
+  ck.epochs = base_epochs_;
+  ck.raises = base_raises_;
+  ck.power_cycles = base_power_cycles_;
+  ck.voltage_mv = board_.hbm_voltage().value;
+  const hbm::HbmGeometry& geometry = board_.geometry();
+  const unsigned total = geometry.total_pcs();
+  ck.burst_extras.resize(total);
+  ck.array_words.resize(total);
+  for (unsigned pc = 0; pc < total; ++pc) {
+    const hbm::PcId id = hbm::PcId::from_global(geometry, pc);
+    hbm::HbmStack& stack = board_.stack(id.stack);
+    if (stack.pc_killed(id.index)) ck.killed_pcs.push_back(pc);
+    ck.burst_extras[pc] = {
+        board_.injector().burst_extra(pc, faults::StuckPolarity::kStuckAt0),
+        board_.injector().burst_extra(pc, faults::StuckPolarity::kStuckAt1)};
+    const std::span<const std::uint64_t> words =
+        stack.array(id.index).words();
+    ck.array_words[pc].assign(words.begin(), words.end());
+  }
+  ck.slots.resize(states_.size());
+  ck.channels.resize(channels_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    ck.slots[i] = {states_[i].cursor, states_[i].storm_next,
+                   states_[i].attempts, states_[i].report};
+    channels_[i]->capture(&ck.channels[i]);
+  }
+  ck.parity.resize(parity_channels_.size());
+  for (std::size_t g = 0; g < parity_channels_.size(); ++g) {
+    parity_channels_[g]->capture(&ck.parity[g]);
+  }
+  ck.groups.resize(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    ck.groups[g] = {groups_[g].rebuilding, groups_[g].rebuilding_parity,
+                    groups_[g].rebuild_cursor};
+  }
+  ck.spare_next = spare_next_;
+  return ck;
+}
+
+Status ServingFleet::restore(const FleetCheckpoint& ck) {
+  const hbm::HbmGeometry& geometry = board_.geometry();
+  const unsigned total = geometry.total_pcs();
+  if (ck.slots.size() != states_.size() ||
+      ck.channels.size() != channels_.size() ||
+      ck.parity.size() != parity_channels_.size() ||
+      ck.groups.size() != groups_.size() ||
+      ck.array_words.size() != total) {
+    return invalid_argument("fleet checkpoint shape mismatch");
+  }
+  base_epochs_ = ck.epochs;
+  base_raises_ = ck.raises;
+  base_power_cycles_ = ck.power_cycles;
+  // Board first: voltage (overlays re-derive from it), burst extras, PC
+  // kills, then the raw written bits underneath all of that.
+  HBMVOLT_RETURN_IF_ERROR(board_.set_hbm_voltage(Millivolts{ck.voltage_mv}));
+  for (unsigned pc = 0; pc < total; ++pc) {
+    const auto& [sa0, sa1] = ck.burst_extras[pc];
+    if (sa0 != 0 || sa1 != 0) board_.injector().add_burst(pc, sa0, sa1);
+  }
+  for (const unsigned pc : ck.killed_pcs) {
+    const hbm::PcId id = hbm::PcId::from_global(geometry, pc);
+    board_.stack(id.stack).kill_pc(id.index);
+  }
+  for (unsigned pc = 0; pc < total; ++pc) {
+    const hbm::PcId id = hbm::PcId::from_global(geometry, pc);
+    hbm::MemoryArray& array = board_.stack(id.stack).array(id.index);
+    if (ck.array_words[pc].size() != array.bits() / 64) {
+      return invalid_argument("fleet checkpoint array size mismatch");
+    }
+    array.write_words(0, ck.array_words[pc].size(),
+                      ck.array_words[pc].data());
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i]->restore(ck.channels[i]);
+    states_[i].cursor = ck.slots[i].cursor;
+    states_[i].storm_next = ck.slots[i].storm_next;
+    states_[i].attempts = ck.slots[i].attempts;
+    states_[i].report = ck.slots[i].report;
+    // Barrier deltas restart from the restored stats (observers only --
+    // the alert ring is not checkpointed, see FleetCheckpoint).
+    epoch_prev_[i] = channels_[i]->stats();
+  }
+  for (std::size_t g = 0; g < parity_channels_.size(); ++g) {
+    parity_channels_[g]->restore(ck.parity[g]);
+    parity_prev_[g] = parity_channels_[g]->stats();
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    groups_[g].rebuilding = ck.groups[g].rebuilding;
+    groups_[g].rebuilding_parity = ck.groups[g].rebuilding_parity;
+    groups_[g].rebuild_cursor = ck.groups[g].rebuild_cursor;
+  }
+  spare_next_ = ck.spare_next;
+  return Status::ok();
 }
 
 }  // namespace hbmvolt::runtime

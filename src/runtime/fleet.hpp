@@ -1,4 +1,5 @@
-// ServingFleet: epoch-based parallel serving over many ReliableChannels.
+// ServingFleet: epoch-based parallel serving over many ReliableChannels,
+// under a pluggable mitigation scheme (mitigate/scheme.hpp).
 //
 // One ReliableChannel per pseudo-channel, one deterministic op stream per
 // PC (workload::make_uniform_random over a counter-derived seed), served
@@ -16,6 +17,22 @@
 //    whole soak is byte-reproducible from (seed, config) at any thread
 //    count (pinned by tests/runtime_test.cpp).
 //
+// Mitigation schemes.  kSecded and kDected pick the per-word codec and
+// fan out per PC exactly as above.  kStripe adds a RAIM-style XOR erasure
+// stripe across pseudo-channels: the PC list is carved into groups of
+// `stripe_width` serving members plus one parity PC each (leftover PCs
+// form the spare pool), every member write also updates the group parity
+// channel, and the fan-out unit becomes the *group* so parity writes stay
+// worker-local.  When a member's silicon dies outright (chaos kPcKill),
+// its channel flips device-lost: reads are served by XOR reconstruction
+// from the surviving members plus parity (counted in
+// runtime.reconstructed_reads), the barrier adopts a spare PC (recorded
+// as LadderRung::kStripeRebuild), and the group worker rebuilds the lost
+// data onto it incrementally through the range engine until the device
+// copy is whole again.  A second death in the same group degrades to
+// journal-backed serving -- still zero corrupt reads, no silicon
+// redundancy left.
+//
 // Chaos fault storms plug in through `storm_hook`, called once per
 // (PC, op tick) on the worker -- wire it to ChaosInjector::storm_tick,
 // whose decisions are pure in (seed, pc, tick) and whose mutations are
@@ -23,6 +40,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +48,7 @@
 
 #include "board/vcu128.hpp"
 #include "common/status.hpp"
+#include "mitigate/scheme.hpp"
 #include "runtime/health.hpp"
 #include "runtime/reliable_channel.hpp"
 #include "telemetry/alerts.hpp"
@@ -48,14 +67,34 @@ struct EpochStatus {
 };
 
 struct FleetConfig {
-  /// Global PC indices to serve (empty = every PC on the board).
+  /// Global PC indices to serve (empty = every PC on the board).  Under
+  /// kStripe this is the pool the stripe groups, parity PCs, and spares
+  /// are carved from, in order.
   std::vector<unsigned> pcs;
   ReliableChannelConfig channel;
+  /// Mitigation scheme; kSecded/kDected override channel.codec, kStripe
+  /// additionally builds the cross-PC erasure stripe (see header).
+  mitigate::MitigationKind scheme = mitigate::MitigationKind::kSecded;
+  /// Serving members per stripe group (kStripe only); each group adds one
+  /// parity PC on top.
+  unsigned stripe_width = 4;
+  /// Live beats a group rebuilds onto an adopted spare per epoch.
+  std::uint64_t rebuild_beats_per_epoch = 16;
+  /// Stop (with FleetReport::halted) after this many epochs instead of
+  /// running to completion; 0 = run to the end.  The checkpoint seam:
+  /// halt, checkpoint(), restore() on a fresh board, run() again.
+  std::uint64_t halt_after_epochs = 0;
   /// Total foreground ops per PC.
   std::uint64_t ops_per_pc = 1 << 14;
   /// Ops per PC between global barriers.
   std::uint64_t ops_per_epoch = 1024;
   double write_fraction = 0.25;
+  /// 0 = uniform-random traffic (ops_per_pc / write_fraction above).
+  /// N > 0 = N sequential sweeps over each PC's full capacity instead
+  /// (first touch writes, later passes read), the shape that lets the
+  /// range engine coalesce -- the perf-gate workload (BM_StripeServe),
+  /// directly comparable to ReliableChannel::serve_trace streaming.
+  unsigned streaming_passes = 0;
   std::uint64_t seed = 1;
   /// Worker threads (1 = serial reference path, 0 = hardware count).
   unsigned threads = 1;
@@ -68,8 +107,9 @@ struct FleetConfig {
   std::function<bool(unsigned pc_global, std::uint64_t tick)> storm_hook;
   /// Burn-rate alert rules evaluated at every barrier (empty = defaults
   /// derived from the channel budget: a corrected-rate rule at the budget
-  /// SLO plus a journal-served-rate rule).  Deterministic regardless of
-  /// thread count or telemetry state -- see telemetry/alerts.hpp.
+  /// SLO, a journal-served-rate rule, and a reconstructed-reads rule).
+  /// Deterministic regardless of thread count or telemetry state -- see
+  /// telemetry/alerts.hpp.
   std::vector<telemetry::AlertRule> alert_rules;
   /// Called serially after every barrier with the refreshed health
   /// registry and alert engine -- the live-dashboard seam
@@ -86,13 +126,57 @@ struct FleetReport {
   /// headline invariant).
   std::uint64_t corrupt_reads = 0;
   std::uint64_t escalated_reads = 0;
+  /// Reads served by XOR reconstruction from stripe peers (kStripe).
+  std::uint64_t reconstructed_reads = 0;
+  /// Beats rewritten onto adopted spare PCs by online rebuilds.
+  std::uint64_t rebuilt_beats = 0;
   std::uint64_t epochs = 0;
   std::uint64_t raises = 0;        // fleet-level rung-2 actions
   std::uint64_t power_cycles = 0;  // fleet-level rung-3 actions
   Millivolts final_voltage{0};
+  /// True when the run stopped at halt_after_epochs with work remaining;
+  /// fingerprints are only computed on completed runs.
+  bool halted = false;
   /// Order-stable fold of every per-PC outcome (reports, channel stats,
   /// ladder traces, journals): equal fingerprints = byte-identical runs.
   std::uint64_t fingerprint = 0;
+  /// Fold of the *served data* only (per-slot read/write/corrupt counts
+  /// and journal contents) -- invariant across chaos on/off for the same
+  /// scheme, unlike `fingerprint`, which also folds ladder traces.
+  std::uint64_t data_fingerprint = 0;
+};
+
+/// Everything needed to resume a halted fleet byte-identically on a fresh
+/// board: the board-model state (voltage, killed PCs, weak-cell burst
+/// extras, raw array words) plus every channel, slot, and stripe-group
+/// checkpoint.  Alert/health observers are deliberately NOT captured --
+/// they never feed back into serving, so fingerprints cannot see them.
+struct FleetCheckpoint {
+  std::uint64_t epochs = 0;
+  std::uint64_t raises = 0;
+  std::uint64_t power_cycles = 0;
+  int voltage_mv = 0;
+  std::vector<unsigned> killed_pcs;  // global PC indices
+  /// Per global PC: accumulated weak-cell burst extras (sa0, sa1).
+  std::vector<std::array<std::uint64_t, 2>> burst_extras;
+  /// Per global PC: raw backing-store words (written values, pre-overlay).
+  std::vector<std::vector<std::uint64_t>> array_words;
+  struct Slot {
+    std::uint64_t cursor = 0;
+    std::uint64_t storm_next = 0;
+    unsigned attempts = 0;
+    ServeReport report;
+  };
+  std::vector<Slot> slots;
+  std::vector<ChannelCheckpoint> channels;  // serving slots, slot order
+  std::vector<ChannelCheckpoint> parity;    // kStripe: one per group
+  struct Group {
+    std::size_t rebuilding = ~std::size_t(0);
+    bool rebuilding_parity = false;
+    std::uint64_t rebuild_cursor = 0;
+  };
+  std::vector<Group> groups;
+  std::size_t spare_next = 0;
 };
 
 class ServingFleet {
@@ -100,13 +184,37 @@ class ServingFleet {
   ServingFleet(board::Vcu128Board& board, FleetConfig config);
 
   /// Serves every PC's full op stream; returns the aggregated report.
+  /// With halt_after_epochs set, may instead return early with
+  /// report.halted -- call run() again (or checkpoint/restore first) to
+  /// continue; progress accumulates across calls.
   Result<FleetReport> run();
 
+  /// Captures the full resumable state (see FleetCheckpoint).  Only
+  /// meaningful between run() calls (at a halt barrier).
+  [[nodiscard]] FleetCheckpoint checkpoint() const;
+
+  /// Restores a checkpoint onto this fleet and its (fresh) board: replays
+  /// voltage, burst extras, PC kills, and raw array words, then every
+  /// channel/slot/group state.  The fleet must have been constructed with
+  /// the same config as the one that captured the checkpoint.
+  Status restore(const FleetCheckpoint& ck);
+
+  [[nodiscard]] mitigate::MitigationKind scheme() const noexcept {
+    return config_.scheme;
+  }
   [[nodiscard]] std::size_t channels() const noexcept {
     return channels_.size();
   }
   [[nodiscard]] const ReliableChannel& channel(std::size_t i) const {
     return *channels_[i];
+  }
+  /// Stripe groups (0 unless kStripe).
+  [[nodiscard]] std::size_t groups() const noexcept { return groups_.size(); }
+  [[nodiscard]] const ReliableChannel& parity_channel(std::size_t g) const {
+    return *parity_channels_[g];
+  }
+  [[nodiscard]] std::size_t spares_left() const noexcept {
+    return spare_pcs_.size() - spare_next_;
   }
   /// Per-PC health as of the last barrier (empty before run()).
   [[nodiscard]] const HealthRegistry& health() const noexcept {
@@ -129,9 +237,69 @@ class ServingFleet {
     LadderRung wanted = LadderRung::kCorrect;
     /// Payload/read buffer for coalesced bulk runs (high-water reuse).
     std::vector<hbm::Beat> beats;
+    /// Parity scratch for bulk stripe writes (distinct from `beats`,
+    /// which may alias the data being written).
+    std::vector<hbm::Beat> pbuf;
   };
 
+  /// One erasure-stripe group: members are serving slots
+  /// [group * stripe_width, (group + 1) * stripe_width), plus a dedicated
+  /// parity channel and at most one rebuild in flight.
+  struct StripeGroup {
+    static constexpr std::size_t kIdle = ~std::size_t(0);
+    std::size_t rebuilding = kIdle;  // serving-slot index being rebuilt
+    bool rebuilding_parity = false;  // the parity channel is the target
+    std::uint64_t rebuild_cursor = 0;
+    Status status = Status::ok();
+    bool wants_global = false;
+    LadderRung wanted = LadderRung::kCorrect;
+  };
+
+  [[nodiscard]] bool striped() const noexcept {
+    return config_.scheme == mitigate::MitigationKind::kStripe;
+  }
+  [[nodiscard]] std::size_t group_of(std::size_t slot) const noexcept {
+    return slot / config_.stripe_width;
+  }
+
   void serve_pc_epoch(std::size_t i);
+  /// Stripe fan-out unit: serves every member slot in order, then runs
+  /// this epoch's rebuild step.
+  void serve_group_epoch(std::size_t g);
+
+  /// Scheme-dispatching op wrappers used by serve_pc_epoch.  In stripe
+  /// mode writes also maintain the group parity and reads of a lost
+  /// device reconstruct from peers.
+  Status do_write(std::size_t i, std::uint64_t logical, const hbm::Beat& data);
+  Status do_write_range(std::size_t i, std::uint64_t logical,
+                        std::uint64_t count, const hbm::Beat* data);
+  Result<hbm::Beat> do_read(std::size_t i, std::uint64_t logical);
+
+  /// XOR of the live member journals at `logical` -- the parity value the
+  /// stripe invariant demands (and the rebuild's cross-check).
+  [[nodiscard]] hbm::Beat parity_value(std::size_t g,
+                                       std::uint64_t logical) const;
+  /// Serves a lost member's beat from parity + surviving member silicon.
+  Result<hbm::Beat> reconstruct_read(std::size_t i, std::uint64_t logical);
+  /// Reads one stripe contributor with local escalation; global needs are
+  /// parked on the *member's* state (slot `i`).
+  Result<hbm::Beat> stripe_fetch(ReliableChannel& ch, std::uint64_t logical,
+                                 PcState& st);
+  /// After parity traffic: consume the parity channel's burned budget /
+  /// pending escalation, parking global needs on slot `i`'s state.
+  Status settle_parity(std::size_t g, PcState& st);
+
+  /// If `ch`'s silicon was chaos-killed, flip it device-lost and return
+  /// true (the op retries against the journal/stripe path) -- the prompt
+  /// detection path that makes a PC kill cost no power cycle.
+  bool absorb_device_loss(ReliableChannel& ch);
+
+  /// Barrier step (serial, group order): adopt a spare PC for at most one
+  /// lost channel per idle group and start its rebuild.
+  void claim_spares();
+  /// Worker-side incremental rebuild of the group's adopted channel.
+  void rebuild_step(std::size_t g);
+
   /// Barrier bookkeeping: epoch deltas -> alert tick, health refresh,
   /// telemetry flush, epoch hook.  Serial, PC index order.
   void close_epoch(std::uint64_t epoch);
@@ -142,6 +310,16 @@ class ServingFleet {
   std::vector<workload::AccessTrace> traces_;
   std::vector<PcState> states_;
   std::vector<ChannelStats> epoch_prev_;  // stats at the previous barrier
+  // Stripe state (empty unless kStripe).
+  std::vector<std::unique_ptr<ReliableChannel>> parity_channels_;
+  std::vector<ChannelStats> parity_prev_;
+  std::vector<StripeGroup> groups_;
+  std::vector<unsigned> spare_pcs_;  // unclaimed spare pool, global PCs
+  std::size_t spare_next_ = 0;
+  // Accumulated progress across halted run() calls (checkpoint seam).
+  std::uint64_t base_epochs_ = 0;
+  std::uint64_t base_raises_ = 0;
+  std::uint64_t base_power_cycles_ = 0;
   HealthRegistry health_;
   telemetry::AlertEngine alerts_;
 };

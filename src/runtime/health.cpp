@@ -13,7 +13,8 @@ void HealthRegistry::reset(std::size_t pc_count) {
 }
 
 void HealthRegistry::update(std::size_t slot, const ReliableChannel& channel,
-                            Millivolts voltage, std::uint64_t epoch) {
+                            Millivolts voltage, std::uint64_t epoch,
+                            const char* scheme, const char* stripe) {
   HBMVOLT_REQUIRE(slot < pcs_.size(), "health registry slot out of range");
   PcHealth& h = pcs_[slot];
   h.pc = channel.pc_global();
@@ -41,6 +42,9 @@ void HealthRegistry::update(std::size_t slot, const ReliableChannel& channel,
   h.corrected = stats.corrected_words + stats.corrected_check_words;
   h.uncorrectable_blocked = stats.uncorrectable_blocked;
   h.journal_served = stats.journal_served_reads;
+  h.reconstructed = stats.reconstructed_reads;
+  h.scheme = scheme;
+  h.stripe = stripe;
   epoch_ = epoch;
 }
 
@@ -69,7 +73,10 @@ std::string HealthRegistry::to_json() const {
            ",\"corrected\":" + std::to_string(h.corrected) +
            ",\"uncorrectable_blocked\":" +
            std::to_string(h.uncorrectable_blocked) +
-           ",\"journal_served\":" + std::to_string(h.journal_served) + "}";
+           ",\"journal_served\":" + std::to_string(h.journal_served) +
+           ",\"reconstructed\":" + std::to_string(h.reconstructed) +
+           ",\"scheme\":" + json_quoted(h.scheme) +
+           ",\"stripe\":" + json_quoted(h.stripe) + "}";
   }
   out += "\n]}\n";
   return out;
@@ -82,18 +89,21 @@ std::string render_dashboard(const HealthRegistry& health,
       "fleet health @ epoch " + std::to_string(health.epoch()) + "\n";
 
   AsciiTable table;
-  table.set_header({"pc", "mV", "rung", "burn", "burns", "spares", "parked",
-                    "scrub-lag", "reads", "corr", "unc", "jrnl"});
+  table.set_header({"pc", "mV", "scheme", "stripe", "rung", "burn", "burns",
+                    "spares", "parked", "scrub-lag", "reads", "corr", "unc",
+                    "jrnl", "recon"});
   for (const PcHealth& h : health.pcs()) {
     table.add_row({std::to_string(h.pc), std::to_string(h.voltage_mv),
-                   to_string(h.last_rung), format_double(h.burn_fraction, 2),
+                   h.scheme, h.stripe, to_string(h.last_rung),
+                   format_double(h.burn_fraction, 2),
                    std::to_string(h.budget_burns),
                    std::to_string(h.spares_free),
                    std::to_string(h.parked_beats),
                    std::to_string(h.scrub_lag_beats), std::to_string(h.reads),
                    std::to_string(h.corrected),
                    std::to_string(h.uncorrectable_blocked),
-                   std::to_string(h.journal_served)});
+                   std::to_string(h.journal_served),
+                   std::to_string(h.reconstructed)});
   }
   out += table.to_string();
 

@@ -43,6 +43,13 @@ struct PcHealth {
   std::uint64_t corrected = 0;
   std::uint64_t uncorrectable_blocked = 0;
   std::uint64_t journal_served = 0;
+  /// Reads served by stripe XOR reconstruction while the device was lost.
+  std::uint64_t reconstructed = 0;
+  /// Active mitigation scheme ("secded" / "dected" / "stripe").
+  std::string scheme = "secded";
+  /// Stripe membership state: "healthy" / "degraded" / "rebuilding", or
+  /// "-" when the scheme has no cross-PC stripe.
+  std::string stripe = "-";
 };
 
 class HealthRegistry {
@@ -50,9 +57,11 @@ class HealthRegistry {
   void reset(std::size_t pc_count);
 
   /// Refreshes slot `slot` from the channel (read-only).  Called at epoch
-  /// barriers in PC index order.
+  /// barriers in PC index order.  `scheme` names the fleet's mitigation
+  /// scheme; `stripe` is the slot's stripe state ("-" when unstriped).
   void update(std::size_t slot, const ReliableChannel& channel,
-              Millivolts voltage, std::uint64_t epoch);
+              Millivolts voltage, std::uint64_t epoch,
+              const char* scheme = "secded", const char* stripe = "-");
 
   /// Direct slot write -- the golden-test / external-producer seam.
   void set(std::size_t slot, const PcHealth& health);

@@ -51,6 +51,8 @@ const char* to_string(LadderRung rung) noexcept {
       return "raise_voltage";
     case LadderRung::kPowerCycle:
       return "power_cycle";
+    case LadderRung::kStripeRebuild:
+      return "stripe_rebuild";
   }
   return "unknown";
 }
@@ -61,7 +63,8 @@ ReliableChannel::ReliableChannel(board::Vcu128Board& board, unsigned pc_global,
       pc_global_(pc_global),
       pc_(hbm::PcId::from_global(board.geometry(), pc_global)),
       config_(config),
-      ecc_(board.stack(pc_.stack), pc_.index),
+      ecc_(std::make_unique<ecc::EccChannel>(board.stack(pc_.stack),
+                                             pc_.index, config.codec)),
       budget_(config.budget) {
   HBMVOLT_REQUIRE(pc_global < board.geometry().total_pcs(),
                   "PC index out of range");
@@ -70,7 +73,7 @@ ReliableChannel::ReliableChannel(board::Vcu128Board& board, unsigned pc_global,
                   "spare fraction must be in [0, 1)");
   HBMVOLT_REQUIRE(config_.raise_step_mv > 0, "raise step must be positive");
 
-  const std::uint64_t data = ecc_.data_beats();
+  const std::uint64_t data = ecc_->data_beats();
   std::uint64_t spare_count = static_cast<std::uint64_t>(
       static_cast<double>(data) * config_.spare_fraction);
   if (spare_count >= data) spare_count = data - 1;
@@ -122,6 +125,9 @@ void ReliableChannel::record_ladder(LadderRung rung) {
         break;
       case LadderRung::kPowerCycle:
         tel->count("runtime.ladder.power_cycle");
+        break;
+      case LadderRung::kStripeRebuild:
+        tel->count("runtime.ladder.stripe_rebuild");
         break;
     }
   }
@@ -230,13 +236,15 @@ Status ReliableChannel::write(std::uint64_t logical, const hbm::Beat& data) {
     return out_of_range("logical beat out of range");
   }
   OpTimer timer(write_latency_, 1);
-  if (!parked_.contains(logical)) {
-    HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(remap_[logical], data));
+  // With the device lost the journal is the only copy; the stripe fleet
+  // (or a rebuild step) propagates the write to parity/spare silicon.
+  if (!device_lost_ && !parked_.contains(logical)) {
+    HBMVOLT_RETURN_IF_ERROR(ecc_->write_beat(remap_[logical], data));
     if (config_.verify_writes) {
       // Read-back: a word that cannot hold the data just written (stuck
       // cells already pair up in it) must be caught NOW -- left armed,
       // it is one soft upset away from a SECDED miscorrection.
-      auto back = ecc_.read_beat(remap_[logical]);
+      auto back = ecc_->read_beat(remap_[logical]);
       if (!back.is_ok()) return back.status();
       account_verify(remap_[logical], back.value().corrected,
                      back.value().corrected_check,
@@ -260,9 +268,10 @@ Result<hbm::Beat> ReliableChannel::read(std::uint64_t logical) {
     return out_of_range("logical beat out of range");
   }
   OpTimer timer(read_latency_, 1);
-  if (parked_.contains(logical)) {
-    // Journal-backed: the device copy is unservable (stuck cells paired
-    // up with the spare pool exhausted), the host copy is the truth.
+  if (device_lost_ || parked_.contains(logical)) {
+    // Journal-backed: the device copy is unservable (whole-PC death, or
+    // stuck cells paired up with the spare pool exhausted), the host
+    // copy is the truth.
     ++stats_.reads;
     ++ops_;
     ++stats_.journal_served_reads;
@@ -273,7 +282,7 @@ Result<hbm::Beat> ReliableChannel::read(std::uint64_t logical) {
     return journal_[logical];
   }
   const std::uint64_t physical = remap_[logical];
-  auto outcome = ecc_.read_beat(physical);
+  auto outcome = ecc_->read_beat(physical);
   if (!outcome.is_ok()) return outcome.status();
   const auto& got = outcome.value();
   if (!account_read(physical, got.corrected, got.corrected_check,
@@ -298,6 +307,15 @@ Status ReliableChannel::read_range(std::uint64_t logical, std::uint64_t count,
   OpTimer timer(read_latency_, count);
   const std::uint64_t end = logical + count;
   const std::uint64_t ops_before = ops_;
+  if (device_lost_) {
+    for (std::uint64_t cur = logical; cur < end; ++cur) {
+      out[cur - logical] = journal_[cur];
+      ++stats_.reads;
+      ++ops_;
+      ++stats_.journal_served_reads;
+    }
+    return settle_scrub_debt(ops_before);
+  }
   const bool plain_call = !special_.any_in_range(logical, end);
   bool all_clean = true;
   std::uint64_t cur = logical;
@@ -310,7 +328,7 @@ Status ReliableChannel::read_range(std::uint64_t logical, std::uint64_t count,
       if (config_.engine == ChannelEngine::kPerBeat) {
         for (; cur < plain_end; ++cur) {
           const std::uint64_t physical = remap_[cur];
-          auto outcome = ecc_.read_beat(physical);
+          auto outcome = ecc_->read_beat(physical);
           if (!outcome.is_ok()) return outcome.status();
           const auto& got = outcome.value();
           out[cur - logical] = got.data;
@@ -327,7 +345,7 @@ Status ReliableChannel::read_range(std::uint64_t logical, std::uint64_t count,
         const std::uint64_t n = plain_end - cur;
         scratch_events_.clear();
         HBMVOLT_RETURN_IF_ERROR(
-            ecc_.decode_range(cur, n, out + (cur - logical), scratch_events_));
+            ecc_->decode_range(cur, n, out + (cur - logical), scratch_events_));
         std::uint64_t clean_from = cur;
         for (const auto& ev : scratch_events_) {
           all_clean = false;
@@ -363,7 +381,7 @@ Status ReliableChannel::read_range(std::uint64_t logical, std::uint64_t count,
         ++stats_.journal_served_reads;
       } else {
         const std::uint64_t physical = remap_[cur];
-        auto outcome = ecc_.read_beat(physical);
+        auto outcome = ecc_->read_beat(physical);
         if (!outcome.is_ok()) return outcome.status();
         const auto& got = outcome.value();
         out[cur - logical] = got.data;
@@ -393,6 +411,14 @@ Status ReliableChannel::write_range(std::uint64_t logical, std::uint64_t count,
   OpTimer timer(write_latency_, count);
   const std::uint64_t end = logical + count;
   const std::uint64_t ops_before = ops_;
+  if (device_lost_) {
+    std::copy(data, data + count,
+              journal_.begin() + static_cast<long>(logical));
+    for (std::uint64_t i = 0; i < count; ++i) live_.set(logical + i);
+    stats_.writes += count;
+    ops_ += count;
+    return settle_scrub_debt(ops_before);
+  }
   std::uint64_t cur = logical;
   while (cur < end) {
     const std::uint64_t special = special_.first_in_range(cur, end);
@@ -404,9 +430,9 @@ Status ReliableChannel::write_range(std::uint64_t logical, std::uint64_t count,
       if (config_.engine == ChannelEngine::kPerBeat) {
         for (std::uint64_t i = 0; i < n; ++i) {
           const std::uint64_t beat = cur + i;
-          HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(beat, src[i]));
+          HBMVOLT_RETURN_IF_ERROR(ecc_->write_beat(beat, src[i]));
           if (config_.verify_writes) {
-            auto back = ecc_.read_beat(beat);
+            auto back = ecc_->read_beat(beat);
             if (!back.is_ok()) return back.status();
             account_verify(beat, back.value().corrected,
                            back.value().corrected_check,
@@ -414,11 +440,11 @@ Status ReliableChannel::write_range(std::uint64_t logical, std::uint64_t count,
           }
         }
       } else {
-        HBMVOLT_RETURN_IF_ERROR(ecc_.encode_range(cur, n, src));
+        HBMVOLT_RETURN_IF_ERROR(ecc_->encode_range(cur, n, src));
         if (config_.verify_writes) {
           scratch_beats_.resize(n);
           scratch_events_.clear();
-          HBMVOLT_RETURN_IF_ERROR(ecc_.decode_range(
+          HBMVOLT_RETURN_IF_ERROR(ecc_->decode_range(
               cur, n, scratch_beats_.data(), scratch_events_));
           std::uint64_t clean_from = cur;
           for (const auto& ev : scratch_events_) {
@@ -444,9 +470,9 @@ Status ReliableChannel::write_range(std::uint64_t logical, std::uint64_t count,
       const hbm::Beat& beat_data = data[cur - logical];
       if (!parked_.contains(cur)) {
         const std::uint64_t physical = remap_[cur];
-        HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(physical, beat_data));
+        HBMVOLT_RETURN_IF_ERROR(ecc_->write_beat(physical, beat_data));
         if (config_.verify_writes) {
-          auto back = ecc_.read_beat(physical);
+          auto back = ecc_->read_beat(physical);
           if (!back.is_ok()) return back.status();
           account_verify(physical, back.value().corrected,
                          back.value().corrected_check,
@@ -475,7 +501,7 @@ Status ReliableChannel::scrub_one(std::uint64_t logical) {
   // parked beat has no device copy worth patrolling.
   if (!live_.get(logical) || parked_.contains(logical)) return Status::ok();
   const std::uint64_t physical = remap_[logical];
-  auto outcome = ecc_.scrub_beat(physical);
+  auto outcome = ecc_->scrub_beat(physical);
   if (!outcome.is_ok()) return outcome.status();
   const auto& got = outcome.value();
   account_scrub(physical, got.corrected_data, got.corrected_check,
@@ -488,7 +514,7 @@ Status ReliableChannel::scrub_plain_run(std::uint64_t logical,
   if (config_.engine == ChannelEngine::kPerBeat) {
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::uint64_t beat = logical + i;
-      auto outcome = ecc_.scrub_beat(beat);
+      auto outcome = ecc_->scrub_beat(beat);
       if (!outcome.is_ok()) return outcome.status();
       const auto& got = outcome.value();
       account_scrub(beat, got.corrected_data, got.corrected_check,
@@ -497,7 +523,7 @@ Status ReliableChannel::scrub_plain_run(std::uint64_t logical,
     return Status::ok();
   }
   scratch_events_.clear();
-  HBMVOLT_RETURN_IF_ERROR(ecc_.scrub_range(logical, count, scratch_events_));
+  HBMVOLT_RETURN_IF_ERROR(ecc_->scrub_range(logical, count, scratch_events_));
   std::uint64_t clean_from = logical;
   for (const auto& ev : scratch_events_) {
     if (ev.beat > clean_from) {
@@ -548,6 +574,7 @@ Status ReliableChannel::scrub_chunk(std::uint64_t logical,
 }
 
 Status ReliableChannel::scrub_slice() {
+  if (device_lost_) return Status::ok();  // no silicon to patrol
   const std::uint64_t cap = capacity();
   std::uint64_t remaining =
       std::min<std::uint64_t>(config_.scrub_batch_beats, cap);
@@ -591,6 +618,7 @@ Status ReliableChannel::scrub_slice() {
 }
 
 Status ReliableChannel::patrol_all() {
+  if (device_lost_) return Status::ok();  // no silicon to patrol
   // Emergency sweep: trust nothing, re-prove every block.
   invalidate_all_blocks();
   const std::uint64_t cap = capacity();
@@ -612,9 +640,9 @@ Status ReliableChannel::rewrite_plain_run(std::uint64_t logical,
   if (config_.engine == ChannelEngine::kPerBeat) {
     for (std::uint64_t i = 0; i < count; ++i) {
       const std::uint64_t beat = logical + i;
-      HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(beat, journal_[beat]));
+      HBMVOLT_RETURN_IF_ERROR(ecc_->write_beat(beat, journal_[beat]));
       if (!verify) continue;
-      auto back = ecc_.read_beat(beat);
+      auto back = ecc_->read_beat(beat);
       if (!back.is_ok()) return back.status();
       note_row_events(beat, back.value().corrected);
       if (back.value().uncorrectable > 0) {
@@ -626,12 +654,12 @@ Status ReliableChannel::rewrite_plain_run(std::uint64_t logical,
     return Status::ok();
   }
   // Plain live run: journal_ is contiguous over it, feed it straight in.
-  HBMVOLT_RETURN_IF_ERROR(ecc_.encode_range(logical, count, &journal_[logical]));
+  HBMVOLT_RETURN_IF_ERROR(ecc_->encode_range(logical, count, &journal_[logical]));
   if (!verify) return Status::ok();
   scratch_beats_.resize(count);
   scratch_events_.clear();
   HBMVOLT_RETURN_IF_ERROR(
-      ecc_.decode_range(logical, count, scratch_beats_.data(), scratch_events_));
+      ecc_->decode_range(logical, count, scratch_beats_.data(), scratch_events_));
   for (const auto& ev : scratch_events_) {
     note_row_events(ev.beat, ev.corrected);
     if (ev.uncorrectable > 0) {
@@ -667,9 +695,9 @@ Status ReliableChannel::rewrite_live_runs(bool verify) {
       if (special != SortedKeySet::kNone) {
         if (!parked_.contains(cur)) {
           const std::uint64_t physical = remap_[cur];
-          HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(physical, journal_[cur]));
+          HBMVOLT_RETURN_IF_ERROR(ecc_->write_beat(physical, journal_[cur]));
           if (verify) {
-            auto back = ecc_.read_beat(physical);
+            auto back = ecc_->read_beat(physical);
             if (!back.is_ok()) return back.status();
             note_row_events(physical, back.value().corrected);
             if (back.value().uncorrectable > 0) {
@@ -689,18 +717,166 @@ Status ReliableChannel::rewrite_live_runs(bool verify) {
 }
 
 Status ReliableChannel::refresh_from_journal() {
+  if (device_lost_) return Status::ok();  // journal already IS the copy
   HBMVOLT_RETURN_IF_ERROR(rewrite_live_runs(/*verify=*/true));
   ++stats_.journal_refreshes;
   return Status::ok();
 }
 
 Status ReliableChannel::restore_after_power_cycle() {
-  HBMVOLT_RETURN_IF_ERROR(rewrite_live_runs(/*verify=*/false));
+  // A killed PC does not come back with the power cycle (another PC may
+  // have requested it before this channel noticed the death): flip into
+  // device-lost mode instead of writing into a dead device.
+  if (!device_lost_ &&
+      board_.stack(pc_.stack).pc_killed(pc_.index)) {
+    set_device_lost();
+  }
+  if (!device_lost_) {
+    HBMVOLT_RETURN_IF_ERROR(rewrite_live_runs(/*verify=*/false));
+  }
   ++stats_.power_cycles;
   record_ladder(LadderRung::kPowerCycle);
   budget_.reset();
   escalation_pending_ = false;
   return Status::ok();
+}
+
+// ---- Whole-device loss (see header) ----
+
+void ReliableChannel::adopt_device(unsigned new_pc_global) {
+  HBMVOLT_REQUIRE(device_lost_, "adopt_device requires device-lost mode");
+  const hbm::PcId new_pc =
+      hbm::PcId::from_global(board_.geometry(), new_pc_global);
+  auto fresh = std::make_unique<ecc::EccChannel>(board_.stack(new_pc.stack),
+                                                 new_pc.index, config_.codec);
+  HBMVOLT_REQUIRE(fresh->data_beats() == ecc_->data_beats(),
+                  "spare PC capacity mismatch");
+  ecc_ = std::move(fresh);
+  pc_global_ = new_pc_global;
+  pc_ = new_pc;
+  // Device-keyed state resets to the fresh silicon; the logical channel
+  // (journal, liveness, stats, budget, ladder trace) carries over.
+  const std::uint64_t exposed = capacity();
+  for (std::uint64_t i = 0; i < exposed; ++i) {
+    remap_[i] = static_cast<std::uint32_t>(i);
+  }
+  const std::uint64_t data = ecc_->data_beats();
+  spares_.clear();
+  for (std::uint64_t i = exposed; i < data; ++i) {
+    spares_.push_back(static_cast<std::uint32_t>(i));
+  }
+  spare_cursor_ = 0;
+  parked_.clear();
+  special_.clear();
+  row_events_.clear();
+  offender_rows_.clear();
+  retired_rows_.clear();
+  scrub_cursor_ = 0;
+  invalidate_all_blocks();
+}
+
+Status ReliableChannel::rebuild_device_range(std::uint64_t logical,
+                                             std::uint64_t count) {
+  if (count == 0) return Status::ok();
+  if (logical >= capacity() || count > capacity() - logical) {
+    return out_of_range("rebuild range out of range");
+  }
+  // Post-adopt the mapping is identity with no exceptions, so live runs
+  // go straight through the journal-rewrite engine with write-verify --
+  // a rebuilt beat the spare silicon cannot hold is caught immediately.
+  const std::uint64_t end = logical + count;
+  std::uint64_t cur = logical;
+  while (cur < end) {
+    if (!live_.get(cur)) {
+      const std::uint64_t next = live_.next_set(cur);
+      cur = (next == BitVec::kNone || next > end) ? end : next;
+      continue;
+    }
+    std::uint64_t run_end = live_.next_clear(cur);
+    if (run_end == BitVec::kNone || run_end > end) run_end = end;
+    HBMVOLT_RETURN_IF_ERROR(
+        rewrite_plain_run(cur, run_end - cur, /*verify=*/true));
+    stats_.rebuilt_beats += run_end - cur;
+    cur = run_end;
+  }
+  return Status::ok();
+}
+
+void ReliableChannel::capture(ChannelCheckpoint* out) const {
+  ChannelCheckpoint& ck = *out;
+  ck.pc_global = pc_global_;
+  ck.device_lost = device_lost_;
+  ck.budget = budget_.state();
+  ck.remap = remap_;
+  ck.spares = spares_;
+  ck.spare_cursor = spare_cursor_;
+  ck.journal = journal_;
+  ck.live.assign(live_.size(), false);
+  for (std::uint64_t i = 0; i < live_.size(); ++i) ck.live[i] = live_.get(i);
+  ck.parked = parked_.keys();
+  ck.special = special_.keys();
+  ck.row_events.assign(row_events_.begin(), row_events_.end());
+  ck.offender_rows = offender_rows_.keys();
+  ck.retired_rows = retired_rows_.keys();
+  ck.ops = ops_;
+  ck.scrub_cursor = scrub_cursor_;
+  ck.escalation_pending = escalation_pending_;
+  ck.clean_blocks.assign(clean_blocks_.size(), false);
+  for (std::uint64_t i = 0; i < clean_blocks_.size(); ++i) {
+    ck.clean_blocks[i] = clean_blocks_.get(i);
+  }
+  ck.scan_block = scan_block_;
+  ck.scan_clean = scan_clean_;
+  ck.stats = stats_;
+  ck.flushed = flushed_;
+  ck.ladder_trace = ladder_trace_;
+  ck.ecc_shadow = ecc_->shadow_checks();
+  ck.ecc_stats = ecc_->stats();
+}
+
+void ReliableChannel::restore(const ChannelCheckpoint& ck) {
+  HBMVOLT_REQUIRE(ck.journal.size() == capacity(),
+                  "checkpoint capacity mismatch");
+  // Re-point at the checkpointed silicon (an adopted spare keeps serving
+  // through the restore) and lay the shadow/stats back over it.
+  const hbm::PcId pc = hbm::PcId::from_global(board_.geometry(), ck.pc_global);
+  ecc_ = std::make_unique<ecc::EccChannel>(board_.stack(pc.stack), pc.index,
+                                           config_.codec);
+  pc_global_ = ck.pc_global;
+  pc_ = pc;
+  ecc_->restore_state(ck.ecc_shadow, ck.ecc_stats);
+  device_lost_ = ck.device_lost;
+  budget_.restore(ck.budget);
+  remap_ = ck.remap;
+  spares_ = ck.spares;
+  spare_cursor_ = ck.spare_cursor;
+  journal_ = ck.journal;
+  live_.assign(ck.live.size(), false);
+  for (std::uint64_t i = 0; i < ck.live.size(); ++i) {
+    if (ck.live[i]) live_.set(i);
+  }
+  parked_.clear();
+  for (const std::uint64_t key : ck.parked) parked_.insert(key);
+  special_.clear();
+  for (const std::uint64_t key : ck.special) special_.insert(key);
+  row_events_.clear();
+  for (const auto& [key, count] : ck.row_events) row_events_.add(key, count);
+  offender_rows_.clear();
+  for (const std::uint64_t key : ck.offender_rows) offender_rows_.insert(key);
+  retired_rows_.clear();
+  for (const std::uint64_t key : ck.retired_rows) retired_rows_.insert(key);
+  ops_ = ck.ops;
+  scrub_cursor_ = ck.scrub_cursor;
+  escalation_pending_ = ck.escalation_pending;
+  clean_blocks_.assign(ck.clean_blocks.size(), false);
+  for (std::uint64_t i = 0; i < ck.clean_blocks.size(); ++i) {
+    if (ck.clean_blocks[i]) clean_blocks_.set(i);
+  }
+  scan_block_ = ck.scan_block;
+  scan_clean_ = ck.scan_clean;
+  stats_ = ck.stats;
+  flushed_ = ck.flushed;
+  ladder_trace_ = ck.ladder_trace;
 }
 
 // ---- Retirement ladder ----
@@ -758,7 +934,7 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
         // journal if stuck cells keep it uncorrectable even then.
         spares_ran_out = true;
         if (!live_.get(logical)) continue;
-        auto got = ecc_.read_beat(remap_[logical]);
+        auto got = ecc_->read_beat(remap_[logical]);
         if (!got.is_ok()) return got.status();
         if (got.value().uncorrectable == 0) continue;
         if (board_.hbm_voltage() < nominal) {
@@ -767,8 +943,8 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
           break;
         }
         HBMVOLT_RETURN_IF_ERROR(
-            ecc_.write_beat(remap_[logical], journal_[logical]));
-        auto again = ecc_.read_beat(remap_[logical]);
+            ecc_->write_beat(remap_[logical], journal_[logical]));
+        auto again = ecc_->read_beat(remap_[logical]);
         if (!again.is_ok()) return again.status();
         if (again.value().uncorrectable > 0) {
           park_beat(logical);
@@ -780,7 +956,7 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
       if (live_.get(logical)) {
         // Migrate through ECC, as real row-repair would: the journal is
         // reserved for last-resort recovery, not steady-state reads.
-        auto got = ecc_.read_beat(remap_[logical]);
+        auto got = ecc_->read_beat(remap_[logical]);
         if (!got.is_ok()) return got.status();
         if (got.value().uncorrectable > 0) {
           if (board_.hbm_voltage() < nominal) {
@@ -800,7 +976,7 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
           data = got.value().data;
         }
       }
-      HBMVOLT_RETURN_IF_ERROR(ecc_.write_beat(spare.value(), data));
+      HBMVOLT_RETURN_IF_ERROR(ecc_->write_beat(spare.value(), data));
       remap_beat(logical, spare.value());
       ++spare_cursor_;  // commit the allocation
       ++stats_.beats_migrated;
@@ -827,6 +1003,14 @@ Status ReliableChannel::retire_offenders(bool* retired_any, bool* parked_any,
 }
 
 Result<LadderRung> ReliableChannel::escalate() {
+  if (device_lost_) {
+    // Whole-PC loss is beyond every PC-local rung and no global rung
+    // recovers it either; the journal (and, in stripe mode, the fleet's
+    // reconstruction/rebuild) is already serving.  Absorb the escalation.
+    budget_.reset();
+    escalation_pending_ = false;
+    return LadderRung::kCorrect;
+  }
   if (escalation_pending_) {
     // An uncorrectable word was seen: something (a fault storm, a deep
     // undervolt) is arming codewords faster than the rotating patrol
@@ -1116,6 +1300,10 @@ void ReliableChannel::flush_telemetry() {
   emit("runtime.verify_caught", stats_.verify_caught, flushed_.verify_caught);
   emit("runtime.journal_refreshes", stats_.journal_refreshes,
        flushed_.journal_refreshes);
+  emit_pc("runtime.reconstructed_reads", stats_.reconstructed_reads,
+          flushed_.reconstructed_reads);
+  emit_pc("runtime.rebuilt_beats", stats_.rebuilt_beats,
+          flushed_.rebuilt_beats);
   emit_pc("scrub.beats", stats_.scrub_beats, flushed_.scrub_beats);
   emit("scrub.corrected", stats_.scrub_corrected, flushed_.scrub_corrected);
   emit("scrub.uncorrectable", stats_.scrub_uncorrectable,

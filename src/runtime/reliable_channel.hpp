@@ -56,6 +56,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "board/vcu128.hpp"
@@ -98,6 +100,8 @@ struct ReliableChannelConfig {
   bool verify_writes = true;
   /// Bulk-operation mechanism (see ChannelEngine).
   ChannelEngine engine = ChannelEngine::kRange;
+  /// Per-word ECC codec (mitigate/scheme.hpp maps scheme names to this).
+  ecc::WordCodec codec = ecc::WordCodec::kSecded;
 };
 
 enum class LadderRung : unsigned {
@@ -105,6 +109,10 @@ enum class LadderRung : unsigned {
   kRetire = 1,
   kRaiseVoltage = 2,
   kPowerCycle = 3,
+  /// Stripe-group action recorded by ServingFleet when a dead PC starts
+  /// rebuilding onto a spare pseudo-channel.  escalate() never returns
+  /// this: whole-PC loss is beyond any PC-local rung.
+  kStripeRebuild = 4,
 };
 
 [[nodiscard]] const char* to_string(LadderRung rung) noexcept;
@@ -152,6 +160,11 @@ struct ChannelStats {
   std::uint64_t retires = 0;       // rung-1 actions completed
   std::uint64_t raises = 0;        // rung-2 actions observed
   std::uint64_t power_cycles = 0;  // rung-3 actions observed
+  /// Reads served by XOR reconstruction from stripe peers while this PC's
+  /// device was lost (incremented by ServingFleet in stripe mode).
+  std::uint64_t reconstructed_reads = 0;
+  /// Beats rewritten onto the adopted spare PC by the online rebuild.
+  std::uint64_t rebuilt_beats = 0;
 };
 
 /// Serial serving report (see serve()).
@@ -164,6 +177,38 @@ struct ServeReport {
   std::uint64_t corrupt_reads = 0;
   /// Reads that needed at least one escalate() + retry round.
   std::uint64_t escalated_reads = 0;
+};
+
+/// Plain-data snapshot of everything a ReliableChannel needs to resume
+/// byte-identically on a fresh board: the logical state (journal, live
+/// map, stats, budget, ladder trace) plus every device-keyed structure
+/// (remap, spares, parked/row sets, scrub + clean-block scan state, the
+/// ECC shadow).  Captured/restored by ServingFleet's checkpoint seam.
+struct ChannelCheckpoint {
+  unsigned pc_global = 0;  // current silicon (a spare after adoption)
+  bool device_lost = false;
+  ErrorBudgetState budget;
+  std::vector<std::uint32_t> remap;
+  std::vector<std::uint32_t> spares;
+  std::size_t spare_cursor = 0;
+  std::vector<hbm::Beat> journal;
+  std::vector<bool> live;
+  std::vector<std::uint64_t> parked;
+  std::vector<std::uint64_t> special;
+  std::vector<std::pair<std::uint64_t, unsigned>> row_events;
+  std::vector<std::uint64_t> offender_rows;
+  std::vector<std::uint64_t> retired_rows;
+  std::uint64_t ops = 0;
+  std::uint64_t scrub_cursor = 0;
+  bool escalation_pending = false;
+  std::vector<bool> clean_blocks;
+  std::uint64_t scan_block = 0;
+  bool scan_clean = false;
+  ChannelStats stats;
+  ChannelStats flushed;
+  std::vector<LadderEvent> ladder_trace;
+  std::vector<std::uint8_t> ecc_shadow;
+  ecc::EccStats ecc_stats;
 };
 
 class ReliableChannel {
@@ -257,6 +302,44 @@ class ReliableChannel {
   /// journal through ECC (the power cycle scrambled the arrays).
   Status restore_after_power_cycle();
 
+  // ---- Whole-device loss (the stripe scheme's fault domain) ----
+  // When the backing pseudo-channel dies outright (chaos kPcKill), the
+  // channel flips into device-lost mode: writes update only the journal,
+  // reads are served from the journal (counted as journal_served_reads
+  // unless the fleet reconstructs them from stripe peers first), and the
+  // patrol/refresh/restore machinery idles -- there is no device to
+  // repair.  In stripe mode ServingFleet then adopts a spare PC and
+  // rebuilds onto it through rebuild_device_range.
+
+  /// Marks the backing device unreachable.  Idempotent.
+  void set_device_lost() noexcept { device_lost_ = true; }
+  [[nodiscard]] bool device_lost() const noexcept { return device_lost_; }
+
+  /// Re-points the channel at a spare pseudo-channel of equal capacity.
+  /// The journal, stats, budget, and ladder trace survive -- they describe
+  /// the logical channel, not the silicon -- while every device-keyed
+  /// structure (remap, spares, parked set, row events, clean-block marks)
+  /// resets to the fresh device.  The channel STAYS device-lost until
+  /// finish_rebuild(): reads keep coming from the journal (or stripe
+  /// reconstruction) while the rebuild backfills the new device.
+  void adopt_device(unsigned new_pc_global);
+
+  /// Rebuild step: rewrites the live beats of [logical, logical + count)
+  /// onto the (adopted) device from the journal, with write-verify
+  /// accounting.  Counted in stats().rebuilt_beats.
+  Status rebuild_device_range(std::uint64_t logical, std::uint64_t count);
+
+  /// Rebuild epilogue: the device copy is whole again; resume serving
+  /// reads from silicon.
+  void finish_rebuild() noexcept { device_lost_ = false; }
+
+  /// Checkpoint seam (see ChannelCheckpoint).  restore() re-points the
+  /// channel at the checkpointed silicon (which may be an adopted spare)
+  /// and assumes the caller already restored the board: voltage, killed
+  /// PCs, burst extras, and raw array words.
+  void capture(ChannelCheckpoint* out) const;
+  void restore(const ChannelCheckpoint& ck);
+
   /// Serial convenience driver: replays `trace` (beats taken modulo
   /// capacity), self-checking every read against the journal and applying
   /// the full ladder inline -- including the global rungs, which is only
@@ -278,7 +361,7 @@ class ReliableChannel {
   [[nodiscard]] const std::vector<LadderEvent>& ladder_trace() const noexcept {
     return ladder_trace_;
   }
-  [[nodiscard]] const ecc::EccChannel& ecc() const noexcept { return ecc_; }
+  [[nodiscard]] const ecc::EccChannel& ecc() const noexcept { return *ecc_; }
 
   /// Journal copy of a logical beat (test/self-check hook); only
   /// meaningful when `journal_live(logical)`.
@@ -383,8 +466,10 @@ class ReliableChannel {
   unsigned pc_global_;
   hbm::PcId pc_;
   ReliableChannelConfig config_;
-  ecc::EccChannel ecc_;
+  // unique_ptr so adopt_device can re-point the channel at a spare PC.
+  std::unique_ptr<ecc::EccChannel> ecc_;
   ErrorBudget budget_;
+  bool device_lost_ = false;
 
   std::vector<std::uint32_t> remap_;   // logical -> physical ECC data beat
   std::vector<std::uint32_t> spares_;  // ascending physical beats

@@ -37,6 +37,7 @@ const char* to_string(AlertSignal signal) noexcept {
   switch (signal) {
     case AlertSignal::kCorrectedRate: return "corrected_rate";
     case AlertSignal::kJournalServedRate: return "journal_served_rate";
+    case AlertSignal::kReconstructedRate: return "reconstructed_rate";
   }
   return "unknown";
 }
@@ -65,6 +66,9 @@ double AlertEngine::burn_rate(const AlertRule& rule,
       case AlertSignal::kCorrectedRate: numerator += sample.corrected; break;
       case AlertSignal::kJournalServedRate:
         numerator += sample.journal_served;
+        break;
+      case AlertSignal::kReconstructedRate:
+        numerator += sample.reconstructed;
         break;
     }
   }

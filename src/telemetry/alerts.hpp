@@ -36,6 +36,7 @@ struct EpochSample {
   std::uint64_t corrected = 0;       // data + check-word corrections
   std::uint64_t uncorrectable = 0;   // reads blocked as kDataLoss
   std::uint64_t journal_served = 0;  // reads served from the host journal
+  std::uint64_t reconstructed = 0;   // reads served by stripe reconstruction
   std::uint64_t parked = 0;          // total parked beats at the barrier
   double budget_burn = 0.0;          // max per-PC window burn fraction / SLO
 };
@@ -65,6 +66,7 @@ class EpochRing {
 enum class AlertSignal : unsigned {
   kCorrectedRate = 0,      // corrected words / read words
   kJournalServedRate = 1,  // journal-served reads / reads
+  kReconstructedRate = 2,  // stripe-reconstructed reads / reads
 };
 
 [[nodiscard]] const char* to_string(AlertSignal signal) noexcept;

@@ -207,5 +207,153 @@ TEST_F(EccChannelTest, EccExtendsTheUsableVoltageFloor) {
   EXPECT_EQ(channel.stats().uncorrectable, 0u);
 }
 
+// --------------------------------------------------------------- dected
+
+// Flips one of the 79 live DECTED codeword positions: 0..13 the BCH
+// check bits, 14..77 the data bits, 78 the overall parity bit.
+void dected_flip(unsigned pos, std::uint64_t* data, std::uint16_t* check) {
+  if (pos < 14) {
+    *check = static_cast<std::uint16_t>(*check ^ (1u << pos));
+  } else if (pos < 78) {
+    *data ^= 1ull << (pos - 14);
+  } else {
+    *check = static_cast<std::uint16_t>(*check ^ 0x4000u);
+  }
+}
+
+TEST(DectedTest, CleanWordsDecodeClean) {
+  for (const std::uint64_t data :
+       {0ull, ~0ull, 0x1ull, 0x8000000000000000ull, 0xDEADBEEFCAFEF00Dull}) {
+    const std::uint16_t check = ecc::dected_encode(data);
+    EXPECT_EQ(check, ecc::dected_encode_reference(data));
+    EXPECT_TRUE(ecc::dected_clean(data, check));
+    const auto result = ecc::dected_decode(data, check);
+    EXPECT_EQ(result.status, DecodeStatus::kClean);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(DectedTest, EncoderMatchesReferenceFuzz) {
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const std::uint64_t data = rng();
+    ASSERT_EQ(ecc::dected_encode(data), ecc::dected_encode_reference(data));
+  }
+}
+
+TEST(DectedTest, PadBitIsIgnored) {
+  const std::uint64_t data = 0x0123456789ABCDEFull;
+  const std::uint16_t check = ecc::dected_encode(data);
+  const auto result =
+      ecc::dected_decode(data, static_cast<std::uint16_t>(check | 0x8000u));
+  EXPECT_EQ(result.status, DecodeStatus::kClean);
+  EXPECT_EQ(result.data, data);
+}
+
+// The ISSUE-mandated harness: replay every 0-, 1-, 2-, and 3-bit flip
+// over the 79 live positions against the reference decoder.  Distance 6
+// guarantees 1- and 2-bit errors correct back to the original word and
+// every 3-bit error is detected (never miscorrected); the table decoder
+// must agree with the linear-scan reference on status AND data.
+TEST(DectedTest, ExhaustiveFlipEquivalenceWithReference) {
+  for (const std::uint64_t word : {0xA5A5A5A5F00F0FF0ull, 0ull}) {
+    const std::uint16_t check = ecc::dected_encode(word);
+
+    // 1- and 2-bit flips: corrected, both decoders restore the data.
+    for (unsigned a = 0; a < 79; ++a) {
+      std::uint64_t d1 = word;
+      std::uint16_t c1 = check;
+      dected_flip(a, &d1, &c1);
+      const auto fast1 = ecc::dected_decode(d1, c1);
+      const auto ref1 = ecc::dected_decode_reference(d1, c1);
+      ASSERT_EQ(fast1.status, ref1.status) << "single flip at " << a;
+      ASSERT_EQ(fast1.data, ref1.data) << "single flip at " << a;
+      ASSERT_NE(fast1.status, DecodeStatus::kUncorrectable);
+      ASSERT_EQ(fast1.data, word);
+
+      for (unsigned b = a + 1; b < 79; ++b) {
+        std::uint64_t d2 = d1;
+        std::uint16_t c2 = c1;
+        dected_flip(b, &d2, &c2);
+        const auto fast2 = ecc::dected_decode(d2, c2);
+        const auto ref2 = ecc::dected_decode_reference(d2, c2);
+        ASSERT_EQ(fast2.status, ref2.status) << a << "," << b;
+        ASSERT_EQ(fast2.data, ref2.data) << a << "," << b;
+        ASSERT_NE(fast2.status, DecodeStatus::kUncorrectable);
+        ASSERT_EQ(fast2.data, word);
+      }
+    }
+
+    // 3-bit flips: every C(79,3) pattern detected as uncorrectable.
+    for (unsigned a = 0; a < 79; ++a) {
+      std::uint64_t da = word;
+      std::uint16_t ca = check;
+      dected_flip(a, &da, &ca);
+      for (unsigned b = a + 1; b < 79; ++b) {
+        std::uint64_t db = da;
+        std::uint16_t cb = ca;
+        dected_flip(b, &db, &cb);
+        for (unsigned c = b + 1; c < 79; ++c) {
+          std::uint64_t d3 = db;
+          std::uint16_t c3 = cb;
+          dected_flip(c, &d3, &c3);
+          const auto fast3 = ecc::dected_decode(d3, c3);
+          const auto ref3 = ecc::dected_decode_reference(d3, c3);
+          ASSERT_EQ(fast3.status, DecodeStatus::kUncorrectable)
+              << a << "," << b << "," << c;
+          ASSERT_EQ(ref3.status, DecodeStatus::kUncorrectable)
+              << a << "," << b << "," << c;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EccChannelTest, DectedChannelRoundTripAtNominal) {
+  EccChannel channel(stack_, 0, ecc::WordCodec::kDected);
+  EXPECT_EQ(channel.check_bytes_per_word(), 2u);
+  Xoshiro256 rng(6);
+  for (std::uint64_t beat = 0; beat < channel.data_beats(); ++beat) {
+    const hbm::Beat data = {rng(), rng(), rng(), rng()};
+    ASSERT_TRUE(channel.write_beat(beat, data).is_ok());
+    auto outcome = channel.read_beat(beat);
+    ASSERT_TRUE(outcome.is_ok());
+    EXPECT_EQ(outcome.value().data, data);
+  }
+  EXPECT_EQ(channel.stats().uncorrectable, 0u);
+}
+
+TEST_F(EccChannelTest, DectedCorrectsTheDoubleUpsetSecdedCannot) {
+  // The zoo's reason to exist, deterministically: plant the same 2-bit
+  // upset in a stored data word under each codec.  SECDED detects and
+  // loses the word; DECTED corrects it.
+  const hbm::Beat payload = {0x1111222233334444ull, 0x5555666677778888ull,
+                            0x9999AAAABBBBCCCCull, 0xDDDDEEEEFFFF0000ull};
+  auto plant_double_flip = [this](unsigned pc) {
+    // Data beat 0 word 0 lives at array word 0 (identity data layout).
+    const std::uint64_t raw = stack_.array(pc).read_word(0);
+    const std::uint64_t upset = raw ^ 0x0000000000000041ull;  // bits 0, 6
+    stack_.array(pc).write_words(0, 1, &upset);
+  };
+
+  EccChannel secded(stack_, 0, ecc::WordCodec::kSecded);
+  ASSERT_TRUE(secded.write_beat(0, payload).is_ok());
+  plant_double_flip(0);
+  auto blocked = secded.read_beat(0);
+  ASSERT_TRUE(blocked.is_ok());
+  EXPECT_EQ(blocked.value().uncorrectable, 1u);
+  EXPECT_EQ(secded.stats().uncorrectable, 1u);
+
+  EccChannel dected(stack_, 1, ecc::WordCodec::kDected);
+  ASSERT_TRUE(dected.write_beat(0, payload).is_ok());
+  plant_double_flip(1);
+  auto corrected = dected.read_beat(0);
+  ASSERT_TRUE(corrected.is_ok());
+  EXPECT_EQ(corrected.value().uncorrectable, 0u);
+  EXPECT_EQ(corrected.value().data, payload);
+  EXPECT_GT(corrected.value().corrected, 0u);
+  EXPECT_EQ(dected.stats().uncorrectable, 0u);
+}
+
 }  // namespace
 }  // namespace hbmvolt

@@ -12,6 +12,7 @@
 #include "hbm/stack.hpp"
 #include "mitigate/remap.hpp"
 #include "mitigate/row_retirement.hpp"
+#include "mitigate/scheme.hpp"
 
 namespace hbmvolt {
 namespace {
@@ -382,6 +383,48 @@ TEST_F(RetirementTest, RebuildCoversMidRunWeakCellBurst) {
       EXPECT_TRUE(after.row_retired(pc, key.first, key.second));
     }
   }
+}
+
+TEST(MitigationSchemeTest, RegistryDescribesEveryScheme) {
+  using mitigate::MitigationKind;
+  const auto& secded = mitigate::scheme_info(MitigationKind::kSecded);
+  EXPECT_STREQ(secded.name, "secded");
+  EXPECT_EQ(secded.codec, ecc::WordCodec::kSecded);
+  EXPECT_FALSE(secded.striped);
+  EXPECT_DOUBLE_EQ(secded.check_overhead, 1.0 / 8.0);
+
+  const auto& dected = mitigate::scheme_info(MitigationKind::kDected);
+  EXPECT_STREQ(dected.name, "dected");
+  EXPECT_EQ(dected.codec, ecc::WordCodec::kDected);
+  EXPECT_FALSE(dected.striped);
+  EXPECT_DOUBLE_EQ(dected.check_overhead, 2.0 / 8.0);
+
+  const auto& stripe = mitigate::scheme_info(MitigationKind::kStripe);
+  EXPECT_STREQ(stripe.name, "stripe");
+  EXPECT_EQ(stripe.codec, ecc::WordCodec::kSecded);
+  EXPECT_TRUE(stripe.striped);
+
+  for (unsigned k = 0; k < mitigate::kMitigationKindCount; ++k) {
+    const auto kind = static_cast<MitigationKind>(k);
+    EXPECT_STREQ(mitigate::to_string(kind),
+                 mitigate::scheme_info(kind).name);
+  }
+}
+
+TEST(MitigationSchemeTest, ParseRoundTripsAndRejectsJunk) {
+  using mitigate::MitigationKind;
+  for (unsigned k = 0; k < mitigate::kMitigationKindCount; ++k) {
+    const auto kind = static_cast<MitigationKind>(k);
+    MitigationKind parsed = MitigationKind::kSecded;
+    ASSERT_TRUE(mitigate::parse_mitigation(mitigate::to_string(kind),
+                                           &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  MitigationKind untouched = MitigationKind::kDected;
+  EXPECT_FALSE(mitigate::parse_mitigation("raid6", &untouched));
+  EXPECT_FALSE(mitigate::parse_mitigation("", &untouched));
+  EXPECT_FALSE(mitigate::parse_mitigation("SECDED", &untouched));
+  EXPECT_EQ(untouched, MitigationKind::kDected);
 }
 
 TEST(TemperatureTest, ColderSiliconGainsMargin) {

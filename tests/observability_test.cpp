@@ -386,6 +386,9 @@ runtime::PcHealth crafted_health(unsigned pc) {
   h.corrected = 19 * pc;
   h.uncorrectable_blocked = 0;
   h.journal_served = pc;
+  h.reconstructed = 7 * pc;
+  h.scheme = pc == 1 ? "stripe" : "secded";
+  h.stripe = pc == 1 ? "rebuilding" : "-";
   return h;
 }
 
@@ -401,12 +404,15 @@ TEST(HealthRegistryTest, JsonGolden) {
       "\"last_rung_op\":0,\"burn_fraction\":0,\"budget_burns\":0,"
       "\"spares_free\":14,\"parked_beats\":0,\"scrub_lag_beats\":34,"
       "\"reads\":3000,\"writes\":1000,\"corrected\":0,"
-      "\"uncorrectable_blocked\":0,\"journal_served\":0},\n"
+      "\"uncorrectable_blocked\":0,\"journal_served\":0,"
+      "\"reconstructed\":0,\"scheme\":\"secded\",\"stripe\":\"-\"},\n"
       "{\"pc\":1,\"voltage_mv\":950,\"last_rung\":\"raise_voltage\","
       "\"last_rung_op\":2048,\"burn_fraction\":1.5,\"budget_burns\":1,"
       "\"spares_free\":13,\"parked_beats\":1,\"scrub_lag_beats\":34,"
       "\"reads\":3001,\"writes\":1000,\"corrected\":19,"
-      "\"uncorrectable_blocked\":0,\"journal_served\":1}\n"
+      "\"uncorrectable_blocked\":0,\"journal_served\":1,"
+      "\"reconstructed\":7,\"scheme\":\"stripe\","
+      "\"stripe\":\"rebuilding\"}\n"
       "]}\n";
   EXPECT_EQ(health.to_json(), expected);
 }
@@ -428,18 +434,18 @@ TEST(HealthRegistryTest, DashboardGolden) {
 
   const std::string expected =
       "fleet health @ epoch 0\n"
-      "+----+-----+---------------+------+-------+--------+--------+"
-      "-----------+-------+------+-----+------+\n"
-      "| pc | mV  | rung          | burn | burns | spares | parked |"
-      " scrub-lag | reads | corr | unc | jrnl |\n"
-      "+----+-----+---------------+------+-------+--------+--------+"
-      "-----------+-------+------+-----+------+\n"
-      "| 0  | 950 | correct       | 0    | 0     | 14     | 0      |"
-      " 34        | 3000  | 0    | 0   | 0    |\n"
-      "| 1  | 950 | raise_voltage | 1.5  | 1     | 13     | 1      |"
-      " 34        | 3001  | 19   | 0   | 1    |\n"
-      "+----+-----+---------------+------+-------+--------+--------+"
-      "-----------+-------+------+-----+------+\n"
+      "+----+-----+--------+------------+---------------+------+-------+"
+      "--------+--------+-----------+-------+------+-----+------+-------+\n"
+      "| pc | mV  | scheme | stripe     | rung          | burn | burns |"
+      " spares | parked | scrub-lag | reads | corr | unc | jrnl | recon |\n"
+      "+----+-----+--------+------------+---------------+------+-------+"
+      "--------+--------+-----------+-------+------+-----+------+-------+\n"
+      "| 0  | 950 | secded | -          | correct       | 0    | 0     |"
+      " 14     | 0      | 34        | 3000  | 0    | 0   | 0    | 0     |\n"
+      "| 1  | 950 | stripe | rebuilding | raise_voltage | 1.5  | 1     |"
+      " 13     | 1      | 34        | 3001  | 19   | 0   | 1    | 7     |\n"
+      "+----+-----+--------+------------+---------------+------+-------+"
+      "--------+--------+-----------+-------+------+-----+------+-------+\n"
       "latency read  p50 100 ns  p99 100 ns  p999 100 ns  max 100 ns  "
       "(n=10)\n"
       "alert corrected_burn  ok (fast 0x / slow 0x)\n";
