@@ -16,6 +16,8 @@
 #include "hbm/stack.hpp"
 #include "runtime/fleet.hpp"
 #include "runtime/reliable_channel.hpp"
+#include "serve/plane.hpp"
+#include "serve/tenant.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -389,6 +391,73 @@ void BM_StripeServe(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(ops));
 }
 BENCHMARK(BM_StripeServe)->Arg(1200)->Arg(950)->Unit(benchmark::kMillisecond);
+
+// Request-plane bookkeeping price (docs/serving.md, CI perf gate): the
+// same single-threaded SECDED fleet serving a streaming shape bare
+// (Arg 1 == 0: the fleet's built-in per-PC sweeps -- the same reliable
+// serving path BM_ReliableServe prices on one channel) vs driven
+// through the multi-tenant RequestPlane (Arg 1 == 1: four streaming
+// tenants, chunk-placed, admission-controlled, deadline-tracked).
+// items/s counts foreground beats served either way, so the gap between
+// the two arms is what the plane's hashing, queues, and per-tenant
+// accounting cost; CI fails if that overhead exceeds 10% at nominal
+// voltage.  chunk_beats is large (512) so the range engine coalesces
+// comparably in both arms; board rebuilt per iteration with overlays
+// pre-built and tenant traces generated under PauseTiming.
+void BM_TenantServe(benchmark::State& state) {
+  const int mv = static_cast<int>(state.range(0));
+  const bool plane_on = state.range(1) != 0;
+  constexpr unsigned kPasses = 8;
+  std::uint64_t ops = 0;
+  std::optional<board::Vcu128Board> board;
+  std::optional<serve::RequestPlane> plane;
+  std::optional<runtime::ServingFleet> fleet;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fleet.reset();
+    plane.reset();
+    board.emplace(bench::default_board_config());
+    (void)board->set_hbm_voltage(Millivolts{mv});
+    const unsigned per_stack = board->geometry().pcs_per_stack();
+    for (unsigned pc = 0; pc < board->geometry().total_pcs(); ++pc) {
+      (void)board->stack(pc / per_stack).read_beat(pc % per_stack, 0);
+    }
+    runtime::FleetConfig config;
+    config.scheme = mitigate::MitigationKind::kSecded;
+    config.threads = 1;
+    config.seed = 0x5E11E;
+    if (plane_on) {
+      // ops = footprint x kPasses, so each tenant is one write pass plus
+      // kPasses-1 read passes -- the same read/write mix as the bare arm.
+      serve::PlaneConfig plane_config;
+      plane_config.tenants = serve::make_tenant_set(
+          4, {serve::WorkloadMix::kStreaming},
+          /*ops=*/2048 * kPasses,
+          /*footprint_beats=*/2048, /*quota_per_epoch=*/8192);
+      plane_config.seed = 0x5E11E;
+      plane_config.chunk_beats = 512;
+      plane.emplace(std::move(plane_config));
+      config.source = &*plane;
+      config.ops_per_epoch = 2048;
+    } else {
+      config.streaming_passes = kPasses;
+    }
+    fleet.emplace(*board, std::move(config));
+    state.ResumeTiming();
+    auto report = fleet->run();
+    if (!report.is_ok()) {
+      state.SkipWithError("fleet run failed");
+      break;
+    }
+    ops += report.value().ops;
+  }
+  state.SetLabel(plane_on ? "plane" : "bare");
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TenantServe)
+    ->Args({1200, 0})
+    ->Args({1200, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -37,19 +37,39 @@
 //                            quantiles, alert state)
 //   HBMVOLT_SOAK_ARTIFACTS=D write health.json, dashboard.txt, and
 //                            alerts.jsonl into directory D after the run
+//                            (plus tenants.json when the plane is on)
+//   HBMVOLT_SOAK_TENANTS=N   drive the fleet through the multi-tenant
+//                            request plane with N tenants instead of the
+//                            bare per-PC op stream (default 0 = bare);
+//                            each tenant gets HBMVOLT_SOAK_OPS beats of
+//                            demand and the run reports per-tenant
+//                            admission/shed/SLO outcomes
+//   HBMVOLT_SOAK_MIX=S       comma list of tenant workload mixes cycled
+//                            across the tenant set: zipfian, streaming,
+//                            pointer_chase, uniform (default all four)
+//   HBMVOLT_SOAK_QOS=S       "alternate" guaranteed/best-effort across
+//                            the tenant set (default), or force every
+//                            tenant "guaranteed" / "best_effort"
+//   HBMVOLT_CHAOS_SURGE_RATE=X  per-(tenant, epoch) probability of a 4x
+//                            admission surge (default 0; tenants only)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "board/vcu128.hpp"
 #include "chaos/chaos.hpp"
 #include "mitigate/scheme.hpp"
 #include "runtime/fleet.hpp"
 #include "runtime/health.hpp"
+#include "serve/plane.hpp"
+#include "serve/tenant.hpp"
 #include "telemetry/hdr_histogram.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -112,6 +132,42 @@ mitigate::MitigationKind env_scheme() {
   return kind;
 }
 
+std::vector<serve::WorkloadMix> env_mixes() {
+  const char* text = std::getenv("HBMVOLT_SOAK_MIX");
+  if (text == nullptr) {
+    return {serve::WorkloadMix::kZipfian, serve::WorkloadMix::kStreaming,
+            serve::WorkloadMix::kPointerChase, serve::WorkloadMix::kUniform};
+  }
+  std::vector<serve::WorkloadMix> mixes;
+  std::string_view rest(text);
+  while (true) {
+    const std::size_t comma = rest.find(',');
+    auto mix = serve::parse_mix(rest.substr(0, comma));
+    if (!mix.is_ok()) {
+      bad_knob("HBMVOLT_SOAK_MIX", text,
+               "a comma list of zipfian, streaming, pointer_chase, uniform");
+    }
+    mixes.push_back(mix.value());
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return mixes;
+}
+
+/// True (and *forced set) when HBMVOLT_SOAK_QOS overrides every tenant's
+/// QoS class; false for the default alternating assignment.
+bool env_qos(serve::QosClass* forced) {
+  const char* text = std::getenv("HBMVOLT_SOAK_QOS");
+  if (text == nullptr || std::strcmp(text, "alternate") == 0) return false;
+  auto qos = serve::parse_qos(text);
+  if (!qos.is_ok()) {
+    bad_knob("HBMVOLT_SOAK_QOS", text,
+             "\"alternate\", \"guaranteed\", or \"best_effort\"");
+  }
+  *forced = qos.value();
+  return true;
+}
+
 runtime::FleetConfig soak_fleet(std::uint64_t ops_per_pc, unsigned threads,
                                 std::uint64_t seed) {
   runtime::FleetConfig config;
@@ -131,13 +187,16 @@ struct SoakArtifacts {
   std::string health_json;
   std::string dashboard;
   std::string alerts_jsonl;
+  std::string tenants_json;
 };
 
 Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
                                       int start_mv, double chaos_rate,
                                       std::uint64_t chaos_seed,
-                                      double pc_kill_rate, bool print_storm,
-                                      bool dashboard,
+                                      double pc_kill_rate, double surge_rate,
+                                      const std::vector<serve::TenantSpec>&
+                                          tenants,
+                                      bool print_storm, bool dashboard,
                                       SoakArtifacts* artifacts) {
   board::BoardConfig board_config;
   board_config.geometry = hbm::HbmGeometry::test_tiny();
@@ -150,9 +209,21 @@ Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
   chaos_config.bit_rot_rate = 1e-3 * chaos_rate;
   chaos_config.burst_cells = 4;
   chaos_config.pc_kill_rate = pc_kill_rate;
+  chaos_config.tenant_surge_rate = surge_rate;
   chaos::ChaosInjector injector(board, chaos_config);
 
+  // The plane must outlive the fleet run; the fleet only borrows it
+  // through FleetConfig::source.
+  std::optional<serve::RequestPlane> plane;
   runtime::FleetConfig config = base;
+  if (!tenants.empty()) {
+    serve::PlaneConfig plane_config;
+    plane_config.tenants = tenants;
+    plane_config.seed = base.seed;
+    if (surge_rate > 0.0) plane_config.chaos = &injector;
+    plane.emplace(std::move(plane_config));
+    config.source = &*plane;
+  }
   if (chaos_rate > 0.0 || pc_kill_rate > 0.0) {
     config.storm_hook = [&injector](unsigned pc, std::uint64_t tick) {
       return injector.storm_tick(pc, tick);
@@ -179,16 +250,37 @@ Result<runtime::FleetReport> run_soak(const runtime::FleetConfig& base,
         fleet.health(), &fleet.alerts(),
         tel != nullptr ? &tel->metrics() : nullptr);
     artifacts->alerts_jsonl = fleet.alerts().to_jsonl();
+    if (plane.has_value()) artifacts->tenants_json = plane->to_json();
   }
   if (report.is_ok() && print_storm) {
     std::printf("  storm             %llu weak-cell bursts, %llu bit-rot "
-                "flips, %llu PC kills\n",
+                "flips, %llu PC kills, %llu tenant surges\n",
                 static_cast<unsigned long long>(
                     injector.injected(chaos::FaultKind::kWeakCellBurst)),
                 static_cast<unsigned long long>(
                     injector.injected(chaos::FaultKind::kBitRot)),
                 static_cast<unsigned long long>(
-                    injector.injected(chaos::FaultKind::kPcKill)));
+                    injector.injected(chaos::FaultKind::kPcKill)),
+                static_cast<unsigned long long>(
+                    injector.injected(chaos::FaultKind::kTenantSurge)));
+  }
+  if (report.is_ok() && print_storm && plane.has_value()) {
+    std::printf("  brownout          level %u at the final barrier\n",
+                plane->brownout_level());
+    for (std::size_t t = 0; t < plane->tenant_count(); ++t) {
+      const serve::TenantSpec& spec = plane->spec(t);
+      const serve::TenantStats& stats = plane->stats(t);
+      const auto q = plane->latency(t).quantiles();
+      std::printf("  tenant %-4s %-11s admitted %llu  shed %llu  stale "
+                  "%llu  hedged %llu  p99 %s  slo %s\n",
+                  spec.name.c_str(), serve::to_string(spec.qos),
+                  static_cast<unsigned long long>(stats.admitted),
+                  static_cast<unsigned long long>(stats.shed_total()),
+                  static_cast<unsigned long long>(stats.stale_served),
+                  static_cast<unsigned long long>(stats.hedged),
+                  telemetry::format_duration_ns(q.p99).c_str(),
+                  plane->slo_met(t) ? "ok" : "MISS");
+    }
   }
   return report;
 }
@@ -230,25 +322,41 @@ int main() {
   const double chaos_rate = env_double("HBMVOLT_CHAOS_RATE", 1.0);
   const std::uint64_t chaos_seed = env_u64("HBMVOLT_CHAOS_SEED", 404);
   const double pc_kill_rate = env_double("HBMVOLT_CHAOS_PC_KILL_RATE", 0.0);
+  const double surge_rate = env_double("HBMVOLT_CHAOS_SURGE_RATE", 0.0);
+  const std::uint64_t tenant_count = env_u64("HBMVOLT_SOAK_TENANTS", 0);
   const bool verify = env_u64("HBMVOLT_SOAK_VERIFY", 0) != 0;
   const bool dashboard = env_u64("HBMVOLT_SOAK_DASHBOARD", 0) != 0;
   const char* artifacts_dir = std::getenv("HBMVOLT_SOAK_ARTIFACTS");
+
+  std::vector<serve::TenantSpec> tenants;
+  if (tenant_count > 0) {
+    tenants = serve::make_tenant_set(static_cast<unsigned>(tenant_count),
+                                     env_mixes(), /*ops=*/ops,
+                                     /*footprint_beats=*/2048,
+                                     /*quota_per_epoch=*/512);
+    serve::QosClass forced;
+    if (env_qos(&forced)) {
+      for (auto& spec : tenants) spec.qos = forced;
+    }
+  }
 
   telemetry::Telemetry telemetry;
   telemetry::ScopedTelemetry scope(telemetry);
 
   std::printf("resilient serving soak: %llu ops/PC at %d mV, %u thread(s), "
-              "chaos x%.2f, %s engine, %s scheme\n",
+              "chaos x%.2f, %s engine, %s scheme, %llu tenant(s)\n",
               static_cast<unsigned long long>(ops), mv, threads, chaos_rate,
               env_engine() == runtime::ChannelEngine::kRange ? "range"
                                                              : "perbeat",
-              mitigate::to_string(env_scheme()));
+              mitigate::to_string(env_scheme()),
+              static_cast<unsigned long long>(tenant_count));
 
   runtime::FleetConfig config = soak_fleet(ops, threads, seed);
   SoakArtifacts artifacts;
   auto result =
-      run_soak(config, mv, chaos_rate, chaos_seed, pc_kill_rate, true,
-               dashboard, artifacts_dir != nullptr ? &artifacts : nullptr);
+      run_soak(config, mv, chaos_rate, chaos_seed, pc_kill_rate, surge_rate,
+               tenants, true, dashboard,
+               artifacts_dir != nullptr ? &artifacts : nullptr);
   if (!result.is_ok()) {
     std::fprintf(stderr, "soak failed: %s\n",
                  result.status().to_string().c_str());
@@ -274,6 +382,10 @@ int main() {
   std::printf("  final voltage     %d mV\n", r.final_voltage.value);
   std::printf("  fingerprint       %016llx\n",
               static_cast<unsigned long long>(r.fingerprint));
+  if (tenant_count > 0) {
+    std::printf("  tenant fp         %016llx\n",
+                static_cast<unsigned long long>(r.tenant_fingerprint));
+  }
   print_latency_summary(telemetry.metrics());
 
   if (artifacts_dir != nullptr) {
@@ -282,14 +394,17 @@ int main() {
     const std::filesystem::path dir(artifacts_dir);
     if (ec || !write_file(dir / "health.json", artifacts.health_json) ||
         !write_file(dir / "dashboard.txt", artifacts.dashboard) ||
-        !write_file(dir / "alerts.jsonl", artifacts.alerts_jsonl)) {
+        !write_file(dir / "alerts.jsonl", artifacts.alerts_jsonl) ||
+        (!artifacts.tenants_json.empty() &&
+         !write_file(dir / "tenants.json", artifacts.tenants_json))) {
       std::fprintf(stderr, "FAIL: could not write soak artifacts to %s\n",
                    artifacts_dir);
       return 1;
     }
     std::printf("  artifacts         %s/{health.json,dashboard.txt,"
-                "alerts.jsonl}\n",
-                artifacts_dir);
+                "alerts.jsonl%s}\n",
+                artifacts_dir,
+                artifacts.tenants_json.empty() ? "" : ",tenants.json");
   }
 
   if (r.corrupt_reads > 0) {
@@ -301,7 +416,7 @@ int main() {
   if (verify) {
     runtime::FleetConfig serial = soak_fleet(ops, 1, seed);
     auto replay = run_soak(serial, mv, chaos_rate, chaos_seed, pc_kill_rate,
-                           false, false, nullptr);
+                           surge_rate, tenants, false, false, nullptr);
     if (!replay.is_ok()) {
       std::fprintf(stderr, "serial replay failed: %s\n",
                    replay.status().to_string().c_str());
@@ -312,6 +427,15 @@ int main() {
                    "FAIL: serial fingerprint %016llx != parallel %016llx\n",
                    static_cast<unsigned long long>(replay.value().fingerprint),
                    static_cast<unsigned long long>(r.fingerprint));
+      return 1;
+    }
+    if (replay.value().tenant_fingerprint != r.tenant_fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: serial tenant fingerprint %016llx != parallel "
+                   "%016llx\n",
+                   static_cast<unsigned long long>(
+                       replay.value().tenant_fingerprint),
+                   static_cast<unsigned long long>(r.tenant_fingerprint));
       return 1;
     }
     std::printf("  replay            serial fingerprint matches\n");

@@ -57,6 +57,26 @@ void usage(const char* argv0) {
                argv0);
 }
 
+// Numeric flags parse strictly and fail fast: an unparseable or
+// out-of-range value exits 2 naming the knob and the accepted range,
+// instead of atoi() silently mapping garbage to 0 and sweeping a
+// different voltage window than the one asked for.
+[[noreturn]] void bad_knob(const char* name, const char* value,
+                           const char* accepted) {
+  std::fprintf(stderr, "%s=\"%s\" is invalid; accepted: %s\n", name, value,
+               accepted);
+  std::exit(2);
+}
+
+int parse_mv(const char* name, const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 500 || value > 1500) {
+    bad_knob(name, text, "millivolts in [500, 1500]");
+  }
+  return static_cast<int>(value);
+}
+
 bool parse(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,32 +87,62 @@ bool parse(int argc, char** argv, Options& options) {
       const char* value = next();
       if (value == nullptr) return false;
       options.mode = value;
+      if (options.mode != "power" && options.mode != "faults" &&
+          options.mode != "tradeoff" && options.mode != "all") {
+        bad_knob("--mode", value, "power, faults, tradeoff, or all");
+      }
     } else if (arg == "--start") {
       const char* value = next();
       if (value == nullptr) return false;
-      options.start_mv = std::atoi(value);
+      options.start_mv = parse_mv("--start", value);
     } else if (arg == "--stop") {
       const char* value = next();
       if (value == nullptr) return false;
-      options.stop_mv = std::atoi(value);
+      options.stop_mv = parse_mv("--stop", value);
     } else if (arg == "--step") {
       const char* value = next();
       if (value == nullptr) return false;
-      options.step_mv = std::atoi(value);
+      char* end = nullptr;
+      const long step = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || step <= 0 || step > 500) {
+        bad_knob("--step", value, "a step in millivolts in [1, 500]");
+      }
+      options.step_mv = static_cast<int>(step);
     } else if (arg == "--batch") {
       const char* value = next();
       if (value == nullptr) return false;
-      options.batch = static_cast<unsigned>(std::atoi(value));
+      char* end = nullptr;
+      const unsigned long batch = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || value[0] == '-' || batch == 0 ||
+          batch > 64) {
+        bad_knob("--batch", value, "a batch size in [1, 64]");
+      }
+      options.batch = static_cast<unsigned>(batch);
     } else if (arg == "--seed") {
       const char* value = next();
       if (value == nullptr) return false;
-      options.seed = std::strtoull(value, nullptr, 0);
+      char* end = nullptr;
+      const std::uint64_t seed = std::strtoull(value, &end, 0);
+      // strtoull silently wraps "-5" to a huge value; reject signs.
+      if (end == value || *end != '\0' || value[0] == '-' ||
+          value[0] == '+') {
+        bad_knob("--seed", value,
+                 "an unsigned integer (decimal, 0x hex, or octal)");
+      }
+      options.seed = seed;
     } else if (arg == "--csv") {
       options.csv = true;
     } else if (arg == "--tolerate") {
       const char* value = next();
       if (value == nullptr) return false;
-      options.tolerate = std::atof(value);
+      char* end = nullptr;
+      const double tolerate = std::strtod(value, &end);
+      if (end == value || *end != '\0' || tolerate < 0.0 ||
+          tolerate > 1.0) {
+        bad_knob("--tolerate", value,
+                 "a tolerable corrupted-read fraction in [0.0, 1.0]");
+      }
+      options.tolerate = tolerate;
     } else if (arg == "--out") {
       const char* value = next();
       if (value == nullptr) return false;

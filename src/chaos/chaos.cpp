@@ -23,6 +23,8 @@ const char* to_string(FaultKind kind) noexcept {
       return "bit_rot";
     case FaultKind::kPcKill:
       return "pc_kill";
+    case FaultKind::kTenantSurge:
+      return "tenant_surge";
   }
   return "unknown";
 }
@@ -45,6 +47,8 @@ double ChaosSchedule::rate(FaultKind kind) const noexcept {
       return config_.bit_rot_rate;
     case FaultKind::kPcKill:
       return config_.pc_kill_rate;
+    case FaultKind::kTenantSurge:
+      return config_.tenant_surge_rate;
   }
   return 0.0;
 }
@@ -166,6 +170,9 @@ void ChaosInjector::note(FaultKind kind) {
       case FaultKind::kPcKill:
         tel->count("chaos.injected.pc_kill");
         break;
+      case FaultKind::kTenantSurge:
+        tel->count("chaos.injected.tenant_surge");
+        break;
     }
     tel->count("chaos.injected.total");
   }
@@ -281,6 +288,14 @@ bool ChaosInjector::storm_tick(unsigned pc_global, std::uint64_t tick) {
     }
   }
   return fired;
+}
+
+std::uint64_t ChaosInjector::surge_tick(std::uint64_t tenant,
+                                        std::uint64_t epoch) {
+  if (!schedule_.fires(FaultKind::kTenantSurge, tenant, epoch, 0)) return 1;
+  note(FaultKind::kTenantSurge);
+  const std::uint64_t multiplier = schedule_.config().surge_multiplier;
+  return multiplier > 1 ? multiplier : 1;
 }
 
 void ChaosInjector::on_vout(Millivolts v) {

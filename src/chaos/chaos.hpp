@@ -61,9 +61,12 @@ enum class FaultKind : unsigned {
   // (src/runtime/) rather than by board hooks:
   kWeakCellBurst = 5, // sudden per-PC weak-cell burst (aging / VT shift)
   kBitRot = 6,        // stored-bit flip (the corruption patrol scrub fixes)
-  kPcKill = 7         // whole-pseudo-channel death; power cycles don't revive
+  kPcKill = 7,        // whole-pseudo-channel death; power cycles don't revive
+  // Request-plane storm kind, drawn per (tenant, epoch) by the serving
+  // plane (src/serve/plane.hpp) rather than per (PC, tick) by storm_tick:
+  kTenantSurge = 8    // a tenant's offered load spikes for one epoch
 };
-inline constexpr unsigned kFaultKindCount = 8;
+inline constexpr unsigned kFaultKindCount = 9;
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
 
@@ -83,6 +86,13 @@ struct ChaosConfig {
   /// journal fallback) survives this; keep it orders of magnitude below
   /// the transient rates.
   double pc_kill_rate = 0.0;
+  /// Tenant-surge storm rate, evaluated once per (tenant, epoch) by the
+  /// request plane's admission step: a fired surge multiplies that
+  /// tenant's offered load for the epoch, and demand beyond its token
+  /// bucket is shed (accounted, never silently dropped).
+  double tenant_surge_rate = 0.0;
+  /// Offered-load multiplier for one fired tenant surge.
+  std::uint64_t surge_multiplier = 4;
   /// Cells added per polarity by one weak-cell burst.
   std::uint64_t burst_cells = 8;
   /// Events a site stays clean for after an injection.  The default of 4
@@ -98,7 +108,8 @@ struct ChaosConfig {
            ina_dropout_rate > 0.0 || axi_fail_rate > 0.0 ||
            spurious_crash_rate > 0.0 || weak_burst_rate > 0.0 ||
            bit_rot_rate > 0.0 || pc_kill_rate > 0.0 ||
-           regulator_dies_after >= 0 || monitor_dies_after >= 0;
+           tenant_surge_rate > 0.0 || regulator_dies_after >= 0 ||
+           monitor_dies_after >= 0;
   }
 };
 
@@ -156,6 +167,14 @@ class ChaosInjector {
   /// only that PC's array words).  Returns true when anything fired, so
   /// callers can account storms without re-deriving the schedule.
   bool storm_tick(unsigned pc_global, std::uint64_t tick);
+
+  /// Tenant-surge entry point, called by the request plane once per
+  /// (tenant, epoch) at the serial admission barrier.  Returns the
+  /// offered-load multiplier for this epoch: 1 when no surge fired,
+  /// config.surge_multiplier when one did (counted under kTenantSurge).
+  /// Pure in (seed, tenant, epoch), so plane decisions stay reproducible
+  /// at any thread count.
+  std::uint64_t surge_tick(std::uint64_t tenant, std::uint64_t epoch);
 
  private:
   /// One injection site: an event counter plus the post-injection

@@ -18,7 +18,7 @@ namespace {
 /// window (see telemetry/alerts.hpp).
 std::vector<telemetry::AlertRule> resolve_rules(const FleetConfig& config) {
   if (!config.alert_rules.empty()) return config.alert_rules;
-  return {
+  std::vector<telemetry::AlertRule> rules = {
       {"corrected_burn", telemetry::AlertSignal::kCorrectedRate,
        config.channel.budget.corrected_slo, 1, 4.0, 4, 1.0},
       {"journal_served", telemetry::AlertSignal::kJournalServedRate, 0.01, 1,
@@ -26,6 +26,13 @@ std::vector<telemetry::AlertRule> resolve_rules(const FleetConfig& config) {
       {"reconstructed", telemetry::AlertSignal::kReconstructedRate, 0.01, 1,
        4.0, 4, 1.0},
   };
+  if (config.source != nullptr) {
+    // Request-plane runs also page on sustained shedding: 5% of offered
+    // load refused is the budget, same sharp-fast / calm-slow windows.
+    rules.push_back({"shed_burn", telemetry::AlertSignal::kShedRate, 0.05, 1,
+                     4.0, 4, 1.0});
+  }
+  return rules;
 }
 
 void xor_into(hbm::Beat& acc, const hbm::Beat& b) noexcept {
@@ -72,6 +79,12 @@ ServingFleet::ServingFleet(board::Vcu128Board& board, FleetConfig config)
   for (const unsigned pc : config_.pcs) {
     channels_.push_back(
         std::make_unique<ReliableChannel>(board_, pc, config_.channel));
+    if (config_.source != nullptr) {
+      // Request-plane mode: the source's slot queues replace the
+      // built-in op streams entirely.
+      traces_.emplace_back();
+      continue;
+    }
     traces_.push_back(
         config_.streaming_passes > 0
             ? workload::make_streaming(channels_.back()->capacity(),
@@ -81,7 +94,7 @@ ServingFleet::ServingFleet(board::Vcu128Board& board, FleetConfig config)
                   config_.write_fraction,
                   stream_seed(config_.seed, 0xF1EE7, pc, 0)));
   }
-  if (config_.streaming_passes > 0) {
+  if (config_.source == nullptr && config_.streaming_passes > 0) {
     // Keep the epoch bound in run() honest: the streaming trace length
     // is capacity * passes, not the (ignored) ops_per_pc.
     std::uint64_t longest = 0;
@@ -279,6 +292,45 @@ Result<hbm::Beat> ServingFleet::do_read(std::size_t i, std::uint64_t logical) {
 
 // ---- Epoch workers ----
 
+bool ServingFleet::storm_tick_slot(std::size_t i) {
+  PcState& st = states_[i];
+  if (!config_.storm_hook || st.cursor < st.storm_next) return true;
+  ReliableChannel& channel = *channels_[i];
+  const bool alarm = config_.storm_hook(config_.pcs[i], st.cursor);
+  st.storm_next = st.cursor + 1;
+  if (!alarm) return true;
+  // Environmental alarm: flush soft state and expose any word the storm
+  // armed before SECDED can miscorrect it (see refresh_from_journal).
+  const Status refreshed = channel.refresh_from_journal();
+  if (!refreshed.is_ok()) {
+    if (refreshed.code() == StatusCode::kUnavailable) {
+      if (!absorb_device_loss(channel)) {
+        st.wants_global = true;
+        st.wanted = LadderRung::kPowerCycle;
+        return false;
+      }
+      // Whole-PC death: nothing left to refresh; keep serving through
+      // the journal / stripe reconstruction.
+    } else {
+      st.status = refreshed;
+      return false;
+    }
+  }
+  if (channel.escalation_pending()) {
+    auto rung = channel.escalate();
+    if (!rung.is_ok()) {
+      st.status = rung.status();
+      return false;
+    }
+    if (rung.value() != LadderRung::kCorrect) {
+      st.wants_global = true;
+      st.wanted = rung.value();
+      return false;
+    }
+  }
+  return true;
+}
+
 void ServingFleet::serve_pc_epoch(std::size_t i) {
   ReliableChannel& channel = *channels_[i];
   const workload::AccessTrace& trace = traces_[i];
@@ -290,42 +342,7 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
 
   std::uint64_t served = 0;
   while (st.cursor < trace.size() && served < config_.ops_per_epoch) {
-    if (config_.storm_hook && st.cursor >= st.storm_next) {
-      const bool alarm = config_.storm_hook(pc, st.cursor);
-      st.storm_next = st.cursor + 1;
-      if (alarm) {
-        // Environmental alarm: flush soft state and expose any word the
-        // storm armed before SECDED can miscorrect it (see
-        // refresh_from_journal).
-        const Status refreshed = channel.refresh_from_journal();
-        if (!refreshed.is_ok()) {
-          if (refreshed.code() == StatusCode::kUnavailable) {
-            if (!absorb_device_loss(channel)) {
-              st.wants_global = true;
-              st.wanted = LadderRung::kPowerCycle;
-              return;
-            }
-            // Whole-PC death: nothing left to refresh; keep serving
-            // through the journal / stripe reconstruction.
-          } else {
-            st.status = refreshed;
-            return;
-          }
-        }
-        if (channel.escalation_pending()) {
-          auto rung = channel.escalate();
-          if (!rung.is_ok()) {
-            st.status = rung.status();
-            return;
-          }
-          if (rung.value() != LadderRung::kCorrect) {
-            st.wants_global = true;
-            st.wanted = rung.value();
-            return;
-          }
-        }
-      }
-    }
+    if (!storm_tick_slot(i)) return;
     const workload::TraceRecord& record = trace[st.cursor];
     const std::uint64_t logical = record.beat % channel.capacity();
     const bool write_op = record.write || !channel.journal_live(logical);
@@ -488,10 +505,238 @@ void ServingFleet::serve_pc_epoch(std::size_t i) {
   }
 }
 
+void ServingFleet::serve_pc_source_epoch(std::size_t i) {
+  ReliableChannel& channel = *channels_[i];
+  RequestSource& source = *config_.source;
+  const unsigned pc = config_.pcs[i];
+  PcState& st = states_[i];
+  st.wants_global = false;
+  st.wanted = LadderRung::kCorrect;
+  const std::uint64_t data_seed = mix_seed(config_.seed, 0xDA7A);
+  const std::uint64_t reconstruct_ns =
+      kModelDeviceReadNs * (striped() ? config_.stripe_width + 1 : 1);
+
+  std::uint64_t served = 0;
+  while (served < config_.ops_per_epoch) {
+    const PlacedRequest* queued = source.front(i);
+    if (queued == nullptr) return;  // slot drained for this epoch
+    // The storm hook ticks once per *request* here (st.cursor is the
+    // request tick); a parked request re-serves at the same tick, so the
+    // storm_next guard keeps the schedule identical across retries.
+    if (!storm_tick_slot(i)) return;
+    const PlacedRequest r = *queued;
+    HBMVOLT_REQUIRE(r.count > 0 && r.logical + r.count <= channel.capacity(),
+                    "placed request outside slot capacity");
+
+    // Model-latency bookkeeping: read paths are classified after the
+    // fact from the channel's own stat deltas (journal-served vs stripe-
+    // reconstructed vs device), so the worker never second-guesses the
+    // channel's routing.
+    std::uint64_t js_prev = channel.stats().journal_served_reads;
+    std::uint64_t rc_prev = channel.stats().reconstructed_reads;
+    std::uint64_t model_ns = 0;
+    ServeOutcome outcome = ServeOutcome::kServed;
+    bool deadline_hedge = false;  // blown deadline: rest served from journal
+    bool dropped = false;
+    bool wrote_any = false;
+
+    std::uint64_t k = 0;
+    while (k < r.count) {
+      const std::uint64_t logical = r.logical + k;
+      const bool write_op = r.write || !channel.journal_live(logical);
+      if (write_op) {
+        // Coalesce the maximal write run; payloads are pure in
+        // (tenant, beat) so a re-served request rewrites identical data.
+        std::uint64_t n = 1;
+        while (k + n < r.count &&
+               (r.write || !channel.journal_live(r.logical + k + n))) {
+          ++n;
+        }
+        st.beats.resize(n);
+        for (std::uint64_t j = 0; j < n; ++j) {
+          st.beats[j] = make_payload(
+              data_seed, pc,
+              (static_cast<std::uint64_t>(r.tenant) << 40) ^ (logical + j));
+        }
+        const Status wrote =
+            n >= 2 ? do_write_range(i, logical, n, st.beats.data())
+                   : do_write(i, logical, st.beats[0]);
+        if (!wrote.is_ok()) {
+          if (st.wants_global) return;  // parked by a stripe contributor
+          if (wrote.code() == StatusCode::kUnavailable) {
+            if (absorb_device_loss(channel)) continue;  // journal-only now
+            st.wants_global = true;
+            st.wanted = LadderRung::kPowerCycle;
+            return;
+          }
+          st.status = wrote;
+          return;
+        }
+        st.report.writes += n;
+        wrote_any = true;
+        model_ns += n * (channel.device_lost() ? kModelJournalNs
+                                               : kModelDeviceWriteNs);
+        k += n;
+        continue;
+      }
+
+      // QoS shortcut: when the device copy is gone (or the deadline is
+      // already blown for a hedging tenant), answer from the journal copy
+      // -- it is the reference every read is verified against, so this
+      // trades device fidelity, not correctness, for bounded latency.
+      const bool shortcut =
+          (r.stale_ok && channel.device_lost()) ||
+          (r.hedge && (channel.device_lost() || deadline_hedge));
+      if (shortcut) {
+        std::uint64_t n = 1;
+        while (k + n < r.count && channel.journal_live(r.logical + k + n)) {
+          ++n;
+        }
+        st.report.reads += n;
+        model_ns += n * kModelJournalNs;
+        if (outcome == ServeOutcome::kServed) {
+          outcome = (r.hedge && (deadline_hedge || !r.stale_ok))
+                        ? ServeOutcome::kHedged
+                        : ServeOutcome::kStale;
+        }
+        k += n;
+        continue;
+      }
+
+      // Bulk read fast path, same guards as trace mode (per-op machinery
+      // below re-serves the run on any ladder interaction).
+      if (!config_.storm_hook && !channel.device_lost() && k + 1 < r.count) {
+        std::uint64_t n = 1;
+        while (k + n < r.count && channel.journal_live(r.logical + k + n)) {
+          ++n;
+        }
+        if (n >= 2) {
+          st.beats.resize(n);
+          const Status bulk = channel.read_range(logical, n, st.beats.data());
+          if (bulk.is_ok()) {
+            for (std::uint64_t j = 0; j < n; ++j) {
+              if (st.beats[j] != channel.journal_beat(logical + j)) {
+                ++st.report.corrupt_reads;
+              }
+            }
+            st.report.reads += n;
+            model_ns += n * kModelDeviceReadNs;
+            js_prev = channel.stats().journal_served_reads;
+            rc_prev = channel.stats().reconstructed_reads;
+            k += n;
+            continue;
+          }
+          if (bulk.code() != StatusCode::kDataLoss &&
+              bulk.code() != StatusCode::kUnavailable) {
+            st.status = bulk;
+            return;
+          }
+          // Fall through to the per-beat path for escalation handling.
+        }
+      }
+
+      auto got = do_read(i, logical);
+      if (!got.is_ok()) {
+        if (st.wants_global) {
+          ++st.attempts;
+          return;  // re-served after the barrier applies the rung
+        }
+        if (got.status().code() == StatusCode::kUnavailable) {
+          if (absorb_device_loss(channel)) continue;  // journal/stripe next
+          st.wants_global = true;
+          st.wanted = LadderRung::kPowerCycle;
+          return;
+        }
+        if (got.status().code() != StatusCode::kDataLoss) {
+          st.status = got.status();
+          return;
+        }
+        auto rung = channel.escalate();
+        if (!rung.is_ok()) {
+          st.status = rung.status();
+          return;
+        }
+        ++st.attempts;
+        model_ns += kModelEscalateNs;
+        const bool over_deadline = st.attempts > r.deadline_attempts;
+        const bool budget_left = source.spend_retry(i, r.tenant);
+        if (over_deadline || !budget_left) {
+          // Deadline blown (or the tenant's retry slice is dry):
+          // guaranteed tenants hedge the rest of the run to the journal,
+          // best-effort requests are shed mid-serve.
+          if (r.hedge) {
+            deadline_hedge = true;
+            continue;
+          }
+          dropped = true;
+          break;
+        }
+        if (rung.value() != LadderRung::kCorrect) {
+          st.wants_global = true;
+          st.wanted = rung.value();
+          return;
+        }
+        continue;  // local correction: retry the same beat now
+      }
+      if (got.value() != channel.journal_beat(logical)) {
+        ++st.report.corrupt_reads;
+      }
+      ++st.report.reads;
+      if (st.attempts > 0) ++st.report.escalated_reads;
+      const std::uint64_t js = channel.stats().journal_served_reads;
+      const std::uint64_t rc = channel.stats().reconstructed_reads;
+      if (rc > rc_prev) {
+        model_ns += reconstruct_ns;
+      } else if (js > js_prev) {
+        model_ns += kModelJournalNs;
+      } else {
+        model_ns += kModelDeviceReadNs;
+      }
+      js_prev = js;
+      rc_prev = rc;
+      ++k;
+    }
+
+    source.complete(i, r, dropped ? ServeOutcome::kShed : outcome,
+                    st.attempts, model_ns);
+    st.report.ops += r.count;
+    ++st.cursor;  // next request tick
+    served += r.count;
+    st.attempts = 0;
+
+    // Consume a burned budget between requests, before a read trips on
+    // it; striped writes also settle the parity channel's ladder.
+    if (channel.budget().burned() || channel.escalation_pending()) {
+      auto rung = channel.escalate();
+      if (!rung.is_ok()) {
+        st.status = rung.status();
+        return;
+      }
+      if (rung.value() != LadderRung::kCorrect) {
+        st.wants_global = true;
+        st.wanted = rung.value();
+        return;
+      }
+    }
+    if (striped() && wrote_any) {
+      const Status settled = settle_parity(group_of(i), st);
+      if (!settled.is_ok()) {
+        st.status = settled;
+        return;
+      }
+      if (st.wants_global) return;
+    }
+  }
+}
+
 void ServingFleet::serve_group_epoch(std::size_t g) {
   const std::size_t base = g * config_.stripe_width;
   for (std::size_t s = base; s < base + config_.stripe_width; ++s) {
-    serve_pc_epoch(s);
+    if (config_.source != nullptr) {
+      serve_pc_source_epoch(s);
+    } else {
+      serve_pc_epoch(s);
+    }
   }
   rebuild_step(g);
 }
@@ -648,6 +893,13 @@ void ServingFleet::close_epoch(std::uint64_t epoch) {
     parity_prev_[g] = now;
   }
   sample.budget_burn = burn_max;
+  if (config_.source != nullptr) {
+    // Fold the plane's slot-local accounting (serial, slot order) and let
+    // it fill the sample's admitted/shed deltas plus the tenant health
+    // rows before the alert tick and the dashboard hook see either.
+    config_.source->end_epoch(&sample);
+    config_.source->fill_health(&health_);
+  }
   alerts_.tick(sample);
   for (auto& channel : channels_) channel->flush_telemetry();
   for (auto& parity : parity_channels_) parity->flush_telemetry();
@@ -667,12 +919,14 @@ Result<FleetReport> ServingFleet::run() {
     pool = std::make_unique<core::ThreadPool>(config_.threads);
   }
 
-  // Epochs bound: the trace epochs plus a generous allowance for
-  // escalation-interrupted ones (each of those makes ladder progress) and
-  // for post-trace rebuild epochs.
+  // Epochs bound: the trace (or queued-demand) epochs plus a generous
+  // allowance for escalation-interrupted ones (each of those makes ladder
+  // progress) and for post-trace rebuild epochs.
   const std::uint64_t trace_epochs =
-      (config_.ops_per_pc + config_.ops_per_epoch - 1) /
-      config_.ops_per_epoch;
+      config_.source != nullptr
+          ? config_.source->epochs_remaining_bound()
+          : (config_.ops_per_pc + config_.ops_per_epoch - 1) /
+                config_.ops_per_epoch;
   std::uint64_t max_epochs = trace_epochs + 4096;
   if (striped() && !channels_.empty()) {
     max_epochs +=
@@ -681,10 +935,14 @@ Result<FleetReport> ServingFleet::run() {
 
   for (;;) {
     bool all_done = true;
-    for (std::size_t i = 0; i < states_.size(); ++i) {
-      if (states_[i].cursor < traces_[i].size()) {
-        all_done = false;
-        break;
+    if (config_.source != nullptr) {
+      all_done = config_.source->exhausted();
+    } else {
+      for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].cursor < traces_[i].size()) {
+          all_done = false;
+          break;
+        }
       }
     }
     // A rebuild in flight keeps the fleet ticking after the traces end:
@@ -699,13 +957,25 @@ Result<FleetReport> ServingFleet::run() {
       return unavailable("fleet ladder failed to converge");
     }
     ++report.epochs;
+    if (config_.source != nullptr) {
+      // Serial admission: quotas refill, brownout policy updates from the
+      // barrier-time fleet state, and this epoch's requests land on slot
+      // queues before any worker runs.
+      config_.source->begin_epoch(*this, report.epochs);
+    }
 
     if (striped()) {
       core::parallel_for_each(pool.get(), groups_.size(),
                               [this](std::size_t g) { serve_group_epoch(g); });
     } else {
       core::parallel_for_each(pool.get(), states_.size(),
-                              [this](std::size_t i) { serve_pc_epoch(i); });
+                              [this](std::size_t i) {
+                                if (config_.source != nullptr) {
+                                  serve_pc_source_epoch(i);
+                                } else {
+                                  serve_pc_epoch(i);
+                                }
+                              });
     }
 
     // Serial aggregation and global ladder actions, in PC index order.
@@ -856,6 +1126,10 @@ Result<FleetReport> ServingFleet::run() {
   fp = mix_seed(fp, static_cast<std::uint64_t>(report.final_voltage.value));
   fp = mix_seed(fp, report.raises);
   fp = mix_seed(fp, report.power_cycles);
+  if (config_.source != nullptr) {
+    report.tenant_fingerprint = config_.source->fingerprint();
+    fp = mix_seed(fp, report.tenant_fingerprint);
+  }
   report.fingerprint = fp;
   report.data_fingerprint = dfp;
   return report;

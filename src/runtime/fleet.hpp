@@ -56,6 +56,97 @@
 
 namespace hbmvolt::runtime {
 
+class ServingFleet;
+
+// ---- Request plane seam ----
+//
+// A RequestSource replaces the fleet's built-in per-PC op streams with an
+// externally owned queue of placed requests (src/serve/plane.hpp is the
+// multi-tenant implementation).  The determinism split mirrors the rest
+// of the fleet: the serial hooks (begin_epoch / end_epoch / fill_health)
+// run only at the barrier and may see global state; the worker hooks
+// (front / complete / spend_retry) are called from the fan-out and must
+// touch only slot-local state for the slot they are handed.
+
+/// Deterministic service-time model, in "model nanoseconds": every path a
+/// request can take has a fixed per-beat cost, so per-tenant latency
+/// distributions -- and the SLO checks built on them -- are pure
+/// functions of the op stream, never of wall clock or thread count.
+/// Stripe reconstruction costs kModelDeviceReadNs * (stripe_width + 1)
+/// per beat (one fetch per surviving member plus parity); escalation adds
+/// kModelEscalateNs per ladder round.
+inline constexpr std::uint64_t kModelDeviceReadNs = 800;
+inline constexpr std::uint64_t kModelDeviceWriteNs = 1000;
+inline constexpr std::uint64_t kModelJournalNs = 400;
+inline constexpr std::uint64_t kModelEscalateNs = 5000;
+
+/// How a request left the worker.
+enum class ServeOutcome : unsigned {
+  kServed = 0,  // device / stripe path, within its deadline
+  kHedged = 1,  // deadline pressure: answered from the journal hedge
+  kStale = 2,   // brownout: best-effort request served the journal copy
+  kShed = 3,    // dropped mid-serve (deadline overrun, best-effort)
+};
+
+/// One admitted request, already placed onto a serving slot by the
+/// source.  `logical` is a slot-local beat index (< that channel's
+/// capacity); `count` is a coalesced same-direction run so streaming
+/// tenants keep the range fast path.
+struct PlacedRequest {
+  std::uint32_t tenant = 0;
+  bool write = false;
+  /// Brownout flag: a read may be answered from the journal copy without
+  /// touching the device (ServeOutcome::kStale).
+  bool stale_ok = false;
+  /// Guaranteed-class flag: slow device paths (a lost device, stripe
+  /// reconstruction, a blown deadline) hedge to the journal copy instead
+  /// of paying the slow path (ServeOutcome::kHedged).
+  bool hedge = false;
+  std::uint64_t logical = 0;
+  std::uint64_t count = 1;
+  /// Escalation rounds before the deadline is considered blown.
+  unsigned deadline_attempts = 4;
+};
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  // Serial, called at the barrier before each epoch's fan-out: refill
+  // admission quotas, apply brownout policy from the fleet's visible
+  // state, and place this epoch's admitted requests onto slot queues.
+  virtual void begin_epoch(const ServingFleet& fleet, std::uint64_t epoch) = 0;
+
+  // Worker-side, slot-local.  front() returns the slot's next queued
+  // request (nullptr = drained for this epoch) and must keep returning
+  // the *same* request until complete() is called -- a worker that parks
+  // on a global ladder rung re-serves it after the barrier.
+  virtual const PlacedRequest* front(std::size_t slot) = 0;
+  virtual void complete(std::size_t slot, const PlacedRequest& request,
+                        ServeOutcome outcome, unsigned attempts,
+                        std::uint64_t model_ns) = 0;
+  /// Spends one unit of the tenant's retry budget from the slot's slice;
+  /// false = budget dry (the worker stops escalating and hedges or
+  /// sheds).  Bounds retry amplification during fault storms.
+  virtual bool spend_retry(std::size_t slot, std::uint32_t tenant) = 0;
+
+  // Serial, called at the barrier after the fan-out, in slot order: fold
+  // slot-local accounting into per-tenant totals and fill the sample's
+  // admitted / shed deltas for the burn-rate rules.
+  virtual void end_epoch(telemetry::EpochSample* sample) = 0;
+  /// True once every tenant's demand is fully served or shed and no
+  /// queue holds a request.
+  [[nodiscard]] virtual bool exhausted() const = 0;
+  /// Upper bound on epochs of demand left (the fleet's convergence
+  /// bound); may be generous, never an underestimate.
+  [[nodiscard]] virtual std::uint64_t epochs_remaining_bound() const = 0;
+  /// Publish per-tenant rows into the health registry (serial).
+  virtual void fill_health(HealthRegistry* health) const = 0;
+  /// Order-stable fold of every per-tenant outcome; folded into the
+  /// fleet fingerprint and reported as FleetReport::tenant_fingerprint.
+  [[nodiscard]] virtual std::uint64_t fingerprint() const = 0;
+};
+
 /// What the epoch hook sees after every barrier: the refreshed health
 /// registry and the alert engine (both owned by the fleet and rebuilt
 /// serially in PC index order, so observers stay deterministic).
@@ -116,6 +207,14 @@ struct FleetConfig {
   /// (examples/resilient_serving renders it under HBMVOLT_SOAK_DASHBOARD).
   /// Must not touch the board or the channels.
   std::function<void(const EpochStatus&)> epoch_hook;
+  /// Optional request plane (borrowed; must outlive the fleet).  When
+  /// set, the built-in per-PC op streams are replaced by the source's
+  /// placed-request queues: begin_epoch admits work at every barrier,
+  /// workers drain their slot queues, and end_epoch folds the per-tenant
+  /// accounting.  ops_per_epoch then bounds *beats served per slot per
+  /// epoch*; ops_per_pc / write_fraction / streaming_passes are ignored.
+  /// Incompatible with the checkpoint seam (a source is not captured).
+  RequestSource* source = nullptr;
 };
 
 struct FleetReport {
@@ -144,6 +243,9 @@ struct FleetReport {
   /// and journal contents) -- invariant across chaos on/off for the same
   /// scheme, unlike `fingerprint`, which also folds ladder traces.
   std::uint64_t data_fingerprint = 0;
+  /// RequestSource::fingerprint() at completion (0 without a source):
+  /// the per-tenant outcome fold, also mixed into `fingerprint`.
+  std::uint64_t tenant_fingerprint = 0;
 };
 
 /// Everything needed to resume a halted fleet byte-identically on a fresh
@@ -202,6 +304,9 @@ class ServingFleet {
   [[nodiscard]] mitigate::MitigationKind scheme() const noexcept {
     return config_.scheme;
   }
+  /// The resolved config (PC list filled in, scheme codec applied) --
+  /// what a RequestSource reads at begin_epoch to derive brownout state.
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t channels() const noexcept {
     return channels_.size();
   }
@@ -263,6 +368,14 @@ class ServingFleet {
   }
 
   void serve_pc_epoch(std::size_t i);
+  /// Request-plane worker: drains slot i's queue from config_.source
+  /// instead of the built-in trace (same parking / escalation discipline
+  /// as serve_pc_epoch, plus the deadline / hedge / stale QoS paths).
+  void serve_pc_source_epoch(std::size_t i);
+  /// Runs the storm hook for slot i at its current op tick (at most
+  /// once), including the alarm-driven journal refresh.  False = the
+  /// epoch must end (a global rung was parked or an error recorded).
+  bool storm_tick_slot(std::size_t i);
   /// Stripe fan-out unit: serves every member slot in order, then runs
   /// this epoch's rebuild step.
   void serve_group_epoch(std::size_t g);

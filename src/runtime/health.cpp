@@ -53,6 +53,10 @@ void HealthRegistry::set(std::size_t slot, const PcHealth& health) {
   pcs_[slot] = health;
 }
 
+void HealthRegistry::set_tenants(std::vector<TenantHealth> tenants) {
+  tenants_ = std::move(tenants);
+}
+
 std::string HealthRegistry::to_json() const {
   using telemetry::json_quoted;
   std::string out = "{\"epoch\":" + std::to_string(epoch_) + ",\"pcs\":[\n";
@@ -78,7 +82,32 @@ std::string HealthRegistry::to_json() const {
            ",\"scheme\":" + json_quoted(h.scheme) +
            ",\"stripe\":" + json_quoted(h.stripe) + "}";
   }
-  out += "\n]}\n";
+  out += "\n]";
+  if (!tenants_.empty()) {
+    out += ",\"tenants\":[\n";
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      const TenantHealth& t = tenants_[i];
+      if (i > 0) out += ",\n";
+      out += "{\"name\":" + json_quoted(t.name) +
+             ",\"qos\":" + json_quoted(t.qos) +
+             ",\"mix\":" + json_quoted(t.mix) +
+             ",\"demand\":" + std::to_string(t.demand) +
+             ",\"admitted\":" + std::to_string(t.admitted) +
+             ",\"served\":" + std::to_string(t.served) +
+             ",\"hedged\":" + std::to_string(t.hedged) +
+             ",\"stale\":" + std::to_string(t.stale) +
+             ",\"shed\":" + std::to_string(t.shed) +
+             ",\"shed_deadline\":" + std::to_string(t.shed_deadline) +
+             ",\"retries\":" + std::to_string(t.retries) +
+             ",\"surges\":" + std::to_string(t.surges) +
+             ",\"p50_model_ns\":" + std::to_string(t.p50_model_ns) +
+             ",\"p99_model_ns\":" + std::to_string(t.p99_model_ns) +
+             ",\"slo_model_ns\":" + std::to_string(t.slo_model_ns) +
+             ",\"slo_ok\":" + (t.slo_ok ? "true" : "false") + "}";
+    }
+    out += "\n]";
+  }
+  out += "}\n";
   return out;
 }
 
@@ -106,6 +135,22 @@ std::string render_dashboard(const HealthRegistry& health,
                    std::to_string(h.reconstructed)});
   }
   out += table.to_string();
+
+  if (!health.tenants().empty()) {
+    AsciiTable tenants;
+    tenants.set_header({"tenant", "qos", "mix", "demand", "admit", "served",
+                        "hedge", "stale", "shed", "p99", "slo", "ok"});
+    for (const TenantHealth& t : health.tenants()) {
+      tenants.add_row(
+          {t.name, t.qos, t.mix, std::to_string(t.demand),
+           std::to_string(t.admitted), std::to_string(t.served),
+           std::to_string(t.hedged), std::to_string(t.stale),
+           std::to_string(t.shed), telemetry::format_duration_ns(t.p99_model_ns),
+           telemetry::format_duration_ns(t.slo_model_ns),
+           t.slo_ok ? "yes" : "NO"});
+    }
+    out += tenants.to_string();
+  }
 
   if (metrics != nullptr) {
     for (const auto& family : metrics->hdr_family_values()) {

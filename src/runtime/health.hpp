@@ -52,6 +52,30 @@ struct PcHealth {
   std::string stripe = "-";
 };
 
+/// One request-plane tenant's health row, published by the plane's
+/// fill_health at every barrier (absent unless a RequestSource drives the
+/// fleet).  Latencies are model nanoseconds (deterministic service-time
+/// model, runtime/fleet.hpp), so slo_ok is reproducible at any thread
+/// count.
+struct TenantHealth {
+  std::string name;
+  std::string qos = "best_effort";
+  std::string mix = "uniform";
+  std::uint64_t demand = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t served = 0;  // reads + writes, in beats
+  std::uint64_t hedged = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t shed = 0;           // all shed.* buckets
+  std::uint64_t shed_deadline = 0;  // of which: dropped mid-serve
+  std::uint64_t retries = 0;
+  std::uint64_t surges = 0;
+  std::uint64_t p50_model_ns = 0;
+  std::uint64_t p99_model_ns = 0;
+  std::uint64_t slo_model_ns = 0;
+  bool slo_ok = true;
+};
+
 class HealthRegistry {
  public:
   void reset(std::size_t pc_count);
@@ -66,23 +90,33 @@ class HealthRegistry {
   /// Direct slot write -- the golden-test / external-producer seam.
   void set(std::size_t slot, const PcHealth& health);
 
+  /// Replaces the tenant rows wholesale (the request plane rebuilds them
+  /// every barrier; empty = no plane attached).
+  void set_tenants(std::vector<TenantHealth> tenants);
+
   [[nodiscard]] const std::vector<PcHealth>& pcs() const noexcept {
     return pcs_;
   }
+  [[nodiscard]] const std::vector<TenantHealth>& tenants() const noexcept {
+    return tenants_;
+  }
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
-  /// health.json: {"epoch":...,"pcs":[{...}, ...]}, keys in fixed order.
+  /// health.json: {"epoch":...,"pcs":[{...}, ...]}, keys in fixed order;
+  /// a "tenants" array follows "pcs" when tenant rows are present.
   [[nodiscard]] std::string to_json() const;
 
  private:
   std::vector<PcHealth> pcs_;
+  std::vector<TenantHealth> tenants_;
   std::uint64_t epoch_ = 0;
 };
 
-/// Fixed-width console dashboard: one row per PC, a fleet latency line
-/// (when `metrics` has the latency.* HDR families), and one line per alert
-/// rule (when `alerts` is given).  Pure function of its inputs -- the
-/// golden test pins the rendering.
+/// Fixed-width console dashboard: one row per PC, a tenant table with
+/// per-tenant QoS/latency rows (when the registry has tenant rows), a
+/// fleet latency line (when `metrics` has the latency.* HDR families),
+/// and one line per alert rule (when `alerts` is given).  Pure function
+/// of its inputs -- the golden test pins the rendering.
 [[nodiscard]] std::string render_dashboard(
     const HealthRegistry& health,
     const telemetry::AlertEngine* alerts = nullptr,

@@ -38,6 +38,7 @@ const char* to_string(AlertSignal signal) noexcept {
     case AlertSignal::kCorrectedRate: return "corrected_rate";
     case AlertSignal::kJournalServedRate: return "journal_served_rate";
     case AlertSignal::kReconstructedRate: return "reconstructed_rate";
+    case AlertSignal::kShedRate: return "shed_rate";
   }
   return "unknown";
 }
@@ -61,14 +62,25 @@ double AlertEngine::burn_rate(const AlertRule& rule,
   const std::size_t window = std::min(window_epochs, ring_.size());
   for (std::size_t i = 0; i < window; ++i) {
     const EpochSample& sample = ring_.recent(i);
-    denominator += sample.reads;
     switch (rule.signal) {
-      case AlertSignal::kCorrectedRate: numerator += sample.corrected; break;
+      case AlertSignal::kCorrectedRate:
+        numerator += sample.corrected;
+        denominator += sample.reads;
+        break;
       case AlertSignal::kJournalServedRate:
         numerator += sample.journal_served;
+        denominator += sample.reads;
         break;
       case AlertSignal::kReconstructedRate:
         numerator += sample.reconstructed;
+        denominator += sample.reads;
+        break;
+      case AlertSignal::kShedRate:
+        // Shed fraction of the *offered* tenant load, not of served
+        // reads: a plane shedding everything would otherwise divide by
+        // the very traffic it refused to serve.
+        numerator += sample.shed;
+        denominator += sample.admitted + sample.shed;
         break;
     }
   }

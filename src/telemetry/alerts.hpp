@@ -39,6 +39,12 @@ struct EpochSample {
   std::uint64_t reconstructed = 0;   // reads served by stripe reconstruction
   std::uint64_t parked = 0;          // total parked beats at the barrier
   double budget_burn = 0.0;          // max per-PC window burn fraction / SLO
+  // Request-plane deltas (zero unless a tenant plane drives the fleet,
+  // src/serve/plane.hpp): offered load admitted past the token buckets,
+  // and requests shed by admission, brownout, hot-shard throttling,
+  // queue aging, or deadline overrun.
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
 };
 
 /// Fixed-capacity ring of the most recent samples (the windowed
@@ -62,11 +68,14 @@ class EpochRing {
   std::uint64_t pushed_ = 0;
 };
 
-/// What a rule's windows measure, as a fraction of served reads.
+/// What a rule's windows measure.  The device-side signals are fractions
+/// of served reads; kShedRate is the fraction of *offered* tenant load
+/// (admitted + shed) the request plane refused.
 enum class AlertSignal : unsigned {
   kCorrectedRate = 0,      // corrected words / read words
   kJournalServedRate = 1,  // journal-served reads / reads
   kReconstructedRate = 2,  // stripe-reconstructed reads / reads
+  kShedRate = 3,           // shed requests / (admitted + shed)
 };
 
 [[nodiscard]] const char* to_string(AlertSignal signal) noexcept;

@@ -1,5 +1,7 @@
 #include "workload/trace.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -35,9 +37,20 @@ Result<AccessTrace> AccessTrace::from_text(std::string_view text) {
     position = end + 1;
     ++line_number;
 
+    if (line.size() > kMaxLineLength) {
+      return invalid_argument(
+          "trace line " + std::to_string(line_number) + ": overlong line (" +
+          std::to_string(line.size()) + " chars, max " +
+          std::to_string(kMaxLineLength) + ")");
+    }
+
     // Trim and skip blanks/comments.
     while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
       line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.remove_suffix(1);
     }
     if (line.empty() || line.front() == '#') continue;
 
@@ -47,20 +60,34 @@ Result<AccessTrace> AccessTrace::from_text(std::string_view text) {
                               ": expected 'R <beat>' or 'W <beat>'");
     }
     std::uint64_t beat = 0;
-    bool any_digit = false;
-    for (std::size_t i = 2; i < line.size(); ++i) {
+    std::size_t i = 2;
+    while (i < line.size() && line[i] == ' ') ++i;  // "R  5" is fine
+    const std::size_t digits_start = i;
+    for (; i < line.size(); ++i) {
       const char c = line[i];
-      if (c == ' ' || c == '\r') break;
-      if (c < '0' || c > '9') {
-        return invalid_argument("trace line " + std::to_string(line_number) +
-                                ": bad beat number");
-      }
+      if (c < '0' || c > '9') break;
       beat = beat * 10 + static_cast<std::uint64_t>(c - '0');
-      any_digit = true;
+      if (beat > 0xFFFFFFFFull) {
+        return invalid_argument("trace line " + std::to_string(line_number) +
+                                ": beat does not fit in 32 bits");
+      }
     }
-    if (!any_digit || beat > 0xFFFFFFFFull) {
+    if (i == digits_start) {
       return invalid_argument("trace line " + std::to_string(line_number) +
                               ": bad beat number");
+    }
+    // Anything after the beat is a malformed record, not padding: the old
+    // parser silently dropped it, turning "R 5 W 6" into "R 5".
+    if (i < line.size()) {
+      const bool duplicate_direction =
+          line[i] == ' ' &&
+          line.find_first_not_of(' ', i) != std::string_view::npos &&
+          (line[line.find_first_not_of(' ', i)] == 'R' ||
+           line[line.find_first_not_of(' ', i)] == 'W');
+      return invalid_argument(
+          "trace line " + std::to_string(line_number) +
+          (duplicate_direction ? ": duplicate direction token after beat"
+                               : ": trailing garbage after beat"));
     }
     trace.append(line[0] == 'W', beat);
   }
@@ -122,6 +149,78 @@ AccessTrace make_strided(std::uint64_t beats, std::uint64_t accesses,
     trace.append(!seen[beat], beat);
     seen[beat] = true;
     beat = (beat + stride) % beats;
+  }
+  return trace;
+}
+
+AccessTrace make_zipfian(std::uint64_t beats, std::uint64_t accesses,
+                         double theta, double write_fraction,
+                         std::uint64_t seed) {
+  HBMVOLT_REQUIRE(beats > 0, "zipfian footprint must be non-empty");
+  HBMVOLT_REQUIRE(theta >= 0.0, "zipfian exponent must be non-negative");
+  AccessTrace trace;
+  Xoshiro256 rng(seed);
+
+  // Inverse-CDF sampling over the rank distribution: cumulative 1/r^theta
+  // weights, binary-searched per access.  Footprints here are PC-sized
+  // (thousands of beats), so the O(beats) table is cheap and exact.
+  std::vector<double> cumulative(beats);
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < beats; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cumulative[r] = total;
+  }
+
+  // Seeded rank -> beat shuffle so rank 0 is not always beat 0.
+  std::vector<std::uint32_t> rank_to_beat(beats);
+  for (std::uint64_t b = 0; b < beats; ++b) {
+    rank_to_beat[b] = static_cast<std::uint32_t>(b);
+  }
+  for (std::uint64_t b = beats; b > 1; --b) {
+    std::swap(rank_to_beat[b - 1], rank_to_beat[rng.bounded(b)]);
+  }
+
+  std::vector<bool> touched(beats, false);
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const double u = rng.uniform() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(it - cumulative.begin());
+    const std::uint32_t beat = rank_to_beat[rank < beats ? rank : beats - 1];
+    const bool write = !touched[beat] || rng.bernoulli(write_fraction);
+    touched[beat] = true;
+    trace.append(write, beat);
+  }
+  return trace;
+}
+
+AccessTrace make_pointer_chase(std::uint64_t beats, std::uint64_t accesses,
+                               std::uint64_t seed) {
+  HBMVOLT_REQUIRE(beats > 0, "pointer-chase footprint must be non-empty");
+  AccessTrace trace;
+  Xoshiro256 rng(seed);
+
+  // One random cycle over the footprint (Sattolo's algorithm): next[b] is
+  // the beat the chase visits after b, and every beat is on the cycle.
+  std::vector<std::uint32_t> next(beats);
+  for (std::uint64_t b = 0; b < beats; ++b) {
+    next[b] = static_cast<std::uint32_t>(b);
+  }
+  for (std::uint64_t b = beats - 1; b > 0; --b) {
+    std::swap(next[b], next[rng.bounded(b)]);
+  }
+
+  // Write pass stores the "pointers", then the chase reads them back in
+  // dependence order.
+  std::uint64_t emitted = 0;
+  for (std::uint64_t b = 0; b < beats && emitted < accesses; ++b, ++emitted) {
+    trace.append(true, b);
+  }
+  std::uint32_t cursor = 0;
+  for (; emitted < accesses; ++emitted) {
+    trace.append(false, cursor);
+    cursor = next[cursor];
   }
   return trace;
 }

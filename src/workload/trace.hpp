@@ -45,7 +45,15 @@ class AccessTrace {
 
   /// One record per line: "R <beat>" / "W <beat>"; '#' comments allowed.
   [[nodiscard]] std::string to_text() const;
+  /// Strict parser: rejects overlong lines (> kMaxLineLength chars),
+  /// duplicate direction tokens or any trailing garbage after the beat,
+  /// and beats that do not fit in 32 bits -- each with a Status naming
+  /// the offending line, never by silently truncating the record.
   static Result<AccessTrace> from_text(std::string_view text);
+
+  /// Longest line from_text accepts (a well-formed record needs at most
+  /// 12 characters; anything longer is a malformed or binary input).
+  static constexpr std::size_t kMaxLineLength = 256;
 
  private:
   std::vector<TraceRecord> records_;
@@ -76,6 +84,24 @@ class AccessTrace {
 [[nodiscard]] AccessTrace make_strided(std::uint64_t beats,
                                        std::uint64_t accesses,
                                        std::uint64_t stride);
+
+/// Zipfian-skewed accesses over [0, beats): beat ranks are drawn with
+/// probability proportional to 1 / rank^theta (theta ~0.99 is the classic
+/// YCSB skew), then mapped through a seeded rank->beat shuffle so the hot
+/// beats are scattered across the footprint.  First touch of a beat
+/// writes; revisits follow `write_fraction`.
+[[nodiscard]] AccessTrace make_zipfian(std::uint64_t beats,
+                                       std::uint64_t accesses, double theta,
+                                       double write_fraction,
+                                       std::uint64_t seed);
+
+/// Pointer-chase workload: a seeded random permutation cycle over the
+/// footprint is written once (the "pointers"), then walked read-by-read
+/// -- every access depends on the previous one, the shape that defeats
+/// both caching and range coalescing.
+[[nodiscard]] AccessTrace make_pointer_chase(std::uint64_t beats,
+                                             std::uint64_t accesses,
+                                             std::uint64_t seed);
 
 // ---- Replay ----
 

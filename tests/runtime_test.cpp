@@ -104,6 +104,91 @@ TEST(ErrorBudgetTest, UncorrectableBurnsImmediately) {
   EXPECT_EQ(lax.record(4, 0, 1), BudgetVerdict::kUncorrectableBurn);
 }
 
+TEST(ErrorBudgetTest, WindowEdgeCountsCorrectedInExactlyOneWindow) {
+  ErrorBudgetConfig config;
+  config.window_words = 100;
+  config.corrected_slo = 0.05;
+  ErrorBudget budget(config);
+
+  // A batch straddling the window edge is judged entirely in the window
+  // it closes: 96 clean words, then 8 words carrying 5 corrections ->
+  // rate 5/104 < 0.05, healthy rollover.
+  EXPECT_EQ(budget.record(96, 0, 0), BudgetVerdict::kHealthy);
+  EXPECT_EQ(budget.record(8, 5, 0), BudgetVerdict::kHealthy);
+  EXPECT_EQ(budget.windows_completed(), 1u);
+  EXPECT_EQ(budget.window_words(), 0u);
+  EXPECT_EQ(budget.window_corrected(), 0u);
+
+  // ...and none of those 5 corrections leak into the next window: 4
+  // corrections over the next 100 words is 0.04, healthy -- it would be
+  // 9/100 > SLO (a burn) if the edge batch were double-counted.
+  EXPECT_EQ(budget.record(99, 4, 0), BudgetVerdict::kHealthy);
+  EXPECT_EQ(budget.record(1, 0, 0), BudgetVerdict::kHealthy);
+  EXPECT_EQ(budget.windows_completed(), 2u);
+  EXPECT_EQ(budget.burns(), 0u);
+
+  // The same straddling batch with one more correction tips the closing
+  // window over the SLO: the burn lands in that window, exactly once.
+  ErrorBudget hot(config);
+  EXPECT_EQ(hot.record(96, 0, 0), BudgetVerdict::kHealthy);
+  EXPECT_EQ(hot.record(8, 6, 0), BudgetVerdict::kCorrectedBurn);
+  EXPECT_EQ(hot.burns(), 1u);
+  hot.reset();
+  // Post-reset accounting restarts from an empty window.
+  EXPECT_EQ(hot.record(100, 0, 0), BudgetVerdict::kHealthy);
+  EXPECT_EQ(hot.burns(), 1u);
+}
+
+TEST(ErrorBudgetTest, ExactWindowBoundaryBatchClosesOneWindow) {
+  ErrorBudgetConfig config;
+  config.window_words = 100;
+  config.corrected_slo = 0.05;
+  ErrorBudget budget(config);
+  // Exactly at the SLO on exactly one window's worth of words: healthy
+  // (the budget is "allowed", not "strictly under").
+  EXPECT_EQ(budget.record(100, 5, 0), BudgetVerdict::kHealthy);
+  EXPECT_EQ(budget.windows_completed(), 1u);
+  EXPECT_EQ(budget.window_words(), 0u);
+  // One word over the SLO in the next exact-boundary batch burns once.
+  EXPECT_EQ(budget.record(100, 6, 0), BudgetVerdict::kCorrectedBurn);
+  EXPECT_EQ(budget.windows_completed(), 2u);
+  EXPECT_EQ(budget.burns(), 1u);
+}
+
+TEST(ErrorBudgetTest, RecordCleanMatchesPerWordReferenceAcrossEdges) {
+  ErrorBudgetConfig config;
+  config.window_words = 64;
+  config.corrected_slo = 0.1;
+  ErrorBudget fast(config);
+  ErrorBudget reference(config);
+  // Accumulate some corrections short of the edge, then a clean bulk run
+  // that crosses several window boundaries.
+  for (int i = 0; i < 5; ++i) {
+    fast.record(1, 1, 0);
+    reference.record(1, 1, 0);
+  }
+  fast.record_clean(200);
+  for (int i = 0; i < 200; ++i) reference.record(1, 0, 0);
+  EXPECT_EQ(fast.window_words(), reference.window_words());
+  EXPECT_EQ(fast.window_corrected(), reference.window_corrected());
+  EXPECT_EQ(fast.windows_completed(), reference.windows_completed());
+  EXPECT_EQ(fast.burns(), reference.burns());
+  EXPECT_EQ(fast.verdict(), reference.verdict());
+
+  // The clean chunk that completes a window may still burn it on
+  // *previously* accumulated corrections -- the edge belongs to the
+  // window being closed.
+  ErrorBudgetConfig small;
+  small.window_words = 10;
+  small.corrected_slo = 0.2;
+  ErrorBudget budget(small);
+  EXPECT_EQ(budget.record(5, 3, 0), BudgetVerdict::kHealthy);
+  budget.record_clean(5);  // closes the window at 3/10 > 0.2
+  EXPECT_TRUE(budget.burned());
+  EXPECT_EQ(budget.verdict(), BudgetVerdict::kCorrectedBurn);
+  EXPECT_EQ(budget.burns(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Payloads
 // ---------------------------------------------------------------------------

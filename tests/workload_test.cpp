@@ -1,6 +1,11 @@
 // Unit tests for the workload-trace infrastructure.
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -63,6 +68,66 @@ TEST(TraceTest, ParserRejectsGarbage) {
   EXPECT_FALSE(AccessTrace::from_text("R 99999999999999\n").is_ok());
 }
 
+TEST(TraceTest, ParserRejectsOverlongLinesWithLineNumber) {
+  std::string text = "R 1\nR ";
+  text.append(AccessTrace::kMaxLineLength, '0');  // numeric but absurd
+  text += "\n";
+  const auto parsed = AccessTrace::from_text(text);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status().to_string();
+
+  // A line of exactly the limit (record + trailing blanks) still parses:
+  // the bound is on raw line length, not on trimmed content.
+  std::string ok = "R 7";
+  ok.append(AccessTrace::kMaxLineLength - ok.size(), ' ');
+  const auto at_limit = AccessTrace::from_text(ok + "\n");
+  ASSERT_TRUE(at_limit.is_ok()) << at_limit.status().to_string();
+  EXPECT_EQ(at_limit.value()[0].beat, 7u);
+}
+
+TEST(TraceTest, ParserRejectsDuplicateDirectionTokens) {
+  // The old parser silently truncated "R 5 W 6" to "R 5" -- half a record
+  // lost.  Now it is a named error on the offending line.
+  const auto parsed = AccessTrace::from_text("W 1\nR 5 W 6\n");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status().to_string();
+  EXPECT_NE(parsed.status().message().find("duplicate direction"),
+            std::string::npos)
+      << parsed.status().to_string();
+  EXPECT_FALSE(AccessTrace::from_text("W W 0\n").is_ok());
+  EXPECT_FALSE(AccessTrace::from_text("R R 2\n").is_ok());
+}
+
+TEST(TraceTest, ParserRejectsTrailingGarbageAfterBeat) {
+  EXPECT_FALSE(AccessTrace::from_text("R 3 extra\n").is_ok());
+  EXPECT_FALSE(AccessTrace::from_text("R 3x\n").is_ok());
+  // Even a trailing comment is garbage after a record: comments are
+  // whole-line only, and anything after the beat risks hiding a typo.
+  const auto commented = AccessTrace::from_text("R 3 # hot beat\n");
+  ASSERT_FALSE(commented.is_ok());
+  EXPECT_NE(commented.status().message().find("trailing garbage"),
+            std::string::npos)
+      << commented.status().to_string();
+}
+
+TEST(TraceTest, ParserRejectsBeatsBeyond32BitsWithoutTruncating) {
+  // 2^32 exactly: one past the largest representable beat.
+  auto parsed = AccessTrace::from_text("R 4294967296\n");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+      << parsed.status().to_string();
+  // A value that overflows 64-bit accumulation must also be caught, not
+  // wrapped into a small in-range beat.
+  EXPECT_FALSE(
+      AccessTrace::from_text("R 118446744073709551616\n").is_ok());
+  // The boundary value itself still round-trips.
+  const auto max = AccessTrace::from_text("R 4294967295\n");
+  ASSERT_TRUE(max.is_ok());
+  EXPECT_EQ(max.value()[0].beat, 4294967295u);
+}
+
 // ------------------------------------------------------------ Generators
 
 TEST(TraceTest, StreamingWritesThenReads) {
@@ -110,6 +175,57 @@ TEST(TraceTest, StridedWrapsAroundAndWritesFirstTouch) {
   std::size_t writes = 0;
   for (const auto& record : long_trace) writes += record.write ? 1 : 0;
   EXPECT_EQ(writes, 8u);
+}
+
+TEST(TraceTest, ZipfianSkewsTrafficAndWritesFirstTouch) {
+  const auto trace = workload::make_zipfian(128, 4096, 0.99, 0.25, 7);
+  ASSERT_EQ(trace.size(), 4096u);
+  std::vector<std::uint64_t> hits(128, 0);
+  std::vector<bool> seen(128, false);
+  for (const auto& record : trace) {
+    ASSERT_LT(record.beat, 128u);
+    ++hits[record.beat];
+    // First touch of every beat must write (reads of unwritten beats
+    // would be undefined data downstream).
+    if (!seen[record.beat]) EXPECT_TRUE(record.write);
+    seen[record.beat] = true;
+  }
+  // Zipf theta ~1 over 128 ranks puts roughly half the traffic on the
+  // top ten beats; well above a uniform spread (10/128 ~ 8%).
+  std::sort(hits.begin(), hits.end(), std::greater<>());
+  std::uint64_t top10 = 0;
+  for (std::size_t i = 0; i < 10; ++i) top10 += hits[i];
+  EXPECT_GT(top10, 4096u * 35 / 100) << "zipfian skew missing";
+  // Determinism per seed, divergence across seeds.
+  const auto again = workload::make_zipfian(128, 4096, 0.99, 0.25, 7);
+  ASSERT_EQ(again.size(), trace.size());
+  EXPECT_EQ(again[100].beat, trace[100].beat);
+  const auto other = workload::make_zipfian(128, 4096, 0.99, 0.25, 8);
+  bool differs = false;
+  for (std::size_t i = 0; i < trace.size() && !differs; ++i) {
+    differs = other[i].beat != trace[i].beat;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TraceTest, PointerChaseWritesCycleThenWalksIt) {
+  const auto trace = workload::make_pointer_chase(64, 192, 3);
+  ASSERT_EQ(trace.size(), 192u);
+  // Write pass first: the pointers are stored before any chase read.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(trace[i].write);
+    EXPECT_EQ(trace[i].beat, i);
+  }
+  // The chase is one full cycle: every window of 64 reads visits every
+  // beat exactly once (Sattolo's algorithm yields a single cycle).
+  for (std::size_t window = 64; window + 64 <= trace.size(); window += 64) {
+    std::set<std::uint32_t> visited;
+    for (std::size_t i = window; i < window + 64; ++i) {
+      EXPECT_FALSE(trace[i].write);
+      visited.insert(trace[i].beat);
+    }
+    EXPECT_EQ(visited.size(), 64u) << "window at " << window;
+  }
 }
 
 TEST(TraceTest, GeneratorsAreDeterministic) {
